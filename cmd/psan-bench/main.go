@@ -1,0 +1,68 @@
+// Command psan-bench regenerates the paper's evaluation tables on the
+// benchmark ports:
+//
+//	psan-bench -table 1          # tool comparison (live litmus demo)
+//	psan-bench -table 2          # robustness violations per benchmark
+//	psan-bench -table 3          # PSan vs Jaaru overhead + discovery
+//	psan-bench -table compare    # §6.4 comparison vs baselines
+//	psan-bench -table all        # everything
+//	psan-bench -violations CCEH  # detailed report with fixes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("psan-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.String("table", "all", "which table to regenerate: 1, 2, 3, compare, or all")
+	execs := fs.Int("execs", 0, "override executions per benchmark (0: per-port default)")
+	seed := fs.Int64("seed", 1, "exploration seed")
+	violations := fs.String("violations", "", "print the detailed violation report for one benchmark")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	opt := report.Options{Executions: *execs, Seed: *seed}
+	if *violations != "" {
+		out, err := report.Violations(*violations, opt)
+		if err != nil {
+			fmt.Fprintf(stderr, "psan-bench: %v\n", err)
+			return 2
+		}
+		fmt.Fprint(stdout, out)
+		return 0
+	}
+	switch *table {
+	case "1":
+		_, text := report.Table1()
+		fmt.Fprintln(stdout, text)
+	case "2":
+		fmt.Fprintln(stdout, report.Table2(opt).Render())
+	case "3":
+		fmt.Fprintln(stdout, report.RenderTable3(report.Table3(opt)))
+	case "compare":
+		fmt.Fprintln(stdout, report.RenderComparison(report.Comparison(opt)))
+	case "all":
+		_, text := report.Table1()
+		fmt.Fprintln(stdout, text)
+		fmt.Fprintln(stdout, report.Table2(opt).Render())
+		fmt.Fprintln(stdout, report.RenderTable3(report.Table3(opt)))
+		fmt.Fprintln(stdout, report.RenderComparison(report.Comparison(opt)))
+	default:
+		fmt.Fprintf(stderr, "psan-bench: unknown table %q\n", *table)
+		return 2
+	}
+	return 0
+}

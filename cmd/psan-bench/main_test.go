@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTable1CLI(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-table", "1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d\n%s", code, errOut.String())
+	}
+	for _, want := range []string{"PSan", "Robustness", "Witcher", "Pmemcheck"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("table 1 missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestViolationsCLI(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-violations", "P-CLHT", "-execs", "150"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "clht_t::table") {
+		t.Fatalf("violations report missing row #31:\n%s", out.String())
+	}
+}
+
+func TestBadArgsCLI(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-table", "9"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if code := run([]string{"-violations", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

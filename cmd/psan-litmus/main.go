@@ -1,0 +1,52 @@
+// Command psan-litmus replays the paper's worked examples (Figures 1,
+// 2, 4–8, 11, 12, plus the §1.1 flush-semantics corners) and narrates
+// PSan's potential-crash-interval derivations:
+//
+//	psan-litmus            # run every scenario
+//	psan-litmus fig7       # run one scenario
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/litmus"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	scenarios := litmus.Scenarios()
+	if len(args) > 0 {
+		sc := litmus.ByName(args[0])
+		if sc == nil {
+			fmt.Fprintf(stderr, "psan-litmus: unknown figure %q; available:\n", args[0])
+			for _, s := range scenarios {
+				fmt.Fprintf(stderr, "  %-18s %s\n", s.Name, s.Title)
+			}
+			return 2
+		}
+		scenarios = []litmus.Scenario{*sc}
+	}
+	bad := false
+	for _, sc := range scenarios {
+		fmt.Fprintf(stdout, "=== %s: %s ===\n", sc.Name, sc.Title)
+		vs := sc.Run(stdout)
+		verdict := "robust"
+		if len(vs) > 0 {
+			verdict = fmt.Sprintf("NOT robust (%d violation(s))", len(vs))
+		}
+		fmt.Fprintf(stdout, "verdict: %s (expected: violation=%v)\n\n", verdict, sc.WantViolation)
+		if (len(vs) > 0) != sc.WantViolation {
+			bad = true
+		}
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllScenariosPass(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out.String())
+	}
+	for _, want := range []string{"fig2", "fig7", "fig8", "rmw-drain", "verdict: NOT robust", "verdict: robust"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestSingleScenario(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"fig4"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "[2, 4)") {
+		t.Fatalf("fig4 narration missing interval:\n%s", out.String())
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"fig99"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "available:") {
+		t.Fatalf("stderr missing scenario list:\n%s", errOut.String())
+	}
+}

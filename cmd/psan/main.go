@@ -1,0 +1,116 @@
+// Command psan checks a persistent-memory test program (written in the
+// paper's Figure 9 language, see internal/lang) for robustness
+// violations, exploring crash points and post-crash reads either
+// randomly or exhaustively:
+//
+//	psan [-mode random|mc] [-execs N] [-seed S] [-dump] program.pm
+//	psan -fix program.pm       # apply the suggested fixes, print the
+//	                           # repaired program
+//	psan -trace program.pm     # dump one execution's event trace
+//
+// Exit status is 1 when violations are found (or -fix could not reach a
+// clean program), 2 on usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/explore"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/pmem"
+	"repro/internal/repair"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("psan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "mc", "exploration mode: mc (model checking) or random")
+	execs := fs.Int("execs", 10000, "execution budget (exact count in random mode, cap in mc mode)")
+	seed := fs.Int64("seed", 1, "random-mode seed")
+	dump := fs.Bool("dump", false, "print the parsed program structure")
+	fix := fs.Bool("fix", false, "apply PSan's suggested fixes until the program is clean and print it")
+	dumpTrace := fs.Bool("trace", false, "dump one crash-free execution's event trace and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: psan [flags] program.pm\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "psan: %v\n", err)
+		return 2
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(stderr, "psan: %s: %v\n", fs.Arg(0), err)
+		return 2
+	}
+	if *dump {
+		fmt.Fprint(stdout, prog)
+	}
+	compiled := interp.New(fs.Arg(0), prog)
+	opts := explore.Options{Executions: *execs, Seed: *seed}
+	switch *mode {
+	case "mc":
+		opts.Mode = explore.ModelCheck
+	case "random":
+		opts.Mode = explore.Random
+	default:
+		fmt.Fprintf(stderr, "psan: unknown mode %q\n", *mode)
+		return 2
+	}
+	if *dumpTrace {
+		w := pmem.NewWorld(pmem.Config{CrashTarget: -1, Seed: *seed})
+		for i, phase := range compiled.Phases() {
+			w.SetCrashTarget(-1)
+			w.RunPhase(phase)
+			if i < len(compiled.Phases())-1 {
+				w.Crash()
+			}
+		}
+		w.M.Trace().Dump(stdout)
+		fmt.Fprintln(stdout, w.M.Trace().Stats())
+		return 0
+	}
+	if *fix {
+		result, err := repair.Loop(fs.Arg(0), prog, opts, 20)
+		if err != nil {
+			fmt.Fprintf(stderr, "psan: %v\n", err)
+			return 2
+		}
+		for _, a := range result.Applied {
+			fmt.Fprintf(stdout, "// %s\n", a)
+		}
+		fmt.Fprint(stdout, lang.Format(result.Program))
+		if !result.Clean {
+			fmt.Fprintln(stderr, "psan: program still reports violations after repair")
+			return 1
+		}
+		return 0
+	}
+	res := explore.Run(compiled, opts)
+	fmt.Fprintln(stdout, res)
+	for i, v := range res.Violations {
+		fmt.Fprintf(stdout, "\n[%d] %s", i+1, v)
+	}
+	if len(res.Violations) > 0 {
+		return 1
+	}
+	fmt.Fprintln(stdout, "no robustness violations found")
+	return 0
+}

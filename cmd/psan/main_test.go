@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// cli runs the command with args, returning exit code and both streams.
+func cli(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestCLIFindsFigure2(t *testing.T) {
+	code, out, _ := cli(t, "-mode", "mc", "../../testdata/figure2.pm")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (violations found)\n%s", code, out)
+	}
+	for _, want := range []string{"robustness violation", "missing flush", "fix: insert flush+drain"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLICleanProgram(t *testing.T) {
+	code, out, _ := cli(t, "-mode", "mc", "../../testdata/figure2_fixed.pm")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "no robustness violations found") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestCLIFix(t *testing.T) {
+	code, out, errOut := cli(t, "-fix", "-mode", "mc", "../../testdata/figure2.pm")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "flushopt x;") || !strings.Contains(out, "sfence;") {
+		t.Fatalf("repaired program missing flushes:\n%s", out)
+	}
+	if !strings.Contains(out, "// inserted") {
+		t.Fatalf("fix log missing:\n%s", out)
+	}
+}
+
+func TestCLITrace(t *testing.T) {
+	code, out, _ := cli(t, "-trace", "../../testdata/figure2.pm")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, want := range []string{"sub-execution e1", "crash C1", "events:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIRandomMode(t *testing.T) {
+	code, out, _ := cli(t, "-mode", "random", "-execs", "300", "-seed", "5", "../../testdata/figure7.pm")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "x = 1") {
+		t.Fatalf("Figure 7 bug not localized:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if code, _, _ := cli(t); code != 2 {
+		t.Fatal("missing file must exit 2")
+	}
+	if code, _, errOut := cli(t, "nonexistent.pm"); code != 2 || !strings.Contains(errOut, "psan:") {
+		t.Fatalf("unreadable file must exit 2: %d %q", code, errOut)
+	}
+	if code, _, _ := cli(t, "-mode", "bogus", "../../testdata/figure2.pm"); code != 2 {
+		t.Fatal("bad mode must exit 2")
+	}
+}
+
+func TestCLIDump(t *testing.T) {
+	code, out, _ := cli(t, "-dump", "-mode", "mc", "../../testdata/sameline.pm")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(out, "sameline x y;") {
+		t.Fatalf("dump missing structure:\n%s", out)
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Checking
+// Robustness to Weak Persistency Models" (Gorjiara, Luo, Lee, Xu,
+// Demsky; PLDI 2022): the PSan robustness checker, the Px86 persistency
+// simulator and exploration harness it runs on, the Figure 9 test
+// language, and Go ports of the paper's benchmark suite.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for reproduced results. The
+// root bench targets (go test -bench .) regenerate the paper's tables;
+// cmd/psan, cmd/psan-litmus, and cmd/psan-bench are the entry points.
+package repro

@@ -1,0 +1,185 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+const (
+	addrX = memmodel.Addr(0x2000)
+	addrY = memmodel.Addr(0x3000)
+)
+
+// readValue picks the candidate with the given value (or the initial
+// store) and performs the load.
+func readValue(t *testing.T, w *pmem.World, th memmodel.ThreadID, a memmodel.Addr, want memmodel.Value, initial bool, loc string) {
+	t.Helper()
+	for _, c := range w.M.LoadCandidates(th, a) {
+		if c.Store.Initial == initial && (initial || c.Store.Value == want) {
+			w.M.Load(th, a, c, loc)
+			w.Checker.ObserveRead(th, a, c.Store, loc)
+			return
+		}
+	}
+	t.Fatalf("no candidate %d (initial=%v) at %s", want, initial, a)
+}
+
+// Figure 1 with the missing data flush: the commit store persisted but
+// the data did not — Witcher's dependence heuristic catches this shape
+// (fresh read guards a stale read).
+func TestWitcherFindsCommitStoreBug(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	th.Store(addrY, 42, "tmp->data=42") // missing flush
+	th.Store(addrX, 1, "ptr->child=tmp")
+	th.Flush(addrX, "clflush child")
+	w.Crash()
+	readValue(t, w, 0, addrX, 1, false, "read child")
+	readValue(t, w, 0, addrY, 0, true, "read data")
+	fs := Witcher(w.M.Trace())
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want 1", fs)
+	}
+	if fs[0].Earlier.Loc != "tmp->data=42" || fs[0].Later.Loc != "ptr->child=tmp" {
+		t.Fatalf("finding = %v", fs[0])
+	}
+}
+
+// The Figure 7 shape: the stale read comes BEFORE the fresh read in the
+// post-crash program, so there is no dependence chain — the heuristic
+// misses the bug that PSan reports (§6.4: PSan reported 31 bugs Witcher
+// could not find).
+func TestWitcherMissesFigure7Shape(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	t0, t1 := w.Thread(0), w.Thread(1)
+	t0.Store(addrX, 1, "x=1")
+	// Thread 1 observes x and publishes y with a flush.
+	r1 := t1.Load(addrX, "r1=x")
+	t1.Store(addrY, r1, "y=r1")
+	t1.Flush(addrY, "flush y")
+	w.Crash()
+	// Post-crash: stale read first, fresh read second.
+	readValue(t, w, 0, addrX, 0, true, "r2=x")
+	readValue(t, w, 0, addrY, 1, false, "r3=y")
+	if fs := Witcher(w.M.Trace()); len(fs) != 0 {
+		t.Fatalf("heuristic unexpectedly found: %v", fs)
+	}
+	// PSan does find it.
+	if len(w.Checker.Violations()) != 1 {
+		t.Fatalf("PSan violations = %d, want 1", len(w.Checker.Violations()))
+	}
+}
+
+// A robust execution (Figure 6): no findings from the heuristic.
+func TestWitcherNoFalsePositiveOnRobust(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	t0, t1 := w.Thread(0), w.Thread(1)
+	t0.Store(addrX, 1, "x=1")
+	t1.Store(addrY, 1, "y=1")
+	t1.Flush(addrY, "flush y")
+	w.Crash()
+	readValue(t, w, 0, addrY, 1, false, "r2=y")
+	readValue(t, w, 0, addrX, 0, true, "r1=x")
+	if fs := Witcher(w.M.Trace()); len(fs) != 0 {
+		t.Fatalf("false positive on robust execution: %v", fs)
+	}
+}
+
+func TestWitcherDedup(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	th.Store(addrY, 42, "data")
+	th.Store(addrX, 1, "commit")
+	th.Flush(addrX, "flush commit")
+	w.Crash()
+	readValue(t, w, 0, addrX, 1, false, "read commit")
+	readValue(t, w, 0, addrY, 0, true, "read data")
+	readValue(t, w, 0, addrY, 0, true, "read data again")
+	if fs := Witcher(w.M.Trace()); len(fs) != 1 {
+		t.Fatalf("findings = %v, want 1 (deduplicated)", fs)
+	}
+}
+
+func TestPmemcheckReportsUnflushedStores(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	th.Store(addrX, 1, "flushed store")
+	th.Flush(addrX, "clflush")
+	th.Store(addrY, 2, "unflushed store")
+	w.Crash()
+	us := Pmemcheck(w.M.Trace())
+	if len(us) != 1 {
+		t.Fatalf("reports = %v, want 1", us)
+	}
+	if us[0].Store.Loc != "unflushed store" {
+		t.Fatalf("report = %v", us[0])
+	}
+}
+
+func TestPmemcheckFlushOptNeedsDrain(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	th.Store(addrX, 1, "a")
+	th.FlushOpt(addrX, "flushopt a") // no drain: not guaranteed
+	th.Store(addrY, 2, "b")
+	th.FlushOpt(addrY, "flushopt b")
+	th.SFence("sfence") // drains only what precedes it — both here
+	w.Crash()
+	if us := Pmemcheck(w.M.Trace()); len(us) != 0 {
+		t.Fatalf("reports = %v, want none (flushopt+sfence)", us)
+	}
+
+	w2 := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th2 := w2.Thread(0)
+	th2.Store(addrX, 1, "a")
+	th2.FlushOpt(addrX, "flushopt a")
+	// crash with no drain
+	w2.Crash()
+	if us := Pmemcheck(w2.M.Trace()); len(us) != 1 {
+		t.Fatalf("reports = %v, want 1 (flushopt without drain)", us)
+	}
+}
+
+// Pmemcheck is noisy: it flags stores the program never needs durable —
+// the false-positive class PSan's robustness condition avoids (§1.1:
+// "some persistent memory locations are used as temporary storage").
+func TestPmemcheckFlagsHarmlessTemporaries(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	th.Store(addrX, 7, "scratch never read after crash")
+	w.Crash()
+	// Post-crash code never reads addrX.
+	if us := Pmemcheck(w.M.Trace()); len(us) != 1 {
+		t.Fatalf("reports = %v, want the noisy temporary", us)
+	}
+	if n := len(w.Checker.Violations()); n != 0 {
+		t.Fatalf("PSan violations = %d, want 0 (robust execution)", n)
+	}
+}
+
+func TestAssertOracle(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	if got := AssertOracle(w); len(got) != 0 {
+		t.Fatalf("failures = %v, want none", got)
+	}
+	w.RecordAssertFailure("assert(r==1) @3:5")
+	if got := AssertOracle(w); len(got) != 1 || got[0] != "assert(r==1) @3:5" {
+		t.Fatalf("failures = %v", got)
+	}
+}
+
+// RMW operations count as drains for flushopt completion.
+func TestPmemcheckRMWCompletesFlushOpt(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	th.Store(addrX, 1, "a")
+	th.FlushOpt(addrX, "flushopt a")
+	th.FAA(addrY, 1, "faa drain") // locked RMW drains
+	th.Flush(addrY, "flush y")    // cover the faa's own store
+	w.Crash()
+	if us := Pmemcheck(w.M.Trace()); len(us) != 0 {
+		t.Fatalf("reports = %v, want none", us)
+	}
+}

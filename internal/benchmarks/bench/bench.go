@@ -1,0 +1,121 @@
+// Package bench defines the common shape of the benchmark ports used in
+// the paper's evaluation (§6.1): CCEH, FAST_FAIR, the RECIPE indexes
+// (P-ART, P-BwTree, P-CLHT, P-Masstree), the PMDK examples, and the
+// Redis/memcached-style KV store.
+//
+// Each port reproduces the benchmark's *persistence skeleton* — the
+// sequence of stores, flushes, and fences around its data-structure
+// operations — with the paper's Table 2 bugs seeded at the analogous
+// code sites. Every port has a Buggy variant (bugs present, as shipped)
+// and a Fixed variant (PSan's suggested flushes applied), and declares
+// the violations PSan is expected to report so the harness can check
+// coverage row by row.
+package bench
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+// Variant selects whether a port runs with its seeded bugs or with the
+// fixes applied.
+type Variant int
+
+const (
+	// Buggy runs the port as the original benchmark shipped, with the
+	// Table 2 bugs present.
+	Buggy Variant = iota
+	// Fixed runs the port with PSan's suggested flushes/fences applied.
+	Fixed
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	if v == Fixed {
+		return "fixed"
+	}
+	return "buggy"
+}
+
+// ExpectedBug is one row of the paper's Table 2 (or one of the
+// memory-management violations discussed alongside it).
+type ExpectedBug struct {
+	// ID is the row number in Table 2; 0 for the extra memory-management
+	// violations (§6.2).
+	ID int
+	// Field is the memory location listed in the table.
+	Field string
+	// Cause is the table's "Cause of Robustness Violation" text.
+	Cause string
+	// LocSubstr matches the violation: a report counts for this row if
+	// its missing-flush store's location label contains this substring.
+	LocSubstr string
+	// MemMgmt marks the allocator/GC violations reported separately in
+	// §6.2.
+	MemMgmt bool
+	// Known marks bugs that prior tools had already reported (rows
+	// with * in Table 2).
+	Known bool
+}
+
+// Benchmark is one port: a named program family with expected bugs.
+type Benchmark struct {
+	// Name as it appears in the paper's tables.
+	Name string
+	// Expected lists the violations the Buggy variant must produce.
+	Expected []ExpectedBug
+	// Build constructs the exploration program for a variant.
+	Build func(v Variant) explore.Program
+	// PreferredMode is the exploration mode §6.1 uses for the benchmark
+	// (model checking for the indexes, random for the servers).
+	PreferredMode explore.Mode
+	// Executions is the exploration budget in random mode.
+	Executions int
+}
+
+// Coverage maps expected bugs to the violations that matched them.
+type Coverage struct {
+	Bug     ExpectedBug
+	Matches []*core.Violation
+}
+
+// MatchExpected checks which expected bugs the reported violations
+// cover. A violation matches a row when its missing-flush location
+// contains the row's substring.
+func MatchExpected(expected []ExpectedBug, violations []*core.Violation) (covered []Coverage, missed []ExpectedBug) {
+	for _, eb := range expected {
+		var ms []*core.Violation
+		for _, v := range violations {
+			if strings.Contains(v.MissingFlush.Loc, eb.LocSubstr) {
+				ms = append(ms, v)
+			}
+		}
+		if len(ms) > 0 {
+			covered = append(covered, Coverage{Bug: eb, Matches: ms})
+		} else {
+			missed = append(missed, eb)
+		}
+	}
+	return covered, missed
+}
+
+// UnexpectedViolations returns the violations that match no expected
+// row — useful to keep Fixed variants honest and reports tidy.
+func UnexpectedViolations(expected []ExpectedBug, violations []*core.Violation) []*core.Violation {
+	var out []*core.Violation
+	for _, v := range violations {
+		matched := false
+		for _, eb := range expected {
+			if strings.Contains(v.MissingFlush.Loc, eb.LocSubstr) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			out = append(out, v)
+		}
+	}
+	return out
+}

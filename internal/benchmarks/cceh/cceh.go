@@ -1,0 +1,258 @@
+// Package cceh ports CCEH (Cacheline-Conscious Extendible Hashing,
+// Nam et al., FAST '19), the persistent hash table the paper evaluates
+// first. The port reproduces the persistence skeleton of the original:
+// a root object pointing at a directory of segment pointers, segments
+// holding (key, value) slot pairs guarded by a PM-resident lock word
+// (sema), insertion under the lock, and recovery by walking the
+// directory.
+//
+// The Buggy variant seeds rows #1–#6 of the paper's Table 2:
+//
+//	#1 sema            locking sema in Segment::Insert
+//	#2 sema            unlocking sema in Segment::Insert
+//	#3 key             writing to key in Segment::Insert
+//	#4 Directory::_[i] writing to _[i] in CCEH constructor
+//	#5 Directory::_    writing to _ in CCEH constructor
+//	#6 CCEH            writing to CCEH fields in CCEH constructor
+//
+// The Fixed variant persists each of those stores with clflushopt +
+// sfence, which is the repair PSan suggests.
+package cceh
+
+import (
+	"fmt"
+
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+const (
+	// nSegments is the initial directory capacity.
+	nSegments = 2
+	// nSlots is the number of (key, value) pairs per segment.
+	nSlots = 4
+
+	// Root object field offsets.
+	rootDirOff   = 0
+	rootDepthOff = 8
+
+	// Directory field offsets: the segment-pointer array pointer (the
+	// original's `Segment** _`) and the capacity.
+	dirArrOff = 0
+	dirCapOff = 8
+
+	// Segment field offsets. The lock word and metadata live on the
+	// segment's first cache line; the slot pairs start on the next line,
+	// as in the original's large (16 KiB) segments where the lock and
+	// the slot array never share a line.
+	segSemaOff  = 0
+	segDepthOff = 8
+	segPairsOff = memmodel.CacheLineSize
+)
+
+// hashTable is the runtime handle for one simulated CCEH instance.
+type hashTable struct {
+	v bench.Variant
+}
+
+// persistIfFixed makes a store durable only in the Fixed variant — it
+// marks the exact store sites Table 2 reports.
+func (h *hashTable) persistIfFixed(th *pmem.Thread, a memmodel.Addr, size int, loc string) {
+	if h.v == bench.Fixed {
+		th.Persist(a, size, loc)
+	}
+}
+
+// pairAddr returns the address of slot i's key word; the value word
+// follows it.
+func pairAddr(seg memmodel.Addr, i int) memmodel.Addr {
+	return seg + segPairsOff + memmodel.Addr(i*2*memmodel.WordSize)
+}
+
+// segmentFor picks the directory slot for a key at the initial global
+// depth (the port's "hash" uses the key's low bits; see segIndex for
+// the depth-aware form the dynamic paths use).
+func segmentFor(key memmodel.Value) int { return int(key) % nSegments }
+
+// create is the CCEH constructor: it allocates segments, the directory,
+// and initializes the root object. Bugs #4, #5, and #6 live here.
+func (h *hashTable) create(th *pmem.Thread) {
+	w := th.World()
+	// Allocate and initialize the segments. localDepth initialization is
+	// not one of the reported bugs, so both variants persist it.
+	segs := make([]memmodel.Addr, nSegments)
+	for i := range segs {
+		segs[i] = w.Heap.AllocLines(3)
+		th.Store(segs[i]+segDepthOff, 1, "Segment::local_depth in Segment()")
+		th.Persist(segs[i]+segDepthOff, memmodel.WordSize, "persist Segment::local_depth")
+	}
+	// Directory: the segment-pointer array plus the directory object.
+	arr := w.Heap.AllocLines(1)
+	for i, seg := range segs {
+		slot := arr + memmodel.Addr(i*memmodel.WordSize)
+		th.Store(slot, memmodel.Value(seg), "Directory::_[i] in CCEH constructor") // bug #4
+		h.persistIfFixed(th, slot, memmodel.WordSize, "persist Directory::_[i]")
+	}
+	dir := w.Heap.AllocLines(1)
+	th.Store(dir+dirArrOff, memmodel.Value(arr), "Directory::_ in CCEH constructor") // bug #5
+	h.persistIfFixed(th, dir+dirArrOff, memmodel.WordSize, "persist Directory::_")
+	// The original constructor flushes nothing in the Directory; the
+	// capacity store shares `_`'s fate (and cache line).
+	th.Store(dir+dirCapOff, nSegments, "Directory::capacity in CCEH constructor")
+	h.persistIfFixed(th, dir+dirCapOff, memmodel.WordSize, "persist Directory::capacity")
+	// Root object (the CCEH class fields). Bug #6.
+	th.Store(pmem.RootAddr+rootDirOff, memmodel.Value(dir), "CCEH::dir in CCEH constructor")
+	th.Store(pmem.RootAddr+rootDepthOff, 1, "CCEH::global_depth in CCEH constructor")
+	h.persistIfFixed(th, pmem.RootAddr, 2*memmodel.WordSize, "persist CCEH fields")
+}
+
+// insert adds (key, value) under the segment lock: Segment::Insert.
+// Bugs #1 (lock), #2 (unlock), and #3 (key) live here.
+func (h *hashTable) insert(th *pmem.Thread, key, value memmodel.Value) bool {
+	dir, arr, depth := loadDir(th)
+	if dir == 0 || arr == 0 {
+		return false
+	}
+	seg := memmodel.Addr(th.Load(arr+memmodel.Addr(segIndex(key, depth)*memmodel.WordSize), "read Directory::_[i] in Insert"))
+	if seg == 0 {
+		return false
+	}
+
+	// Acquire the PM-resident lock. The lock word's cache line is never
+	// flushed in the original — bug #1.
+	for {
+		if _, ok := th.CAS(seg+segSemaOff, 0, 1, "Segment::sema lock in Segment::Insert"); ok {
+			break
+		}
+	}
+	h.persistIfFixed(th, seg+segSemaOff, memmodel.WordSize, "persist sema lock")
+
+	ok := false
+	for i := 0; i < nSlots; i++ {
+		pa := pairAddr(seg, i)
+		if th.Load(pa, "read slot key in Segment::Insert") == 0 {
+			// Write the value first and persist it, then publish the
+			// key. The key store is missing its flush — bug #3.
+			th.Store(pa+memmodel.WordSize, value, "entry value in Segment::Insert")
+			th.Persist(pa+memmodel.WordSize, memmodel.WordSize, "persist entry value")
+			th.Store(pa, key, "key in Segment::Insert") // bug #3
+			h.persistIfFixed(th, pa, memmodel.WordSize, "persist key")
+			ok = true
+			break
+		}
+	}
+
+	// Release the lock; also unflushed in the original — bug #2.
+	th.Store(seg+segSemaOff, 0, "Segment::sema unlock in Segment::Insert")
+	h.persistIfFixed(th, seg+segSemaOff, memmodel.WordSize, "persist sema unlock")
+	return ok
+}
+
+// get looks a key up; used by the recovery phase.
+func (h *hashTable) get(th *pmem.Thread, key memmodel.Value) (memmodel.Value, bool) {
+	dir := memmodel.Addr(th.Load(pmem.RootAddr+rootDirOff, "read CCEH::dir in Get"))
+	if dir == 0 {
+		return 0, false
+	}
+	arr := memmodel.Addr(th.Load(dir+dirArrOff, "read Directory::_ in Get"))
+	if arr == 0 {
+		return 0, false
+	}
+	depth := int(th.Load(pmem.RootAddr+rootDepthOff, "read CCEH::global_depth in Get"))
+	if depth < 1 || depth > maxGlobalDepth {
+		return 0, false
+	}
+	seg := memmodel.Addr(th.Load(arr+memmodel.Addr(segIndex(key, depth)*memmodel.WordSize), "read Directory::_[i] in Get"))
+	if seg == 0 {
+		return 0, false
+	}
+	for i := 0; i < nSlots; i++ {
+		pa := pairAddr(seg, i)
+		if th.Load(pa, "read key in Get") == key {
+			return th.Load(pa+memmodel.WordSize, "read value in Get"), true
+		}
+	}
+	return 0, false
+}
+
+// recover walks the whole structure the way CCEH's directory recovery
+// does, touching every persistent field so stale state is observable.
+func (h *hashTable) recover(th *pmem.Thread) {
+	th.Load(pmem.RootAddr+rootDepthOff, "read CCEH::global_depth in Recovery")
+	dir := memmodel.Addr(th.Load(pmem.RootAddr+rootDirOff, "read CCEH::dir in Recovery"))
+	if dir == 0 {
+		return
+	}
+	arr := memmodel.Addr(th.Load(dir+dirArrOff, "read Directory::_ in Recovery"))
+	cap := int(th.Load(dir+dirCapOff, "read Directory::capacity in Recovery"))
+	if arr == 0 || cap <= 0 || cap > maxDirCap {
+		return
+	}
+	for i := 0; i < cap; i++ {
+		seg := memmodel.Addr(th.Load(arr+memmodel.Addr(i*memmodel.WordSize), "read Directory::_[i] in Recovery"))
+		if seg == 0 {
+			continue
+		}
+		th.Load(seg+segDepthOff, "read Segment::local_depth in Recovery")
+		th.Load(seg+segSemaOff, "read Segment::sema in Recovery")
+		for s := 0; s < nSlots; s++ {
+			pa := pairAddr(seg, s)
+			k := th.Load(pa, "read key in Recovery")
+			if k != 0 {
+				v := th.Load(pa+memmodel.WordSize, "read value in Recovery")
+				if v == 0 {
+					th.World().RecordAssertFailure(fmt.Sprintf("CCEH: key %d present with zero value", uint64(k)))
+				}
+			}
+		}
+		// Re-check the lock word after touching the slots: CCEH's
+		// recovery clears stale locks, and the second read is where a
+		// stale sema becomes observable alongside fresh slot data.
+		th.Load(seg+segSemaOff, "re-read Segment::sema in Recovery")
+	}
+	for k := memmodel.Value(10); k < 10+2*nSegments; k++ {
+		h.get(th, k)
+	}
+}
+
+// Build constructs the exploration program for a variant: one pre-crash
+// phase (constructor + four inserts) and a recovery phase.
+func Build(v bench.Variant) explore.Program {
+	h := &hashTable{v: v}
+	return &explore.FuncProgram{
+		ProgName: "CCEH-" + v.String(),
+		PhaseFns: []func(*pmem.World){
+			func(w *pmem.World) {
+				th := w.Thread(0)
+				h.create(th)
+				for k := memmodel.Value(10); k < 10+2*nSegments; k++ {
+					h.insert(th, k, k*100)
+				}
+			},
+			func(w *pmem.World) {
+				h.recover(w.Thread(0))
+			},
+		},
+	}
+}
+
+// Benchmark describes the port for the evaluation harness.
+func Benchmark() *bench.Benchmark {
+	return &bench.Benchmark{
+		Name: "CCEH",
+		Expected: []bench.ExpectedBug{
+			{ID: 1, Field: "sema", Cause: "locking sema in Segment::Insert", LocSubstr: "sema lock in Segment::Insert"},
+			{ID: 2, Field: "sema", Cause: "unlocking sema in Segment::Insert", LocSubstr: "sema unlock in Segment::Insert"},
+			{ID: 3, Field: "key", Cause: "writing to key in Segment::Insert", LocSubstr: "key in Segment::Insert", Known: true},
+			{ID: 4, Field: "Directory::_[i]", Cause: "writing to _[i] in CCEH constructor", LocSubstr: "Directory::_[i] in CCEH constructor", Known: true},
+			{ID: 5, Field: "Directory::_", Cause: "writing to _ in CCEH constructor", LocSubstr: "Directory::_ in CCEH constructor", Known: true},
+			{ID: 5, Field: "Directory::capacity", Cause: "writing to capacity in CCEH constructor (same object write as #5)", LocSubstr: "Directory::capacity in CCEH constructor", Known: true},
+			{ID: 6, Field: "CCEH", Cause: "writing to CCEH fields in CCEH constructor", LocSubstr: "CCEH::", Known: true},
+		},
+		Build:         Build,
+		PreferredMode: explore.Random,
+		Executions:    400,
+	}
+}

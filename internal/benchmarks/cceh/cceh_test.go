@@ -1,0 +1,176 @@
+package cceh
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+// TestFunctionalInsertGet checks the data structure works when nothing
+// crashes.
+func TestFunctionalInsertGet(t *testing.T) {
+	h := &hashTable{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	h.create(th)
+	for k := memmodel.Value(10); k < 14; k++ {
+		if !h.insert(th, k, k*100) {
+			t.Fatalf("insert(%d) failed", k)
+		}
+	}
+	for k := memmodel.Value(10); k < 14; k++ {
+		v, ok := h.get(th, k)
+		if !ok || v != k*100 {
+			t.Fatalf("get(%d) = (%d, %v), want (%d, true)", k, v, ok, k*100)
+		}
+	}
+	if _, ok := h.get(th, 99); ok {
+		t.Fatal("get(99) should miss")
+	}
+}
+
+// TestSegmentFull checks insert reports failure once a segment's slots
+// are exhausted (the port does not implement directory doubling).
+func TestSegmentFull(t *testing.T) {
+	h := &hashTable{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	h.create(th)
+	for i := 0; i < nSlots; i++ {
+		if !h.insert(th, memmodel.Value(2*i+2), 1) { // all even keys: segment 0
+			t.Fatalf("insert %d failed early", i)
+		}
+	}
+	if h.insert(th, 100, 1) {
+		t.Fatal("insert into full segment should fail")
+	}
+}
+
+// TestBuggyVariantReportsTable2Rows runs the buggy port under random
+// exploration and checks every Table 2 row (#1–#6) is reported.
+func TestBuggyVariantReportsTable2Rows(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Buggy), explore.Options{
+		Mode:       explore.Random,
+		Executions: b.Executions,
+		Seed:       1,
+	})
+	covered, missed := bench.MatchExpected(b.Expected, res.Violations)
+	if len(missed) != 0 {
+		t.Fatalf("missed rows: %+v\nfound: %v", missed, res.ViolationKeys())
+	}
+	if len(covered) != len(b.Expected) {
+		t.Fatalf("covered %d of %d rows", len(covered), len(b.Expected))
+	}
+}
+
+// TestFixedVariantIsClean applies PSan's suggested fixes and re-runs:
+// no violations may remain (§6.2: "we simply applied PSan's suggestions
+// and reran the program until no robustness violations were reported").
+func TestFixedVariantIsClean(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Fixed), explore.Options{
+		Mode:       explore.Random,
+		Executions: b.Executions,
+		Seed:       1,
+	})
+	if len(res.Violations) != 0 {
+		t.Fatalf("fixed variant still reports: %v", res.ViolationKeys())
+	}
+}
+
+// TestRecoveryNeverPanics: whatever the crash point and read choices,
+// recovery must handle the surviving image (nil pointers, zero keys).
+func TestRecoveryNeverPanics(t *testing.T) {
+	for _, v := range []bench.Variant{bench.Buggy, bench.Fixed} {
+		res := explore.Run(Build(v), explore.Options{
+			Mode:       explore.Random,
+			Executions: 150,
+			Seed:       99,
+		})
+		if res.Aborted != 0 {
+			t.Fatalf("%v: %d aborted executions", v, res.Aborted)
+		}
+	}
+}
+
+// Dynamic hashing: overflowing a segment splits it; local depths catch
+// up with the global depth and force directory doubling; every key
+// stays findable afterwards.
+func TestSegmentSplitAndDirectoryDoubling(t *testing.T) {
+	h := &hashTable{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	h.create(th)
+	// Even keys all hash to slot 0 at depth 1: five of them overflow the
+	// 4-slot segment and force a split (and doubling, since local depth
+	// equals global depth).
+	keys := []memmodel.Value{2, 4, 6, 8, 10, 12, 3, 5, 7}
+	for _, k := range keys {
+		if !h.Insert(th, k, k*100) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+	}
+	if depth := th.Load(pmem.RootAddr+rootDepthOff, "depth"); depth < 2 {
+		t.Fatalf("global_depth = %d, want >= 2 (directory doubled)", depth)
+	}
+	dir := memmodel.Addr(th.Load(pmem.RootAddr+rootDirOff, "dir"))
+	if cap := th.Load(dir+dirCapOff, "cap"); cap < 4 {
+		t.Fatalf("capacity = %d, want >= 4", cap)
+	}
+	for _, k := range keys {
+		v, ok := h.get(th, k)
+		if !ok || v != k*100 {
+			t.Fatalf("get(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+	if _, ok := h.get(th, 99); ok {
+		t.Fatal("get(99) should miss")
+	}
+}
+
+// After a split, the two new segments partition the old keys by the new
+// depth bit — no key is lost or duplicated.
+func TestSplitRedistributesExactly(t *testing.T) {
+	h := &hashTable{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	h.create(th)
+	for _, k := range []memmodel.Value{2, 4, 6, 8} { // fill slot-0 segment
+		h.Insert(th, k, k)
+	}
+	h.Insert(th, 10, 10) // overflow: split + doubling
+	count := 0
+	for _, k := range []memmodel.Value{2, 4, 6, 8, 10} {
+		if _, ok := h.get(th, k); ok {
+			count++
+		}
+	}
+	if count != 5 {
+		t.Fatalf("found %d of 5 keys after split", count)
+	}
+}
+
+// The dynamic driver (splits + doubling) still reports the constructor
+// and Segment::Insert rows and stays clean when fixed.
+func TestDynamicDriverDetection(t *testing.T) {
+	res := explore.Run(BuildDynamic(bench.Buggy), explore.Options{
+		Mode: explore.Random, Executions: 400, Seed: 41,
+	})
+	_, missed := bench.MatchExpected(Benchmark().Expected, res.Violations)
+	if len(missed) != 0 {
+		t.Fatalf("dynamic driver missed rows: %+v", missed)
+	}
+	clean := explore.Run(BuildDynamic(bench.Fixed), explore.Options{
+		Mode: explore.Random, Executions: 400, Seed: 41,
+	})
+	if len(clean.Violations) != 0 {
+		t.Fatalf("fixed dynamic driver reports: %v", clean.ViolationKeys())
+	}
+	if res.Aborted != 0 || clean.Aborted != 0 {
+		t.Fatalf("aborted executions: %d/%d", res.Aborted, clean.Aborted)
+	}
+}

@@ -1,0 +1,160 @@
+package cceh
+
+import (
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+// This file implements CCEH's extendible-hashing machinery: segment
+// splits with local depths and directory doubling — the paths that make
+// CCEH "dynamic". The split and doubling stores follow the original's
+// discipline (they are flushed: CCEH gets these right); the seeded
+// Table 2 bugs remain in the constructor and Segment::Insert.
+
+const (
+	// maxGlobalDepth bounds the directory for the simulated workloads.
+	maxGlobalDepth = 3
+	maxDirCap      = 1 << maxGlobalDepth
+)
+
+// segIndex picks the directory slot for a key at the given depth (the
+// port's hash uses the low bits directly).
+func segIndex(key memmodel.Value, depth int) int {
+	return int(key) & (1<<depth - 1)
+}
+
+// loadDir reads the current directory pointers.
+func loadDir(th *pmem.Thread) (dir, arr memmodel.Addr, depth int) {
+	dir = memmodel.Addr(th.Load(pmem.RootAddr+rootDirOff, "read CCEH::dir in Insert"))
+	depth = int(th.Load(pmem.RootAddr+rootDepthOff, "read CCEH::global_depth in Insert"))
+	if dir != 0 {
+		arr = memmodel.Addr(th.Load(dir+dirArrOff, "read Directory::_ in Insert"))
+	}
+	return dir, arr, depth
+}
+
+// allocSegment builds an empty segment with the given local depth; its
+// initialization is persisted, as in create.
+func (h *hashTable) allocSegment(th *pmem.Thread, localDepth int) memmodel.Addr {
+	seg := th.World().Heap.AllocLines(3)
+	th.Store(seg+segDepthOff, memmodel.Value(localDepth), "Segment::local_depth in Segment()")
+	th.Persist(seg+segDepthOff, memmodel.WordSize, "persist Segment::local_depth")
+	return seg
+}
+
+// splitSegment replaces a full segment with two depth+1 segments,
+// redistributing its pairs, and rewrites the directory slots that
+// pointed at it. The original persists this whole path (its correctness
+// depends on it), and so does the port — in both variants.
+func (h *hashTable) splitSegment(th *pmem.Thread, seg memmodel.Addr, globalDepth int, arr memmodel.Addr) {
+	local := int(th.Load(seg+segDepthOff, "read Segment::local_depth in split"))
+	s0 := h.allocSegment(th, local+1)
+	s1 := h.allocSegment(th, local+1)
+	// Redistribute the old pairs by the new depth bit.
+	counts := [2]int{}
+	for i := 0; i < nSlots; i++ {
+		pa := pairAddr(seg, i)
+		k := th.Load(pa, "read key in split")
+		if k == 0 {
+			continue
+		}
+		v := th.Load(pa+memmodel.WordSize, "read value in split")
+		bit := (int(k) >> local) & 1
+		target := s0
+		if bit == 1 {
+			target = s1
+		}
+		npa := pairAddr(target, counts[bit])
+		counts[bit]++
+		th.Store(npa+memmodel.WordSize, v, "entry value in Segment::Split")
+		th.Store(npa, k, "key in Segment::Split")
+		th.Persist(npa, 2*memmodel.WordSize, "persist split pair")
+	}
+	// Rewrite every directory slot that referenced the old segment.
+	cap := 1 << globalDepth
+	for i := 0; i < cap; i++ {
+		slot := arr + memmodel.Addr(i*memmodel.WordSize)
+		if memmodel.Addr(th.Load(slot, "read Directory::_[i] in split")) != seg {
+			continue
+		}
+		target := s0
+		if (i>>local)&1 == 1 {
+			target = s1
+		}
+		th.Store(slot, memmodel.Value(target), "Directory::_[i] in Directory::Update")
+		th.Persist(slot, memmodel.WordSize, "persist Directory::_[i] update")
+	}
+}
+
+// doubleDirectory grows the directory when a segment's local depth has
+// reached the global depth: a new array twice the size, each old slot
+// duplicated, then the directory and root are republished durably.
+func (h *hashTable) doubleDirectory(th *pmem.Thread, dir, arr memmodel.Addr, globalDepth int) (memmodel.Addr, int) {
+	newDepth := globalDepth + 1
+	newCap := 1 << newDepth
+	newArr := th.World().Heap.AllocLines((newCap*memmodel.WordSize + memmodel.CacheLineSize - 1) / memmodel.CacheLineSize)
+	for i := 0; i < newCap; i++ {
+		old := th.Load(arr+memmodel.Addr((i&(1<<globalDepth-1))*memmodel.WordSize), "read Directory::_[i] in doubling")
+		th.Store(newArr+memmodel.Addr(i*memmodel.WordSize), old, "Directory::_[i] in Directory doubling")
+	}
+	th.Persist(newArr, newCap*memmodel.WordSize, "persist doubled directory array")
+	th.Store(dir+dirArrOff, memmodel.Value(newArr), "Directory::_ in Directory doubling")
+	th.Store(dir+dirCapOff, memmodel.Value(newCap), "Directory::capacity in Directory doubling")
+	th.Persist(dir+dirArrOff, 2*memmodel.WordSize, "persist doubled directory header")
+	th.Store(pmem.RootAddr+rootDepthOff, memmodel.Value(newDepth), "CCEH::global_depth in Directory doubling")
+	th.Persist(pmem.RootAddr+rootDepthOff, memmodel.WordSize, "persist doubled global_depth")
+	return newArr, newDepth
+}
+
+// Insert is the full CCEH insert: locate the segment, try the slot
+// insert, and on a full segment split (doubling the directory first
+// when the local depth has caught up), then retry.
+func (h *hashTable) Insert(th *pmem.Thread, key, value memmodel.Value) bool {
+	for attempt := 0; attempt < 4; attempt++ {
+		if h.insert(th, key, value) {
+			return true
+		}
+		dir, arr, depth := loadDir(th)
+		if dir == 0 || arr == 0 {
+			return false
+		}
+		seg := memmodel.Addr(th.Load(arr+memmodel.Addr(segIndex(key, depth)*memmodel.WordSize), "read Directory::_[i] in split path"))
+		if seg == 0 {
+			return false
+		}
+		local := int(th.Load(seg+segDepthOff, "read Segment::local_depth in split path"))
+		if local >= depth {
+			if depth >= maxGlobalDepth {
+				return false
+			}
+			arr, depth = h.doubleDirectory(th, dir, arr, depth)
+		}
+		h.splitSegment(th, seg, depth, arr)
+	}
+	return false
+}
+
+// BuildDynamic is the exploration program exercising splits and
+// doubling: enough inserts to overflow a segment, split it, and double
+// the directory, followed by the standard recovery walk.
+func BuildDynamic(v bench.Variant) explore.Program {
+	h := &hashTable{v: v}
+	keys := []memmodel.Value{2, 4, 6, 8, 10, 12, 3, 5, 7}
+	return &explore.FuncProgram{
+		ProgName: "CCEH-dynamic-" + v.String(),
+		PhaseFns: []func(*pmem.World){
+			func(w *pmem.World) {
+				th := w.Thread(0)
+				h.create(th)
+				for _, k := range keys {
+					h.Insert(th, k, k*100)
+				}
+			},
+			func(w *pmem.World) {
+				h.recover(w.Thread(0))
+			},
+		},
+	}
+}

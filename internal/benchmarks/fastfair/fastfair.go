@@ -1,0 +1,230 @@
+// Package fastfair ports FAST_FAIR (Hwang et al., FAST '18), the
+// persistent B+-tree the paper evaluates. The port reproduces the
+// persistence skeleton of a FAST_FAIR page: a header holding
+// leftmost_ptr, switch_counter, and last_index, plus a sorted entry
+// array written with failure-atomic shifts. Entries whose key and
+// pointer words straddle cache-line boundaries are modeled by splitting
+// the key and pointer arrays onto separate lines — which is exactly the
+// layout hazard behind the paper's alignment bug (#9): the header class
+// is larger than the developers expected, so fields they believed
+// shared a cache line (and hence persisted in TSO order) do not.
+//
+// Seeded bugs, rows #7–#13 of Table 2:
+//
+//	#7  switch_counter  incrementing it in page::insert_key
+//	#8  last_index      updating it in page::insert_key
+//	#9  dummy           unalignment caused by header class
+//	#10 entry::ptr      writing to ptr in insert_key
+//	#11 entry::ptr      writing to ptr in entry constructor
+//	#12 leftmost_ptr    writing to leftmost_ptr in header constructor
+//	#13 btree::root     writing to root in btree constructor
+package fastfair
+
+import (
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+const (
+	// cardinality is the number of entries per page.
+	cardinality = 6
+
+	// Header line offsets (page line 0).
+	hdrLeftmostOff = 0
+	hdrSwitchOff   = 8
+	hdrLastIdxOff  = 16
+	// hdrDummyOff is the header's trailing padding word. The original
+	// code assumed the compiler placed it on the entry array's cache
+	// line; the actual C++ object layout leaves it on the header line.
+	hdrDummyOff = 24
+	// hdrSiblingOff is FAST_FAIR's right-sibling pointer, the hook its
+	// lock-free rebalancing hangs off; hdrLevelOff is the page's level
+	// (0 = leaf).
+	hdrSiblingOff = 32
+	hdrLevelOff   = 40
+
+	// Key and pointer array offsets (page lines 1 and 2): an entry's key
+	// and ptr words live on different cache lines.
+	keysOff = memmodel.CacheLineSize
+	ptrsOff = 2 * memmodel.CacheLineSize
+
+	// Driver metadata: a persisted operation counter the test driver
+	// updates after the workload, as FAST_FAIR's drivers do.
+	metaOpsAddr = pmem.RootAddr + 8*memmodel.WordSize
+)
+
+// tree is the runtime handle for one simulated FAST_FAIR instance.
+type tree struct {
+	v bench.Variant
+}
+
+func (t *tree) persistIfFixed(th *pmem.Thread, a memmodel.Addr, size int, loc string) {
+	if t.v == bench.Fixed {
+		th.Persist(a, size, loc)
+	}
+}
+
+func keyAddr(page memmodel.Addr, i int) memmodel.Addr {
+	return page + keysOff + memmodel.Addr(i*memmodel.WordSize)
+}
+
+func ptrAddr(page memmodel.Addr, i int) memmodel.Addr {
+	return page + ptrsOff + memmodel.Addr(i*memmodel.WordSize)
+}
+
+// newPage runs the page, header, and entry constructors for a fresh
+// page at the given level. Bugs #11 and #12 live here, so every page
+// the tree ever allocates (root, splits) carries them.
+func (t *tree) newPage(th *pmem.Thread, level int, leftmost memmodel.Addr) memmodel.Addr {
+	w := th.World()
+	page := w.Heap.AllocLines(3)
+	// header constructor: bug #12.
+	th.Store(page+hdrLeftmostOff, memmodel.Value(leftmost), "leftmost_ptr in header constructor")
+	t.persistIfFixed(th, page+hdrLeftmostOff, memmodel.WordSize, "persist leftmost_ptr")
+	// The counter initializations share the header line and are equally
+	// unflushed in the original constructor; flushing them would persist
+	// the whole line (leftmost_ptr included) and mask bug #12.
+	th.Store(page+hdrSwitchOff, 0, "switch_counter in header constructor init")
+	th.Store(page+hdrLastIdxOff, 0, "last_index in header constructor init")
+	t.persistIfFixed(th, page+hdrSwitchOff, 2*memmodel.WordSize, "persist header counters init")
+	// entry constructors: keys are persisted (the original flushes the
+	// page), but the ptr initialization is missing its flush — bug #11.
+	for i := 0; i < cardinality; i++ {
+		th.Store(keyAddr(page, i), 0, "entry::key in entry constructor")
+		th.Store(ptrAddr(page, i), 0, "entry::ptr in entry constructor") // bug #11
+		t.persistIfFixed(th, ptrAddr(page, i), memmodel.WordSize, "persist entry::ptr init")
+	}
+	th.Persist(keyAddr(page, 0), cardinality*memmodel.WordSize, "persist entry keys init")
+	// Sibling pointer and level share the header line; like the other
+	// header fields they are not flushed by the constructor (flushing
+	// them would persist the whole line and mask bug #12).
+	th.Store(page+hdrSiblingOff, 0, "sibling_ptr in header constructor")
+	th.Store(page+hdrLevelOff, memmodel.Value(level), "level in header constructor")
+	t.persistIfFixed(th, page+hdrSiblingOff, 2*memmodel.WordSize, "persist sibling and level")
+	return page
+}
+
+// create is the btree constructor: it allocates the root page and
+// publishes it — bug #13 (plus #11/#12 via the page constructor).
+func (t *tree) create(th *pmem.Thread) memmodel.Addr {
+	page := t.newPage(th, 0, 0)
+	th.Store(pmem.RootAddr, memmodel.Value(page), "btree::root in btree constructor")
+	t.persistIfFixed(th, pmem.RootAddr, memmodel.WordSize, "persist btree::root")
+	return page
+}
+
+// insertKey is page::insert_key: place the (key, ptr) pair in sorted
+// position using the FAST failure-atomic shift, bump switch_counter,
+// and update last_index. Bugs #7–#10 live here.
+func (t *tree) insertKey(th *pmem.Thread, page memmodel.Addr, key, ptr memmodel.Value) bool {
+	n := int(th.Load(page+hdrLastIdxOff, "read last_index in insert_key"))
+	if n >= cardinality {
+		return false
+	}
+	// Find the sorted position.
+	pos := n
+	for pos > 0 && th.Load(keyAddr(page, pos-1), "read key in insert_key shift scan") > key {
+		pos--
+	}
+	// FAST shift: move entries right, pointer word first, then the key
+	// word that republishes the slot — each shifted pointer store is
+	// another instance of bug #10.
+	for i := n; i > pos; i-- {
+		pv := th.Load(ptrAddr(page, i-1), "read ptr in insert_key shift")
+		kv := th.Load(keyAddr(page, i-1), "read key in insert_key shift")
+		th.Store(ptrAddr(page, i), pv, "entry::ptr in insert_key") // bug #10
+		t.persistIfFixed(th, ptrAddr(page, i), memmodel.WordSize, "persist shifted entry::ptr")
+		th.Store(keyAddr(page, i), kv, "entry::key in insert_key")
+		th.Persist(keyAddr(page, i), memmodel.WordSize, "persist shifted entry::key")
+	}
+	// Write the new entry: pointer first, then the key that makes it
+	// visible. The pointer word's cache line is never flushed — bug #10.
+	th.Store(ptrAddr(page, pos), ptr, "entry::ptr in insert_key") // bug #10
+	t.persistIfFixed(th, ptrAddr(page, pos), memmodel.WordSize, "persist entry::ptr")
+	th.Store(keyAddr(page, pos), key, "entry::key in insert_key")
+	th.Persist(keyAddr(page, pos), memmodel.WordSize, "persist entry::key")
+	// The header's trailing padding word: the original code relies on it
+	// sharing the entry line (no flush needed under same-line TSO
+	// persist order), but the C++ layout leaves it on the header line —
+	// bug #9.
+	th.Store(page+hdrDummyOff, key, "dummy in header class (page::insert_key)") // bug #9
+	t.persistIfFixed(th, page+hdrDummyOff, memmodel.WordSize, "persist dummy")
+	// FAIR bookkeeping — bugs #7 and #8.
+	sc := th.Load(page+hdrSwitchOff, "read switch_counter in insert_key")
+	th.Store(page+hdrSwitchOff, sc+1, "switch_counter in page::insert_key") // bug #7
+	t.persistIfFixed(th, page+hdrSwitchOff, memmodel.WordSize, "persist switch_counter")
+	th.Store(page+hdrLastIdxOff, memmodel.Value(n+1), "last_index in page::insert_key") // bug #8
+	t.persistIfFixed(th, page+hdrLastIdxOff, memmodel.WordSize, "persist last_index")
+	return true
+}
+
+// lookup is btree::search on the single-page tree.
+func (t *tree) lookup(th *pmem.Thread, page memmodel.Addr, key memmodel.Value) (memmodel.Value, bool) {
+	n := int(th.Load(page+hdrLastIdxOff, "read last_index in search"))
+	if n > cardinality {
+		n = cardinality
+	}
+	for i := 0; i < n; i++ {
+		if th.Load(keyAddr(page, i), "read entry::key in search") == key {
+			return th.Load(ptrAddr(page, i), "read entry::ptr in search"), true
+		}
+	}
+	return 0, false
+}
+
+// Build constructs the exploration program for a variant: the driver
+// inserts enough keys to split the root (exercising the multi-level
+// FAIR machinery) including one out-of-order key that drives the FAST
+// shift path, then recovery walks the whole tree.
+func Build(v bench.Variant) explore.Program {
+	t := &tree{v: v}
+	keys := []memmodel.Value{100, 101, 103, 104, 105, 106, 102, 107, 108}
+	return &explore.FuncProgram{
+		ProgName: "FAST_FAIR-" + v.String(),
+		PhaseFns: []func(*pmem.World){
+			func(w *pmem.World) {
+				th := w.Thread(0)
+				t.create(th)
+				// The driver records construction durably before the
+				// workload starts, as the original harness does.
+				th.Store(metaOpsAddr, 1, "driver ops marker")
+				th.Persist(metaOpsAddr, memmodel.WordSize, "persist driver ops marker")
+				for _, k := range keys {
+					t.Insert(th, k, k+1000)
+				}
+				// The driver records its progress durably, as the
+				// original test harness does.
+				th.Store(metaOpsAddr, memmodel.Value(len(keys)), "driver ops marker")
+				th.Persist(metaOpsAddr, memmodel.WordSize, "persist driver ops marker")
+			},
+			func(w *pmem.World) {
+				th := w.Thread(0)
+				t.walkRecover(th)
+				for _, k := range keys {
+					t.Search(th, k)
+				}
+			},
+		},
+	}
+}
+
+// Benchmark describes the port for the evaluation harness.
+func Benchmark() *bench.Benchmark {
+	return &bench.Benchmark{
+		Name: "FAST_FAIR",
+		Expected: []bench.ExpectedBug{
+			{ID: 7, Field: "switch_counter", Cause: "incrementing it in page::insert_key", LocSubstr: "switch_counter in page::insert_key"},
+			{ID: 8, Field: "last_index", Cause: "updating it in page::insert_key", LocSubstr: "last_index in page::insert_key"},
+			{ID: 9, Field: "dummy", Cause: "unalignment caused by header class", LocSubstr: "dummy in header class"},
+			{ID: 10, Field: "entry::ptr", Cause: "writing to ptr in insert_key", LocSubstr: "entry::ptr in insert_key"},
+			{ID: 11, Field: "entry::ptr", Cause: "writing to ptr in entry constructor", LocSubstr: "entry::ptr in entry constructor", Known: true},
+			{ID: 12, Field: "leftmost_ptr", Cause: "writing to leftmost_ptr in header constructor", LocSubstr: "leftmost_ptr in header constructor", Known: true},
+			{ID: 13, Field: "btree::root", Cause: "writing to root in btree constructor", LocSubstr: "btree::root in btree constructor", Known: true},
+		},
+		Build:         Build,
+		PreferredMode: explore.Random,
+		Executions:    400,
+	}
+}

@@ -1,0 +1,198 @@
+package fastfair
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks/bench"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+func TestFunctionalInsertLookup(t *testing.T) {
+	tr := &tree{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	page := tr.create(th)
+	for k := memmodel.Value(100); k < 104; k++ {
+		if !tr.insertKey(th, page, k, k+1000) {
+			t.Fatalf("insert(%d) failed", k)
+		}
+	}
+	for k := memmodel.Value(100); k < 104; k++ {
+		v, ok := tr.lookup(th, page, k)
+		if !ok || v != k+1000 {
+			t.Fatalf("lookup(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+	if _, ok := tr.lookup(th, page, 999); ok {
+		t.Fatal("lookup(999) should miss")
+	}
+}
+
+func TestPageFull(t *testing.T) {
+	tr := &tree{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	page := tr.create(th)
+	for i := 0; i < cardinality; i++ {
+		if !tr.insertKey(th, page, memmodel.Value(100+i), 1) {
+			t.Fatalf("insert %d failed early", i)
+		}
+	}
+	if tr.insertKey(th, page, 999, 1) {
+		t.Fatal("insert into full page should succeed only up to cardinality")
+	}
+}
+
+func TestKeyAndPtrOnDifferentLines(t *testing.T) {
+	// The layout hazard behind bug #9/#10: an entry's key and ptr words
+	// must not share a cache line in this port.
+	page := memmodel.Addr(0x100000)
+	for i := 0; i < cardinality; i++ {
+		if memmodel.SameLine(keyAddr(page, i), ptrAddr(page, i)) {
+			t.Fatalf("entry %d key and ptr share a line", i)
+		}
+	}
+	// And the dummy word sits on the header line, not the key line.
+	if memmodel.SameLine(page+hdrDummyOff, keyAddr(page, 0)) {
+		t.Fatal("dummy must be on the header line")
+	}
+	if !memmodel.SameLine(page+hdrDummyOff, page+hdrSwitchOff) {
+		t.Fatal("dummy must share the header line with switch_counter")
+	}
+}
+
+func TestBuggyVariantReportsTable2Rows(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Buggy), explore.Options{
+		Mode:       explore.Random,
+		Executions: b.Executions,
+		Seed:       2,
+	})
+	_, missed := bench.MatchExpected(b.Expected, res.Violations)
+	if len(missed) != 0 {
+		t.Fatalf("missed rows: %+v\nfound: %v", missed, res.ViolationKeys())
+	}
+}
+
+func TestFixedVariantIsClean(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Fixed), explore.Options{
+		Mode:       explore.Random,
+		Executions: b.Executions,
+		Seed:       2,
+	})
+	if len(res.Violations) != 0 {
+		t.Fatalf("fixed variant still reports: %v", res.ViolationKeys())
+	}
+}
+
+// The alignment bug's cache-line colocation fix must appear among the
+// suggestions for row #9 (§5.2 "colocating fields").
+func TestAlignmentBugSuggestsColocation(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Buggy), explore.Options{
+		Mode:       explore.Random,
+		Executions: b.Executions,
+		Seed:       2,
+	})
+	for _, v := range res.Violations {
+		if v.MissingFlush.Loc == "dummy in header class (page::insert_key)" {
+			for _, f := range v.Fixes {
+				if f.Kind == core.FixColocate {
+					return
+				}
+			}
+		}
+	}
+	t.Fatal("no colocation fix suggested for the dummy alignment bug")
+}
+
+func TestRecoveryNeverAborts(t *testing.T) {
+	for _, v := range []bench.Variant{bench.Buggy, bench.Fixed} {
+		res := explore.Run(Build(v), explore.Options{Mode: explore.Random, Executions: 150, Seed: 5})
+		if res.Aborted != 0 {
+			t.Fatalf("%v: %d aborted executions", v, res.Aborted)
+		}
+	}
+}
+
+// Multi-level behavior: inserting past one page's cardinality splits
+// the root, creates a height-2 tree with sibling-linked leaves, and
+// every key stays findable through the descent + sibling-chase path.
+func TestSplitCreatesMultiLevelTree(t *testing.T) {
+	tr := &tree{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	tr.create(th)
+	keys := []memmodel.Value{100, 101, 103, 104, 105, 106, 102, 107, 108, 109, 110}
+	for _, k := range keys {
+		tr.Insert(th, k, k+1000)
+	}
+	root := memmodel.Addr(th.Load(pmem.RootAddr, "root"))
+	if lvl := th.Load(root+hdrLevelOff, "level"); lvl != 1 {
+		t.Fatalf("root level = %d, want 1 (tree grew)", lvl)
+	}
+	for _, k := range keys {
+		v, ok := tr.Search(th, k)
+		if !ok || v != k+1000 {
+			t.Fatalf("Search(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+	if _, ok := tr.Search(th, 999); ok {
+		t.Fatal("Search(999) should miss")
+	}
+}
+
+// The FAST shift keeps leaves sorted even with out-of-order inserts.
+func TestShiftKeepsLeavesSorted(t *testing.T) {
+	tr := &tree{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	page := tr.create(th)
+	for _, k := range []memmodel.Value{105, 101, 103, 102, 104} {
+		if !tr.insertKey(th, page, k, k) {
+			t.Fatalf("insertKey(%d) failed", k)
+		}
+	}
+	prev := memmodel.Value(0)
+	for i := 0; i < 5; i++ {
+		k := th.Load(keyAddr(page, i), "check")
+		if k < prev {
+			t.Fatalf("keys unsorted at %d: %d < %d", i, k, prev)
+		}
+		prev = k
+	}
+}
+
+// Sibling chains never cycle: each sibling points at a later-allocated
+// page, so the recovery walk terminates.
+func TestSiblingChainMonotone(t *testing.T) {
+	tr := &tree{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	tr.create(th)
+	for k := memmodel.Value(100); k < 120; k++ {
+		tr.Insert(th, k, k)
+	}
+	// Walk level-0 siblings from the leftmost leaf.
+	root := memmodel.Addr(th.Load(pmem.RootAddr, "root"))
+	page := memmodel.Addr(th.Load(root+hdrLeftmostOff, "leftmost"))
+	seen := map[memmodel.Addr]bool{}
+	for hops := 0; page != 0; hops++ {
+		if seen[page] || hops > maxWalkPages {
+			t.Fatal("sibling chain cycles or overruns")
+		}
+		seen[page] = true
+		next := memmodel.Addr(th.Load(page+hdrSiblingOff, "sib"))
+		if next != 0 && next <= page {
+			t.Fatalf("sibling %v not allocated after %v", next, page)
+		}
+		page = next
+	}
+	if len(seen) < 2 {
+		t.Fatalf("only %d leaves after 20 inserts", len(seen))
+	}
+}

@@ -1,0 +1,185 @@
+package fastfair
+
+import (
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+// This file implements FAST_FAIR's multi-level structure: node splits
+// with the right-sibling pointer (the FAIR half of the design — readers
+// chase siblings instead of blocking on rebalancing), parent updates,
+// and tree descent. The split path follows the original's persistence
+// discipline — moved entries and the sibling link are flushed — while
+// the seeded Table 2 bugs stay where they are (constructors and
+// insert_key).
+
+const (
+	maxLevels    = 4
+	maxWalkPages = 16
+)
+
+// split divides a full page: the upper half moves to a fresh right
+// sibling, the sibling link is published durably, and the old page's
+// last_index shrinks. It returns the split key and the new page.
+func (t *tree) split(th *pmem.Thread, page memmodel.Addr) (memmodel.Value, memmodel.Addr) {
+	level := int(th.Load(page+hdrLevelOff, "read level in split"))
+	half := cardinality / 2
+	splitKey := th.Load(keyAddr(page, half), "read split key in split")
+	// For an internal split, the middle entry's child becomes the new
+	// page's leftmost; for a leaf it stays in place.
+	newLeftmost := memmodel.Addr(0)
+	moveFrom := half
+	if level > 0 {
+		newLeftmost = memmodel.Addr(th.Load(ptrAddr(page, half), "read split child in split"))
+		moveFrom = half + 1
+	}
+	sibling := t.newPage(th, level, newLeftmost)
+	// Move the upper half; the split path persists every moved word
+	// (the original flushes each migrated cache line).
+	moved := 0
+	for i := moveFrom; i < cardinality; i++ {
+		kv := th.Load(keyAddr(page, i), "read key in split move")
+		pv := th.Load(ptrAddr(page, i), "read ptr in split move")
+		th.Store(ptrAddr(sibling, moved), pv, "entry::ptr in split move")
+		th.Persist(ptrAddr(sibling, moved), memmodel.WordSize, "persist split ptr")
+		th.Store(keyAddr(sibling, moved), kv, "entry::key in split move")
+		th.Persist(keyAddr(sibling, moved), memmodel.WordSize, "persist split key")
+		moved++
+	}
+	th.Store(sibling+hdrLastIdxOff, memmodel.Value(moved), "last_index in split (new page)")
+	th.Persist(sibling+hdrLastIdxOff, memmodel.WordSize, "persist split last_index")
+	// Chain and publish the sibling — the split's commit store.
+	oldSib := th.Load(page+hdrSiblingOff, "read sibling in split")
+	th.Store(sibling+hdrSiblingOff, oldSib, "sibling_ptr chain in split")
+	th.Persist(sibling+hdrSiblingOff, memmodel.WordSize, "persist sibling chain")
+	th.Store(page+hdrSiblingOff, memmodel.Value(sibling), "sibling_ptr publish in split")
+	th.Persist(page+hdrSiblingOff, memmodel.WordSize, "persist sibling publish")
+	// Shrink the old page.
+	th.Store(page+hdrLastIdxOff, memmodel.Value(half), "last_index shrink in split")
+	th.Persist(page+hdrLastIdxOff, memmodel.WordSize, "persist last_index shrink")
+	return splitKey, sibling
+}
+
+// childFor picks the descent child within an internal page.
+func (t *tree) childFor(th *pmem.Thread, page memmodel.Addr, key memmodel.Value) memmodel.Addr {
+	n := int(th.Load(page+hdrLastIdxOff, "read last_index in descend"))
+	if n > cardinality {
+		n = cardinality
+	}
+	child := memmodel.Addr(th.Load(page+hdrLeftmostOff, "read leftmost_ptr in descend"))
+	for i := 0; i < n; i++ {
+		k := th.Load(keyAddr(page, i), "read key in descend")
+		if key < k {
+			break
+		}
+		child = memmodel.Addr(th.Load(ptrAddr(page, i), "read ptr in descend"))
+	}
+	return child
+}
+
+// leafFor descends from the root to the leaf responsible for key,
+// chasing right siblings when a concurrent-style split moved the range.
+func (t *tree) leafFor(th *pmem.Thread, key memmodel.Value) memmodel.Addr {
+	page := memmodel.Addr(th.Load(pmem.RootAddr, "read btree::root in descend"))
+	for depth := 0; page != 0 && depth < maxLevels; depth++ {
+		level := int(th.Load(page+hdrLevelOff, "read level in descend"))
+		if level <= 0 {
+			return page
+		}
+		next := t.childFor(th, page, key)
+		if next == 0 {
+			return page // degenerate post-crash shape; treat as leaf
+		}
+		page = next
+	}
+	return page
+}
+
+// Insert descends to the right leaf and inserts, splitting upward as
+// needed (the driver's key counts keep the tree within two levels, as
+// FAST_FAIR's own unit drivers do).
+func (t *tree) Insert(th *pmem.Thread, key, ptr memmodel.Value) {
+	root := memmodel.Addr(th.Load(pmem.RootAddr, "read btree::root in insert"))
+	leaf := t.leafFor(th, key)
+	if t.insertKey(th, leaf, key, ptr) {
+		return
+	}
+	splitKey, sibling := t.split(th, leaf)
+	target := leaf
+	if key >= splitKey {
+		target = sibling
+	}
+	t.insertKey(th, target, key, ptr)
+	if leaf == root {
+		// Grow a new root referencing both halves.
+		newRoot := t.newPage(th, 1, leaf)
+		t.insertKey(th, newRoot, splitKey, memmodel.Value(sibling))
+		th.Store(pmem.RootAddr, memmodel.Value(newRoot), "btree::root update in split")
+		th.Persist(pmem.RootAddr, memmodel.WordSize, "persist btree::root update")
+		return
+	}
+	// Height-2 tree: the parent is the root.
+	t.insertKey(th, root, splitKey, memmodel.Value(sibling))
+}
+
+// Search descends to the leaf and scans it plus its sibling chain — the
+// FAIR read path that tolerates in-flight splits.
+func (t *tree) Search(th *pmem.Thread, key memmodel.Value) (memmodel.Value, bool) {
+	page := t.leafFor(th, key)
+	for hops := 0; page != 0 && hops < maxWalkPages; hops++ {
+		n := int(th.Load(page+hdrLastIdxOff, "read last_index in search"))
+		if n > cardinality {
+			n = cardinality
+		}
+		for i := 0; i < n; i++ {
+			if th.Load(keyAddr(page, i), "read entry::key in search") == key {
+				return th.Load(ptrAddr(page, i), "read entry::ptr in search"), true
+			}
+		}
+		page = memmodel.Addr(th.Load(page+hdrSiblingOff, "read sibling_ptr in search"))
+	}
+	return 0, false
+}
+
+// walkRecover re-reads every page of the tree after a crash: descend
+// the leftmost spine, then traverse each level's sibling chain, reading
+// each page's fields in first-written order so stale state stays
+// observable.
+func (t *tree) walkRecover(th *pmem.Thread) {
+	th.Load(metaOpsAddr, "read driver ops marker in Recovery")
+	page := memmodel.Addr(th.Load(pmem.RootAddr, "read btree::root in Recovery"))
+	for depth := 0; page != 0 && depth < maxLevels; depth++ {
+		// Walk this level's sibling chain.
+		levelStart := page
+		next := memmodel.Addr(0)
+		p := levelStart
+		for hops := 0; p != 0 && hops < maxWalkPages; hops++ {
+			t.readPage(th, p)
+			if next == 0 {
+				if lm := memmodel.Addr(th.Load(p+hdrLeftmostOff, "read leftmost_ptr in Recovery walk")); lm != 0 {
+					next = lm
+				}
+			}
+			p = memmodel.Addr(th.Load(p+hdrSiblingOff, "read sibling_ptr in Recovery"))
+		}
+		page = next
+	}
+}
+
+// readPage touches every word of one page in first-written order.
+func (t *tree) readPage(th *pmem.Thread, page memmodel.Addr) {
+	var present int
+	for i := 0; i < cardinality; i++ {
+		k := th.Load(keyAddr(page, i), "read entry::key in Recovery")
+		p := th.Load(ptrAddr(page, i), "read entry::ptr in Recovery")
+		if k != 0 {
+			present++
+		}
+		_ = p
+	}
+	th.Load(page+hdrLeftmostOff, "read leftmost_ptr in Recovery")
+	th.Load(page+hdrDummyOff, "read dummy in Recovery")
+	th.Load(page+hdrSwitchOff, "read switch_counter in Recovery")
+	th.Load(page+hdrLastIdxOff, "read last_index in Recovery")
+	th.Load(page+hdrLevelOff, "read level in Recovery")
+}

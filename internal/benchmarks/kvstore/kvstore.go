@@ -1,0 +1,278 @@
+// Package kvstore ports the two real-world applications of the paper's
+// evaluation (§6.1): a memcached-style in-memory cache that stores items
+// in persistent memory through the low-level (libpmem-style) direct
+// API, and a Redis-style server that persists its dictionary through
+// the pmlib transactional API. As in the paper, both are driven by a
+// client that issues insertion and lookup requests, and both are
+// explored in random mode (an outside client makes model checking
+// impractical, §6.1).
+//
+// The memcached port seeds one representative application-level
+// ordering bug in do_item_link (the class of unreported-by-prior-tools
+// bugs §6.2 counts); the Redis port's violations come from the pmlib
+// library it links, exactly as the paper attributes Redis's rows to
+// libpmemobj.
+package kvstore
+
+import (
+	"fmt"
+
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+	"repro/internal/pmlib"
+)
+
+// --- memcached-style server: direct persistence ---
+
+const (
+	mcBuckets = 4
+
+	// Item layout: the header (value, flags, next) on the first line,
+	// the key data on the second — memcached items embed the key string
+	// past the fixed header, so flushing the header never covers it.
+	itValOff   = 0
+	itFlagsOff = 8
+	itNextOff  = 16
+	itKeyOff   = memmodel.CacheLineSize
+
+	// Server root: bucket array line + stats line.
+	mcBucketsAddr = pmem.RootAddr
+	mcStatsAddr   = pmem.RootAddr + memmodel.CacheLineSize
+	mcMarkerAddr  = pmem.RootAddr + 2*memmodel.CacheLineSize
+)
+
+// Memcached is the memcached-pmem-style server.
+type Memcached struct {
+	v bench.Variant
+}
+
+func (m *Memcached) persistIfFixed(th *pmem.Thread, a memmodel.Addr, size int, loc string) {
+	if m.v == bench.Fixed {
+		th.Persist(a, size, loc)
+	}
+}
+
+// Set handles a client SET: allocate an item, fill it, link it into the
+// bucket chain (do_item_link). The key store is missing its flush in
+// the buggy variant — the seeded ordering bug.
+func (m *Memcached) Set(th *pmem.Thread, key, val memmodel.Value) {
+	w := th.World()
+	item := w.Heap.AllocLines(2)
+	th.Store(item+itValOff, val, "item::value in do_item_link")
+	th.Store(item+itFlagsOff, 1, "item::flags in do_item_link")
+	th.Persist(item+itValOff, 2*memmodel.WordSize, "persist item value+flags")
+	th.Store(item+itKeyOff, key, "item::key in do_item_link") // seeded bug
+	m.persistIfFixed(th, item+itKeyOff, memmodel.WordSize, "persist item key")
+	slot := mcBucketsAddr + memmodel.Addr(int(key)%mcBuckets*memmodel.WordSize)
+	head := th.Load(slot, "read bucket head in do_item_link")
+	th.Store(item+itNextOff, head, "item::next in do_item_link")
+	th.Persist(item+itNextOff, memmodel.WordSize, "persist item next")
+	th.Store(slot, memmodel.Value(item), "bucket head publish in do_item_link")
+	th.Persist(slot, memmodel.WordSize, "persist bucket head")
+	// Stats are volatile in spirit; keep them persisted so they add no
+	// extra rows.
+	n := th.Load(mcStatsAddr, "read curr_items")
+	th.Store(mcStatsAddr, n+1, "curr_items update")
+	th.Persist(mcStatsAddr, memmodel.WordSize, "persist curr_items")
+}
+
+// Get handles a client GET.
+func (m *Memcached) Get(th *pmem.Thread, key memmodel.Value) (memmodel.Value, bool) {
+	slot := mcBucketsAddr + memmodel.Addr(int(key)%mcBuckets*memmodel.WordSize)
+	for it := memmodel.Addr(th.Load(slot, "read bucket head in get")); it != 0; {
+		if th.Load(it+itKeyOff, "read item key in get") == key {
+			return th.Load(it+itValOff, "read item value in get"), true
+		}
+		it = memmodel.Addr(th.Load(it+itNextOff, "read item next in get"))
+	}
+	return 0, false
+}
+
+// Restart walks the persisted items the way memcached-pmem's warm
+// restart does, validating each chain.
+func (m *Memcached) Restart(th *pmem.Thread) {
+	th.Load(mcMarkerAddr, "read driver marker in Restart")
+	for b := 0; b < mcBuckets; b++ {
+		slot := mcBucketsAddr + memmodel.Addr(b*memmodel.WordSize)
+		for it := memmodel.Addr(th.Load(slot, "read bucket head in Restart")); it != 0; {
+			v := th.Load(it+itValOff, "read item value in Restart")
+			fl := th.Load(it+itFlagsOff, "read item flags in Restart")
+			k := th.Load(it+itKeyOff, "read item key in Restart")
+			if fl != 0 && k == 0 {
+				th.World().RecordAssertFailure(fmt.Sprintf("memcached: linked item with empty key (val=%d)", uint64(v)))
+			}
+			it = memmodel.Addr(th.Load(it+itNextOff, "read item next in Restart"))
+		}
+	}
+	th.Load(mcStatsAddr, "read curr_items in Restart")
+	for k := memmodel.Value(1); k <= 4; k++ {
+		m.Get(th, k)
+	}
+}
+
+// BuildMemcached constructs the exploration program: a client issuing
+// four SETs, then a crash, then a warm restart plus GETs.
+func BuildMemcached(v bench.Variant) explore.Program {
+	m := &Memcached{v: v}
+	return &explore.FuncProgram{
+		ProgName: "Memcached-" + v.String(),
+		PhaseFns: []func(*pmem.World){
+			func(w *pmem.World) {
+				th := w.Thread(0)
+				for k := memmodel.Value(1); k <= 4; k++ {
+					m.Set(th, k, k*11)
+				}
+				th.Store(mcMarkerAddr, 4, "driver marker")
+				th.Persist(mcMarkerAddr, memmodel.WordSize, "persist driver marker")
+			},
+			func(w *pmem.World) {
+				m.Restart(w.Thread(0))
+			},
+		},
+	}
+}
+
+// MemcachedBenchmark describes the port for the harness.
+func MemcachedBenchmark() *bench.Benchmark {
+	return &bench.Benchmark{
+		Name: "Memcached",
+		Expected: []bench.ExpectedBug{
+			{Field: "item::key", Cause: "writing key in do_item_link without flushing before publish", LocSubstr: "item::key in do_item_link"},
+		},
+		Build:         BuildMemcached,
+		PreferredMode: explore.Random,
+		Executions:    400,
+	}
+}
+
+// --- Redis-style server: pmlib transactions ---
+
+// RedisPoolBase places the Redis pool clear of the harness heap.
+const RedisPoolBase = memmodel.Addr(0xA00000)
+
+const redisBuckets = 4
+
+// Redis is the Redis-on-PMDK-style server: its dictionary entries are
+// updated through redo-log transactions.
+type Redis struct {
+	opt pmlib.Options
+}
+
+// dictEntry layout: key, val, next.
+const (
+	deKeyOff  = 0
+	deValOff  = 8
+	deNextOff = 16
+)
+
+// Set handles a client SET inside one transaction.
+func (r *Redis) Set(p *pmlib.Pool, th *pmem.Thread, dict memmodel.Addr, key, val memmodel.Value) {
+	entry := p.Alloc(th, 3*memmodel.WordSize)
+	th.Store(entry+deKeyOff, key, "dictEntry key init")
+	th.Store(entry+deValOff, val, "dictEntry val init")
+	th.Persist(entry, 3*memmodel.WordSize, "persist dictEntry")
+	slot := dict + memmodel.Addr(int(key)%redisBuckets*memmodel.WordSize)
+	head := th.Load(slot, "read dict slot in set")
+	tx := p.TxBegin(th)
+	tx.Set(entry+deNextOff, head)
+	tx.Set(slot, memmodel.Value(entry))
+	tx.Commit()
+}
+
+// Get handles a client GET.
+func (r *Redis) Get(th *pmem.Thread, dict memmodel.Addr, key memmodel.Value) (memmodel.Value, bool) {
+	slot := dict + memmodel.Addr(int(key)%redisBuckets*memmodel.WordSize)
+	for e := memmodel.Addr(th.Load(slot, "read dict slot in get")); e != 0; {
+		if th.Load(e+deKeyOff, "read dictEntry key in get") == key {
+			return th.Load(e+deValOff, "read dictEntry val in get"), true
+		}
+		e = memmodel.Addr(th.Load(e+deNextOff, "read dictEntry next in get"))
+	}
+	return 0, false
+}
+
+// BuildRedis constructs the exploration program: create the pool and
+// dictionary, serve four SETs, crash, reopen and serve GETs.
+func BuildRedis(v bench.Variant) explore.Program {
+	r := &Redis{opt: pmlib.Options{Variant: v}}
+	return &explore.FuncProgram{
+		ProgName: "Redis-" + v.String(),
+		PhaseFns: []func(*pmem.World){
+			func(w *pmem.World) {
+				th := w.Thread(0)
+				p := pmlib.Create(th, RedisPoolBase, r.opt)
+				dict := p.AllocLines(th, 1)
+				p.SetRoot(th, dict)
+				for k := memmodel.Value(1); k <= 4; k++ {
+					r.Set(p, th, dict, k, k*13)
+				}
+			},
+			func(w *pmem.World) {
+				th := w.Thread(0)
+				p, ok := pmlib.Open(th, RedisPoolBase, r.opt)
+				if !ok {
+					return
+				}
+				p.Recover(th)
+				dict := p.Root(th)
+				if dict == 0 {
+					return
+				}
+				for k := memmodel.Value(1); k <= 4; k++ {
+					r.Get(th, dict, k)
+				}
+			},
+		},
+	}
+}
+
+// RedisBenchmark describes the port for the harness: its violations are
+// the pmlib library rows, as the paper attributes Redis's findings to
+// PMDK's libpmemobj.
+func RedisBenchmark() *bench.Benchmark {
+	return &bench.Benchmark{
+		Name: "Redis",
+		Expected: []bench.ExpectedBug{
+			{ID: 32, Field: "PMEMobjpool", Cause: "memcpy operation on pool object in libpmemobj library", LocSubstr: "memcpy on pool object in libpmemobj"},
+			{ID: 33, Field: "ulog", Cause: "storing ulog in libpmemobj library", LocSubstr: "storing ulog in libpmemobj library"},
+			{ID: 34, Field: "ulog_entry_base", Cause: "memcpy in applying modifications on a single ulog_entry_base", LocSubstr: "memcpy on a single ulog_entry_base"},
+		},
+		Build:         BuildRedis,
+		PreferredMode: explore.Random,
+		Executions:    400,
+	}
+}
+
+// BuildMemcachedConcurrent is the multi-client variant: two simulated
+// client threads issue interleaved SETs under the cooperative
+// scheduler, matching the paper's concurrent server workloads. Random
+// exploration varies the interleaving with the seed.
+func BuildMemcachedConcurrent(v bench.Variant) explore.Program {
+	m := &Memcached{v: v}
+	return &explore.FuncProgram{
+		ProgName: "Memcached-mt-" + v.String(),
+		PhaseFns: []func(*pmem.World){
+			func(w *pmem.World) {
+				w.Spawn(0, func(th *pmem.Thread) {
+					for k := memmodel.Value(1); k <= 3; k++ {
+						m.Set(th, k, k*11)
+					}
+				})
+				w.Spawn(1, func(th *pmem.Thread) {
+					for k := memmodel.Value(4); k <= 6; k++ {
+						m.Set(th, k, k*11)
+					}
+				})
+				w.RunThreads()
+				th := w.Thread(2)
+				th.Store(mcMarkerAddr, 6, "driver marker")
+				th.Persist(mcMarkerAddr, memmodel.WordSize, "persist driver marker")
+			},
+			func(w *pmem.World) {
+				m.Restart(w.Thread(0))
+			},
+		},
+	}
+}

@@ -1,0 +1,166 @@
+package kvstore
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+	"repro/internal/pmlib"
+)
+
+func TestMemcachedSetGet(t *testing.T) {
+	m := &Memcached{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	for k := memmodel.Value(1); k <= 4; k++ {
+		m.Set(th, k, k*11)
+	}
+	for k := memmodel.Value(1); k <= 4; k++ {
+		v, ok := m.Get(th, k)
+		if !ok || v != k*11 {
+			t.Fatalf("get(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+	if _, ok := m.Get(th, 99); ok {
+		t.Fatal("get(99) should miss")
+	}
+	if got := th.Load(mcStatsAddr, "stats"); got != 4 {
+		t.Fatalf("curr_items = %d, want 4", got)
+	}
+}
+
+func TestMemcachedOverwriteShadows(t *testing.T) {
+	m := &Memcached{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	m.Set(th, 1, 10)
+	m.Set(th, 1, 20) // newer item prepends to the chain
+	if v, ok := m.Get(th, 1); !ok || v != 20 {
+		t.Fatalf("get(1) = (%d, %v), want (20, true)", v, ok)
+	}
+}
+
+func TestMemcachedBuggyReportsItemKeyBug(t *testing.T) {
+	b := MemcachedBenchmark()
+	res := explore.Run(b.Build(bench.Buggy), explore.Options{
+		Mode: explore.Random, Executions: b.Executions, Seed: 21,
+	})
+	_, missed := bench.MatchExpected(b.Expected, res.Violations)
+	if len(missed) != 0 {
+		t.Fatalf("missed: %+v\nfound: %v", missed, res.ViolationKeys())
+	}
+}
+
+func TestMemcachedFixedIsClean(t *testing.T) {
+	b := MemcachedBenchmark()
+	res := explore.Run(b.Build(bench.Fixed), explore.Options{
+		Mode: explore.Random, Executions: b.Executions, Seed: 21,
+	})
+	if len(res.Violations) != 0 {
+		t.Fatalf("fixed variant reports: %v", res.ViolationKeys())
+	}
+}
+
+func TestRedisSetGet(t *testing.T) {
+	r := &Redis{opt: pmlib.Options{Variant: bench.Fixed}}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	p := pmlib.Create(th, RedisPoolBase, r.opt)
+	dict := p.AllocLines(th, 1)
+	p.SetRoot(th, dict)
+	for k := memmodel.Value(1); k <= 6; k++ {
+		r.Set(p, th, dict, k, k*13)
+	}
+	for k := memmodel.Value(1); k <= 6; k++ {
+		v, ok := r.Get(th, dict, k)
+		if !ok || v != k*13 {
+			t.Fatalf("get(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+}
+
+func TestRedisBuggyReportsLibraryRows(t *testing.T) {
+	b := RedisBenchmark()
+	res := explore.Run(b.Build(bench.Buggy), explore.Options{
+		Mode: explore.Random, Executions: b.Executions, Seed: 22,
+	})
+	_, missed := bench.MatchExpected(b.Expected, res.Violations)
+	if len(missed) != 0 {
+		t.Fatalf("missed: %+v\nfound: %v", missed, res.ViolationKeys())
+	}
+}
+
+func TestRedisFixedIsClean(t *testing.T) {
+	b := RedisBenchmark()
+	res := explore.Run(b.Build(bench.Fixed), explore.Options{
+		Mode: explore.Random, Executions: b.Executions, Seed: 22,
+	})
+	if len(res.Violations) != 0 {
+		t.Fatalf("fixed variant reports: %v", res.ViolationKeys())
+	}
+}
+
+func TestServersNeverAbort(t *testing.T) {
+	for _, build := range []func(bench.Variant) explore.Program{BuildMemcached, BuildRedis} {
+		for _, v := range []bench.Variant{bench.Buggy, bench.Fixed} {
+			res := explore.Run(build(v), explore.Options{Mode: explore.Random, Executions: 100, Seed: 23})
+			if res.Aborted != 0 {
+				t.Fatalf("%s: %d aborted executions", res.Program, res.Aborted)
+			}
+		}
+	}
+}
+
+// The concurrent driver finds the same do_item_link bug under scheduled
+// interleavings, and the fixed variant stays clean.
+func TestMemcachedConcurrentDriver(t *testing.T) {
+	res := explore.Run(BuildMemcachedConcurrent(bench.Buggy), explore.Options{
+		Mode: explore.Random, Executions: 400, Seed: 31,
+	})
+	found := false
+	for _, v := range res.Violations {
+		if v.MissingFlush.Loc == "item::key in do_item_link" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("concurrent driver missed the item::key bug: %v", res.ViolationKeys())
+	}
+	clean := explore.Run(BuildMemcachedConcurrent(bench.Fixed), explore.Options{
+		Mode: explore.Random, Executions: 400, Seed: 31,
+	})
+	if len(clean.Violations) != 0 {
+		t.Fatalf("fixed concurrent variant reports: %v", clean.ViolationKeys())
+	}
+	if res.Aborted != 0 || clean.Aborted != 0 {
+		t.Fatalf("aborted executions: %d/%d", res.Aborted, clean.Aborted)
+	}
+}
+
+// Concurrent SETs from two clients must all be durable when each SET is
+// fully persisted (fixed variant, crash at end, newest reads).
+func TestMemcachedConcurrentAllItemsRecoverable(t *testing.T) {
+	m := &Memcached{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1, Seed: 5})
+	w.Spawn(0, func(th *pmem.Thread) {
+		for k := memmodel.Value(1); k <= 3; k++ {
+			m.Set(th, k, k*11)
+		}
+	})
+	w.Spawn(1, func(th *pmem.Thread) {
+		for k := memmodel.Value(4); k <= 6; k++ {
+			m.Set(th, k, k*11)
+		}
+	})
+	w.RunThreads()
+	w.Crash()
+	th := w.Thread(0)
+	for k := memmodel.Value(1); k <= 6; k++ {
+		v, ok := m.Get(th, k)
+		if !ok || v != k*11 {
+			t.Fatalf("get(%d) = (%d, %v) after crash", k, v, ok)
+		}
+	}
+}

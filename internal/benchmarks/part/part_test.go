@@ -1,0 +1,140 @@
+package part
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+func TestFunctionalInsertLookupAndGrow(t *testing.T) {
+	a := &art{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	a.create(th)
+	for k := memmodel.Value(1); k <= 6; k++ {
+		a.insert(th, k, k*10)
+	}
+	// Keys 1..6 share the high nibble, so six inserts grow the shared
+	// second-level node into an N16 while the root stays an N4.
+	root := memmodel.Addr(th.Load(treeRootAddr, "root"))
+	if typ := th.Load(root+nodeTypeOff, "type"); typ != typeN4 {
+		t.Fatalf("root type = %d, want N4", typ)
+	}
+	child, _, ok := a.findChild(th, root, 0)
+	if !ok || child == 0 || isLeaf(child) {
+		t.Fatalf("second-level node missing: %v ok=%v", child, ok)
+	}
+	if typ := th.Load(memmodel.Addr(child)+nodeTypeOff, "child type"); typ != typeN16 {
+		t.Fatalf("second-level type = %d, want N16 (grown)", typ)
+	}
+	for k := memmodel.Value(1); k <= 6; k++ {
+		v, ok := a.lookup(th, k)
+		if !ok || v != k*10 {
+			t.Fatalf("lookup(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+	if _, ok := a.lookup(th, 99); ok {
+		t.Fatal("lookup(99) should miss")
+	}
+}
+
+func TestDeletionListTracksRetiredNodes(t *testing.T) {
+	a := &art{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	a.create(th)
+	for k := memmodel.Value(1); k <= 5; k++ { // fifth insert triggers grow
+		a.insert(th, k, k*10)
+	}
+	if got := th.Load(a.dl+dlCountOff, "count"); got != 1 {
+		t.Fatalf("nodesCount = %d, want 1 (retired N4)", got)
+	}
+}
+
+func TestBuggyVariantReportsTable2Rows(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Buggy), explore.Options{
+		Mode:       explore.Random,
+		Executions: b.Executions,
+		Seed:       3,
+	})
+	_, missed := bench.MatchExpected(b.Expected, res.Violations)
+	if len(missed) != 0 {
+		t.Fatalf("missed rows: %+v\nfound: %v", missed, res.ViolationKeys())
+	}
+}
+
+func TestMemMgmtViolationsCountedSeparately(t *testing.T) {
+	b := Benchmark()
+	var mm int
+	for _, eb := range b.Expected {
+		if eb.MemMgmt {
+			mm++
+		}
+	}
+	if mm != 9 {
+		t.Fatalf("memory-management rows = %d, want 9 (§6.2)", mm)
+	}
+}
+
+func TestFixedVariantIsClean(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Fixed), explore.Options{
+		Mode:       explore.Random,
+		Executions: b.Executions,
+		Seed:       3,
+	})
+	if len(res.Violations) != 0 {
+		t.Fatalf("fixed variant still reports: %v", res.ViolationKeys())
+	}
+}
+
+func TestRecoveryNeverAborts(t *testing.T) {
+	for _, v := range []bench.Variant{bench.Buggy, bench.Fixed} {
+		res := explore.Run(Build(v), explore.Options{Mode: explore.Random, Executions: 150, Seed: 8})
+		if res.Aborted != 0 {
+			t.Fatalf("%v: %d aborted executions", v, res.Aborted)
+		}
+	}
+}
+
+// Keys with distinct high nibbles get distinct second-level nodes: the
+// radix structure actually branches.
+func TestRadixBranching(t *testing.T) {
+	a := &art{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	a.create(th)
+	keys := []memmodel.Value{0x11, 0x12, 0x21, 0x22, 0x31}
+	for _, k := range keys {
+		a.insert(th, k, k*10)
+	}
+	for _, k := range keys {
+		v, ok := a.lookup(th, k)
+		if !ok || v != k*10 {
+			t.Fatalf("lookup(%#x) = (%d, %v)", k, v, ok)
+		}
+	}
+	// Three distinct prefixes → three children in the root.
+	root := memmodel.Addr(th.Load(treeRootAddr, "root"))
+	if n := th.Load(root+nodeCountOff, "count"); n != 3 {
+		t.Fatalf("root count = %d, want 3 branches", n)
+	}
+	if _, ok := a.lookup(th, 0x41); ok {
+		t.Fatal("lookup(0x41) should miss")
+	}
+}
+
+// Leaf tagging: child slots distinguish node pointers (even) from
+// tagged leaves (odd), so lookups never dereference a leaf as a node.
+func TestLeafTagging(t *testing.T) {
+	if !isLeaf(tagLeaf(7)) || untagLeaf(tagLeaf(7)) != 7 {
+		t.Fatal("leaf tag round trip broken")
+	}
+	if isLeaf(memmodel.Value(0x100000)) {
+		t.Fatal("aligned node address misread as leaf")
+	}
+}

@@ -1,0 +1,160 @@
+package pbwtree
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+func TestFunctionalInsertLookup(t *testing.T) {
+	tr := &bwTree{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	tr.create(th)
+	tr.prepareThreadLocal(th)
+	for k := memmodel.Value(1); k <= 5; k++ {
+		tr.insert(th, k, k*10)
+	}
+	for k := memmodel.Value(1); k <= 5; k++ {
+		v, ok := tr.lookup(th, k)
+		if !ok || v != k*10 {
+			t.Fatalf("lookup(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+	if _, ok := tr.lookup(th, 42); ok {
+		t.Fatal("lookup(42) should miss")
+	}
+}
+
+func TestDeltaChainShadowing(t *testing.T) {
+	// A second insert of the same key prepends a newer delta; lookups
+	// must see the newest value.
+	tr := &bwTree{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	tr.create(th)
+	tr.prepareThreadLocal(th)
+	tr.insert(th, 1, 10)
+	tr.insert(th, 1, 20)
+	if v, ok := tr.lookup(th, 1); !ok || v != 20 {
+		t.Fatalf("lookup(1) = (%d, %v), want (20, true)", v, ok)
+	}
+}
+
+func TestGrowChunkTriggered(t *testing.T) {
+	tr := &bwTree{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	tr.create(th)
+	tr.prepareThreadLocal(th)
+	for k := memmodel.Value(1); k <= 5; k++ {
+		tr.insert(th, k, k*10)
+	}
+	if got := th.Load(tr.alloc+amCountOff, "count"); got < 1 {
+		t.Fatalf("chunk_count = %d, want >= 1 (GrowChunk ran)", got)
+	}
+}
+
+func TestBuggyVariantReportsTable2Rows(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Buggy), explore.Options{
+		Mode: explore.Random, Executions: b.Executions, Seed: 4,
+	})
+	_, missed := bench.MatchExpected(b.Expected, res.Violations)
+	if len(missed) != 0 {
+		t.Fatalf("missed rows: %+v\nfound: %v", missed, res.ViolationKeys())
+	}
+}
+
+func TestMemMgmtViolationCount(t *testing.T) {
+	var mm int
+	for _, eb := range Benchmark().Expected {
+		if eb.MemMgmt {
+			mm++
+		}
+	}
+	if mm != 4 {
+		t.Fatalf("memory-management rows = %d, want 4 (§6.2)", mm)
+	}
+}
+
+func TestFixedVariantIsClean(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Fixed), explore.Options{
+		Mode: explore.Random, Executions: b.Executions, Seed: 4,
+	})
+	if len(res.Violations) != 0 {
+		t.Fatalf("fixed variant still reports: %v", res.ViolationKeys())
+	}
+}
+
+func TestRecoveryNeverAborts(t *testing.T) {
+	for _, v := range []bench.Variant{bench.Buggy, bench.Fixed} {
+		res := explore.Run(Build(v), explore.Options{Mode: explore.Random, Executions: 150, Seed: 12})
+		if res.Aborted != 0 {
+			t.Fatalf("%v: %d aborted executions", v, res.Aborted)
+		}
+	}
+}
+
+// Consolidation folds a long delta chain into a compact base chain with
+// newest-wins semantics, preserving every lookup.
+func TestConsolidationFoldsChain(t *testing.T) {
+	tr := &bwTree{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	tr.create(th)
+	tr.prepareThreadLocal(th)
+	// Five updates of the same key build a 5-deep chain, then trigger
+	// consolidation.
+	for i := memmodel.Value(1); i <= 5; i++ {
+		tr.InsertConsolidating(th, 1, i*10)
+	}
+	slot := tr.mapping + memmodel.Addr(1%mapSlots*memmodel.WordSize)
+	if n := tr.chainLength(th, slot); n > consolidationThreshold {
+		t.Fatalf("chain length %d after consolidation, want <= %d", n, consolidationThreshold)
+	}
+	if v, ok := tr.lookup(th, 1); !ok || v != 50 {
+		t.Fatalf("lookup(1) = (%d, %v), want newest (50, true)", v, ok)
+	}
+}
+
+// Consolidation must keep distinct keys in the same slot.
+func TestConsolidationKeepsAllKeys(t *testing.T) {
+	tr := &bwTree{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	tr.create(th)
+	tr.prepareThreadLocal(th)
+	// Keys 1 and 9 share slot 1 (mod 8).
+	tr.InsertConsolidating(th, 1, 100)
+	tr.InsertConsolidating(th, 9, 900)
+	tr.InsertConsolidating(th, 1, 101)
+	tr.InsertConsolidating(th, 9, 901)
+	tr.InsertConsolidating(th, 1, 102)
+	if v, ok := tr.lookup(th, 1); !ok || v != 102 {
+		t.Fatalf("lookup(1) = (%d, %v)", v, ok)
+	}
+	if v, ok := tr.lookup(th, 9); !ok || v != 901 {
+		t.Fatalf("lookup(9) = (%d, %v)", v, ok)
+	}
+}
+
+// The consolidated image survives a crash intact in the fixed variant.
+func TestConsolidationDurable(t *testing.T) {
+	tr := &bwTree{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	tr.create(th)
+	tr.prepareThreadLocal(th)
+	for i := memmodel.Value(1); i <= 5; i++ {
+		tr.InsertConsolidating(th, 1, i*10)
+	}
+	w.Crash()
+	if v, ok := tr.lookup(th, 1); !ok || v != 50 {
+		t.Fatalf("post-crash lookup(1) = (%d, %v), want (50, true)", v, ok)
+	}
+}

@@ -1,0 +1,249 @@
+// Package pclht ports P-CLHT, the persistent cache-line hash table from
+// the RECIPE collection. CLHT keeps each bucket within a single cache
+// line so that a bucket update persists atomically; the port keeps that
+// property (bucket writes need no cross-line ordering) and seeds the
+// three violations the paper reports in the table bootstrap code:
+//
+//	#29 version_list  writing to clht_t::version_list in clht_gc_thread_init
+//	#30 num_buckets   writing to clht_t::num_buckets in clht_hashtable_create
+//	#31 table         writing to clht_t::table in clht_hashtable_create
+package pclht
+
+import (
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+const (
+	nBuckets    = 4
+	maxBuckets  = 16
+	slotsPerBkt = 3
+	bktLockOff  = 0
+	bktKeysOff  = 8 // keys at +8..+24, values at +32..+48: one line
+	bktValsOff  = 32
+
+	// clht_t object (one line): table pointer, num_buckets,
+	// version_list — written in that order.
+	htTableOff   = 0
+	htNumBktOff  = 8
+	htVersionOff = 16
+
+	markerAddr = pmem.RootAddr + 2*memmodel.CacheLineSize
+)
+
+// clht is the runtime handle of one simulated P-CLHT.
+type clht struct {
+	v bench.Variant
+}
+
+func (c *clht) persistIfFixed(th *pmem.Thread, a memmodel.Addr, size int, loc string) {
+	if c.v == bench.Fixed {
+		th.Persist(a, size, loc)
+	}
+}
+
+func bucketAddr(table memmodel.Addr, i int) memmodel.Addr {
+	return table + memmodel.Addr(i*memmodel.CacheLineSize)
+}
+
+// create is clht_hashtable_create: it allocates the bucket array and
+// publishes the clht_t fields; the table and num_buckets stores are
+// missing flushes — bugs #31 and #30.
+func (c *clht) create(th *pmem.Thread) {
+	w := th.World()
+	table := w.Heap.AllocLines(nBuckets)
+	// Bucket initialization is flushed (the original zeroes the pool).
+	for i := 0; i < nBuckets; i++ {
+		th.Store(bucketAddr(table, i)+bktLockOff, 0, "bucket lock init in clht_hashtable_create")
+		th.Persist(bucketAddr(table, i), memmodel.CacheLineSize, "persist bucket init")
+	}
+	ht := pmem.RootAddr
+	th.Store(ht+htTableOff, memmodel.Value(table), "clht_t::table in clht_hashtable_create") // bug #31
+	c.persistIfFixed(th, ht+htTableOff, memmodel.WordSize, "persist clht_t::table")
+	th.Store(ht+htNumBktOff, nBuckets, "clht_t::num_buckets in clht_hashtable_create") // bug #30
+	c.persistIfFixed(th, ht+htNumBktOff, memmodel.WordSize, "persist clht_t::num_buckets")
+}
+
+// gcThreadInit is clht_gc_thread_init: it registers the thread's version
+// slot, missing its flush — bug #29.
+func (c *clht) gcThreadInit(th *pmem.Thread) {
+	w := th.World()
+	vl := w.Heap.AllocLines(1)
+	th.Store(vl, 1, "version slot init in clht_gc_thread_init")
+	th.Persist(vl, memmodel.WordSize, "persist version slot")
+	th.Store(pmem.RootAddr+htVersionOff, memmodel.Value(vl), "clht_t::version_list in clht_gc_thread_init") // bug #29
+	c.persistIfFixed(th, pmem.RootAddr+htVersionOff, memmodel.WordSize, "persist clht_t::version_list")
+}
+
+// put inserts a pair into its bucket. CLHT's claim to fame: the bucket
+// fits one cache line, so value-then-key ordering persists in TSO order
+// without fences; the original flushes the line after the update.
+func (c *clht) put(th *pmem.Thread, key, val memmodel.Value) bool {
+	table := memmodel.Addr(th.Load(pmem.RootAddr+htTableOff, "read clht_t::table in put"))
+	n := int(th.Load(pmem.RootAddr+htNumBktOff, "read clht_t::num_buckets in put"))
+	if table == 0 || n <= 0 || n > maxBuckets {
+		return false
+	}
+	b := bucketAddr(table, int(key)%n)
+	for {
+		if _, ok := th.CAS(b+bktLockOff, 0, 1, "bucket lock in clht_put"); ok {
+			break
+		}
+	}
+	done := false
+	for s := 0; s < slotsPerBkt; s++ {
+		ka := b + bktKeysOff + memmodel.Addr(s*memmodel.WordSize)
+		va := b + bktValsOff + memmodel.Addr(s*memmodel.WordSize)
+		if th.Load(ka, "read bucket key in put") == 0 {
+			th.Store(va, val, "bucket value in clht_put")
+			th.Store(ka, key, "bucket key in clht_put")
+			th.Persist(b, memmodel.CacheLineSize, "persist bucket")
+			done = true
+			break
+		}
+	}
+	th.Store(b+bktLockOff, 0, "bucket unlock in clht_put")
+	th.Persist(b+bktLockOff, memmodel.WordSize, "persist bucket unlock")
+	return done
+}
+
+// get looks up a key.
+func (c *clht) get(th *pmem.Thread, key memmodel.Value) (memmodel.Value, bool) {
+	table := memmodel.Addr(th.Load(pmem.RootAddr+htTableOff, "read clht_t::table in get"))
+	n := int(th.Load(pmem.RootAddr+htNumBktOff, "read clht_t::num_buckets in get"))
+	if table == 0 || n <= 0 || n > maxBuckets {
+		return 0, false
+	}
+	b := bucketAddr(table, int(key)%n)
+	for s := 0; s < slotsPerBkt; s++ {
+		ka := b + bktKeysOff + memmodel.Addr(s*memmodel.WordSize)
+		if th.Load(ka, "read bucket key in get") == key {
+			return th.Load(b+bktValsOff+memmodel.Addr(s*memmodel.WordSize), "read bucket value in get"), true
+		}
+	}
+	return 0, false
+}
+
+// recover re-opens the table: clht fields in first-written order, then
+// the buckets, then lookups.
+func (c *clht) recover(th *pmem.Thread) {
+	th.Load(markerAddr, "read driver marker in Recovery")
+	table := memmodel.Addr(th.Load(pmem.RootAddr+htTableOff, "read clht_t::table in Recovery"))
+	nb := int(th.Load(pmem.RootAddr+htNumBktOff, "read clht_t::num_buckets in Recovery"))
+	vl := memmodel.Addr(th.Load(pmem.RootAddr+htVersionOff, "read clht_t::version_list in Recovery"))
+	if vl != 0 {
+		th.Load(vl, "read version slot in Recovery")
+	}
+	if table == 0 || nb <= 0 || nb > maxBuckets {
+		return
+	}
+	for i := 0; i < nb; i++ {
+		b := bucketAddr(table, i)
+		th.Load(b+bktLockOff, "read bucket lock in Recovery")
+		for s := 0; s < slotsPerBkt; s++ {
+			th.Load(b+bktValsOff+memmodel.Addr(s*memmodel.WordSize), "read bucket value in Recovery")
+			th.Load(b+bktKeysOff+memmodel.Addr(s*memmodel.WordSize), "read bucket key in Recovery")
+		}
+	}
+	for k := memmodel.Value(1); k <= 4; k++ {
+		c.get(th, k)
+	}
+}
+
+// Build constructs the exploration program for a variant.
+func Build(v bench.Variant) explore.Program {
+	c := &clht{v: v}
+	return &explore.FuncProgram{
+		ProgName: "P-CLHT-" + v.String(),
+		PhaseFns: []func(*pmem.World){
+			func(w *pmem.World) {
+				th := w.Thread(0)
+				c.create(th)
+				c.gcThreadInit(th)
+				for k := memmodel.Value(1); k <= 4; k++ {
+					c.put(th, k, k*10)
+				}
+				th.Store(markerAddr, 4, "driver marker")
+				th.Persist(markerAddr, memmodel.WordSize, "persist driver marker")
+			},
+			func(w *pmem.World) {
+				c.recover(w.Thread(0))
+			},
+		},
+	}
+}
+
+// Benchmark describes the port for the evaluation harness.
+func Benchmark() *bench.Benchmark {
+	return &bench.Benchmark{
+		Name: "P-CLHT",
+		Expected: []bench.ExpectedBug{
+			{ID: 29, Field: "version_list", Cause: "writing to clht_t::version_list in clht_gc_thread_init", LocSubstr: "clht_t::version_list in clht_gc_thread_init", Known: true},
+			{ID: 30, Field: "num_buckets", Cause: "writing to clht_t::num_buckets in clht_hashtable_create", LocSubstr: "clht_t::num_buckets in clht_hashtable_create", Known: true},
+			{ID: 31, Field: "table", Cause: "writing to clht_t::table in clht_hashtable_create", LocSubstr: "clht_t::table in clht_hashtable_create", Known: true},
+		},
+		Build:         Build,
+		PreferredMode: explore.Random,
+		Executions:    400,
+	}
+}
+
+// Resize grows the table: a new bucket array double the size is
+// allocated and zeroed, every pair is rehashed into it, and the clht_t
+// header is republished — re-running the clht_hashtable_create store
+// sites, which is where CLHT's resize inherits bugs #30/#31 from.
+func (c *clht) Resize(th *pmem.Thread) bool {
+	oldTable := memmodel.Addr(th.Load(pmem.RootAddr+htTableOff, "read clht_t::table in resize"))
+	oldN := int(th.Load(pmem.RootAddr+htNumBktOff, "read clht_t::num_buckets in resize"))
+	if oldTable == 0 || oldN <= 0 || oldN > maxBuckets/2 {
+		return false
+	}
+	newN := oldN * 2
+	w := th.World()
+	table := w.Heap.AllocLines(newN)
+	for i := 0; i < newN; i++ {
+		th.Store(bucketAddr(table, i)+bktLockOff, 0, "bucket lock init in clht_hashtable_create")
+		th.Persist(bucketAddr(table, i), memmodel.CacheLineSize, "persist bucket init")
+	}
+	// Rehash every pair into the new table (persisted per bucket, as
+	// the original's ht_resize_pes does).
+	fill := make([]int, newN)
+	for i := 0; i < oldN; i++ {
+		b := bucketAddr(oldTable, i)
+		for s := 0; s < slotsPerBkt; s++ {
+			k := th.Load(b+bktKeysOff+memmodel.Addr(s*memmodel.WordSize), "read key in resize")
+			if k == 0 {
+				continue
+			}
+			v := th.Load(b+bktValsOff+memmodel.Addr(s*memmodel.WordSize), "read value in resize")
+			ni := int(k) % newN
+			if fill[ni] >= slotsPerBkt {
+				return false // resize cannot place the pair; caller keeps old table
+			}
+			nb := bucketAddr(table, ni)
+			th.Store(nb+bktValsOff+memmodel.Addr(fill[ni]*memmodel.WordSize), v, "bucket value in resize")
+			th.Store(nb+bktKeysOff+memmodel.Addr(fill[ni]*memmodel.WordSize), k, "bucket key in resize")
+			th.Persist(nb, memmodel.CacheLineSize, "persist resized bucket")
+			fill[ni]++
+		}
+	}
+	// Republish the header through the same (buggy) create sites.
+	th.Store(pmem.RootAddr+htTableOff, memmodel.Value(table), "clht_t::table in clht_hashtable_create") // bug #31
+	c.persistIfFixed(th, pmem.RootAddr+htTableOff, memmodel.WordSize, "persist resized clht_t::table")
+	th.Store(pmem.RootAddr+htNumBktOff, memmodel.Value(newN), "clht_t::num_buckets in clht_hashtable_create") // bug #30
+	c.persistIfFixed(th, pmem.RootAddr+htNumBktOff, memmodel.WordSize, "persist resized clht_t::num_buckets")
+	return true
+}
+
+// PutResizing is put plus the resize-on-full policy.
+func (c *clht) PutResizing(th *pmem.Thread, key, val memmodel.Value) bool {
+	if c.put(th, key, val) {
+		return true
+	}
+	if !c.Resize(th) {
+		return false
+	}
+	return c.put(th, key, val)
+}

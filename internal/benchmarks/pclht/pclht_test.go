@@ -1,0 +1,183 @@
+package pclht
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+func TestFunctionalPutGet(t *testing.T) {
+	c := &clht{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	c.create(th)
+	c.gcThreadInit(th)
+	for k := memmodel.Value(1); k <= 4; k++ {
+		if !c.put(th, k, k*10) {
+			t.Fatalf("put(%d) failed", k)
+		}
+	}
+	for k := memmodel.Value(1); k <= 4; k++ {
+		v, ok := c.get(th, k)
+		if !ok || v != k*10 {
+			t.Fatalf("get(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+	if _, ok := c.get(th, 77); ok {
+		t.Fatal("get(77) should miss")
+	}
+}
+
+func TestBucketFitsOneCacheLine(t *testing.T) {
+	// CLHT's invariant: every bucket word shares one line, so bucket
+	// updates persist in TSO order without fences.
+	b := bucketAddr(0x100000, 1)
+	last := b + bktValsOff + memmodel.Addr((slotsPerBkt-1)*memmodel.WordSize)
+	if !memmodel.SameLine(b, last) {
+		t.Fatal("bucket spills over its cache line")
+	}
+}
+
+func TestBucketFull(t *testing.T) {
+	c := &clht{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	c.create(th)
+	for i := 0; i < slotsPerBkt; i++ {
+		if !c.put(th, memmodel.Value(4*(i+1)), 1) { // all hash to bucket 0
+			t.Fatalf("put %d failed early", i)
+		}
+	}
+	if c.put(th, 16, 1) {
+		t.Fatal("put into a full bucket should fail")
+	}
+}
+
+func TestBuggyVariantReportsTable2Rows(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Buggy), explore.Options{
+		Mode: explore.Random, Executions: b.Executions, Seed: 5,
+	})
+	_, missed := bench.MatchExpected(b.Expected, res.Violations)
+	if len(missed) != 0 {
+		t.Fatalf("missed rows: %+v\nfound: %v", missed, res.ViolationKeys())
+	}
+}
+
+// The bucket update path is robust by construction (single-line bucket):
+// no violations may implicate the bucket key/value stores even in the
+// buggy variant.
+func TestBucketUpdatesNeverFlagged(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Buggy), explore.Options{
+		Mode: explore.Random, Executions: b.Executions, Seed: 5,
+	})
+	for _, v := range res.Violations {
+		if v.MissingFlush.Loc == "bucket key in clht_put" || v.MissingFlush.Loc == "bucket value in clht_put" {
+			t.Fatalf("single-line bucket update flagged: %v", v)
+		}
+	}
+}
+
+func TestFixedVariantIsClean(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Fixed), explore.Options{
+		Mode: explore.Random, Executions: b.Executions, Seed: 5,
+	})
+	if len(res.Violations) != 0 {
+		t.Fatalf("fixed variant still reports: %v", res.ViolationKeys())
+	}
+}
+
+func TestRecoveryNeverAborts(t *testing.T) {
+	for _, v := range []bench.Variant{bench.Buggy, bench.Fixed} {
+		res := explore.Run(Build(v), explore.Options{Mode: explore.Random, Executions: 150, Seed: 13})
+		if res.Aborted != 0 {
+			t.Fatalf("%v: %d aborted executions", v, res.Aborted)
+		}
+	}
+}
+
+// Resize doubles the bucket array, rehashes every pair, and keeps all
+// keys reachable.
+func TestResizeRehashesAllPairs(t *testing.T) {
+	c := &clht{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	c.create(th)
+	c.gcThreadInit(th)
+	// Fill bucket 0 (keys ≡ 0 mod 4), then one more forces a resize.
+	keys := []memmodel.Value{4, 8, 12, 16}
+	for _, k := range keys {
+		if !c.PutResizing(th, k, k*10) {
+			t.Fatalf("PutResizing(%d) failed", k)
+		}
+	}
+	if nb := th.Load(pmem.RootAddr+htNumBktOff, "nb"); nb != 8 {
+		t.Fatalf("num_buckets = %d, want 8 after resize", nb)
+	}
+	for _, k := range keys {
+		v, ok := c.get(th, k)
+		if !ok || v != k*10 {
+			t.Fatalf("get(%d) = (%d, %v) after resize", k, v, ok)
+		}
+	}
+}
+
+// A resized table in the buggy variant re-runs the unflushed header
+// publishes, so the create-site rows are reported from the resize path
+// too.
+func TestResizePathReportsHeaderRows(t *testing.T) {
+	prog := &explore.FuncProgram{
+		ProgName: "P-CLHT-resize-buggy",
+		PhaseFns: []func(*pmem.World){
+			func(w *pmem.World) {
+				c := &clht{v: bench.Buggy}
+				th := w.Thread(0)
+				c.create(th)
+				c.gcThreadInit(th)
+				for _, k := range []memmodel.Value{4, 8, 12, 16, 5, 9} {
+					c.PutResizing(th, k, k*10)
+				}
+				th.Store(markerAddr, 6, "driver marker")
+				th.Persist(markerAddr, memmodel.WordSize, "persist driver marker")
+			},
+			func(w *pmem.World) {
+				(&clht{v: bench.Buggy}).recover(w.Thread(0))
+			},
+		},
+	}
+	res := explore.Run(prog, explore.Options{Mode: explore.Random, Executions: 400, Seed: 45})
+	_, missed := bench.MatchExpected(Benchmark().Expected, res.Violations)
+	if len(missed) != 0 {
+		t.Fatalf("resize driver missed rows: %+v", missed)
+	}
+}
+
+// The fixed variant's resize is clean under exploration.
+func TestResizePathFixedClean(t *testing.T) {
+	prog := &explore.FuncProgram{
+		ProgName: "P-CLHT-resize-fixed",
+		PhaseFns: []func(*pmem.World){
+			func(w *pmem.World) {
+				c := &clht{v: bench.Fixed}
+				th := w.Thread(0)
+				c.create(th)
+				c.gcThreadInit(th)
+				for _, k := range []memmodel.Value{4, 8, 12, 16, 5, 9} {
+					c.PutResizing(th, k, k*10)
+				}
+			},
+			func(w *pmem.World) {
+				(&clht{v: bench.Fixed}).recover(w.Thread(0))
+			},
+		},
+	}
+	res := explore.Run(prog, explore.Options{Mode: explore.Random, Executions: 400, Seed: 45})
+	if len(res.Violations) != 0 {
+		t.Fatalf("fixed resize driver reports: %v", res.ViolationKeys())
+	}
+}

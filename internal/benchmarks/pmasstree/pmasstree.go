@@ -1,0 +1,276 @@
+// Package pmasstree ports P-Masstree from the RECIPE collection: a trie
+// of B+-tree-like leaves with a permutation word that publishes entries
+// atomically. The original P-Masstree has no rows in the paper's
+// Table 2 — its persistence discipline (write slot, persist slot, then
+// publish through the permutation word and persist it) is sound — so
+// this port serves as the negative control in bug detection and as a
+// workload in the Table 3 performance comparison.
+package pmasstree
+
+import (
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+const (
+	leafFanout = 8
+
+	// Leaf layout: permutation word (count in low bits, publication
+	// order implicit in slot order), then key and value arrays.
+	leafPermOff = 0
+	leafKeysOff = memmodel.CacheLineSize
+	leafValsOff = 2 * memmodel.CacheLineSize
+
+	markerAddr = pmem.RootAddr + 2*memmodel.CacheLineSize
+)
+
+// masstree is the runtime handle of one simulated P-Masstree.
+type masstree struct {
+	v bench.Variant
+}
+
+func keyAddr(leaf memmodel.Addr, i int) memmodel.Addr {
+	return leaf + leafKeysOff + memmodel.Addr(i*memmodel.WordSize)
+}
+
+func valAddr(leaf memmodel.Addr, i int) memmodel.Addr {
+	return leaf + leafValsOff + memmodel.Addr(i*memmodel.WordSize)
+}
+
+// create builds the root leaf and publishes it durably.
+func (m *masstree) create(th *pmem.Thread) memmodel.Addr {
+	w := th.World()
+	leaf := w.Heap.AllocLines(3)
+	th.Store(leaf+leafPermOff, 0, "permutation init in leaf constructor")
+	th.Persist(leaf+leafPermOff, memmodel.WordSize, "persist permutation init")
+	th.Store(pmem.RootAddr, memmodel.Value(leaf), "root in masstree constructor")
+	th.Persist(pmem.RootAddr, memmodel.WordSize, "persist root")
+	return leaf
+}
+
+// put inserts with the sound discipline: slot writes are persisted
+// before the permutation word that publishes them, and the permutation
+// update itself is persisted before returning.
+func (m *masstree) put(th *pmem.Thread, key, val memmodel.Value) bool {
+	leaf := memmodel.Addr(th.Load(pmem.RootAddr, "read root in put"))
+	perm := th.Load(leaf+leafPermOff, "read permutation in put")
+	n := int(perm)
+	if n >= leafFanout {
+		return false
+	}
+	th.Store(valAddr(leaf, n), val, "leaf value in put")
+	th.Store(keyAddr(leaf, n), key, "leaf key in put")
+	th.Persist(valAddr(leaf, n), memmodel.WordSize, "persist leaf value")
+	th.Persist(keyAddr(leaf, n), memmodel.WordSize, "persist leaf key")
+	th.Store(leaf+leafPermOff, perm+1, "permutation publish in put")
+	th.Persist(leaf+leafPermOff, memmodel.WordSize, "persist permutation")
+	return true
+}
+
+// get reads through the permutation word, touching only published slots.
+func (m *masstree) get(th *pmem.Thread, key memmodel.Value) (memmodel.Value, bool) {
+	leaf := memmodel.Addr(th.Load(pmem.RootAddr, "read root in get"))
+	if leaf == 0 {
+		return 0, false
+	}
+	n := int(th.Load(leaf+leafPermOff, "read permutation in get"))
+	if n > leafFanout {
+		return 0, false
+	}
+	for i := 0; i < n; i++ {
+		if th.Load(keyAddr(leaf, i), "read leaf key in get") == key {
+			return th.Load(valAddr(leaf, i), "read leaf value in get"), true
+		}
+	}
+	return 0, false
+}
+
+// recover re-opens the tree and validates the published slots.
+func (m *masstree) recover(th *pmem.Thread) {
+	th.Load(markerAddr, "read driver marker in Recovery")
+	leaf := memmodel.Addr(th.Load(pmem.RootAddr, "read root in Recovery"))
+	if leaf == 0 {
+		return
+	}
+	n := int(th.Load(leaf+leafPermOff, "read permutation in Recovery"))
+	if n > leafFanout {
+		n = leafFanout
+	}
+	for i := 0; i < n; i++ {
+		th.Load(valAddr(leaf, i), "read leaf value in Recovery")
+		th.Load(keyAddr(leaf, i), "read leaf key in Recovery")
+	}
+	for k := memmodel.Value(1); k <= 5; k++ {
+		m.get(th, k)
+	}
+}
+
+// Build constructs the exploration program for a variant (both variants
+// are identical: the port has no seeded bugs).
+func Build(v bench.Variant) explore.Program {
+	m := &masstree{v: v}
+	return &explore.FuncProgram{
+		ProgName: "P-Masstree-" + v.String(),
+		PhaseFns: []func(*pmem.World){
+			func(w *pmem.World) {
+				th := w.Thread(0)
+				m.create(th)
+				for k := memmodel.Value(1); k <= 5; k++ {
+					m.put(th, k, k*10)
+				}
+				th.Store(markerAddr, 5, "driver marker")
+				th.Persist(markerAddr, memmodel.WordSize, "persist driver marker")
+			},
+			func(w *pmem.World) {
+				m.recover(w.Thread(0))
+			},
+		},
+	}
+}
+
+// Benchmark describes the port for the evaluation harness.
+func Benchmark() *bench.Benchmark {
+	return &bench.Benchmark{
+		Name:          "P-Masstree",
+		Expected:      nil, // no Table 2 rows: the discipline is sound
+		Build:         Build,
+		PreferredMode: explore.Random,
+		Executions:    400,
+	}
+}
+
+// Leaf chaining and splits: P-Masstree leaves form a sorted linked
+// list; a full leaf splits by persisting the new right leaf completely
+// before the next-pointer publish (the commit store), then shrinking
+// the old permutation word — each step durable before the next, so the
+// structure stays robust (the negative control keeps holding with
+// splits in play).
+
+const (
+	leafNextOff   = 8
+	leafLowKeyOff = 16
+	maxLeaves     = 16
+)
+
+// leafOf walks the chain to the leaf owning key.
+func (m *masstree) leafOf(th *pmem.Thread, key memmodel.Value) memmodel.Addr {
+	leaf := memmodel.Addr(th.Load(pmem.RootAddr, "read root in leafOf"))
+	for hops := 0; leaf != 0 && hops < maxLeaves; hops++ {
+		next := memmodel.Addr(th.Load(leaf+leafNextOff, "read leaf next in leafOf"))
+		if next == 0 {
+			return leaf
+		}
+		if th.Load(next+leafLowKeyOff, "read low key in leafOf") > key {
+			return leaf
+		}
+		leaf = next
+	}
+	return leaf
+}
+
+// splitLeaf moves the upper half of a full leaf to a new right leaf.
+func (m *masstree) splitLeaf(th *pmem.Thread, leaf memmodel.Addr) {
+	w := th.World()
+	right := w.Heap.AllocLines(3)
+	n := int(th.Load(leaf+leafPermOff, "read permutation in split"))
+	if n > leafFanout {
+		n = leafFanout
+	}
+	half := n / 2
+	moved := 0
+	var low memmodel.Value
+	for i := half; i < n; i++ {
+		k := th.Load(keyAddr(leaf, i), "read key in split")
+		v := th.Load(valAddr(leaf, i), "read value in split")
+		if moved == 0 {
+			low = k
+		}
+		th.Store(valAddr(right, moved), v, "leaf value in split")
+		th.Store(keyAddr(right, moved), k, "leaf key in split")
+		th.Persist(valAddr(right, moved), memmodel.WordSize, "persist split value")
+		th.Persist(keyAddr(right, moved), memmodel.WordSize, "persist split key")
+		moved++
+	}
+	th.Store(right+leafLowKeyOff, low, "low key in split")
+	th.Store(right+leafPermOff, memmodel.Value(moved), "permutation in split (new leaf)")
+	oldNext := th.Load(leaf+leafNextOff, "read next in split")
+	th.Store(right+leafNextOff, oldNext, "leaf next chain in split")
+	th.Persist(right+leafPermOff, 3*memmodel.WordSize, "persist new leaf header")
+	// Commit store: publish the new leaf, then shrink the old one.
+	th.Store(leaf+leafNextOff, memmodel.Value(right), "leaf next publish in split")
+	th.Persist(leaf+leafNextOff, memmodel.WordSize, "persist leaf next publish")
+	th.Store(leaf+leafPermOff, memmodel.Value(half), "permutation shrink in split")
+	th.Persist(leaf+leafPermOff, memmodel.WordSize, "persist permutation shrink")
+}
+
+// PutChained inserts through the leaf chain, splitting full leaves.
+// The driver inserts ascending keys, so in-leaf order is maintained.
+func (m *masstree) PutChained(th *pmem.Thread, key, val memmodel.Value) bool {
+	leaf := m.leafOf(th, key)
+	if leaf == 0 {
+		return false
+	}
+	n := int(th.Load(leaf+leafPermOff, "read permutation in put"))
+	if n >= leafFanout {
+		m.splitLeaf(th, leaf)
+		leaf = m.leafOf(th, key)
+		n = int(th.Load(leaf+leafPermOff, "read permutation in put"))
+		if n >= leafFanout {
+			return false
+		}
+	}
+	th.Store(valAddr(leaf, n), val, "leaf value in put")
+	th.Store(keyAddr(leaf, n), key, "leaf key in put")
+	th.Persist(valAddr(leaf, n), memmodel.WordSize, "persist leaf value")
+	th.Persist(keyAddr(leaf, n), memmodel.WordSize, "persist leaf key")
+	th.Store(leaf+leafPermOff, memmodel.Value(n+1), "permutation publish in put")
+	th.Persist(leaf+leafPermOff, memmodel.WordSize, "persist permutation")
+	return true
+}
+
+// GetChained looks a key up through the chain.
+func (m *masstree) GetChained(th *pmem.Thread, key memmodel.Value) (memmodel.Value, bool) {
+	leaf := m.leafOf(th, key)
+	if leaf == 0 {
+		return 0, false
+	}
+	n := int(th.Load(leaf+leafPermOff, "read permutation in get"))
+	if n > leafFanout {
+		return 0, false
+	}
+	for i := 0; i < n; i++ {
+		if th.Load(keyAddr(leaf, i), "read leaf key in get") == key {
+			return th.Load(valAddr(leaf, i), "read leaf value in get"), true
+		}
+	}
+	return 0, false
+}
+
+// BuildChained is the exploration program with splits in play: still a
+// negative control — the chained discipline is robust.
+func BuildChained(v bench.Variant) explore.Program {
+	m := &masstree{v: v}
+	return &explore.FuncProgram{
+		ProgName: "P-Masstree-chained-" + v.String(),
+		PhaseFns: []func(*pmem.World){
+			func(w *pmem.World) {
+				th := w.Thread(0)
+				m.create(th)
+				for k := memmodel.Value(1); k <= 12; k++ {
+					m.PutChained(th, k, k*10)
+				}
+				th.Store(markerAddr, 12, "driver marker")
+				th.Persist(markerAddr, memmodel.WordSize, "persist driver marker")
+			},
+			func(w *pmem.World) {
+				th := w.Thread(0)
+				th.Load(markerAddr, "read driver marker in Recovery")
+				for k := memmodel.Value(1); k <= 12; k++ {
+					m.GetChained(th, k)
+				}
+			},
+		},
+	}
+}

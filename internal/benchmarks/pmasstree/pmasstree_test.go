@@ -1,0 +1,127 @@
+package pmasstree
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+func TestFunctionalPutGet(t *testing.T) {
+	m := &masstree{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	m.create(th)
+	for k := memmodel.Value(1); k <= 5; k++ {
+		if !m.put(th, k, k*10) {
+			t.Fatalf("put(%d) failed", k)
+		}
+	}
+	for k := memmodel.Value(1); k <= 5; k++ {
+		v, ok := m.get(th, k)
+		if !ok || v != k*10 {
+			t.Fatalf("get(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+}
+
+func TestLeafFull(t *testing.T) {
+	m := &masstree{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	m.create(th)
+	for i := 0; i < leafFanout; i++ {
+		if !m.put(th, memmodel.Value(i+1), 1) {
+			t.Fatalf("put %d failed early", i)
+		}
+	}
+	if m.put(th, 100, 1) {
+		t.Fatal("put into a full leaf should fail")
+	}
+}
+
+// P-Masstree's discipline is sound: the port must be violation-free
+// under exploration — the negative control for the detection pipeline.
+func TestNoViolationsRandom(t *testing.T) {
+	res := explore.Run(Build(bench.Buggy), explore.Options{
+		Mode: explore.Random, Executions: 400, Seed: 6,
+	})
+	if len(res.Violations) != 0 {
+		t.Fatalf("sound port flagged: %v", res.ViolationKeys())
+	}
+	if res.Aborted != 0 {
+		t.Fatalf("%d aborted executions", res.Aborted)
+	}
+}
+
+func TestNoViolationsModelCheck(t *testing.T) {
+	res := explore.Run(Build(bench.Buggy), explore.Options{
+		Mode: explore.ModelCheck, Executions: 3000,
+	})
+	if len(res.Violations) != 0 {
+		t.Fatalf("sound port flagged under model checking: %v", res.ViolationKeys())
+	}
+}
+
+// Chained leaves: twelve inserts split the root leaf and every key
+// stays findable through the chain.
+func TestChainedSplitAndLookup(t *testing.T) {
+	m := &masstree{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	m.create(th)
+	for k := memmodel.Value(1); k <= 12; k++ {
+		if !m.PutChained(th, k, k*10) {
+			t.Fatalf("PutChained(%d) failed", k)
+		}
+	}
+	// The chain must have at least two leaves.
+	first := memmodel.Addr(th.Load(pmem.RootAddr, "root"))
+	if next := th.Load(first+leafNextOff, "next"); next == 0 {
+		t.Fatal("no split happened after 12 inserts into an 8-slot leaf")
+	}
+	for k := memmodel.Value(1); k <= 12; k++ {
+		v, ok := m.GetChained(th, k)
+		if !ok || v != k*10 {
+			t.Fatalf("GetChained(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+	if _, ok := m.GetChained(th, 99); ok {
+		t.Fatal("GetChained(99) should miss")
+	}
+}
+
+// The chained variant with splits remains violation-free: the split's
+// persist-before-publish discipline is robust.
+func TestChainedNoViolations(t *testing.T) {
+	res := explore.Run(BuildChained(bench.Buggy), explore.Options{
+		Mode: explore.Random, Executions: 400, Seed: 51,
+	})
+	if len(res.Violations) != 0 {
+		t.Fatalf("chained masstree flagged: %v", res.ViolationKeys())
+	}
+	if res.Aborted != 0 {
+		t.Fatalf("%d aborted executions", res.Aborted)
+	}
+}
+
+// And the split image is durable: crash after the workload, everything
+// readable.
+func TestChainedDurableAcrossCrash(t *testing.T) {
+	m := &masstree{v: bench.Fixed}
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	m.create(th)
+	for k := memmodel.Value(1); k <= 12; k++ {
+		m.PutChained(th, k, k*10)
+	}
+	w.Crash()
+	for k := memmodel.Value(1); k <= 12; k++ {
+		v, ok := m.GetChained(th, k)
+		if !ok || v != k*10 {
+			t.Fatalf("post-crash GetChained(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+}

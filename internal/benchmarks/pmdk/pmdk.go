@@ -1,0 +1,439 @@
+// Package pmdk ports the five PMDK data-structure examples the paper
+// evaluates (§6.1): BTree, CTree, RBTree, Hashmap_atomic, and
+// Hashmap_tx, implemented on top of the pmlib pool and redo-log
+// transaction API. The examples themselves follow the library's
+// documented discipline; the violations PSan reports here (Table 2 rows
+// #32–#35) live inside the library — the pool-header memcpy and the
+// ulog machinery — exactly as in the paper, where rows #33–#35 are the
+// checksum-protected "harmless" class of §6.4.
+package pmdk
+
+import (
+	"fmt"
+
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+	"repro/internal/pmlib"
+)
+
+// PoolBase is where the drivers place the pool, above the harness
+// heap's own arena.
+const PoolBase = memmodel.Addr(0x800000)
+
+// Directory slots inside the pool root: one per example structure.
+const (
+	slotBTree = iota
+	slotCTree
+	slotRBTree
+	slotHashTx
+	slotHashAtomic
+	numSlots
+)
+
+// --- BTree example: a sorted node updated inside transactions ---
+
+const btreeCap = 6
+
+// BTree is the btree example: keys/values arrays plus a count word, all
+// updated through redo-log transactions.
+type BTree struct{ node memmodel.Addr }
+
+// NewBTree allocates the example's root node.
+func NewBTree(p *pmlib.Pool, th *pmem.Thread) *BTree {
+	node := p.AllocLines(th, 3)
+	return &BTree{node: node}
+}
+
+func (b *BTree) keyAddr(i int) memmodel.Addr {
+	return b.node + memmodel.CacheLineSize + memmodel.Addr(i*memmodel.WordSize)
+}
+
+func (b *BTree) valAddr(i int) memmodel.Addr {
+	return b.node + 2*memmodel.CacheLineSize + memmodel.Addr(i*memmodel.WordSize)
+}
+
+// Insert adds a pair, shifting larger keys right, inside one tx.
+func (b *BTree) Insert(p *pmlib.Pool, th *pmem.Thread, key, val memmodel.Value) bool {
+	n := int(th.Load(b.node, "btree read count"))
+	if n >= btreeCap {
+		return false
+	}
+	pos := 0
+	for pos < n && th.Load(b.keyAddr(pos), "btree probe key") < key {
+		pos++
+	}
+	tx := p.TxBegin(th)
+	for i := n; i > pos; i-- {
+		tx.Set(b.keyAddr(i), th.Load(b.keyAddr(i-1), "btree shift key"))
+		tx.Set(b.valAddr(i), th.Load(b.valAddr(i-1), "btree shift val"))
+	}
+	tx.Set(b.keyAddr(pos), key)
+	tx.Set(b.valAddr(pos), val)
+	tx.Set(b.node, memmodel.Value(n+1))
+	tx.Commit()
+	return true
+}
+
+// Lookup finds a key.
+func (b *BTree) Lookup(th *pmem.Thread, key memmodel.Value) (memmodel.Value, bool) {
+	n := int(th.Load(b.node, "btree read count"))
+	if n > btreeCap {
+		return 0, false
+	}
+	for i := 0; i < n; i++ {
+		if th.Load(b.keyAddr(i), "btree read key") == key {
+			return th.Load(b.valAddr(i), "btree read val"), true
+		}
+	}
+	return 0, false
+}
+
+// --- CTree example: a crit-bit-style binary tree with tx link updates ---
+
+// CTree is the ctree example; nodes are {key, val, left, right}.
+type CTree struct{ rootCell memmodel.Addr }
+
+// NewCTree allocates the root pointer cell.
+func NewCTree(p *pmlib.Pool, th *pmem.Thread) *CTree {
+	return &CTree{rootCell: p.Alloc(th, memmodel.WordSize)}
+}
+
+const (
+	ctKeyOff   = 0
+	ctValOff   = 8
+	ctLeftOff  = 16
+	ctRightOff = 24
+)
+
+// Insert allocates a node and links it in one transaction.
+func (c *CTree) Insert(p *pmlib.Pool, th *pmem.Thread, key, val memmodel.Value) {
+	node := p.Alloc(th, 4*memmodel.WordSize)
+	th.Store(node+ctKeyOff, key, "ctree node key init")
+	th.Store(node+ctValOff, val, "ctree node val init")
+	th.Persist(node, 4*memmodel.WordSize, "persist ctree node")
+	// Find the link to update.
+	link := c.rootCell
+	for {
+		cur := memmodel.Addr(th.Load(link, "ctree read link"))
+		if cur == 0 {
+			break
+		}
+		if key < th.Load(cur+ctKeyOff, "ctree read node key") {
+			link = cur + ctLeftOff
+		} else {
+			link = cur + ctRightOff
+		}
+	}
+	tx := p.TxBegin(th)
+	tx.Set(link, memmodel.Value(node))
+	tx.Commit()
+}
+
+// Lookup finds a key.
+func (c *CTree) Lookup(th *pmem.Thread, key memmodel.Value) (memmodel.Value, bool) {
+	node := memmodel.Addr(th.Load(c.rootCell, "ctree read root"))
+	for node != 0 {
+		k := th.Load(node+ctKeyOff, "ctree read key")
+		if k == key {
+			return th.Load(node+ctValOff, "ctree read val"), true
+		}
+		if key < k {
+			node = memmodel.Addr(th.Load(node+ctLeftOff, "ctree read left"))
+		} else {
+			node = memmodel.Addr(th.Load(node+ctRightOff, "ctree read right"))
+		}
+	}
+	return 0, false
+}
+
+// --- RBTree example: a BST with a color word, links updated in txs ---
+// (The PMDK example's rebalancing is orthogonal to its persistence
+// skeleton; this port keeps the tx-guarded link/color updates.)
+
+// RBTree is the rbtree example.
+type RBTree struct{ rootCell memmodel.Addr }
+
+// NewRBTree allocates the root pointer cell.
+func NewRBTree(p *pmlib.Pool, th *pmem.Thread) *RBTree {
+	return &RBTree{rootCell: p.Alloc(th, memmodel.WordSize)}
+}
+
+const (
+	rbKeyOff   = 0
+	rbValOff   = 8
+	rbLeftOff  = 16
+	rbRightOff = 24
+	rbColorOff = 32
+)
+
+// Insert links a new red node through the redo log (including the
+// ULOG_OPERATION_OR recolor — row #35's path), then runs the example's
+// recolor pass as an undo-log transaction: the parent's color word is
+// snapshotted (pmemobj_tx_add_range) before being rewritten in place,
+// exercising libpmemobj's other log flavor.
+func (r *RBTree) Insert(p *pmlib.Pool, th *pmem.Thread, key, val memmodel.Value) {
+	node := p.Alloc(th, 5*memmodel.WordSize)
+	th.Store(node+rbKeyOff, key, "rbtree node key init")
+	th.Store(node+rbValOff, val, "rbtree node val init")
+	th.Store(node+rbColorOff, 1, "rbtree node color init (red)")
+	th.Persist(node, 5*memmodel.WordSize, "persist rbtree node")
+	link := r.rootCell
+	parent := memmodel.Addr(0)
+	for {
+		cur := memmodel.Addr(th.Load(link, "rbtree read link"))
+		if cur == 0 {
+			break
+		}
+		parent = cur
+		if key < th.Load(cur+rbKeyOff, "rbtree read node key") {
+			link = cur + rbLeftOff
+		} else {
+			link = cur + rbRightOff
+		}
+	}
+	tx := p.TxBegin(th)
+	tx.Set(link, memmodel.Value(node))
+	tx.Or(node+rbColorOff, 2) // recolor via ULOG_OPERATION_OR — row #35's path
+	tx.Commit()
+	if parent != 0 {
+		// Recolor the parent black in place under an undo snapshot.
+		utx := p.UndoTxBegin(th)
+		utx.Snapshot(parent + rbColorOff)
+		th.Store(parent+rbColorOff, 2, "rbtree parent recolor")
+		th.Persist(parent+rbColorOff, memmodel.WordSize, "persist parent recolor")
+		utx.Commit()
+	}
+}
+
+// Lookup finds a key.
+func (r *RBTree) Lookup(th *pmem.Thread, key memmodel.Value) (memmodel.Value, bool) {
+	node := memmodel.Addr(th.Load(r.rootCell, "rbtree read root"))
+	for node != 0 {
+		k := th.Load(node+rbKeyOff, "rbtree read key")
+		if k == key {
+			return th.Load(node+rbValOff, "rbtree read val"), true
+		}
+		if key < k {
+			node = memmodel.Addr(th.Load(node+rbLeftOff, "rbtree read left"))
+		} else {
+			node = memmodel.Addr(th.Load(node+rbRightOff, "rbtree read right"))
+		}
+	}
+	return 0, false
+}
+
+// --- Hashmap_tx example: chained buckets, links updated in txs ---
+
+const hashTxBuckets = 4
+
+// HashmapTx is the hashmap_tx example.
+type HashmapTx struct{ buckets memmodel.Addr }
+
+// NewHashmapTx allocates the bucket array.
+func NewHashmapTx(p *pmlib.Pool, th *pmem.Thread) *HashmapTx {
+	return &HashmapTx{buckets: p.AllocLines(th, 1)}
+}
+
+const (
+	heKeyOff  = 0
+	heValOff  = 8
+	heNextOff = 16
+)
+
+// Insert prepends an entry to its bucket chain in one tx.
+func (h *HashmapTx) Insert(p *pmlib.Pool, th *pmem.Thread, key, val memmodel.Value) {
+	entry := p.Alloc(th, 3*memmodel.WordSize)
+	th.Store(entry+heKeyOff, key, "hashmap_tx entry key init")
+	th.Store(entry+heValOff, val, "hashmap_tx entry val init")
+	th.Persist(entry, 3*memmodel.WordSize, "persist hashmap_tx entry")
+	slot := h.buckets + memmodel.Addr(int(key)%hashTxBuckets*memmodel.WordSize)
+	head := th.Load(slot, "hashmap_tx read head")
+	tx := p.TxBegin(th)
+	tx.Set(entry+heNextOff, head)
+	tx.Set(slot, memmodel.Value(entry))
+	tx.Commit()
+}
+
+// Lookup finds a key.
+func (h *HashmapTx) Lookup(th *pmem.Thread, key memmodel.Value) (memmodel.Value, bool) {
+	slot := h.buckets + memmodel.Addr(int(key)%hashTxBuckets*memmodel.WordSize)
+	for e := memmodel.Addr(th.Load(slot, "hashmap_tx read head")); e != 0; {
+		if th.Load(e+heKeyOff, "hashmap_tx read key") == key {
+			return th.Load(e+heValOff, "hashmap_tx read val"), true
+		}
+		e = memmodel.Addr(th.Load(e+heNextOff, "hashmap_tx read next"))
+	}
+	return 0, false
+}
+
+// --- Hashmap_atomic example: direct libpmem-style stores ---
+
+const hashAtBuckets = 4
+
+// HashmapAtomic is the hashmap_atomic example: open addressing with a
+// value-then-key publish and per-slot persists (the correct low-level
+// discipline), plus an element counter maintained with FAA.
+type HashmapAtomic struct{ base memmodel.Addr }
+
+// NewHashmapAtomic allocates the table: a count word plus slot pairs.
+func NewHashmapAtomic(p *pmlib.Pool, th *pmem.Thread) *HashmapAtomic {
+	return &HashmapAtomic{base: p.AllocLines(th, 3)}
+}
+
+func (h *HashmapAtomic) slotKey(i int) memmodel.Addr {
+	return h.base + memmodel.CacheLineSize + memmodel.Addr(i*memmodel.WordSize)
+}
+
+func (h *HashmapAtomic) slotVal(i int) memmodel.Addr {
+	return h.base + 2*memmodel.CacheLineSize + memmodel.Addr(i*memmodel.WordSize)
+}
+
+// Insert publishes value before key, persisting each, then bumps the
+// counter atomically.
+func (h *HashmapAtomic) Insert(p *pmlib.Pool, th *pmem.Thread, key, val memmodel.Value) bool {
+	for probe := 0; probe < hashAtBuckets; probe++ {
+		i := (int(key) + probe) % hashAtBuckets
+		if th.Load(h.slotKey(i), "hashmap_atomic probe") == 0 {
+			th.Store(h.slotVal(i), val, "hashmap_atomic value publish")
+			th.Persist(h.slotVal(i), memmodel.WordSize, "persist hashmap_atomic value")
+			th.Store(h.slotKey(i), key, "hashmap_atomic key publish")
+			th.Persist(h.slotKey(i), memmodel.WordSize, "persist hashmap_atomic key")
+			th.FAA(h.base, 1, "hashmap_atomic count FAA")
+			th.Persist(h.base, memmodel.WordSize, "persist hashmap_atomic count")
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup finds a key.
+func (h *HashmapAtomic) Lookup(th *pmem.Thread, key memmodel.Value) (memmodel.Value, bool) {
+	for probe := 0; probe < hashAtBuckets; probe++ {
+		i := (int(key) + probe) % hashAtBuckets
+		if th.Load(h.slotKey(i), "hashmap_atomic read key") == key {
+			return th.Load(h.slotVal(i), "hashmap_atomic read val"), true
+		}
+	}
+	return 0, false
+}
+
+// --- driver ---
+
+// workload runs each example against a freshly created pool and records
+// the structures' cells in the pool root directory.
+func workload(w *pmem.World, opt pmlib.Options) {
+	th := w.Thread(0)
+	p := pmlib.Create(th, PoolBase, opt)
+	dir := p.AllocLines(th, 1)
+	p.SetRoot(th, dir)
+
+	bt := NewBTree(p, th)
+	ct := NewCTree(p, th)
+	rb := NewRBTree(p, th)
+	htx := NewHashmapTx(p, th)
+	hat := NewHashmapAtomic(p, th)
+	cells := []memmodel.Addr{bt.node, ct.rootCell, rb.rootCell, htx.buckets, hat.base}
+	for i, cell := range cells {
+		th.Store(dir+memmodel.Addr(i*memmodel.WordSize), memmodel.Value(cell), "pool directory publish")
+	}
+	th.Persist(dir, numSlots*memmodel.WordSize, "persist pool directory")
+
+	for k := memmodel.Value(1); k <= 3; k++ {
+		bt.Insert(p, th, k, k+100)
+		ct.Insert(p, th, k, k+200)
+		rb.Insert(p, th, k, k+300)
+		htx.Insert(p, th, k, k+400)
+		hat.Insert(p, th, k, k+500)
+	}
+}
+
+// recovery reopens the pool, replays the redo log, and walks every
+// structure.
+func recovery(w *pmem.World, opt pmlib.Options) {
+	th := w.Thread(0)
+	p, ok := pmlib.Open(th, PoolBase, opt)
+	if !ok {
+		return
+	}
+	p.Recover(th)
+	p.RecoverUndo(th)
+	dir := p.Root(th)
+	if dir == 0 {
+		return
+	}
+	read := func(i int) memmodel.Addr {
+		return memmodel.Addr(th.Load(dir+memmodel.Addr(i*memmodel.WordSize), "read pool directory"))
+	}
+	if node := read(slotBTree); node != 0 {
+		bt := &BTree{node: node}
+		for k := memmodel.Value(1); k <= 3; k++ {
+			if v, ok := bt.Lookup(th, k); ok && v != k+100 {
+				w.RecordAssertFailure(fmt.Sprintf("btree[%d] = %d", uint64(k), uint64(v)))
+			}
+		}
+	}
+	if cell := read(slotCTree); cell != 0 {
+		ct := &CTree{rootCell: cell}
+		for k := memmodel.Value(1); k <= 3; k++ {
+			ct.Lookup(th, k)
+		}
+	}
+	if cell := read(slotRBTree); cell != 0 {
+		rb := &RBTree{rootCell: cell}
+		for k := memmodel.Value(1); k <= 3; k++ {
+			rb.Lookup(th, k)
+		}
+	}
+	if cell := read(slotHashTx); cell != 0 {
+		htx := &HashmapTx{buckets: cell}
+		for k := memmodel.Value(1); k <= 3; k++ {
+			htx.Lookup(th, k)
+		}
+	}
+	if cell := read(slotHashAtomic); cell != 0 {
+		hat := &HashmapAtomic{base: cell}
+		for k := memmodel.Value(1); k <= 3; k++ {
+			hat.Lookup(th, k)
+		}
+	}
+}
+
+// Build constructs the exploration program for a variant (checksum
+// annotations off, matching the Table 2 runs).
+func Build(v bench.Variant) explore.Program {
+	return BuildAnnotated(v, false)
+}
+
+// BuildAnnotated also controls the §6.4 checksum annotations.
+func BuildAnnotated(v bench.Variant, annotate bool) explore.Program {
+	opt := pmlib.Options{Variant: v, AnnotateChecksums: annotate}
+	name := "PMDK-" + v.String()
+	if annotate {
+		name += "-annotated"
+	}
+	return &explore.FuncProgram{
+		ProgName: name,
+		PhaseFns: []func(*pmem.World){
+			func(w *pmem.World) { workload(w, opt) },
+			func(w *pmem.World) { recovery(w, opt) },
+		},
+	}
+}
+
+// Benchmark describes the port for the evaluation harness.
+func Benchmark() *bench.Benchmark {
+	return &bench.Benchmark{
+		Name: "PMDK",
+		Expected: []bench.ExpectedBug{
+			{ID: 32, Field: "PMEMobjpool", Cause: "memcpy operation on pool object in libpmemobj library", LocSubstr: "memcpy on pool object in libpmemobj"},
+			{ID: 33, Field: "ulog", Cause: "storing ulog in libpmemobj library", LocSubstr: "storing ulog in libpmemobj library"},
+			{ID: 34, Field: "ulog_entry_base", Cause: "memcpy in applying modifications on a single ulog_entry_base", LocSubstr: "memcpy on a single ulog_entry_base"},
+			{ID: 35, Field: "ulog_entry_base", Cause: "applying ULOG_OPERATION_OR on a single ulog_entry_base", LocSubstr: "ULOG_OPERATION_OR on a single ulog_entry_base"},
+		},
+		Build:         Build,
+		PreferredMode: explore.Random,
+		Executions:    400,
+	}
+}

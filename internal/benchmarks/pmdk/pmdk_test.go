@@ -1,0 +1,157 @@
+package pmdk
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+	"repro/internal/pmlib"
+)
+
+func fixedPool(t *testing.T) (*pmem.Thread, *pmlib.Pool) {
+	t.Helper()
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	return th, pmlib.Create(th, PoolBase, pmlib.Options{Variant: bench.Fixed})
+}
+
+func TestBTreeExample(t *testing.T) {
+	th, p := fixedPool(t)
+	bt := NewBTree(p, th)
+	// Insert out of order; lookups must still succeed (sorted shifts).
+	for _, k := range []memmodel.Value{3, 1, 2} {
+		if !bt.Insert(p, th, k, k+100) {
+			t.Fatalf("insert(%d) failed", k)
+		}
+	}
+	for k := memmodel.Value(1); k <= 3; k++ {
+		if v, ok := bt.Lookup(th, k); !ok || v != k+100 {
+			t.Fatalf("lookup(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+	// Keys must be sorted in the node.
+	prev := memmodel.Value(0)
+	for i := 0; i < 3; i++ {
+		k := th.Load(bt.keyAddr(i), "check sorted")
+		if k < prev {
+			t.Fatalf("keys not sorted at %d: %d < %d", i, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestCTreeExample(t *testing.T) {
+	th, p := fixedPool(t)
+	ct := NewCTree(p, th)
+	for _, k := range []memmodel.Value{5, 2, 8, 1} {
+		ct.Insert(p, th, k, k*2)
+	}
+	for _, k := range []memmodel.Value{5, 2, 8, 1} {
+		if v, ok := ct.Lookup(th, k); !ok || v != k*2 {
+			t.Fatalf("lookup(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+	if _, ok := ct.Lookup(th, 42); ok {
+		t.Fatal("lookup(42) should miss")
+	}
+}
+
+func TestRBTreeExample(t *testing.T) {
+	th, p := fixedPool(t)
+	rb := NewRBTree(p, th)
+	for _, k := range []memmodel.Value{4, 6, 2} {
+		rb.Insert(p, th, k, k*3)
+	}
+	for _, k := range []memmodel.Value{4, 6, 2} {
+		if v, ok := rb.Lookup(th, k); !ok || v != k*3 {
+			t.Fatalf("lookup(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+}
+
+func TestHashmapTxExample(t *testing.T) {
+	th, p := fixedPool(t)
+	h := NewHashmapTx(p, th)
+	for k := memmodel.Value(1); k <= 6; k++ { // forces chaining
+		h.Insert(p, th, k, k*7)
+	}
+	for k := memmodel.Value(1); k <= 6; k++ {
+		if v, ok := h.Lookup(th, k); !ok || v != k*7 {
+			t.Fatalf("lookup(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+}
+
+func TestHashmapAtomicExample(t *testing.T) {
+	th, p := fixedPool(t)
+	h := NewHashmapAtomic(p, th)
+	for k := memmodel.Value(1); k <= 3; k++ {
+		if !h.Insert(p, th, k, k*9) {
+			t.Fatalf("insert(%d) failed", k)
+		}
+	}
+	for k := memmodel.Value(1); k <= 3; k++ {
+		if v, ok := h.Lookup(th, k); !ok || v != k*9 {
+			t.Fatalf("lookup(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+	if got := th.Load(h.base, "count"); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+}
+
+// The buggy library surfaces rows #32–#35 when the examples run under
+// exploration.
+func TestBuggyLibraryReportsTable2Rows(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Buggy), explore.Options{
+		Mode: explore.Random, Executions: b.Executions, Seed: 7,
+	})
+	_, missed := bench.MatchExpected(b.Expected, res.Violations)
+	if len(missed) != 0 {
+		t.Fatalf("missed rows: %+v\nfound: %v", missed, res.ViolationKeys())
+	}
+}
+
+// With checksum annotations (§6.4), the harmless rows #33–#35 disappear
+// while the genuine pool-header bug #32 remains.
+func TestChecksumAnnotationsSuppressHarmlessRows(t *testing.T) {
+	res := explore.Run(BuildAnnotated(bench.Buggy, true), explore.Options{
+		Mode: explore.Random, Executions: 400, Seed: 7,
+	})
+	var got32 bool
+	for _, v := range res.Violations {
+		loc := v.MissingFlush.Loc
+		if strings.Contains(loc, "ulog") || strings.Contains(loc, "ULOG") {
+			t.Fatalf("annotated run still reports a ulog row: %v", v)
+		}
+		if strings.Contains(loc, "memcpy on pool object") {
+			got32 = true
+		}
+	}
+	if !got32 {
+		t.Fatal("annotations must not suppress the genuine #32 bug")
+	}
+}
+
+func TestFixedLibraryIsClean(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Fixed), explore.Options{
+		Mode: explore.Random, Executions: b.Executions, Seed: 7,
+	})
+	if len(res.Violations) != 0 {
+		t.Fatalf("fixed library still reports: %v", res.ViolationKeys())
+	}
+}
+
+func TestRecoveryNeverAborts(t *testing.T) {
+	for _, v := range []bench.Variant{bench.Buggy, bench.Fixed} {
+		res := explore.Run(Build(v), explore.Options{Mode: explore.Random, Executions: 150, Seed: 17})
+		if res.Aborted != 0 {
+			t.Fatalf("%v: %d aborted executions", v, res.Aborted)
+		}
+	}
+}

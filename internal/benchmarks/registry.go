@@ -1,0 +1,56 @@
+// Package benchmarks aggregates the evaluation's benchmark ports (§6.1):
+// CCEH, FAST_FAIR, the RECIPE indexes, the PMDK examples, and the two
+// real-world applications. The harness iterates All to regenerate the
+// paper's tables.
+package benchmarks
+
+import (
+	"repro/internal/benchmarks/bench"
+	"repro/internal/benchmarks/cceh"
+	"repro/internal/benchmarks/fastfair"
+	"repro/internal/benchmarks/kvstore"
+	"repro/internal/benchmarks/part"
+	"repro/internal/benchmarks/pbwtree"
+	"repro/internal/benchmarks/pclht"
+	"repro/internal/benchmarks/pmasstree"
+	"repro/internal/benchmarks/pmdk"
+)
+
+// All returns every benchmark port in the paper's Table 2 order,
+// followed by the applications.
+func All() []*bench.Benchmark {
+	return []*bench.Benchmark{
+		cceh.Benchmark(),
+		fastfair.Benchmark(),
+		part.Benchmark(),
+		pbwtree.Benchmark(),
+		pclht.Benchmark(),
+		pmasstree.Benchmark(),
+		pmdk.Benchmark(),
+		kvstore.MemcachedBenchmark(),
+		kvstore.RedisBenchmark(),
+	}
+}
+
+// Indexes returns the data-structure benchmarks used in the Table 3
+// performance comparison (the paper's six index rows).
+func Indexes() []*bench.Benchmark {
+	return []*bench.Benchmark{
+		cceh.Benchmark(),
+		fastfair.Benchmark(),
+		part.Benchmark(),
+		pbwtree.Benchmark(),
+		pclht.Benchmark(),
+		pmasstree.Benchmark(),
+	}
+}
+
+// ByName finds a benchmark by its table name, or nil.
+func ByName(name string) *bench.Benchmark {
+	for _, b := range All() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}

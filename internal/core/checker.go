@@ -1,0 +1,474 @@
+// Package core implements PSan, the robustness checker that is the
+// paper's primary contribution (§4–§5).
+//
+// The checker watches an execution trace. Whenever a load in the current
+// sub-execution reads from a store of a previous sub-execution, it
+// updates potential-crash-interval constraints — one interval per
+// (sub-execution, thread) pair — according to the three implications of
+// §4.3 and the LOAD-PREV rule of Figure 10:
+//
+//  1. Observed stores must have executed: the sub-execution's threads
+//     crashed no earlier than the last stores that happen before the
+//     store read from (implications 4.1 and 4.3, folded together via
+//     the store's clock vector).
+//  2. Newer stores must not have executed: for every first-per-thread
+//     store to the same location TSO-after the store read from — in its
+//     own sub-execution or any intervening one — the corresponding
+//     thread crashed before that store committed (implication 4.2,
+//     extended to multiple crash events per §4.4).
+//
+// If any interval becomes empty, no strictly-persistent execution is
+// consistent with the observed behavior: a robustness violation. The
+// checker then localizes the bug to a pair of stores and synthesizes fix
+// suggestions (§5.2): flush+drain windows per thread (primary window in
+// the thread of the store that is missing the flush, alternates in the
+// observing threads — the Figure 7 case), or colocating the two fields
+// on one cache line.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/intervals"
+	"repro/internal/memmodel"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// ViolationKind distinguishes the two diagnosis cases of §5.2.
+type ViolationKind int
+
+const (
+	// ReadTooOld: the load read from a store that is too old — a newer
+	// store to the same location was missing a flush, and some other
+	// observed store pinned the crash interval after it (Figure 11).
+	ReadTooOld ViolationKind = iota
+	// ReadTooNew: the load read from a store that is too new — it (or a
+	// store happening before it) persisted even though an earlier store,
+	// observed stale by a previous load, did not (Figure 12).
+	ReadTooNew
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	if k == ReadTooOld {
+		return "read-too-old"
+	}
+	return "read-too-new"
+}
+
+// FixKind enumerates the repair strategies of §5.2.
+type FixKind int
+
+const (
+	// FixInsertFlush inserts a flush of the missing store's cache line
+	// plus a drain inside the reported window.
+	FixInsertFlush FixKind = iota
+	// FixColocate changes the memory layout so the two stores share a
+	// cache line, making their persist order follow TSO automatically.
+	FixColocate
+)
+
+// Fix is one suggested repair for a robustness violation.
+type Fix struct {
+	Kind FixKind
+	// Thread is the thread whose code the flush should be inserted in
+	// (FixInsertFlush only).
+	Thread memmodel.ThreadID
+	// AfterLoc and BeforeLoc delimit the insertion window: the flush and
+	// drain must be placed after the operation at AfterLoc and before
+	// the one at BeforeLoc. BeforeLoc may be empty when the window runs
+	// to the end of the thread's code.
+	AfterLoc, BeforeLoc string
+	// Primary marks the paper's "primary fix interval": the window in
+	// the thread that executed the store missing the flush, which is
+	// typically the desired fix.
+	Primary bool
+}
+
+// String renders the fix as an actionable suggestion.
+func (f Fix) String() string {
+	switch f.Kind {
+	case FixColocate:
+		return fmt.Sprintf("colocate fields: place both stores on one cache line (after %q, before %q)", f.AfterLoc, f.BeforeLoc)
+	default:
+		tag := ""
+		if f.Primary {
+			tag = " [primary]"
+		}
+		if f.BeforeLoc == "" {
+			return fmt.Sprintf("insert flush+drain in thread %d after %q%s", int(f.Thread), f.AfterLoc, tag)
+		}
+		return fmt.Sprintf("insert flush+drain in thread %d after %q and before %q%s", int(f.Thread), f.AfterLoc, f.BeforeLoc, tag)
+	}
+}
+
+// Violation is one detected robustness violation: the execution observed
+// an outcome impossible under strict persistency.
+type Violation struct {
+	Kind ViolationKind
+	// LoadLoc and LoadThread identify the post-crash load whose read
+	// made the constraints unsatisfiable.
+	LoadLoc    string
+	LoadThread memmodel.ThreadID
+	// ReadFrom is the store the load read from.
+	ReadFrom *trace.Store
+	// MissingFlush is the earlier store in happens-before order that was
+	// not made persistent: the store missing a flush operation. Fixing
+	// the bug means persisting it before Persisted commits.
+	MissingFlush *trace.Store
+	// Persisted is the later store that was made persistent and observed
+	// by post-crash loads.
+	Persisted *trace.Store
+	// SubExec and Thread identify the crash interval that became empty.
+	SubExec int
+	Thread  memmodel.ThreadID
+	// Interval is the (empty) conjunction that exposed the violation.
+	Interval intervals.Interval
+	// Fixes are the suggested repairs, primary first.
+	Fixes []Fix
+}
+
+// Key returns a stable identity for deduplicating the same program bug
+// across executions: the pair of store sites plus the diagnosis kind.
+func (v *Violation) Key() string {
+	return fmt.Sprintf("%s|%s|%s", v.Kind, v.MissingFlush.Loc, v.Persisted.Loc)
+}
+
+// String renders a full report in the style of the paper's examples.
+func (v *Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "robustness violation (%s): load %q read %v\n", v.Kind, v.LoadLoc, v.ReadFrom)
+	fmt.Fprintf(&b, "  store missing flush: %v\n", v.MissingFlush)
+	fmt.Fprintf(&b, "  persisted store observed: %v\n", v.Persisted)
+	fmt.Fprintf(&b, "  crash interval of thread %d in sub-execution %d is empty: %v\n", int(v.Thread), v.SubExec, v.Interval)
+	for _, f := range v.Fixes {
+		fmt.Fprintf(&b, "  fix: %s\n", f)
+	}
+	return b.String()
+}
+
+// consKey addresses one crash interval: the map C of §4.4 specialized to
+// a (sub-execution, thread) pair.
+type consKey struct {
+	subExec int
+	thread  memmodel.ThreadID
+}
+
+// update is one pending interval constraint derived from a load.
+type update struct {
+	key consKey
+	// lo is true for a lower-bound update ([clock, ∞)), false for an
+	// upper-bound update ([0, clock)).
+	lo    bool
+	clock vclock.Clock
+	// store is the endpoint's provenance (the store whose commit bounds
+	// the crash point).
+	store *trace.Store
+}
+
+// Options enables the ablations of the two ideas §4.2 argues are
+// necessary. Both default to off (the full algorithm).
+type Options struct {
+	// NoHBClosure disables implication 4.3: lower bounds come only from
+	// the read store's own thread, not from its happens-before
+	// predecessors. The §4.2.2 ablation — the Figure 7 violation is
+	// missed.
+	NoHBClosure bool
+	// GlobalInterval replaces per-thread crash intervals with a single
+	// interval per sub-execution over TSO sequence numbers — the naïve
+	// approach §4.2.1 shows is overly restrictive: the robust Figure 6
+	// execution is flagged as a false positive.
+	GlobalInterval bool
+}
+
+// globalThread keys the single interval used in GlobalInterval mode.
+const globalThread = memmodel.ThreadID(-2)
+
+// Checker is a PSan robustness checker attached to one execution trace.
+// It is not safe for concurrent use, mirroring the serialized simulator.
+type Checker struct {
+	tr       *trace.Trace
+	opt      Options
+	disabled bool
+	cons     map[consKey]intervals.Interval
+	// violations accumulates committed violations in detection order.
+	violations []*Violation
+	seen       map[string]bool
+	// checksum deferral (§6.4): while a thread is inside an annotated
+	// checksum region, its cross-crash loads are buffered here.
+	deferred map[memmodel.ThreadID][]deferredLoad
+}
+
+// deferredLoad is a cross-crash read buffered inside a checksum region.
+type deferredLoad struct {
+	thread memmodel.ThreadID
+	addr   memmodel.Addr
+	rf     *trace.Store
+	loc    string
+}
+
+// New returns a checker for the given trace with no constraints — every
+// strictly persistent pre-crash execution is initially consistent.
+func New(tr *trace.Trace) *Checker {
+	return NewWithOptions(tr, Options{})
+}
+
+// NewWithOptions returns a checker running one of the §4.2 ablations.
+func NewWithOptions(tr *trace.Trace, opt Options) *Checker {
+	return &Checker{
+		tr:       tr,
+		opt:      opt,
+		cons:     make(map[consKey]intervals.Interval),
+		seen:     make(map[string]bool),
+		deferred: make(map[memmodel.ThreadID][]deferredLoad),
+	}
+}
+
+// Violations returns the violations committed so far, in detection order.
+func (c *Checker) Violations() []*Violation { return c.violations }
+
+// SetEnabled turns checking on or off. A disabled checker observes
+// nothing and reports nothing; the harness uses it to measure the
+// simulator's baseline cost (the Jaaru column of Table 3).
+func (c *Checker) SetEnabled(on bool) { c.disabled = !on }
+
+// Interval returns the current crash interval for a (sub-execution,
+// thread) pair, mainly for tests and the litmus printer.
+func (c *Checker) Interval(subExec int, t memmodel.ThreadID) intervals.Interval {
+	if iv, ok := c.cons[consKey{subExec, t}]; ok {
+		return iv
+	}
+	return intervals.New()
+}
+
+// updatesFor computes the constraint updates a read of rf by a load in
+// the current sub-execution implies. It returns nil when the read is
+// within the current sub-execution (nothing to check).
+func (c *Checker) updatesFor(rf *trace.Store) []update {
+	if c.disabled {
+		return nil
+	}
+	cur := c.tr.Current()
+	if rf == nil || rf.SubExec == cur.Index && !rf.Initial {
+		return nil
+	}
+	if rf.Initial && cur.Index == 0 {
+		return nil
+	}
+	if c.opt.GlobalInterval {
+		return c.updatesGlobal(rf, cur.Index)
+	}
+	var ups []update
+	e := c.tr.GetExec(rf)
+	// C0 (implications 4.1 and 4.3): every thread of rf's sub-execution
+	// crashed no earlier than its last store happening before rf. For
+	// rf's own thread that is rf itself. Initial stores have an empty
+	// clock vector, so they contribute no lower bounds.
+	if !rf.Initial {
+		for _, tau := range rf.CV.Threads() {
+			if c.opt.NoHBClosure && tau != rf.Thread {
+				continue // ablation: drop implication 4.3
+			}
+			clk := rf.CV.At(tau)
+			ups = append(ups, update{
+				key:   consKey{e.Index, tau},
+				lo:    true,
+				clock: clk,
+				store: e.StoreByClock(tau, clk),
+			})
+		}
+	}
+	// Implication 4.2 extended across sub-executions (§4.4): the first
+	// store to the location per thread, TSO-after rf or in intervening
+	// sub-executions, must not have committed before its crash.
+	for _, st := range c.tr.Next(rf, cur.Index) {
+		ups = append(ups, update{
+			key:   consKey{st.SubExec, st.Thread},
+			lo:    false,
+			clock: st.Clock,
+			store: st,
+		})
+	}
+	return ups
+}
+
+// updatesGlobal is the §4.2.1 naïve variant: one interval per
+// sub-execution over TSO sequence numbers.
+func (c *Checker) updatesGlobal(rf *trace.Store, cur int) []update {
+	var ups []update
+	if !rf.Initial {
+		ups = append(ups, update{
+			key:   consKey{rf.SubExec, globalThread},
+			lo:    true,
+			clock: vclock.Clock(rf.Seq),
+			store: rf,
+		})
+	}
+	for _, st := range c.tr.Next(rf, cur) {
+		ups = append(ups, update{
+			key:   consKey{st.SubExec, globalThread},
+			lo:    false,
+			clock: vclock.Clock(st.Seq),
+			store: st,
+		})
+	}
+	return ups
+}
+
+// applyMode selects how applyUpdates treats the constraint state.
+type applyMode int
+
+const (
+	// modeCheck: speculative — neither constraints nor violations are
+	// recorded.
+	modeCheck applyMode = iota
+	// modeObserve: the read happened — commit constraints and record
+	// violations.
+	modeObserve
+	// modeFlag: the read was possible but steered around — record the
+	// violations it would cause, but commit nothing.
+	modeFlag
+)
+
+// applyUpdates applies the updates to the constraint state. In
+// modeObserve, non-violating updates are recorded; an update that would
+// empty an interval is reported but not recorded, so the checker can
+// keep scanning the rest of the execution for further independent bugs
+// (§5.2 Implementation).
+func (c *Checker) applyUpdates(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.Store, loc string, ups []update, mode applyMode) []*Violation {
+	var found []*Violation
+	scratch := make(map[consKey]intervals.Interval)
+	get := func(k consKey) intervals.Interval {
+		if iv, ok := scratch[k]; ok {
+			return iv
+		}
+		if iv, ok := c.cons[k]; ok {
+			return iv
+		}
+		return intervals.New()
+	}
+	for _, u := range ups {
+		iv := get(u.key)
+		var next intervals.Interval
+		if u.lo {
+			next, _ = iv.ConstrainLo(u.clock, u.store)
+		} else {
+			next, _ = iv.ConstrainHi(u.clock, u.store)
+		}
+		if next.Empty() {
+			v := c.diagnose(t, addr, rf, loc, u, iv, next)
+			found = append(found, v)
+			continue // do not record the emptying constraint
+		}
+		scratch[u.key] = next
+		if mode == modeObserve {
+			c.cons[u.key] = next
+		}
+	}
+	if mode != modeCheck {
+		for _, v := range found {
+			if !c.seen[v.Key()] {
+				c.seen[v.Key()] = true
+				// Fix synthesis walks the event log, so it runs only
+				// when a bug is first recorded, keeping the per-load
+				// checking cost flat (Table 3's minimal-overhead claim).
+				v.Fixes = c.computeFixes(v)
+				c.violations = append(c.violations, v)
+			}
+		}
+	}
+	return found
+}
+
+// diagnose builds the violation report for an update that emptied an
+// interval, per the two cases of §5.2.
+func (c *Checker) diagnose(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.Store, loc string, u update, before, after intervals.Interval) *Violation {
+	v := &Violation{
+		LoadLoc:    loc,
+		LoadThread: t,
+		ReadFrom:   rf,
+		SubExec:    u.key.subExec,
+		Thread:     u.key.thread,
+		Interval:   after,
+	}
+	if u.lo {
+		// The new lower bound passed the recorded upper bound: the load
+		// observed a too-new store. The store that set the interval's
+		// end is the one missing the flush.
+		v.Kind = ReadTooNew
+		v.MissingFlush, _ = before.Hi.Store.(*trace.Store)
+		v.Persisted = rf
+	} else {
+		// The new upper bound passed the recorded lower bound: the load
+		// read a too-old store; the upper bound's store (the TSO-later
+		// store to the same location) is missing a flush, and the lower
+		// bound's store was observed persisted.
+		v.Kind = ReadTooOld
+		v.MissingFlush = u.store
+		v.Persisted, _ = before.Lo.Store.(*trace.Store)
+	}
+	return v
+}
+
+// CheckRead reports the violations that a load by thread t of addr would
+// cause if it read from rf, without changing the checker state. The
+// explorer uses it to steer loads away from already-diagnosed outcomes
+// so one execution can expose multiple bugs.
+func (c *Checker) CheckRead(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.Store, loc string) []*Violation {
+	if _, in := c.deferred[t]; in {
+		return nil // inside a checksum region the read would be deferred
+	}
+	return c.applyUpdates(t, addr, rf, loc, c.updatesFor(rf), modeCheck)
+}
+
+// FlagRead records the violations a read from rf would cause without
+// committing any constraints. The explorer calls it for candidates it
+// steers away from: the buggy outcome is reachable and must be reported
+// even though this execution avoids it.
+func (c *Checker) FlagRead(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.Store, loc string) []*Violation {
+	if _, in := c.deferred[t]; in {
+		return nil // inside a checksum region the read would be deferred
+	}
+	return c.applyUpdates(t, addr, rf, loc, c.updatesFor(rf), modeFlag)
+}
+
+// ObserveRead records a load that has been performed: thread t read rf
+// at addr. It returns any new violations. Inside a checksum region the
+// read is deferred instead (§6.4).
+func (c *Checker) ObserveRead(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.Store, loc string) []*Violation {
+	if _, in := c.deferred[t]; in {
+		c.deferred[t] = append(c.deferred[t], deferredLoad{thread: t, addr: addr, rf: rf, loc: loc})
+		return nil
+	}
+	return c.applyUpdates(t, addr, rf, loc, c.updatesFor(rf), modeObserve)
+}
+
+// BeginChecksumRegion starts deferring thread t's cross-crash reads: the
+// program is reading checksummed data it may discard (§6.4 Harmless
+// Violations).
+func (c *Checker) BeginChecksumRegion(t memmodel.ThreadID) {
+	if _, in := c.deferred[t]; !in {
+		c.deferred[t] = []deferredLoad{}
+	}
+}
+
+// EndChecksumRegion finishes a checksum region. If the checksum validated
+// the loads are processed now and any violations returned; if validation
+// failed the program discards the data, so the loads constrain nothing.
+func (c *Checker) EndChecksumRegion(t memmodel.ThreadID, valid bool) []*Violation {
+	loads, in := c.deferred[t]
+	if !in {
+		return nil
+	}
+	delete(c.deferred, t)
+	if !valid {
+		return nil
+	}
+	var all []*Violation
+	for _, dl := range loads {
+		all = append(all, c.applyUpdates(dl.thread, dl.addr, dl.rf, dl.loc, c.updatesFor(dl.rf), modeObserve)...)
+	}
+	return all
+}

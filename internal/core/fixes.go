@@ -1,0 +1,96 @@
+package core
+
+import (
+	"repro/internal/memmodel"
+	"repro/internal/trace"
+)
+
+// computeFixes synthesizes the repair suggestions of §5.2 for a
+// diagnosed violation: per-thread flush+drain insertion windows (the
+// window in the thread of the store missing the flush is the primary
+// fix), plus a cache-line colocation alternative.
+//
+// A window for thread τ starts at the first operation of τ that happens
+// after the missing-flush store and ends at the last operation of τ that
+// happens before the persisted store. Happens-before between an
+// operation and a store is approximated by comparing the operation's
+// clock vector with the store's, which is exact for operations in the
+// two stores' own threads — the cases the paper distinguishes.
+func (c *Checker) computeFixes(v *Violation) []Fix {
+	mf, p := v.MissingFlush, v.Persisted
+	if mf == nil || p == nil || mf == p || mf.Initial || p.Initial {
+		return nil
+	}
+	var fixes []Fix
+	e := mf.SubExec
+	// Candidate threads: the missing-flush store's own thread first (its
+	// window is the primary fix), then every other thread that has
+	// events in the sub-execution.
+	threads := []memmodel.ThreadID{mf.Thread}
+	seen := map[memmodel.ThreadID]bool{mf.Thread: true}
+	for _, ev := range c.tr.SubEvents(e) {
+		if ev.Thread != memmodel.NoThread && !seen[ev.Thread] {
+			seen[ev.Thread] = true
+			threads = append(threads, ev.Thread)
+		}
+	}
+	for _, tau := range threads {
+		if fix, ok := c.flushWindow(tau, mf, p); ok {
+			fix.Primary = tau == mf.Thread
+			fixes = append(fixes, fix)
+		}
+	}
+	// Layout alternative: make the two stores share a cache line so
+	// their persist order follows TSO automatically.
+	if !memmodel.SameLine(mf.Addr, p.Addr) {
+		fixes = append(fixes, Fix{Kind: FixColocate, AfterLoc: mf.Loc, BeforeLoc: p.Loc})
+	}
+	return fixes
+}
+
+// flushWindow computes the flush insertion window for thread tau, if one
+// exists: a range of tau's operations that happen after mf and before p.
+func (c *Checker) flushWindow(tau memmodel.ThreadID, mf, p *trace.Store) (Fix, bool) {
+	evs := c.tr.EventsOf(mf.SubExec, tau)
+	start := -1
+	for i, ev := range evs {
+		if ev.Store == mf {
+			continue // the store itself; the window starts strictly after
+		}
+		if mf.CV.Leq(ev.CV) {
+			start = i
+			break
+		}
+	}
+	if tau == mf.Thread && tau == p.Thread {
+		// Single-thread case: the window is simply between the two
+		// stores in program order; it exists even when mf is the
+		// thread's last event.
+		return Fix{Kind: FixInsertFlush, Thread: tau, AfterLoc: mf.Loc, BeforeLoc: p.Loc}, true
+	}
+	if start < 0 {
+		// No operation of tau happens after mf: the thread stopped (or
+		// never observed the store) — the Figure 7 empty-window case.
+		return Fix{}, false
+	}
+	// Find the last operation of tau that happens before p.
+	end := -1
+	for i := start; i < len(evs); i++ {
+		if evs[i].CV.Leq(p.CV) {
+			end = i
+		}
+	}
+	if tau == p.Thread {
+		// Operations of p's own thread before p are hb-before p by
+		// program order; anchor the window end at p itself.
+		return Fix{Kind: FixInsertFlush, Thread: tau, AfterLoc: evs[start].Loc, BeforeLoc: p.Loc}, true
+	}
+	if end < 0 {
+		return Fix{}, false
+	}
+	before := ""
+	if end+1 < len(evs) {
+		before = evs[end+1].Loc
+	}
+	return Fix{Kind: FixInsertFlush, Thread: tau, AfterLoc: evs[start].Loc, BeforeLoc: before}, true
+}

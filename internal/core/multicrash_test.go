@@ -1,0 +1,155 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+// Four sub-executions: a read in e4 of a store from e1 must constrain
+// every intervening sub-execution that overwrote the location (§4.4's
+// next() spans them all).
+func TestDeepMultiCrashConstrainsAllIntervening(t *testing.T) {
+	h := newHarness(t)
+	h.m.Store(0, addrX, 1, "e1:x=1")
+	h.m.Crash()
+	h.m.Store(0, addrX, 2, "e2:x=2")
+	h.m.Crash()
+	h.m.Store(0, addrX, 3, "e3:x=3")
+	h.m.Crash()
+	if vs := h.readValue(0, addrX, 1, false, "e4: r=x"); len(vs) != 0 {
+		t.Fatalf("reading e1's store alone is consistent: %v", vs)
+	}
+	// The read pins e1 after x=1 and forces e2 and e3 to crash before
+	// their overwrites committed.
+	if iv := h.c.Interval(0, 0); iv.Lo.Clock != 1 {
+		t.Fatalf("C(e1) = %v, want lo 1", iv)
+	}
+	for _, sub := range []int{1, 2} {
+		iv := h.c.Interval(sub, 0)
+		if iv.Hi.Clock != 1 {
+			t.Fatalf("C(e%d) = %v, want hi 1 (crash before the overwrite)", sub+1, iv)
+		}
+	}
+}
+
+// After reading the old store, observing any intervening overwrite as
+// persisted is a violation in that sub-execution.
+func TestDeepMultiCrashViolationInMiddleSubExec(t *testing.T) {
+	h := newHarness(t)
+	h.m.Store(0, addrX, 1, "e1:x=1")
+	h.m.Store(0, addrY, 1, "e1:y=1")
+	h.m.Crash()
+	h.m.Store(0, addrX, 2, "e2:x=2")
+	h.m.Store(0, addrY, 2, "e2:y=2")
+	h.m.Crash()
+	h.m.Crash() // e3 empty
+	// e4: read y from e2 (fresh there), then x from e1 (stale across
+	// e2's overwrite): C(e2) must become unsatisfiable.
+	if vs := h.readValue(0, addrY, 2, false, "e4: r1=y"); len(vs) != 0 {
+		t.Fatalf("unexpected: %v", vs)
+	}
+	vs := h.readValue(0, addrX, 1, false, "e4: r2=x")
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1", len(vs))
+	}
+	if vs[0].SubExec != 1 {
+		t.Fatalf("violation in sub-execution %d, want 1 (e2)", vs[0].SubExec)
+	}
+	if vs[0].MissingFlush.Loc != "e2:x=2" || vs[0].Persisted.Loc != "e2:y=2" {
+		t.Fatalf("bug pair = (%s, %s)", vs[0].MissingFlush.Loc, vs[0].Persisted.Loc)
+	}
+}
+
+// RMW reads are checked like loads: a post-crash CAS observing a stale
+// store raises the same violation a load would.
+func TestRMWReadsAreChecked(t *testing.T) {
+	h := newHarness(t)
+	h.m.Store(0, addrX, 1, "x=1")
+	h.m.Store(0, addrY, 1, "y=1")
+	h.m.Store(0, addrX, 2, "x=2")
+	h.m.Store(0, addrY, 2, "y=2")
+	h.m.Crash()
+	h.readValue(0, addrX, 1, false, "r1=x")
+	// CAS on y reading the too-new store: find the y=2 candidate.
+	for _, c := range h.m.LoadCandidates(0, addrY) {
+		if c.Store.Value == 2 {
+			h.m.CAS(0, addrY, c, 2, 9, "cas y")
+			vs := h.c.ObserveRead(0, addrY, c.Store, "cas y")
+			if len(vs) != 1 || vs[0].Kind != ReadTooNew {
+				t.Fatalf("CAS read not checked: %v", vs)
+			}
+			return
+		}
+	}
+	t.Fatal("no y=2 candidate")
+}
+
+// Violation rendering must carry everything a developer needs: kind,
+// the two stores, the interval, and at least one fix.
+func TestViolationReportContents(t *testing.T) {
+	h := newHarness(t)
+	h.m.Store(0, addrX, 1, "x=1")
+	h.m.Store(0, addrY, 1, "y=1")
+	h.m.Store(0, addrX, 2, "x=2")
+	h.m.Store(0, addrY, 2, "y=2")
+	h.m.Crash()
+	h.readValue(0, addrX, 1, false, "r1=x")
+	vs := h.readValue(0, addrY, 2, false, "r2=y")
+	out := vs[0].String()
+	for _, want := range []string{
+		"read-too-new", "x=2", "y=2", "sub-execution 0",
+		"fix: insert flush+drain", "[primary]", "colocate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if k := vs[0].Key(); !strings.Contains(k, "x=2") || !strings.Contains(k, "y=2") {
+		t.Fatalf("key = %q", k)
+	}
+}
+
+// A violation whose evidence spans three threads: writer, propagator,
+// and a third thread whose fix window PSan must also consider.
+func TestThreeThreadFixWindows(t *testing.T) {
+	h := newHarness(t)
+	// t0 stores x (no flush), t1 reads x and stores y (flushed), t2
+	// reads y pre-crash and stores z (flushed).
+	h.m.Store(0, addrX, 1, "t0: x=1")
+	c := h.m.LoadCandidates(1, addrX)
+	h.m.Load(1, addrX, c[0], "t1: r=x")
+	h.c.ObserveRead(1, addrX, c[0].Store, "t1: r=x")
+	h.m.Store(1, addrY, 1, "t1: y=1")
+	h.m.Flush(1, addrY, "t1: flush y")
+	cy := h.m.LoadCandidates(2, addrY)
+	h.m.Load(2, addrY, cy[0], "t2: s=y")
+	h.c.ObserveRead(2, addrY, cy[0].Store, "t2: s=y")
+	h.m.Store(2, addrZ, 1, "t2: z=1")
+	h.m.Flush(2, addrZ, "t2: flush z")
+	h.m.Crash()
+	h.readValue(0, addrX, 0, true, "post: r=x")
+	vs := h.readValue(0, addrZ, 1, false, "post: r=z")
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1", len(vs))
+	}
+	v := vs[0]
+	if v.MissingFlush.Loc != "t0: x=1" {
+		t.Fatalf("missing flush = %s", v.MissingFlush.Loc)
+	}
+	// Fix windows must exist in the observing threads (t1 and/or t2)
+	// since t0 stopped after its store.
+	threads := map[memmodel.ThreadID]bool{}
+	for _, f := range v.Fixes {
+		if f.Kind == FixInsertFlush {
+			threads[f.Thread] = true
+			if f.Primary {
+				t.Fatalf("primary window should not exist: %+v", f)
+			}
+		}
+	}
+	if !threads[1] && !threads[2] {
+		t.Fatalf("no fix window in the observing threads: %v", v.Fixes)
+	}
+}

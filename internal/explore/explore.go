@@ -1,0 +1,395 @@
+// Package explore is the execution-exploration harness that plays the
+// role of the Jaaru model checker in the original system (§4, §6.1).
+//
+// It supports the paper's two strategies:
+//
+//   - Random mode: explores random executions with random crash points,
+//     random thread interleavings, and random post-crash reads, steering
+//     loads away from already-diagnosed violations so one execution can
+//     expose several bugs.
+//   - Model-checking mode: systematically inserts crashes before each
+//     fence-like operation and after the last operation of every
+//     non-final phase, and exhaustively explores every store each
+//     post-crash load can read, via depth-first search over the
+//     execution's decision points.
+//
+// Programs under test are sequences of phases separated by crashes; the
+// final phase is the recovery/reader code and runs to completion.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+	"repro/internal/px86"
+)
+
+// Program is a persistent-memory test program: one or more crash-
+// delimited phases. The explorer injects a crash inside (or at the end
+// of) every phase except the last, then runs the next phase on the
+// surviving persistent image. Phase functions must be deterministic
+// given the world (all nondeterminism flows through the world's random
+// source and read policy).
+type Program interface {
+	// Name identifies the program in reports.
+	Name() string
+	// Phases returns the phase functions, pre-crash first.
+	Phases() []func(*pmem.World)
+}
+
+// FuncProgram adapts plain functions to the Program interface.
+type FuncProgram struct {
+	ProgName  string
+	PhaseFns  []func(*pmem.World)
+	SetupNote string
+}
+
+// Name implements Program.
+func (p *FuncProgram) Name() string { return p.ProgName }
+
+// Phases implements Program.
+func (p *FuncProgram) Phases() []func(*pmem.World) { return p.PhaseFns }
+
+// Mode selects the exploration strategy.
+type Mode int
+
+const (
+	// Random explores randomized executions (§6.1 random search mode).
+	Random Mode = iota
+	// ModelCheck exhaustively enumerates crash points and post-crash
+	// reads (§6.1 model checking mode).
+	ModelCheck
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModelCheck {
+		return "model-check"
+	}
+	return "random"
+}
+
+// Options configures an exploration run.
+type Options struct {
+	Mode Mode
+	// Executions bounds the number of executions: the exact count in
+	// Random mode, a safety cap in ModelCheck mode. 0 means 1000.
+	Executions int
+	// Seed seeds Random mode; ModelCheck is deterministic.
+	Seed int64
+	// Px86 configures the simulated machine.
+	Px86 px86.Config
+	// OpLimit bounds operations per execution (0: pmem default).
+	OpLimit int
+	// DisableChecker turns PSan off, leaving only the simulator — the
+	// Jaaru baseline of Table 3.
+	DisableChecker bool
+	// NoSteering uses the plain random read policy instead of
+	// violation-avoidance steering. Timing comparisons set it on both
+	// sides so the measured difference is exactly the checker's
+	// constraint updates, matching the paper's Table 3 methodology.
+	NoSteering bool
+	// StoreBuffers runs the machine in delayed-commit mode with random
+	// store-buffer drains (random mode only), exposing TSO buffering —
+	// stores that were issued but never reached the cache before the
+	// crash.
+	StoreBuffers bool
+	// Progress, when non-nil, receives one call per execution.
+	Progress func(exec int)
+	// AfterExecution, when non-nil, receives each execution's world
+	// after its phases complete, letting post-hoc analyses (the baseline
+	// checkers of §6.4) inspect the trace.
+	AfterExecution func(*pmem.World)
+}
+
+// Result summarizes an exploration run.
+type Result struct {
+	Program    string
+	Mode       Mode
+	Executions int
+	// ExecutionsToAllBugs is the 1-based index of the execution that
+	// found the last new violation (0 when none were found) — the
+	// "# total executions" column of Table 3.
+	ExecutionsToAllBugs int
+	Aborted             int
+	Elapsed             time.Duration
+	// Violations are deduplicated across executions by bug identity
+	// (store-site pair + diagnosis kind), in first-found order.
+	Violations []*core.Violation
+}
+
+// PerExecution returns the mean wall-clock time per execution.
+func (r *Result) PerExecution() time.Duration {
+	if r.Executions == 0 {
+		return 0
+	}
+	return r.Elapsed / time.Duration(r.Executions)
+}
+
+// ViolationKeys returns the sorted bug identities, for stable assertions.
+func (r *Result) ViolationKeys() []string {
+	keys := make([]string, 0, len(r.Violations))
+	for _, v := range r.Violations {
+		keys = append(keys, v.Key())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// String renders a short human-readable summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s [%s]: %d executions (%d aborted), %d violations, %s total",
+		r.Program, r.Mode, r.Executions, r.Aborted, len(r.Violations), r.Elapsed)
+}
+
+// Run explores the program under the given options.
+func Run(p Program, opt Options) *Result {
+	if opt.Executions == 0 {
+		opt.Executions = 1000
+	}
+	switch opt.Mode {
+	case ModelCheck:
+		return runModelCheck(p, opt)
+	default:
+		return runRandom(p, opt)
+	}
+}
+
+// mergeViolations folds an execution's violations into the result.
+func (r *Result) mergeViolations(seen map[string]bool, vs []*core.Violation, execIndex int) {
+	for _, v := range vs {
+		if !seen[v.Key()] {
+			seen[v.Key()] = true
+			r.Violations = append(r.Violations, v)
+			r.ExecutionsToAllBugs = execIndex
+		}
+	}
+}
+
+// runPhases executes the program's phases in one world, injecting
+// crashes per crashTargets (one entry per non-final phase; a negative
+// target crashes at the end of the phase without injection). It reports
+// whether the execution aborted on its op budget, and for each non-final
+// phase whether the crash injection actually fired (false means the
+// phase ran to completion and crashed at its end).
+func runPhases(p Program, w *pmem.World, crashTargets []int) (aborted bool, injected []bool) {
+	injected = make([]bool, len(crashTargets))
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(pmem.AbortSignal); ok {
+				aborted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	phases := p.Phases()
+	for i, phase := range phases {
+		last := i == len(phases)-1
+		if last {
+			w.SetCrashTarget(-1)
+		} else {
+			w.SetCrashTarget(crashTargets[i])
+		}
+		crashed := w.RunPhase(phase)
+		if !last {
+			injected[i] = crashed
+			w.Crash()
+		}
+	}
+	return false, injected
+}
+
+// runRandom implements random search mode.
+func runRandom(p Program, opt Options) *Result {
+	res := &Result{Program: p.Name(), Mode: Random}
+	seen := make(map[string]bool)
+	start := time.Now()
+	numPre := len(p.Phases()) - 1
+
+	// Pilot execution: run crash-free to size the crash-point ranges.
+	pilotCounts := make([]int, numPre)
+	pilot := pmem.NewWorld(pmem.Config{Px86: opt.Px86, Seed: opt.Seed, OpLimit: opt.OpLimit})
+	pilot.Checker.SetEnabled(false)
+	countingPilot(p, pilot, pilotCounts)
+
+	chooser := pmem.ChooseAvoidingViolations(pmem.ChooseRandom)
+	if opt.NoSteering {
+		chooser = pmem.ChooseRandom
+	}
+	px := opt.Px86
+	drainPct := 0
+	if opt.StoreBuffers {
+		px.DelayedCommit = true
+		drainPct = 25
+	}
+	for exec := 0; exec < opt.Executions; exec++ {
+		seed := opt.Seed + int64(exec)*2654435761
+		w := pmem.NewWorld(pmem.Config{
+			Px86:               px,
+			Seed:               seed,
+			OpLimit:            opt.OpLimit,
+			Chooser:            chooser,
+			RandomDrainPercent: drainPct,
+		})
+		if opt.DisableChecker {
+			w.Checker.SetEnabled(false)
+		}
+		targets := make([]int, numPre)
+		for i := range targets {
+			// Uniform over [0, count]: before each fence-like op, or
+			// past the end (crash after the last operation).
+			targets[i] = w.Rand().Intn(pilotCounts[i] + 1)
+		}
+		if aborted, _ := runPhases(p, w, targets); aborted {
+			res.Aborted++
+		}
+		res.mergeViolations(seen, w.Checker.Violations(), exec+1)
+		res.Executions++
+		if opt.AfterExecution != nil {
+			opt.AfterExecution(w)
+		}
+		if opt.Progress != nil {
+			opt.Progress(exec)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// countingPilot runs the program crash-free and records how many
+// fence-like operations each non-final phase performs.
+func countingPilot(p Program, w *pmem.World, counts []int) {
+	defer func() {
+		// An aborted pilot still yields usable counts.
+		if r := recover(); r != nil {
+			if _, ok := r.(pmem.AbortSignal); !ok {
+				panic(r)
+			}
+		}
+	}()
+	phases := p.Phases()
+	for i, phase := range phases {
+		w.SetCrashTarget(-1)
+		w.RunPhase(phase)
+		if i < len(counts) {
+			counts[i] = w.FenceOps()
+		}
+		if i < len(phases)-1 {
+			w.Crash()
+		}
+	}
+}
+
+// --- model checking mode: DFS over decision points ---
+
+// decision is one recorded choice in the DFS trail. domain < 0 marks an
+// open-ended crash-target decision whose range is discovered when a run
+// no longer crashes.
+type decision struct {
+	val    int
+	domain int
+}
+
+// controller replays a decision trail and extends it at new decision
+// points, always choosing the first alternative.
+type controller struct {
+	trail []decision
+	pos   int
+}
+
+func (c *controller) next(domain int) int {
+	if c.pos < len(c.trail) {
+		d := c.trail[c.pos]
+		c.pos++
+		return d.val
+	}
+	c.trail = append(c.trail, decision{val: 0, domain: domain})
+	c.pos++
+	return 0
+}
+
+// closeCurrent marks the most recently consumed decision's domain (used
+// when a crash-target decision turns out to be past the phase's end).
+func (c *controller) closeCurrent(idx int, domain int) {
+	c.trail[idx].domain = domain
+}
+
+// backtrack advances the trail to the next unexplored branch, returning
+// false when the search space is exhausted.
+func (c *controller) backtrack() bool {
+	for len(c.trail) > 0 {
+		last := &c.trail[len(c.trail)-1]
+		if last.domain < 0 || last.val+1 < last.domain {
+			last.val++
+			c.pos = 0
+			return true
+		}
+		c.trail = c.trail[:len(c.trail)-1]
+	}
+	return false
+}
+
+// runModelCheck implements the exhaustive mode.
+func runModelCheck(p Program, opt Options) *Result {
+	res := &Result{Program: p.Name(), Mode: ModelCheck}
+	seen := make(map[string]bool)
+	start := time.Now()
+	ctl := &controller{}
+	numPre := len(p.Phases()) - 1
+
+	for {
+		ctl.pos = 0
+		w := pmem.NewWorld(pmem.Config{
+			Px86:    opt.Px86,
+			Seed:    0,
+			OpLimit: opt.OpLimit,
+			Chooser: func(_ *pmem.World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ string) px86.Candidate {
+				return cands[ctl.next(len(cands))]
+			},
+		})
+		if opt.DisableChecker {
+			w.Checker.SetEnabled(false)
+		}
+		// Crash-target decisions come first in the trail, one per
+		// non-final phase, so their indices are stable.
+		targets := make([]int, numPre)
+		decIdx := make([]int, numPre)
+		for i := range targets {
+			decIdx[i] = ctl.pos
+			targets[i] = ctl.next(-1)
+		}
+		aborted, injected := runPhases(p, w, targets)
+		if aborted {
+			res.Aborted++
+		}
+		// Close any crash-target decision whose injection did not fire:
+		// the phase ran to completion, so larger targets are equivalent
+		// to this one ("crash after the last operation", §6.1).
+		for i, fired := range injected {
+			if !fired && ctl.trail[decIdx[i]].domain < 0 {
+				ctl.closeCurrent(decIdx[i], targets[i]+1)
+			}
+		}
+		res.mergeViolations(seen, w.Checker.Violations(), res.Executions+1)
+		res.Executions++
+		if opt.AfterExecution != nil {
+			opt.AfterExecution(w)
+		}
+		if opt.Progress != nil {
+			opt.Progress(res.Executions)
+		}
+		if res.Executions >= opt.Executions {
+			break
+		}
+		if !ctl.backtrack() {
+			break
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}

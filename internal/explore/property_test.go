@@ -1,0 +1,115 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+// genProgram builds a pseudo-random two-phase program from a seed. The
+// pre-crash phase performs stores, RMWs, and (when strict is true) a
+// persist after every mutation; the recovery phase reads every word.
+func genProgram(seed int64, strict bool) Program {
+	words := []memmodel.Addr{0x2000, 0x2008, 0x2040, 0x3000, 0x3008}
+	return &FuncProgram{
+		ProgName: "generated",
+		PhaseFns: []func(*pmem.World){
+			func(w *pmem.World) {
+				rng := rand.New(rand.NewSource(seed))
+				th := w.Thread(0)
+				n := 4 + rng.Intn(12)
+				for i := 0; i < n; i++ {
+					a := words[rng.Intn(len(words))]
+					switch rng.Intn(4) {
+					case 0, 1:
+						th.Store(a, memmodel.Value(rng.Intn(50)+1), "gen store")
+					case 2:
+						th.FAA(a, 1, "gen faa")
+					case 3:
+						th.Load(a, "gen load")
+						continue
+					}
+					if strict {
+						th.Persist(a, memmodel.WordSize, "gen persist")
+					}
+				}
+			},
+			func(w *pmem.World) {
+				th := w.Thread(0)
+				for _, a := range words {
+					th.Load(a, "recovery read")
+				}
+				// Second pass: re-reads must stay consistent too.
+				for _, a := range words {
+					th.Load(a, "recovery re-read")
+				}
+			},
+		},
+	}
+}
+
+// Property (soundness direction): a program that persists every store
+// before the next operation runs under strict persistency by
+// construction — PSan must never flag it, across every crash point and
+// read choice.
+func TestPropertyStrictProgramsNeverFlagged(t *testing.T) {
+	prop := func(seed int64) bool {
+		res := Run(genProgram(seed, true), Options{Mode: ModelCheck, Executions: 20000})
+		return len(res.Violations) == 0 && res.Executions < 20000
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Errorf("strict program flagged (unsound): %v", err)
+	}
+}
+
+// Property: random exploration never reports violations the exhaustive
+// mode cannot also reach — random-found bug keys are a subset of
+// model-check-found keys on the same (unflushed) generated program.
+func TestPropertyRandomSubsetOfModelCheck(t *testing.T) {
+	prop := func(seed int64) bool {
+		prog := genProgram(seed, false)
+		mc := Run(prog, Options{Mode: ModelCheck, Executions: 60000})
+		if mc.Executions >= 60000 {
+			return true // state space too large to enumerate; vacuous
+		}
+		random := Run(prog, Options{Mode: Random, Executions: 150, Seed: seed})
+		mcKeys := map[string]bool{}
+		for _, v := range mc.Violations {
+			mcKeys[v.Key()] = true
+		}
+		for _, v := range random.Violations {
+			if !mcKeys[v.Key()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Errorf("random mode found a bug model checking cannot: %v", err)
+	}
+}
+
+// Property: the checker is deterministic — the same seed yields the
+// same violation set.
+func TestPropertyDeterministicReplay(t *testing.T) {
+	prop := func(seed int64) bool {
+		a := Run(genProgram(seed, false), Options{Mode: Random, Executions: 60, Seed: seed})
+		b := Run(genProgram(seed, false), Options{Mode: Random, Executions: 60, Seed: seed})
+		ak, bk := a.ViolationKeys(), b.ViolationKeys()
+		if len(ak) != len(bk) {
+			return false
+		}
+		for i := range ak {
+			if ak[i] != bk[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Errorf("exploration not deterministic: %v", err)
+	}
+}

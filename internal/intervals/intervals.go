@@ -1,0 +1,94 @@
+// Package intervals implements potential-crash-interval constraints, the
+// core constraint domain of PSan (paper §4.1).
+//
+// A constraint for one (sub-execution, thread) pair describes where an
+// equivalent strictly-persistent execution of that thread may have
+// crashed. Each interval is half open, [Lo, Hi), measured in the clocks
+// of the thread's stores (§3.4): the equivalent execution must crash
+// after the store with clock Lo commits to the cache and before the store
+// with clock Hi commits.
+//
+// A conjunction of such intervals is itself an interval, so the
+// constraint state is a single [Lo, Hi) pair per thread together with
+// provenance: which store set each endpoint. Provenance is what turns an
+// unsatisfiable conjunction into the paper's bug report — a pair of
+// stores, the earlier one missing a flush (§5.2).
+package intervals
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vclock"
+)
+
+// Infinity is the upper endpoint of an unconstrained interval: the
+// equivalent execution may have crashed arbitrarily late.
+const Infinity vclock.Clock = math.MaxInt64
+
+// Endpoint records one bound of a crash interval together with the store
+// that set it. Store is opaque to this package (the checker passes
+// *trace.Store); a nil Store means the bound is the trivial one.
+type Endpoint struct {
+	Clock vclock.Clock
+	Store any
+}
+
+// Interval is a potential crash interval [Lo.Clock, Hi.Clock) for one
+// thread of one sub-execution. The zero value is NOT meaningful; use New.
+type Interval struct {
+	Lo Endpoint
+	Hi Endpoint
+}
+
+// New returns the unconstrained interval [0, ∞): any strictly-persistent
+// crash point of the thread is still possible.
+func New() Interval {
+	return Interval{Lo: Endpoint{Clock: 0}, Hi: Endpoint{Clock: Infinity}}
+}
+
+// Empty reports whether the interval contains no crash point: no integer
+// p satisfies Lo ≤ p < Hi.
+func (iv Interval) Empty() bool { return iv.Lo.Clock >= iv.Hi.Clock }
+
+// Unconstrained reports whether the interval is still the full [0, ∞).
+func (iv Interval) Unconstrained() bool {
+	return iv.Lo.Clock == 0 && iv.Hi.Clock == Infinity
+}
+
+// ConstrainLo conjoins [c, ∞) set by store: the equivalent execution must
+// have crashed after the store with clock c commits (implications 4.1 and
+// 4.3). It returns the narrowed interval and whether the bound actually
+// moved. Provenance is only replaced when the bound moves, so the
+// earliest store that justifies the tightest bound is retained.
+func (iv Interval) ConstrainLo(c vclock.Clock, store any) (Interval, bool) {
+	if c <= iv.Lo.Clock {
+		return iv, false
+	}
+	iv.Lo = Endpoint{Clock: c, Store: store}
+	return iv, true
+}
+
+// ConstrainHi conjoins [0, c) set by store: the equivalent execution must
+// have crashed before the store with clock c commits (implication 4.2).
+func (iv Interval) ConstrainHi(c vclock.Clock, store any) (Interval, bool) {
+	if c >= iv.Hi.Clock {
+		return iv, false
+	}
+	iv.Hi = Endpoint{Clock: c, Store: store}
+	return iv, true
+}
+
+// Contains reports whether crash point p (the clock of the last committed
+// store of the thread) satisfies the interval.
+func (iv Interval) Contains(p vclock.Clock) bool {
+	return iv.Lo.Clock <= p && p < iv.Hi.Clock
+}
+
+// String renders [lo, hi) with ∞ for the unbounded upper endpoint.
+func (iv Interval) String() string {
+	if iv.Hi.Clock == Infinity {
+		return fmt.Sprintf("[%d, ∞)", int64(iv.Lo.Clock))
+	}
+	return fmt.Sprintf("[%d, %d)", int64(iv.Lo.Clock), int64(iv.Hi.Clock))
+}

@@ -1,0 +1,177 @@
+package intervals
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vclock"
+)
+
+func TestNewIsUnconstrained(t *testing.T) {
+	iv := New()
+	if !iv.Unconstrained() {
+		t.Fatalf("New() not unconstrained: %v", iv)
+	}
+	if iv.Empty() {
+		t.Fatalf("New() empty: %v", iv)
+	}
+	if !iv.Contains(0) || !iv.Contains(1<<40) {
+		t.Fatalf("New() should contain all crash points")
+	}
+}
+
+func TestConstrainLo(t *testing.T) {
+	iv := New()
+	iv, moved := iv.ConstrainLo(5, "s5")
+	if !moved {
+		t.Fatal("ConstrainLo(5) should move the bound")
+	}
+	if iv.Lo.Clock != 5 || iv.Lo.Store != "s5" {
+		t.Fatalf("Lo = %+v, want clock 5 set by s5", iv.Lo)
+	}
+	// Weaker constraint does not move the bound or clobber provenance.
+	iv2, moved := iv.ConstrainLo(3, "s3")
+	if moved || iv2.Lo.Store != "s5" {
+		t.Fatalf("weaker ConstrainLo moved bound: %+v", iv2.Lo)
+	}
+	// Equal constraint keeps the original provenance.
+	iv3, moved := iv.ConstrainLo(5, "other")
+	if moved || iv3.Lo.Store != "s5" {
+		t.Fatalf("equal ConstrainLo replaced provenance: %+v", iv3.Lo)
+	}
+}
+
+func TestConstrainHi(t *testing.T) {
+	iv := New()
+	iv, moved := iv.ConstrainHi(7, "s7")
+	if !moved || iv.Hi.Clock != 7 || iv.Hi.Store != "s7" {
+		t.Fatalf("ConstrainHi(7) wrong: %+v moved=%v", iv, moved)
+	}
+	iv2, moved := iv.ConstrainHi(9, "s9")
+	if moved || iv2.Hi.Store != "s7" {
+		t.Fatalf("weaker ConstrainHi moved bound: %+v", iv2.Hi)
+	}
+}
+
+// The Figure 2 scenario: r1 = 1 constrains x to [1, 2) — crash after
+// x=1 (clock 1) and before x=2 (clock 3). r2 = 2 constrains [4, ∞).
+// The conjunction is empty, so the execution is not robust.
+func TestFigure2Unsatisfiable(t *testing.T) {
+	// Single-threaded clocks: x=1 has clock 1, y=1 clock 2, x=2 clock 3,
+	// y=2 clock 4.
+	iv := New()
+	iv, _ = iv.ConstrainLo(1, "x=1") // read x=1: crashed after x=1
+	iv, _ = iv.ConstrainHi(3, "x=2") // ...and before x=2
+	if iv.Empty() {
+		t.Fatalf("interval [1,3) should be satisfiable")
+	}
+	iv, moved := iv.ConstrainLo(4, "y=2") // read y=2: crashed after y=2
+	if !moved {
+		t.Fatal("ConstrainLo(4) should move the bound")
+	}
+	if !iv.Empty() {
+		t.Fatalf("conjunction should be empty: %v", iv)
+	}
+	// Diagnosis: the new lower bound (y=2) conflicts with the upper
+	// bound set by x=2 — the too-new case of §5.2.
+	if iv.Lo.Store != "y=2" || iv.Hi.Store != "x=2" {
+		t.Fatalf("provenance lost: lo=%v hi=%v", iv.Lo.Store, iv.Hi.Store)
+	}
+}
+
+// The Figure 5 scenario in the order the paper narrates it: reading y=2
+// gives [2, 4); reading x=5 gives [5, ∞); conjunction unsatisfiable.
+func TestFigure5Unsatisfiable(t *testing.T) {
+	// Clocks: x=1:1, y=2:2, x=3:3, y=4:4, x=5:5.
+	iv := New()
+	iv, _ = iv.ConstrainLo(2, "y=2")
+	iv, _ = iv.ConstrainHi(4, "y=4")
+	if iv.String() != "[2, 4)" {
+		t.Fatalf("interval = %v, want [2, 4)", iv)
+	}
+	iv, _ = iv.ConstrainLo(5, "x=5")
+	if !iv.Empty() {
+		t.Fatalf("conjunction should be empty: %v", iv)
+	}
+}
+
+func TestContains(t *testing.T) {
+	iv := New()
+	iv, _ = iv.ConstrainLo(2, nil)
+	iv, _ = iv.ConstrainHi(4, nil)
+	for p, want := range map[vclock.Clock]bool{1: false, 2: true, 3: true, 4: false} {
+		if got := iv.Contains(p); got != want {
+			t.Errorf("Contains(%d) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	iv := New()
+	if s := iv.String(); s != "[0, ∞)" {
+		t.Fatalf("String() = %q", s)
+	}
+	iv, _ = iv.ConstrainLo(3, nil)
+	iv, _ = iv.ConstrainHi(9, nil)
+	if s := iv.String(); s != "[3, 9)" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// Property: conjunction order does not matter — applying any sequence of
+// constraints yields the intersection, so satisfiability is independent
+// of the order loads are processed in.
+func TestConjunctionIsIntersection(t *testing.T) {
+	prop := func(los, his []uint8) bool {
+		iv := New()
+		maxLo, minHi := vclock.Clock(0), Infinity
+		for _, l := range los {
+			c := vclock.Clock(l % 32)
+			iv, _ = iv.ConstrainLo(c, nil)
+			if c > maxLo {
+				maxLo = c
+			}
+		}
+		for _, h := range his {
+			c := vclock.Clock(h % 32)
+			iv, _ = iv.ConstrainHi(c, nil)
+			if c < minHi {
+				minHi = c
+			}
+		}
+		if iv.Lo.Clock != maxLo || iv.Hi.Clock != minHi {
+			return false
+		}
+		return iv.Empty() == (maxLo >= minHi)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("conjunction not an intersection: %v", err)
+	}
+}
+
+// Property: constraining never widens the interval (monotonicity), so a
+// violation once detected cannot be un-detected by later loads.
+func TestConstrainMonotone(t *testing.T) {
+	prop := func(seed []uint8) bool {
+		iv := New()
+		for i, s := range seed {
+			prev := iv
+			c := vclock.Clock(s % 64)
+			if i%2 == 0 {
+				iv, _ = iv.ConstrainLo(c, nil)
+			} else {
+				iv, _ = iv.ConstrainHi(c, nil)
+			}
+			if iv.Lo.Clock < prev.Lo.Clock || iv.Hi.Clock > prev.Hi.Clock {
+				return false
+			}
+			if prev.Empty() && !iv.Empty() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("constrain not monotone: %v", err)
+	}
+}

@@ -1,0 +1,326 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a parsed PM test program: layout directives plus one or
+// more crash-delimited phases (the paper's sub-executions). Following
+// Figure 9, Prog maps thread identifiers to sequential commands; we
+// additionally partition the execution into phases so crash events can
+// separate them (§3's Exec = e1 C1 e2 C2 ... en+1).
+type Program struct {
+	// SameLine groups location names that share a cache line.
+	SameLine [][]string
+	// Phases holds the crash-delimited phases, pre-crash first.
+	Phases []*Phase
+}
+
+// Phase is one sub-execution: a set of threads run concurrently.
+type Phase struct {
+	Pos     Pos
+	Threads []*ThreadDecl
+}
+
+// ThreadDecl is one thread's sequential program within a phase.
+type ThreadDecl struct {
+	Pos  Pos
+	ID   int
+	Body []Stmt
+}
+
+// Stmt is a statement node (the Com grammar of Figure 9).
+type Stmt interface {
+	stmtNode()
+	// StmtPos returns the statement's source position.
+	StmtPos() Pos
+	// String renders the statement in source-like form.
+	String() string
+}
+
+// Expr is an expression node (the Exp grammar of Figure 9, plus the
+// memory-reading primitives which Figure 9 classifies as PCom but which
+// read most naturally as expressions).
+type Expr interface {
+	exprNode()
+	// ExprPos returns the expression's source position.
+	ExprPos() Pos
+	String() string
+}
+
+// --- statements ---
+
+// LetStmt binds (or rebinds) a register: let r = expr;
+type LetStmt struct {
+	Pos  Pos
+	Reg  string
+	Expr Expr
+}
+
+// StoreStmt writes a location: x = expr;
+type StoreStmt struct {
+	Pos  Pos
+	Loc  string
+	Expr Expr
+}
+
+// FlushStmt is `flush x;` (clflush) or `flushopt x;` (clflushopt/clwb),
+// selected by Opt.
+type FlushStmt struct {
+	Pos Pos
+	Loc string
+	Opt bool
+}
+
+// FenceStmt is `sfence;` or `mfence;`, selected by Full.
+type FenceStmt struct {
+	Pos  Pos
+	Full bool
+}
+
+// IfStmt is `if (cond) { then } else { els }`; Else may be nil.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// RepeatStmt is `repeat n { body }` with a constant iteration count —
+// Figure 9's repeat bounded so model checking terminates.
+type RepeatStmt struct {
+	Pos   Pos
+	Count int
+	Body  []Stmt
+}
+
+// WhileStmt is `while (cond) { body }` — Figure 9's unbounded repeat
+// with an exit condition. The simulator's per-execution operation
+// budget bounds runaway loops.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body []Stmt
+}
+
+// AssertStmt is `assert(expr);`. Failures are recorded by the
+// interpreter; the Jaaru-style baseline reports bugs only through them.
+type AssertStmt struct {
+	Pos  Pos
+	Expr Expr
+}
+
+// ExprStmt evaluates an expression for effect (a bare cas/faa call).
+type ExprStmt struct {
+	Pos  Pos
+	Expr Expr
+}
+
+func (*LetStmt) stmtNode()    {}
+func (*StoreStmt) stmtNode()  {}
+func (*FlushStmt) stmtNode()  {}
+func (*FenceStmt) stmtNode()  {}
+func (*IfStmt) stmtNode()     {}
+func (*RepeatStmt) stmtNode() {}
+func (*WhileStmt) stmtNode()  {}
+func (*AssertStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+
+// StmtPos implementations.
+func (s *LetStmt) StmtPos() Pos    { return s.Pos }
+func (s *StoreStmt) StmtPos() Pos  { return s.Pos }
+func (s *FlushStmt) StmtPos() Pos  { return s.Pos }
+func (s *FenceStmt) StmtPos() Pos  { return s.Pos }
+func (s *IfStmt) StmtPos() Pos     { return s.Pos }
+func (s *RepeatStmt) StmtPos() Pos { return s.Pos }
+func (s *WhileStmt) StmtPos() Pos  { return s.Pos }
+func (s *AssertStmt) StmtPos() Pos { return s.Pos }
+func (s *ExprStmt) StmtPos() Pos   { return s.Pos }
+
+func (s *LetStmt) String() string   { return fmt.Sprintf("let %s = %s;", s.Reg, s.Expr) }
+func (s *StoreStmt) String() string { return fmt.Sprintf("%s = %s;", s.Loc, s.Expr) }
+func (s *FlushStmt) String() string {
+	if s.Opt {
+		return fmt.Sprintf("flushopt %s;", s.Loc)
+	}
+	return fmt.Sprintf("flush %s;", s.Loc)
+}
+func (s *FenceStmt) String() string {
+	if s.Full {
+		return "mfence;"
+	}
+	return "sfence;"
+}
+func (s *IfStmt) String() string {
+	if len(s.Else) > 0 {
+		return fmt.Sprintf("if (%s) { ... } else { ... }", s.Cond)
+	}
+	return fmt.Sprintf("if (%s) { ... }", s.Cond)
+}
+func (s *RepeatStmt) String() string { return fmt.Sprintf("repeat %d { ... }", s.Count) }
+func (s *WhileStmt) String() string  { return fmt.Sprintf("while (%s) { ... }", s.Cond) }
+func (s *AssertStmt) String() string { return fmt.Sprintf("assert(%s);", s.Expr) }
+func (s *ExprStmt) String() string   { return s.Expr.String() + ";" }
+
+// --- expressions ---
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Pos Pos
+	Val uint64
+}
+
+// RegExpr reads a register.
+type RegExpr struct {
+	Pos  Pos
+	Name string
+}
+
+// LoadExpr is load(x): an atomic read of a location.
+type LoadExpr struct {
+	Pos Pos
+	Loc string
+}
+
+// CASExpr is cas(x, expected, new): it evaluates to the value observed.
+type CASExpr struct {
+	Pos      Pos
+	Loc      string
+	Expected Expr
+	New      Expr
+}
+
+// FAAExpr is faa(x, delta): it evaluates to the previous value.
+type FAAExpr struct {
+	Pos   Pos
+	Loc   string
+	Delta Expr
+}
+
+// BinExpr applies a binary operator. Comparison and logical operators
+// yield 0 or 1.
+type BinExpr struct {
+	Pos  Pos
+	Op   string
+	L, R Expr
+}
+
+// NotExpr is logical negation.
+type NotExpr struct {
+	Pos Pos
+	E   Expr
+}
+
+func (*NumExpr) exprNode()  {}
+func (*RegExpr) exprNode()  {}
+func (*LoadExpr) exprNode() {}
+func (*CASExpr) exprNode()  {}
+func (*FAAExpr) exprNode()  {}
+func (*BinExpr) exprNode()  {}
+func (*NotExpr) exprNode()  {}
+
+// ExprPos implementations.
+func (e *NumExpr) ExprPos() Pos  { return e.Pos }
+func (e *RegExpr) ExprPos() Pos  { return e.Pos }
+func (e *LoadExpr) ExprPos() Pos { return e.Pos }
+func (e *CASExpr) ExprPos() Pos  { return e.Pos }
+func (e *FAAExpr) ExprPos() Pos  { return e.Pos }
+func (e *BinExpr) ExprPos() Pos  { return e.Pos }
+func (e *NotExpr) ExprPos() Pos  { return e.Pos }
+
+func (e *NumExpr) String() string  { return fmt.Sprintf("%d", e.Val) }
+func (e *RegExpr) String() string  { return e.Name }
+func (e *LoadExpr) String() string { return fmt.Sprintf("load(%s)", e.Loc) }
+func (e *CASExpr) String() string {
+	return fmt.Sprintf("cas(%s, %s, %s)", e.Loc, e.Expected, e.New)
+}
+func (e *FAAExpr) String() string { return fmt.Sprintf("faa(%s, %s)", e.Loc, e.Delta) }
+func (e *BinExpr) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
+func (e *NotExpr) String() string { return fmt.Sprintf("!%s", e.E) }
+
+// Locations returns every location name the program mentions, in first-
+// appearance order.
+func (p *Program) Locations() []string {
+	var names []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, group := range p.SameLine {
+		for _, n := range group {
+			add(n)
+		}
+	}
+	var walkExpr func(Expr)
+	var walkStmts func([]Stmt)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *LoadExpr:
+			add(x.Loc)
+		case *CASExpr:
+			add(x.Loc)
+			walkExpr(x.Expected)
+			walkExpr(x.New)
+		case *FAAExpr:
+			add(x.Loc)
+			walkExpr(x.Delta)
+		case *BinExpr:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *NotExpr:
+			walkExpr(x.E)
+		}
+	}
+	walkStmts = func(ss []Stmt) {
+		for _, s := range ss {
+			switch x := s.(type) {
+			case *LetStmt:
+				walkExpr(x.Expr)
+			case *StoreStmt:
+				add(x.Loc)
+				walkExpr(x.Expr)
+			case *FlushStmt:
+				add(x.Loc)
+			case *IfStmt:
+				walkExpr(x.Cond)
+				walkStmts(x.Then)
+				walkStmts(x.Else)
+			case *RepeatStmt:
+				walkStmts(x.Body)
+			case *WhileStmt:
+				walkExpr(x.Cond)
+				walkStmts(x.Body)
+			case *AssertStmt:
+				walkExpr(x.Expr)
+			case *ExprStmt:
+				walkExpr(x.Expr)
+			}
+		}
+	}
+	for _, ph := range p.Phases {
+		for _, th := range ph.Threads {
+			walkStmts(th.Body)
+		}
+	}
+	return names
+}
+
+// String pretty-prints the program structure (for -dump debugging).
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, g := range p.SameLine {
+		fmt.Fprintf(&b, "sameline %s;\n", strings.Join(g, " "))
+	}
+	for _, ph := range p.Phases {
+		b.WriteString("phase {\n")
+		for _, th := range ph.Threads {
+			fmt.Fprintf(&b, "  thread %d { %d statements }\n", th.ID, len(th.Body))
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,224 @@
+package lang
+
+import "fmt"
+
+// Check performs the static semantic checks: registers are defined (by a
+// let) before use, register names do not collide with location names,
+// thread identifiers are unique within a phase, and sameline groups fit
+// within one cache line and do not overlap.
+func Check(p *Program) error {
+	// Pre-collect names that are unambiguously locations: sameline
+	// groups and load/cas/faa targets. Store and flush targets are
+	// classified sequentially during the walk, so that mistakes like
+	// assigning a register without let get a precise diagnosis.
+	locs := map[string]bool{}
+	for _, g := range p.SameLine {
+		for _, n := range g {
+			locs[n] = true
+		}
+	}
+	collectLoadTargets(p, locs)
+	inGroup := map[string]int{}
+	for i, g := range p.SameLine {
+		if len(g) > 8 {
+			return errf(Pos{1, 1}, "sameline group of %d locations exceeds one cache line (8 words)", len(g))
+		}
+		for _, n := range g {
+			if prev, ok := inGroup[n]; ok && prev != i {
+				return errf(Pos{1, 1}, "location %q appears in two sameline groups", n)
+			}
+			inGroup[n] = i
+		}
+	}
+	for pi, ph := range p.Phases {
+		ids := map[int]Pos{}
+		for _, th := range ph.Threads {
+			if prev, ok := ids[th.ID]; ok {
+				return errf(th.Pos, "thread %d declared twice in phase %d (first at %s)", th.ID, pi+1, prev)
+			}
+			ids[th.ID] = th.Pos
+			regs := map[string]bool{}
+			if err := checkStmts(th.Body, regs, locs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func checkStmts(ss []Stmt, regs map[string]bool, locs map[string]bool) error {
+	for _, s := range ss {
+		switch x := s.(type) {
+		case *LetStmt:
+			if locs[x.Reg] {
+				return errf(x.Pos, "%q is a memory location; registers and locations must not collide", x.Reg)
+			}
+			if err := checkExpr(x.Expr, regs, locs); err != nil {
+				return err
+			}
+			regs[x.Reg] = true
+		case *StoreStmt:
+			if regs[x.Loc] {
+				return errf(x.Pos, "%q is a register; use let to assign it", x.Loc)
+			}
+			locs[x.Loc] = true
+			if err := checkExpr(x.Expr, regs, locs); err != nil {
+				return err
+			}
+		case *FlushStmt:
+			if regs[x.Loc] {
+				return errf(x.Pos, "cannot flush register %q", x.Loc)
+			}
+			locs[x.Loc] = true
+		case *FenceStmt:
+			// nothing to check
+		case *IfStmt:
+			if err := checkExpr(x.Cond, regs, locs); err != nil {
+				return err
+			}
+			// Branches see the registers defined so far; registers
+			// defined inside a branch stay visible afterwards only if
+			// both branches define them. For simplicity (and to keep
+			// programs obvious), each branch checks against a copy and
+			// only commonly-defined registers survive.
+			thenRegs := copyRegs(regs)
+			if err := checkStmts(x.Then, thenRegs, locs); err != nil {
+				return err
+			}
+			elseRegs := copyRegs(regs)
+			if err := checkStmts(x.Else, elseRegs, locs); err != nil {
+				return err
+			}
+			for r := range thenRegs {
+				if elseRegs[r] {
+					regs[r] = true
+				}
+			}
+		case *RepeatStmt:
+			if err := checkStmts(x.Body, regs, locs); err != nil {
+				return err
+			}
+		case *WhileStmt:
+			if err := checkExpr(x.Cond, regs, locs); err != nil {
+				return err
+			}
+			// Registers defined inside a while body may not execute;
+			// they do not escape (check against a copy).
+			if err := checkStmts(x.Body, copyRegs(regs), locs); err != nil {
+				return err
+			}
+		case *AssertStmt:
+			if err := checkExpr(x.Expr, regs, locs); err != nil {
+				return err
+			}
+		case *ExprStmt:
+			if err := checkExpr(x.Expr, regs, locs); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("lang: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+func checkExpr(e Expr, regs map[string]bool, locs map[string]bool) error {
+	switch x := e.(type) {
+	case *NumExpr:
+	case *RegExpr:
+		if !regs[x.Name] {
+			if locs[x.Name] {
+				return errf(x.Pos, "location %q read without load(); write load(%s)", x.Name, x.Name)
+			}
+			return errf(x.Pos, "register %q used before let", x.Name)
+		}
+	case *LoadExpr:
+		if regs[x.Loc] {
+			return errf(x.Pos, "cannot load register %q", x.Loc)
+		}
+	case *CASExpr:
+		if regs[x.Loc] {
+			return errf(x.Pos, "cannot cas register %q", x.Loc)
+		}
+		if err := checkExpr(x.Expected, regs, locs); err != nil {
+			return err
+		}
+		return checkExpr(x.New, regs, locs)
+	case *FAAExpr:
+		if regs[x.Loc] {
+			return errf(x.Pos, "cannot faa register %q", x.Loc)
+		}
+		return checkExpr(x.Delta, regs, locs)
+	case *BinExpr:
+		if err := checkExpr(x.L, regs, locs); err != nil {
+			return err
+		}
+		return checkExpr(x.R, regs, locs)
+	case *NotExpr:
+		return checkExpr(x.E, regs, locs)
+	default:
+		return fmt.Errorf("lang: unknown expression %T", e)
+	}
+	return nil
+}
+
+// collectLoadTargets adds every load/cas/faa target in the program to
+// locs.
+func collectLoadTargets(p *Program, locs map[string]bool) {
+	var walkExpr func(Expr)
+	var walkStmts func([]Stmt)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *LoadExpr:
+			locs[x.Loc] = true
+		case *CASExpr:
+			locs[x.Loc] = true
+			walkExpr(x.Expected)
+			walkExpr(x.New)
+		case *FAAExpr:
+			locs[x.Loc] = true
+			walkExpr(x.Delta)
+		case *BinExpr:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *NotExpr:
+			walkExpr(x.E)
+		}
+	}
+	walkStmts = func(ss []Stmt) {
+		for _, s := range ss {
+			switch x := s.(type) {
+			case *LetStmt:
+				walkExpr(x.Expr)
+			case *StoreStmt:
+				walkExpr(x.Expr)
+			case *IfStmt:
+				walkExpr(x.Cond)
+				walkStmts(x.Then)
+				walkStmts(x.Else)
+			case *RepeatStmt:
+				walkStmts(x.Body)
+			case *WhileStmt:
+				walkExpr(x.Cond)
+				walkStmts(x.Body)
+			case *AssertStmt:
+				walkExpr(x.Expr)
+			case *ExprStmt:
+				walkExpr(x.Expr)
+			}
+		}
+	}
+	for _, ph := range p.Phases {
+		for _, th := range ph.Threads {
+			walkStmts(th.Body)
+		}
+	}
+}
+
+func copyRegs(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program back to concrete syntax. The output parses
+// to an equivalent program; the repair loop uses it to emit fixed
+// programs.
+func Format(p *Program) string {
+	var b strings.Builder
+	for _, g := range p.SameLine {
+		fmt.Fprintf(&b, "sameline %s;\n", strings.Join(g, " "))
+	}
+	for _, ph := range p.Phases {
+		b.WriteString("phase {\n")
+		for _, th := range ph.Threads {
+			fmt.Fprintf(&b, "  thread %d {\n", th.ID)
+			formatStmts(&b, th.Body, "    ")
+			b.WriteString("  }\n")
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func formatStmts(b *strings.Builder, ss []Stmt, indent string) {
+	for _, s := range ss {
+		switch x := s.(type) {
+		case *IfStmt:
+			fmt.Fprintf(b, "%sif (%s) {\n", indent, formatExpr(x.Cond))
+			formatStmts(b, x.Then, indent+"  ")
+			if len(x.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", indent)
+				formatStmts(b, x.Else, indent+"  ")
+			}
+			fmt.Fprintf(b, "%s}\n", indent)
+		case *RepeatStmt:
+			fmt.Fprintf(b, "%srepeat %d {\n", indent, x.Count)
+			formatStmts(b, x.Body, indent+"  ")
+			fmt.Fprintf(b, "%s}\n", indent)
+		case *WhileStmt:
+			fmt.Fprintf(b, "%swhile (%s) {\n", indent, formatExpr(x.Cond))
+			formatStmts(b, x.Body, indent+"  ")
+			fmt.Fprintf(b, "%s}\n", indent)
+		case *LetStmt:
+			fmt.Fprintf(b, "%slet %s = %s;\n", indent, x.Reg, formatExpr(x.Expr))
+		case *StoreStmt:
+			fmt.Fprintf(b, "%s%s = %s;\n", indent, x.Loc, formatExpr(x.Expr))
+		case *FlushStmt:
+			kw := "flush"
+			if x.Opt {
+				kw = "flushopt"
+			}
+			fmt.Fprintf(b, "%s%s %s;\n", indent, kw, x.Loc)
+		case *FenceStmt:
+			kw := "sfence"
+			if x.Full {
+				kw = "mfence"
+			}
+			fmt.Fprintf(b, "%s%s;\n", indent, kw)
+		case *AssertStmt:
+			fmt.Fprintf(b, "%sassert(%s);\n", indent, formatExpr(x.Expr))
+		case *ExprStmt:
+			fmt.Fprintf(b, "%s%s;\n", indent, formatExpr(x.Expr))
+		default:
+			fmt.Fprintf(b, "%s// <unknown statement %T>\n", indent, s)
+		}
+	}
+}
+
+// formatExpr renders an expression without the outermost parentheses
+// String() adds to binary nodes.
+func formatExpr(e Expr) string {
+	s := e.String()
+	if x, ok := e.(*BinExpr); ok {
+		_ = x
+		s = strings.TrimPrefix(s, "(")
+		s = strings.TrimSuffix(s, ")")
+	}
+	return s
+}

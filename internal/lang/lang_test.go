@@ -1,0 +1,326 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse failed: %v", err)
+	}
+	return p
+}
+
+func parseErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("Parse succeeded, want error containing %q", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error = %q, want substring %q", err, wantSubstr)
+	}
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("phase { thread 0 { x = 1; // comment\n } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind.String()+":"+tok.Text)
+	}
+	want := []string{
+		"keyword:phase", "punctuation:{", "keyword:thread", "number:0",
+		"punctuation:{", "identifier:x", "operator:=", "number:1",
+		"punctuation:;", "punctuation:}", "punctuation:}", "EOF:",
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("tokens = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("phase\n  {")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("first token pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("second token pos = %v", toks[1].Pos)
+	}
+}
+
+func TestLexRejectsGarbage(t *testing.T) {
+	if _, err := Lex("phase { thread 0 { x = $1; } }"); err == nil {
+		t.Fatal("expected lex error for $")
+	}
+}
+
+func TestParseFigure2(t *testing.T) {
+	p := mustParse(t, `
+phase {
+  thread 0 {
+    x = 1;
+    y = 1;
+    x = 2;
+    y = 2;
+  }
+}
+phase {
+  thread 0 {
+    let r1 = load(x);
+    let r2 = load(y);
+  }
+}`)
+	if len(p.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(p.Phases))
+	}
+	if got := len(p.Phases[0].Threads[0].Body); got != 4 {
+		t.Fatalf("phase 1 statements = %d, want 4", got)
+	}
+	locs := p.Locations()
+	if len(locs) != 2 || locs[0] != "x" || locs[1] != "y" {
+		t.Fatalf("locations = %v, want [x y]", locs)
+	}
+}
+
+func TestParseFullStatementSet(t *testing.T) {
+	p := mustParse(t, `
+sameline a b;
+phase {
+  thread 0 {
+    a = 1;
+    flush a;
+    flushopt b;
+    sfence;
+    mfence;
+    let r = load(a);
+    let c = cas(a, 1, 2);
+    let f = faa(b, 3);
+    faa(b, 1);
+    if (r == 1 && c != 9) { b = r; } else { b = 0; }
+    repeat 3 { b = faa(b, 1); }
+    assert(r >= 0 || !(f < 1));
+  }
+  thread 1 {
+    let s = load(b);
+  }
+}
+phase { thread 0 { let t = load(a); } }`)
+	if len(p.SameLine) != 1 || len(p.SameLine[0]) != 2 {
+		t.Fatalf("sameline = %v", p.SameLine)
+	}
+	if len(p.Phases[0].Threads) != 2 {
+		t.Fatalf("threads = %d, want 2", len(p.Phases[0].Threads))
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := mustParse(t, `phase { thread 0 { let r = 1 + 2 * 3 == 7; x = r; } }`)
+	let := p.Phases[0].Threads[0].Body[0].(*LetStmt)
+	// Must parse as ((1 + (2 * 3)) == 7).
+	if got := let.Expr.String(); got != "((1 + (2 * 3)) == 7)" {
+		t.Fatalf("expr = %s", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	parseErr(t, ``, "no phases")
+	parseErr(t, `phase { }`, "no threads")
+	parseErr(t, `phase { thread 0 { x = ; } }`, "expected expression")
+	parseErr(t, `phase { thread 0 { flush 3; } }`, "expected identifier")
+	parseErr(t, `phase { thread 0 { repeat 0 { } } }`, "out of range")
+	parseErr(t, `bogus`, "expected 'phase'")
+	parseErr(t, `sameline a;`, "at least two")
+	parseErr(t, `phase { thread 0 { x = 1 } }`, "expected \";\"")
+}
+
+func TestCheckRegisterBeforeUse(t *testing.T) {
+	parseErr(t, `phase { thread 0 { x = r; } }`, "used before let")
+}
+
+func TestCheckLocationReadWithoutLoad(t *testing.T) {
+	parseErr(t, `phase { thread 0 { let a = load(x); y = x; } }`, "without load()")
+}
+
+func TestCheckRegisterLocationCollision(t *testing.T) {
+	parseErr(t, `phase { thread 0 { x = 1; let x = 2; } }`, "must not collide")
+}
+
+func TestCheckStoreToRegister(t *testing.T) {
+	parseErr(t, `phase { thread 0 { let r = 1; r = 2; } }`, "use let")
+}
+
+func TestCheckFlushRegister(t *testing.T) {
+	parseErr(t, `phase { thread 0 { let r = 1; flush r; x = r; } }`, "cannot flush register")
+}
+
+func TestCheckDuplicateThreads(t *testing.T) {
+	parseErr(t, `phase { thread 0 { x = 1; } thread 0 { y = 1; } }`, "declared twice")
+}
+
+func TestCheckSamelineOverflow(t *testing.T) {
+	parseErr(t, `sameline a b c d e f g h i;
+phase { thread 0 { a = 1; } }`, "exceeds one cache line")
+}
+
+func TestCheckSamelineOverlap(t *testing.T) {
+	parseErr(t, `sameline a b;
+sameline b c;
+phase { thread 0 { a = 1; } }`, "two sameline groups")
+}
+
+func TestCheckBranchScoping(t *testing.T) {
+	// A register defined in only one branch is not visible after the if.
+	parseErr(t, `phase { thread 0 {
+  let c = load(x);
+  if (c) { let r = 1; } else { }
+  y = r;
+} }`, "used before let")
+	// Defined in both branches: visible.
+	mustParse(t, `phase { thread 0 {
+  let c = load(x);
+  if (c) { let r = 1; } else { let r = 2; }
+  y = r;
+} }`)
+}
+
+func TestRegisterRebindAllowed(t *testing.T) {
+	mustParse(t, `phase { thread 0 { let r = 1; let r = 2; x = r; } }`)
+}
+
+func TestHexNumbers(t *testing.T) {
+	p := mustParse(t, `phase { thread 0 { x = 0x10; } }`)
+	st := p.Phases[0].Threads[0].Body[0].(*StoreStmt)
+	if st.Expr.(*NumExpr).Val != 16 {
+		t.Fatalf("hex literal = %d, want 16", st.Expr.(*NumExpr).Val)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := mustParse(t, `sameline a b;
+phase { thread 0 { a = 1; } }`)
+	s := p.String()
+	if !strings.Contains(s, "sameline a b;") || !strings.Contains(s, "thread 0") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestParseWhile(t *testing.T) {
+	p := mustParse(t, `
+phase {
+  thread 0 {
+    let r = load(x);
+    while (r < 3) {
+      let r = faa(x, 1);
+    }
+  }
+}`)
+	ws, ok := p.Phases[0].Threads[0].Body[1].(*WhileStmt)
+	if !ok {
+		t.Fatalf("statement 2 is %T, want *WhileStmt", p.Phases[0].Threads[0].Body[1])
+	}
+	if ws.String() != "while ((r < 3)) { ... }" {
+		t.Fatalf("String() = %q", ws.String())
+	}
+}
+
+func TestWhileBodyRegistersDoNotEscape(t *testing.T) {
+	parseErr(t, `phase { thread 0 {
+  let c = load(x);
+  while (c) { let r = 1; }
+  y = r;
+} }`, "used before let")
+}
+
+func TestFormatRoundTripsFullLanguage(t *testing.T) {
+	src := `sameline a b;
+phase {
+  thread 0 {
+    a = 1;
+    flush a;
+    flushopt b;
+    sfence;
+    mfence;
+    let r = load(a);
+    let c = cas(a, 1, 2);
+    faa(b, 3);
+    if (r == 1 && c != 9) {
+      b = r;
+    } else {
+      b = 0;
+    }
+    repeat 3 {
+      faa(b, 1);
+    }
+    while (load(b) < 10) {
+      faa(b, 1);
+    }
+    assert(r >= 0);
+  }
+}
+phase {
+  thread 0 {
+    let t = load(a);
+  }
+}`
+	p1 := mustParse(t, src)
+	formatted := Format(p1)
+	p2, err := Parse(formatted)
+	if err != nil {
+		t.Fatalf("formatted program does not parse: %v\n%s", err, formatted)
+	}
+	// Idempotence: formatting the reparsed program is stable.
+	if again := Format(p2); again != formatted {
+		t.Fatalf("Format not idempotent:\n--- first\n%s\n--- second\n%s", formatted, again)
+	}
+}
+
+// Property: the parser never panics — arbitrary byte soup yields a
+// value or an error, not a crash.
+func TestParseNeverPanics(t *testing.T) {
+	check := func(src string) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = nil
+				t.Fatalf("Parse panicked on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return nil
+	}
+	seeds := []string{
+		"", "phase", "phase {", "phase { thread", "phase { thread 0 {",
+		"phase { thread 0 { x = ", "sameline", "sameline ;", "}}}}",
+		"phase { thread 0 { if (load(x)) { } }", "\x00\xff\xfe",
+		"phase { thread 0 { let = 1; } }",
+		"phase { thread 0 { repeat 99999999999999999999 { } } }",
+		"phase { thread 18446744073709551615 { x = 1; } }",
+		"phase { thread 0 { x = cas(y, 1; } }",
+		"phase { thread 0 { while } }",
+	}
+	for _, s := range seeds {
+		check(s)
+	}
+	// Mutations of a valid program: truncations and byte flips.
+	valid := `sameline a b;
+phase { thread 0 { a = 1; flush a; let r = load(b); if (r) { b = r; } } }`
+	for i := 0; i < len(valid); i += 3 {
+		check(valid[:i])
+		mutated := []byte(valid)
+		mutated[i] ^= 0x5a
+		check(string(mutated))
+	}
+}

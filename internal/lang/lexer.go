@@ -1,0 +1,134 @@
+package lang
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer turns source text into tokens. It is a straightforward
+// hand-written scanner; the language is small enough that no generator
+// is warranted.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) advance() byte {
+	b := lx.src[lx.off]
+	lx.off++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+// skipSpaceAndComments consumes whitespace and // line comments.
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		b := lx.peekByte()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			lx.advance()
+		case b == '/' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '/':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b))
+}
+
+func isIdentPart(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b)) || unicode.IsDigit(rune(b))
+}
+
+// Lex tokenizes the whole source, returning the tokens (terminated by a
+// TokEOF token) or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		lx.skipSpaceAndComments()
+		pos := lx.pos()
+		if lx.off >= len(lx.src) {
+			toks = append(toks, Token{Kind: TokEOF, Pos: pos})
+			return toks, nil
+		}
+		b := lx.peekByte()
+		switch {
+		case isIdentStart(b):
+			start := lx.off
+			for lx.off < len(lx.src) && isIdentPart(lx.peekByte()) {
+				lx.advance()
+			}
+			text := lx.src[start:lx.off]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Pos: pos})
+		case unicode.IsDigit(rune(b)):
+			start := lx.off
+			for lx.off < len(lx.src) && (isIdentPart(lx.peekByte())) {
+				lx.advance()
+			}
+			text := lx.src[start:lx.off]
+			if strings.IndexFunc(text, func(r rune) bool { return !unicode.IsDigit(r) && r != 'x' && !unicode.Is(unicode.Hex_Digit, r) }) >= 0 {
+				return nil, errf(pos, "malformed number %q", text)
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: text, Pos: pos})
+		case strings.IndexByte(";{}(),", b) >= 0:
+			lx.advance()
+			toks = append(toks, Token{Kind: TokPunct, Text: string(b), Pos: pos})
+		default:
+			op, ok := lx.scanOp()
+			if !ok {
+				return nil, errf(pos, "unexpected character %q", string(b))
+			}
+			toks = append(toks, Token{Kind: TokOp, Text: op, Pos: pos})
+		}
+	}
+}
+
+// scanOp consumes the longest matching operator.
+func (lx *lexer) scanOp() (string, bool) {
+	two := ""
+	if lx.off+1 < len(lx.src) {
+		two = lx.src[lx.off : lx.off+2]
+	}
+	switch two {
+	case "==", "!=", "<=", ">=", "&&", "||":
+		lx.advance()
+		lx.advance()
+		return two, true
+	}
+	switch b := lx.peekByte(); b {
+	case '=', '<', '>', '+', '-', '*', '/', '%', '!':
+		lx.advance()
+		return string(b), true
+	}
+	return "", false
+}

@@ -1,0 +1,434 @@
+package lang
+
+import "strconv"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.cur().Kind == kind && p.cur().Text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind || t.Text != text {
+		return t, errf(t.Pos, "expected %q, found %q", text, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return t, errf(t.Pos, "expected identifier, found %q", t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expectNumber() (uint64, Pos, error) {
+	t := p.cur()
+	if t.Kind != TokNumber {
+		return 0, t.Pos, errf(t.Pos, "expected number, found %q", t.Text)
+	}
+	p.pos++
+	v, err := strconv.ParseUint(t.Text, 0, 64)
+	if err != nil {
+		return 0, t.Pos, errf(t.Pos, "malformed number %q", t.Text)
+	}
+	return v, t.Pos, nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.cur().Kind != TokEOF {
+		switch {
+		case p.cur().Kind == TokKeyword && p.cur().Text == "sameline":
+			p.next()
+			var group []string
+			for p.cur().Kind == TokIdent {
+				group = append(group, p.next().Text)
+			}
+			if len(group) < 2 {
+				return nil, errf(p.cur().Pos, "sameline needs at least two locations")
+			}
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+			prog.SameLine = append(prog.SameLine, group)
+		case p.cur().Kind == TokKeyword && p.cur().Text == "phase":
+			ph, err := p.parsePhase()
+			if err != nil {
+				return nil, err
+			}
+			prog.Phases = append(prog.Phases, ph)
+		default:
+			return nil, errf(p.cur().Pos, "expected 'phase' or 'sameline', found %q", p.cur().Text)
+		}
+	}
+	if len(prog.Phases) == 0 {
+		return nil, errf(Pos{1, 1}, "program has no phases")
+	}
+	return prog, nil
+}
+
+func (p *parser) parsePhase() (*Phase, error) {
+	start, err := p.expect(TokKeyword, "phase")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	ph := &Phase{Pos: start.Pos}
+	for !p.accept(TokPunct, "}") {
+		th, err := p.parseThread()
+		if err != nil {
+			return nil, err
+		}
+		ph.Threads = append(ph.Threads, th)
+	}
+	if len(ph.Threads) == 0 {
+		return nil, errf(start.Pos, "phase has no threads")
+	}
+	return ph, nil
+}
+
+func (p *parser) parseThread() (*ThreadDecl, error) {
+	start, err := p.expect(TokKeyword, "thread")
+	if err != nil {
+		return nil, err
+	}
+	id, _, err := p.expectNumber()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ThreadDecl{Pos: start.Pos, ID: int(id), Body: body}, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.accept(TokPunct, "}") {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokKeyword && t.Text == "let":
+		p.next()
+		reg, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &LetStmt{Pos: t.Pos, Reg: reg.Text, Expr: e}, nil
+
+	case t.Kind == TokKeyword && (t.Text == "flush" || t.Text == "flushopt"):
+		p.next()
+		loc, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &FlushStmt{Pos: t.Pos, Loc: loc.Text, Opt: t.Text == "flushopt"}, nil
+
+	case t.Kind == TokKeyword && (t.Text == "sfence" || t.Text == "mfence"):
+		p.next()
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &FenceStmt{Pos: t.Pos, Full: t.Text == "mfence"}, nil
+
+	case t.Kind == TokKeyword && t.Text == "if":
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept(TokKeyword, "else") {
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Pos: t.Pos, Cond: cond, Then: then, Else: els}, nil
+
+	case t.Kind == TokKeyword && t.Text == "repeat":
+		p.next()
+		n, npos, err := p.expectNumber()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 || n > 1<<16 {
+			return nil, errf(npos, "repeat count %d out of range [1, 65536]", n)
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &RepeatStmt{Pos: t.Pos, Count: int(n), Body: body}, nil
+
+	case t.Kind == TokKeyword && t.Text == "while":
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: t.Pos, Cond: cond, Body: body}, nil
+
+	case t.Kind == TokKeyword && t.Text == "assert":
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &AssertStmt{Pos: t.Pos, Expr: e}, nil
+
+	case t.Kind == TokKeyword && (t.Text == "cas" || t.Text == "faa"):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Pos: t.Pos, Expr: e}, nil
+
+	case t.Kind == TokIdent:
+		// A store: loc = expr;
+		loc := p.next()
+		if _, err := p.expect(TokOp, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &StoreStmt{Pos: loc.Pos, Loc: loc.Text, Expr: e}, nil
+	}
+	return nil, errf(t.Pos, "expected statement, found %q", t.Text)
+}
+
+// Operator precedence, lowest first: || < && < comparisons < additive <
+// multiplicative.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"+": 4, "-": 4,
+	"*": 5, "/": 5, "%": 5,
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseBinary(1)
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := precedence[t.Text]
+		if t.Kind != TokOp || !ok || prec < minPrec {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Pos: t.Pos, Op: t.Text, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokOp && t.Text == "!" {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Pos: t.Pos, E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		v, pos, err := p.expectNumber()
+		if err != nil {
+			return nil, err
+		}
+		return &NumExpr{Pos: pos, Val: v}, nil
+
+	case t.Kind == TokKeyword && t.Text == "load":
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		loc, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &LoadExpr{Pos: t.Pos, Loc: loc.Text}, nil
+
+	case t.Kind == TokKeyword && t.Text == "cas":
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		loc, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ","); err != nil {
+			return nil, err
+		}
+		expd, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ","); err != nil {
+			return nil, err
+		}
+		newV, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &CASExpr{Pos: t.Pos, Loc: loc.Text, Expected: expd, New: newV}, nil
+
+	case t.Kind == TokKeyword && t.Text == "faa":
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		loc, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ","); err != nil {
+			return nil, err
+		}
+		delta, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &FAAExpr{Pos: t.Pos, Loc: loc.Text, Delta: delta}, nil
+
+	case t.Kind == TokIdent:
+		p.next()
+		return &RegExpr{Pos: t.Pos, Name: t.Text}, nil
+
+	case t.Kind == TokPunct && t.Text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.Pos, "expected expression, found %q", t.Text)
+}

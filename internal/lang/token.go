@@ -1,0 +1,107 @@
+// Package lang implements the concurrent programming language of the
+// paper's Figure 9, with a concrete syntax for writing crash-consistency
+// litmus tests and small PM programs:
+//
+//	sameline x y;            // optional layout directive
+//	phase {
+//	  thread 0 {
+//	    x = 1;
+//	    flush x;             // clflush
+//	    flushopt y;          // clflushopt / clwb
+//	    sfence;
+//	    let r = load(x);
+//	    let c = cas(x, 1, 2);
+//	    let f = faa(y, 1);
+//	    if (r == 1) { y = r; } else { y = 0; }
+//	    repeat 3 { y = faa(y, 1); }
+//	    assert(r != 0);
+//	  }
+//	}
+//	phase { thread 0 { let s = load(y); } }
+//
+// Phases are crash-delimited: the exploration harness injects a crash
+// within (or after) every phase except the last. Memory locations are
+// identifiers; each gets its own cache line unless a `sameline`
+// directive groups them onto one line.
+package lang
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+// Token kinds. Keywords are distinguished from identifiers by the lexer.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokKeyword
+	TokPunct // ; { } ( ) ,
+	TokOp    // = == != < <= > >= + - * / % && || !
+)
+
+var tokKindNames = [...]string{
+	TokEOF:     "EOF",
+	TokIdent:   "identifier",
+	TokNumber:  "number",
+	TokKeyword: "keyword",
+	TokPunct:   "punctuation",
+	TokOp:      "operator",
+}
+
+// String names the token kind.
+func (k TokKind) String() string {
+	if int(k) < len(tokKindNames) {
+		return tokKindNames[k]
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+// Pos is a line/column source position (1-based).
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// keywords of the language. `load`, `cas`, and `faa` are expression
+// keywords; the rest introduce statements or program structure.
+var keywords = map[string]bool{
+	"phase":    true,
+	"thread":   true,
+	"let":      true,
+	"if":       true,
+	"else":     true,
+	"repeat":   true,
+	"while":    true,
+	"load":     true,
+	"cas":      true,
+	"faa":      true,
+	"flush":    true,
+	"flushopt": true,
+	"sfence":   true,
+	"mfence":   true,
+	"assert":   true,
+	"sameline": true,
+}
+
+// Error is a lexical, syntactic, or semantic error with its position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,352 @@
+// Package litmus encodes the paper's worked examples (Figures 1, 2,
+// 4–8, 11, and 12) as executable scenarios that narrate PSan's
+// constraint derivations: after every post-crash load, the affected
+// potential-crash intervals are printed, and violations are reported
+// with their localized bug pair and suggested fixes. The psan-litmus
+// command renders them; the tests pin the verdicts to the paper's.
+package litmus
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+// Scenario is one worked example.
+type Scenario struct {
+	// Name is the figure identifier, e.g. "fig2".
+	Name string
+	// Title summarizes what the figure demonstrates.
+	Title string
+	// Run executes the scenario, narrating to w, and returns the
+	// violations found.
+	Run func(w io.Writer) []*core.Violation
+	// WantViolation is the expected verdict.
+	WantViolation bool
+}
+
+// driver wires a world to a narration writer.
+type driver struct {
+	w   *pmem.World
+	out io.Writer
+	// named addresses for narration.
+	names map[memmodel.Addr]string
+}
+
+func newDriver(out io.Writer) *driver {
+	return &driver{
+		w:     pmem.NewWorld(pmem.Config{CrashTarget: -1}),
+		out:   out,
+		names: map[memmodel.Addr]string{},
+	}
+}
+
+// loc declares a named memory location on its own cache line.
+func (d *driver) loc(name string, line int) memmodel.Addr {
+	a := memmodel.Addr(0x10000 + line*memmodel.CacheLineSize)
+	d.names[a] = name
+	return a
+}
+
+func (d *driver) printf(format string, args ...any) {
+	fmt.Fprintf(d.out, format, args...)
+}
+
+// read performs a post-crash load choosing the store with the given
+// value (or the initial store), narrates the constraint state, and
+// returns any violations.
+func (d *driver) read(t memmodel.ThreadID, a memmodel.Addr, v memmodel.Value, initial bool, loc string) []*core.Violation {
+	for _, c := range d.w.M.LoadCandidates(t, a) {
+		if c.Store.Initial == initial && (initial || c.Store.Value == v) {
+			d.w.M.Load(t, a, c, loc)
+			vs := d.w.Checker.ObserveRead(t, a, c.Store, loc)
+			d.printf("  %s reads %v\n", loc, c.Store)
+			d.narrateIntervals()
+			for _, viol := range vs {
+				d.printf("  !! %s", indent(viol.String(), "  "))
+			}
+			return vs
+		}
+	}
+	panic(fmt.Sprintf("litmus: no candidate %d (initial=%v) at %s", v, initial, a))
+}
+
+// narrateIntervals prints the non-trivial crash intervals.
+func (d *driver) narrateIntervals() {
+	tr := d.w.M.Trace()
+	type key struct {
+		sub int
+		t   memmodel.ThreadID
+	}
+	var keys []key
+	for e := 0; e < len(tr.SubExecs()); e++ {
+		for t := memmodel.ThreadID(0); t < 4; t++ {
+			keys = append(keys, key{e, t})
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].sub != keys[j].sub {
+			return keys[i].sub < keys[j].sub
+		}
+		return keys[i].t < keys[j].t
+	})
+	for _, k := range keys {
+		iv := d.w.Checker.Interval(k.sub, k.t)
+		if !iv.Unconstrained() {
+			d.printf("    C(e%d)(t%d) = %v\n", k.sub+1, int(k.t), iv)
+		}
+	}
+}
+
+func indent(s, pad string) string {
+	return strings.ReplaceAll(s, "\n", "\n"+pad) + "\n"
+}
+
+// Scenarios returns every figure scenario in paper order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "fig1", Title: "Figure 1: flushed commit-store pattern is robust", WantViolation: false, Run: fig1},
+		{Name: "fig1-broken", Title: "Figure 1 without the data flush: not robust", WantViolation: true, Run: fig1Broken},
+		{Name: "fig2", Title: "Figure 2: r1=1, r2=2 has no strict equivalent", WantViolation: true, Run: fig2},
+		{Name: "fig4", Title: "Figures 4/5: interval [2,4) meets [5,inf)", WantViolation: true, Run: fig4},
+		{Name: "fig6", Title: "Figure 6: per-thread intervals make r1=0, r2=1 robust", WantViolation: false, Run: fig6},
+		{Name: "fig7", Title: "Figure 7: happens-before closure; fix goes in thread 2", WantViolation: true, Run: fig7},
+		{Name: "fig8", Title: "Figure 8: multiple crash events, C(e1) unsatisfiable", WantViolation: true, Run: fig8},
+		{Name: "fig11", Title: "Figure 11: reading from a store that is too old", WantViolation: true, Run: fig11},
+		{Name: "fig12", Title: "Figure 12: reading from a store that is too new", WantViolation: true, Run: fig12},
+		{Name: "flushopt-no-drain", Title: "clflushopt without a drain is not complete at the crash", WantViolation: true, Run: flushoptNoDrain},
+		{Name: "flushopt-sfence", Title: "clflushopt + sfence completes: robust", WantViolation: false, Run: flushoptSFence},
+		{Name: "rmw-drain", Title: "§1.1(5): an existing RMW serves as the needed drain", WantViolation: false, Run: rmwDrain},
+		{Name: "temporary", Title: "§1.1(4): unflushed temporaries never read post-crash are fine", WantViolation: false, Run: temporary},
+	}
+}
+
+// ByName finds a scenario.
+func ByName(name string) *Scenario {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			sc := s
+			return &sc
+		}
+	}
+	return nil
+}
+
+func fig1(out io.Writer) []*core.Violation {
+	d := newDriver(out)
+	data, child := d.loc("tmp->data", 0), d.loc("ptr->child", 1)
+	th := d.w.Thread(0)
+	th.Store(data, 42, "tmp->data = data")
+	th.Flush(data, "clflush(tmp)")
+	th.Store(child, 1, "ptr->child = tmp")
+	d.printf("pre-crash: data stored+flushed, commit store issued; crash before its flush\n")
+	d.w.Crash()
+	var vs []*core.Violation
+	vs = append(vs, d.read(0, child, 1, false, "readChild: ptr->child")...)
+	vs = append(vs, d.read(0, data, 42, false, "readChild: child->data")...)
+	return vs
+}
+
+func fig1Broken(out io.Writer) []*core.Violation {
+	d := newDriver(out)
+	data, child := d.loc("tmp->data", 0), d.loc("ptr->child", 1)
+	th := d.w.Thread(0)
+	th.Store(data, 42, "tmp->data = data")
+	// missing: clflush(tmp)
+	th.Store(child, 1, "ptr->child = tmp")
+	th.Flush(child, "clflush(&ptr->child)")
+	d.printf("pre-crash: data store NOT flushed before the commit store\n")
+	d.w.Crash()
+	var vs []*core.Violation
+	vs = append(vs, d.read(0, child, 1, false, "readChild: ptr->child")...)
+	vs = append(vs, d.read(0, data, 0, true, "readChild: child->data")...)
+	return vs
+}
+
+func fig2(out io.Writer) []*core.Violation {
+	d := newDriver(out)
+	x, y := d.loc("x", 0), d.loc("y", 1)
+	th := d.w.Thread(0)
+	th.Store(x, 1, "x = 1")
+	th.Store(y, 1, "y = 1")
+	th.Store(x, 2, "x = 2")
+	th.Store(y, 2, "y = 2")
+	d.printf("pre-crash: x=1; y=1; x=2; y=2 (no flushes)\n")
+	d.w.Crash()
+	var vs []*core.Violation
+	vs = append(vs, d.read(0, x, 1, false, "r1 = x")...)
+	vs = append(vs, d.read(0, y, 2, false, "r2 = y")...)
+	return vs
+}
+
+func fig4(out io.Writer) []*core.Violation {
+	d := newDriver(out)
+	x, y := d.loc("x", 0), d.loc("y", 1)
+	th := d.w.Thread(0)
+	th.Store(x, 1, "x = 1")
+	th.Store(y, 2, "y = 2")
+	th.Store(x, 3, "x = 3")
+	th.Store(y, 4, "y = 4")
+	th.Store(x, 5, "x = 5")
+	d.printf("pre-crash: x=1; y=2; x=3; y=4; x=5 (clocks 1..5)\n")
+	d.w.Crash()
+	var vs []*core.Violation
+	vs = append(vs, d.read(0, y, 2, false, "r1 = y")...)
+	vs = append(vs, d.read(0, x, 5, false, "r2 = x")...)
+	return vs
+}
+
+func fig6(out io.Writer) []*core.Violation {
+	d := newDriver(out)
+	x, y := d.loc("x", 0), d.loc("y", 1)
+	t0, t1 := d.w.Thread(0), d.w.Thread(1)
+	t0.Store(x, 1, "t1: x = 1")
+	// thread 0 is paused before its flush
+	t1.Store(y, 1, "t2: y = 1")
+	t1.Flush(y, "t2: flush y")
+	d.printf("pre-crash: t1 paused before flush x; t2 stored and flushed y\n")
+	d.w.Crash()
+	var vs []*core.Violation
+	vs = append(vs, d.read(0, x, 0, true, "r1 = x")...)
+	vs = append(vs, d.read(0, y, 1, false, "r2 = y")...)
+	return vs
+}
+
+func fig7(out io.Writer) []*core.Violation {
+	d := newDriver(out)
+	x, y := d.loc("x", 0), d.loc("y", 1)
+	t0, t1 := d.w.Thread(0), d.w.Thread(1)
+	t0.Store(x, 1, "t1: x = 1")
+	r1 := t1.Load(x, "t2: r1 = x")
+	t1.Store(y, r1, "t2: y = r1")
+	t1.Flush(y, "t2: flush y")
+	d.printf("pre-crash: t1 paused before flush x; t2 read x, stored y=r1, flushed y\n")
+	d.w.Crash()
+	var vs []*core.Violation
+	vs = append(vs, d.read(0, x, 0, true, "r2 = x")...)
+	vs = append(vs, d.read(0, y, 1, false, "r3 = y")...)
+	return vs
+}
+
+func fig8(out io.Writer) []*core.Violation {
+	d := newDriver(out)
+	x, y := d.loc("x", 0), d.loc("y", 1)
+	th := d.w.Thread(0)
+	th.Store(x, 1, "e1: x = 1")
+	th.Store(y, 1, "e1: y = 1")
+	d.printf("sub-execution e1: x=1; y=1; crash\n")
+	d.w.Crash()
+	th.Store(y, 2, "e2: y = 2")
+	var vs []*core.Violation
+	vs = append(vs, d.read(0, x, 0, true, "e2: r = x")...)
+	d.printf("sub-execution e2: y=2; r=x; crash\n")
+	d.w.Crash()
+	vs = append(vs, d.read(0, y, 1, false, "e3: s = y")...)
+	return vs
+}
+
+func flushoptNoDrain(out io.Writer) []*core.Violation {
+	d := newDriver(out)
+	x, y := d.loc("x", 0), d.loc("y", 1)
+	th := d.w.Thread(0)
+	th.Store(x, 1, "x = 1")
+	th.FlushOpt(x, "clflushopt x (no drain)")
+	th.Store(y, 1, "y = 1")
+	th.Flush(y, "clflush y")
+	d.printf("pre-crash: clflushopt x never drained; y flushed synchronously\n")
+	d.w.Crash()
+	var vs []*core.Violation
+	vs = append(vs, d.read(0, y, 1, false, "r1 = y")...)
+	vs = append(vs, d.read(0, x, 0, true, "r2 = x (flushopt incomplete)")...)
+	return vs
+}
+
+func flushoptSFence(out io.Writer) []*core.Violation {
+	d := newDriver(out)
+	x, y := d.loc("x", 0), d.loc("y", 1)
+	th := d.w.Thread(0)
+	th.Store(x, 1, "x = 1")
+	th.FlushOpt(x, "clflushopt x")
+	th.SFence("sfence")
+	th.Store(y, 1, "y = 1")
+	th.Flush(y, "clflush y")
+	d.printf("pre-crash: clflushopt x completed by sfence before y\n")
+	d.w.Crash()
+	var vs []*core.Violation
+	vs = append(vs, d.read(0, y, 1, false, "r1 = y")...)
+	// x=1 is guaranteed: the only candidate is the store itself.
+	vs = append(vs, d.read(0, x, 1, false, "r2 = x")...)
+	return vs
+}
+
+func rmwDrain(out io.Writer) []*core.Violation {
+	d := newDriver(out)
+	x, y, z := d.loc("x", 0), d.loc("y", 1), d.loc("z", 2)
+	th := d.w.Thread(0)
+	th.Store(x, 1, "x = 1")
+	th.FlushOpt(x, "clflushopt x")
+	th.FAA(z, 1, "faa z (locked RMW: a drain)")
+	th.Store(y, 1, "y = 1")
+	th.Flush(y, "clflush y")
+	d.printf("pre-crash: the locked RMW completes the clflushopt — no sfence needed (§1.1 point 5)\n")
+	d.w.Crash()
+	var vs []*core.Violation
+	vs = append(vs, d.read(0, y, 1, false, "r1 = y")...)
+	vs = append(vs, d.read(0, x, 1, false, "r2 = x")...)
+	return vs
+}
+
+func temporary(out io.Writer) []*core.Violation {
+	d := newDriver(out)
+	tmp, commit := d.loc("scratch", 0), d.loc("commit", 1)
+	th := d.w.Thread(0)
+	th.Store(tmp, 99, "scratch = 99 (never flushed, never read post-crash)")
+	th.Store(commit, 1, "commit = 1")
+	th.Flush(commit, "clflush commit")
+	d.printf("pre-crash: the scratch store is unflushed; recovery never reads it\n")
+	d.w.Crash()
+	// Recovery reads only the committed word: robust, even though a
+	// flush-presence scanner (pmemcheck) would flag the scratch store.
+	return d.read(0, commit, 1, false, "r = commit")
+}
+
+func fig11(out io.Writer) []*core.Violation {
+	d := newDriver(out)
+	x, y := d.loc("x", 0), d.loc("y", 1)
+	th := d.w.Thread(0)
+	th.Store(y, 1, "st1<y>")
+	th.Store(y, 2, "st2<y> (missing flush)")
+	th.Store(x, 1, "st<x>")
+	th.Flush(x, "flush x")
+	d.printf("pre-crash: st1<y>; st2<y> unflushed; st<x> flushed\n")
+	d.w.Crash()
+	var vs []*core.Violation
+	// Reading x pins the crash interval after st<x>; then reading the
+	// old st1<y> moves the interval end before st2<y>: too old.
+	vs = append(vs, d.read(0, x, 1, false, "ld<x>")...)
+	vs = append(vs, d.read(0, y, 1, false, "ld<y> (too old)")...)
+	return vs
+}
+
+func fig12(out io.Writer) []*core.Violation {
+	d := newDriver(out)
+	y, z := d.loc("y", 0), d.loc("z", 1)
+	th := d.w.Thread(0)
+	th.Store(y, 1, "st1<y>")
+	th.Store(y, 2, "st2<y> (missing flush)")
+	th.Store(z, 1, "st3<z>")
+	th.Flush(z, "flush z")
+	d.printf("pre-crash: st1<y>; st2<y> unflushed; st3<z> flushed, st2 hb st3\n")
+	d.w.Crash()
+	var vs []*core.Violation
+	// Reading the old st1<y> first sets the interval end before st2<y>;
+	// then reading st3<z> moves the start past it: too new.
+	vs = append(vs, d.read(0, y, 1, false, "ld<y>")...)
+	vs = append(vs, d.read(0, z, 1, false, "ld<z> (too new)")...)
+	return vs
+}

@@ -1,0 +1,74 @@
+package litmus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Every scenario's verdict must match the paper's.
+func TestScenarioVerdicts(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			vs := sc.Run(&buf)
+			if got := len(vs) > 0; got != sc.WantViolation {
+				t.Fatalf("%s: violation=%v, want %v\n%s", sc.Name, got, sc.WantViolation, buf.String())
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("fig2") == nil {
+		t.Fatal("fig2 missing")
+	}
+	if ByName("fig99") != nil {
+		t.Fatal("fig99 should not exist")
+	}
+}
+
+// fig11 must diagnose the read-too-old case, fig12 the read-too-new
+// case — the two §5.2 shapes.
+func TestDiagnosisKinds(t *testing.T) {
+	var buf bytes.Buffer
+	vs := ByName("fig11").Run(&buf)
+	if len(vs) == 0 || vs[0].Kind != core.ReadTooOld {
+		t.Fatalf("fig11 kind = %v, want read-too-old", vs)
+	}
+	buf.Reset()
+	vs = ByName("fig12").Run(&buf)
+	if len(vs) == 0 || vs[0].Kind != core.ReadTooNew {
+		t.Fatalf("fig12 kind = %v, want read-too-new", vs)
+	}
+}
+
+// The narration for Figure 4 must show the paper's [2, 4) interval.
+func TestFig4NarratesInterval(t *testing.T) {
+	var buf bytes.Buffer
+	ByName("fig4").Run(&buf)
+	if !strings.Contains(buf.String(), "[2, 4)") {
+		t.Fatalf("narration missing [2, 4):\n%s", buf.String())
+	}
+}
+
+// Figure 7's narration must include the alternate fix in thread 1.
+func TestFig7NarratesAlternateFix(t *testing.T) {
+	var buf bytes.Buffer
+	vs := ByName("fig7").Run(&buf)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1", len(vs))
+	}
+	found := false
+	for _, f := range vs[0].Fixes {
+		if f.Kind == core.FixInsertFlush && f.Thread == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no thread-1 fix: %v", vs[0].Fixes)
+	}
+}

@@ -1,0 +1,152 @@
+// Package memmodel defines the shared vocabulary of the persistent-memory
+// simulation: addresses, cache-line geometry, thread identifiers, values,
+// and the kinds of operations that appear in execution traces.
+//
+// Every other layer — the Px86 simulator, the PSan robustness checker, the
+// exploration harness, and the benchmark ports — speaks in these types, so
+// the package is deliberately small and dependency-free.
+package memmodel
+
+import "fmt"
+
+// CacheLineSize is the cache-line granularity of flush operations, in
+// bytes. Intel x86 flush instructions (clflush, clflushopt, clwb) operate
+// on 64-byte lines.
+const CacheLineSize = 64
+
+// WordSize is the granularity of a single memory location. The simulated
+// machine is word-addressed: every load and store touches one 8-byte word,
+// matching the aligned 64-bit accesses that PM data structures use for
+// their commit stores.
+const WordSize = 8
+
+// WordsPerLine is the number of distinct memory locations per cache line.
+const WordsPerLine = CacheLineSize / WordSize
+
+// Addr is a simulated persistent-memory address. Addresses are byte
+// granular, but accesses are word granular; Word normalizes an address to
+// its word boundary.
+type Addr uint64
+
+// Line returns the cache line containing a, identified by the address of
+// the line's first byte. Stores to the same Line persist atomically in
+// TSO order under Px86, which is why colocating two fields on one line is
+// a valid robustness fix (paper §5.2).
+func (a Addr) Line() Addr { return a &^ (CacheLineSize - 1) }
+
+// Word returns the word-aligned address containing a.
+func (a Addr) Word() Addr { return a &^ (WordSize - 1) }
+
+// LineIndex returns the word offset of a within its cache line, in
+// [0, WordsPerLine).
+func (a Addr) LineIndex() int { return int(a%CacheLineSize) / WordSize }
+
+// String formats the address in hex.
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// SameLine reports whether two addresses share a cache line.
+func SameLine(a, b Addr) bool { return a.Line() == b.Line() }
+
+// ThreadID identifies a thread within a sub-execution. Thread identifiers
+// are scoped to a sub-execution: after a crash the program restarts and
+// the recovery code runs on fresh threads, matching the paper's reset of
+// the clock-vector map at crash events (Figure 3, [CRASH]).
+type ThreadID int
+
+// NoThread is the zero-value sentinel for "no thread" in diagnostics.
+const NoThread ThreadID = -1
+
+// Value is the contents of one memory word.
+type Value uint64
+
+// OpKind enumerates the primitive operations of the Px86 machine, which
+// are exactly the PCom productions of the paper's Figure 9 language plus
+// the crash event.
+type OpKind int
+
+const (
+	// OpLoad is an atomic read of one word.
+	OpLoad OpKind = iota
+	// OpStore is an atomic write of one word.
+	OpStore
+	// OpCAS is an atomic compare-and-swap; it is analyzed as a load
+	// immediately followed by a store (paper §5) and acts as a drain.
+	OpCAS
+	// OpFAA is an atomic fetch-and-add; like OpCAS it is a load+store
+	// and a drain.
+	OpFAA
+	// OpMFence is a full memory fence; it drains the store buffer and
+	// orders pending clflushopt/clwb operations (a drain operation).
+	OpMFence
+	// OpSFence is a store fence; for persistency purposes it is a drain
+	// that orders clflushopt relative to flushes and stores.
+	OpSFence
+	// OpFlush is the clflush instruction: it is inserted into the store
+	// buffer like a store and synchronously persists its cache line
+	// when it commits.
+	OpFlush
+	// OpFlushOpt is the clflushopt/clwb instruction: asynchronous; the
+	// flush is only guaranteed persistent after a subsequent drain.
+	// The paper treats clflushopt and clwb identically (§2), so we
+	// model a single operation.
+	OpFlushOpt
+	// OpCrash is a crash event: the volatile cache contents vanish and
+	// a new sub-execution begins.
+	OpCrash
+)
+
+var opKindNames = [...]string{
+	OpLoad:     "load",
+	OpStore:    "store",
+	OpCAS:      "cas",
+	OpFAA:      "faa",
+	OpMFence:   "mfence",
+	OpSFence:   "sfence",
+	OpFlush:    "clflush",
+	OpFlushOpt: "clflushopt",
+	OpCrash:    "crash",
+}
+
+// String returns the instruction mnemonic for the operation kind.
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// IsDrain reports whether the operation kind is a drain operation in the
+// sense of the paper (§2): mfence, sfence, and locked RMW instructions
+// all force pending clflushopt/clwb operations to complete.
+func (k OpKind) IsDrain() bool {
+	switch k {
+	case OpMFence, OpSFence, OpCAS, OpFAA:
+		return true
+	}
+	return false
+}
+
+// IsFenceLike reports whether the model-checking explorer inserts a crash
+// point immediately before this operation. The paper's model checking
+// mode "systematically inserts crashes before each fence-like operation
+// and after the last operation of the program" (§6.1).
+func (k OpKind) IsFenceLike() bool {
+	switch k {
+	case OpMFence, OpSFence, OpCAS, OpFAA, OpFlush, OpFlushOpt:
+		return true
+	}
+	return false
+}
+
+// IsRMW reports whether the operation is an atomic read-modify-write.
+func (k OpKind) IsRMW() bool { return k == OpCAS || k == OpFAA }
+
+// AccessesMemory reports whether the operation reads or writes a memory
+// location (as opposed to fences and crashes).
+func (k OpKind) AccessesMemory() bool {
+	switch k {
+	case OpLoad, OpStore, OpCAS, OpFAA, OpFlush, OpFlushOpt:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+package memmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineGeometry(t *testing.T) {
+	if CacheLineSize != 64 || WordSize != 8 || WordsPerLine != 8 {
+		t.Fatalf("geometry changed: line=%d word=%d words/line=%d",
+			CacheLineSize, WordSize, WordsPerLine)
+	}
+}
+
+func TestLineAndWord(t *testing.T) {
+	a := Addr(0x1234)
+	if a.Line() != 0x1200 {
+		t.Fatalf("Line(0x1234) = %v", a.Line())
+	}
+	if a.Word() != 0x1230 {
+		t.Fatalf("Word(0x1234) = %v", a.Word())
+	}
+	if a.LineIndex() != 6 {
+		t.Fatalf("LineIndex(0x1234) = %d", a.LineIndex())
+	}
+}
+
+func TestSameLine(t *testing.T) {
+	if !SameLine(0x1000, 0x103f) {
+		t.Fatal("0x1000 and 0x103f share a line")
+	}
+	if SameLine(0x1000, 0x1040) {
+		t.Fatal("0x1000 and 0x1040 are on different lines")
+	}
+}
+
+// Properties of the address arithmetic.
+func TestAddrProperties(t *testing.T) {
+	idempotent := func(a uint64) bool {
+		x := Addr(a)
+		return x.Line().Line() == x.Line() && x.Word().Word() == x.Word()
+	}
+	if err := quick.Check(idempotent, nil); err != nil {
+		t.Errorf("Line/Word not idempotent: %v", err)
+	}
+	contained := func(a uint64) bool {
+		x := Addr(a)
+		return x.Line() <= x && x < x.Line()+CacheLineSize &&
+			x.Word() <= x && x < x.Word()+WordSize
+	}
+	if err := quick.Check(contained, nil); err != nil {
+		t.Errorf("address not within its line/word: %v", err)
+	}
+	index := func(a uint64) bool {
+		x := Addr(a)
+		i := x.LineIndex()
+		return i >= 0 && i < WordsPerLine &&
+			x.Line()+Addr(i*WordSize) == x.Word()
+	}
+	if err := quick.Check(index, nil); err != nil {
+		t.Errorf("LineIndex inconsistent: %v", err)
+	}
+}
+
+func TestOpKindClassification(t *testing.T) {
+	drains := map[OpKind]bool{OpMFence: true, OpSFence: true, OpCAS: true, OpFAA: true}
+	fenceLike := map[OpKind]bool{
+		OpMFence: true, OpSFence: true, OpCAS: true, OpFAA: true,
+		OpFlush: true, OpFlushOpt: true,
+	}
+	memory := map[OpKind]bool{
+		OpLoad: true, OpStore: true, OpCAS: true, OpFAA: true,
+		OpFlush: true, OpFlushOpt: true,
+	}
+	for k := OpLoad; k <= OpCrash; k++ {
+		if got := k.IsDrain(); got != drains[k] {
+			t.Errorf("%v.IsDrain() = %v", k, got)
+		}
+		if got := k.IsFenceLike(); got != fenceLike[k] {
+			t.Errorf("%v.IsFenceLike() = %v", k, got)
+		}
+		if got := k.AccessesMemory(); got != memory[k] {
+			t.Errorf("%v.AccessesMemory() = %v", k, got)
+		}
+		if got := k.IsRMW(); got != (k == OpCAS || k == OpFAA) {
+			t.Errorf("%v.IsRMW() = %v", k, got)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpFlush.String() != "clflush" || OpFlushOpt.String() != "clflushopt" {
+		t.Fatal("flush mnemonics wrong")
+	}
+	if OpKind(99).String() == "" {
+		t.Fatal("out-of-range kind must still render")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if Addr(0x1f).String() != "0x1f" {
+		t.Fatalf("Addr.String = %q", Addr(0x1f).String())
+	}
+}

@@ -1,0 +1,53 @@
+package pmem
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+)
+
+// RootAddr is the fixed address of the persistent root word. Recovery
+// code reads the root to rediscover data structures after a crash, the
+// way PMDK programs use a pool's root object.
+const RootAddr = memmodel.Addr(0x1000)
+
+// heapBase is where dynamic allocations start; the gap below it is
+// reserved for roots and statically-placed test variables.
+const heapBase = memmodel.Addr(0x100000)
+
+// Heap is a bump allocator over the simulated persistent address space.
+// Allocation metadata is harness state (it survives crashes the way a
+// reopened pool's layout does); the benchmarks that the paper reports
+// allocator bugs in carry their own PM-resident allocator state on top.
+type Heap struct {
+	next memmodel.Addr
+}
+
+// NewHeap returns a heap with no allocations.
+func NewHeap() *Heap { return &Heap{next: heapBase} }
+
+// Alloc reserves size bytes, word aligned, and returns the base address.
+// Fresh memory reads as zero.
+func (h *Heap) Alloc(size int) memmodel.Addr {
+	return h.AllocAligned(size, memmodel.WordSize)
+}
+
+// AllocAligned reserves size bytes at the given power-of-two alignment.
+func (h *Heap) AllocAligned(size, align int) memmodel.Addr {
+	if size <= 0 || align <= 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("pmem: bad allocation size=%d align=%d", size, align))
+	}
+	a := (h.next + memmodel.Addr(align-1)) &^ memmodel.Addr(align-1)
+	h.next = a + memmodel.Addr(size)
+	return a
+}
+
+// AllocLines reserves n whole cache lines, line aligned. Data structures
+// that rely on cache-line atomicity (CCEH segments, CLHT buckets,
+// FAST_FAIR headers) allocate through it.
+func (h *Heap) AllocLines(n int) memmodel.Addr {
+	return h.AllocAligned(n*memmodel.CacheLineSize, memmodel.CacheLineSize)
+}
+
+// Used reports the number of bytes allocated so far.
+func (h *Heap) Used() int { return int(h.next - heapBase) }

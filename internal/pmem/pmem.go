@@ -1,0 +1,355 @@
+// Package pmem provides the instrumented persistent-memory programming
+// interface that benchmark ports and example programs are written
+// against. It plays the role of Jaaru's LLVM instrumentation in the
+// original system: every load, store, flush, and fence is routed through
+// the Px86 simulator and observed by the PSan checker.
+//
+// A World couples one simulated machine with one checker and a read
+// policy. Simulated threads are either inline (the test driver scripts
+// the interleaving itself) or spawned (cooperative goroutines scheduled
+// one operation at a time, so executions stay serialized and
+// reproducible).
+//
+// Crash points follow the paper's §6.1: the exploration harness sets a
+// crash target k, and the world injects a crash immediately before the
+// k-th fence-like operation of the phase (or after the last operation
+// when k is past the end).
+package pmem
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/memmodel"
+	"repro/internal/px86"
+)
+
+// CrashSignal is the panic value used to unwind a phase when the
+// simulated machine crashes. Benchmark code must let it propagate.
+type CrashSignal struct{}
+
+// AbortSignal unwinds an execution that exceeded its operation budget
+// (for example, a spin lock whose holder crashed). The exploration
+// harness discards such executions.
+type AbortSignal struct{ Reason string }
+
+// ReadChooser selects which store a load reads from when the crash image
+// leaves more than one possibility. It is the hook where exploration
+// strategies (random, model checking, violation avoidance) plug in.
+type ReadChooser func(w *World, t memmodel.ThreadID, addr memmodel.Addr, cands []px86.Candidate, loc string) px86.Candidate
+
+// ChooseNewest picks the newest legal store — the behavior of an
+// execution in which everything persisted.
+func ChooseNewest(_ *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ string) px86.Candidate {
+	return cands[0]
+}
+
+// ChooseOldest picks the oldest legal store — the behavior of an
+// execution in which as little as possible persisted. Useful in tests
+// that want the worst surviving image.
+func ChooseOldest(_ *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ string) px86.Candidate {
+	return cands[len(cands)-1]
+}
+
+// ChooseRandom picks uniformly among the legal stores using the world's
+// random source.
+func ChooseRandom(w *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ string) px86.Candidate {
+	return cands[w.rng.Intn(len(cands))]
+}
+
+// ChooseAvoidingViolations wraps another chooser with PSan's multi-bug
+// strategy (§5.2 Implementation): candidates whose read would create a
+// robustness violation are avoided when a consistent candidate exists,
+// letting one execution surface several independent bugs. When every
+// candidate violates, the inner chooser picks among all of them and the
+// violation is reported.
+func ChooseAvoidingViolations(inner ReadChooser) ReadChooser {
+	return func(w *World, t memmodel.ThreadID, addr memmodel.Addr, cands []px86.Candidate, loc string) px86.Candidate {
+		clean := make([]px86.Candidate, 0, len(cands))
+		for _, c := range cands {
+			if len(w.Checker.CheckRead(t, addr, c.Store, loc)) == 0 {
+				clean = append(clean, c)
+			} else {
+				// Record the diagnosis even though the execution will
+				// steer around it: the outcome is reachable.
+				w.Checker.FlagRead(t, addr, c.Store, loc)
+			}
+		}
+		if len(clean) > 0 {
+			return inner(w, t, addr, clean, loc)
+		}
+		return inner(w, t, addr, cands, loc)
+	}
+}
+
+// Config parameterizes a World.
+type Config struct {
+	// Px86 configures the underlying machine.
+	Px86 px86.Config
+	// Seed seeds the world's random source (scheduling and ChooseRandom).
+	Seed int64
+	// Chooser is the read policy; nil means ChooseNewest.
+	Chooser ReadChooser
+	// CrashTarget injects a crash before the CrashTarget-th fence-like
+	// operation of the current phase; negative disables injection.
+	CrashTarget int
+	// OpLimit bounds the operations per execution; 0 means 1 << 20.
+	OpLimit int
+	// RandomDrainPercent, with the machine in delayed-commit mode,
+	// drains one random store-buffer entry before an operation with the
+	// given percent probability (0–100), exposing TSO store-buffer
+	// interleavings to exploration.
+	RandomDrainPercent int
+}
+
+// World is one simulated persistent-memory system under test.
+type World struct {
+	M       *px86.Machine
+	Checker *core.Checker
+	Heap    *Heap
+
+	chooser     ReadChooser
+	rng         *rand.Rand
+	crashTarget int
+	fenceOps    int
+	ops         int
+	opLimit     int
+	drainPct    int
+	threadIDs   []memmodel.ThreadID
+	crashed     bool
+
+	spawned []*simThread
+
+	// assertFailures records failed program assertions ("assert(e)" in
+	// the Figure 9 language, or Assert calls from benchmark ports). The
+	// Jaaru-style baseline detects bugs only through these.
+	assertFailures []string
+}
+
+// RecordAssertFailure notes a failed program assertion.
+func (w *World) RecordAssertFailure(loc string) {
+	w.assertFailures = append(w.assertFailures, loc)
+}
+
+// AssertFailures returns the assertion failures recorded this execution.
+func (w *World) AssertFailures() []string { return w.assertFailures }
+
+// NewWorld builds a fresh world: zeroed persistent memory, an empty
+// trace, and an unconstrained checker.
+func NewWorld(cfg Config) *World {
+	m := px86.New(cfg.Px86)
+	chooser := cfg.Chooser
+	if chooser == nil {
+		chooser = ChooseNewest
+	}
+	limit := cfg.OpLimit
+	if limit == 0 {
+		limit = 1 << 20
+	}
+	return &World{
+		M:           m,
+		Checker:     core.New(m.Trace()),
+		Heap:        NewHeap(),
+		chooser:     chooser,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		crashTarget: cfg.CrashTarget,
+		opLimit:     limit,
+		drainPct:    cfg.RandomDrainPercent,
+	}
+}
+
+// Rand returns the world's random source (shared by schedulers and
+// random read policies so one seed reproduces the whole execution).
+func (w *World) Rand() *rand.Rand { return w.rng }
+
+// FenceOps returns the number of fence-like operations executed in the
+// current phase; the harness uses a pilot run to size the crash-point
+// range (§6.1 model checking mode).
+func (w *World) FenceOps() int { return w.fenceOps }
+
+// SetCrashTarget re-arms crash injection for the next phase.
+func (w *World) SetCrashTarget(k int) {
+	w.crashTarget = k
+	w.fenceOps = 0
+}
+
+// Crashed reports whether the current phase hit its crash target.
+func (w *World) Crashed() bool { return w.crashed }
+
+// RunPhase executes one phase function, converting an injected crash
+// into a normal return. It returns true if the phase crashed. The
+// machine-level crash itself (px86.Machine.Crash) is the caller's
+// responsibility, so a harness can decide to crash even after a phase
+// that ran to completion.
+func (w *World) RunPhase(phase func(*World)) (crashed bool) {
+	w.crashed = false
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(CrashSignal); ok {
+				crashed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	phase(w)
+	return false
+}
+
+// Crash crashes the machine and starts the next sub-execution.
+func (w *World) Crash() {
+	w.M.Crash()
+	w.crashed = false
+	w.fenceOps = 0
+}
+
+// Thread returns an inline simulated thread: its operations execute
+// immediately in the caller's control flow, letting drivers script exact
+// interleavings.
+func (w *World) Thread(id memmodel.ThreadID) *Thread {
+	w.registerThread(id)
+	return &Thread{ID: id, w: w}
+}
+
+// step enforces the operation budget and the crash target, and in
+// delayed-commit mode randomly drains store buffers. It runs before
+// every operation of every thread.
+func (w *World) step(kind memmodel.OpKind) {
+	if w.crashed {
+		panic(CrashSignal{})
+	}
+	w.ops++
+	if w.ops > w.opLimit {
+		panic(AbortSignal{Reason: fmt.Sprintf("operation budget %d exceeded", w.opLimit)})
+	}
+	if w.drainPct > 0 && len(w.threadIDs) > 0 && w.rng.Intn(100) < w.drainPct {
+		w.M.DrainOne(w.threadIDs[w.rng.Intn(len(w.threadIDs))])
+	}
+	if kind.IsFenceLike() {
+		if w.crashTarget >= 0 && w.fenceOps == w.crashTarget {
+			w.crashed = true
+			panic(CrashSignal{})
+		}
+		w.fenceOps++
+	}
+}
+
+// registerThread tracks thread IDs for the random drain scheduler.
+func (w *World) registerThread(id memmodel.ThreadID) {
+	for _, t := range w.threadIDs {
+		if t == id {
+			return
+		}
+	}
+	w.threadIDs = append(w.threadIDs, id)
+}
+
+// Thread is a handle for issuing operations as one simulated thread.
+type Thread struct {
+	ID  memmodel.ThreadID
+	w   *World
+	sim *simThread
+}
+
+// World returns the world the thread belongs to.
+func (t *Thread) World() *World { return t.w }
+
+func (t *Thread) step(kind memmodel.OpKind) {
+	if t.sim != nil {
+		t.sim.parkAndWait()
+	}
+	t.w.step(kind)
+}
+
+// Store writes v to word a.
+func (t *Thread) Store(a memmodel.Addr, v memmodel.Value, loc string) {
+	t.step(memmodel.OpStore)
+	t.w.M.Store(t.ID, a, v, loc)
+}
+
+// Load reads word a, resolving post-crash nondeterminism through the
+// world's read policy and reporting the read to the checker.
+func (t *Thread) Load(a memmodel.Addr, loc string) memmodel.Value {
+	t.step(memmodel.OpLoad)
+	w := t.w
+	cands := w.M.LoadCandidates(t.ID, a)
+	chosen := cands[0]
+	if len(cands) > 1 {
+		chosen = w.chooser(w, t.ID, a, cands, loc)
+	}
+	v := w.M.Load(t.ID, a, chosen, loc)
+	w.Checker.ObserveRead(t.ID, a, chosen.Store, loc)
+	return v
+}
+
+// Flush issues clflush on the line containing a.
+func (t *Thread) Flush(a memmodel.Addr, loc string) {
+	t.step(memmodel.OpFlush)
+	t.w.M.Flush(t.ID, a, loc)
+}
+
+// FlushOpt issues clflushopt/clwb on the line containing a.
+func (t *Thread) FlushOpt(a memmodel.Addr, loc string) {
+	t.step(memmodel.OpFlushOpt)
+	t.w.M.FlushOpt(t.ID, a, loc)
+}
+
+// SFence issues a store fence (a drain operation).
+func (t *Thread) SFence(loc string) {
+	t.step(memmodel.OpSFence)
+	t.w.M.SFence(t.ID, loc)
+}
+
+// MFence issues a full fence (a drain operation).
+func (t *Thread) MFence(loc string) {
+	t.step(memmodel.OpMFence)
+	t.w.M.MFence(t.ID, loc)
+}
+
+// Persist is the idiomatic "make it durable" sequence: clflushopt
+// followed by sfence, covering every cache line of [a, a+size).
+func (t *Thread) Persist(a memmodel.Addr, size int, loc string) {
+	for line := a.Line(); line < a+memmodel.Addr(size); line += memmodel.CacheLineSize {
+		t.FlushOpt(line, loc)
+	}
+	t.SFence(loc)
+}
+
+// CAS atomically compares word a with expected and, on a match, writes
+// newV. It returns the observed value and whether the swap happened.
+func (t *Thread) CAS(a memmodel.Addr, expected, newV memmodel.Value, loc string) (memmodel.Value, bool) {
+	t.step(memmodel.OpCAS)
+	w := t.w
+	cands := w.M.LoadCandidates(t.ID, a)
+	chosen := cands[0]
+	if len(cands) > 1 {
+		chosen = w.chooser(w, t.ID, a, cands, loc)
+	}
+	old, ok := w.M.CAS(t.ID, a, chosen, expected, newV, loc)
+	w.Checker.ObserveRead(t.ID, a, chosen.Store, loc)
+	return old, ok
+}
+
+// FAA atomically adds delta to word a, returning the previous value.
+func (t *Thread) FAA(a memmodel.Addr, delta memmodel.Value, loc string) memmodel.Value {
+	t.step(memmodel.OpFAA)
+	w := t.w
+	cands := w.M.LoadCandidates(t.ID, a)
+	chosen := cands[0]
+	if len(cands) > 1 {
+		chosen = w.chooser(w, t.ID, a, cands, loc)
+	}
+	old := w.M.FAA(t.ID, a, chosen, delta, loc)
+	w.Checker.ObserveRead(t.ID, a, chosen.Store, loc)
+	return old
+}
+
+// BeginChecksum marks the start of a checksum-validated read region for
+// this thread (§6.4): cross-crash reads are deferred until EndChecksum.
+func (t *Thread) BeginChecksum() { t.w.Checker.BeginChecksumRegion(t.ID) }
+
+// EndChecksum finishes the region; valid reports whether the checksum
+// matched. Invalid regions discard their reads (the program discards the
+// data), so they constrain nothing.
+func (t *Thread) EndChecksum(valid bool) { t.w.Checker.EndChecksumRegion(t.ID, valid) }

@@ -1,0 +1,122 @@
+package pmem
+
+import (
+	"repro/internal/memmodel"
+)
+
+// simThread is a spawned cooperative thread. The goroutine running the
+// body parks before every operation; the scheduler grants one operation
+// at a time, so the whole simulation stays serialized: no two simulated
+// operations ever run concurrently.
+type simThread struct {
+	t    *Thread
+	body func(*Thread)
+	run  chan struct{} // scheduler -> thread: perform one step
+	park chan struct{} // thread -> scheduler: parked at a boundary (or done)
+	done bool
+	err  any // non-crash panic from the body, re-raised by the scheduler
+}
+
+// parkAndWait is called from Thread.step for spawned threads: hand
+// control back to the scheduler and wait to be granted the next step.
+func (st *simThread) parkAndWait() {
+	st.park <- struct{}{}
+	<-st.run
+}
+
+// Spawn registers a simulated thread whose body runs under the
+// cooperative scheduler. Call RunThreads to execute all spawned threads.
+// Spawned threads must issue all shared-state accesses through their
+// Thread handle; plain Go state must stay thread-local.
+func (w *World) Spawn(id memmodel.ThreadID, body func(*Thread)) {
+	st := &simThread{
+		body: body,
+		run:  make(chan struct{}),
+		park: make(chan struct{}),
+	}
+	st.t = &Thread{ID: id, w: w, sim: st}
+	w.registerThread(id)
+	w.spawned = append(w.spawned, st)
+}
+
+// RunThreads executes every spawned thread to completion, interleaving
+// them one operation at a time. The schedule is drawn from the world's
+// random source, so a seed fully determines the interleaving. If any
+// thread hits the crash target, every other thread is unwound and
+// RunThreads panics with CrashSignal, crashing the phase.
+func (w *World) RunThreads() {
+	threads := w.spawned
+	w.spawned = nil
+	if len(threads) == 0 {
+		return
+	}
+	for _, st := range threads {
+		go func(st *simThread) {
+			defer func() {
+				if r := recover(); r != nil {
+					switch r.(type) {
+					case CrashSignal, AbortSignal:
+						// Crash/abort unwound the body; the scheduler
+						// raises the signal on the phase's stack.
+					default:
+						st.err = r
+					}
+				}
+				st.done = true
+				st.park <- struct{}{}
+			}()
+			<-st.run // wait for the first grant
+			st.body(st.t)
+		}(st)
+	}
+	live := append([]*simThread(nil), threads...)
+	aborted := false
+	for len(live) > 0 {
+		st := live[w.rng.Intn(len(live))]
+		st.run <- struct{}{}
+		<-st.park
+		if st.done {
+			if st.err != nil {
+				// Unwind the remaining threads before re-raising, so no
+				// goroutine is left blocked on its run channel.
+				w.crashed = true
+				drainThreads(live, st)
+				panic(st.err)
+			}
+			live = remove(live, st)
+		}
+		if w.crashed || w.ops > w.opLimit {
+			aborted = w.ops > w.opLimit
+			drainThreads(live, st)
+			live = nil
+		}
+	}
+	if aborted {
+		panic(AbortSignal{Reason: "operation budget exceeded in RunThreads"})
+	}
+	if w.crashed {
+		panic(CrashSignal{})
+	}
+}
+
+// drainThreads wakes every live thread except skip so each one observes
+// the crash in step, unwinds, and parks done.
+func drainThreads(live []*simThread, skip *simThread) {
+	for _, other := range live {
+		if other == skip || other.done {
+			continue
+		}
+		other.run <- struct{}{}
+		<-other.park
+	}
+}
+
+func remove(live []*simThread, st *simThread) []*simThread {
+	out := live[:0]
+	for _, x := range live {
+		if x != st {
+			out = append(out, x)
+		}
+	}
+	return out
+}

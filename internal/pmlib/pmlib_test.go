@@ -1,0 +1,329 @@
+package pmlib
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks/bench"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+const poolBase = memmodel.Addr(0x800000)
+
+func fixedPool(t *testing.T) (*pmem.World, *pmem.Thread, *Pool) {
+	t.Helper()
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	p := Create(th, poolBase, Options{Variant: bench.Fixed})
+	return w, th, p
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	w, th, p := fixedPool(t)
+	root := p.Alloc(th, 16)
+	p.SetRoot(th, root)
+	w.Crash()
+	p2, ok := Open(th, poolBase, Options{Variant: bench.Fixed})
+	if !ok {
+		t.Fatal("Open failed after clean create")
+	}
+	if got := p2.Root(th); got != root {
+		t.Fatalf("root = %v, want %v", got, root)
+	}
+}
+
+func TestOpenRejectsUnformattedPool(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	if _, ok := Open(th, poolBase, Options{}); ok {
+		t.Fatal("Open must fail on an unformatted pool")
+	}
+}
+
+func TestAllocBumpsAndAligns(t *testing.T) {
+	_, th, p := fixedPool(t)
+	a := p.Alloc(th, 24)
+	b := p.Alloc(th, 8)
+	if b < a+24 {
+		t.Fatalf("allocations overlap: %v then %v", a, b)
+	}
+	c := p.AllocLines(th, 1)
+	if c%memmodel.CacheLineSize != 0 {
+		t.Fatalf("AllocLines not line aligned: %v", c)
+	}
+}
+
+func TestTxSetCommitApplies(t *testing.T) {
+	_, th, p := fixedPool(t)
+	cell := p.Alloc(th, 8)
+	tx := p.TxBegin(th)
+	tx.Set(cell, 42)
+	tx.Commit()
+	if got := th.Load(cell, "read"); got != 42 {
+		t.Fatalf("cell = %d, want 42", got)
+	}
+}
+
+func TestTxOrCommitApplies(t *testing.T) {
+	_, th, p := fixedPool(t)
+	cell := p.Alloc(th, 8)
+	th.Store(cell, 0b0101, "init")
+	th.Persist(cell, 8, "persist init")
+	tx := p.TxBegin(th)
+	tx.Or(cell, 0b0010)
+	tx.Commit()
+	if got := th.Load(cell, "read"); got != 0b0111 {
+		t.Fatalf("cell = %b, want 111", got)
+	}
+}
+
+func TestTxOverflowPanics(t *testing.T) {
+	_, th, p := fixedPool(t)
+	cell := p.Alloc(th, 8)
+	tx := p.TxBegin(th)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic at capacity")
+		}
+	}()
+	for i := 0; i <= MaxTxEntries; i++ {
+		tx.Set(cell, memmodel.Value(i))
+	}
+}
+
+// A crash between the log seal and the retire must be replayed by
+// Recover: the committed transaction survives.
+func TestRecoverReplaysSealedLog(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	p := Create(th, poolBase, Options{Variant: bench.Fixed})
+	cell := p.Alloc(th, 8)
+	p.SetRoot(th, cell)
+
+	// Replicate Commit's seal without the apply/retire, simulating the
+	// crash window: stage the entry, seal, stop.
+	tx := p.TxBegin(th)
+	tx.Set(cell, 7)
+	gen := th.Load(p.base+ulogGenOff, "gen")
+	sealed := append([]memmodel.Value{p.laneValue(gen)}, tx.words...)
+	th.Store(p.base+ulogCountOff, memmodel.Value(tx.count), "count")
+	th.Store(p.base+ulogCsumOff, checksum(gen, sealed), "seal")
+	th.Persist(p.base+ulogCsumOff, memmodel.WordSize, "persist seal")
+	th.Persist(p.base+laneOff, memmodel.WordSize, "persist lane")
+	th.Persist(p.base+ulogEntriesOff, 2*memmodel.WordSize*MaxTxEntries, "persist entries")
+	w.Crash()
+
+	p2, ok := Open(th, poolBase, Options{Variant: bench.Fixed})
+	if !ok {
+		t.Fatal("Open failed")
+	}
+	if !p2.Recover(th) {
+		t.Fatal("Recover should replay the sealed log")
+	}
+	if got := th.Load(cell, "read"); got != 7 {
+		t.Fatalf("cell = %d after replay, want 7", got)
+	}
+}
+
+// A retired log (gen already bumped) must not be replayed twice.
+func TestRecoverSkipsRetiredLog(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	p := Create(th, poolBase, Options{Variant: bench.Fixed})
+	cell := p.Alloc(th, 8)
+	tx := p.TxBegin(th)
+	tx.Set(cell, 7)
+	tx.Commit()
+	// Overwrite the cell outside any tx, then "crash" and recover: the
+	// old log must not clobber the newer value.
+	th.Store(cell, 9, "direct overwrite")
+	th.Persist(cell, 8, "persist overwrite")
+	w.Crash()
+	p2, _ := Open(th, poolBase, Options{Variant: bench.Fixed})
+	if p2.Recover(th) {
+		t.Fatal("Recover replayed a retired log")
+	}
+	if got := th.Load(cell, "read"); got != 9 {
+		t.Fatalf("cell = %d, want 9", got)
+	}
+}
+
+// A torn log (entries not persisted, checksum mismatch post-crash) is
+// discarded.
+func TestRecoverDiscardsTornLog(t *testing.T) {
+	// Use the buggy variant (entries unflushed) and read with a
+	// stale-preferring chooser so the torn entries are observed.
+	w2 := pmem.NewWorld(pmem.Config{CrashTarget: -1, Chooser: pmem.ChooseOldest})
+	th := w2.Thread(0)
+	p := Create(th, poolBase, Options{Variant: bench.Buggy})
+	cell := p.Alloc(th, 8)
+	tx := p.TxBegin(th)
+	tx.Set(cell, 7)
+	gen := th.Load(p.base+ulogGenOff, "gen")
+	sealed := append([]memmodel.Value{p.laneValue(gen)}, tx.words...)
+	th.Store(p.base+ulogCountOff, memmodel.Value(tx.count), "count")
+	th.Store(p.base+ulogCsumOff, checksum(gen, sealed), "seal")
+	th.Persist(p.base+ulogCsumOff, memmodel.WordSize, "persist seal")
+	// Entries NOT persisted: a crash tears them.
+	w2.Crash()
+	p2, ok := Open(th, poolBase, Options{Variant: bench.Buggy})
+	if !ok {
+		t.Fatal("Open failed")
+	}
+	if p2.Recover(th) {
+		t.Fatal("Recover replayed a torn log")
+	}
+}
+
+func TestChecksumChangesWithGenAndContent(t *testing.T) {
+	a := checksum(1, []memmodel.Value{1, 2})
+	b := checksum(2, []memmodel.Value{1, 2})
+	c := checksum(1, []memmodel.Value{1, 3})
+	if a == b || a == c {
+		t.Fatalf("checksum collisions: %x %x %x", a, b, c)
+	}
+	if checksum(0, nil) == 0 {
+		t.Fatal("checksum must never be zero (zero marks no seal)")
+	}
+}
+
+// An undo transaction that crashes mid-update rolls back: the snapshot
+// was persisted before the mutation, so recovery restores the
+// pre-image.
+func TestUndoRollbackOnCrash(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	p := Create(th, poolBase, Options{Variant: bench.Fixed})
+	cell := p.Alloc(th, 8)
+	th.Store(cell, 5, "init")
+	th.Persist(cell, 8, "persist init")
+
+	utx := p.UndoTxBegin(th)
+	utx.Snapshot(cell)
+	th.Store(cell, 9, "mutate")
+	th.Persist(cell, 8, "persist mutate")
+	// Crash before Commit: the mutation must be rolled back.
+	w.Crash()
+	p2, _ := Open(th, poolBase, Options{Variant: bench.Fixed})
+	if !p2.RecoverUndo(th) {
+		t.Fatal("RecoverUndo should roll back the pending tx")
+	}
+	if got := th.Load(cell, "read"); got != 5 {
+		t.Fatalf("cell = %d after rollback, want 5", got)
+	}
+}
+
+// A committed undo transaction is not rolled back.
+func TestUndoCommitSticks(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	p := Create(th, poolBase, Options{Variant: bench.Fixed})
+	cell := p.Alloc(th, 8)
+	utx := p.UndoTxBegin(th)
+	utx.Snapshot(cell)
+	th.Store(cell, 9, "mutate")
+	th.Persist(cell, 8, "persist mutate")
+	utx.Commit()
+	w.Crash()
+	p2, _ := Open(th, poolBase, Options{Variant: bench.Fixed})
+	if p2.RecoverUndo(th) {
+		t.Fatal("RecoverUndo rolled back a committed tx")
+	}
+	if got := th.Load(cell, "read"); got != 9 {
+		t.Fatalf("cell = %d, want 9", got)
+	}
+}
+
+// Multiple snapshots roll back in reverse order, restoring every word.
+func TestUndoMultiWordRollback(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	p := Create(th, poolBase, Options{Variant: bench.Fixed})
+	a, b := p.Alloc(th, 8), p.Alloc(th, 8)
+	th.Store(a, 1, "a init")
+	th.Store(b, 2, "b init")
+	th.Persist(a, 8, "pa")
+	th.Persist(b, 8, "pb")
+	utx := p.UndoTxBegin(th)
+	utx.Snapshot(a)
+	th.Store(a, 11, "a mutate")
+	th.Persist(a, 8, "pa2")
+	utx.Snapshot(b)
+	th.Store(b, 22, "b mutate")
+	th.Persist(b, 8, "pb2")
+	w.Crash()
+	p2, _ := Open(th, poolBase, Options{Variant: bench.Fixed})
+	if !p2.RecoverUndo(th) {
+		t.Fatal("rollback expected")
+	}
+	if av, bv := th.Load(a, "ra"), th.Load(b, "rb"); av != 1 || bv != 2 {
+		t.Fatalf("(a, b) = (%d, %d), want (1, 2)", av, bv)
+	}
+}
+
+// Sequential undo transactions do not interfere: a retired log never
+// validates against the next generation.
+func TestUndoSequentialTransactions(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	p := Create(th, poolBase, Options{Variant: bench.Fixed})
+	cell := p.Alloc(th, 8)
+	for i := memmodel.Value(1); i <= 3; i++ {
+		utx := p.UndoTxBegin(th)
+		utx.Snapshot(cell)
+		th.Store(cell, i*10, "mutate")
+		th.Persist(cell, 8, "persist")
+		utx.Commit()
+	}
+	w.Crash()
+	p2, _ := Open(th, poolBase, Options{Variant: bench.Fixed})
+	if p2.RecoverUndo(th) {
+		t.Fatal("no pending tx; nothing to roll back")
+	}
+	if got := th.Load(cell, "read"); got != 30 {
+		t.Fatalf("cell = %d, want 30", got)
+	}
+}
+
+func TestUndoSnapshotCapacityPanics(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	p := Create(th, poolBase, Options{Variant: bench.Fixed})
+	cell := p.Alloc(th, 8)
+	utx := p.UndoTxBegin(th)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic at snapshot capacity")
+		}
+	}()
+	for i := 0; i <= MaxUndoEntries; i++ {
+		utx.Snapshot(cell)
+	}
+}
+
+// Abort restores the pre-images immediately and retires the log.
+func TestUndoAbortRestores(t *testing.T) {
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	p := Create(th, poolBase, Options{Variant: bench.Fixed})
+	a, b := p.Alloc(th, 8), p.Alloc(th, 8)
+	th.Store(a, 1, "a init")
+	th.Store(b, 2, "b init")
+	th.Persist(a, 8, "pa")
+	th.Persist(b, 8, "pb")
+	utx := p.UndoTxBegin(th)
+	utx.Snapshot(a)
+	th.Store(a, 11, "a mutate")
+	utx.Snapshot(b)
+	th.Store(b, 22, "b mutate")
+	utx.Abort()
+	if av, bv := th.Load(a, "ra"), th.Load(b, "rb"); av != 1 || bv != 2 {
+		t.Fatalf("(a, b) = (%d, %d) after abort, want (1, 2)", av, bv)
+	}
+	// The aborted log must not replay after a crash.
+	w.Crash()
+	p2, _ := Open(th, poolBase, Options{Variant: bench.Fixed})
+	if p2.RecoverUndo(th) {
+		t.Fatal("aborted log replayed")
+	}
+}

@@ -1,0 +1,180 @@
+// Package pmlib is a PMDK-like persistent memory library built on the
+// simulated Px86 machine: a pool with a header and root object (libpmem/
+// libpmemobj's PMEMobjpool), a pool allocator, and a redo-log ("ulog")
+// transaction API with checksummed log entries.
+//
+// The Buggy variant reproduces the library-level violations of the
+// paper's Table 2:
+//
+//	#32 PMEMobjpool     memcpy operation on pool object in libpmemobj
+//	#33 ulog            storing ulog in libpmemobj library
+//	#34 ulog_entry_base memcpy in applying modifications on a single ulog_entry_base
+//	#35 ulog_entry_base applying ULOG_OPERATION_OR on a single ulog_entry_base
+//
+// Violations #33–#35 are the paper's "harmless" class (§6.4): the redo
+// log is validated by a checksum, and torn log contents are discarded by
+// recovery. With checksum annotations enabled, PSan defers the log reads
+// until validation and reports nothing for them; without annotations the
+// three rows are reported, exactly as Table 2 does.
+package pmlib
+
+import (
+	"repro/internal/benchmarks/bench"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+const (
+	// Pool header (lines 0–1 of the pool): the magic word on its own
+	// line, then the layout descriptor written by the pmemobj_create
+	// "memcpy". The real PMEMobjpool header spans many cache lines, so
+	// persisting the magic never covers the descriptor.
+	hdrMagicOff   = 0
+	hdrLayout0Off = memmodel.CacheLineSize
+	hdrLayout1Off = memmodel.CacheLineSize + 8
+	hdrVersionOff = memmodel.CacheLineSize + 16
+
+	// PoolMagic marks an initialized pool header.
+	PoolMagic = 0x504d454d // "PMEM"
+
+	// Ulog header line (line 2): generation number, checksum, entry
+	// count.
+	ulogGenOff   = 2*memmodel.CacheLineSize + 0
+	ulogCsumOff  = 2*memmodel.CacheLineSize + 8
+	ulogCountOff = 2*memmodel.CacheLineSize + 16
+
+	// Transaction lane line (line 3): the slot the active ulog is
+	// "stored" into when a transaction begins (bug #33's store).
+	laneOff = 3 * memmodel.CacheLineSize
+
+	// Ulog entries (lines 4..7): two words each — (op<<56 | target
+	// offset) and the operand.
+	ulogEntriesOff = 4 * memmodel.CacheLineSize
+	// MaxTxEntries is the redo-log capacity per transaction.
+	MaxTxEntries = 16
+
+	// The undo log occupies lines 8–12 (see undo.go); the heap
+	// allocator header and heap base follow it.
+	heapHdrOff  = 13 * memmodel.CacheLineSize
+	heapBaseOff = 14 * memmodel.CacheLineSize
+
+	// Root object pointer cell lives in the heap header line.
+	rootPtrOff = heapHdrOff + 8
+
+	opSet = 0
+	opOr  = 1
+)
+
+// Pool is an open simulated persistent-memory pool.
+type Pool struct {
+	base memmodel.Addr
+	v    bench.Variant
+	// annotate enables the §6.4 checksum annotations during recovery.
+	annotate bool
+}
+
+// Options configures pool creation and recovery.
+type Options struct {
+	// Variant selects the buggy (as-shipped) or fixed library.
+	Variant bench.Variant
+	// AnnotateChecksums marks the redo-log validation reads as a
+	// checksum region so PSan treats torn-log observations as harmless.
+	AnnotateChecksums bool
+}
+
+func (p *Pool) persistIfFixed(th *pmem.Thread, a memmodel.Addr, size int, loc string) {
+	if p.v == bench.Fixed {
+		th.Persist(a, size, loc)
+	}
+}
+
+// Create formats a pool at base: it writes the pool header (the
+// PMEMobjpool "memcpy", bug #32), initializes the ulog and the heap, and
+// returns the open pool.
+func Create(th *pmem.Thread, base memmodel.Addr, opt Options) *Pool {
+	p := &Pool{base: base, v: opt.Variant, annotate: opt.AnnotateChecksums}
+	// pmemobj_create copies the layout descriptor into the pool object
+	// with a plain memcpy — bug #32: no flush.
+	th.Store(base+hdrLayout0Off, 0x6c61796f, "memcpy on pool object in libpmemobj (layout[0])") // bug #32
+	th.Store(base+hdrLayout1Off, 0x75740000, "memcpy on pool object in libpmemobj (layout[1])") // bug #32
+	th.Store(base+hdrVersionOff, 1, "memcpy on pool object in libpmemobj (version)")            // bug #32
+	p.persistIfFixed(th, base+hdrLayout0Off, 3*memmodel.WordSize, "persist pool header body")
+	// The magic word is the commit store for the header and is
+	// persisted even in the original.
+	th.Store(base+hdrMagicOff, PoolMagic, "pool header magic in libpmemobj")
+	th.Persist(base+hdrMagicOff, memmodel.WordSize, "persist pool header magic")
+	// Ulog and heap bootstrap are zero-initialized and persisted.
+	th.Store(base+ulogGenOff, 1, "ulog gen_num init")
+	th.Store(base+ulogCsumOff, 0, "ulog checksum init")
+	th.Store(base+ulogCountOff, 0, "ulog count init")
+	th.Persist(base+ulogGenOff, 3*memmodel.WordSize, "persist ulog header init")
+	th.Store(base+heapHdrOff, memmodel.Value(base+heapBaseOff), "heap next init")
+	th.Persist(base+heapHdrOff, memmodel.WordSize, "persist heap next init")
+	return p
+}
+
+// Open reattaches to an existing pool after a crash. It reads the header
+// the way pmemobj_open does, which is where bug #32 becomes observable.
+func Open(th *pmem.Thread, base memmodel.Addr, opt Options) (*Pool, bool) {
+	p := &Pool{base: base, v: opt.Variant, annotate: opt.AnnotateChecksums}
+	magic := th.Load(base+hdrMagicOff, "read pool magic in pmemobj_open")
+	th.Load(base+hdrLayout0Off, "read pool layout[0] in pmemobj_open")
+	th.Load(base+hdrLayout1Off, "read pool layout[1] in pmemobj_open")
+	th.Load(base+hdrVersionOff, "read pool version in pmemobj_open")
+	if magic != PoolMagic {
+		return nil, false
+	}
+	return p, true
+}
+
+// Base returns the pool's base address.
+func (p *Pool) Base() memmodel.Addr { return p.base }
+
+// Alloc carves size bytes (word aligned) out of the pool heap, bumping
+// the persistent heap cursor.
+func (p *Pool) Alloc(th *pmem.Thread, size int) memmodel.Addr {
+	next := memmodel.Addr(th.Load(p.base+heapHdrOff, "read heap next in pmemobj_alloc"))
+	aligned := (next + memmodel.WordSize - 1) &^ (memmodel.WordSize - 1)
+	th.Store(p.base+heapHdrOff, memmodel.Value(aligned+memmodel.Addr(size)), "heap next bump in pmemobj_alloc")
+	th.Persist(p.base+heapHdrOff, memmodel.WordSize, "persist heap next bump")
+	return aligned
+}
+
+// AllocLines carves whole cache lines, line aligned.
+func (p *Pool) AllocLines(th *pmem.Thread, n int) memmodel.Addr {
+	next := memmodel.Addr(th.Load(p.base+heapHdrOff, "read heap next in pmemobj_alloc"))
+	aligned := (next + memmodel.CacheLineSize - 1) &^ (memmodel.CacheLineSize - 1)
+	th.Store(p.base+heapHdrOff, memmodel.Value(aligned+memmodel.Addr(n*memmodel.CacheLineSize)), "heap next bump in pmemobj_alloc")
+	th.Persist(p.base+heapHdrOff, memmodel.WordSize, "persist heap next bump")
+	return aligned
+}
+
+// SetRoot durably publishes the pool's root object pointer.
+func (p *Pool) SetRoot(th *pmem.Thread, root memmodel.Addr) {
+	th.Store(p.base+rootPtrOff, memmodel.Value(root), "pool root publish")
+	th.Persist(p.base+rootPtrOff, memmodel.WordSize, "persist pool root")
+}
+
+// Root reads the pool's root object pointer.
+func (p *Pool) Root(th *pmem.Thread) memmodel.Addr {
+	return memmodel.Addr(th.Load(p.base+rootPtrOff, "read pool root"))
+}
+
+func (p *Pool) entryAddr(i int) memmodel.Addr {
+	return p.base + ulogEntriesOff + memmodel.Addr(i*2*memmodel.WordSize)
+}
+
+// checksum is the redo log's content hash: a simple word mix over the
+// entry stream, seeded with the generation number the way libpmemobj
+// folds gen_num into the ulog checksum.
+func checksum(gen memmodel.Value, words []memmodel.Value) memmodel.Value {
+	h := memmodel.Value(0x9e3779b97f4a7c15) ^ gen
+	for _, w := range words {
+		h ^= w
+		h *= 0x100000001b3
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

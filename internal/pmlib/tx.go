@@ -1,0 +1,162 @@
+package pmlib
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+// Tx is a redo-log transaction: Set and Or operations are staged in the
+// pool's ulog and applied at Commit. The protocol mirrors libpmemobj:
+//
+//  1. the active ulog is stored into the transaction lane (bug #33: the
+//     store is not flushed);
+//  2. each operation appends a ulog_entry_base (bugs #34/#35: the entry
+//     "memcpy" is not flushed before the checksum commits);
+//  3. Commit seals the log with a checksum over the entries (persisted),
+//     applies the staged stores to their targets (persisted), and
+//     retires the log by bumping gen_num (persisted).
+//
+// A crash between (3)'s seal and retire is recovered by replaying the
+// log; the checksum rejects torn logs.
+type Tx struct {
+	p       *Pool
+	th      *pmem.Thread
+	count   int
+	words   []memmodel.Value // staged entry words for the checksum
+	applied bool
+}
+
+// laneValue tags the ulog address with the generation, as libpmemobj
+// lanes reference the specific ulog incarnation they fill; a lane from
+// an older generation therefore fails the seal's checksum.
+func (p *Pool) laneValue(gen memmodel.Value) memmodel.Value {
+	return memmodel.Value(p.base+ulogEntriesOff) | gen<<48
+}
+
+// TxBegin opens a transaction on the pool.
+func (p *Pool) TxBegin(th *pmem.Thread) *Tx {
+	tx := &Tx{p: p, th: th}
+	gen := th.Load(p.base+ulogGenOff, "read ulog gen_num in tx_begin")
+	// "store the ulog": the lane points at the log being filled —
+	// bug #33: not flushed.
+	th.Store(p.base+laneOff, p.laneValue(gen), "storing ulog in libpmemobj library") // bug #33
+	p.persistIfFixed(th, p.base+laneOff, memmodel.WordSize, "persist tx lane")
+	return tx
+}
+
+// append stages one ulog entry.
+func (tx *Tx) append(op int, target memmodel.Addr, operand memmodel.Value, loc string) {
+	if tx.count >= MaxTxEntries {
+		panic(fmt.Sprintf("pmlib: transaction exceeds %d entries", MaxTxEntries))
+	}
+	ea := tx.p.entryAddr(tx.count)
+	w0 := memmodel.Value(op)<<56 | memmodel.Value(target)
+	tx.th.Store(ea, w0, loc)
+	tx.th.Store(ea+memmodel.WordSize, operand, loc)
+	tx.p.persistIfFixed(tx.th, ea, 2*memmodel.WordSize, "persist ulog entry")
+	tx.words = append(tx.words, w0, operand)
+	tx.count++
+}
+
+// Set stages a word store of val to target (ULOG_OPERATION_SET); the
+// entry write is the "memcpy ... on a single ulog_entry_base" — bug #34.
+func (tx *Tx) Set(target memmodel.Addr, val memmodel.Value) {
+	tx.append(opSet, target, val, "memcpy on a single ulog_entry_base in libpmemobj") // bug #34
+}
+
+// Or stages target |= mask (ULOG_OPERATION_OR) — bug #35.
+func (tx *Tx) Or(target memmodel.Addr, mask memmodel.Value) {
+	tx.append(opOr, target, mask, "ULOG_OPERATION_OR on a single ulog_entry_base in libpmemobj") // bug #35
+}
+
+// Commit seals, applies, and retires the transaction.
+func (tx *Tx) Commit() {
+	th, p := tx.th, tx.p
+	gen := th.Load(p.base+ulogGenOff, "read ulog gen_num in commit")
+	// Seal: count and checksum, persisted together (they share the ulog
+	// header line, so one flush covers both — as in the original). The
+	// checksum covers the lane pointer as well as the entries, the way
+	// libpmemobj's ulog header checksum covers its chain pointer.
+	sealed := append([]memmodel.Value{p.laneValue(gen)}, tx.words...)
+	th.Store(p.base+ulogCountOff, memmodel.Value(tx.count), "ulog count in commit")
+	th.Store(p.base+ulogCsumOff, checksum(gen, sealed), "ulog checksum seal in commit")
+	th.Persist(p.base+ulogCsumOff, memmodel.WordSize, "persist ulog seal")
+	// Apply the staged operations to their targets, durably.
+	tx.apply(gen)
+	// Retire: bump the generation so the sealed log is no longer valid.
+	th.Store(p.base+ulogGenOff, gen+1, "ulog gen_num retire in commit")
+	th.Persist(p.base+ulogGenOff, memmodel.WordSize, "persist ulog retire")
+	tx.applied = true
+}
+
+// apply replays the staged entries from the transaction's own buffer.
+func (tx *Tx) apply(gen memmodel.Value) {
+	th := tx.th
+	for i := 0; i < tx.count; i++ {
+		w0, w1 := tx.words[2*i], tx.words[2*i+1]
+		target := memmodel.Addr(w0 & (1<<56 - 1))
+		op := int(w0 >> 56)
+		switch op {
+		case opSet:
+			th.Store(target, w1, "tx apply set")
+		case opOr:
+			old := th.Load(target, "tx apply or read")
+			th.Store(target, old|w1, "tx apply or")
+		}
+		th.Persist(target, memmodel.WordSize, "persist tx apply")
+	}
+	_ = gen
+}
+
+// Recover replays a sealed-but-unretired redo log after a crash,
+// validating the checksum first. With checksum annotations enabled, the
+// log reads are deferred (§6.4) so torn-log observations are harmless;
+// without them PSan reports rows #33–#35. It returns whether a log was
+// replayed.
+func (p *Pool) Recover(th *pmem.Thread) bool {
+	gen := th.Load(p.base+ulogGenOff, "read ulog gen_num in recovery")
+	count := int(th.Load(p.base+ulogCountOff, "read ulog count in recovery"))
+	seal := th.Load(p.base+ulogCsumOff, "read ulog checksum in recovery")
+	if seal == 0 || count < 0 || count > MaxTxEntries {
+		return false
+	}
+	if p.annotate {
+		th.BeginChecksum()
+	}
+	lane := th.Load(p.base+laneOff, "read tx lane in recovery")
+	words := make([]memmodel.Value, 0, 2*count)
+	for i := 0; i < count; i++ {
+		ea := p.entryAddr(i)
+		words = append(words,
+			th.Load(ea, "read ulog entry word0 in recovery"),
+			th.Load(ea+memmodel.WordSize, "read ulog entry word1 in recovery"))
+	}
+	valid := checksum(gen, append([]memmodel.Value{lane}, words...)) == seal
+	if p.annotate {
+		th.EndChecksum(valid)
+	}
+	if !valid {
+		// Torn log: discard, exactly like libpmemobj.
+		return false
+	}
+	for i := 0; i < count; i++ {
+		w0, w1 := words[2*i], words[2*i+1]
+		target := memmodel.Addr(w0 & (1<<56 - 1))
+		switch int(w0 >> 56) {
+		case opSet:
+			th.Store(target, w1, "recovery replay set")
+		case opOr:
+			old := th.Load(target, "recovery replay or read")
+			th.Store(target, old|w1, "recovery replay or")
+		default:
+			return false
+		}
+		th.Persist(target, memmodel.WordSize, "persist recovery replay")
+	}
+	// Retire the replayed log.
+	th.Store(p.base+ulogGenOff, gen+1, "ulog gen_num retire in recovery")
+	th.Persist(p.base+ulogGenOff, memmodel.WordSize, "persist recovery retire")
+	return true
+}

@@ -1,0 +1,132 @@
+package pmlib
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+// Undo-log transactions: libpmemobj's other log flavor. Where the redo
+// log stages new values and applies them at commit, the undo log
+// snapshots pre-images (pmemobj_tx_add_range) so a crash mid-update can
+// roll the object back. Snapshots are persisted synchronously before
+// the caller mutates the covered word — the invariant the whole scheme
+// rests on — and recovery rolls back any sealed-but-uncommitted log in
+// reverse order.
+
+const (
+	// Undo area layout, after the redo entries and before the heap
+	// header: header line + entry lines.
+	undoGenOff     = 8*memmodel.CacheLineSize + 0
+	undoCsumOff    = 8*memmodel.CacheLineSize + 8
+	undoCountOff   = 8*memmodel.CacheLineSize + 16
+	undoEntriesOff = 9 * memmodel.CacheLineSize
+	// MaxUndoEntries is the snapshot capacity per transaction.
+	MaxUndoEntries = 16
+)
+
+// UndoTx is an open undo-log transaction.
+type UndoTx struct {
+	p     *Pool
+	th    *pmem.Thread
+	count int
+	words []memmodel.Value
+	gen   memmodel.Value
+}
+
+func (p *Pool) undoEntryAddr(i int) memmodel.Addr {
+	return p.base + undoEntriesOff + memmodel.Addr(i*2*memmodel.WordSize)
+}
+
+// UndoTxBegin opens an undo transaction. The log header is reset
+// durably so stale entries from earlier generations cannot validate.
+func (p *Pool) UndoTxBegin(th *pmem.Thread) *UndoTx {
+	gen := th.Load(p.base+undoGenOff, "read undo gen in tx_begin")
+	th.Store(p.base+undoCountOff, 0, "undo count reset in tx_begin")
+	th.Store(p.base+undoCsumOff, 0, "undo checksum reset in tx_begin")
+	th.Persist(p.base+undoCsumOff, memmodel.WordSize, "persist undo reset")
+	return &UndoTx{p: p, th: th, gen: gen}
+}
+
+// Snapshot records target's current value in the undo log and persists
+// the entry and the reseal before returning — only then may the caller
+// overwrite the word (pmemobj_tx_add_range's contract).
+func (utx *UndoTx) Snapshot(target memmodel.Addr) {
+	if utx.count >= MaxUndoEntries {
+		panic(fmt.Sprintf("pmlib: undo transaction exceeds %d snapshots", MaxUndoEntries))
+	}
+	th, p := utx.th, utx.p
+	pre := th.Load(target, "read pre-image in tx_add_range")
+	ea := p.undoEntryAddr(utx.count)
+	th.Store(ea, memmodel.Value(target), "undo entry target in tx_add_range")
+	th.Store(ea+memmodel.WordSize, pre, "undo entry pre-image in tx_add_range")
+	th.Persist(ea, 2*memmodel.WordSize, "persist undo entry")
+	utx.words = append(utx.words, memmodel.Value(target), pre)
+	utx.count++
+	// Reseal the header over the extended entry list, durably, so the
+	// log is valid the instant the caller may mutate.
+	th.Store(p.base+undoCountOff, memmodel.Value(utx.count), "undo count in tx_add_range")
+	th.Store(p.base+undoCsumOff, checksum(utx.gen, utx.words), "undo checksum in tx_add_range")
+	th.Persist(p.base+undoCsumOff, memmodel.WordSize, "persist undo seal")
+}
+
+// Commit retires the undo log: the generation bump invalidates the
+// seal, so recovery will not roll back.
+func (utx *UndoTx) Commit() {
+	th, p := utx.th, utx.p
+	th.Store(p.base+undoGenOff, utx.gen+1, "undo gen retire in tx_commit")
+	th.Persist(p.base+undoGenOff, memmodel.WordSize, "persist undo retire")
+}
+
+// Abort rolls the transaction back immediately (pmemobj_tx_abort): the
+// pre-images are restored in reverse order, durably, and the log is
+// retired.
+func (utx *UndoTx) Abort() {
+	th, p := utx.th, utx.p
+	for i := utx.count - 1; i >= 0; i-- {
+		target := memmodel.Addr(utx.words[2*i])
+		th.Store(target, utx.words[2*i+1], "undo abort restore")
+		th.Persist(target, memmodel.WordSize, "persist undo abort")
+	}
+	th.Store(p.base+undoGenOff, utx.gen+1, "undo gen retire in tx_abort")
+	th.Persist(p.base+undoGenOff, memmodel.WordSize, "persist undo abort retire")
+}
+
+// RecoverUndo rolls back a pending undo transaction after a crash: if
+// the sealed log validates against the current generation, the
+// pre-images are restored in reverse order and persisted, then the log
+// is retired. It reports whether a rollback happened.
+func (p *Pool) RecoverUndo(th *pmem.Thread) bool {
+	gen := th.Load(p.base+undoGenOff, "read undo gen in recovery")
+	count := int(th.Load(p.base+undoCountOff, "read undo count in recovery"))
+	seal := th.Load(p.base+undoCsumOff, "read undo checksum in recovery")
+	if seal == 0 || count <= 0 || count > MaxUndoEntries {
+		return false
+	}
+	if p.annotate {
+		th.BeginChecksum()
+	}
+	words := make([]memmodel.Value, 0, 2*count)
+	for i := 0; i < count; i++ {
+		ea := p.undoEntryAddr(i)
+		words = append(words,
+			th.Load(ea, "read undo entry target in recovery"),
+			th.Load(ea+memmodel.WordSize, "read undo entry pre-image in recovery"))
+	}
+	valid := checksum(gen, words) == seal
+	if p.annotate {
+		th.EndChecksum(valid)
+	}
+	if !valid {
+		return false
+	}
+	for i := count - 1; i >= 0; i-- {
+		target := memmodel.Addr(words[2*i])
+		th.Store(target, words[2*i+1], "undo rollback restore")
+		th.Persist(target, memmodel.WordSize, "persist undo rollback")
+	}
+	th.Store(p.base+undoGenOff, gen+1, "undo gen retire in recovery")
+	th.Persist(p.base+undoGenOff, memmodel.WordSize, "persist undo recovery retire")
+	return true
+}

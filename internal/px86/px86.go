@@ -1,0 +1,444 @@
+// Package px86 simulates the Intel-x86 persistency model following the
+// Px86sim semantics of Raad et al. (POPL 2020), which the paper builds on
+// (§2). The simulated machine provides:
+//
+//   - TSO volatile semantics with per-thread store buffers;
+//   - cache-line granular persistence: clflush persists its line
+//     synchronously when it leaves the store buffer; clflushopt/clwb are
+//     asynchronous and only guaranteed complete after a subsequent drain
+//     (mfence, sfence, or a locked RMW) by the same thread;
+//   - crash events after which the persistent image of each cache line is
+//     some TSO-order prefix of the line's committed stores, no shorter
+//     than the prefix guaranteed by completed flushes.
+//
+// Crash images are resolved lazily, read by read: a post-crash load asks
+// the machine for the set of stores it may legally read (LoadCandidates),
+// an exploration policy picks one, and the machine narrows the remaining
+// nondeterminism so later reads stay consistent with the choice. This is
+// the same read-centric exploration style as the Jaaru model checker the
+// paper builds PSan upon.
+package px86
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+	"repro/internal/trace"
+)
+
+// Config controls simulation behavior.
+type Config struct {
+	// DelayedCommit keeps stores in per-thread store buffers until a
+	// fence, RMW, or explicit Drain call commits them, exposing TSO
+	// store-buffer effects. When false (the default), stores commit to
+	// the cache immediately after issue, which is a legal TSO behavior
+	// and keeps model-checking tractable.
+	DelayedCommit bool
+}
+
+// bufEntry is one store-buffer slot: a pending store or a pending flush.
+type bufEntry struct {
+	kind  memmodel.OpKind
+	store *trace.Store  // for OpStore/OpCAS/OpFAA
+	line  memmodel.Addr // for OpFlush/OpFlushOpt
+	loc   string
+}
+
+// pendingFlush is a clflushopt that has left the store buffer but whose
+// persistence is not yet guaranteed by a drain.
+type pendingFlush struct {
+	line     memmodel.Addr
+	coverage int // line-history length at buffer exit
+}
+
+// epoch is the committed store history of one cache line within one
+// crash-delimited sub-execution, together with the unresolved range of
+// prefixes that may have persisted. A prefix length p with lo ≤ p ≤ hi
+// means the first p stores of the epoch reached persistent memory.
+type epoch struct {
+	stores []*trace.Store
+	lo, hi int
+}
+
+// indexOfFirst returns the index of the first store to word w, or -1.
+func (ep *epoch) indexOfFirst(w memmodel.Addr) int {
+	for i, s := range ep.stores {
+		if s.Addr == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// lineState is the full persistence state of one cache line: sealed
+// epochs from previous sub-executions (oldest first) plus the live epoch
+// of the current sub-execution. For the live epoch, lo is the number of
+// stores guaranteed persistent by completed flushes; hi is unused until
+// the epoch is sealed by a crash.
+type lineState struct {
+	sealed []*epoch
+	live   *epoch
+}
+
+// Machine is a simulated Px86 multiprocessor with persistent memory.
+// It is not safe for concurrent use: simulated threads are interleaved
+// by the caller (the exploration harness), not by goroutines.
+type Machine struct {
+	cfg     Config
+	tr      *trace.Trace
+	mem     map[memmodel.Addr]*trace.Store // volatile cache: last committed store per word, this sub-execution
+	buffers map[memmodel.ThreadID][]bufEntry
+	pending map[memmodel.ThreadID][]pendingFlush
+	lines   map[memmodel.Addr]*lineState
+}
+
+// New returns a machine with all of persistent memory zero-initialized.
+func New(cfg Config) *Machine {
+	return &Machine{
+		cfg:     cfg,
+		tr:      trace.New(),
+		mem:     make(map[memmodel.Addr]*trace.Store),
+		buffers: make(map[memmodel.ThreadID][]bufEntry),
+		pending: make(map[memmodel.ThreadID][]pendingFlush),
+		lines:   make(map[memmodel.Addr]*lineState),
+	}
+}
+
+// Trace returns the execution trace recorded so far.
+func (m *Machine) Trace() *trace.Trace { return m.tr }
+
+func (m *Machine) line(a memmodel.Addr) *lineState {
+	l := a.Line()
+	ls, ok := m.lines[l]
+	if !ok {
+		ls = &lineState{live: &epoch{}}
+		m.lines[l] = ls
+	}
+	return ls
+}
+
+// --- store buffer mechanics ---
+
+// exitEntry applies the oldest store-buffer entry of thread t to the
+// cache, per the Px86sim buffer-exit transitions.
+func (m *Machine) exitEntry(t memmodel.ThreadID, e bufEntry) {
+	switch e.kind {
+	case memmodel.OpFlush:
+		ls := m.line(e.line)
+		// clflush persists the line synchronously at buffer exit: every
+		// store committed to the line so far is guaranteed persistent.
+		if n := len(ls.live.stores); n > ls.live.lo {
+			ls.live.lo = n
+		}
+	case memmodel.OpFlushOpt:
+		ls := m.line(e.line)
+		// clflushopt writes the line back asynchronously; completion is
+		// guaranteed only by a later drain of the same thread. Record
+		// the coverage (stores committed at buffer exit).
+		m.pending[t] = append(m.pending[t], pendingFlush{line: e.line, coverage: len(ls.live.stores)})
+	default:
+		m.commit(e.store)
+	}
+}
+
+// commit applies [STORE COMMIT]: the store becomes globally visible and
+// joins its cache line's history.
+func (m *Machine) commit(st *trace.Store) {
+	m.tr.StoreCommit(st)
+	m.mem[st.Addr] = st
+	ls := m.line(st.Addr)
+	ls.live.stores = append(ls.live.stores, st)
+}
+
+// DrainAll commits every pending entry of thread t's store buffer, in
+// FIFO order.
+func (m *Machine) DrainAll(t memmodel.ThreadID) {
+	for _, e := range m.buffers[t] {
+		m.exitEntry(t, e)
+	}
+	m.buffers[t] = nil
+}
+
+// DrainOne commits the oldest pending entry of thread t's store buffer,
+// reporting whether there was one. Exploration harnesses use it to
+// exercise store-buffer interleavings in delayed-commit mode.
+func (m *Machine) DrainOne(t memmodel.ThreadID) bool {
+	buf := m.buffers[t]
+	if len(buf) == 0 {
+		return false
+	}
+	m.exitEntry(t, buf[0])
+	m.buffers[t] = buf[1:]
+	return true
+}
+
+// BufferLen returns the number of pending entries in t's store buffer.
+func (m *Machine) BufferLen(t memmodel.ThreadID) int { return len(m.buffers[t]) }
+
+// drainCompletes marks thread t's exited clflushopt operations as
+// guaranteed persistent (a drain instruction committed).
+func (m *Machine) drainCompletes(t memmodel.ThreadID) {
+	for _, pf := range m.pending[t] {
+		ls := m.line(pf.line)
+		if pf.coverage > ls.live.lo {
+			ls.live.lo = pf.coverage
+		}
+	}
+	m.pending[t] = nil
+}
+
+// --- instruction interface ---
+
+// Store issues a store of v to word a by thread t. In delayed-commit
+// mode the store waits in t's buffer; otherwise it commits immediately.
+func (m *Machine) Store(t memmodel.ThreadID, a memmodel.Addr, v memmodel.Value, loc string) *trace.Store {
+	st := m.tr.StoreIssue(t, a, v, memmodel.OpStore, loc)
+	if m.cfg.DelayedCommit {
+		m.buffers[t] = append(m.buffers[t], bufEntry{kind: memmodel.OpStore, store: st, loc: loc})
+	} else {
+		m.commit(st)
+	}
+	return st
+}
+
+// Flush issues a clflush of the line containing a. It enters the store
+// buffer like a store (clflush is ordered like a store, §2).
+func (m *Machine) Flush(t memmodel.ThreadID, a memmodel.Addr, loc string) {
+	m.tr.Fence(t, memmodel.OpFlush, a.Line(), loc)
+	e := bufEntry{kind: memmodel.OpFlush, line: a.Line(), loc: loc}
+	if m.cfg.DelayedCommit {
+		m.buffers[t] = append(m.buffers[t], e)
+	} else {
+		m.exitEntry(t, e)
+	}
+}
+
+// FlushOpt issues a clflushopt/clwb of the line containing a. Its
+// persistence is guaranteed only after a subsequent drain by t.
+func (m *Machine) FlushOpt(t memmodel.ThreadID, a memmodel.Addr, loc string) {
+	m.tr.Fence(t, memmodel.OpFlushOpt, a.Line(), loc)
+	e := bufEntry{kind: memmodel.OpFlushOpt, line: a.Line(), loc: loc}
+	if m.cfg.DelayedCommit {
+		m.buffers[t] = append(m.buffers[t], e)
+	} else {
+		m.exitEntry(t, e)
+	}
+}
+
+// SFence issues a store fence: it drains t's store buffer and completes
+// t's outstanding clflushopt operations.
+func (m *Machine) SFence(t memmodel.ThreadID, loc string) {
+	m.tr.Fence(t, memmodel.OpSFence, 0, loc)
+	m.DrainAll(t)
+	m.drainCompletes(t)
+}
+
+// MFence issues a full fence; for persistency purposes it behaves like
+// SFence (both are drain operations).
+func (m *Machine) MFence(t memmodel.ThreadID, loc string) {
+	m.tr.Fence(t, memmodel.OpMFence, 0, loc)
+	m.DrainAll(t)
+	m.drainCompletes(t)
+}
+
+// --- loads and crash-image resolution ---
+
+// Candidate describes one store a post-crash load may read, along with
+// the epoch bookkeeping needed to commit the choice.
+type Candidate struct {
+	Store *trace.Store
+	// resolve marks candidates that narrow crash-image nondeterminism
+	// when chosen: stores surviving from sealed epochs and the initial
+	// value. Volatile reads (store-buffer forwarding and words written
+	// in the current sub-execution) are uniquely determined and resolve
+	// nothing.
+	resolve bool
+	// epochIdx is the index into lineState.sealed, or -1 for the
+	// initial value.
+	epochIdx int
+	// loNew/hiNew are the narrowed prefix range for that epoch.
+	loNew, hiNew int
+}
+
+// LoadCandidates returns the stores a load of word a by thread t may
+// read, newest-possible first. Volatile reads (own store buffer, or a
+// word written in the current sub-execution) have exactly one candidate.
+// Post-crash reads of unresolved words may have several; reading the
+// zero-initialized original contents is represented by the synthetic
+// initial store.
+func (m *Machine) LoadCandidates(t memmodel.ThreadID, a memmodel.Addr) []Candidate {
+	a = a.Word()
+	// TSO store-buffer forwarding: newest buffered store to a by t.
+	buf := m.buffers[t]
+	for i := len(buf) - 1; i >= 0; i-- {
+		if e := buf[i]; e.store != nil && e.store.Addr == a {
+			return []Candidate{{Store: e.store, epochIdx: -1}}
+		}
+	}
+	// Committed this sub-execution: the cache holds a definite value.
+	if st, ok := m.mem[a]; ok {
+		return []Candidate{{Store: st, epochIdx: -1}}
+	}
+	// Unresolved: walk sealed epochs newest-first.
+	ls := m.lines[a.Line()]
+	var cands []Candidate
+	var sealed []*epoch
+	if ls != nil {
+		sealed = ls.sealed
+	}
+	blocked := false
+	for j := len(sealed) - 1; j >= 0 && !blocked; j-- {
+		ep := sealed[j]
+		// Indices of stores to a within this epoch.
+		var idxs []int
+		for i, s := range ep.stores {
+			if s.Addr == a {
+				idxs = append(idxs, i)
+			}
+		}
+		for k, i := range idxs {
+			// Store at index i is visible for prefix lengths in
+			// [i+1, next], where next is the index of the next store to
+			// a (exclusive upper bound on prefixes that still show i).
+			next := len(ep.stores)
+			if k+1 < len(idxs) {
+				next = idxs[k+1]
+			}
+			lo := max(ep.lo, i+1)
+			hi := min(ep.hi, next)
+			if lo <= hi {
+				cands = append(cands, Candidate{Store: ep.stores[i], resolve: true, epochIdx: j, loNew: lo, hiNew: hi})
+			}
+		}
+		if len(idxs) > 0 {
+			// Older epochs are visible only if this epoch's prefix can
+			// exclude all stores to a.
+			if ep.lo > idxs[0] {
+				blocked = true
+			}
+		}
+	}
+	if !blocked {
+		cands = append(cands, Candidate{Store: m.tr.Initial(a), resolve: true, epochIdx: -1})
+	}
+	return cands
+}
+
+// resolveChoice narrows epoch ranges so that future reads agree with the
+// chosen candidate.
+func (m *Machine) resolveChoice(a memmodel.Addr, c Candidate) {
+	if !c.resolve {
+		return // volatile read: nothing to narrow
+	}
+	ls := m.lines[a.Line()]
+	if ls == nil {
+		return
+	}
+	// All epochs newer than the chosen one must exclude their stores
+	// to a; for the initial value (epochIdx -1 via sealed path) every
+	// epoch must.
+	from := len(ls.sealed) - 1
+	for j := from; j > c.epochIdx; j-- {
+		ep := ls.sealed[j]
+		if first := ep.indexOfFirst(a); first >= 0 && ep.hi > first {
+			ep.hi = first
+			if ep.lo > ep.hi {
+				panic(fmt.Sprintf("px86: inconsistent crash-image resolution for %s", a))
+			}
+		}
+	}
+	if c.epochIdx >= 0 {
+		ep := ls.sealed[c.epochIdx]
+		ep.lo, ep.hi = c.loNew, c.hiNew
+		if ep.lo > ep.hi {
+			panic(fmt.Sprintf("px86: empty prefix range for %s", a))
+		}
+	}
+}
+
+// Load performs a load of word a by thread t reading from the chosen
+// candidate, which must come from LoadCandidates for the same (t, a).
+// It returns the loaded value.
+func (m *Machine) Load(t memmodel.ThreadID, a memmodel.Addr, c Candidate, loc string) memmodel.Value {
+	a = a.Word()
+	m.resolveChoice(a, c)
+	m.tr.Load(t, a, c.Store, memmodel.OpLoad, loc)
+	return c.Store.Value
+}
+
+// LoadDefault performs a load reading the newest legal store — the
+// behavior of an execution where everything persisted. It is the
+// convenient entry point for code running before any crash.
+func (m *Machine) LoadDefault(t memmodel.ThreadID, a memmodel.Addr, loc string) memmodel.Value {
+	cands := m.LoadCandidates(t, a)
+	return m.Load(t, a, cands[0], loc)
+}
+
+// rmwBegin drains the thread's store buffer (locked instructions flush
+// the buffer) and completes its pending clflushopt operations: locked
+// RMW operations are drain operations (§2).
+func (m *Machine) rmwBegin(t memmodel.ThreadID) {
+	m.DrainAll(t)
+	m.drainCompletes(t)
+}
+
+// CAS performs an atomic compare-and-swap on word a: it reads from the
+// chosen candidate, and if the value equals expected, commits a store of
+// newV. It returns the value read and whether the swap happened. CAS is
+// analyzed as a load immediately followed by a store (§5) and acts as a
+// drain either way.
+func (m *Machine) CAS(t memmodel.ThreadID, a memmodel.Addr, c Candidate, expected, newV memmodel.Value, loc string) (memmodel.Value, bool) {
+	a = a.Word()
+	m.rmwBegin(t)
+	m.resolveChoice(a, c)
+	m.tr.Load(t, a, c.Store, memmodel.OpCAS, loc)
+	old := c.Store.Value
+	if old != expected {
+		return old, false
+	}
+	st := m.tr.StoreIssue(t, a, newV, memmodel.OpCAS, loc)
+	m.commit(st)
+	return old, true
+}
+
+// FAA performs an atomic fetch-and-add on word a reading from the chosen
+// candidate, returning the previous value. Like CAS it drains.
+func (m *Machine) FAA(t memmodel.ThreadID, a memmodel.Addr, c Candidate, delta memmodel.Value, loc string) memmodel.Value {
+	a = a.Word()
+	m.rmwBegin(t)
+	m.resolveChoice(a, c)
+	m.tr.Load(t, a, c.Store, memmodel.OpFAA, loc)
+	old := c.Store.Value
+	st := m.tr.StoreIssue(t, a, old+delta, memmodel.OpFAA, loc)
+	m.commit(st)
+	return old
+}
+
+// Crash simulates a power failure: store buffers and outstanding
+// clflushopt operations are lost, the volatile cache vanishes, and each
+// cache line's committed history is sealed into an epoch whose persisted
+// prefix is any length from the flush-guaranteed lower bound up to the
+// full history. A new sub-execution begins.
+func (m *Machine) Crash() {
+	m.buffers = make(map[memmodel.ThreadID][]bufEntry)
+	m.pending = make(map[memmodel.ThreadID][]pendingFlush)
+	m.mem = make(map[memmodel.Addr]*trace.Store)
+	for _, ls := range m.lines {
+		if len(ls.live.stores) > 0 || ls.live.lo > 0 {
+			ls.live.hi = len(ls.live.stores)
+			ls.sealed = append(ls.sealed, ls.live)
+		}
+		ls.live = &epoch{}
+	}
+	m.tr.Crash()
+}
+
+// GuaranteedPersistCount returns how many committed stores to the line
+// containing a are guaranteed persistent in the current sub-execution.
+// It exists for tests and diagnostics.
+func (m *Machine) GuaranteedPersistCount(a memmodel.Addr) int {
+	if ls := m.lines[a.Line()]; ls != nil {
+		return ls.live.lo
+	}
+	return 0
+}

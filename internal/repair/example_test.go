@@ -1,0 +1,64 @@
+package repair_test
+
+import (
+	"fmt"
+
+	"repro/internal/explore"
+	"repro/internal/lang"
+	"repro/internal/repair"
+)
+
+// ExampleLoop repairs the paper's Figure 2 automatically: PSan's
+// suggested flushes are inserted and the program re-explored until no
+// robustness violations remain.
+func ExampleLoop() {
+	prog, err := lang.Parse(`
+phase {
+  thread 0 {
+    x = 1;
+    y = 1;
+    x = 2;
+    y = 2;
+  }
+}
+phase {
+  thread 0 {
+    let r1 = load(x);
+    let r2 = load(y);
+  }
+}`)
+	if err != nil {
+		panic(err)
+	}
+	res, err := repair.Loop("figure2", prog, explore.Options{
+		Mode:       explore.ModelCheck,
+		Executions: 10000,
+	}, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("clean after %d fixes\n", len(res.Applied))
+	fmt.Print(lang.Format(res.Program))
+	// Output:
+	// clean after 3 fixes
+	// phase {
+	//   thread 0 {
+	//     x = 1;
+	//     flushopt x;
+	//     sfence;
+	//     y = 1;
+	//     flushopt y;
+	//     sfence;
+	//     x = 2;
+	//     flushopt x;
+	//     sfence;
+	//     y = 2;
+	//   }
+	// }
+	// phase {
+	//   thread 0 {
+	//     let r1 = load(x);
+	//     let r2 = load(y);
+	//   }
+	// }
+}

@@ -1,0 +1,224 @@
+// Package repair turns PSan's robustness violations into applied bug
+// fixes for Figure 9 programs: it locates the statement named by a
+// violation's fix window, inserts the suggested flush and drain after
+// it, and re-runs the checker until no violations remain — the paper's
+// workflow ("we simply applied PSan's suggestions and reran the program
+// until no robustness violations were reported", §6.2), automated.
+package repair
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/interp"
+	"repro/internal/lang"
+)
+
+// Applied records one fix insertion.
+type Applied struct {
+	// Violation is the diagnosis the fix repairs.
+	Violation *core.Violation
+	// Fix is the chosen suggestion (primary when available).
+	Fix core.Fix
+	// FlushLoc is the location name whose line the inserted flush
+	// covers.
+	FlushLoc string
+}
+
+// String renders the applied fix.
+func (a Applied) String() string {
+	return fmt.Sprintf("inserted `flushopt %s; sfence;` after %q (thread %d)", a.FlushLoc, a.Fix.AfterLoc, int(a.Fix.Thread))
+}
+
+// Apply inserts the violation's suggested flush+drain into the program,
+// returning whether a fix site was found. The program is modified in
+// place (statement slices are rewritten).
+func Apply(prog *lang.Program, compiled *interp.Program, v *core.Violation) (Applied, bool) {
+	fix, ok := pickFix(v)
+	if !ok {
+		return Applied{}, false
+	}
+	name := compiled.NameOf(v.MissingFlush.Addr)
+	if name == "" {
+		return Applied{}, false
+	}
+	if v.SubExec >= len(prog.Phases) {
+		return Applied{}, false
+	}
+	ph := prog.Phases[v.SubExec]
+	for _, th := range ph.Threads {
+		if th.ID != int(fix.Thread) {
+			continue
+		}
+		if body, done := insertAfter(th.Body, fix.AfterLoc, name); done {
+			th.Body = body
+			return Applied{Violation: v, Fix: fix, FlushLoc: name}, true
+		}
+	}
+	return Applied{}, false
+}
+
+// pickFix prefers the primary flush window, then any flush window.
+func pickFix(v *core.Violation) (core.Fix, bool) {
+	for _, f := range v.Fixes {
+		if f.Kind == core.FixInsertFlush && f.Primary {
+			return f, true
+		}
+	}
+	for _, f := range v.Fixes {
+		if f.Kind == core.FixInsertFlush {
+			return f, true
+		}
+	}
+	return core.Fix{}, false
+}
+
+// insertAfter walks a statement block looking for the statement whose
+// own label — or one of whose memory expressions' labels — matches
+// afterLoc, and inserts `flushopt name; sfence;` right after it.
+func insertAfter(ss []lang.Stmt, afterLoc, name string) ([]lang.Stmt, bool) {
+	for i, s := range ss {
+		if stmtMatches(s, afterLoc) {
+			fixed := make([]lang.Stmt, 0, len(ss)+2)
+			fixed = append(fixed, ss[:i+1]...)
+			fixed = append(fixed,
+				&lang.FlushStmt{Pos: s.StmtPos(), Loc: name, Opt: true},
+				&lang.FenceStmt{Pos: s.StmtPos(), Full: false})
+			fixed = append(fixed, ss[i+1:]...)
+			return fixed, true
+		}
+		// Recurse into nested blocks.
+		switch x := s.(type) {
+		case *lang.IfStmt:
+			if body, done := insertAfter(x.Then, afterLoc, name); done {
+				x.Then = body
+				return ss, true
+			}
+			if body, done := insertAfter(x.Else, afterLoc, name); done {
+				x.Else = body
+				return ss, true
+			}
+		case *lang.RepeatStmt:
+			if body, done := insertAfter(x.Body, afterLoc, name); done {
+				x.Body = body
+				return ss, true
+			}
+		case *lang.WhileStmt:
+			if body, done := insertAfter(x.Body, afterLoc, name); done {
+				x.Body = body
+				return ss, true
+			}
+		}
+	}
+	return ss, false
+}
+
+// stmtMatches reports whether the statement carries the interpreter
+// label afterLoc — either as the statement itself or as one of the
+// memory-accessing expressions inside it.
+func stmtMatches(s lang.Stmt, afterLoc string) bool {
+	if label(s, s.StmtPos()) == afterLoc {
+		return true
+	}
+	match := false
+	var walkExpr func(lang.Expr)
+	walkExpr = func(e lang.Expr) {
+		if match {
+			return
+		}
+		switch x := e.(type) {
+		case *lang.LoadExpr:
+			if label(x, x.Pos) == afterLoc {
+				match = true
+			}
+		case *lang.CASExpr:
+			if label(x, x.Pos) == afterLoc {
+				match = true
+			}
+			walkExpr(x.Expected)
+			walkExpr(x.New)
+		case *lang.FAAExpr:
+			if label(x, x.Pos) == afterLoc {
+				match = true
+			}
+			walkExpr(x.Delta)
+		case *lang.BinExpr:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *lang.NotExpr:
+			walkExpr(x.E)
+		}
+	}
+	switch x := s.(type) {
+	case *lang.LetStmt:
+		walkExpr(x.Expr)
+	case *lang.StoreStmt:
+		walkExpr(x.Expr)
+	case *lang.AssertStmt:
+		walkExpr(x.Expr)
+	case *lang.ExprStmt:
+		walkExpr(x.Expr)
+	case *lang.IfStmt:
+		walkExpr(x.Cond)
+	case *lang.WhileStmt:
+		walkExpr(x.Cond)
+	}
+	return match
+}
+
+// label mirrors the interpreter's location format.
+func label(s fmt.Stringer, pos lang.Pos) string {
+	return fmt.Sprintf("%s @%s", s, pos)
+}
+
+// Result summarizes a repair loop.
+type Result struct {
+	// Program is the final (possibly fixed) program.
+	Program *lang.Program
+	// Applied lists the fixes inserted, in order.
+	Applied []Applied
+	// Clean reports whether the final program explored violation-free.
+	Clean bool
+	// Iterations is the number of explore+apply rounds run.
+	Iterations int
+}
+
+// Loop repeatedly explores the program and applies the first
+// un-repaired violation's suggested fix, until the program is clean or
+// maxIters rounds have run. Positions shift as statements are inserted,
+// so each round re-parses the formatted program to refresh labels.
+func Loop(name string, prog *lang.Program, opt explore.Options, maxIters int) (*Result, error) {
+	res := &Result{Program: prog}
+	for iter := 0; iter < maxIters; iter++ {
+		res.Iterations = iter + 1
+		compiled := interp.New(name, res.Program)
+		run := explore.Run(compiled, opt)
+		if len(run.Violations) == 0 {
+			res.Clean = true
+			return res, nil
+		}
+		fixedAny := false
+		for _, v := range run.Violations {
+			if app, ok := Apply(res.Program, compiled, v); ok {
+				res.Applied = append(res.Applied, app)
+				fixedAny = true
+				break // re-explore: positions and labels changed
+			}
+		}
+		if !fixedAny {
+			return res, fmt.Errorf("repair: no applicable fix among %d violations", len(run.Violations))
+		}
+		// Re-parse so statement positions (and hence labels) are fresh.
+		reparsed, err := lang.Parse(lang.Format(res.Program))
+		if err != nil {
+			return res, fmt.Errorf("repair: reformatted program does not parse: %v", err)
+		}
+		res.Program = reparsed
+	}
+	// Final verdict after the last application.
+	compiled := interp.New(name, res.Program)
+	run := explore.Run(compiled, opt)
+	res.Clean = len(run.Violations) == 0
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package repair
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/lang"
+)
+
+func mustParse(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+const figure2Src = `
+phase {
+  thread 0 {
+    x = 1;
+    y = 1;
+    x = 2;
+    y = 2;
+  }
+}
+phase {
+  thread 0 {
+    let r1 = load(x);
+    let r2 = load(y);
+  }
+}`
+
+// The repair loop must drive Figure 2 to a clean program by inserting
+// the suggested flushes, and the result must still parse and explore
+// violation-free.
+func TestLoopRepairsFigure2(t *testing.T) {
+	prog := mustParse(t, figure2Src)
+	res, err := Loop("fig2", prog, explore.Options{Mode: explore.ModelCheck, Executions: 10000}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean {
+		t.Fatalf("program not clean after %d iterations:\n%s", res.Iterations, lang.Format(res.Program))
+	}
+	if len(res.Applied) == 0 {
+		t.Fatal("no fixes applied")
+	}
+	out := lang.Format(res.Program)
+	if !strings.Contains(out, "flushopt") || !strings.Contains(out, "sfence") {
+		t.Fatalf("fixed program missing flushes:\n%s", out)
+	}
+}
+
+// Figure 7's fix goes into thread 1, after the load — the inter-thread
+// insertion the paper highlights PSan uniquely suggests.
+func TestLoopRepairsFigure7InSecondThread(t *testing.T) {
+	prog := mustParse(t, `
+phase {
+  thread 0 {
+    x = 1;
+    flush x;
+  }
+  thread 1 {
+    let r1 = load(x);
+    y = r1;
+    flush y;
+  }
+}
+phase {
+  thread 0 {
+    let r2 = load(x);
+    let r3 = load(y);
+  }
+}`)
+	res, err := Loop("fig7", prog, explore.Options{Mode: explore.Random, Executions: 800, Seed: 11}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean {
+		t.Fatalf("program not clean:\n%s", lang.Format(res.Program))
+	}
+	foundThread1 := false
+	for _, a := range res.Applied {
+		if a.Fix.Thread == 1 && a.FlushLoc == "x" {
+			foundThread1 = true
+		}
+	}
+	if !foundThread1 {
+		t.Fatalf("expected a flush of x inserted in thread 1, got %v", res.Applied)
+	}
+	// The fix must sit after the load in thread 1's body.
+	out := lang.Format(res.Program)
+	t1 := out[strings.Index(out, "thread 1"):]
+	loadIdx := strings.Index(t1, "load(x)")
+	flushIdx := strings.Index(t1, "flushopt x")
+	if loadIdx < 0 || flushIdx < 0 || flushIdx < loadIdx {
+		t.Fatalf("flush not inserted after the load:\n%s", out)
+	}
+}
+
+// A clean program needs no iterations beyond the first exploration.
+func TestLoopNoopOnRobustProgram(t *testing.T) {
+	prog := mustParse(t, `
+sameline x y;
+phase { thread 0 { x = 1; y = 1; x = 2; y = 2; } }
+phase { thread 0 { let r1 = load(x); let r2 = load(y); } }`)
+	res, err := Loop("sameline", prog, explore.Options{Mode: explore.ModelCheck, Executions: 10000}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean || len(res.Applied) != 0 || res.Iterations != 1 {
+		t.Fatalf("robust program mishandled: %+v", res)
+	}
+}
+
+// Formatted output of a repaired program must round-trip through the
+// parser.
+func TestFormatRoundTrip(t *testing.T) {
+	prog := mustParse(t, figure2Src)
+	res, err := Loop("fig2", prog, explore.Options{Mode: explore.ModelCheck, Executions: 10000}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lang.Parse(lang.Format(res.Program)); err != nil {
+		t.Fatalf("round trip failed: %v\n%s", err, lang.Format(res.Program))
+	}
+}

@@ -1,0 +1,42 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// The §6.4 comparison's reproduced shape: PSan reports at least as many
+// distinct bug sites as the dependence heuristic on every benchmark,
+// strictly more somewhere, and the assertion oracle alone reports
+// almost nothing.
+func TestComparisonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full comparison run")
+	}
+	rows := Comparison(Options{Executions: 200, Seed: 3})
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	strictlyMore := false
+	for _, r := range rows {
+		if r.Benchmark == "P-Masstree" {
+			if r.PSan != 0 {
+				t.Errorf("P-Masstree: PSan = %d, want 0", r.PSan)
+			}
+			continue
+		}
+		if r.PSan == 0 {
+			t.Errorf("%s: PSan found nothing", r.Benchmark)
+		}
+		if r.WitcherMissed > 0 {
+			strictlyMore = true
+		}
+	}
+	if !strictlyMore {
+		t.Error("PSan should report bugs the dependence heuristic misses")
+	}
+	out := RenderComparison(rows)
+	if !strings.Contains(out, "PSan") || !strings.Contains(out, "Witcher") {
+		t.Fatalf("render missing columns:\n%s", out)
+	}
+}

@@ -1,0 +1,132 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderTableAlignment(t *testing.T) {
+	out := RenderTable("T", []string{"a", "bbbb"}, [][]string{{"xx", "y"}, {"z", "wwwww"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	// All non-title lines share a width.
+	w := len(lines[1])
+	for _, l := range lines[2:] {
+		if len(l) > w+2 {
+			t.Fatalf("misaligned line %q (header %q)", l, lines[1])
+		}
+	}
+}
+
+// Table 1's live demo must show the subsumption story: PSan finds both
+// litmus bugs, the dependence heuristic misses the Figure 7 shape, and
+// the assertion oracle sees nothing without an assertion.
+func TestTable1Subsumption(t *testing.T) {
+	rows, text := Table1()
+	byTool := map[string]Table1Row{}
+	for _, r := range rows {
+		byTool[r.Tool] = r
+	}
+	psan := byTool["PSan"]
+	if !psan.FindsCommit || !psan.FindsFig7 {
+		t.Fatalf("PSan must find both: %+v", psan)
+	}
+	witcher := byTool["Witcher"]
+	if !witcher.FindsCommit {
+		t.Fatalf("Witcher heuristic should find the commit-store bug: %+v", witcher)
+	}
+	if witcher.FindsFig7 {
+		t.Fatalf("Witcher heuristic should miss the Figure 7 shape: %+v", witcher)
+	}
+	jaaru := byTool["Jaaru"]
+	if jaaru.FindsCommit || jaaru.FindsFig7 {
+		t.Fatalf("assertion oracle should be silent without assertions: %+v", jaaru)
+	}
+	if !strings.Contains(text, "Robustness") {
+		t.Fatalf("rendered table missing content:\n%s", text)
+	}
+}
+
+// A reduced Table 2 run must find every non-memory-management row and
+// leave every fixed variant clean.
+func TestTable2AllRowsFound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table run")
+	}
+	res := Table2(Options{Seed: 1})
+	for _, row := range res.Rows {
+		if !row.Found {
+			t.Errorf("row %d (%s %s) missed", row.ID, row.Benchmark, row.Field)
+		}
+	}
+	for name, clean := range res.FixedClean {
+		if !clean {
+			t.Errorf("fixed variant of %s still reports violations", name)
+		}
+	}
+	if res.MemMgmt["P-ART"] != 9 {
+		t.Errorf("P-ART memory-management violations = %d, want 9", res.MemMgmt["P-ART"])
+	}
+	if res.MemMgmt["P-BwTree"] != 4 {
+		t.Errorf("P-BwTree memory-management violations = %d, want 4", res.MemMgmt["P-BwTree"])
+	}
+	if res.NewBugs == 0 {
+		t.Error("no previously-unreported bugs counted")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "CCEH") || !strings.Contains(out, "FAST_FAIR") {
+		t.Fatalf("render missing benchmarks:\n%s", out)
+	}
+}
+
+// Table 3's reproduced claim is the shape: PSan's per-execution time is
+// close to the bare simulator's (the paper reports "minimal overhead"),
+// and the bug-discovery execution counts are positive for the buggy
+// ports.
+func TestTable3OverheadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing run")
+	}
+	rows := Table3(Options{Seed: 1})
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 index benchmarks", len(rows))
+	}
+	for _, r := range rows {
+		if r.PSanTime <= 0 || r.JaaruTime <= 0 {
+			t.Errorf("%s: non-positive timing %v/%v", r.Benchmark, r.JaaruTime, r.PSanTime)
+		}
+		// Generous bound: the paper reports near-zero overhead; allow
+		// noise on a shared machine.
+		if r.Overhead() > 5 {
+			t.Errorf("%s: overhead %.2fx implausibly high", r.Benchmark, r.Overhead())
+		}
+		if r.Benchmark != "P-Masstree" && r.Executions == 0 {
+			t.Errorf("%s: found no bugs in discovery run", r.Benchmark)
+		}
+		if r.Benchmark == "P-Masstree" && r.Executions != 0 {
+			t.Errorf("P-Masstree should report no bugs, got discovery at execution %d", r.Executions)
+		}
+	}
+	out := RenderTable3(rows)
+	if !strings.Contains(out, "P-Masstree") {
+		t.Fatalf("render missing rows:\n%s", out)
+	}
+}
+
+func TestViolationsReport(t *testing.T) {
+	out, err := Violations("CCEH", Options{Executions: 150, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "robustness violation") || !strings.Contains(out, "fix:") {
+		t.Fatalf("report missing detail:\n%s", out)
+	}
+	if _, err := Violations("nope", Options{}); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}

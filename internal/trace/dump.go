@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/memmodel"
+)
+
+// Dump writes a human-readable listing of the execution — the trace a
+// developer would otherwise inspect by hand to localize a bug (§4: such
+// traces "can contain millions of operations"; PSan's reports point
+// into them). Sub-executions are numbered from 1 as in the paper's
+// e1 C1 e2 ... notation.
+func (tr *Trace) Dump(w io.Writer) {
+	sub := 0
+	fmt.Fprintf(w, "=== sub-execution e1 ===\n")
+	for _, ev := range tr.events {
+		if ev.Kind == memmodel.OpCrash {
+			sub++
+			fmt.Fprintf(w, "--- crash C%d ---\n=== sub-execution e%d ===\n", sub, sub+1)
+			continue
+		}
+		fmt.Fprintf(w, "%5d  t%-2d %-10s", ev.Index, int(ev.Thread), ev.Kind)
+		switch {
+		case ev.Store != nil:
+			fmt.Fprintf(w, " %s = %-6d clk=%-3d seq=%-3d", ev.Addr, uint64(ev.Value), int64(ev.Store.Clock), int64(ev.Store.Seq))
+		case ev.RF != nil:
+			from := "init"
+			if !ev.RF.Initial {
+				from = fmt.Sprintf("e%d clk%d", ev.RF.SubExec+1, int64(ev.RF.Clock))
+			}
+			fmt.Fprintf(w, " %s -> %-6d rf=%s", ev.Addr, uint64(ev.Value), from)
+		case ev.Kind == memmodel.OpFlush || ev.Kind == memmodel.OpFlushOpt:
+			fmt.Fprintf(w, " line %s", ev.Addr)
+		}
+		if ev.Loc != "" {
+			fmt.Fprintf(w, "  ; %s", ev.Loc)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Stats summarizes an execution trace.
+type Stats struct {
+	Events, Stores, Loads, Flushes, Fences, RMWs, Crashes int
+}
+
+// Stats computes summary counts over the event log.
+func (tr *Trace) Stats() Stats {
+	var s Stats
+	s.Events = len(tr.events)
+	for _, ev := range tr.events {
+		switch ev.Kind {
+		case memmodel.OpStore:
+			s.Stores++
+		case memmodel.OpLoad:
+			s.Loads++
+		case memmodel.OpFlush, memmodel.OpFlushOpt:
+			s.Flushes++
+		case memmodel.OpSFence, memmodel.OpMFence:
+			s.Fences++
+		case memmodel.OpCAS, memmodel.OpFAA:
+			s.RMWs++
+		case memmodel.OpCrash:
+			s.Crashes++
+		}
+	}
+	return s
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d events: %d stores, %d loads, %d flushes, %d fences, %d RMWs, %d crashes",
+		s.Events, s.Stores, s.Loads, s.Flushes, s.Fences, s.RMWs, s.Crashes)
+}

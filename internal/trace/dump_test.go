@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+func TestDumpListsEventsAndCrashes(t *testing.T) {
+	tr := New()
+	st := tr.StoreIssue(0, 0x1000, 7, memmodel.OpStore, "x=7")
+	tr.StoreCommit(st)
+	tr.Fence(0, memmodel.OpFlush, memmodel.Addr(0x1000).Line(), "flush x")
+	tr.Crash()
+	tr.Load(0, 0x1000, st, memmodel.OpLoad, "r=x")
+	var b strings.Builder
+	tr.Dump(&b)
+	out := b.String()
+	for _, want := range []string{
+		"sub-execution e1", "crash C1", "sub-execution e2",
+		"store", "clflush", "rf=e1 clk1", "; x=7", "; r=x",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := New()
+	st := tr.StoreIssue(0, 0x1000, 1, memmodel.OpStore, "s")
+	tr.StoreCommit(st)
+	tr.Fence(0, memmodel.OpFlushOpt, 0x1000, "fo")
+	tr.Fence(0, memmodel.OpSFence, 0, "sf")
+	rmw := tr.StoreIssue(0, 0x1000, 2, memmodel.OpCAS, "cas")
+	tr.StoreCommit(rmw)
+	tr.Crash()
+	tr.Load(0, 0x1000, rmw, memmodel.OpLoad, "r")
+	s := tr.Stats()
+	if s.Stores != 1 || s.Loads != 1 || s.Flushes != 1 || s.Fences != 1 || s.RMWs != 1 || s.Crashes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if !strings.Contains(s.String(), "1 stores") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}

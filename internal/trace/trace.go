@@ -1,0 +1,345 @@
+// Package trace records executions of the simulated Px86 machine: the
+// complete sequence of memory operations, fences, cache flushes, and
+// crash events, partitioned into sub-executions by crashes
+// (Exec = e1 C1 e2 C2 ... en Cn en+1, paper §3).
+//
+// The package also implements the Figure 3 state machine that maintains
+// clock vectors (tracking the happens-before relation over stores) and
+// sequence numbers (tracking the TSO commit order), and the getexec/next
+// helpers used by the LOAD-PREV rule in Figure 10.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+	"repro/internal/vclock"
+)
+
+// Store is one store operation in an execution. RMW operations contribute
+// a Store for their write half. The synthetic Initial store represents a
+// location's pre-execution contents (conventionally zero).
+type Store struct {
+	// ID is unique across the whole execution, including crashes.
+	ID int64
+	// Addr is the word-aligned location written.
+	Addr memmodel.Addr
+	// Value is the value written.
+	Value memmodel.Value
+	// Thread is the issuing thread (NoThread for Initial stores).
+	Thread memmodel.ThreadID
+	// SubExec is the index of the sub-execution the store was issued in.
+	// Initial stores carry sub-execution 0 and precede all of its stores.
+	SubExec int
+	// Clock is the store's clock: the Thread-component of its clock
+	// vector at issue time (getcl in the paper). It orders the stores of
+	// one thread by issue.
+	Clock vclock.Clock
+	// CV is the store's clock vector SCV(st) at issue time. For τ′ ≠
+	// Thread, CV.At(τ′) is the clock of the last store of thread τ′ that
+	// happens before this store (§5.1).
+	CV vclock.CV
+	// Seq is the TSO sequence number assigned when the store commits to
+	// the cache; 0 means not yet committed (Figure 3).
+	Seq vclock.Seq
+	// Kind is OpStore, OpCAS, or OpFAA.
+	Kind memmodel.OpKind
+	// Loc is the source label of the store site, used for bug reports.
+	Loc string
+	// Initial marks the synthetic pre-execution store.
+	Initial bool
+}
+
+// String renders a short identification of the store for diagnostics.
+func (s *Store) String() string {
+	if s == nil {
+		return "<nil store>"
+	}
+	if s.Initial {
+		return fmt.Sprintf("init[%s]", s.Addr)
+	}
+	loc := s.Loc
+	if loc == "" {
+		loc = fmt.Sprintf("store#%d", s.ID)
+	}
+	return fmt.Sprintf("%s(%s=%d @t%d e%d clk%d)", loc, s.Addr, uint64(s.Value), int(s.Thread), s.SubExec, int64(s.Clock))
+}
+
+// HappensBefore reports whether s happens before t: both stores are in
+// the same sub-execution and SCV(s) ≤ SCV(t) (§3.4). Initial stores
+// happen before every store.
+func (s *Store) HappensBefore(t *Store) bool {
+	if s == t || t == nil {
+		return false
+	}
+	if s.Initial {
+		return true
+	}
+	if t.Initial || s.SubExec != t.SubExec {
+		return false
+	}
+	return s.CV.Leq(t.CV)
+}
+
+// Event is one entry in the flat event log. Loads carry the store they
+// read from (RF); stores and RMWs carry their Store object.
+type Event struct {
+	// Index is the event's position in the global log.
+	Index int
+	// Kind is the operation performed.
+	Kind memmodel.OpKind
+	// Thread is the executing thread (NoThread for crashes).
+	Thread memmodel.ThreadID
+	// Addr is the accessed location or flushed line base (zero for
+	// fences and crashes).
+	Addr memmodel.Addr
+	// Value is the value loaded or stored, when applicable.
+	Value memmodel.Value
+	// Store is the store object for store/RMW events.
+	Store *Store
+	// RF is the store a load or RMW read from.
+	RF *Store
+	// SubExec is the sub-execution index.
+	SubExec int
+	// Loc is the source label of the operation.
+	Loc string
+	// CV is the executing thread's clock vector immediately after the
+	// event, used to compute fix windows (§5.2).
+	CV vclock.CV
+}
+
+// SubExec is one crash-delimited portion of an execution.
+type SubExec struct {
+	// Index is the sub-execution's position (0-based).
+	Index int
+	// Stores holds the committed stores in TSO (commit) order.
+	Stores []*Store
+	// byLoc indexes committed stores per location, in commit order.
+	byLoc map[memmodel.Addr][]*Store
+	// byThread indexes every issued store per thread; the store with
+	// clock c sits at index c-1 (clocks are dense per thread).
+	byThread map[memmodel.ThreadID][]*Store
+	// threadCV is the CV map of Figure 3, reset at each crash.
+	threadCV map[memmodel.ThreadID]vclock.CV
+	// seq is the strictly increasing commit counter, reset at crashes.
+	seq vclock.Seq
+	// events are the indices of this sub-execution's events in the log.
+	events []int
+}
+
+// StoresTo returns the committed stores to addr in TSO order.
+func (e *SubExec) StoresTo(addr memmodel.Addr) []*Store { return e.byLoc[addr.Word()] }
+
+// StoreByClock returns thread t's store with the given clock, or nil if
+// no such store was issued. It resolves interval endpoints back to the
+// stores that set them.
+func (e *SubExec) StoreByClock(t memmodel.ThreadID, c vclock.Clock) *Store {
+	sts := e.byThread[t]
+	if c < 1 || int(c) > len(sts) {
+		return nil
+	}
+	return sts[c-1]
+}
+
+// ThreadCV returns thread t's current clock vector.
+func (e *SubExec) ThreadCV(t memmodel.ThreadID) vclock.CV { return e.threadCV[t] }
+
+// Trace is a recorded execution. It is not safe for concurrent use: the
+// simulated machine serializes all operations (simulated threads are
+// interleaved by the explorer, not by goroutines).
+type Trace struct {
+	subs        []*SubExec
+	events      []*Event
+	initials    map[memmodel.Addr]*Store
+	nextStoreID int64
+}
+
+// New returns an empty trace with one (initial) sub-execution.
+func New() *Trace {
+	t := &Trace{initials: make(map[memmodel.Addr]*Store)}
+	t.pushSubExec()
+	return t
+}
+
+func (tr *Trace) pushSubExec() {
+	tr.subs = append(tr.subs, &SubExec{
+		Index:    len(tr.subs),
+		byLoc:    make(map[memmodel.Addr][]*Store),
+		byThread: make(map[memmodel.ThreadID][]*Store),
+		threadCV: make(map[memmodel.ThreadID]vclock.CV),
+	})
+}
+
+// Current returns the current (last) sub-execution.
+func (tr *Trace) Current() *SubExec { return tr.subs[len(tr.subs)-1] }
+
+// SubExecs returns all sub-executions, oldest first.
+func (tr *Trace) SubExecs() []*SubExec { return tr.subs }
+
+// Sub returns the i-th sub-execution.
+func (tr *Trace) Sub(i int) *SubExec { return tr.subs[i] }
+
+// NumCrashes returns the number of crash events recorded so far.
+func (tr *Trace) NumCrashes() int { return len(tr.subs) - 1 }
+
+// Events returns the full event log.
+func (tr *Trace) Events() []*Event { return tr.events }
+
+// Initial returns (creating on first use) the synthetic initial store
+// for addr. Initial stores have clock 0, bottom clock vector, and
+// sequence 0: they are TSO-before and happen-before everything.
+func (tr *Trace) Initial(addr memmodel.Addr) *Store {
+	addr = addr.Word()
+	if s, ok := tr.initials[addr]; ok {
+		return s
+	}
+	s := &Store{
+		ID:      -int64(len(tr.initials)) - 1,
+		Addr:    addr,
+		Thread:  memmodel.NoThread,
+		SubExec: 0,
+		Initial: true,
+	}
+	tr.initials[addr] = s
+	return s
+}
+
+func (tr *Trace) appendEvent(ev *Event) *Event {
+	ev.Index = len(tr.events)
+	ev.SubExec = tr.Current().Index
+	tr.events = append(tr.events, ev)
+	cur := tr.Current()
+	cur.events = append(cur.events, ev.Index)
+	return ev
+}
+
+// StoreIssue applies the [STORE ISSUE] rule: it increments the thread's
+// clock vector, creates the store with that vector and a zero sequence
+// number, and logs the event. The returned store is not yet committed.
+func (tr *Trace) StoreIssue(t memmodel.ThreadID, addr memmodel.Addr, v memmodel.Value, kind memmodel.OpKind, loc string) *Store {
+	cur := tr.Current()
+	cv := cur.threadCV[t].Inc(t)
+	cur.threadCV[t] = cv
+	tr.nextStoreID++
+	st := &Store{
+		ID:      tr.nextStoreID,
+		Addr:    addr.Word(),
+		Value:   v,
+		Thread:  t,
+		SubExec: cur.Index,
+		Clock:   cv.At(t),
+		CV:      cv,
+		Kind:    kind,
+		Loc:     loc,
+	}
+	cur.byThread[t] = append(cur.byThread[t], st)
+	tr.appendEvent(&Event{Kind: kind, Thread: t, Addr: st.Addr, Value: v, Store: st, Loc: loc, CV: cv})
+	return st
+}
+
+// StoreCommit applies the [STORE COMMIT] rule: the store leaves its store
+// buffer and takes the next TSO sequence number of the current
+// sub-execution. Committing a store twice or committing a store issued in
+// an earlier sub-execution is a programming error in the simulator.
+func (tr *Trace) StoreCommit(st *Store) {
+	cur := tr.Current()
+	if st.Seq != 0 {
+		panic(fmt.Sprintf("trace: store %v committed twice", st))
+	}
+	if st.SubExec != cur.Index {
+		panic(fmt.Sprintf("trace: store %v commits in sub-execution %d", st, cur.Index))
+	}
+	cur.seq++
+	st.Seq = cur.seq
+	cur.Stores = append(cur.Stores, st)
+	cur.byLoc[st.Addr] = append(cur.byLoc[st.Addr], st)
+}
+
+// Load applies the [LOAD] rule: it logs the read and, when the store read
+// from belongs to the current sub-execution, merges the store's clock
+// vector into the reading thread's vector (establishing happens-before).
+// Reads that cross a crash boundary do not merge vectors — recovery
+// threads are fresh threads; those reads are instead checked by the
+// LOAD-PREV rule of the robustness checker.
+func (tr *Trace) Load(t memmodel.ThreadID, addr memmodel.Addr, rf *Store, kind memmodel.OpKind, loc string) *Event {
+	cur := tr.Current()
+	if rf != nil && !rf.Initial && rf.SubExec == cur.Index {
+		cur.threadCV[t] = cur.threadCV[t].Join(rf.CV)
+	}
+	var v memmodel.Value
+	if rf != nil {
+		v = rf.Value
+	}
+	return tr.appendEvent(&Event{Kind: kind, Thread: t, Addr: addr.Word(), Value: v, RF: rf, Loc: loc, CV: cur.threadCV[t]})
+}
+
+// Fence logs a fence, flush, or flush-opt event.
+func (tr *Trace) Fence(t memmodel.ThreadID, kind memmodel.OpKind, addr memmodel.Addr, loc string) *Event {
+	return tr.appendEvent(&Event{Kind: kind, Thread: t, Addr: addr, Loc: loc, CV: tr.Current().threadCV[t]})
+}
+
+// Crash applies the [CRASH] rule: it logs the crash event and begins a
+// new sub-execution with a fresh CV map and sequence counter.
+func (tr *Trace) Crash() {
+	tr.appendEvent(&Event{Kind: memmodel.OpCrash, Thread: memmodel.NoThread})
+	tr.pushSubExec()
+}
+
+// GetExec returns the sub-execution containing the store (getexec in the
+// paper's Figure 10).
+func (tr *Trace) GetExec(st *Store) *SubExec { return tr.subs[st.SubExec] }
+
+// Next implements next(st, e) from Figure 10: the smallest set of stores
+// containing (1) the first store to st's location in each thread that is
+// TSO ordered after st within getexec(st), and (2) the first store to the
+// location in each thread of every sub-execution after getexec(st) and
+// before the sub-execution with index ecur.
+//
+// Only committed stores participate: a store still sitting in a store
+// buffer at the crash never reached the cache, cannot have persisted, and
+// therefore constrains nothing.
+func (tr *Trace) Next(st *Store, ecur int) []*Store {
+	var out []*Store
+	firstPerThread := func(stores []*Store, after vclock.Seq) {
+		seen := make(map[memmodel.ThreadID]bool)
+		for _, s := range stores {
+			if s.Seq > after && !seen[s.Thread] {
+				seen[s.Thread] = true
+				out = append(out, s)
+			}
+		}
+	}
+	start := st.SubExec + 1
+	if st.Initial {
+		// The initial store precedes all stores of sub-execution 0.
+		firstPerThread(tr.subs[st.SubExec].byLoc[st.Addr], 0)
+	} else {
+		firstPerThread(tr.subs[st.SubExec].byLoc[st.Addr], st.Seq)
+	}
+	for i := start; i < ecur && i < len(tr.subs); i++ {
+		firstPerThread(tr.subs[i].byLoc[st.Addr], 0)
+	}
+	return out
+}
+
+// SubEvents returns all events of sub-execution e in execution order.
+func (tr *Trace) SubEvents(e int) []*Event {
+	out := make([]*Event, 0, len(tr.subs[e].events))
+	for _, idx := range tr.subs[e].events {
+		out = append(out, tr.events[idx])
+	}
+	return out
+}
+
+// EventsOf returns the events of sub-execution e executed by thread t, in
+// program order. It is used to compute fix windows.
+func (tr *Trace) EventsOf(e int, t memmodel.ThreadID) []*Event {
+	var out []*Event
+	for _, idx := range tr.subs[e].events {
+		ev := tr.events[idx]
+		if ev.Thread == t {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+// Package vclock implements the clock vectors and sequence numbers of the
+// paper's Section 3.4 (Figure 3). Clock vectors track the happens-before
+// relation over stores; sequence numbers record the TSO order in which
+// stores commit to the cache.
+//
+// A clock vector maps each thread to a logical clock. The paper defines:
+//
+//	⊥CV            = λτ.0
+//	CV1 ∪ CV2      = λτ.max(CV1(τ), CV2(τ))
+//	CV1 ≤ CV2      ⇔ ∀τ. CV1(τ) ≤ CV2(τ)
+//	incτ(CV)       = bump component τ by one
+//
+// Every store in a thread has a unique clock — the τ-th component of its
+// clock vector at issue time — because incτ is applied on every store
+// issue and loads can only raise the *other* components of the issuing
+// thread's vector.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/memmodel"
+)
+
+// Clock is a single logical clock value: the per-thread issue counter.
+type Clock int64
+
+// Seq is a TSO sequence number: the global order in which stores commit
+// to the cache within one sub-execution. Seq 0 means "not yet committed"
+// (Figure 3 initializes SEQ[st] to 0 on issue).
+type Seq int64
+
+// CV is a clock vector. The zero value is ⊥CV. CVs are persistent-style:
+// operations return new vectors and never mutate their receivers, so a
+// store's vector can be safely retained in the trace after the issuing
+// thread's vector advances.
+type CV struct {
+	clocks map[memmodel.ThreadID]Clock
+}
+
+// Bottom returns ⊥CV, the vector that is 0 everywhere.
+func Bottom() CV { return CV{} }
+
+// At returns the clock component for thread t (0 if absent).
+func (v CV) At(t memmodel.ThreadID) Clock { return v.clocks[t] }
+
+// IsBottom reports whether every component is zero.
+func (v CV) IsBottom() bool {
+	for _, c := range v.clocks {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// clone returns a mutable copy of the underlying map.
+func (v CV) clone() map[memmodel.ThreadID]Clock {
+	m := make(map[memmodel.ThreadID]Clock, len(v.clocks)+1)
+	for t, c := range v.clocks {
+		if c != 0 {
+			m[t] = c
+		}
+	}
+	return m
+}
+
+// Join returns the component-wise maximum of v and w (the ∪ operator).
+func (v CV) Join(w CV) CV {
+	if len(w.clocks) == 0 {
+		return v
+	}
+	if len(v.clocks) == 0 {
+		return w
+	}
+	m := v.clone()
+	for t, c := range w.clocks {
+		if c > m[t] {
+			m[t] = c
+		}
+	}
+	return CV{clocks: m}
+}
+
+// Leq reports v ≤ w: every component of v is at most the corresponding
+// component of w. For two stores in the same sub-execution,
+// SCV(st1) ≤ SCV(st2) means st1 happens before st2 (§3.4).
+func (v CV) Leq(w CV) bool {
+	for t, c := range v.clocks {
+		if c > w.clocks[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// Inc returns v with component t incremented (the incτ operator, applied
+// on every store issue by thread t).
+func (v CV) Inc(t memmodel.ThreadID) CV {
+	m := v.clone()
+	m[t]++
+	return CV{clocks: m}
+}
+
+// WithClock returns v with component t set to c. It is used when
+// reconstructing vectors in tests.
+func (v CV) WithClock(t memmodel.ThreadID, c Clock) CV {
+	m := v.clone()
+	if c == 0 {
+		delete(m, t)
+	} else {
+		m[t] = c
+	}
+	return CV{clocks: m}
+}
+
+// Threads returns the threads with non-zero components, in ascending
+// order. It is the support of the vector.
+func (v CV) Threads() []memmodel.ThreadID {
+	ts := make([]memmodel.ThreadID, 0, len(v.clocks))
+	for t, c := range v.clocks {
+		if c != 0 {
+			ts = append(ts, t)
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts
+}
+
+// String renders the vector as {t0:3 t2:1} with threads in ascending
+// order; ⊥CV renders as {}.
+func (v CV) String() string {
+	ts := v.Threads()
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range ts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "t%d:%d", int(t), int64(v.clocks[t]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Equal reports whether two vectors have identical components.
+func (v CV) Equal(w CV) bool { return v.Leq(w) && w.Leq(v) }

@@ -1,0 +1,204 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memmodel"
+)
+
+// genCV builds a deterministic small vector from three seeds so that
+// testing/quick can explore the lattice structure.
+func genCV(a, b, c uint8) CV {
+	v := Bottom()
+	v = v.WithClock(0, Clock(a%7))
+	v = v.WithClock(1, Clock(b%7))
+	v = v.WithClock(2, Clock(c%7))
+	return v
+}
+
+func TestBottom(t *testing.T) {
+	v := Bottom()
+	if !v.IsBottom() {
+		t.Fatalf("Bottom() is not bottom: %v", v)
+	}
+	if got := v.At(3); got != 0 {
+		t.Fatalf("Bottom().At(3) = %d, want 0", got)
+	}
+	if s := v.String(); s != "{}" {
+		t.Fatalf("Bottom().String() = %q, want {}", s)
+	}
+}
+
+func TestIncIsPerThread(t *testing.T) {
+	v := Bottom().Inc(2).Inc(2).Inc(5)
+	if got := v.At(2); got != 2 {
+		t.Fatalf("At(2) = %d, want 2", got)
+	}
+	if got := v.At(5); got != 1 {
+		t.Fatalf("At(5) = %d, want 1", got)
+	}
+	if got := v.At(0); got != 0 {
+		t.Fatalf("At(0) = %d, want 0", got)
+	}
+}
+
+func TestIncDoesNotMutateReceiver(t *testing.T) {
+	v := Bottom().Inc(1)
+	w := v.Inc(1)
+	if v.At(1) != 1 {
+		t.Fatalf("receiver mutated: v.At(1) = %d, want 1", v.At(1))
+	}
+	if w.At(1) != 2 {
+		t.Fatalf("w.At(1) = %d, want 2", w.At(1))
+	}
+}
+
+func TestJoinDoesNotMutate(t *testing.T) {
+	v := Bottom().Inc(0)
+	w := Bottom().Inc(1)
+	u := v.Join(w)
+	if v.At(1) != 0 || w.At(0) != 0 {
+		t.Fatalf("Join mutated operands: v=%v w=%v", v, w)
+	}
+	if u.At(0) != 1 || u.At(1) != 1 {
+		t.Fatalf("Join result wrong: %v", u)
+	}
+}
+
+func TestLeqBasic(t *testing.T) {
+	v := Bottom().Inc(0)
+	w := v.Inc(0).Inc(1)
+	if !v.Leq(w) {
+		t.Fatalf("v ≤ w expected: v=%v w=%v", v, w)
+	}
+	if w.Leq(v) {
+		t.Fatalf("w ≤ v unexpected: v=%v w=%v", v, w)
+	}
+	// Incomparable pair.
+	a := Bottom().Inc(0)
+	b := Bottom().Inc(1)
+	if a.Leq(b) || b.Leq(a) {
+		t.Fatalf("a, b should be incomparable: a=%v b=%v", a, b)
+	}
+}
+
+func TestString(t *testing.T) {
+	v := Bottom().Inc(1).Inc(0).Inc(1)
+	if s := v.String(); s != "{t0:1 t1:2}" {
+		t.Fatalf("String() = %q, want {t0:1 t1:2}", s)
+	}
+}
+
+// Property: Join is commutative, associative, idempotent, with Bottom as
+// identity — the lattice laws the happens-before tracking relies on.
+func TestJoinLatticeLaws(t *testing.T) {
+	commutative := func(a1, b1, c1, a2, b2, c2 uint8) bool {
+		x, y := genCV(a1, b1, c1), genCV(a2, b2, c2)
+		return x.Join(y).Equal(y.Join(x))
+	}
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Errorf("Join not commutative: %v", err)
+	}
+	associative := func(a1, b1, c1, a2, b2, c2, a3, b3, c3 uint8) bool {
+		x, y, z := genCV(a1, b1, c1), genCV(a2, b2, c2), genCV(a3, b3, c3)
+		return x.Join(y).Join(z).Equal(x.Join(y.Join(z)))
+	}
+	if err := quick.Check(associative, nil); err != nil {
+		t.Errorf("Join not associative: %v", err)
+	}
+	idempotent := func(a, b, c uint8) bool {
+		x := genCV(a, b, c)
+		return x.Join(x).Equal(x)
+	}
+	if err := quick.Check(idempotent, nil); err != nil {
+		t.Errorf("Join not idempotent: %v", err)
+	}
+	identity := func(a, b, c uint8) bool {
+		x := genCV(a, b, c)
+		return x.Join(Bottom()).Equal(x) && Bottom().Join(x).Equal(x)
+	}
+	if err := quick.Check(identity, nil); err != nil {
+		t.Errorf("Bottom not identity: %v", err)
+	}
+}
+
+// Property: Join is the least upper bound — both operands are ≤ the join,
+// and the join is ≤ any other upper bound.
+func TestJoinIsLUB(t *testing.T) {
+	upper := func(a1, b1, c1, a2, b2, c2 uint8) bool {
+		x, y := genCV(a1, b1, c1), genCV(a2, b2, c2)
+		j := x.Join(y)
+		return x.Leq(j) && y.Leq(j)
+	}
+	if err := quick.Check(upper, nil); err != nil {
+		t.Errorf("Join not an upper bound: %v", err)
+	}
+	least := func(a1, b1, c1, a2, b2, c2, a3, b3, c3 uint8) bool {
+		x, y := genCV(a1, b1, c1), genCV(a2, b2, c2)
+		z := genCV(a3, b3, c3)
+		if !(x.Leq(z) && y.Leq(z)) {
+			return true // z is not an upper bound; vacuous
+		}
+		return x.Join(y).Leq(z)
+	}
+	if err := quick.Check(least, nil); err != nil {
+		t.Errorf("Join not least: %v", err)
+	}
+}
+
+// Property: Leq is a partial order — reflexive, antisymmetric (via Equal),
+// transitive.
+func TestLeqPartialOrder(t *testing.T) {
+	reflexive := func(a, b, c uint8) bool {
+		x := genCV(a, b, c)
+		return x.Leq(x)
+	}
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Errorf("Leq not reflexive: %v", err)
+	}
+	antisym := func(a1, b1, c1, a2, b2, c2 uint8) bool {
+		x, y := genCV(a1, b1, c1), genCV(a2, b2, c2)
+		if x.Leq(y) && y.Leq(x) {
+			return x.Equal(y)
+		}
+		return true
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Errorf("Leq not antisymmetric: %v", err)
+	}
+	transitive := func(a1, b1, c1, a2, b2, c2, a3, b3, c3 uint8) bool {
+		x, y, z := genCV(a1, b1, c1), genCV(a2, b2, c2), genCV(a3, b3, c3)
+		if x.Leq(y) && y.Leq(z) {
+			return x.Leq(z)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, nil); err != nil {
+		t.Errorf("Leq not transitive: %v", err)
+	}
+}
+
+// Property: Inc strictly increases the vector and only in one component.
+func TestIncProperties(t *testing.T) {
+	prop := func(a, b, c uint8, tid uint8) bool {
+		x := genCV(a, b, c)
+		tt := memmodel.ThreadID(tid % 4)
+		y := x.Inc(tt)
+		if !x.Leq(y) || x.Equal(y) {
+			return false
+		}
+		if y.At(tt) != x.At(tt)+1 {
+			return false
+		}
+		for _, other := range []memmodel.ThreadID{0, 1, 2, 3} {
+			if other != tt && y.At(other) != x.At(other) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("Inc properties violated: %v", err)
+	}
+}

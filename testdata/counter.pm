@@ -1,0 +1,25 @@
+// A crash-logged counter: the log slot is persisted before the commit
+// flag, and recovery trusts the flag. The missing flush on the flag's
+// reset makes it observable stale. Exercises cas/faa/repeat/if.
+phase {
+  thread 0 {
+    repeat 3 {
+      let v = faa(counter, 1);
+      log = v + 1;
+      flushopt log;
+      sfence;
+      committed = 1;
+      // missing: flushopt committed; sfence;
+    }
+  }
+}
+phase {
+  thread 0 {
+    let c = load(committed);
+    if (c == 1) {
+      let l = load(log);
+      let n = load(counter);
+      assert(l <= n + 1);
+    }
+  }
+}

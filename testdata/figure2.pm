@@ -1,0 +1,16 @@
+// The paper's Figure 2: four stores with no flushes; the post-crash
+// reads r1=1, r2=2 have no strictly-persistent equivalent.
+phase {
+  thread 0 {
+    x = 1;
+    y = 1;
+    x = 2;
+    y = 2;
+  }
+}
+phase {
+  thread 0 {
+    let r1 = load(x);
+    let r2 = load(y);
+  }
+}

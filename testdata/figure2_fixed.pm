@@ -1,0 +1,24 @@
+// Figure 2 with the commit-store discipline applied: every store is
+// persisted (clflushopt + sfence) before the next overwrite. Robust.
+phase {
+  thread 0 {
+    x = 1;
+    flushopt x;
+    sfence;
+    y = 1;
+    flushopt y;
+    sfence;
+    x = 2;
+    flushopt x;
+    sfence;
+    y = 2;
+    flushopt y;
+    sfence;
+  }
+}
+phase {
+  thread 0 {
+    let r1 = load(x);
+    let r2 = load(y);
+  }
+}

@@ -1,0 +1,20 @@
+// The paper's Figure 7: flushing after every store is not enough.
+// Thread 0 may be paused between its store and its flush while thread 1
+// reads the store, publishes y, and persists it.
+phase {
+  thread 0 {
+    x = 1;
+    flush x;
+  }
+  thread 1 {
+    let r1 = load(x);
+    y = r1;
+    flush y;
+  }
+}
+phase {
+  thread 0 {
+    let r2 = load(x);
+    let r3 = load(y);
+  }
+}

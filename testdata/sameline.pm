@@ -1,0 +1,17 @@
+// Cache-line colocation: with x and y on one line their stores persist
+// in TSO order, so the Figure 2 pattern needs no flushes at all.
+sameline x y;
+phase {
+  thread 0 {
+    x = 1;
+    y = 1;
+    x = 2;
+    y = 2;
+  }
+}
+phase {
+  thread 0 {
+    let r1 = load(x);
+    let r2 = load(y);
+  }
+}
