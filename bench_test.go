@@ -6,6 +6,7 @@ package repro
 // renders, so `go test -bench .` regenerates every number.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/benchmarks"
@@ -87,6 +88,66 @@ func benchTable3(b *testing.B, disableChecker bool) {
 				})
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*perRun), "ns/execution")
+		})
+	}
+}
+
+// BenchmarkExploreParallel measures random-mode throughput of the
+// worker pool on FAST_FAIR at 1/2/4/8 workers. The results are
+// identical at every width (see determinism_test.go); only wall-clock
+// changes, and only on multi-core hardware.
+func BenchmarkExploreParallel(b *testing.B) {
+	bm := benchmarks.ByName("FAST_FAIR")
+	if bm == nil {
+		b.Fatal("FAST_FAIR not registered")
+	}
+	const perRun = 100
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := explore.Run(bm.Build(bench.Buggy), explore.Options{
+					Mode:       explore.Random,
+					Executions: perRun,
+					Seed:       int64(i + 1),
+					Workers:    workers,
+				})
+				if res.Executions != perRun {
+					b.Fatalf("ran %d executions, want %d", res.Executions, perRun)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*perRun), "ns/execution")
+		})
+	}
+}
+
+// BenchmarkStateCache measures model checking on FAST_FAIR with the
+// post-crash state cache on and off: the cached run prunes sub-DFS
+// subtrees whose surviving persistent image was already explored.
+func BenchmarkStateCache(b *testing.B) {
+	bm := benchmarks.ByName("FAST_FAIR")
+	if bm == nil {
+		b.Fatal("FAST_FAIR not registered")
+	}
+	const cap = 400
+	for _, cfg := range []struct {
+		name    string
+		noCache bool
+	}{{"on", false}, {"off", true}} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			var hits, misses int
+			for i := 0; i < b.N; i++ {
+				res := explore.Run(bm.Build(bench.Buggy), explore.Options{
+					Mode:         explore.ModelCheck,
+					Executions:   cap,
+					Workers:      1,
+					NoStateCache: cfg.noCache,
+				})
+				hits, misses = res.CacheHits, res.CacheMisses
+			}
+			b.ReportMetric(float64(hits), "cache-hits")
+			b.ReportMetric(float64(misses), "cache-misses")
 		})
 	}
 }

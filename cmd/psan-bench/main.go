@@ -29,12 +29,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	table := fs.String("table", "all", "which table to regenerate: 1, 2, 3, compare, or all")
 	execs := fs.Int("execs", 0, "override executions per benchmark (0: per-port default)")
 	seed := fs.Int64("seed", 1, "exploration seed")
+	workers := fs.Int("workers", 0, "parallel exploration workers (0: all CPUs, 1: serial); results are identical for any count")
 	violations := fs.String("violations", "", "print the detailed violation report for one benchmark")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	opt := report.Options{Executions: *execs, Seed: *seed}
+	opt := report.Options{Executions: *execs, Seed: *seed, Workers: *workers}
 	if *violations != "" {
 		out, err := report.Violations(*violations, opt)
 		if err != nil {

@@ -3,7 +3,7 @@
 // violations, exploring crash points and post-crash reads either
 // randomly or exhaustively:
 //
-//	psan [-mode random|mc] [-execs N] [-seed S] [-dump] program.pm
+//	psan [-mode random|mc] [-execs N] [-seed S] [-workers W] [-dump] program.pm
 //	psan -fix program.pm       # apply the suggested fixes, print the
 //	                           # repaired program
 //	psan -trace program.pm     # dump one execution's event trace
@@ -36,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mode := fs.String("mode", "mc", "exploration mode: mc (model checking) or random")
 	execs := fs.Int("execs", 10000, "execution budget (exact count in random mode, cap in mc mode)")
 	seed := fs.Int64("seed", 1, "random-mode seed")
+	workers := fs.Int("workers", 0, "parallel exploration workers (0: all CPUs, 1: serial); results are identical for any count")
 	dump := fs.Bool("dump", false, "print the parsed program structure")
 	fix := fs.Bool("fix", false, "apply PSan's suggested fixes until the program is clean and print it")
 	dumpTrace := fs.Bool("trace", false, "dump one crash-free execution's event trace and exit")
@@ -64,7 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, prog)
 	}
 	compiled := interp.New(fs.Arg(0), prog)
-	opts := explore.Options{Executions: *execs, Seed: *seed}
+	opts := explore.Options{Executions: *execs, Seed: *seed, Workers: *workers}
 	switch *mode {
 	case "mc":
 		opts.Mode = explore.ModelCheck

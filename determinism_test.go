@@ -1,0 +1,119 @@
+package repro
+
+// Determinism regression tests for the parallel exploration engine:
+// for every benchmark in the registry, a run with many workers must be
+// byte-identical to the serial run — same violation keys, same
+// execution counts, same abort counts — in both exploration modes, and
+// the model-check state cache must never change verdicts.
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+)
+
+// quickTest reports whether PSAN_TEST_QUICK=1 is set — the CI race run
+// uses it to keep the heavy exploration tests under a few minutes.
+func quickTest() bool {
+	return os.Getenv("PSAN_TEST_QUICK") != ""
+}
+
+// scaled returns n, cut down in quick mode.
+func scaled(n int) int {
+	if quickTest() {
+		return n / 5
+	}
+	return n
+}
+
+func assertSameOutcome(t *testing.T, context string, a, b *explore.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(a.ViolationKeys(), b.ViolationKeys()) {
+		t.Fatalf("%s: ViolationKeys differ\n  %d workers: %v\n  %d workers: %v",
+			context, a.Workers, a.ViolationKeys(), b.Workers, b.ViolationKeys())
+	}
+	if a.Executions != b.Executions {
+		t.Fatalf("%s: Executions %d vs %d", context, a.Executions, b.Executions)
+	}
+	if a.ExecutionsToAllBugs != b.ExecutionsToAllBugs {
+		t.Fatalf("%s: ExecutionsToAllBugs %d vs %d", context, a.ExecutionsToAllBugs, b.ExecutionsToAllBugs)
+	}
+	if a.Aborted != b.Aborted {
+		t.Fatalf("%s: Aborted %d vs %d", context, a.Aborted, b.Aborted)
+	}
+}
+
+// TestParallelDeterminismRandom: Workers:8 random search reproduces the
+// Workers:1 result bit for bit on every registered benchmark.
+func TestParallelDeterminismRandom(t *testing.T) {
+	execs := scaled(200)
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			opt := explore.Options{Mode: explore.Random, Executions: execs, Seed: 11}
+			opt.Workers = 1
+			serial := explore.Run(b.Build(bench.Buggy), opt)
+			opt.Workers = 8
+			parallel := explore.Run(b.Build(bench.Buggy), opt)
+			assertSameOutcome(t, b.Name, serial, parallel)
+		})
+	}
+}
+
+// TestParallelDeterminismModelCheck: the frontier-split DFS with 8
+// workers reproduces the serial sub-DFS exactly, including where the
+// Executions cap truncates the search.
+func TestParallelDeterminismModelCheck(t *testing.T) {
+	execs := scaled(400)
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			opt := explore.Options{Mode: explore.ModelCheck, Executions: execs}
+			opt.Workers = 1
+			serial := explore.Run(b.Build(bench.Buggy), opt)
+			opt.Workers = 8
+			parallel := explore.Run(b.Build(bench.Buggy), opt)
+			assertSameOutcome(t, b.Name, serial, parallel)
+			if serial.Executions == 0 {
+				t.Fatal("no executions ran")
+			}
+		})
+	}
+}
+
+// TestStateCacheSoundOnBenchmarks: pruning crash points with identical
+// surviving images must never lose a bug. Under a binding Executions
+// cap the cached run advances further through the decision tree and may
+// legitimately find additional bugs, so the invariant is one-sided:
+// every violation the uncached run reports, the cached run reports too.
+func TestStateCacheSoundOnBenchmarks(t *testing.T) {
+	execs := scaled(400)
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			cached := explore.Run(b.Build(bench.Buggy), explore.Options{
+				Mode: explore.ModelCheck, Executions: execs, Workers: 1,
+			})
+			uncached := explore.Run(b.Build(bench.Buggy), explore.Options{
+				Mode: explore.ModelCheck, Executions: execs, Workers: 1, NoStateCache: true,
+			})
+			have := make(map[string]bool)
+			for _, k := range cached.ViolationKeys() {
+				have[k] = true
+			}
+			for _, k := range uncached.ViolationKeys() {
+				if !have[k] {
+					t.Fatalf("state cache lost violation %s\n  cached:   %v\n  uncached: %v",
+						k, cached.ViolationKeys(), uncached.ViolationKeys())
+				}
+			}
+			if cached.CacheHits+cached.CacheMisses == 0 {
+				t.Fatal("cache saw no lookups")
+			}
+		})
+	}
+}

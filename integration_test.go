@@ -115,17 +115,19 @@ func TestTestdataManifestComplete(t *testing.T) {
 
 // TestStressAllBenchmarksModelCheck gives every port a bounded
 // model-checking pass on top of its random-mode runs — a soak that
-// shakes out exploration bugs. Skipped in -short mode.
+// shakes out exploration bugs. Skipped in -short mode; PSAN_TEST_QUICK
+// (the CI race run) cuts the execution budget.
 func TestStressAllBenchmarksModelCheck(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test")
 	}
+	execs := scaled(1500)
 	for _, b := range benchmarks.All() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
 			res := explore.Run(b.Build(bench.Buggy), explore.Options{
 				Mode:       explore.ModelCheck,
-				Executions: 1500,
+				Executions: execs,
 			})
 			if res.Executions == 0 {
 				t.Fatal("no executions ran")

@@ -439,24 +439,47 @@ func Build(v bench.Variant) explore.Program {
 	return build(v)
 }
 
-func build(v bench.Variant) explore.Program {
+// workloadPhase is the pre-crash phase: constructor, six inserts
+// (forcing the N4→N16 grow), a GC pass, driver marker.
+func workloadPhase(a *art) func(*pmem.World) {
+	return func(w *pmem.World) {
+		th := w.Thread(0)
+		a.create(th)
+		for k := memmodel.Value(1); k <= 6; k++ {
+			a.insert(th, k, k*10)
+		}
+		a.collectGarbage(th)
+		th.Store(markerAddr, 6, "driver marker")
+		th.Persist(markerAddr, memmodel.WordSize, "persist driver marker")
+	}
+}
+
+// template runs the workload once, crash-free, on a throwaway world to
+// learn the mirror addresses (Epoche, deletion lists, allocator). The
+// heap allocator is deterministic, so every execution allocates the
+// same addresses; recovery treats the mirrors as statically-known
+// restart-time layout even when the crash preempted the assignment.
+func template(v bench.Variant) *art {
 	a := &art{v: v}
-	return &explore.FuncProgram{
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	w.Checker.SetEnabled(false)
+	w.RunPhase(workloadPhase(a))
+	return a
+}
+
+func build(v bench.Variant) explore.Program {
+	tmpl := template(v)
+	return &explore.InstancedProgram{
 		ProgName: "P-ART-" + v.String(),
-		PhaseFns: []func(*pmem.World){
-			func(w *pmem.World) {
-				th := w.Thread(0)
-				a.create(th)
-				for k := memmodel.Value(1); k <= 6; k++ {
-					a.insert(th, k, k*10)
-				}
-				a.collectGarbage(th)
-				th.Store(markerAddr, 6, "driver marker")
-				th.Persist(markerAddr, memmodel.WordSize, "persist driver marker")
-			},
-			func(w *pmem.World) {
-				a.recover(w.Thread(0))
-			},
+		New: func() []func(*pmem.World) {
+			a := &art{}
+			*a = *tmpl
+			return []func(*pmem.World){
+				workloadPhase(a),
+				func(w *pmem.World) {
+					a.recover(w.Thread(0))
+				},
+			}
 		},
 	}
 }

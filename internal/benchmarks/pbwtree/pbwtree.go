@@ -228,26 +228,51 @@ func (t *bwTree) recover(th *pmem.Thread) {
 	}
 }
 
-// Build constructs the exploration program for a variant: constructor,
-// thread-local GC setup, five inserts (forcing one GrowChunk), recovery.
-func Build(v bench.Variant) explore.Program {
+// workloadPhase is the pre-crash phase: constructor, thread-local GC
+// setup, five inserts (forcing one GrowChunk), driver marker.
+func workloadPhase(t *bwTree) func(*pmem.World) {
+	return func(w *pmem.World) {
+		th := w.Thread(0)
+		t.create(th)
+		t.prepareThreadLocal(th)
+		for k := memmodel.Value(1); k <= 5; k++ {
+			t.insert(th, k, k*10)
+		}
+		th.Store(markerAddr, 5, "driver marker")
+		th.Persist(markerAddr, memmodel.WordSize, "persist driver marker")
+	}
+}
+
+// template runs the workload once, crash-free, on a throwaway world to
+// learn the mirror addresses (mapping table, allocator, epoch manager,
+// GC arena). The heap allocator is deterministic, so every execution
+// allocates the same addresses; recovery treats the mirrors as the
+// statically-known thread-local layout the original C++ restart code
+// has, even when the crash preempted the assignment.
+func template(v bench.Variant) *bwTree {
 	t := &bwTree{v: v}
-	return &explore.FuncProgram{
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	w.Checker.SetEnabled(false)
+	w.RunPhase(workloadPhase(t))
+	return t
+}
+
+// Build constructs the exploration program for a variant. Each
+// execution gets a fresh bwTree instance (pre-seeded from the template)
+// so concurrent executions never share the mirror fields.
+func Build(v bench.Variant) explore.Program {
+	tmpl := template(v)
+	return &explore.InstancedProgram{
 		ProgName: "P-BwTree-" + v.String(),
-		PhaseFns: []func(*pmem.World){
-			func(w *pmem.World) {
-				th := w.Thread(0)
-				t.create(th)
-				t.prepareThreadLocal(th)
-				for k := memmodel.Value(1); k <= 5; k++ {
-					t.insert(th, k, k*10)
-				}
-				th.Store(markerAddr, 5, "driver marker")
-				th.Persist(markerAddr, memmodel.WordSize, "persist driver marker")
-			},
-			func(w *pmem.World) {
-				t.recover(w.Thread(0))
-			},
+		New: func() []func(*pmem.World) {
+			t := &bwTree{}
+			*t = *tmpl
+			return []func(*pmem.World){
+				workloadPhase(t),
+				func(w *pmem.World) {
+					t.recover(w.Thread(0))
+				},
+			}
 		},
 	}
 }

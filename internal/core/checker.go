@@ -188,6 +188,10 @@ const globalThread = memmodel.ThreadID(-2)
 
 // Checker is a PSan robustness checker attached to one execution trace.
 // It is not safe for concurrent use, mirroring the serialized simulator.
+// All of its state — the constraint map, violation list, and seen-set —
+// is per-instance with no package-level sharing, so the parallel
+// exploration engine runs one Checker per world on its own goroutine
+// and never shares one across executions.
 type Checker struct {
 	tr       *trace.Trace
 	opt      Options

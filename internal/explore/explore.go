@@ -19,6 +19,7 @@ package explore
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -54,6 +55,25 @@ func (p *FuncProgram) Name() string { return p.ProgName }
 // Phases implements Program.
 func (p *FuncProgram) Phases() []func(*pmem.World) { return p.PhaseFns }
 
+// InstancedProgram builds a fresh set of phase closures for every
+// execution. Ports whose phase functions mutate receiver state (pointer
+// mirrors filled in during the pre-crash phase) use it so concurrent
+// executions never share that state: the harness calls Phases once per
+// execution, and each call gets its own instance.
+type InstancedProgram struct {
+	ProgName string
+	// New returns a freshly instantiated phase slice. It must be safe
+	// to call from multiple goroutines and each returned slice must be
+	// independent of every other.
+	New func() []func(*pmem.World)
+}
+
+// Name implements Program.
+func (p *InstancedProgram) Name() string { return p.ProgName }
+
+// Phases implements Program.
+func (p *InstancedProgram) Phases() []func(*pmem.World) { return p.New() }
+
 // Mode selects the exploration strategy.
 type Mode int
 
@@ -81,6 +101,20 @@ type Options struct {
 	Executions int
 	// Seed seeds Random mode; ModelCheck is deterministic.
 	Seed int64
+	// Workers is the number of parallel exploration workers: 0 uses
+	// runtime.NumCPU(), 1 runs the exact serial algorithm. Any worker
+	// count produces bit-identical results: in Random mode each
+	// execution's seed is derived from its index alone (never a shared
+	// RNG), and in ModelCheck mode per-subtree results are assembled in
+	// canonical depth-first order, so scheduling cannot leak into
+	// Violations, ExecutionsToAllBugs, or Aborted.
+	Workers int
+	// NoStateCache disables the post-crash state cache (ModelCheck
+	// mode): crash points whose surviving persistent image is identical
+	// to one already explored are normally pruned, since they present
+	// identical read candidates to every post-crash load. See
+	// statecache.go for the key definition and the soundness argument.
+	NoStateCache bool
 	// Px86 configures the simulated machine.
 	Px86 px86.Config
 	// OpLimit bounds operations per execution (0: pmem default).
@@ -98,11 +132,19 @@ type Options struct {
 	// stores that were issued but never reached the cache before the
 	// crash.
 	StoreBuffers bool
-	// Progress, when non-nil, receives one call per execution.
+	// Progress, when non-nil, receives one call per completed execution
+	// with its 1-based execution index. Even with Workers > 1 the calls
+	// are serialized through the result collector: they never run
+	// concurrently and the indices are strictly increasing (1, 2, …),
+	// regardless of the order worker goroutines finish in.
 	Progress func(exec int)
 	// AfterExecution, when non-nil, receives each execution's world
 	// after its phases complete, letting post-hoc analyses (the baseline
-	// checkers of §6.4) inspect the trace.
+	// checkers of §6.4) inspect the trace. Like Progress it is
+	// serialized through the collector and called in execution-index
+	// order. In ModelCheck mode setting it forces the serial engine
+	// (Workers is ignored and the state cache is off), since the
+	// parallel engine does not retain worlds.
 	AfterExecution func(*pmem.World)
 }
 
@@ -117,15 +159,31 @@ type Result struct {
 	ExecutionsToAllBugs int
 	Aborted             int
 	Elapsed             time.Duration
+	// Workers is the resolved worker count the run used.
+	Workers int
+	// WorkerTime is the summed per-execution wall-clock time across all
+	// workers. PerExecution divides by it when set, so per-execution
+	// cost (the Table 3 methodology) stays meaningful under
+	// parallelism: each execution is still timed on its own worker.
+	WorkerTime time.Duration
+	// CacheHits and CacheMisses count post-crash state-cache lookups in
+	// ModelCheck mode: a hit is a crash point whose surviving
+	// persistent image was already explored, pruning its entire
+	// post-crash enumeration.
+	CacheHits, CacheMisses int
 	// Violations are deduplicated across executions by bug identity
 	// (store-site pair + diagnosis kind), in first-found order.
 	Violations []*core.Violation
 }
 
-// PerExecution returns the mean wall-clock time per execution.
+// PerExecution returns the mean wall-clock time per execution, measured
+// on the worker that ran it.
 func (r *Result) PerExecution() time.Duration {
 	if r.Executions == 0 {
 		return 0
+	}
+	if r.WorkerTime > 0 {
+		return r.WorkerTime / time.Duration(r.Executions)
 	}
 	return r.Elapsed / time.Duration(r.Executions)
 }
@@ -150,6 +208,9 @@ func (r *Result) String() string {
 func Run(p Program, opt Options) *Result {
 	if opt.Executions == 0 {
 		opt.Executions = 1000
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.NumCPU()
 	}
 	switch opt.Mode {
 	case ModelCheck:
@@ -176,7 +237,13 @@ func (r *Result) mergeViolations(seen map[string]bool, vs []*core.Violation, exe
 // whether the execution aborted on its op budget, and for each non-final
 // phase whether the crash injection actually fired (false means the
 // phase ran to completion and crashed at its end).
-func runPhases(p Program, w *pmem.World, crashTargets []int) (aborted bool, injected []bool) {
+//
+// onCrash, when non-nil, is invoked after each crash (machine already
+// crashed, sealed image in place) with the phase index and whether the
+// injection fired; returning false abandons the remaining phases — the
+// state cache uses this to prune continuations it has already explored.
+// pruned reports whether that happened.
+func runPhases(p Program, w *pmem.World, crashTargets []int, onCrash func(phase int, fired bool) bool) (aborted bool, injected []bool, pruned bool) {
 	injected = make([]bool, len(crashTargets))
 	defer func() {
 		if r := recover(); r != nil {
@@ -199,18 +266,57 @@ func runPhases(p Program, w *pmem.World, crashTargets []int) (aborted bool, inje
 		if !last {
 			injected[i] = crashed
 			w.Crash()
+			if onCrash != nil && !onCrash(i, crashed) {
+				return false, injected, true
+			}
 		}
 	}
-	return false, injected
+	return false, injected, false
 }
 
-// runRandom implements random search mode.
-func runRandom(p Program, opt Options) *Result {
-	res := &Result{Program: p.Name(), Mode: Random}
-	seen := make(map[string]bool)
-	start := time.Now()
-	numPre := len(p.Phases()) - 1
+// execOutcome is one execution's contribution to the result, produced
+// on a worker and folded in by the collector in index order.
+type execOutcome struct {
+	index      int // 0-based execution index
+	aborted    bool
+	violations []*core.Violation
+	// world is retained only when AfterExecution needs it.
+	world   *pmem.World
+	elapsed time.Duration
+}
 
+// collect folds one execution's outcome into the result. Callers must
+// invoke it in strictly increasing index order (the collector contract
+// behind Progress and AfterExecution).
+func (r *Result) collect(o execOutcome, seen map[string]bool, opt *Options) {
+	if o.aborted {
+		r.Aborted++
+	}
+	r.mergeViolations(seen, o.violations, o.index+1)
+	r.Executions++
+	r.WorkerTime += o.elapsed
+	if opt.AfterExecution != nil && o.world != nil {
+		opt.AfterExecution(o.world)
+	}
+	if opt.Progress != nil {
+		opt.Progress(o.index + 1)
+	}
+}
+
+// randomPlan is the per-run immutable context shared by all random-mode
+// workers: the pilot's crash-point ranges and the derived machine
+// configuration. Everything per-execution lives in the World.
+type randomPlan struct {
+	pilotCounts []int
+	chooser     pmem.ReadChooser
+	px          px86.Config
+	drainPct    int
+	keepWorld   bool
+}
+
+// planRandom runs the pilot execution and fixes the per-run knobs.
+func planRandom(p Program, opt *Options) *randomPlan {
+	numPre := len(p.Phases()) - 1
 	// Pilot execution: run crash-free to size the crash-point ranges.
 	pilotCounts := make([]int, numPre)
 	pilot := pmem.NewWorld(pmem.Config{Px86: opt.Px86, Seed: opt.Seed, OpLimit: opt.OpLimit})
@@ -227,34 +333,62 @@ func runRandom(p Program, opt Options) *Result {
 		px.DelayedCommit = true
 		drainPct = 25
 	}
-	for exec := 0; exec < opt.Executions; exec++ {
-		seed := opt.Seed + int64(exec)*2654435761
-		w := pmem.NewWorld(pmem.Config{
-			Px86:               px,
-			Seed:               seed,
-			OpLimit:            opt.OpLimit,
-			Chooser:            chooser,
-			RandomDrainPercent: drainPct,
-		})
-		if opt.DisableChecker {
-			w.Checker.SetEnabled(false)
-		}
-		targets := make([]int, numPre)
-		for i := range targets {
-			// Uniform over [0, count]: before each fence-like op, or
-			// past the end (crash after the last operation).
-			targets[i] = w.Rand().Intn(pilotCounts[i] + 1)
-		}
-		if aborted, _ := runPhases(p, w, targets); aborted {
-			res.Aborted++
-		}
-		res.mergeViolations(seen, w.Checker.Violations(), exec+1)
-		res.Executions++
-		if opt.AfterExecution != nil {
-			opt.AfterExecution(w)
-		}
-		if opt.Progress != nil {
-			opt.Progress(exec)
+	return &randomPlan{
+		pilotCounts: pilotCounts,
+		chooser:     chooser,
+		px:          px,
+		drainPct:    drainPct,
+		keepWorld:   opt.AfterExecution != nil,
+	}
+}
+
+// randomExecution runs execution exec of a random-mode run. The seed is
+// derived from the execution index alone, so the outcome is independent
+// of which worker runs it and of every other execution.
+func randomExecution(p Program, opt *Options, plan *randomPlan, exec int) execOutcome {
+	start := time.Now()
+	seed := opt.Seed + int64(exec)*2654435761
+	w := pmem.NewWorld(pmem.Config{
+		Px86:               plan.px,
+		Seed:               seed,
+		OpLimit:            opt.OpLimit,
+		Chooser:            plan.chooser,
+		RandomDrainPercent: plan.drainPct,
+	})
+	if opt.DisableChecker {
+		w.Checker.SetEnabled(false)
+	}
+	targets := make([]int, len(plan.pilotCounts))
+	for i := range targets {
+		// Uniform over [0, count]: before each fence-like op, or
+		// past the end (crash after the last operation).
+		targets[i] = w.Rand().Intn(plan.pilotCounts[i] + 1)
+	}
+	aborted, _, _ := runPhases(p, w, targets, nil)
+	o := execOutcome{
+		index:      exec,
+		aborted:    aborted,
+		violations: w.Checker.Violations(),
+		elapsed:    time.Since(start),
+	}
+	if plan.keepWorld {
+		o.world = w
+	}
+	return o
+}
+
+// runRandom implements random search mode: serial below two workers,
+// fan-out through the ordered collector otherwise (pool.go).
+func runRandom(p Program, opt Options) *Result {
+	res := &Result{Program: p.Name(), Mode: Random, Workers: opt.Workers}
+	seen := make(map[string]bool)
+	start := time.Now()
+	plan := planRandom(p, &opt)
+	if opt.Workers > 1 {
+		runRandomParallel(p, &opt, plan, res, seen)
+	} else {
+		for exec := 0; exec < opt.Executions; exec++ {
+			res.collect(randomExecution(p, &opt, plan, exec), seen, &opt)
 		}
 	}
 	res.Elapsed = time.Since(start)
@@ -334,9 +468,39 @@ func (c *controller) backtrack() bool {
 	return false
 }
 
-// runModelCheck implements the exhaustive mode.
+// mcWorld builds a fresh model-checking world whose read choices replay
+// and extend the controller's decision trail.
+func mcWorld(opt *Options, ctl *controller) *pmem.World {
+	w := pmem.NewWorld(pmem.Config{
+		Px86:    opt.Px86,
+		Seed:    0,
+		OpLimit: opt.OpLimit,
+		Chooser: func(_ *pmem.World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ string) px86.Candidate {
+			return cands[ctl.next(len(cands))]
+		},
+	})
+	if opt.DisableChecker {
+		w.Checker.SetEnabled(false)
+	}
+	return w
+}
+
+// runModelCheck implements the exhaustive mode. The work is split over
+// Options.Workers sub-DFS workers, one per crash-target subtree
+// (pool.go); an AfterExecution callback forces the serial engine, which
+// retains and hands over each world.
 func runModelCheck(p Program, opt Options) *Result {
-	res := &Result{Program: p.Name(), Mode: ModelCheck}
+	if opt.AfterExecution != nil {
+		return runModelCheckSerial(p, opt)
+	}
+	return newMCEngine(p, &opt).run()
+}
+
+// runModelCheckSerial is the single-goroutine DFS: one controller walks
+// the whole decision tree, worlds are handed to AfterExecution as they
+// complete, and the state cache is off (every execution is observable).
+func runModelCheckSerial(p Program, opt Options) *Result {
+	res := &Result{Program: p.Name(), Mode: ModelCheck, Workers: 1}
 	seen := make(map[string]bool)
 	start := time.Now()
 	ctl := &controller{}
@@ -344,17 +508,8 @@ func runModelCheck(p Program, opt Options) *Result {
 
 	for {
 		ctl.pos = 0
-		w := pmem.NewWorld(pmem.Config{
-			Px86:    opt.Px86,
-			Seed:    0,
-			OpLimit: opt.OpLimit,
-			Chooser: func(_ *pmem.World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ string) px86.Candidate {
-				return cands[ctl.next(len(cands))]
-			},
-		})
-		if opt.DisableChecker {
-			w.Checker.SetEnabled(false)
-		}
+		execStart := time.Now()
+		w := mcWorld(&opt, ctl)
 		// Crash-target decisions come first in the trail, one per
 		// non-final phase, so their indices are stable.
 		targets := make([]int, numPre)
@@ -363,10 +518,7 @@ func runModelCheck(p Program, opt Options) *Result {
 			decIdx[i] = ctl.pos
 			targets[i] = ctl.next(-1)
 		}
-		aborted, injected := runPhases(p, w, targets)
-		if aborted {
-			res.Aborted++
-		}
+		aborted, injected, _ := runPhases(p, w, targets, nil)
 		// Close any crash-target decision whose injection did not fire:
 		// the phase ran to completion, so larger targets are equivalent
 		// to this one ("crash after the last operation", §6.1).
@@ -375,14 +527,13 @@ func runModelCheck(p Program, opt Options) *Result {
 				ctl.closeCurrent(decIdx[i], targets[i]+1)
 			}
 		}
-		res.mergeViolations(seen, w.Checker.Violations(), res.Executions+1)
-		res.Executions++
-		if opt.AfterExecution != nil {
-			opt.AfterExecution(w)
-		}
-		if opt.Progress != nil {
-			opt.Progress(res.Executions)
-		}
+		res.collect(execOutcome{
+			index:      res.Executions,
+			aborted:    aborted,
+			violations: w.Checker.Violations(),
+			world:      w,
+			elapsed:    time.Since(execStart),
+		}, seen, &opt)
 		if res.Executions >= opt.Executions {
 			break
 		}

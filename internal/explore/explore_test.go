@@ -256,7 +256,9 @@ func TestStoreBuffersMode(t *testing.T) {
 			},
 		},
 	}
-	res = Run(fixed, Options{Mode: Random, Executions: 300, Seed: 9, StoreBuffers: true})
+	// Workers: 1 because the sawInitial closure is shared across
+	// executions; parallel workers would race on it.
+	res = Run(fixed, Options{Mode: Random, Executions: 300, Seed: 9, StoreBuffers: true, Workers: 1})
 	if len(res.Violations) != 0 {
 		t.Fatalf("buffered flush program flagged: %v", res.ViolationKeys())
 	}

@@ -1,0 +1,266 @@
+// Parallel exploration engine: a worker pool for random mode and a
+// frontier-split depth-first search for model-checking mode.
+//
+// Determinism is the design constraint. Per-execution worlds are fully
+// self-contained (machine, trace, checker, heap, RNG), so executions
+// can run on any worker; what must not leak is *scheduling*. Random
+// mode derives every execution's seed from its index, and a collector
+// folds outcomes into the result strictly in index order. Model-check
+// mode splits the DFS at the first decision — the phase-0 crash target
+// — into independent subtrees, runs each subtree's sub-DFS serially on
+// one worker, and assembles the per-subtree execution lists in subtree
+// order, truncated at the Executions cap, which is byte-for-byte the
+// order the serial DFS visits. See DESIGN.md, "Parallel exploration".
+package explore
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// collectorSlack bounds how far ahead of the collector workers may run:
+// at most Workers*collectorSlack executions are in flight or buffered
+// out of order at once, which bounds retained worlds/violations.
+const collectorSlack = 4
+
+// runRandomParallel fans random-mode executions over opt.Workers
+// goroutines and folds outcomes through the ordered collector. Results
+// are bit-identical to the serial loop: seeds depend only on indices,
+// and collect runs in index order on the calling goroutine.
+func runRandomParallel(p Program, opt *Options, plan *randomPlan, res *Result, seen map[string]bool) {
+	tokens := make(chan struct{}, opt.Workers*collectorSlack)
+	outc := make(chan execOutcome, opt.Workers*collectorSlack)
+	var next int64 = -1
+	for i := 0; i < opt.Workers; i++ {
+		go func() {
+			for {
+				tokens <- struct{}{} // wait for the collector to keep up
+				exec := int(atomic.AddInt64(&next, 1))
+				if exec >= opt.Executions {
+					<-tokens
+					return
+				}
+				outc <- randomExecution(p, opt, plan, exec)
+			}
+		}()
+	}
+	// Ordered collector: buffer out-of-order outcomes, emit in index
+	// order, releasing one token per emitted execution. Any pending
+	// index is held by a worker that owns a token, so the collector can
+	// never wait on a worker that is blocked acquiring one.
+	pending := make(map[int]execOutcome)
+	for nextIdx := 0; nextIdx < opt.Executions; {
+		o := <-outc
+		pending[o.index] = o
+		for {
+			q, ok := pending[nextIdx]
+			if !ok {
+				break
+			}
+			delete(pending, nextIdx)
+			res.collect(q, seen, opt)
+			nextIdx++
+			<-tokens
+		}
+	}
+}
+
+// --- model checking: frontier-split DFS ---
+
+// mcExec is one completed execution inside a subtree, in sub-DFS order.
+type mcExec struct {
+	aborted    bool
+	violations []*core.Violation
+}
+
+// mcSubtree is the record of one crash-target subtree: every execution
+// of the DFS whose phase-0 crash target equals the subtree's ordinal.
+type mcSubtree struct {
+	execs []mcExec
+	// pruned: the subtree's crash-0 persistent image matched an earlier
+	// subtree's, so its whole enumeration was skipped (state cache).
+	pruned bool
+	// work is the wall-clock time this subtree's worker spent,
+	// including a pruned first execution's pre-crash phase.
+	work time.Duration
+}
+
+// mcEngine coordinates the parallel model-checking run.
+type mcEngine struct {
+	p      Program
+	opt    *Options
+	numPre int
+
+	// sem bounds worker concurrency; each subtree goroutine holds one
+	// slot for its whole sub-DFS.
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu    sync.Mutex
+	subs  []*mcSubtree // indexed by subtree ordinal (= phase-0 target)
+	cache *stateCache  // nil when disabled
+}
+
+func newMCEngine(p Program, opt *Options) *mcEngine {
+	e := &mcEngine{
+		p:      p,
+		opt:    opt,
+		numPre: len(p.Phases()) - 1,
+		sem:    make(chan struct{}, opt.Workers),
+	}
+	if !opt.NoStateCache && e.numPre > 0 {
+		e.cache = newStateCache()
+	}
+	return e
+}
+
+// subtree returns (allocating if needed) the record for ordinal v.
+func (e *mcEngine) subtree(v int) *mcSubtree {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.subs) <= v {
+		e.subs = append(e.subs, &mcSubtree{})
+	}
+	return e.subs[v]
+}
+
+// allowance reports whether subtree v, having run mine executions, may
+// run another under the global cap. It compares against the cap minus
+// the executions recorded by all earlier subtrees: since their counts
+// only grow toward their final values, the bound is conservative — a
+// subtree can overshoot (trimmed at assembly) but never stops before
+// producing every execution the canonical first-cap prefix needs.
+func (e *mcEngine) allowance(v, mine int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sum := 0
+	for i := 0; i < v && i < len(e.subs); i++ {
+		sum += len(e.subs[i].execs)
+	}
+	return mine < e.opt.Executions-sum
+}
+
+// spawn starts subtree v's sub-DFS once a worker slot frees up. It is
+// called either for the root (v=0) or from subtree v-1 after its first
+// execution registered its crash-0 image, which makes the state-cache
+// registration order — and so the hit/miss pattern — deterministic.
+func (e *mcEngine) spawn(v int) {
+	e.subtree(v) // allocate the record before the goroutine races to it
+	e.wg.Add(1)
+	go e.runSubtree(v)
+}
+
+// runSubtree runs the full sub-DFS of subtree v: every execution whose
+// phase-0 crash target is v, enumerated exactly as the serial DFS
+// would. The controller trail is primed with the closed decision
+// {val: v, domain: v+1}, so backtracking exhausts the subtree and stops.
+func (e *mcEngine) runSubtree(v int) {
+	defer e.wg.Done()
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+
+	sub := e.subtree(v)
+	start := time.Now()
+	defer func() {
+		e.mu.Lock()
+		sub.work += time.Since(start)
+		e.mu.Unlock()
+	}()
+
+	ctl := &controller{}
+	if e.numPre > 0 {
+		ctl.trail = []decision{{val: v, domain: v + 1}}
+	}
+	first := true
+	for {
+		if !e.allowance(v, len(sub.execs)) {
+			return
+		}
+		ctl.pos = 0
+		w := mcWorld(e.opt, ctl)
+		targets := make([]int, e.numPre)
+		decIdx := make([]int, e.numPre)
+		for i := range targets {
+			decIdx[i] = ctl.pos
+			targets[i] = ctl.next(-1)
+		}
+		var onCrash func(phase int, fired bool) bool
+		if first {
+			// The subtree's first execution classifies the subtree at
+			// its first crash: record whether the injection fired (so
+			// the next subtree exists), then consult the state cache —
+			// every execution of the subtree shares the same phase-0
+			// prefix and so the same crash-0 image.
+			onCrash = func(phase int, fired bool) bool {
+				if phase != 0 {
+					return true
+				}
+				keep := true
+				if e.cache != nil {
+					if hit := e.cache.lookupOrRegister(stateKey(w)); hit {
+						sub.pruned = true
+						keep = false
+					}
+				}
+				if fired && e.numPre > 0 {
+					e.spawn(v + 1)
+				}
+				return keep
+			}
+		}
+		aborted, injected, pruned := runPhases(e.p, w, targets, onCrash)
+		first = false
+		if pruned {
+			// The whole subtree is a duplicate of one already explored;
+			// it contributes no executions.
+			return
+		}
+		// Close crash-target decisions whose injection did not fire
+		// (phase ran to completion; larger targets are equivalent). The
+		// primed phase-0 decision is born closed and skipped here.
+		for i, fired := range injected {
+			if !fired && ctl.trail[decIdx[i]].domain < 0 {
+				ctl.closeCurrent(decIdx[i], targets[i]+1)
+			}
+		}
+		e.mu.Lock()
+		sub.execs = append(sub.execs, mcExec{aborted: aborted, violations: w.Checker.Violations()})
+		e.mu.Unlock()
+		if !ctl.backtrack() {
+			return
+		}
+	}
+}
+
+// run executes the engine and assembles the canonical result.
+func (e *mcEngine) run() *Result {
+	res := &Result{Program: e.p.Name(), Mode: ModelCheck, Workers: e.opt.Workers}
+	start := time.Now()
+	e.spawn(0)
+	e.wg.Wait()
+
+	// Assembly: concatenate subtree execution lists in subtree order —
+	// exactly the serial DFS visit order — and truncate at the cap.
+	// Collector callbacks (Progress) therefore see strictly increasing
+	// indices no matter how the subtrees were scheduled.
+	seen := make(map[string]bool)
+	idx := 0
+	for _, sub := range e.subs {
+		res.WorkerTime += sub.work
+		for _, ex := range sub.execs {
+			if idx >= e.opt.Executions {
+				break
+			}
+			res.collect(execOutcome{index: idx, aborted: ex.aborted, violations: ex.violations}, seen, e.opt)
+			idx++
+		}
+	}
+	if e.cache != nil {
+		res.CacheHits, res.CacheMisses = e.cache.stats()
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,90 @@
+// Post-crash state cache for model-checking mode.
+//
+// Two crash points that leave behind the same surviving persistent
+// image lead to identical continuations: every post-crash load sees the
+// same candidate set, the heap hands out the same addresses, and — at
+// the *first* crash of an execution — the checker carries no constraint
+// state yet (constraints only arise from reads of earlier
+// sub-executions, and sub-execution 0 has none before it). So once one
+// phase-0 crash target's post-crash enumeration has been explored,
+// every later target with the same image can be pruned wholesale. This
+// happens constantly in the ported benchmarks: any fence window that
+// contains only loads, or flushes of already-persisted lines, yields
+// the image of its neighbor.
+//
+// The key is (persistent-image hash, allocator mark):
+//
+//   - the image hash covers, per cache line in address order, every
+//     sealed epoch's store history (store IDs and values) and its
+//     persisted-prefix bounds [lo, hi]. Model-checking runs a fixed
+//     seed, so the pre-crash prefix is the same instruction stream in
+//     every execution and store IDs name identical stores;
+//   - the allocator mark (heap bytes used) distinguishes crash points
+//     that differ only in volatile allocations, which post-crash phases
+//     would re-allocate at different addresses.
+//
+// The cache is consulted once per subtree (all executions of a subtree
+// share one phase-0 prefix, hence one image), and the spawn chain in
+// pool.go registers images in subtree order, so the hit/miss pattern —
+// and with it every count in Result — is identical for any worker
+// count. Deeper crashes (programs with three or more phases) are not
+// cached: their keys would also need the checker's constraint state and
+// the pending crash-target choices of unreached phases.
+//
+// Known approximation: the op-budget counter is not part of the key, so
+// a continuation that aborts on its budget could be deduplicated
+// against one that would abort slightly later. Budgets are a safety
+// net two orders of magnitude above real executions, so this does not
+// affect verdicts.
+package explore
+
+import (
+	"sync"
+
+	"repro/internal/pmem"
+)
+
+// cacheKey identifies a surviving persistent image.
+type cacheKey struct {
+	image uint64 // px86.Machine.PersistFingerprint
+	heap  int    // pmem.Heap.Used
+}
+
+// stateKey computes the cache key of a just-crashed world.
+func stateKey(w *pmem.World) cacheKey {
+	return cacheKey{image: w.M.PersistFingerprint(), heap: w.Heap.Used()}
+}
+
+// stateCache records explored crash images. The spawn chain already
+// serializes lookups, but the mutex keeps the structure safe under any
+// call pattern.
+type stateCache struct {
+	mu           sync.Mutex
+	seen         map[cacheKey]struct{}
+	hits, misses int
+}
+
+func newStateCache() *stateCache {
+	return &stateCache{seen: make(map[cacheKey]struct{})}
+}
+
+// lookupOrRegister reports whether the key was already explored,
+// registering it if not.
+func (c *stateCache) lookupOrRegister(k cacheKey) (hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.seen[k]; ok {
+		c.hits++
+		return true
+	}
+	c.seen[k] = struct{}{}
+	c.misses++
+	return false
+}
+
+// stats returns the hit/miss counters.
+func (c *stateCache) stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

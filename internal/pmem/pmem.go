@@ -103,7 +103,11 @@ type Config struct {
 	RandomDrainPercent int
 }
 
-// World is one simulated persistent-memory system under test.
+// World is one simulated persistent-memory system under test. A World
+// is fully self-contained — machine, trace, checker, heap, scheduler,
+// and random source — so concurrent executions on distinct Worlds never
+// share mutable state; within one World, operations must stay on a
+// single goroutine.
 type World struct {
 	M       *px86.Machine
 	Checker *core.Checker

@@ -21,6 +21,7 @@ package px86
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/memmodel"
 	"repro/internal/trace"
@@ -82,7 +83,10 @@ type lineState struct {
 
 // Machine is a simulated Px86 multiprocessor with persistent memory.
 // It is not safe for concurrent use: simulated threads are interleaved
-// by the caller (the exploration harness), not by goroutines.
+// by the caller (the exploration harness), not by goroutines. A Machine
+// holds no package-level state, so distinct Machines may be driven from
+// distinct goroutines concurrently — the parallel exploration engine
+// relies on exactly this one-world-per-goroutine discipline.
 type Machine struct {
 	cfg     Config
 	tr      *trace.Trace
@@ -431,6 +435,53 @@ func (m *Machine) Crash() {
 		ls.live = &epoch{}
 	}
 	m.tr.Crash()
+}
+
+// PersistFingerprint hashes the machine's persistent state: every cache
+// line's sealed store history (IDs and values) together with its
+// persisted-prefix bounds. Call it immediately after Crash, when the
+// live epochs are empty — two machines with equal fingerprints then
+// present identical candidate sets to every future post-crash load.
+// Store IDs are deterministic per instruction-stream prefix, so across
+// executions of one deterministically replayed program, equal
+// fingerprints mean the surviving images are the same image, not merely
+// similar ones.
+func (m *Machine) PersistFingerprint() uint64 {
+	lines := make([]memmodel.Addr, 0, len(m.lines))
+	for l, ls := range m.lines {
+		if len(ls.sealed) > 0 {
+			lines = append(lines, l)
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		// FNV-1a over the value's bytes, low to high.
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, l := range lines {
+		ls := m.lines[l]
+		mix(uint64(l))
+		mix(uint64(len(ls.sealed)))
+		for _, ep := range ls.sealed {
+			mix(uint64(ep.lo))
+			mix(uint64(ep.hi))
+			mix(uint64(len(ep.stores)))
+			for _, s := range ep.stores {
+				mix(uint64(s.ID))
+				mix(uint64(s.Value))
+			}
+		}
+	}
+	return h
 }
 
 // GuaranteedPersistCount returns how many committed stores to the line

@@ -49,6 +49,7 @@ func Comparison(opt Options) []ComparisonRow {
 			Mode:       b.PreferredMode,
 			Executions: execs,
 			Seed:       opt.Seed + 1,
+			Workers:    opt.Workers,
 			AfterExecution: func(w *pmem.World) {
 				for _, f := range baseline.Witcher(w.M.Trace()) {
 					witcherKeys[f.Key()] = true

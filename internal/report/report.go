@@ -62,6 +62,9 @@ type Options struct {
 	Executions int
 	// Seed for random exploration.
 	Seed int64
+	// Workers is the parallel exploration worker count (0: all CPUs,
+	// 1: serial). Table results are identical for any count.
+	Workers int
 }
 
 // --- Table 1 ---
@@ -195,7 +198,7 @@ func Table2(opt Options) *Table2Result {
 			execs = opt.Executions
 		}
 		buggy := explore.Run(b.Build(bench.Buggy), explore.Options{
-			Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1,
+			Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1, Workers: opt.Workers,
 		})
 		covered, missed := bench.MatchExpected(b.Expected, buggy.Violations)
 		for _, c := range covered {
@@ -223,7 +226,7 @@ func Table2(opt Options) *Table2Result {
 			})
 		}
 		fixed := explore.Run(b.Build(bench.Fixed), explore.Options{
-			Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1,
+			Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1, Workers: opt.Workers,
 		})
 		res.FixedClean[b.Name] = len(fixed.Violations) == 0
 	}
@@ -297,18 +300,18 @@ func Table3(opt Options) []Table3Row {
 		// the paper's PSan-vs-Jaaru methodology.
 		jaaru := explore.Run(b.Build(bench.Buggy), explore.Options{
 			Mode: explore.Random, Executions: timingExecs, Seed: opt.Seed + 2,
-			DisableChecker: true, NoSteering: true,
+			Workers: opt.Workers, DisableChecker: true, NoSteering: true,
 		})
 		psan := explore.Run(b.Build(bench.Buggy), explore.Options{
 			Mode: explore.Random, Executions: timingExecs, Seed: opt.Seed + 2,
-			NoSteering: true,
+			Workers: opt.Workers, NoSteering: true,
 		})
 		execs := b.Executions
 		if opt.Executions > 0 {
 			execs = opt.Executions
 		}
 		discovery := explore.Run(b.Build(bench.Buggy), explore.Options{
-			Mode: explore.Random, Executions: execs, Seed: opt.Seed + 2,
+			Mode: explore.Random, Executions: execs, Seed: opt.Seed + 2, Workers: opt.Workers,
 		})
 		rows = append(rows, Table3Row{
 			Benchmark:  b.Name,
@@ -350,7 +353,7 @@ func Violations(name string, opt Options) (string, error) {
 		execs = opt.Executions
 	}
 	res := explore.Run(b.Build(bench.Buggy), explore.Options{
-		Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1,
+		Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1, Workers: opt.Workers,
 	})
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s\n\n", res)
