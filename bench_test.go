@@ -121,6 +121,58 @@ func BenchmarkExploreParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreRandomSerial measures one serial (Workers=1)
+// random-mode campaign per iteration on a few registered benchmarks.
+// Run with -benchmem: allocs/op is the hot-path health metric the
+// allocation-free steady-state work (location interning, event arenas,
+// machine/trace reuse) is measured by.
+func BenchmarkExploreRandomSerial(b *testing.B) {
+	for _, name := range []string{"CCEH", "FAST_FAIR", "P-CLHT"} {
+		bm := benchmarks.ByName(name)
+		if bm == nil {
+			b.Fatalf("%s not registered", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := explore.Run(bm.Build(bench.Buggy), explore.Options{
+					Mode:       explore.Random,
+					Executions: 50,
+					Seed:       7,
+					Workers:    1,
+				})
+				if res.Executions != 50 {
+					b.Fatalf("ran %d executions, want 50", res.Executions)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExploreModelCheckSerial is the exhaustive-mode counterpart of
+// BenchmarkExploreRandomSerial: one capped serial DFS per iteration.
+func BenchmarkExploreModelCheckSerial(b *testing.B) {
+	for _, name := range []string{"CCEH", "FAST_FAIR"} {
+		bm := benchmarks.ByName(name)
+		if bm == nil {
+			b.Fatalf("%s not registered", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := explore.Run(bm.Build(bench.Buggy), explore.Options{
+					Mode:       explore.ModelCheck,
+					Executions: 200,
+					Workers:    1,
+				})
+				if res.Executions == 0 {
+					b.Fatal("no executions ran")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStateCache measures model checking on FAST_FAIR with the
 // post-crash state cache on and off: the cached run prunes sub-DFS
 // subtrees whose surviving persistent image was already explored.
@@ -176,11 +228,11 @@ func (discard) Write(p []byte) (int, error) { return len(p), nil }
 func BenchmarkPx86StoreFlushCrashRead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m := px86.New(px86.Config{})
-		m.Store(0, 0x1000, 1, "s")
-		m.Flush(0, 0x1000, "f")
+		m.Store(0, 0x1000, 1, m.Intern("s"))
+		m.Flush(0, 0x1000, m.Intern("f"))
 		m.Crash()
 		c := m.LoadCandidates(0, 0x1000)
-		m.Load(0, 0x1000, c[0], "r")
+		m.Load(0, 0x1000, c[0], m.Intern("r"))
 	}
 }
 
@@ -197,9 +249,10 @@ func BenchmarkCheckerObserveRead(b *testing.B) {
 	cands := w.M.LoadCandidates(0, 0x1000)
 	rf := cands[0].Store
 	checker := core.New(w.M.Trace())
+	benchLoc := w.M.Intern("bench read")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		checker.CheckRead(0, 0x1000, rf, "bench read")
+		checker.CheckRead(0, 0x1000, rf, benchLoc)
 	}
 }
 
@@ -295,14 +348,14 @@ func BenchmarkAblations(b *testing.B) {
 				m := px86.New(px86.Config{})
 				ck := core.NewWithOptions(m.Trace(), cfg.opt)
 				for j := 0; j < 32; j++ {
-					m.Store(memmodel.ThreadID(j%2), memmodel.Addr(0x1000+64*(j%8)), memmodel.Value(j+1), "s")
+					m.Store(memmodel.ThreadID(j%2), memmodel.Addr(0x1000+64*(j%8)), memmodel.Value(j+1), m.Intern("s"))
 				}
 				m.Crash()
 				for j := 0; j < 8; j++ {
 					a := memmodel.Addr(0x1000 + 64*j)
 					cands := m.LoadCandidates(0, a)
-					m.Load(0, a, cands[0], "r")
-					ck.ObserveRead(0, a, cands[0].Store, "r")
+					m.Load(0, a, cands[0], m.Intern("r"))
+					ck.ObserveRead(0, a, cands[0].Store, m.Intern("r"))
 				}
 			}
 		})

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/explore"
 	"repro/internal/interp"
@@ -40,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dump := fs.Bool("dump", false, "print the parsed program structure")
 	fix := fs.Bool("fix", false, "apply PSan's suggested fixes until the program is clean and print it")
 	dumpTrace := fs.Bool("trace", false, "dump one crash-free execution's event trace and exit")
+	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: psan [flags] program.pm\n")
 		fs.PrintDefaults()
@@ -50,6 +53,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() != 1 {
 		fs.Usage()
 		return 2
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "psan: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // surface only live allocations
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(stderr, "psan: %v\n", err)
+			}
+		}()
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {

@@ -48,17 +48,19 @@ func demo(flushData bool) {
 
 	// Read the commit store fresh, then the data as stale as the
 	// machine allows — the adversarial outcome.
+	ptrLoc := w.M.Intern("readChild: ptr->child")
 	for _, c := range w.M.LoadCandidates(0, parentChild) {
 		if !c.Store.Initial {
-			w.M.Load(0, parentChild, c, "readChild: ptr->child")
-			w.Checker.ObserveRead(0, parentChild, c.Store, "readChild: ptr->child")
+			w.M.Load(0, parentChild, c, ptrLoc)
+			w.Checker.ObserveRead(0, parentChild, c.Store, ptrLoc)
 			break
 		}
 	}
+	dataLoc := w.M.Intern("readChild: child->data")
 	cands := w.M.LoadCandidates(0, node)
 	oldest := cands[len(cands)-1]
-	w.M.Load(0, node, oldest, "readChild: child->data")
-	w.Checker.ObserveRead(0, node, oldest.Store, "readChild: child->data")
+	w.M.Load(0, node, oldest, dataLoc)
+	w.Checker.ObserveRead(0, node, oldest.Store, dataLoc)
 
 	if vs := w.Checker.Violations(); len(vs) == 0 {
 		fmt.Println("  robust: every post-crash execution matches a strictly-persistent one")

@@ -38,12 +38,17 @@ func AssertOracle(w *pmem.World) []string { return w.AssertFailures() }
 type Finding struct {
 	Earlier *trace.Store // the store that should have persisted first
 	Later   *trace.Store // the store observed persisted
-	LoadLoc string       // the dependent load that observed stale data
+	// EarlierLoc and LaterLoc are the stores' source labels, materialized
+	// at detection time so findings stay meaningful after the trace's
+	// storage is recycled for the next execution.
+	EarlierLoc string
+	LaterLoc   string
+	LoadLoc    string // the dependent load that observed stale data
 }
 
 // Key identifies the finding for deduplication.
 func (f Finding) Key() string {
-	return fmt.Sprintf("%s|%s", f.Earlier.Loc, f.Later.Loc)
+	return fmt.Sprintf("%s|%s", f.EarlierLoc, f.LaterLoc)
 }
 
 // String renders the finding.
@@ -97,7 +102,12 @@ func Witcher(tr *trace.Trace) []Finding {
 					if !older {
 						continue
 					}
-					f := Finding{Earlier: a, Later: b, LoadLoc: stale.Loc}
+					f := Finding{
+						Earlier: a, Later: b,
+						EarlierLoc: tr.LocString(a.Loc),
+						LaterLoc:   tr.LocString(b.Loc),
+						LoadLoc:    tr.LocString(stale.Loc),
+					}
 					if !seen[f.Key()] {
 						seen[f.Key()] = true
 						out = append(out, f)
@@ -126,6 +136,8 @@ func newestHBStoreTo(e *trace.SubExec, addr memmodel.Addr, b *trace.Store) *trac
 // hit.
 type Unflushed struct {
 	Store *trace.Store
+	// Loc is the store's source label, materialized at detection time.
+	Loc string
 }
 
 // String renders the report.
@@ -177,7 +189,7 @@ func Pmemcheck(tr *trace.Trace) []Unflushed {
 		}
 		for line, stores := range lineStores {
 			for i := guaranteed[line]; i < len(stores); i++ {
-				out = append(out, Unflushed{Store: stores[i]})
+				out = append(out, Unflushed{Store: stores[i], Loc: tr.LocString(stores[i].Loc)})
 			}
 		}
 	}

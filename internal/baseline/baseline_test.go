@@ -18,8 +18,9 @@ func readValue(t *testing.T, w *pmem.World, th memmodel.ThreadID, a memmodel.Add
 	t.Helper()
 	for _, c := range w.M.LoadCandidates(th, a) {
 		if c.Store.Initial == initial && (initial || c.Store.Value == want) {
-			w.M.Load(th, a, c, loc)
-			w.Checker.ObserveRead(th, a, c.Store, loc)
+			lid := w.M.Intern(loc)
+			w.M.Load(th, a, c, lid)
+			w.Checker.ObserveRead(th, a, c.Store, lid)
 			return
 		}
 	}
@@ -42,7 +43,7 @@ func TestWitcherFindsCommitStoreBug(t *testing.T) {
 	if len(fs) != 1 {
 		t.Fatalf("findings = %v, want 1", fs)
 	}
-	if fs[0].Earlier.Loc != "tmp->data=42" || fs[0].Later.Loc != "ptr->child=tmp" {
+	if fs[0].EarlierLoc != "tmp->data=42" || fs[0].LaterLoc != "ptr->child=tmp" {
 		t.Fatalf("finding = %v", fs[0])
 	}
 }
@@ -113,7 +114,7 @@ func TestPmemcheckReportsUnflushedStores(t *testing.T) {
 	if len(us) != 1 {
 		t.Fatalf("reports = %v, want 1", us)
 	}
-	if us[0].Store.Loc != "unflushed store" {
+	if us[0].Loc != "unflushed store" {
 		t.Fatalf("report = %v", us[0])
 	}
 }

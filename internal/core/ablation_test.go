@@ -23,8 +23,9 @@ func (h *ablationHarness) readValue(th memmodel.ThreadID, addr memmodel.Addr, wa
 	h.t.Helper()
 	for _, cand := range h.m.LoadCandidates(th, addr) {
 		if cand.Store.Initial == initial && (initial || cand.Store.Value == want) {
-			h.m.Load(th, addr, cand, loc)
-			return h.c.ObserveRead(th, addr, cand.Store, loc)
+			lid := h.m.Intern(loc)
+			h.m.Load(th, addr, cand, lid)
+			return h.c.ObserveRead(th, addr, cand.Store, lid)
 		}
 	}
 	h.t.Fatalf("no candidate %d (initial=%v) for %s", want, initial, addr)
@@ -33,9 +34,9 @@ func (h *ablationHarness) readValue(th memmodel.ThreadID, addr memmodel.Addr, wa
 
 // driveFigure6 runs the robust Figure 6 execution (r1=0, r2=1).
 func driveFigure6(h *ablationHarness) int {
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(1, addrY, 1, "y=1")
-	h.m.Flush(1, addrY, "flush y")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(1, addrY, 1, h.m.Intern("y=1"))
+	h.m.Flush(1, addrY, h.m.Intern("flush y"))
 	h.m.Crash()
 	n := len(h.readValue(0, addrX, 0, true, "r1=x"))
 	n += len(h.readValue(0, addrY, 1, false, "r2=y"))
@@ -44,12 +45,12 @@ func driveFigure6(h *ablationHarness) int {
 
 // driveFigure7 runs the non-robust Figure 7 execution.
 func driveFigure7(h *ablationHarness) int {
-	h.m.Store(0, addrX, 1, "x=1")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
 	cands := h.m.LoadCandidates(1, addrX)
-	h.m.Load(1, addrX, cands[0], "r1=x")
-	h.c.ObserveRead(1, addrX, cands[0].Store, "r1=x")
-	h.m.Store(1, addrY, 1, "y=r1")
-	h.m.Flush(1, addrY, "flush y")
+	h.m.Load(1, addrX, cands[0], h.m.Intern("r1=x"))
+	h.c.ObserveRead(1, addrX, cands[0].Store, h.m.Intern("r1=x"))
+	h.m.Store(1, addrY, 1, h.m.Intern("y=r1"))
+	h.m.Flush(1, addrY, h.m.Intern("flush y"))
 	h.m.Crash()
 	n := len(h.readValue(0, addrX, 0, true, "r2=x"))
 	n += len(h.readValue(0, addrY, 1, false, "r3=y"))
@@ -92,10 +93,10 @@ func TestNoHBClosureAblationMissesFigure7(t *testing.T) {
 func TestAblationsAgreeOnFigure2(t *testing.T) {
 	for _, opt := range []Options{{}, {NoHBClosure: true}, {GlobalInterval: true}} {
 		h := newAblation(t, opt)
-		h.m.Store(0, addrX, 1, "x=1")
-		h.m.Store(0, addrY, 1, "y=1")
-		h.m.Store(0, addrX, 2, "x=2")
-		h.m.Store(0, addrY, 2, "y=2")
+		h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+		h.m.Store(0, addrY, 1, h.m.Intern("y=1"))
+		h.m.Store(0, addrX, 2, h.m.Intern("x=2"))
+		h.m.Store(0, addrY, 2, h.m.Intern("y=2"))
 		h.m.Crash()
 		n := len(h.readValue(0, addrX, 1, false, "r1=x"))
 		n += len(h.readValue(0, addrY, 2, false, "r2=y"))

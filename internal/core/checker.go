@@ -104,8 +104,43 @@ func (f Fix) String() string {
 	}
 }
 
+// StoreRef is a frozen copy of a trace store: everything a bug report
+// needs, detached from the trace arenas so a violation stays valid after
+// the world that produced it is reset for the next execution. Loc is the
+// materialized source label.
+type StoreRef struct {
+	ID      int64
+	Addr    memmodel.Addr
+	Value   memmodel.Value
+	Thread  memmodel.ThreadID
+	SubExec int
+	Clock   vclock.Clock
+	CV      vclock.CV
+	Seq     vclock.Seq
+	Kind    memmodel.OpKind
+	Loc     string
+	Initial bool
+}
+
+// String renders a short identification of the store for reports.
+func (s *StoreRef) String() string {
+	if s == nil {
+		return "<nil store>"
+	}
+	if s.Initial {
+		return fmt.Sprintf("init[%s]", s.Addr)
+	}
+	loc := s.Loc
+	if loc == "" {
+		loc = fmt.Sprintf("store#%d", s.ID)
+	}
+	return fmt.Sprintf("%s(%s=%d @t%d e%d clk%d)", loc, s.Addr, uint64(s.Value), int(s.Thread), s.SubExec, int64(s.Clock))
+}
+
 // Violation is one detected robustness violation: the execution observed
-// an outcome impossible under strict persistency.
+// an outcome impossible under strict persistency. All store references
+// are frozen copies, so a violation remains valid after its world is
+// reset or reused.
 type Violation struct {
 	Kind ViolationKind
 	// LoadLoc and LoadThread identify the post-crash load whose read
@@ -113,27 +148,42 @@ type Violation struct {
 	LoadLoc    string
 	LoadThread memmodel.ThreadID
 	// ReadFrom is the store the load read from.
-	ReadFrom *trace.Store
+	ReadFrom *StoreRef
 	// MissingFlush is the earlier store in happens-before order that was
 	// not made persistent: the store missing a flush operation. Fixing
 	// the bug means persisting it before Persisted commits.
-	MissingFlush *trace.Store
+	MissingFlush *StoreRef
 	// Persisted is the later store that was made persistent and observed
 	// by post-crash loads.
-	Persisted *trace.Store
+	Persisted *StoreRef
 	// SubExec and Thread identify the crash interval that became empty.
 	SubExec int
 	Thread  memmodel.ThreadID
 	// Interval is the (empty) conjunction that exposed the violation.
+	// Its endpoint Store fields hold *StoreRef.
 	Interval intervals.Interval
 	// Fixes are the suggested repairs, primary first.
 	Fixes []Fix
+
+	// key caches Key; vkey is the intra-world dedup identity.
+	key  string
+	vkey violationKey
 }
 
 // Key returns a stable identity for deduplicating the same program bug
 // across executions: the pair of store sites plus the diagnosis kind.
 func (v *Violation) Key() string {
-	return fmt.Sprintf("%s|%s|%s", v.Kind, v.MissingFlush.Loc, v.Persisted.Loc)
+	if v.key == "" {
+		mf, p := "", ""
+		if v.MissingFlush != nil {
+			mf = v.MissingFlush.Loc
+		}
+		if v.Persisted != nil {
+			p = v.Persisted.Loc
+		}
+		v.key = fmt.Sprintf("%s|%s|%s", v.Kind, mf, p)
+	}
+	return v.key
 }
 
 // String renders a full report in the style of the paper's examples.
@@ -154,6 +204,16 @@ func (v *Violation) String() string {
 type consKey struct {
 	subExec int
 	thread  memmodel.ThreadID
+}
+
+// violationKey is the intra-world dedup identity of a violation: the
+// diagnosis kind plus the two interned store sites. LocIDs are stable
+// within one world, which is exactly the scope of the checker's seen
+// set; cross-execution dedup goes through the string Key.
+type violationKey struct {
+	kind   ViolationKind
+	mfLoc  trace.LocID
+	perLoc trace.LocID
 }
 
 // update is one pending interval constraint derived from a load.
@@ -199,10 +259,15 @@ type Checker struct {
 	cons     map[consKey]intervals.Interval
 	// violations accumulates committed violations in detection order.
 	violations []*Violation
-	seen       map[string]bool
+	seen       map[violationKey]bool
 	// checksum deferral (§6.4): while a thread is inside an annotated
 	// checksum region, its cross-crash loads are buffered here.
 	deferred map[memmodel.ThreadID][]deferredLoad
+
+	// ups is updatesFor's scratch buffer; apply is applyUpdates'
+	// speculative-interval scratch. Both are reused across loads.
+	ups   []update
+	apply map[consKey]intervals.Interval
 }
 
 // deferredLoad is a cross-crash read buffered inside a checksum region.
@@ -210,7 +275,7 @@ type deferredLoad struct {
 	thread memmodel.ThreadID
 	addr   memmodel.Addr
 	rf     *trace.Store
-	loc    string
+	loc    trace.LocID
 }
 
 // New returns a checker for the given trace with no constraints — every
@@ -225,9 +290,55 @@ func NewWithOptions(tr *trace.Trace, opt Options) *Checker {
 		tr:       tr,
 		opt:      opt,
 		cons:     make(map[consKey]intervals.Interval),
-		seen:     make(map[string]bool),
+		seen:     make(map[violationKey]bool),
 		deferred: make(map[memmodel.ThreadID][]deferredLoad),
+		apply:    make(map[consKey]intervals.Interval),
 	}
+}
+
+// Reset clears the checker for the next execution on the same (reset)
+// trace. The accumulated violations slice is dropped, not truncated —
+// it escapes to the exploration harness, which may retain it after the
+// reset. The enabled/disabled state and ablation options are kept.
+func (c *Checker) Reset() {
+	clear(c.cons)
+	c.violations = nil
+	clear(c.seen)
+	clear(c.deferred)
+}
+
+// Intern maps a source label to the trace's dense LocID, the form the
+// checker's read hooks take.
+func (c *Checker) Intern(loc string) trace.LocID { return c.tr.Intern(loc) }
+
+// freeze copies a trace store into a report-stable StoreRef,
+// materializing its source label.
+func (c *Checker) freeze(s *trace.Store) *StoreRef {
+	if s == nil {
+		return nil
+	}
+	return &StoreRef{
+		ID:      s.ID,
+		Addr:    s.Addr,
+		Value:   s.Value,
+		Thread:  s.Thread,
+		SubExec: s.SubExec,
+		Clock:   s.Clock,
+		CV:      s.CV,
+		Seq:     s.Seq,
+		Kind:    s.Kind,
+		Loc:     c.tr.LocString(s.Loc),
+		Initial: s.Initial,
+	}
+}
+
+// freezeEndpoint rebinds an interval endpoint's provenance from the
+// trace store to its frozen copy.
+func (c *Checker) freezeEndpoint(e intervals.Endpoint) intervals.Endpoint {
+	if s, ok := e.Store.(*trace.Store); ok {
+		e.Store = c.freeze(s)
+	}
+	return e
 }
 
 // Violations returns the violations committed so far, in detection order.
@@ -249,7 +360,9 @@ func (c *Checker) Interval(subExec int, t memmodel.ThreadID) intervals.Interval 
 
 // updatesFor computes the constraint updates a read of rf by a load in
 // the current sub-execution implies. It returns nil when the read is
-// within the current sub-execution (nothing to check).
+// within the current sub-execution (nothing to check). The returned
+// slice is a checker-owned scratch buffer, valid until the next
+// updatesFor call.
 func (c *Checker) updatesFor(rf *trace.Store) []update {
 	if c.disabled {
 		return nil
@@ -264,46 +377,45 @@ func (c *Checker) updatesFor(rf *trace.Store) []update {
 	if c.opt.GlobalInterval {
 		return c.updatesGlobal(rf, cur.Index)
 	}
-	var ups []update
+	c.ups = c.ups[:0]
 	e := c.tr.GetExec(rf)
 	// C0 (implications 4.1 and 4.3): every thread of rf's sub-execution
 	// crashed no earlier than its last store happening before rf. For
 	// rf's own thread that is rf itself. Initial stores have an empty
 	// clock vector, so they contribute no lower bounds.
 	if !rf.Initial {
-		for _, tau := range rf.CV.Threads() {
+		rf.CV.ForEach(func(tau memmodel.ThreadID, clk vclock.Clock) {
 			if c.opt.NoHBClosure && tau != rf.Thread {
-				continue // ablation: drop implication 4.3
+				return // ablation: drop implication 4.3
 			}
-			clk := rf.CV.At(tau)
-			ups = append(ups, update{
+			c.ups = append(c.ups, update{
 				key:   consKey{e.Index, tau},
 				lo:    true,
 				clock: clk,
 				store: e.StoreByClock(tau, clk),
 			})
-		}
+		})
 	}
 	// Implication 4.2 extended across sub-executions (§4.4): the first
 	// store to the location per thread, TSO-after rf or in intervening
 	// sub-executions, must not have committed before its crash.
 	for _, st := range c.tr.Next(rf, cur.Index) {
-		ups = append(ups, update{
+		c.ups = append(c.ups, update{
 			key:   consKey{st.SubExec, st.Thread},
 			lo:    false,
 			clock: st.Clock,
 			store: st,
 		})
 	}
-	return ups
+	return c.ups
 }
 
 // updatesGlobal is the §4.2.1 naïve variant: one interval per
 // sub-execution over TSO sequence numbers.
 func (c *Checker) updatesGlobal(rf *trace.Store, cur int) []update {
-	var ups []update
+	c.ups = c.ups[:0]
 	if !rf.Initial {
-		ups = append(ups, update{
+		c.ups = append(c.ups, update{
 			key:   consKey{rf.SubExec, globalThread},
 			lo:    true,
 			clock: vclock.Clock(rf.Seq),
@@ -311,14 +423,14 @@ func (c *Checker) updatesGlobal(rf *trace.Store, cur int) []update {
 		})
 	}
 	for _, st := range c.tr.Next(rf, cur) {
-		ups = append(ups, update{
+		c.ups = append(c.ups, update{
 			key:   consKey{st.SubExec, globalThread},
 			lo:    false,
 			clock: vclock.Clock(st.Seq),
 			store: st,
 		})
 	}
-	return ups
+	return c.ups
 }
 
 // applyMode selects how applyUpdates treats the constraint state.
@@ -341,9 +453,10 @@ const (
 // empty an interval is reported but not recorded, so the checker can
 // keep scanning the rest of the execution for further independent bugs
 // (§5.2 Implementation).
-func (c *Checker) applyUpdates(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.Store, loc string, ups []update, mode applyMode) []*Violation {
+func (c *Checker) applyUpdates(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.Store, loc trace.LocID, ups []update, mode applyMode) []*Violation {
 	var found []*Violation
-	scratch := make(map[consKey]intervals.Interval)
+	scratch := c.apply
+	clear(scratch)
 	get := func(k consKey) intervals.Interval {
 		if iv, ok := scratch[k]; ok {
 			return iv
@@ -373,8 +486,8 @@ func (c *Checker) applyUpdates(t memmodel.ThreadID, addr memmodel.Addr, rf *trac
 	}
 	if mode != modeCheck {
 		for _, v := range found {
-			if !c.seen[v.Key()] {
-				c.seen[v.Key()] = true
+			if !c.seen[v.vkey] {
+				c.seen[v.vkey] = true
 				// Fix synthesis walks the event log, so it runs only
 				// when a bug is first recorded, keeping the per-load
 				// checking cost flat (Table 3's minimal-overhead claim).
@@ -386,33 +499,49 @@ func (c *Checker) applyUpdates(t memmodel.ThreadID, addr memmodel.Addr, rf *trac
 	return found
 }
 
+// locOf returns a store's interned label (NoLoc for nil).
+func locOf(s *trace.Store) trace.LocID {
+	if s == nil {
+		return trace.NoLoc
+	}
+	return s.Loc
+}
+
 // diagnose builds the violation report for an update that emptied an
-// interval, per the two cases of §5.2.
-func (c *Checker) diagnose(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.Store, loc string, u update, before, after intervals.Interval) *Violation {
+// interval, per the two cases of §5.2. Every store reference is frozen
+// here, so the report survives trace recycling.
+func (c *Checker) diagnose(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.Store, loc trace.LocID, u update, before, after intervals.Interval) *Violation {
 	v := &Violation{
-		LoadLoc:    loc,
+		LoadLoc:    c.tr.LocString(loc),
 		LoadThread: t,
-		ReadFrom:   rf,
+		ReadFrom:   c.freeze(rf),
 		SubExec:    u.key.subExec,
 		Thread:     u.key.thread,
-		Interval:   after,
+		Interval: intervals.Interval{
+			Lo: c.freezeEndpoint(after.Lo),
+			Hi: c.freezeEndpoint(after.Hi),
+		},
 	}
+	var mf, per *trace.Store
 	if u.lo {
 		// The new lower bound passed the recorded upper bound: the load
 		// observed a too-new store. The store that set the interval's
 		// end is the one missing the flush.
 		v.Kind = ReadTooNew
-		v.MissingFlush, _ = before.Hi.Store.(*trace.Store)
-		v.Persisted = rf
+		mf, _ = before.Hi.Store.(*trace.Store)
+		per = rf
 	} else {
 		// The new upper bound passed the recorded lower bound: the load
 		// read a too-old store; the upper bound's store (the TSO-later
 		// store to the same location) is missing a flush, and the lower
 		// bound's store was observed persisted.
 		v.Kind = ReadTooOld
-		v.MissingFlush = u.store
-		v.Persisted, _ = before.Lo.Store.(*trace.Store)
+		mf = u.store
+		per, _ = before.Lo.Store.(*trace.Store)
 	}
+	v.MissingFlush = c.freeze(mf)
+	v.Persisted = c.freeze(per)
+	v.vkey = violationKey{kind: v.Kind, mfLoc: locOf(mf), perLoc: locOf(per)}
 	return v
 }
 
@@ -420,7 +549,7 @@ func (c *Checker) diagnose(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.St
 // cause if it read from rf, without changing the checker state. The
 // explorer uses it to steer loads away from already-diagnosed outcomes
 // so one execution can expose multiple bugs.
-func (c *Checker) CheckRead(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.Store, loc string) []*Violation {
+func (c *Checker) CheckRead(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.Store, loc trace.LocID) []*Violation {
 	if _, in := c.deferred[t]; in {
 		return nil // inside a checksum region the read would be deferred
 	}
@@ -431,7 +560,7 @@ func (c *Checker) CheckRead(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.S
 // committing any constraints. The explorer calls it for candidates it
 // steers away from: the buggy outcome is reachable and must be reported
 // even though this execution avoids it.
-func (c *Checker) FlagRead(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.Store, loc string) []*Violation {
+func (c *Checker) FlagRead(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.Store, loc trace.LocID) []*Violation {
 	if _, in := c.deferred[t]; in {
 		return nil // inside a checksum region the read would be deferred
 	}
@@ -441,7 +570,7 @@ func (c *Checker) FlagRead(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.St
 // ObserveRead records a load that has been performed: thread t read rf
 // at addr. It returns any new violations. Inside a checksum region the
 // read is deferred instead (§6.4).
-func (c *Checker) ObserveRead(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.Store, loc string) []*Violation {
+func (c *Checker) ObserveRead(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.Store, loc trace.LocID) []*Violation {
 	if _, in := c.deferred[t]; in {
 		c.deferred[t] = append(c.deferred[t], deferredLoad{thread: t, addr: addr, rf: rf, loc: loc})
 		return nil

@@ -33,8 +33,9 @@ func (h *harness) readValue(th memmodel.ThreadID, addr memmodel.Addr, want memmo
 	h.t.Helper()
 	for _, cand := range h.m.LoadCandidates(th, addr) {
 		if cand.Store.Initial == initial && (initial || cand.Store.Value == want) {
-			h.m.Load(th, addr, cand, loc)
-			return h.c.ObserveRead(th, addr, cand.Store, loc)
+			lid := h.m.Intern(loc)
+			h.m.Load(th, addr, cand, lid)
+			return h.c.ObserveRead(th, addr, cand.Store, lid)
 		}
 	}
 	h.t.Fatalf("no candidate with value %d (initial=%v) for %s", want, initial, addr)
@@ -45,10 +46,10 @@ func (h *harness) readValue(th memmodel.ThreadID, addr memmodel.Addr, want memmo
 // post-crash r1=x reads 1 and r2=y reads 2 — not robust.
 func TestFigure2(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(0, addrY, 1, "y=1")
-	h.m.Store(0, addrX, 2, "x=2")
-	h.m.Store(0, addrY, 2, "y=2")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(0, addrY, 1, h.m.Intern("y=1"))
+	h.m.Store(0, addrX, 2, h.m.Intern("x=2"))
+	h.m.Store(0, addrY, 2, h.m.Intern("y=2"))
 	h.m.Crash()
 	if vs := h.readValue(0, addrX, 1, false, "r1=x"); len(vs) != 0 {
 		t.Fatalf("reading x=1 alone must be consistent, got %v", vs)
@@ -79,10 +80,10 @@ func TestFigure2(t *testing.T) {
 // r2=2 corresponds to a strict execution crashing at the end.
 func TestFigure2Robust(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(0, addrY, 1, "y=1")
-	h.m.Store(0, addrX, 2, "x=2")
-	h.m.Store(0, addrY, 2, "y=2")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(0, addrY, 1, h.m.Intern("y=1"))
+	h.m.Store(0, addrX, 2, h.m.Intern("x=2"))
+	h.m.Store(0, addrY, 2, h.m.Intern("y=2"))
 	h.m.Crash()
 	if vs := h.readValue(0, addrX, 2, false, "r1=x"); len(vs) != 0 {
 		t.Fatalf("unexpected violation: %v", vs)
@@ -96,11 +97,11 @@ func TestFigure2Robust(t *testing.T) {
 // post-crash reads r1=y=2 then r2=x=5.
 func TestFigure5(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(0, addrY, 2, "y=2")
-	h.m.Store(0, addrX, 3, "x=3")
-	h.m.Store(0, addrY, 4, "y=4")
-	h.m.Store(0, addrX, 5, "x=5")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(0, addrY, 2, h.m.Intern("y=2"))
+	h.m.Store(0, addrX, 3, h.m.Intern("x=3"))
+	h.m.Store(0, addrY, 4, h.m.Intern("y=4"))
+	h.m.Store(0, addrX, 5, h.m.Intern("x=5"))
 	h.m.Crash()
 	if vs := h.readValue(0, addrY, 2, false, "r1=y"); len(vs) != 0 {
 		t.Fatalf("interval should be [2,4), not violated: %v", vs)
@@ -124,11 +125,11 @@ func TestFigure5(t *testing.T) {
 // pair must be reported.
 func TestFigure5ReverseOrder(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(0, addrY, 2, "y=2")
-	h.m.Store(0, addrX, 3, "x=3")
-	h.m.Store(0, addrY, 4, "y=4")
-	h.m.Store(0, addrX, 5, "x=5")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(0, addrY, 2, h.m.Intern("y=2"))
+	h.m.Store(0, addrX, 3, h.m.Intern("x=3"))
+	h.m.Store(0, addrY, 4, h.m.Intern("y=4"))
+	h.m.Store(0, addrX, 5, h.m.Intern("x=5"))
 	h.m.Crash()
 	if vs := h.readValue(0, addrX, 5, false, "r2=x"); len(vs) != 0 {
 		t.Fatalf("unexpected violation: %v", vs)
@@ -149,9 +150,9 @@ func TestFigure6(t *testing.T) {
 	h := newHarness(t)
 	// Thread 0 issues x=1 but crashes before its flush executes; thread
 	// 1 stores and flushes y.
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(1, addrY, 1, "y=1")
-	h.m.Flush(1, addrY, "flush y")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(1, addrY, 1, h.m.Intern("y=1"))
+	h.m.Flush(1, addrY, h.m.Intern("flush y"))
 	h.m.Crash()
 	if vs := h.readValue(0, addrX, 0, true, "r1=x"); len(vs) != 0 {
 		t.Fatalf("r1=0 must be consistent: %v", vs)
@@ -166,13 +167,13 @@ func TestFigure6(t *testing.T) {
 func TestFigure7(t *testing.T) {
 	h := newHarness(t)
 	// Thread 0 stores x=1 and is paused before its flush.
-	h.m.Store(0, addrX, 1, "x=1")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
 	// Thread 1 reads x, stores y=r1, and flushes it.
 	cands := h.m.LoadCandidates(1, addrX)
-	h.m.Load(1, addrX, cands[0], "r1=x")
-	h.c.ObserveRead(1, addrX, cands[0].Store, "r1=x")
-	h.m.Store(1, addrY, 1, "y=r1")
-	h.m.Flush(1, addrY, "flush y")
+	h.m.Load(1, addrX, cands[0], h.m.Intern("r1=x"))
+	h.c.ObserveRead(1, addrX, cands[0].Store, h.m.Intern("r1=x"))
+	h.m.Store(1, addrY, 1, h.m.Intern("y=r1"))
+	h.m.Flush(1, addrY, h.m.Intern("flush y"))
 	h.m.Crash()
 	if vs := h.readValue(0, addrX, 0, true, "r2=x"); len(vs) != 0 {
 		t.Fatalf("r2=0 alone is consistent: %v", vs)
@@ -212,10 +213,10 @@ func TestFigure7(t *testing.T) {
 // and s=1 leave C(e1) unsatisfiable.
 func TestFigure8(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(0, addrY, 1, "y=1")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(0, addrY, 1, h.m.Intern("y=1"))
 	h.m.Crash()
-	h.m.Store(0, addrY, 2, "y=2")
+	h.m.Store(0, addrY, 2, h.m.Intern("y=2"))
 	if vs := h.readValue(0, addrX, 0, true, "r=x"); len(vs) != 0 {
 		t.Fatalf("r=0 alone is consistent: %v", vs)
 	}
@@ -243,10 +244,10 @@ func TestFigure8(t *testing.T) {
 // r=0 and s=2 (the newer y persisted).
 func TestFigure8RobustReads(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(0, addrY, 1, "y=1")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(0, addrY, 1, h.m.Intern("y=1"))
 	h.m.Crash()
-	h.m.Store(0, addrY, 2, "y=2")
+	h.m.Store(0, addrY, 2, h.m.Intern("y=2"))
 	h.readValue(0, addrX, 0, true, "r=x")
 	h.m.Crash()
 	if vs := h.readValue(0, addrY, 2, false, "s=y"); len(vs) != 0 {
@@ -258,8 +259,8 @@ func TestFigure8RobustReads(t *testing.T) {
 // never constrain crash intervals.
 func TestSameSubExecReadsUnchecked(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(0, addrX, 2, "x=2")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(0, addrX, 2, h.m.Intern("x=2"))
 	if vs := h.readValue(1, addrX, 2, false, "r=x"); len(vs) != 0 {
 		t.Fatalf("same-sub-execution read must not be checked: %v", vs)
 	}
@@ -276,9 +277,9 @@ func TestFlushedCommitStorePattern(t *testing.T) {
 	// reader either sees the child (data guaranteed flushed) or not.
 	for _, sawChild := range []bool{true, false} {
 		h := newHarness(t)
-		h.m.Store(0, addrY, 42, "tmp->data=42")
-		h.m.Flush(0, addrY, "clflush tmp")
-		h.m.Store(0, addrX, 1, "ptr->child=tmp")
+		h.m.Store(0, addrY, 42, h.m.Intern("tmp->data=42"))
+		h.m.Flush(0, addrY, h.m.Intern("clflush tmp"))
+		h.m.Store(0, addrX, 1, h.m.Intern("ptr->child=tmp"))
 		// crash before "clflush &ptr->child"
 		h.m.Crash()
 		var vs []*Violation
@@ -301,10 +302,10 @@ func TestFlushedCommitStorePattern(t *testing.T) {
 // flush: seeing the commit store without the data is a violation.
 func TestUnflushedCommitStorePattern(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrY, 42, "tmp->data=42")
+	h.m.Store(0, addrY, 42, h.m.Intern("tmp->data=42"))
 	// missing: clflush tmp
-	h.m.Store(0, addrX, 1, "ptr->child=tmp")
-	h.m.Flush(0, addrX, "clflush &ptr->child")
+	h.m.Store(0, addrX, 1, h.m.Intern("ptr->child=tmp"))
+	h.m.Flush(0, addrX, h.m.Intern("clflush &ptr->child"))
 	h.m.Crash()
 	if vs := h.readValue(0, addrX, 1, false, "read child ptr"); len(vs) != 0 {
 		t.Fatalf("reading the commit store alone is consistent: %v", vs)
@@ -321,8 +322,8 @@ func TestUnflushedCommitStorePattern(t *testing.T) {
 // TestCheckReadDoesNotMutate: the speculative API leaves state untouched.
 func TestCheckReadDoesNotMutate(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(0, addrX, 2, "x=2")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(0, addrX, 2, h.m.Intern("x=2"))
 	h.m.Crash()
 	cands := h.m.LoadCandidates(0, addrX)
 	var old *trace.Store
@@ -331,7 +332,7 @@ func TestCheckReadDoesNotMutate(t *testing.T) {
 			old = c.Store
 		}
 	}
-	if vs := h.c.CheckRead(0, addrX, old, "r=x"); len(vs) != 0 {
+	if vs := h.c.CheckRead(0, addrX, old, h.m.Intern("r=x")); len(vs) != 0 {
 		t.Fatalf("reading x=1 is consistent, got %v", vs)
 	}
 	if !h.c.Interval(0, 0).Unconstrained() {
@@ -343,10 +344,10 @@ func TestCheckReadDoesNotMutate(t *testing.T) {
 // would flag, letting the explorer steer around it.
 func TestCheckReadPredictsViolation(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(0, addrY, 1, "y=1")
-	h.m.Store(0, addrX, 2, "x=2")
-	h.m.Store(0, addrY, 2, "y=2")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(0, addrY, 1, h.m.Intern("y=1"))
+	h.m.Store(0, addrX, 2, h.m.Intern("x=2"))
+	h.m.Store(0, addrY, 2, h.m.Intern("y=2"))
 	h.m.Crash()
 	h.readValue(0, addrX, 1, false, "r1=x")
 	// Speculatively reading y=2 must be flagged; reading y=1 must not.
@@ -359,10 +360,10 @@ func TestCheckReadPredictsViolation(t *testing.T) {
 			s2 = c.Store
 		}
 	}
-	if vs := h.c.CheckRead(0, addrY, s2, "r2=y"); len(vs) != 1 {
+	if vs := h.c.CheckRead(0, addrY, s2, h.m.Intern("r2=y")); len(vs) != 1 {
 		t.Fatalf("CheckRead(y=2) = %v, want 1 violation", vs)
 	}
-	if vs := h.c.CheckRead(0, addrY, s1, "r2=y"); len(vs) != 0 {
+	if vs := h.c.CheckRead(0, addrY, s1, h.m.Intern("r2=y")); len(vs) != 0 {
 		t.Fatalf("CheckRead(y=1) = %v, want none", vs)
 	}
 }
@@ -370,10 +371,10 @@ func TestCheckReadPredictsViolation(t *testing.T) {
 // TestViolationDedup: the same bug observed twice is recorded once.
 func TestViolationDedup(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(0, addrY, 1, "y=1")
-	h.m.Store(0, addrX, 2, "x=2")
-	h.m.Store(0, addrY, 2, "y=2")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(0, addrY, 1, h.m.Intern("y=1"))
+	h.m.Store(0, addrX, 2, h.m.Intern("x=2"))
+	h.m.Store(0, addrY, 2, h.m.Intern("y=2"))
 	h.m.Crash()
 	h.readValue(0, addrX, 1, false, "r1=x")
 	h.readValue(0, addrY, 2, false, "r2=y")
@@ -387,12 +388,12 @@ func TestViolationDedup(t *testing.T) {
 // is dropped so an independent second bug is still found.
 func TestContinuesPastViolation(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(0, addrY, 1, "y=1")
-	h.m.Store(0, addrX, 2, "x=2")
-	h.m.Store(0, addrY, 2, "y=2")
-	h.m.Store(1, addrZ, 1, "z=1")
-	h.m.Store(1, addrZ+8, 1, "w=1") // same line as z
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(0, addrY, 1, h.m.Intern("y=1"))
+	h.m.Store(0, addrX, 2, h.m.Intern("x=2"))
+	h.m.Store(0, addrY, 2, h.m.Intern("y=2"))
+	h.m.Store(1, addrZ, 1, h.m.Intern("z=1"))
+	h.m.Store(1, addrZ+8, 1, h.m.Intern("w=1")) // same line as z
 	h.m.Crash()
 	h.readValue(0, addrX, 1, false, "r1=x")
 	h.readValue(0, addrY, 2, false, "r2=y") // bug 1
@@ -409,10 +410,10 @@ func TestContinuesPastViolation(t *testing.T) {
 // validation fails constrain nothing (§6.4, violations #33–#35).
 func TestChecksumRegionDiscardsInvalid(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(0, addrY, 1, "y=1")
-	h.m.Store(0, addrX, 2, "x=2")
-	h.m.Store(0, addrY, 2, "y=2")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(0, addrY, 1, h.m.Intern("y=1"))
+	h.m.Store(0, addrX, 2, h.m.Intern("x=2"))
+	h.m.Store(0, addrY, 2, h.m.Intern("y=2"))
 	h.m.Crash()
 	h.c.BeginChecksumRegion(0)
 	h.readValue(0, addrX, 1, false, "r1=x")
@@ -432,10 +433,10 @@ func TestChecksumRegionDiscardsInvalid(t *testing.T) {
 // deferred loads are processed and violations surface normally.
 func TestChecksumRegionValidatesAndReports(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(0, addrY, 1, "y=1")
-	h.m.Store(0, addrX, 2, "x=2")
-	h.m.Store(0, addrY, 2, "y=2")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(0, addrY, 1, h.m.Intern("y=1"))
+	h.m.Store(0, addrX, 2, h.m.Intern("x=2"))
+	h.m.Store(0, addrY, 2, h.m.Intern("y=2"))
 	h.m.Crash()
 	h.c.BeginChecksumRegion(0)
 	h.readValue(0, addrX, 1, false, "r1=x")
@@ -453,10 +454,10 @@ func TestChecksumRegionValidatesAndReports(t *testing.T) {
 // suggestion (§5.2 "Alternatively, ... colocating fields").
 func TestColocationFixSuggested(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(0, addrY, 1, "y=1")
-	h.m.Store(0, addrX, 2, "x=2")
-	h.m.Store(0, addrY, 2, "y=2")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(0, addrY, 1, h.m.Intern("y=1"))
+	h.m.Store(0, addrX, 2, h.m.Intern("x=2"))
+	h.m.Store(0, addrY, 2, h.m.Intern("y=2"))
 	h.m.Crash()
 	h.readValue(0, addrX, 1, false, "r1=x")
 	vs := h.readValue(0, addrY, 2, false, "r2=y")
@@ -477,10 +478,10 @@ func TestColocationFixSuggested(t *testing.T) {
 func TestSameLineStoresNeedNoFlush(t *testing.T) {
 	h := newHarness(t)
 	a, b := addrX, addrX+8 // same line
-	h.m.Store(0, a, 1, "a=1")
-	h.m.Store(0, b, 1, "b=1")
-	h.m.Store(0, a, 2, "a=2")
-	h.m.Store(0, b, 2, "b=2")
+	h.m.Store(0, a, 1, h.m.Intern("a=1"))
+	h.m.Store(0, b, 1, h.m.Intern("b=1"))
+	h.m.Store(0, a, 2, h.m.Intern("a=2"))
+	h.m.Store(0, b, 2, h.m.Intern("b=2"))
 	h.m.Crash()
 	// b=2 persisted implies a=2 persisted: reading a=1 is impossible at
 	// the machine level, so only consistent outcomes are reachable.

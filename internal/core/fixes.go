@@ -16,9 +16,13 @@ import (
 // operation and a store is approximated by comparing the operation's
 // clock vector with the store's, which is exact for operations in the
 // two stores' own threads — the cases the paper distinguishes.
+//
+// It runs at record time, on the frozen store copies, while the trace of
+// the detecting execution is still intact; window boundaries are
+// materialized as label strings so the resulting Fix outlives the trace.
 func (c *Checker) computeFixes(v *Violation) []Fix {
 	mf, p := v.MissingFlush, v.Persisted
-	if mf == nil || p == nil || mf == p || mf.Initial || p.Initial {
+	if mf == nil || p == nil || mf.ID == p.ID || mf.Initial || p.Initial {
 		return nil
 	}
 	var fixes []Fix
@@ -50,11 +54,11 @@ func (c *Checker) computeFixes(v *Violation) []Fix {
 
 // flushWindow computes the flush insertion window for thread tau, if one
 // exists: a range of tau's operations that happen after mf and before p.
-func (c *Checker) flushWindow(tau memmodel.ThreadID, mf, p *trace.Store) (Fix, bool) {
+func (c *Checker) flushWindow(tau memmodel.ThreadID, mf, p *StoreRef) (Fix, bool) {
 	evs := c.tr.EventsOf(mf.SubExec, tau)
 	start := -1
 	for i, ev := range evs {
-		if ev.Store == mf {
+		if ev.Store != nil && ev.Store.ID == mf.ID {
 			continue // the store itself; the window starts strictly after
 		}
 		if mf.CV.Leq(ev.CV) {
@@ -83,14 +87,17 @@ func (c *Checker) flushWindow(tau memmodel.ThreadID, mf, p *trace.Store) (Fix, b
 	if tau == p.Thread {
 		// Operations of p's own thread before p are hb-before p by
 		// program order; anchor the window end at p itself.
-		return Fix{Kind: FixInsertFlush, Thread: tau, AfterLoc: evs[start].Loc, BeforeLoc: p.Loc}, true
+		return Fix{Kind: FixInsertFlush, Thread: tau, AfterLoc: c.evLoc(evs[start]), BeforeLoc: p.Loc}, true
 	}
 	if end < 0 {
 		return Fix{}, false
 	}
 	before := ""
 	if end+1 < len(evs) {
-		before = evs[end+1].Loc
+		before = c.evLoc(evs[end+1])
 	}
-	return Fix{Kind: FixInsertFlush, Thread: tau, AfterLoc: evs[start].Loc, BeforeLoc: before}, true
+	return Fix{Kind: FixInsertFlush, Thread: tau, AfterLoc: c.evLoc(evs[start]), BeforeLoc: before}, true
 }
+
+// evLoc materializes an event's interned label.
+func (c *Checker) evLoc(ev *trace.Event) string { return c.tr.LocString(ev.Loc) }

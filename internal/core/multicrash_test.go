@@ -12,11 +12,11 @@ import (
 // next() spans them all).
 func TestDeepMultiCrashConstrainsAllIntervening(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "e1:x=1")
+	h.m.Store(0, addrX, 1, h.m.Intern("e1:x=1"))
 	h.m.Crash()
-	h.m.Store(0, addrX, 2, "e2:x=2")
+	h.m.Store(0, addrX, 2, h.m.Intern("e2:x=2"))
 	h.m.Crash()
-	h.m.Store(0, addrX, 3, "e3:x=3")
+	h.m.Store(0, addrX, 3, h.m.Intern("e3:x=3"))
 	h.m.Crash()
 	if vs := h.readValue(0, addrX, 1, false, "e4: r=x"); len(vs) != 0 {
 		t.Fatalf("reading e1's store alone is consistent: %v", vs)
@@ -38,11 +38,11 @@ func TestDeepMultiCrashConstrainsAllIntervening(t *testing.T) {
 // persisted is a violation in that sub-execution.
 func TestDeepMultiCrashViolationInMiddleSubExec(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "e1:x=1")
-	h.m.Store(0, addrY, 1, "e1:y=1")
+	h.m.Store(0, addrX, 1, h.m.Intern("e1:x=1"))
+	h.m.Store(0, addrY, 1, h.m.Intern("e1:y=1"))
 	h.m.Crash()
-	h.m.Store(0, addrX, 2, "e2:x=2")
-	h.m.Store(0, addrY, 2, "e2:y=2")
+	h.m.Store(0, addrX, 2, h.m.Intern("e2:x=2"))
+	h.m.Store(0, addrY, 2, h.m.Intern("e2:y=2"))
 	h.m.Crash()
 	h.m.Crash() // e3 empty
 	// e4: read y from e2 (fresh there), then x from e1 (stale across
@@ -66,17 +66,17 @@ func TestDeepMultiCrashViolationInMiddleSubExec(t *testing.T) {
 // store raises the same violation a load would.
 func TestRMWReadsAreChecked(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(0, addrY, 1, "y=1")
-	h.m.Store(0, addrX, 2, "x=2")
-	h.m.Store(0, addrY, 2, "y=2")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(0, addrY, 1, h.m.Intern("y=1"))
+	h.m.Store(0, addrX, 2, h.m.Intern("x=2"))
+	h.m.Store(0, addrY, 2, h.m.Intern("y=2"))
 	h.m.Crash()
 	h.readValue(0, addrX, 1, false, "r1=x")
 	// CAS on y reading the too-new store: find the y=2 candidate.
 	for _, c := range h.m.LoadCandidates(0, addrY) {
 		if c.Store.Value == 2 {
-			h.m.CAS(0, addrY, c, 2, 9, "cas y")
-			vs := h.c.ObserveRead(0, addrY, c.Store, "cas y")
+			h.m.CAS(0, addrY, c, 2, 9, h.m.Intern("cas y"))
+			vs := h.c.ObserveRead(0, addrY, c.Store, h.m.Intern("cas y"))
 			if len(vs) != 1 || vs[0].Kind != ReadTooNew {
 				t.Fatalf("CAS read not checked: %v", vs)
 			}
@@ -90,10 +90,10 @@ func TestRMWReadsAreChecked(t *testing.T) {
 // the two stores, the interval, and at least one fix.
 func TestViolationReportContents(t *testing.T) {
 	h := newHarness(t)
-	h.m.Store(0, addrX, 1, "x=1")
-	h.m.Store(0, addrY, 1, "y=1")
-	h.m.Store(0, addrX, 2, "x=2")
-	h.m.Store(0, addrY, 2, "y=2")
+	h.m.Store(0, addrX, 1, h.m.Intern("x=1"))
+	h.m.Store(0, addrY, 1, h.m.Intern("y=1"))
+	h.m.Store(0, addrX, 2, h.m.Intern("x=2"))
+	h.m.Store(0, addrY, 2, h.m.Intern("y=2"))
 	h.m.Crash()
 	h.readValue(0, addrX, 1, false, "r1=x")
 	vs := h.readValue(0, addrY, 2, false, "r2=y")
@@ -117,17 +117,17 @@ func TestThreeThreadFixWindows(t *testing.T) {
 	h := newHarness(t)
 	// t0 stores x (no flush), t1 reads x and stores y (flushed), t2
 	// reads y pre-crash and stores z (flushed).
-	h.m.Store(0, addrX, 1, "t0: x=1")
+	h.m.Store(0, addrX, 1, h.m.Intern("t0: x=1"))
 	c := h.m.LoadCandidates(1, addrX)
-	h.m.Load(1, addrX, c[0], "t1: r=x")
-	h.c.ObserveRead(1, addrX, c[0].Store, "t1: r=x")
-	h.m.Store(1, addrY, 1, "t1: y=1")
-	h.m.Flush(1, addrY, "t1: flush y")
+	h.m.Load(1, addrX, c[0], h.m.Intern("t1: r=x"))
+	h.c.ObserveRead(1, addrX, c[0].Store, h.m.Intern("t1: r=x"))
+	h.m.Store(1, addrY, 1, h.m.Intern("t1: y=1"))
+	h.m.Flush(1, addrY, h.m.Intern("t1: flush y"))
 	cy := h.m.LoadCandidates(2, addrY)
-	h.m.Load(2, addrY, cy[0], "t2: s=y")
-	h.c.ObserveRead(2, addrY, cy[0].Store, "t2: s=y")
-	h.m.Store(2, addrZ, 1, "t2: z=1")
-	h.m.Flush(2, addrZ, "t2: flush z")
+	h.m.Load(2, addrY, cy[0], h.m.Intern("t2: s=y"))
+	h.c.ObserveRead(2, addrY, cy[0].Store, h.m.Intern("t2: s=y"))
+	h.m.Store(2, addrZ, 1, h.m.Intern("t2: z=1"))
+	h.m.Flush(2, addrZ, h.m.Intern("t2: flush z"))
 	h.m.Crash()
 	h.readValue(0, addrX, 0, true, "post: r=x")
 	vs := h.readValue(0, addrZ, 1, false, "post: r=z")

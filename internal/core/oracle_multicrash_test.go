@@ -55,9 +55,9 @@ func runOnce2(p1, p2 []oracleOp, picks []int) (rfs []*trace.Store, counts []int,
 		for _, op := range ops {
 			switch op.kind {
 			case 0:
-				m.Store(op.thread, op.addr, op.value, "s")
+				m.Store(op.thread, op.addr, op.value, m.Intern("s"))
 			case 1:
-				m.Flush(op.thread, op.addr, "f")
+				m.Flush(op.thread, op.addr, m.Intern("f"))
 			}
 		}
 	}
@@ -73,8 +73,8 @@ func runOnce2(p1, p2 []oracleOp, picks []int) (rfs []*trace.Store, counts []int,
 		if i < len(picks) && picks[i] < len(cands) {
 			pick = picks[i]
 		}
-		m.Load(0, a, cands[pick], "post read")
-		if vs := ck.ObserveRead(0, a, cands[pick].Store, "post read"); len(vs) > 0 {
+		m.Load(0, a, cands[pick], m.Intern("post read"))
+		if vs := ck.ObserveRead(0, a, cands[pick].Store, m.Intern("post read")); len(vs) > 0 {
 			flagged = true
 		}
 		rfs = append(rfs, cands[pick].Store)

@@ -63,13 +63,13 @@ func runOnce(ops []oracleOp, picks []int) (rfs []*trace.Store, counts []int, tr 
 	for _, op := range ops {
 		switch op.kind {
 		case 0:
-			m.Store(op.thread, op.addr, op.value, "s")
+			m.Store(op.thread, op.addr, op.value, m.Intern("s"))
 		case 1:
-			m.Flush(op.thread, op.addr, "f")
+			m.Flush(op.thread, op.addr, m.Intern("f"))
 		case 2:
 			cands := m.LoadCandidates(op.thread, op.addr)
-			m.Load(op.thread, op.addr, cands[0], "sync read")
-			ck.ObserveRead(op.thread, op.addr, cands[0].Store, "sync read")
+			m.Load(op.thread, op.addr, cands[0], m.Intern("sync read"))
+			ck.ObserveRead(op.thread, op.addr, cands[0].Store, m.Intern("sync read"))
 		}
 	}
 	m.Crash()
@@ -81,8 +81,8 @@ func runOnce(ops []oracleOp, picks []int) (rfs []*trace.Store, counts []int, tr 
 		if i < len(picks) && picks[i] < len(cands) {
 			pick = picks[i]
 		}
-		m.Load(0, a, cands[pick], "post read")
-		if vs := ck.ObserveRead(0, a, cands[pick].Store, "post read"); len(vs) > 0 {
+		m.Load(0, a, cands[pick], m.Intern("post read"))
+		if vs := ck.ObserveRead(0, a, cands[pick].Store, m.Intern("post read")); len(vs) > 0 {
 			flagged = true
 		}
 		rfs = append(rfs, cands[pick].Store)

@@ -27,6 +27,7 @@ import (
 	"repro/internal/memmodel"
 	"repro/internal/pmem"
 	"repro/internal/px86"
+	"repro/internal/trace"
 )
 
 // Program is a persistent-memory test program: one or more crash-
@@ -138,6 +139,12 @@ type Options struct {
 	// concurrently and the indices are strictly increasing (1, 2, …),
 	// regardless of the order worker goroutines finish in.
 	Progress func(exec int)
+	// FreshWorlds builds a new World for every execution instead of
+	// resetting and reusing a per-worker one. Results are bit-identical
+	// either way (World.Reset restores the initial state exactly, and the
+	// reuse property test asserts it); the option exists for that test
+	// and for debugging suspected reuse bugs.
+	FreshWorlds bool
 	// AfterExecution, when non-nil, receives each execution's world
 	// after its phases complete, letting post-hoc analyses (the baseline
 	// checkers of §6.4) inspect the trace. Like Progress it is
@@ -312,6 +319,7 @@ type randomPlan struct {
 	px          px86.Config
 	drainPct    int
 	keepWorld   bool
+	fresh       bool
 }
 
 // planRandom runs the pilot execution and fixes the per-run knobs.
@@ -339,26 +347,49 @@ func planRandom(p Program, opt *Options) *randomPlan {
 		px:          px,
 		drainPct:    drainPct,
 		keepWorld:   opt.AfterExecution != nil,
+		// A world handed to AfterExecution escapes the worker, so it
+		// cannot be reused either.
+		fresh: opt.FreshWorlds || opt.AfterExecution != nil,
 	}
+}
+
+// workerState is one worker's reusable per-execution scratch: the world
+// (machine, trace, checker, heap, RNG — reset between executions) and
+// the crash-target buffer.
+type workerState struct {
+	w       *pmem.World
+	targets []int
+}
+
+func (ws *workerState) targetBuf(n int) []int {
+	if cap(ws.targets) < n {
+		ws.targets = make([]int, n)
+	}
+	return ws.targets[:n]
 }
 
 // randomExecution runs execution exec of a random-mode run. The seed is
 // derived from the execution index alone, so the outcome is independent
 // of which worker runs it and of every other execution.
-func randomExecution(p Program, opt *Options, plan *randomPlan, exec int) execOutcome {
+func randomExecution(p Program, opt *Options, plan *randomPlan, ws *workerState, exec int) execOutcome {
 	start := time.Now()
 	seed := opt.Seed + int64(exec)*2654435761
-	w := pmem.NewWorld(pmem.Config{
-		Px86:               plan.px,
-		Seed:               seed,
-		OpLimit:            opt.OpLimit,
-		Chooser:            plan.chooser,
-		RandomDrainPercent: plan.drainPct,
-	})
+	w := ws.w
+	if w != nil && !plan.fresh {
+		w.Reset(seed)
+	} else {
+		w = pmem.NewWorld(pmem.Config{
+			Px86:               plan.px,
+			Seed:               seed,
+			OpLimit:            opt.OpLimit,
+			Chooser:            plan.chooser,
+			RandomDrainPercent: plan.drainPct,
+		})
+	}
 	if opt.DisableChecker {
 		w.Checker.SetEnabled(false)
 	}
-	targets := make([]int, len(plan.pilotCounts))
+	targets := ws.targetBuf(len(plan.pilotCounts))
 	for i := range targets {
 		// Uniform over [0, count]: before each fence-like op, or
 		// past the end (crash after the last operation).
@@ -373,6 +404,8 @@ func randomExecution(p Program, opt *Options, plan *randomPlan, exec int) execOu
 	}
 	if plan.keepWorld {
 		o.world = w
+	} else if !plan.fresh {
+		ws.w = w
 	}
 	return o
 }
@@ -387,8 +420,9 @@ func runRandom(p Program, opt Options) *Result {
 	if opt.Workers > 1 {
 		runRandomParallel(p, &opt, plan, res, seen)
 	} else {
+		ws := &workerState{}
 		for exec := 0; exec < opt.Executions; exec++ {
-			res.collect(randomExecution(p, &opt, plan, exec), seen, &opt)
+			res.collect(randomExecution(p, &opt, plan, ws, exec), seen, &opt)
 		}
 	}
 	res.Elapsed = time.Since(start)
@@ -475,7 +509,7 @@ func mcWorld(opt *Options, ctl *controller) *pmem.World {
 		Px86:    opt.Px86,
 		Seed:    0,
 		OpLimit: opt.OpLimit,
-		Chooser: func(_ *pmem.World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ string) px86.Candidate {
+		Chooser: func(_ *pmem.World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ trace.LocID) px86.Candidate {
 			return cands[ctl.next(len(cands))]
 		},
 	})

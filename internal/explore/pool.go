@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/pmem"
 )
 
 // collectorSlack bounds how far ahead of the collector workers may run:
@@ -36,6 +37,7 @@ func runRandomParallel(p Program, opt *Options, plan *randomPlan, res *Result, s
 	var next int64 = -1
 	for i := 0; i < opt.Workers; i++ {
 		go func() {
+			ws := &workerState{} // worker-lifetime reusable world + scratch
 			for {
 				tokens <- struct{}{} // wait for the collector to keep up
 				exec := int(atomic.AddInt64(&next, 1))
@@ -43,7 +45,7 @@ func runRandomParallel(p Program, opt *Options, plan *randomPlan, res *Result, s
 					<-tokens
 					return
 				}
-				outc <- randomExecution(p, opt, plan, exec)
+				outc <- randomExecution(p, opt, plan, ws, exec)
 			}
 		}()
 	}
@@ -175,14 +177,24 @@ func (e *mcEngine) runSubtree(v int) {
 		ctl.trail = []decision{{val: v, domain: v + 1}}
 	}
 	first := true
+	// One world serves the whole sub-DFS (its chooser closes over this
+	// subtree's controller); it is reset between executions.
+	var w *pmem.World
+	targets := make([]int, e.numPre)
+	decIdx := make([]int, e.numPre)
 	for {
 		if !e.allowance(v, len(sub.execs)) {
 			return
 		}
 		ctl.pos = 0
-		w := mcWorld(e.opt, ctl)
-		targets := make([]int, e.numPre)
-		decIdx := make([]int, e.numPre)
+		if w == nil || e.opt.FreshWorlds {
+			w = mcWorld(e.opt, ctl)
+		} else {
+			w.Reset(0)
+			if e.opt.DisableChecker {
+				w.Checker.SetEnabled(false)
+			}
+		}
 		for i := range targets {
 			decIdx[i] = ctl.pos
 			targets[i] = ctl.next(-1)

@@ -21,12 +21,17 @@ type Program struct {
 	name   string
 	src    *lang.Program
 	layout map[string]memmodel.Addr
+	// labels precomputes the source-location string of every memory
+	// operation in the program, so the per-operation hot path does no
+	// formatting. Read-only after New — Phases may run on many
+	// goroutines at once.
+	labels map[any]string
 }
 
 // New lays out the program's locations and returns an executable
 // Program.
 func New(name string, src *lang.Program) *Program {
-	p := &Program{name: name, src: src, layout: make(map[string]memmodel.Addr)}
+	p := &Program{name: name, src: src, layout: make(map[string]memmodel.Addr), labels: make(map[any]string)}
 	// Place sameline groups first: consecutive words of one line.
 	base := memmodel.Addr(0x10000)
 	for _, group := range src.SameLine {
@@ -41,7 +46,67 @@ func New(name string, src *lang.Program) *Program {
 			base += memmodel.CacheLineSize
 		}
 	}
+	for _, ph := range src.Phases {
+		for _, td := range ph.Threads {
+			p.walkStmts(td.Body)
+		}
+	}
 	return p
+}
+
+// walkStmts precomputes operation labels for every statement and
+// expression reachable from ss.
+func (p *Program) walkStmts(ss []lang.Stmt) {
+	for _, s := range ss {
+		switch x := s.(type) {
+		case *lang.LetStmt:
+			p.walkExpr(x.Expr)
+		case *lang.StoreStmt:
+			p.label(x, x.Pos)
+			p.walkExpr(x.Expr)
+		case *lang.FlushStmt:
+			p.label(x, x.Pos)
+		case *lang.FenceStmt:
+			p.label(x, x.Pos)
+		case *lang.IfStmt:
+			p.walkExpr(x.Cond)
+			p.walkStmts(x.Then)
+			p.walkStmts(x.Else)
+		case *lang.RepeatStmt:
+			p.walkStmts(x.Body)
+		case *lang.WhileStmt:
+			p.walkExpr(x.Cond)
+			p.walkStmts(x.Body)
+		case *lang.AssertStmt:
+			p.label(x, x.Pos)
+			p.walkExpr(x.Expr)
+		case *lang.ExprStmt:
+			p.walkExpr(x.Expr)
+		}
+	}
+}
+
+func (p *Program) walkExpr(e lang.Expr) {
+	switch x := e.(type) {
+	case *lang.LoadExpr:
+		p.label(x, x.Pos)
+	case *lang.CASExpr:
+		p.label(x, x.Pos)
+		p.walkExpr(x.Expected)
+		p.walkExpr(x.New)
+	case *lang.FAAExpr:
+		p.label(x, x.Pos)
+		p.walkExpr(x.Delta)
+	case *lang.BinExpr:
+		p.walkExpr(x.L)
+		p.walkExpr(x.R)
+	case *lang.NotExpr:
+		p.walkExpr(x.E)
+	}
+}
+
+func (p *Program) label(n fmt.Stringer, pos lang.Pos) {
+	p.labels[n] = fmt.Sprintf("%s @%s", n, pos)
 }
 
 // Name implements explore.Program.
@@ -99,7 +164,13 @@ type threadExec struct {
 	regs map[string]memmodel.Value
 }
 
+// loc returns the precomputed label for a node, formatting on the fly
+// for nodes inserted after New (repair.Apply patches ASTs in place) —
+// without writing the shared map, since phases run concurrently.
 func (ex *threadExec) loc(stmtOrExpr fmt.Stringer, pos lang.Pos) string {
+	if s, ok := ex.p.labels[stmtOrExpr]; ok {
+		return s
+	}
 	return fmt.Sprintf("%s @%s", stmtOrExpr, pos)
 }
 

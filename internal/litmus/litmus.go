@@ -61,10 +61,11 @@ func (d *driver) printf(format string, args ...any) {
 // value (or the initial store), narrates the constraint state, and
 // returns any violations.
 func (d *driver) read(t memmodel.ThreadID, a memmodel.Addr, v memmodel.Value, initial bool, loc string) []*core.Violation {
+	lid := d.w.M.Intern(loc)
 	for _, c := range d.w.M.LoadCandidates(t, a) {
 		if c.Store.Initial == initial && (initial || c.Store.Value == v) {
-			d.w.M.Load(t, a, c, loc)
-			vs := d.w.Checker.ObserveRead(t, a, c.Store, loc)
+			d.w.M.Load(t, a, c, lid)
+			vs := d.w.Checker.ObserveRead(t, a, c.Store, lid)
 			d.printf("  %s reads %v\n", loc, c.Store)
 			d.narrateIntervals()
 			for _, viol := range vs {

@@ -26,6 +26,10 @@ type Heap struct {
 // NewHeap returns a heap with no allocations.
 func NewHeap() *Heap { return &Heap{next: heapBase} }
 
+// Reset forgets every allocation, returning the heap to its initial
+// state for a reused World.
+func (h *Heap) Reset() { h.next = heapBase }
+
 // Alloc reserves size bytes, word aligned, and returns the base address.
 // Fresh memory reads as zero.
 func (h *Heap) Alloc(size int) memmodel.Addr {

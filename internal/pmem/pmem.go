@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/memmodel"
 	"repro/internal/px86"
+	"repro/internal/trace"
 )
 
 // CrashSignal is the panic value used to unwind a phase when the
@@ -37,24 +38,24 @@ type AbortSignal struct{ Reason string }
 // ReadChooser selects which store a load reads from when the crash image
 // leaves more than one possibility. It is the hook where exploration
 // strategies (random, model checking, violation avoidance) plug in.
-type ReadChooser func(w *World, t memmodel.ThreadID, addr memmodel.Addr, cands []px86.Candidate, loc string) px86.Candidate
+type ReadChooser func(w *World, t memmodel.ThreadID, addr memmodel.Addr, cands []px86.Candidate, loc trace.LocID) px86.Candidate
 
 // ChooseNewest picks the newest legal store — the behavior of an
 // execution in which everything persisted.
-func ChooseNewest(_ *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ string) px86.Candidate {
+func ChooseNewest(_ *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ trace.LocID) px86.Candidate {
 	return cands[0]
 }
 
 // ChooseOldest picks the oldest legal store — the behavior of an
 // execution in which as little as possible persisted. Useful in tests
 // that want the worst surviving image.
-func ChooseOldest(_ *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ string) px86.Candidate {
+func ChooseOldest(_ *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ trace.LocID) px86.Candidate {
 	return cands[len(cands)-1]
 }
 
 // ChooseRandom picks uniformly among the legal stores using the world's
 // random source.
-func ChooseRandom(w *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ string) px86.Candidate {
+func ChooseRandom(w *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ trace.LocID) px86.Candidate {
 	return cands[w.rng.Intn(len(cands))]
 }
 
@@ -65,8 +66,8 @@ func ChooseRandom(w *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.C
 // candidate violates, the inner chooser picks among all of them and the
 // violation is reported.
 func ChooseAvoidingViolations(inner ReadChooser) ReadChooser {
-	return func(w *World, t memmodel.ThreadID, addr memmodel.Addr, cands []px86.Candidate, loc string) px86.Candidate {
-		clean := make([]px86.Candidate, 0, len(cands))
+	return func(w *World, t memmodel.ThreadID, addr memmodel.Addr, cands []px86.Candidate, loc trace.LocID) px86.Candidate {
+		clean := w.steer[:0]
 		for _, c := range cands {
 			if len(w.Checker.CheckRead(t, addr, c.Store, loc)) == 0 {
 				clean = append(clean, c)
@@ -76,6 +77,7 @@ func ChooseAvoidingViolations(inner ReadChooser) ReadChooser {
 				w.Checker.FlagRead(t, addr, c.Store, loc)
 			}
 		}
+		w.steer = clean
 		if len(clean) > 0 {
 			return inner(w, t, addr, clean, loc)
 		}
@@ -125,6 +127,10 @@ type World struct {
 
 	spawned []*simThread
 
+	// steer is ChooseAvoidingViolations' scratch for the clean-candidate
+	// subset, reused across loads.
+	steer []px86.Candidate
+
 	// assertFailures records failed program assertions ("assert(e)" in
 	// the Figure 9 language, or Assert calls from benchmark ports). The
 	// Jaaru-style baseline detects bugs only through these.
@@ -161,6 +167,26 @@ func NewWorld(cfg Config) *World {
 		opLimit:     limit,
 		drainPct:    cfg.RandomDrainPercent,
 	}
+}
+
+// Reset returns the world to its initial state — zeroed memory, empty
+// trace, unconstrained checker, fresh heap — reseeding the random source
+// so the world replays exactly as a new one built with the same seed.
+// The configured chooser, op limit, and drain percentage persist.
+// Allocations made by previous executions (trace arenas, intern table,
+// epoch pools, scratch buffers) are retained for reuse.
+func (w *World) Reset(seed int64) {
+	w.M.Reset()
+	w.Checker.Reset()
+	w.Heap.Reset()
+	w.rng.Seed(seed)
+	w.crashTarget = -1
+	w.fenceOps = 0
+	w.ops = 0
+	w.crashed = false
+	w.threadIDs = w.threadIDs[:0]
+	w.spawned = nil
+	w.assertFailures = nil
 }
 
 // Rand returns the world's random source (shared by schedulers and
@@ -269,7 +295,7 @@ func (t *Thread) step(kind memmodel.OpKind) {
 // Store writes v to word a.
 func (t *Thread) Store(a memmodel.Addr, v memmodel.Value, loc string) {
 	t.step(memmodel.OpStore)
-	t.w.M.Store(t.ID, a, v, loc)
+	t.w.M.Store(t.ID, a, v, t.w.M.Intern(loc))
 }
 
 // Load reads word a, resolving post-crash nondeterminism through the
@@ -277,38 +303,39 @@ func (t *Thread) Store(a memmodel.Addr, v memmodel.Value, loc string) {
 func (t *Thread) Load(a memmodel.Addr, loc string) memmodel.Value {
 	t.step(memmodel.OpLoad)
 	w := t.w
+	lid := w.M.Intern(loc)
 	cands := w.M.LoadCandidates(t.ID, a)
 	chosen := cands[0]
 	if len(cands) > 1 {
-		chosen = w.chooser(w, t.ID, a, cands, loc)
+		chosen = w.chooser(w, t.ID, a, cands, lid)
 	}
-	v := w.M.Load(t.ID, a, chosen, loc)
-	w.Checker.ObserveRead(t.ID, a, chosen.Store, loc)
+	v := w.M.Load(t.ID, a, chosen, lid)
+	w.Checker.ObserveRead(t.ID, a, chosen.Store, lid)
 	return v
 }
 
 // Flush issues clflush on the line containing a.
 func (t *Thread) Flush(a memmodel.Addr, loc string) {
 	t.step(memmodel.OpFlush)
-	t.w.M.Flush(t.ID, a, loc)
+	t.w.M.Flush(t.ID, a, t.w.M.Intern(loc))
 }
 
 // FlushOpt issues clflushopt/clwb on the line containing a.
 func (t *Thread) FlushOpt(a memmodel.Addr, loc string) {
 	t.step(memmodel.OpFlushOpt)
-	t.w.M.FlushOpt(t.ID, a, loc)
+	t.w.M.FlushOpt(t.ID, a, t.w.M.Intern(loc))
 }
 
 // SFence issues a store fence (a drain operation).
 func (t *Thread) SFence(loc string) {
 	t.step(memmodel.OpSFence)
-	t.w.M.SFence(t.ID, loc)
+	t.w.M.SFence(t.ID, t.w.M.Intern(loc))
 }
 
 // MFence issues a full fence (a drain operation).
 func (t *Thread) MFence(loc string) {
 	t.step(memmodel.OpMFence)
-	t.w.M.MFence(t.ID, loc)
+	t.w.M.MFence(t.ID, t.w.M.Intern(loc))
 }
 
 // Persist is the idiomatic "make it durable" sequence: clflushopt
@@ -325,13 +352,14 @@ func (t *Thread) Persist(a memmodel.Addr, size int, loc string) {
 func (t *Thread) CAS(a memmodel.Addr, expected, newV memmodel.Value, loc string) (memmodel.Value, bool) {
 	t.step(memmodel.OpCAS)
 	w := t.w
+	lid := w.M.Intern(loc)
 	cands := w.M.LoadCandidates(t.ID, a)
 	chosen := cands[0]
 	if len(cands) > 1 {
-		chosen = w.chooser(w, t.ID, a, cands, loc)
+		chosen = w.chooser(w, t.ID, a, cands, lid)
 	}
-	old, ok := w.M.CAS(t.ID, a, chosen, expected, newV, loc)
-	w.Checker.ObserveRead(t.ID, a, chosen.Store, loc)
+	old, ok := w.M.CAS(t.ID, a, chosen, expected, newV, lid)
+	w.Checker.ObserveRead(t.ID, a, chosen.Store, lid)
 	return old, ok
 }
 
@@ -339,13 +367,14 @@ func (t *Thread) CAS(a memmodel.Addr, expected, newV memmodel.Value, loc string)
 func (t *Thread) FAA(a memmodel.Addr, delta memmodel.Value, loc string) memmodel.Value {
 	t.step(memmodel.OpFAA)
 	w := t.w
+	lid := w.M.Intern(loc)
 	cands := w.M.LoadCandidates(t.ID, a)
 	chosen := cands[0]
 	if len(cands) > 1 {
-		chosen = w.chooser(w, t.ID, a, cands, loc)
+		chosen = w.chooser(w, t.ID, a, cands, lid)
 	}
-	old := w.M.FAA(t.ID, a, chosen, delta, loc)
-	w.Checker.ObserveRead(t.ID, a, chosen.Store, loc)
+	old := w.M.FAA(t.ID, a, chosen, delta, lid)
+	w.Checker.ObserveRead(t.ID, a, chosen.Store, lid)
 	return old
 }
 

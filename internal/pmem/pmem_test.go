@@ -166,8 +166,8 @@ func TestChooseAvoidingViolationsFindsBugAndSteersAround(t *testing.T) {
 	cands := w.M.LoadCandidates(0, addrX)
 	for _, c := range cands {
 		if c.Store.Value == 1 {
-			w.M.Load(0, addrX, c, "r1=x")
-			w.Checker.ObserveRead(0, addrX, c.Store, "r1=x")
+			w.M.Load(0, addrX, c, w.M.Intern("r1=x"))
+			w.Checker.ObserveRead(0, addrX, c.Store, w.M.Intern("r1=x"))
 		}
 	}
 	got := th.Load(addrY, "r2=y")
@@ -235,14 +235,14 @@ func TestChecksumRegionThroughThread(t *testing.T) {
 	// These reads would violate, but the checksum will fail.
 	for _, c := range w.M.LoadCandidates(0, addrX) {
 		if c.Store.Value == 1 {
-			w.M.Load(0, addrX, c, "r1=x")
-			w.Checker.ObserveRead(0, addrX, c.Store, "r1=x")
+			w.M.Load(0, addrX, c, w.M.Intern("r1=x"))
+			w.Checker.ObserveRead(0, addrX, c.Store, w.M.Intern("r1=x"))
 		}
 	}
 	for _, c := range w.M.LoadCandidates(0, addrY) {
 		if c.Store.Value == 2 {
-			w.M.Load(0, addrY, c, "r2=y")
-			w.Checker.ObserveRead(0, addrY, c.Store, "r2=y")
+			w.M.Load(0, addrY, c, w.M.Intern("r2=y"))
+			w.Checker.ObserveRead(0, addrY, c.Store, w.M.Intern("r2=y"))
 		}
 	}
 	th.EndChecksum(false)

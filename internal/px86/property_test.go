@@ -21,22 +21,22 @@ func randomProgram(m *Machine, seed int64, alwaysFlush bool) {
 		a := words[rng.Intn(len(words))]
 		switch rng.Intn(6) {
 		case 0, 1, 2:
-			m.Store(t, a, memmodel.Value(rng.Intn(100)+1), "store")
+			m.Store(t, a, memmodel.Value(rng.Intn(100)+1), m.Intern("store"))
 			if alwaysFlush {
-				m.Flush(t, a, "flush-after-store")
+				m.Flush(t, a, m.Intern("flush-after-store"))
 			}
 		case 3:
-			m.Flush(t, a, "flush")
+			m.Flush(t, a, m.Intern("flush"))
 		case 4:
-			m.FlushOpt(t, a, "flushopt")
+			m.FlushOpt(t, a, m.Intern("flushopt"))
 			if rng.Intn(2) == 0 {
-				m.SFence(t, "sfence")
+				m.SFence(t, m.Intern("sfence"))
 			}
 		case 5:
 			c := m.LoadCandidates(t, a)
-			m.FAA(t, a, c[0], 1, "faa")
+			m.FAA(t, a, c[0], 1, m.Intern("faa"))
 			if alwaysFlush {
-				m.Flush(t, a, "flush-after-faa")
+				m.Flush(t, a, m.Intern("flush-after-faa"))
 			}
 		}
 	}
@@ -70,7 +70,7 @@ func TestPropertySameLinePrefix(t *testing.T) {
 		if !found {
 			return true // newest excluded by flush bookkeeping elsewhere
 		}
-		m.Load(0, w1, chosen, "r1")
+		m.Load(0, w1, chosen, m.Intern("r1"))
 		// If last1 committed after last2, then last2 must have persisted
 		// too: w2 must now read exactly last2.
 		if last1.Seq > last2.Seq {
@@ -142,7 +142,7 @@ func TestPropertyResolutionStable(t *testing.T) {
 				pick = int(picks[i]) % len(cands)
 			}
 			first[i] = cands[pick].Store
-			m.Load(0, a, cands[pick], "r")
+			m.Load(0, a, cands[pick], m.Intern("r"))
 		}
 		for i, a := range words {
 			cands := m.LoadCandidates(0, a)
@@ -168,13 +168,13 @@ func TestPropertyGuaranteeBounds(t *testing.T) {
 		for i := 0; i < 30; i++ {
 			switch rng.Intn(4) {
 			case 0, 1:
-				m.Store(0, line+memmodel.Addr(8*rng.Intn(4)), 1, "s")
+				m.Store(0, line+memmodel.Addr(8*rng.Intn(4)), 1, m.Intern("s"))
 				committed++
 			case 2:
-				m.Flush(0, line, "f")
+				m.Flush(0, line, m.Intern("f"))
 			case 3:
-				m.FlushOpt(0, line, "fo")
-				m.SFence(0, "sf")
+				m.FlushOpt(0, line, m.Intern("fo"))
+				m.SFence(0, m.Intern("sf"))
 			}
 			g := m.GuaranteedPersistCount(line)
 			if g < prevG || g > committed {

@@ -42,7 +42,7 @@ type bufEntry struct {
 	kind  memmodel.OpKind
 	store *trace.Store  // for OpStore/OpCAS/OpFAA
 	line  memmodel.Addr // for OpFlush/OpFlushOpt
-	loc   string
+	loc   trace.LocID
 }
 
 // pendingFlush is a clflushopt that has left the store buffer but whose
@@ -94,6 +94,15 @@ type Machine struct {
 	buffers map[memmodel.ThreadID][]bufEntry
 	pending map[memmodel.ThreadID][]pendingFlush
 	lines   map[memmodel.Addr]*lineState
+
+	// epochFree recycles sealed epochs across Reset; Crash draws from it
+	// before allocating.
+	epochFree []*epoch
+	// cands is the scratch buffer LoadCandidates returns; see its
+	// contract.
+	cands []Candidate
+	// candIdxs is LoadCandidates' per-epoch store-index scratch.
+	candIdxs []int
 }
 
 // New returns a machine with all of persistent memory zero-initialized.
@@ -110,6 +119,41 @@ func New(cfg Config) *Machine {
 
 // Trace returns the execution trace recorded so far.
 func (m *Machine) Trace() *trace.Trace { return m.tr }
+
+// Intern maps a source label to the trace's dense LocID, the form every
+// instruction method takes.
+func (m *Machine) Intern(loc string) trace.LocID { return m.tr.Intern(loc) }
+
+// Reset rewinds the machine (and its trace) to the freshly-constructed
+// state, recycling the trace arenas, the cache-line records, and the
+// sealed epochs. The trace's intern table is kept. Pointers previously
+// obtained from the machine or its trace become invalid.
+func (m *Machine) Reset() {
+	clear(m.mem)
+	clear(m.buffers)
+	clear(m.pending)
+	for _, ls := range m.lines {
+		m.epochFree = append(m.epochFree, ls.sealed...)
+		ls.sealed = ls.sealed[:0]
+		if ls.live != nil {
+			m.epochFree = append(m.epochFree, ls.live)
+		}
+		ls.live = m.newEpoch()
+	}
+	m.tr.Reset()
+}
+
+// newEpoch returns a zeroed epoch, recycled when possible.
+func (m *Machine) newEpoch() *epoch {
+	if n := len(m.epochFree); n > 0 {
+		ep := m.epochFree[n-1]
+		m.epochFree = m.epochFree[:n-1]
+		ep.stores = ep.stores[:0]
+		ep.lo, ep.hi = 0, 0
+		return ep
+	}
+	return &epoch{}
+}
 
 func (m *Machine) line(a memmodel.Addr) *lineState {
 	l := a.Line()
@@ -195,7 +239,7 @@ func (m *Machine) drainCompletes(t memmodel.ThreadID) {
 
 // Store issues a store of v to word a by thread t. In delayed-commit
 // mode the store waits in t's buffer; otherwise it commits immediately.
-func (m *Machine) Store(t memmodel.ThreadID, a memmodel.Addr, v memmodel.Value, loc string) *trace.Store {
+func (m *Machine) Store(t memmodel.ThreadID, a memmodel.Addr, v memmodel.Value, loc trace.LocID) *trace.Store {
 	st := m.tr.StoreIssue(t, a, v, memmodel.OpStore, loc)
 	if m.cfg.DelayedCommit {
 		m.buffers[t] = append(m.buffers[t], bufEntry{kind: memmodel.OpStore, store: st, loc: loc})
@@ -207,7 +251,7 @@ func (m *Machine) Store(t memmodel.ThreadID, a memmodel.Addr, v memmodel.Value, 
 
 // Flush issues a clflush of the line containing a. It enters the store
 // buffer like a store (clflush is ordered like a store, §2).
-func (m *Machine) Flush(t memmodel.ThreadID, a memmodel.Addr, loc string) {
+func (m *Machine) Flush(t memmodel.ThreadID, a memmodel.Addr, loc trace.LocID) {
 	m.tr.Fence(t, memmodel.OpFlush, a.Line(), loc)
 	e := bufEntry{kind: memmodel.OpFlush, line: a.Line(), loc: loc}
 	if m.cfg.DelayedCommit {
@@ -219,7 +263,7 @@ func (m *Machine) Flush(t memmodel.ThreadID, a memmodel.Addr, loc string) {
 
 // FlushOpt issues a clflushopt/clwb of the line containing a. Its
 // persistence is guaranteed only after a subsequent drain by t.
-func (m *Machine) FlushOpt(t memmodel.ThreadID, a memmodel.Addr, loc string) {
+func (m *Machine) FlushOpt(t memmodel.ThreadID, a memmodel.Addr, loc trace.LocID) {
 	m.tr.Fence(t, memmodel.OpFlushOpt, a.Line(), loc)
 	e := bufEntry{kind: memmodel.OpFlushOpt, line: a.Line(), loc: loc}
 	if m.cfg.DelayedCommit {
@@ -231,7 +275,7 @@ func (m *Machine) FlushOpt(t memmodel.ThreadID, a memmodel.Addr, loc string) {
 
 // SFence issues a store fence: it drains t's store buffer and completes
 // t's outstanding clflushopt operations.
-func (m *Machine) SFence(t memmodel.ThreadID, loc string) {
+func (m *Machine) SFence(t memmodel.ThreadID, loc trace.LocID) {
 	m.tr.Fence(t, memmodel.OpSFence, 0, loc)
 	m.DrainAll(t)
 	m.drainCompletes(t)
@@ -239,7 +283,7 @@ func (m *Machine) SFence(t memmodel.ThreadID, loc string) {
 
 // MFence issues a full fence; for persistency purposes it behaves like
 // SFence (both are drain operations).
-func (m *Machine) MFence(t memmodel.ThreadID, loc string) {
+func (m *Machine) MFence(t memmodel.ThreadID, loc trace.LocID) {
 	m.tr.Fence(t, memmodel.OpMFence, 0, loc)
 	m.DrainAll(t)
 	m.drainCompletes(t)
@@ -270,22 +314,27 @@ type Candidate struct {
 // Post-crash reads of unresolved words may have several; reading the
 // zero-initialized original contents is represented by the synthetic
 // initial store.
+// The returned slice is a machine-owned scratch buffer, valid only until
+// the next LoadCandidates call on the same machine; callers that keep
+// more than one candidate set alive must copy.
 func (m *Machine) LoadCandidates(t memmodel.ThreadID, a memmodel.Addr) []Candidate {
 	a = a.Word()
+	cands := m.cands[:0]
 	// TSO store-buffer forwarding: newest buffered store to a by t.
 	buf := m.buffers[t]
 	for i := len(buf) - 1; i >= 0; i-- {
 		if e := buf[i]; e.store != nil && e.store.Addr == a {
-			return []Candidate{{Store: e.store, epochIdx: -1}}
+			m.cands = append(cands, Candidate{Store: e.store, epochIdx: -1})
+			return m.cands
 		}
 	}
 	// Committed this sub-execution: the cache holds a definite value.
 	if st, ok := m.mem[a]; ok {
-		return []Candidate{{Store: st, epochIdx: -1}}
+		m.cands = append(cands, Candidate{Store: st, epochIdx: -1})
+		return m.cands
 	}
 	// Unresolved: walk sealed epochs newest-first.
 	ls := m.lines[a.Line()]
-	var cands []Candidate
 	var sealed []*epoch
 	if ls != nil {
 		sealed = ls.sealed
@@ -294,12 +343,13 @@ func (m *Machine) LoadCandidates(t memmodel.ThreadID, a memmodel.Addr) []Candida
 	for j := len(sealed) - 1; j >= 0 && !blocked; j-- {
 		ep := sealed[j]
 		// Indices of stores to a within this epoch.
-		var idxs []int
+		idxs := m.candIdxs[:0]
 		for i, s := range ep.stores {
 			if s.Addr == a {
 				idxs = append(idxs, i)
 			}
 		}
+		m.candIdxs = idxs
 		for k, i := range idxs {
 			// Store at index i is visible for prefix lengths in
 			// [i+1, next], where next is the index of the next store to
@@ -325,6 +375,7 @@ func (m *Machine) LoadCandidates(t memmodel.ThreadID, a memmodel.Addr) []Candida
 	if !blocked {
 		cands = append(cands, Candidate{Store: m.tr.Initial(a), resolve: true, epochIdx: -1})
 	}
+	m.cands = cands
 	return cands
 }
 
@@ -363,7 +414,7 @@ func (m *Machine) resolveChoice(a memmodel.Addr, c Candidate) {
 // Load performs a load of word a by thread t reading from the chosen
 // candidate, which must come from LoadCandidates for the same (t, a).
 // It returns the loaded value.
-func (m *Machine) Load(t memmodel.ThreadID, a memmodel.Addr, c Candidate, loc string) memmodel.Value {
+func (m *Machine) Load(t memmodel.ThreadID, a memmodel.Addr, c Candidate, loc trace.LocID) memmodel.Value {
 	a = a.Word()
 	m.resolveChoice(a, c)
 	m.tr.Load(t, a, c.Store, memmodel.OpLoad, loc)
@@ -373,7 +424,7 @@ func (m *Machine) Load(t memmodel.ThreadID, a memmodel.Addr, c Candidate, loc st
 // LoadDefault performs a load reading the newest legal store — the
 // behavior of an execution where everything persisted. It is the
 // convenient entry point for code running before any crash.
-func (m *Machine) LoadDefault(t memmodel.ThreadID, a memmodel.Addr, loc string) memmodel.Value {
+func (m *Machine) LoadDefault(t memmodel.ThreadID, a memmodel.Addr, loc trace.LocID) memmodel.Value {
 	cands := m.LoadCandidates(t, a)
 	return m.Load(t, a, cands[0], loc)
 }
@@ -391,7 +442,7 @@ func (m *Machine) rmwBegin(t memmodel.ThreadID) {
 // newV. It returns the value read and whether the swap happened. CAS is
 // analyzed as a load immediately followed by a store (§5) and acts as a
 // drain either way.
-func (m *Machine) CAS(t memmodel.ThreadID, a memmodel.Addr, c Candidate, expected, newV memmodel.Value, loc string) (memmodel.Value, bool) {
+func (m *Machine) CAS(t memmodel.ThreadID, a memmodel.Addr, c Candidate, expected, newV memmodel.Value, loc trace.LocID) (memmodel.Value, bool) {
 	a = a.Word()
 	m.rmwBegin(t)
 	m.resolveChoice(a, c)
@@ -407,7 +458,7 @@ func (m *Machine) CAS(t memmodel.ThreadID, a memmodel.Addr, c Candidate, expecte
 
 // FAA performs an atomic fetch-and-add on word a reading from the chosen
 // candidate, returning the previous value. Like CAS it drains.
-func (m *Machine) FAA(t memmodel.ThreadID, a memmodel.Addr, c Candidate, delta memmodel.Value, loc string) memmodel.Value {
+func (m *Machine) FAA(t memmodel.ThreadID, a memmodel.Addr, c Candidate, delta memmodel.Value, loc trace.LocID) memmodel.Value {
 	a = a.Word()
 	m.rmwBegin(t)
 	m.resolveChoice(a, c)
@@ -424,15 +475,18 @@ func (m *Machine) FAA(t memmodel.ThreadID, a memmodel.Addr, c Candidate, delta m
 // prefix is any length from the flush-guaranteed lower bound up to the
 // full history. A new sub-execution begins.
 func (m *Machine) Crash() {
-	m.buffers = make(map[memmodel.ThreadID][]bufEntry)
-	m.pending = make(map[memmodel.ThreadID][]pendingFlush)
-	m.mem = make(map[memmodel.Addr]*trace.Store)
+	clear(m.buffers)
+	clear(m.pending)
+	clear(m.mem)
 	for _, ls := range m.lines {
 		if len(ls.live.stores) > 0 || ls.live.lo > 0 {
 			ls.live.hi = len(ls.live.stores)
 			ls.sealed = append(ls.sealed, ls.live)
+			ls.live = m.newEpoch()
+		} else {
+			// Nothing to seal: keep the (empty) live epoch.
+			ls.live.lo, ls.live.hi = 0, 0
 		}
-		ls.live = &epoch{}
 	}
 	m.tr.Crash()
 }

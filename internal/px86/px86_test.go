@@ -43,32 +43,32 @@ func hasInitial(cands []Candidate) bool {
 
 func TestVolatileLoadSeesLatestStore(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
-	m.Store(0, addrX, 2, "x=2")
-	if got := m.LoadDefault(1, addrX, "r=x"); got != 2 {
+	m.Store(0, addrX, 1, m.Intern("x=1"))
+	m.Store(0, addrX, 2, m.Intern("x=2"))
+	if got := m.LoadDefault(1, addrX, m.Intern("r=x")); got != 2 {
 		t.Fatalf("load = %d, want 2", got)
 	}
 }
 
 func TestStoreBufferForwarding(t *testing.T) {
 	m := New(Config{DelayedCommit: true})
-	m.Store(0, addrX, 1, "x=1")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
 	// Thread 0 sees its own buffered store; thread 1 sees the initial 0.
-	if got := m.LoadDefault(0, addrX, "own"); got != 1 {
+	if got := m.LoadDefault(0, addrX, m.Intern("own")); got != 1 {
 		t.Fatalf("own load = %d, want 1 (buffer forwarding)", got)
 	}
-	if got := m.LoadDefault(1, addrX, "other"); got != 0 {
+	if got := m.LoadDefault(1, addrX, m.Intern("other")); got != 0 {
 		t.Fatalf("other load = %d, want 0 (not yet committed)", got)
 	}
 	m.DrainAll(0)
-	if got := m.LoadDefault(1, addrX, "other2"); got != 1 {
+	if got := m.LoadDefault(1, addrX, m.Intern("other2")); got != 1 {
 		t.Fatalf("after drain, other load = %d, want 1", got)
 	}
 }
 
 func TestUnflushedStoreMayOrMayNotSurviveCrash(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
 	m.Crash()
 	cands := m.LoadCandidates(0, addrX)
 	if !hasValue(cands, 1) || !hasInitial(cands) {
@@ -78,8 +78,8 @@ func TestUnflushedStoreMayOrMayNotSurviveCrash(t *testing.T) {
 
 func TestClflushGuaranteesPersistence(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
-	m.Flush(0, addrX, "flush x")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
+	m.Flush(0, addrX, m.Intern("flush x"))
 	m.Crash()
 	cands := m.LoadCandidates(0, addrX)
 	if len(cands) != 1 || cands[0].Store.Value != 1 {
@@ -89,8 +89,8 @@ func TestClflushGuaranteesPersistence(t *testing.T) {
 
 func TestClflushOptAloneDoesNotGuarantee(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
-	m.FlushOpt(0, addrX, "flushopt x")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
+	m.FlushOpt(0, addrX, m.Intern("flushopt x"))
 	// No drain: the flush may not have completed at the crash.
 	m.Crash()
 	cands := m.LoadCandidates(0, addrX)
@@ -101,9 +101,9 @@ func TestClflushOptAloneDoesNotGuarantee(t *testing.T) {
 
 func TestClflushOptPlusSFenceGuarantees(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
-	m.FlushOpt(0, addrX, "flushopt x")
-	m.SFence(0, "sfence")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
+	m.FlushOpt(0, addrX, m.Intern("flushopt x"))
+	m.SFence(0, m.Intern("sfence"))
 	m.Crash()
 	cands := m.LoadCandidates(0, addrX)
 	if len(cands) != 1 || cands[0].Store.Value != 1 {
@@ -113,11 +113,11 @@ func TestClflushOptPlusSFenceGuarantees(t *testing.T) {
 
 func TestClflushOptPlusRMWGuarantees(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
-	m.FlushOpt(0, addrX, "flushopt x")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
+	m.FlushOpt(0, addrX, m.Intern("flushopt x"))
 	// A locked RMW on an unrelated location is a drain operation.
 	c := m.LoadCandidates(0, addrY)
-	m.FAA(0, addrY, c[0], 1, "faa y")
+	m.FAA(0, addrY, c[0], 1, m.Intern("faa y"))
 	m.Crash()
 	cands := m.LoadCandidates(0, addrX)
 	if len(cands) != 1 || cands[0].Store.Value != 1 {
@@ -127,9 +127,9 @@ func TestClflushOptPlusRMWGuarantees(t *testing.T) {
 
 func TestDrainByOtherThreadDoesNotComplete(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
-	m.FlushOpt(0, addrX, "flushopt x")
-	m.SFence(1, "sfence by other thread")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
+	m.FlushOpt(0, addrX, m.Intern("flushopt x"))
+	m.SFence(1, m.Intern("sfence by other thread"))
 	m.Crash()
 	cands := m.LoadCandidates(0, addrX)
 	if !hasInitial(cands) {
@@ -139,11 +139,11 @@ func TestDrainByOtherThreadDoesNotComplete(t *testing.T) {
 
 func TestFlushCoversWholeLine(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
-	m.Store(0, addrX2, 2, "x2=2") // same line
-	m.Flush(0, addrX, "flush line")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
+	m.Store(0, addrX2, 2, m.Intern("x2=2")) // same line
+	m.Flush(0, addrX, m.Intern("flush line"))
 	m.Crash()
-	c1 := m.LoadCandidates(0, addrX)
+	c1 := append([]Candidate(nil), m.LoadCandidates(0, addrX)...)
 	c2 := m.LoadCandidates(0, addrX2)
 	if len(c1) != 1 || len(c2) != 1 || c1[0].Store.Value != 1 || c2[0].Store.Value != 2 {
 		t.Fatalf("line flush must persist both words: %v %v", values(c1), values(c2))
@@ -152,9 +152,9 @@ func TestFlushCoversWholeLine(t *testing.T) {
 
 func TestFlushDoesNotCoverOtherLines(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
-	m.Store(0, addrY, 2, "y=2")
-	m.Flush(0, addrX, "flush x only")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
+	m.Store(0, addrY, 2, m.Intern("y=2"))
+	m.Flush(0, addrX, m.Intern("flush x only"))
 	m.Crash()
 	cands := m.LoadCandidates(0, addrY)
 	if !hasInitial(cands) {
@@ -164,9 +164,9 @@ func TestFlushDoesNotCoverOtherLines(t *testing.T) {
 
 func TestFlushDoesNotCoverLaterStores(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
-	m.Flush(0, addrX, "flush")
-	m.Store(0, addrX, 2, "x=2") // after the flush: not covered
+	m.Store(0, addrX, 1, m.Intern("x=1"))
+	m.Flush(0, addrX, m.Intern("flush"))
+	m.Store(0, addrX, 2, m.Intern("x=2")) // after the flush: not covered
 	m.Crash()
 	cands := m.LoadCandidates(0, addrX)
 	if !hasValue(cands, 1) || !hasValue(cands, 2) {
@@ -182,8 +182,8 @@ func TestFlushDoesNotCoverLaterStores(t *testing.T) {
 // one line is consistent, but resolving the newer first pins the prefix.
 func TestSameLinePrefixConsistency(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
-	m.Store(0, addrX2, 2, "x2=2")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
+	m.Store(0, addrX2, 2, m.Intern("x2=2"))
 	m.Crash()
 	// Choose x2 = 2 (the second store persisted) — then x MUST be 1.
 	cands := m.LoadCandidates(0, addrX2)
@@ -197,7 +197,7 @@ func TestSameLinePrefixConsistency(t *testing.T) {
 	if !found {
 		t.Fatalf("no candidate with value 2: %v", values(cands))
 	}
-	m.Load(0, addrX2, chosen, "r=x2")
+	m.Load(0, addrX2, chosen, m.Intern("r=x2"))
 	after := m.LoadCandidates(0, addrX)
 	if len(after) != 1 || after[0].Store.Value != 1 {
 		t.Fatalf("after resolving x2=2, x candidates = %v, want exactly [1]", values(after))
@@ -206,8 +206,8 @@ func TestSameLinePrefixConsistency(t *testing.T) {
 
 func TestSameLinePrefixConsistencyReverse(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
-	m.Store(0, addrX2, 2, "x2=2")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
+	m.Store(0, addrX2, 2, m.Intern("x2=2"))
 	m.Crash()
 	// Choose x = initial (nothing persisted) — then x2 must be initial.
 	cands := m.LoadCandidates(0, addrX)
@@ -221,7 +221,7 @@ func TestSameLinePrefixConsistencyReverse(t *testing.T) {
 	if !found {
 		t.Fatal("initial candidate missing")
 	}
-	m.Load(0, addrX, init, "r=x")
+	m.Load(0, addrX, init, m.Intern("r=x"))
 	after := m.LoadCandidates(0, addrX2)
 	if len(after) != 1 || !after[0].Store.Initial {
 		t.Fatalf("after resolving x=init, x2 candidates = %v, want [initial]", values(after))
@@ -231,11 +231,11 @@ func TestSameLinePrefixConsistencyReverse(t *testing.T) {
 // Different lines are independent: Figure 4's r1=2, r2=5 outcome.
 func TestFigure4Readable(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
-	m.Store(0, addrY, 2, "y=2")
-	m.Store(0, addrX, 3, "x=3")
-	m.Store(0, addrY, 4, "y=4")
-	m.Store(0, addrX, 5, "x=5")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
+	m.Store(0, addrY, 2, m.Intern("y=2"))
+	m.Store(0, addrX, 3, m.Intern("x=3"))
+	m.Store(0, addrY, 4, m.Intern("y=4"))
+	m.Store(0, addrX, 5, m.Intern("x=5"))
 	m.Crash()
 	ycands := m.LoadCandidates(0, addrY)
 	if !hasValue(ycands, 2) {
@@ -243,7 +243,7 @@ func TestFigure4Readable(t *testing.T) {
 	}
 	for _, c := range ycands {
 		if c.Store.Value == 2 {
-			m.Load(0, addrY, c, "r1=y")
+			m.Load(0, addrY, c, m.Intern("r1=y"))
 		}
 	}
 	xcands := m.LoadCandidates(0, addrX)
@@ -254,8 +254,8 @@ func TestFigure4Readable(t *testing.T) {
 
 func TestRepeatedReadsAreStable(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
-	m.Store(0, addrX, 2, "x=2")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
+	m.Store(0, addrX, 2, m.Intern("x=2"))
 	m.Crash()
 	cands := m.LoadCandidates(0, addrX)
 	if len(cands) != 3 { // x=2, x=1, initial
@@ -264,7 +264,7 @@ func TestRepeatedReadsAreStable(t *testing.T) {
 	// Pick the middle store x=1.
 	for _, c := range cands {
 		if c.Store.Value == 1 {
-			m.Load(0, addrX, c, "r=x")
+			m.Load(0, addrX, c, m.Intern("r=x"))
 		}
 	}
 	again := m.LoadCandidates(0, addrX)
@@ -275,9 +275,9 @@ func TestRepeatedReadsAreStable(t *testing.T) {
 
 func TestPostCrashStoreShadowsUnresolved(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
 	m.Crash()
-	m.Store(0, addrX, 9, "x=9")
+	m.Store(0, addrX, 9, m.Intern("x=9"))
 	cands := m.LoadCandidates(0, addrX)
 	if len(cands) != 1 || cands[0].Store.Value != 9 {
 		t.Fatalf("candidates = %v, want exactly [9] (TSO within sub-execution)", values(cands))
@@ -289,10 +289,10 @@ func TestPostCrashStoreShadowsUnresolved(t *testing.T) {
 // unpersisted, y=1 persisted).
 func TestFigure8MultiCrashReadability(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
-	m.Store(0, addrY, 1, "y=1")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
+	m.Store(0, addrY, 1, m.Intern("y=1"))
 	m.Crash()
-	m.Store(0, addrY, 2, "y=2")
+	m.Store(0, addrY, 2, m.Intern("y=2"))
 	// r = x reads initial 0.
 	xc := m.LoadCandidates(0, addrX)
 	if !hasInitial(xc) {
@@ -300,7 +300,7 @@ func TestFigure8MultiCrashReadability(t *testing.T) {
 	}
 	for _, c := range xc {
 		if c.Store.Initial {
-			m.Load(0, addrX, c, "r=x")
+			m.Load(0, addrX, c, m.Intern("r=x"))
 		}
 	}
 	m.Crash()
@@ -311,7 +311,7 @@ func TestFigure8MultiCrashReadability(t *testing.T) {
 	// Choose y=1 from the first sub-execution.
 	for _, c := range yc {
 		if c.Store.Value == 1 {
-			m.Load(0, addrY, c, "s=y")
+			m.Load(0, addrY, c, m.Intern("s=y"))
 		}
 	}
 	again := m.LoadCandidates(0, addrY)
@@ -324,10 +324,10 @@ func TestFigure8MultiCrashReadability(t *testing.T) {
 // unreachable for that word.
 func TestGuaranteedStoreBlocksOlderEpochs(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrY, 1, "e0:y=1")
+	m.Store(0, addrY, 1, m.Intern("e0:y=1"))
 	m.Crash()
-	m.Store(0, addrY, 2, "e1:y=2")
-	m.Flush(0, addrY, "flush")
+	m.Store(0, addrY, 2, m.Intern("e1:y=2"))
+	m.Flush(0, addrY, m.Intern("flush"))
 	m.Crash()
 	cands := m.LoadCandidates(0, addrY)
 	if len(cands) != 1 || cands[0].Store.Value != 2 {
@@ -337,18 +337,18 @@ func TestGuaranteedStoreBlocksOlderEpochs(t *testing.T) {
 
 func TestCASSemantics(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 5, "x=5")
+	m.Store(0, addrX, 5, m.Intern("x=5"))
 	c := m.LoadCandidates(0, addrX)
-	old, ok := m.CAS(0, addrX, c[0], 5, 6, "cas")
+	old, ok := m.CAS(0, addrX, c[0], 5, 6, m.Intern("cas"))
 	if !ok || old != 5 {
 		t.Fatalf("CAS success path: old=%d ok=%v", old, ok)
 	}
 	c = m.LoadCandidates(0, addrX)
-	old, ok = m.CAS(0, addrX, c[0], 5, 7, "cas2")
+	old, ok = m.CAS(0, addrX, c[0], 5, 7, m.Intern("cas2"))
 	if ok || old != 6 {
 		t.Fatalf("CAS failure path: old=%d ok=%v", old, ok)
 	}
-	if got := m.LoadDefault(0, addrX, "r"); got != 6 {
+	if got := m.LoadDefault(0, addrX, m.Intern("r")); got != 6 {
 		t.Fatalf("x = %d, want 6", got)
 	}
 }
@@ -356,37 +356,37 @@ func TestCASSemantics(t *testing.T) {
 func TestFAASemantics(t *testing.T) {
 	m := New(Config{})
 	c := m.LoadCandidates(0, addrX)
-	if old := m.FAA(0, addrX, c[0], 3, "faa"); old != 0 {
+	if old := m.FAA(0, addrX, c[0], 3, m.Intern("faa")); old != 0 {
 		t.Fatalf("FAA old = %d, want 0", old)
 	}
 	c = m.LoadCandidates(0, addrX)
-	if old := m.FAA(0, addrX, c[0], 4, "faa2"); old != 3 {
+	if old := m.FAA(0, addrX, c[0], 4, m.Intern("faa2")); old != 3 {
 		t.Fatalf("FAA old = %d, want 3", old)
 	}
-	if got := m.LoadDefault(0, addrX, "r"); got != 7 {
+	if got := m.LoadDefault(0, addrX, m.Intern("r")); got != 7 {
 		t.Fatalf("x = %d, want 7", got)
 	}
 }
 
 func TestRMWDrainsStoreBuffer(t *testing.T) {
 	m := New(Config{DelayedCommit: true})
-	m.Store(0, addrX, 1, "x=1")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
 	if m.BufferLen(0) != 1 {
 		t.Fatalf("buffer len = %d, want 1", m.BufferLen(0))
 	}
 	c := m.LoadCandidates(0, addrY)
-	m.FAA(0, addrY, c[0], 1, "faa")
+	m.FAA(0, addrY, c[0], 1, m.Intern("faa"))
 	if m.BufferLen(0) != 0 {
 		t.Fatal("RMW must drain the store buffer")
 	}
-	if got := m.LoadDefault(1, addrX, "r"); got != 1 {
+	if got := m.LoadDefault(1, addrX, m.Intern("r")); got != 1 {
 		t.Fatalf("x = %d after RMW drain, want 1", got)
 	}
 }
 
 func TestBufferedStoresLostAtCrash(t *testing.T) {
 	m := New(Config{DelayedCommit: true})
-	m.Store(0, addrX, 1, "x=1")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
 	m.Crash()
 	cands := m.LoadCandidates(0, addrX)
 	if len(cands) != 1 || !cands[0].Store.Initial {
@@ -396,9 +396,9 @@ func TestBufferedStoresLostAtCrash(t *testing.T) {
 
 func TestBufferedFlushLostAtCrash(t *testing.T) {
 	m := New(Config{DelayedCommit: true})
-	m.Store(0, addrX, 1, "x=1")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
 	m.DrainOne(0) // store commits
-	m.Flush(0, addrX, "flush")
+	m.Flush(0, addrX, m.Intern("flush"))
 	// Flush still in the buffer at crash: it never executed.
 	m.Crash()
 	cands := m.LoadCandidates(0, addrX)
@@ -409,9 +409,9 @@ func TestBufferedFlushLostAtCrash(t *testing.T) {
 
 func TestTraceRecordsSubExecutions(t *testing.T) {
 	m := New(Config{})
-	m.Store(0, addrX, 1, "x=1")
+	m.Store(0, addrX, 1, m.Intern("x=1"))
 	m.Crash()
-	m.Store(0, addrX, 2, "x=2")
+	m.Store(0, addrX, 2, m.Intern("x=2"))
 	tr := m.Trace()
 	if tr.NumCrashes() != 1 || len(tr.SubExecs()) != 2 {
 		t.Fatalf("trace shape wrong: crashes=%d subs=%d", tr.NumCrashes(), len(tr.SubExecs()))

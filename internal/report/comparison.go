@@ -55,7 +55,7 @@ func Comparison(opt Options) []ComparisonRow {
 					witcherKeys[f.Key()] = true
 				}
 				for _, u := range baseline.Pmemcheck(w.M.Trace()) {
-					pmemcheckKeys[u.Store.Loc] = true
+					pmemcheckKeys[u.Loc] = true
 				}
 				if len(baseline.AssertOracle(w)) > 0 {
 					assertExecs++

@@ -155,10 +155,11 @@ func runFigure7Litmus() (psan, witcher, pmemcheck, assertOracle bool) {
 // readStore picks a specific candidate (by value, or the initial store)
 // and performs the load, reporting it to the checker.
 func readStore(w *pmem.World, t memmodel.ThreadID, a memmodel.Addr, v memmodel.Value, initial bool, loc string) {
+	lid := w.M.Intern(loc)
 	for _, c := range w.M.LoadCandidates(t, a) {
 		if c.Store.Initial == initial && (initial || c.Store.Value == v) {
-			w.M.Load(t, a, c, loc)
-			w.Checker.ObserveRead(t, a, c.Store, loc)
+			w.M.Load(t, a, c, lid)
+			w.Checker.ObserveRead(t, a, c.Store, lid)
 			return
 		}
 	}

@@ -1,0 +1,49 @@
+package trace
+
+// arenaChunk is the number of records per arena chunk. Chunks are never
+// freed: a run's arenas grow to the high-water mark of one execution and
+// then stop allocating entirely.
+const arenaChunk = 256
+
+// arena is a chunked allocator for trace records. alloc returns a
+// pointer to a zeroed T; reset recycles every record in O(chunks used)
+// while keeping the chunks. Pointers returned before a reset must not be
+// retained across it — the checker freezes any store it reports into a
+// violation for exactly this reason.
+type arena[T any] struct {
+	chunks [][]T
+	ci     int // index of the chunk currently being filled
+	n      int // records used in chunk ci
+}
+
+func (a *arena[T]) alloc() *T {
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]T, arenaChunk))
+	}
+	p := &a.chunks[a.ci][a.n]
+	a.n++
+	if a.n == arenaChunk {
+		a.ci++
+		a.n = 0
+	}
+	return p
+}
+
+// reset zeroes the used prefix (so recycled records start out as if
+// freshly allocated) and rewinds the arena.
+func (a *arena[T]) reset() {
+	var zero T
+	for i := 0; i < a.ci; i++ {
+		c := a.chunks[i]
+		for j := range c {
+			c[j] = zero
+		}
+	}
+	if a.ci < len(a.chunks) {
+		c := a.chunks[a.ci]
+		for j := 0; j < a.n; j++ {
+			c[j] = zero
+		}
+	}
+	a.ci, a.n = 0, 0
+}

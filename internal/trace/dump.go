@@ -34,8 +34,8 @@ func (tr *Trace) Dump(w io.Writer) {
 		case ev.Kind == memmodel.OpFlush || ev.Kind == memmodel.OpFlushOpt:
 			fmt.Fprintf(w, " line %s", ev.Addr)
 		}
-		if ev.Loc != "" {
-			fmt.Fprintf(w, "  ; %s", ev.Loc)
+		if ev.Loc != NoLoc {
+			fmt.Fprintf(w, "  ; %s", tr.LocString(ev.Loc))
 		}
 		fmt.Fprintln(w)
 	}

@@ -9,11 +9,11 @@ import (
 
 func TestDumpListsEventsAndCrashes(t *testing.T) {
 	tr := New()
-	st := tr.StoreIssue(0, 0x1000, 7, memmodel.OpStore, "x=7")
+	st := tr.StoreIssue(0, 0x1000, 7, memmodel.OpStore, tr.Intern("x=7"))
 	tr.StoreCommit(st)
-	tr.Fence(0, memmodel.OpFlush, memmodel.Addr(0x1000).Line(), "flush x")
+	tr.Fence(0, memmodel.OpFlush, memmodel.Addr(0x1000).Line(), tr.Intern("flush x"))
 	tr.Crash()
-	tr.Load(0, 0x1000, st, memmodel.OpLoad, "r=x")
+	tr.Load(0, 0x1000, st, memmodel.OpLoad, tr.Intern("r=x"))
 	var b strings.Builder
 	tr.Dump(&b)
 	out := b.String()
@@ -29,14 +29,14 @@ func TestDumpListsEventsAndCrashes(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	tr := New()
-	st := tr.StoreIssue(0, 0x1000, 1, memmodel.OpStore, "s")
+	st := tr.StoreIssue(0, 0x1000, 1, memmodel.OpStore, tr.Intern("s"))
 	tr.StoreCommit(st)
-	tr.Fence(0, memmodel.OpFlushOpt, 0x1000, "fo")
-	tr.Fence(0, memmodel.OpSFence, 0, "sf")
-	rmw := tr.StoreIssue(0, 0x1000, 2, memmodel.OpCAS, "cas")
+	tr.Fence(0, memmodel.OpFlushOpt, 0x1000, tr.Intern("fo"))
+	tr.Fence(0, memmodel.OpSFence, 0, tr.Intern("sf"))
+	rmw := tr.StoreIssue(0, 0x1000, 2, memmodel.OpCAS, tr.Intern("cas"))
 	tr.StoreCommit(rmw)
 	tr.Crash()
-	tr.Load(0, 0x1000, rmw, memmodel.OpLoad, "r")
+	tr.Load(0, 0x1000, rmw, memmodel.OpLoad, tr.Intern("r"))
 	s := tr.Stats()
 	if s.Stores != 1 || s.Loads != 1 || s.Flushes != 1 || s.Fences != 1 || s.RMWs != 1 || s.Crashes != 1 {
 		t.Fatalf("stats = %+v", s)

@@ -1,0 +1,49 @@
+package trace
+
+// LocID is an interned source-location label. Events, violation keys,
+// and fix windows compare locations by LocID; the string is materialized
+// only when a report is rendered. IDs are dense and private to one
+// Interner (one exploration world): the same label may receive different
+// IDs in different worlds, so cross-world identity must go through the
+// string form.
+type LocID int32
+
+// NoLoc is the LocID of the empty label.
+const NoLoc LocID = 0
+
+// Interner maps source-location labels to dense LocIDs and back. The
+// zero value is not ready for use; it is created by trace.New and shared
+// by everything attached to that trace. An Interner survives Trace.Reset
+// so labels keep their IDs across the executions of one reused world —
+// nothing observable depends on the numeric values, only on within-world
+// consistency.
+type Interner struct {
+	ids  map[string]LocID
+	strs []string
+}
+
+// NewInterner returns an interner holding only the empty label (NoLoc).
+func NewInterner() *Interner {
+	return &Interner{
+		ids:  map[string]LocID{"": NoLoc},
+		strs: []string{""},
+	}
+}
+
+// Intern returns the LocID for s, assigning the next dense ID on first
+// sight. It never allocates for labels already seen.
+func (in *Interner) Intern(s string) LocID {
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	id := LocID(len(in.strs))
+	in.ids[s] = id
+	in.strs = append(in.strs, s)
+	return id
+}
+
+// Str returns the label for id. NoLoc maps to "".
+func (in *Interner) Str(id LocID) string { return in.strs[id] }
+
+// Len returns the number of distinct labels interned (including "").
+func (in *Interner) Len() int { return len(in.strs) }

@@ -7,6 +7,12 @@
 // clock vectors (tracking the happens-before relation over stores) and
 // sequence numbers (tracking the TSO commit order), and the getexec/next
 // helpers used by the LOAD-PREV rule in Figure 10.
+//
+// Store and Event records are allocated from per-trace arenas and source
+// labels are interned to LocIDs, so a trace can be recycled across
+// executions with Reset in O(1) heap traffic. Pointers into a trace
+// (stores, events, Next results) are valid only until the next Reset;
+// consumers that outlive an execution must copy what they keep.
 package trace
 
 import (
@@ -44,13 +50,16 @@ type Store struct {
 	Seq vclock.Seq
 	// Kind is OpStore, OpCAS, or OpFAA.
 	Kind memmodel.OpKind
-	// Loc is the source label of the store site, used for bug reports.
-	Loc string
+	// Loc is the interned source label of the store site, used for bug
+	// reports; resolve it with the owning trace's LocString.
+	Loc LocID
 	// Initial marks the synthetic pre-execution store.
 	Initial bool
 }
 
 // String renders a short identification of the store for diagnostics.
+// The source label is interned in the owning trace, so it is not shown
+// here; report-level types carry the materialized label instead.
 func (s *Store) String() string {
 	if s == nil {
 		return "<nil store>"
@@ -58,11 +67,7 @@ func (s *Store) String() string {
 	if s.Initial {
 		return fmt.Sprintf("init[%s]", s.Addr)
 	}
-	loc := s.Loc
-	if loc == "" {
-		loc = fmt.Sprintf("store#%d", s.ID)
-	}
-	return fmt.Sprintf("%s(%s=%d @t%d e%d clk%d)", loc, s.Addr, uint64(s.Value), int(s.Thread), s.SubExec, int64(s.Clock))
+	return fmt.Sprintf("store#%d(%s=%d @t%d e%d clk%d)", s.ID, s.Addr, uint64(s.Value), int(s.Thread), s.SubExec, int64(s.Clock))
 }
 
 // HappensBefore reports whether s happens before t: both stores are in
@@ -101,8 +106,8 @@ type Event struct {
 	RF *Store
 	// SubExec is the sub-execution index.
 	SubExec int
-	// Loc is the source label of the operation.
-	Loc string
+	// Loc is the interned source label of the operation.
+	Loc LocID
 	// CV is the executing thread's clock vector immediately after the
 	// event, used to compute fix windows (§5.2).
 	CV vclock.CV
@@ -127,6 +132,28 @@ type SubExec struct {
 	events []int
 }
 
+// reset rewinds the sub-execution for reuse at position idx. Map entries
+// are kept with emptied values rather than deleted: an empty store list
+// behaves exactly like an absent one (StoresTo, StoreByClock, and
+// ThreadCV all treat them identically), and keeping the entries lets the
+// backing arrays be reused when the same addresses and threads reappear
+// in the next execution.
+func (e *SubExec) reset(idx int) {
+	e.Index = idx
+	e.Stores = e.Stores[:0]
+	for k, v := range e.byLoc {
+		e.byLoc[k] = v[:0]
+	}
+	for k, v := range e.byThread {
+		e.byThread[k] = v[:0]
+	}
+	for k := range e.threadCV {
+		e.threadCV[k] = vclock.CV{}
+	}
+	e.seq = 0
+	e.events = e.events[:0]
+}
+
 // StoresTo returns the committed stores to addr in TSO order.
 func (e *SubExec) StoresTo(addr memmodel.Addr) []*Store { return e.byLoc[addr.Word()] }
 
@@ -148,26 +175,73 @@ func (e *SubExec) ThreadCV(t memmodel.ThreadID) vclock.CV { return e.threadCV[t]
 // simulated machine serializes all operations (simulated threads are
 // interleaved by the explorer, not by goroutines).
 type Trace struct {
-	subs        []*SubExec
+	subs        []*SubExec // active prefix of subPool
+	subPool     []*SubExec // every sub-execution ever created, reused by Reset
 	events      []*Event
 	initials    map[memmodel.Addr]*Store
 	nextStoreID int64
+
+	interner *Interner
+	stores   arena[Store]
+	evs      arena[Event]
+
+	// nextOut/nextSeen are the scratch buffers of Next; see its contract.
+	nextOut  []*Store
+	nextSeen []memmodel.ThreadID
 }
 
 // New returns an empty trace with one (initial) sub-execution.
 func New() *Trace {
-	t := &Trace{initials: make(map[memmodel.Addr]*Store)}
+	t := &Trace{
+		initials: make(map[memmodel.Addr]*Store),
+		interner: NewInterner(),
+	}
 	t.pushSubExec()
 	return t
 }
 
+// Reset rewinds the trace to the empty state for the next execution,
+// recycling every Store, Event, and SubExec. The intern table is kept:
+// labels retain their IDs across the executions of one reused world.
+// All pointers previously handed out (stores, events, Next results)
+// become invalid.
+func (tr *Trace) Reset() {
+	for _, s := range tr.subs {
+		s.reset(s.Index)
+	}
+	tr.subs = tr.subPool[:0]
+	tr.events = tr.events[:0]
+	clear(tr.initials)
+	tr.nextStoreID = 0
+	tr.stores.reset()
+	tr.evs.reset()
+	tr.pushSubExec()
+}
+
+// Intern maps a source label to its dense per-trace LocID.
+func (tr *Trace) Intern(loc string) LocID { return tr.interner.Intern(loc) }
+
+// LocString materializes an interned label.
+func (tr *Trace) LocString(id LocID) string { return tr.interner.Str(id) }
+
+// Interner exposes the trace's intern table (shared with the machine and
+// checker attached to this trace).
+func (tr *Trace) Interner() *Interner { return tr.interner }
+
 func (tr *Trace) pushSubExec() {
-	tr.subs = append(tr.subs, &SubExec{
-		Index:    len(tr.subs),
+	n := len(tr.subs)
+	if n < len(tr.subPool) {
+		tr.subPool[n].reset(n)
+		tr.subs = tr.subPool[:n+1]
+		return
+	}
+	tr.subPool = append(tr.subPool, &SubExec{
+		Index:    n,
 		byLoc:    make(map[memmodel.Addr][]*Store),
 		byThread: make(map[memmodel.ThreadID][]*Store),
 		threadCV: make(map[memmodel.ThreadID]vclock.CV),
 	})
+	tr.subs = tr.subPool
 }
 
 // Current returns the current (last) sub-execution.
@@ -193,13 +267,12 @@ func (tr *Trace) Initial(addr memmodel.Addr) *Store {
 	if s, ok := tr.initials[addr]; ok {
 		return s
 	}
-	s := &Store{
-		ID:      -int64(len(tr.initials)) - 1,
-		Addr:    addr,
-		Thread:  memmodel.NoThread,
-		SubExec: 0,
-		Initial: true,
-	}
+	s := tr.stores.alloc()
+	s.ID = -int64(len(tr.initials)) - 1
+	s.Addr = addr
+	s.Thread = memmodel.NoThread
+	s.SubExec = 0
+	s.Initial = true
 	tr.initials[addr] = s
 	return s
 }
@@ -216,24 +289,31 @@ func (tr *Trace) appendEvent(ev *Event) *Event {
 // StoreIssue applies the [STORE ISSUE] rule: it increments the thread's
 // clock vector, creates the store with that vector and a zero sequence
 // number, and logs the event. The returned store is not yet committed.
-func (tr *Trace) StoreIssue(t memmodel.ThreadID, addr memmodel.Addr, v memmodel.Value, kind memmodel.OpKind, loc string) *Store {
+func (tr *Trace) StoreIssue(t memmodel.ThreadID, addr memmodel.Addr, v memmodel.Value, kind memmodel.OpKind, loc LocID) *Store {
 	cur := tr.Current()
 	cv := cur.threadCV[t].Inc(t)
 	cur.threadCV[t] = cv
 	tr.nextStoreID++
-	st := &Store{
-		ID:      tr.nextStoreID,
-		Addr:    addr.Word(),
-		Value:   v,
-		Thread:  t,
-		SubExec: cur.Index,
-		Clock:   cv.At(t),
-		CV:      cv,
-		Kind:    kind,
-		Loc:     loc,
-	}
+	st := tr.stores.alloc()
+	st.ID = tr.nextStoreID
+	st.Addr = addr.Word()
+	st.Value = v
+	st.Thread = t
+	st.SubExec = cur.Index
+	st.Clock = cv.At(t)
+	st.CV = cv
+	st.Kind = kind
+	st.Loc = loc
 	cur.byThread[t] = append(cur.byThread[t], st)
-	tr.appendEvent(&Event{Kind: kind, Thread: t, Addr: st.Addr, Value: v, Store: st, Loc: loc, CV: cv})
+	ev := tr.evs.alloc()
+	ev.Kind = kind
+	ev.Thread = t
+	ev.Addr = st.Addr
+	ev.Value = v
+	ev.Store = st
+	ev.Loc = loc
+	ev.CV = cv
+	tr.appendEvent(ev)
 	return st
 }
 
@@ -261,7 +341,7 @@ func (tr *Trace) StoreCommit(st *Store) {
 // Reads that cross a crash boundary do not merge vectors — recovery
 // threads are fresh threads; those reads are instead checked by the
 // LOAD-PREV rule of the robustness checker.
-func (tr *Trace) Load(t memmodel.ThreadID, addr memmodel.Addr, rf *Store, kind memmodel.OpKind, loc string) *Event {
+func (tr *Trace) Load(t memmodel.ThreadID, addr memmodel.Addr, rf *Store, kind memmodel.OpKind, loc LocID) *Event {
 	cur := tr.Current()
 	if rf != nil && !rf.Initial && rf.SubExec == cur.Index {
 		cur.threadCV[t] = cur.threadCV[t].Join(rf.CV)
@@ -270,18 +350,35 @@ func (tr *Trace) Load(t memmodel.ThreadID, addr memmodel.Addr, rf *Store, kind m
 	if rf != nil {
 		v = rf.Value
 	}
-	return tr.appendEvent(&Event{Kind: kind, Thread: t, Addr: addr.Word(), Value: v, RF: rf, Loc: loc, CV: cur.threadCV[t]})
+	ev := tr.evs.alloc()
+	ev.Kind = kind
+	ev.Thread = t
+	ev.Addr = addr.Word()
+	ev.Value = v
+	ev.RF = rf
+	ev.Loc = loc
+	ev.CV = cur.threadCV[t]
+	return tr.appendEvent(ev)
 }
 
 // Fence logs a fence, flush, or flush-opt event.
-func (tr *Trace) Fence(t memmodel.ThreadID, kind memmodel.OpKind, addr memmodel.Addr, loc string) *Event {
-	return tr.appendEvent(&Event{Kind: kind, Thread: t, Addr: addr, Loc: loc, CV: tr.Current().threadCV[t]})
+func (tr *Trace) Fence(t memmodel.ThreadID, kind memmodel.OpKind, addr memmodel.Addr, loc LocID) *Event {
+	ev := tr.evs.alloc()
+	ev.Kind = kind
+	ev.Thread = t
+	ev.Addr = addr
+	ev.Loc = loc
+	ev.CV = tr.Current().threadCV[t]
+	return tr.appendEvent(ev)
 }
 
 // Crash applies the [CRASH] rule: it logs the crash event and begins a
 // new sub-execution with a fresh CV map and sequence counter.
 func (tr *Trace) Crash() {
-	tr.appendEvent(&Event{Kind: memmodel.OpCrash, Thread: memmodel.NoThread})
+	ev := tr.evs.alloc()
+	ev.Kind = memmodel.OpCrash
+	ev.Thread = memmodel.NoThread
+	tr.appendEvent(ev)
 	tr.pushSubExec()
 }
 
@@ -298,28 +395,45 @@ func (tr *Trace) GetExec(st *Store) *SubExec { return tr.subs[st.SubExec] }
 // Only committed stores participate: a store still sitting in a store
 // buffer at the crash never reached the cache, cannot have persisted, and
 // therefore constrains nothing.
+//
+// The returned slice is a trace-owned scratch buffer, valid only until
+// the next Next call on the same trace.
 func (tr *Trace) Next(st *Store, ecur int) []*Store {
-	var out []*Store
-	firstPerThread := func(stores []*Store, after vclock.Seq) {
-		seen := make(map[memmodel.ThreadID]bool)
-		for _, s := range stores {
-			if s.Seq > after && !seen[s.Thread] {
-				seen[s.Thread] = true
-				out = append(out, s)
-			}
-		}
-	}
+	tr.nextOut = tr.nextOut[:0]
 	start := st.SubExec + 1
 	if st.Initial {
 		// The initial store precedes all stores of sub-execution 0.
-		firstPerThread(tr.subs[st.SubExec].byLoc[st.Addr], 0)
+		tr.firstPerThread(tr.subs[st.SubExec].byLoc[st.Addr], 0)
 	} else {
-		firstPerThread(tr.subs[st.SubExec].byLoc[st.Addr], st.Seq)
+		tr.firstPerThread(tr.subs[st.SubExec].byLoc[st.Addr], st.Seq)
 	}
 	for i := start; i < ecur && i < len(tr.subs); i++ {
-		firstPerThread(tr.subs[i].byLoc[st.Addr], 0)
+		tr.firstPerThread(tr.subs[i].byLoc[st.Addr], 0)
 	}
-	return out
+	return tr.nextOut
+}
+
+// firstPerThread appends to nextOut the first store per thread with
+// Seq > after. Each call starts with a fresh per-thread seen set; the
+// thread count is tiny, so a linear scan beats a map.
+func (tr *Trace) firstPerThread(stores []*Store, after vclock.Seq) {
+	tr.nextSeen = tr.nextSeen[:0]
+	for _, s := range stores {
+		if s.Seq <= after {
+			continue
+		}
+		dup := false
+		for _, t := range tr.nextSeen {
+			if t == s.Thread {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			tr.nextSeen = append(tr.nextSeen, s.Thread)
+			tr.nextOut = append(tr.nextOut, s)
+		}
+	}
 }
 
 // SubEvents returns all events of sub-execution e in execution order.

@@ -13,7 +13,7 @@ const (
 
 // issueCommit is a helper that issues and immediately commits a store.
 func issueCommit(tr *Trace, t memmodel.ThreadID, a memmodel.Addr, v memmodel.Value, loc string) *Store {
-	st := tr.StoreIssue(t, a, v, memmodel.OpStore, loc)
+	st := tr.StoreIssue(t, a, v, memmodel.OpStore, tr.Intern(loc))
 	tr.StoreCommit(st)
 	return st
 }
@@ -33,8 +33,8 @@ func TestClocksArePerThreadAndUnique(t *testing.T) {
 
 func TestSeqTracksCommitOrderNotIssueOrder(t *testing.T) {
 	tr := New()
-	a := tr.StoreIssue(0, addrX, 1, memmodel.OpStore, "a")
-	b := tr.StoreIssue(1, addrY, 2, memmodel.OpStore, "b")
+	a := tr.StoreIssue(0, addrX, 1, memmodel.OpStore, tr.Intern("a"))
+	b := tr.StoreIssue(1, addrY, 2, memmodel.OpStore, tr.Intern("b"))
 	// b commits before a: TSO order is b, a even though a issued first.
 	tr.StoreCommit(b)
 	tr.StoreCommit(a)
@@ -49,7 +49,7 @@ func TestSeqTracksCommitOrderNotIssueOrder(t *testing.T) {
 
 func TestUncommittedStoreHasZeroSeq(t *testing.T) {
 	tr := New()
-	st := tr.StoreIssue(0, addrX, 1, memmodel.OpStore, "st")
+	st := tr.StoreIssue(0, addrX, 1, memmodel.OpStore, tr.Intern("st"))
 	if st.Seq != 0 {
 		t.Fatalf("issued store has Seq %d, want 0", st.Seq)
 	}
@@ -60,7 +60,7 @@ func TestUncommittedStoreHasZeroSeq(t *testing.T) {
 
 func TestDoubleCommitPanics(t *testing.T) {
 	tr := New()
-	st := tr.StoreIssue(0, addrX, 1, memmodel.OpStore, "st")
+	st := tr.StoreIssue(0, addrX, 1, memmodel.OpStore, tr.Intern("st"))
 	tr.StoreCommit(st)
 	defer func() {
 		if recover() == nil {
@@ -75,7 +75,7 @@ func TestLoadMergesStoreCVWithinSubExec(t *testing.T) {
 	s1 := issueCommit(tr, 0, addrX, 1, "x=1")
 	// Thread 1 reads x=1, then stores y: the y-store must carry the
 	// happens-before edge from x=1 (the Figure 7 pattern).
-	tr.Load(1, addrX, s1, memmodel.OpLoad, "r1=x")
+	tr.Load(1, addrX, s1, memmodel.OpLoad, tr.Intern("r1=x"))
 	s2 := issueCommit(tr, 1, addrY, 1, "y=r1")
 	if !s1.HappensBefore(s2) {
 		t.Fatalf("x=1 should happen before y=r1: s1.CV=%v s2.CV=%v", s1.CV, s2.CV)
@@ -89,7 +89,7 @@ func TestLoadAcrossCrashDoesNotMergeCV(t *testing.T) {
 	tr := New()
 	s1 := issueCommit(tr, 0, addrX, 1, "x=1")
 	tr.Crash()
-	tr.Load(0, addrX, s1, memmodel.OpLoad, "post r=x")
+	tr.Load(0, addrX, s1, memmodel.OpLoad, tr.Intern("post r=x"))
 	s2 := issueCommit(tr, 0, addrY, 7, "post y=7")
 	if s1.HappensBefore(s2) {
 		t.Fatal("stores in different sub-executions are not hb-related")
@@ -210,16 +210,16 @@ func TestEventsOf(t *testing.T) {
 	tr := New()
 	issueCommit(tr, 0, addrX, 1, "a")
 	issueCommit(tr, 1, addrY, 2, "b")
-	tr.Load(0, addrY, nil, memmodel.OpLoad, "c")
+	tr.Load(0, addrY, nil, memmodel.OpLoad, tr.Intern("c"))
 	evs := tr.EventsOf(0, 0)
-	if len(evs) != 2 || evs[0].Loc != "a" || evs[1].Loc != "c" {
+	if len(evs) != 2 || tr.LocString(evs[0].Loc) != "a" || tr.LocString(evs[1].Loc) != "c" {
 		t.Fatalf("EventsOf(0,0) = %v", evs)
 	}
 }
 
 func TestRMWStoreKind(t *testing.T) {
 	tr := New()
-	st := tr.StoreIssue(0, addrX, 5, memmodel.OpCAS, "cas")
+	st := tr.StoreIssue(0, addrX, 5, memmodel.OpCAS, tr.Intern("cas"))
 	tr.StoreCommit(st)
 	if st.Kind != memmodel.OpCAS {
 		t.Fatalf("kind = %v, want cas", st.Kind)
@@ -246,7 +246,7 @@ func TestStoreCVRecordsLastHBStoreOfOtherThreads(t *testing.T) {
 	tr := New()
 	a1 := issueCommit(tr, 0, addrX, 1, "a1")
 	a2 := issueCommit(tr, 0, addrY, 2, "a2")
-	tr.Load(1, addrY, a2, memmodel.OpLoad, "r=y")
+	tr.Load(1, addrY, a2, memmodel.OpLoad, tr.Intern("r=y"))
 	b1 := issueCommit(tr, 1, addrX, 3, "b1")
 	if got := b1.CV.At(0); got != a2.Clock {
 		t.Fatalf("SCV(b1)(t0) = %d, want %d (clock of a2)", got, a2.Clock)
@@ -259,7 +259,7 @@ func TestStoreCVRecordsLastHBStoreOfOtherThreads(t *testing.T) {
 func TestLoadEventRecordsValue(t *testing.T) {
 	tr := New()
 	s := issueCommit(tr, 0, addrX, 42, "x=42")
-	ev := tr.Load(1, addrX, s, memmodel.OpLoad, "r=x")
+	ev := tr.Load(1, addrX, s, memmodel.OpLoad, tr.Intern("r=x"))
 	if ev.Value != 42 || ev.RF != s {
 		t.Fatalf("load event = %+v", ev)
 	}

@@ -14,11 +14,16 @@
 // clock vector at issue time — because incτ is applied on every store
 // issue and loads can only raise the *other* components of the issuing
 // thread's vector.
+//
+// Vectors are represented as short slices of (thread, clock) components,
+// sorted by thread and free of zero entries. Executions involve a
+// handful of threads, so the slice form beats a map on every operation
+// the checker's hot path performs: At and Leq allocate nothing, and
+// Inc/Join build the result with a single allocation instead of a map.
 package vclock
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/memmodel"
@@ -32,118 +37,169 @@ type Clock int64
 // (Figure 3 initializes SEQ[st] to 0 on issue).
 type Seq int64
 
+// component is one non-zero entry of a clock vector.
+type component struct {
+	t memmodel.ThreadID
+	c Clock
+}
+
 // CV is a clock vector. The zero value is ⊥CV. CVs are persistent-style:
 // operations return new vectors and never mutate their receivers, so a
 // store's vector can be safely retained in the trace after the issuing
 // thread's vector advances.
 type CV struct {
-	clocks map[memmodel.ThreadID]Clock
+	// comps is sorted by thread and contains no zero clocks. It is
+	// immutable: every operation that changes the vector allocates a
+	// fresh slice, so retained vectors never alias a mutable one.
+	comps []component
 }
 
 // Bottom returns ⊥CV, the vector that is 0 everywhere.
 func Bottom() CV { return CV{} }
 
 // At returns the clock component for thread t (0 if absent).
-func (v CV) At(t memmodel.ThreadID) Clock { return v.clocks[t] }
+func (v CV) At(t memmodel.ThreadID) Clock {
+	for _, e := range v.comps {
+		if e.t == t {
+			return e.c
+		}
+		if e.t > t {
+			break
+		}
+	}
+	return 0
+}
 
 // IsBottom reports whether every component is zero.
-func (v CV) IsBottom() bool {
-	for _, c := range v.clocks {
-		if c != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// clone returns a mutable copy of the underlying map.
-func (v CV) clone() map[memmodel.ThreadID]Clock {
-	m := make(map[memmodel.ThreadID]Clock, len(v.clocks)+1)
-	for t, c := range v.clocks {
-		if c != 0 {
-			m[t] = c
-		}
-	}
-	return m
-}
+func (v CV) IsBottom() bool { return len(v.comps) == 0 }
 
 // Join returns the component-wise maximum of v and w (the ∪ operator).
 func (v CV) Join(w CV) CV {
-	if len(w.clocks) == 0 {
+	if len(w.comps) == 0 {
 		return v
 	}
-	if len(v.clocks) == 0 {
+	if len(v.comps) == 0 {
 		return w
 	}
-	m := v.clone()
-	for t, c := range w.clocks {
-		if c > m[t] {
-			m[t] = c
+	if v.Geq(w) {
+		return v // common case: a thread re-reads its own recent store
+	}
+	out := make([]component, 0, len(v.comps)+len(w.comps))
+	i, j := 0, 0
+	for i < len(v.comps) && j < len(w.comps) {
+		a, b := v.comps[i], w.comps[j]
+		switch {
+		case a.t == b.t:
+			if b.c > a.c {
+				a.c = b.c
+			}
+			out = append(out, a)
+			i++
+			j++
+		case a.t < b.t:
+			out = append(out, a)
+			i++
+		default:
+			out = append(out, b)
+			j++
 		}
 	}
-	return CV{clocks: m}
+	out = append(out, v.comps[i:]...)
+	out = append(out, w.comps[j:]...)
+	return CV{comps: out}
 }
 
 // Leq reports v ≤ w: every component of v is at most the corresponding
 // component of w. For two stores in the same sub-execution,
 // SCV(st1) ≤ SCV(st2) means st1 happens before st2 (§3.4).
 func (v CV) Leq(w CV) bool {
-	for t, c := range v.clocks {
-		if c > w.clocks[t] {
+	j := 0
+	for _, a := range v.comps {
+		for j < len(w.comps) && w.comps[j].t < a.t {
+			j++
+		}
+		if j >= len(w.comps) || w.comps[j].t != a.t || a.c > w.comps[j].c {
 			return false
 		}
 	}
 	return true
 }
 
+// Geq reports v ≥ w (every component of w is at most v's).
+func (v CV) Geq(w CV) bool { return w.Leq(v) }
+
 // Inc returns v with component t incremented (the incτ operator, applied
 // on every store issue by thread t).
 func (v CV) Inc(t memmodel.ThreadID) CV {
-	m := v.clone()
-	m[t]++
-	return CV{clocks: m}
+	return v.WithClock(t, v.At(t)+1)
 }
 
 // WithClock returns v with component t set to c. It is used when
-// reconstructing vectors in tests.
+// reconstructing vectors in tests and by Inc.
 func (v CV) WithClock(t memmodel.ThreadID, c Clock) CV {
-	m := v.clone()
-	if c == 0 {
-		delete(m, t)
-	} else {
-		m[t] = c
+	out := make([]component, 0, len(v.comps)+1)
+	placed := false
+	for _, e := range v.comps {
+		if !placed && e.t >= t {
+			if c != 0 {
+				out = append(out, component{t: t, c: c})
+			}
+			placed = true
+			if e.t == t {
+				continue
+			}
+		}
+		out = append(out, e)
 	}
-	return CV{clocks: m}
+	if !placed && c != 0 {
+		out = append(out, component{t: t, c: c})
+	}
+	return CV{comps: out}
 }
 
 // Threads returns the threads with non-zero components, in ascending
-// order. It is the support of the vector.
+// order. It is the support of the vector. The returned slice is freshly
+// allocated; hot paths should prefer ForEach.
 func (v CV) Threads() []memmodel.ThreadID {
-	ts := make([]memmodel.ThreadID, 0, len(v.clocks))
-	for t, c := range v.clocks {
-		if c != 0 {
-			ts = append(ts, t)
-		}
+	ts := make([]memmodel.ThreadID, 0, len(v.comps))
+	for _, e := range v.comps {
+		ts = append(ts, e.t)
 	}
-	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
 	return ts
+}
+
+// ForEach calls f for every non-zero component in ascending thread
+// order, without allocating.
+func (v CV) ForEach(f func(t memmodel.ThreadID, c Clock)) {
+	for _, e := range v.comps {
+		f(e.t, e.c)
+	}
 }
 
 // String renders the vector as {t0:3 t2:1} with threads in ascending
 // order; ⊥CV renders as {}.
 func (v CV) String() string {
-	ts := v.Threads()
 	var b strings.Builder
 	b.WriteByte('{')
-	for i, t := range ts {
+	for i, e := range v.comps {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "t%d:%d", int(t), int64(v.clocks[t]))
+		fmt.Fprintf(&b, "t%d:%d", int(e.t), int64(e.c))
 	}
 	b.WriteByte('}')
 	return b.String()
 }
 
 // Equal reports whether two vectors have identical components.
-func (v CV) Equal(w CV) bool { return v.Leq(w) && w.Leq(v) }
+func (v CV) Equal(w CV) bool {
+	if len(v.comps) != len(w.comps) {
+		return false
+	}
+	for i, e := range v.comps {
+		if w.comps[i] != e {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package repro
+
+// Regression tests for the allocation-free hot path: per-worker World
+// reuse (World.Reset) must be observationally identical to building a
+// fresh World per execution, and the trace's location interner must
+// round-trip every label.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/trace"
+)
+
+// TestWorldReuseMatchesFreshWorlds: for every registered benchmark and
+// both exploration modes, the default reused-World engine produces the
+// same Result as one forced to build a fresh World per execution. This
+// is the oracle for Machine.Reset, Trace.Reset, Checker.Reset, and
+// Heap.Reset: any state leaking across executions shows up as a
+// violation-key, execution-count, or abort-count difference.
+func TestWorldReuseMatchesFreshWorlds(t *testing.T) {
+	execs := scaled(100)
+	for _, mode := range []explore.Mode{explore.Random, explore.ModelCheck} {
+		mode := mode
+		for _, b := range benchmarks.All() {
+			b := b
+			t.Run(mode.String()+"/"+b.Name, func(t *testing.T) {
+				opt := explore.Options{Mode: mode, Executions: execs, Seed: 11, Workers: 1}
+				reused := explore.Run(b.Build(bench.Buggy), opt)
+				opt.FreshWorlds = true
+				fresh := explore.Run(b.Build(bench.Buggy), opt)
+				assertSameOutcome(t, b.Name, reused, fresh)
+				// Violation reports must match in full, not just by key:
+				// frozen store copies, fixes, and intervals are part of
+				// the user-visible output.
+				if len(reused.Violations) == len(fresh.Violations) {
+					for i := range reused.Violations {
+						if reused.Violations[i].String() != fresh.Violations[i].String() {
+							t.Fatalf("violation %d renders differently:\nreused: %s\nfresh:  %s",
+								i, reused.Violations[i], fresh.Violations[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWorldReuseMatchesFreshWorldsParallel covers the per-worker reuse
+// path of the parallel random engine.
+func TestWorldReuseMatchesFreshWorldsParallel(t *testing.T) {
+	execs := scaled(100)
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			opt := explore.Options{Mode: explore.Random, Executions: execs, Seed: 11, Workers: 8}
+			reused := explore.Run(b.Build(bench.Buggy), opt)
+			opt.FreshWorlds = true
+			fresh := explore.Run(b.Build(bench.Buggy), opt)
+			assertSameOutcome(t, b.Name, reused, fresh)
+		})
+	}
+}
+
+// TestInternerRoundTrip: interning is idempotent and Str inverts Intern,
+// including across a Trace.Reset (the intern table deliberately
+// survives resets so LocIDs stay stable for a reused world).
+func TestInternerRoundTrip(t *testing.T) {
+	tr := trace.New()
+	labels := []string{"", "x=1", "flush x", "r1=x @fig2.pm:3", "x=1"}
+	ids := make([]trace.LocID, len(labels))
+	for i, s := range labels {
+		ids[i] = tr.Intern(s)
+		if got := tr.LocString(ids[i]); got != s {
+			t.Fatalf("LocString(Intern(%q)) = %q", s, got)
+		}
+	}
+	if ids[0] != trace.NoLoc {
+		t.Fatalf("Intern(\"\") = %d, want NoLoc", ids[0])
+	}
+	if ids[1] != ids[4] {
+		t.Fatalf("re-interning %q gave %d, want %d", labels[4], ids[4], ids[1])
+	}
+	if ids[1] == ids[2] || ids[2] == ids[3] {
+		t.Fatal("distinct labels must get distinct ids")
+	}
+	before := append([]trace.LocID(nil), ids...)
+	tr.Reset()
+	for i, s := range labels {
+		if got := tr.Intern(s); got != before[i] {
+			t.Fatalf("after Reset, Intern(%q) = %d, want stable id %d", s, got, before[i])
+		}
+	}
+	if !reflect.DeepEqual(ids, before) {
+		t.Fatal("ids mutated")
+	}
+}
