@@ -33,6 +33,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "exploration seed")
 	workers := fs.Int("workers", 0, "parallel exploration workers (0: all CPUs, 1: serial); results are identical for any count")
 	violations := fs.String("violations", "", "print the detailed violation report for one benchmark")
+	deadline := fs.Duration("deadline", 0, "wall-clock budget per benchmark run (0: none); expired runs report partial coverage")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -67,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	opt := report.Options{Executions: *execs, Seed: *seed, Workers: *workers}
+	opt := report.Options{Executions: *execs, Seed: *seed, Workers: *workers, Deadline: *deadline}
 	if *violations != "" {
 		out, err := report.Violations(*violations, opt)
 		if err != nil {

@@ -4,19 +4,34 @@
 // randomly or exhaustively:
 //
 //	psan [-mode random|mc] [-execs N] [-seed S] [-workers W] [-dump] program.pm
+//	psan -deadline 30s -checkpoint run.ckpt program.pm   # bounded campaign
+//	psan -resume run.ckpt program.pm                     # continue it
 //	psan -fix program.pm       # apply the suggested fixes, print the
 //	                           # repaired program
 //	psan -trace program.pm     # dump one execution's event trace
 //
-// Exit status is 1 when violations are found (or -fix could not reach a
-// clean program), 2 on usage or parse errors.
+// A campaign bounded by -deadline or -max-execs (or interrupted with
+// ^C) degrades gracefully: it reports the violations found so far plus
+// coverage statistics, and -checkpoint saves its resume state.
+//
+// Exit status:
+//
+//	0  the program is robust (no violations; exploration completed)
+//	1  robustness violations found (or -fix could not reach a clean
+//	   program) — reported even from a partial run
+//	2  usage, parse, or internal error
+//	3  partial run: a deadline, budget, or interrupt stopped
+//	   exploration before the frontier was exhausted, and no
+//	   violations were found in the explored prefix
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
@@ -25,20 +40,43 @@ import (
 	"repro/internal/lang"
 	"repro/internal/pmem"
 	"repro/internal/repair"
+	"repro/internal/report"
+)
+
+// Exit codes (see the package comment).
+const (
+	exitRobust     = 0
+	exitViolations = 1
+	exitInternal   = 2
+	exitPartial    = 3
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	code := runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }
 
 // run is the testable entry point.
 func run(args []string, stdout, stderr io.Writer) int {
+	return runCtx(context.Background(), args, stdout, stderr)
+}
+
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("psan", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	mode := fs.String("mode", "mc", "exploration mode: mc (model checking) or random")
-	execs := fs.Int("execs", 10000, "execution budget (exact count in random mode, cap in mc mode)")
+	var execs int
+	fs.IntVar(&execs, "execs", 10000, "execution budget (exact count in random mode, cap in mc mode)")
+	fs.IntVar(&execs, "max-execs", 10000, "alias for -execs")
 	seed := fs.Int64("seed", 1, "random-mode seed")
 	workers := fs.Int("workers", 0, "parallel exploration workers (0: all CPUs, 1: serial); results are identical for any count")
+	deadline := fs.Duration("deadline", 0, "wall-clock budget for the exploration; on expiry report partial results (exit 3)")
+	stepTimeout := fs.Duration("step-timeout", 0, "per-execution wall-clock bound; a stuck execution is aborted, not the run")
+	checkpointPath := fs.String("checkpoint", "", "write resume state to this file when the run stops early")
+	resumePath := fs.String("resume", "", "resume a checkpointed campaign from this file")
 	dump := fs.Bool("dump", false, "print the parsed program structure")
 	fix := fs.Bool("fix", false, "apply PSan's suggested fixes until the program is clean and print it")
 	dumpTrace := fs.Bool("trace", false, "dump one crash-free execution's event trace and exit")
@@ -82,7 +120,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, prog)
 	}
 	compiled := interp.New(fs.Arg(0), prog)
-	opts := explore.Options{Executions: *execs, Seed: *seed, Workers: *workers}
+	opts := explore.Options{
+		Executions:  execs,
+		Seed:        *seed,
+		Workers:     *workers,
+		Context:     ctx,
+		Deadline:    *deadline,
+		StepTimeout: *stepTimeout,
+	}
 	switch *mode {
 	case "mc":
 		opts.Mode = explore.ModelCheck
@@ -90,7 +135,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Mode = explore.Random
 	default:
 		fmt.Fprintf(stderr, "psan: unknown mode %q\n", *mode)
-		return 2
+		return exitInternal
+	}
+	if *resumePath != "" {
+		ck, err := explore.LoadCheckpoint(*resumePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "psan: %v\n", err)
+			return exitInternal
+		}
+		if err := ck.Validate(compiled.Name(), opts); err != nil {
+			fmt.Fprintf(stderr, "psan: -resume: %v\n", err)
+			return exitInternal
+		}
+		opts.Resume = ck
 	}
 	if *dumpTrace {
 		w := pmem.NewWorld(pmem.Config{CrashTarget: -1, Seed: *seed})
@@ -122,13 +179,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	res := explore.Run(compiled, opts)
-	fmt.Fprintln(stdout, res)
+	fmt.Fprint(stdout, report.RunSummary(res))
 	for i, v := range res.Violations {
 		fmt.Fprintf(stdout, "\n[%d] %s", i+1, v)
 	}
+	if res.Partial && *checkpointPath != "" {
+		if res.Checkpoint == nil {
+			fmt.Fprintln(stderr, "psan: no resumable checkpoint for this stop (re-run with a larger budget)")
+		} else if err := res.Checkpoint.Save(*checkpointPath); err != nil {
+			fmt.Fprintf(stderr, "psan: %v\n", err)
+			return exitInternal
+		} else {
+			fmt.Fprintf(stdout, "checkpoint written to %s\n", *checkpointPath)
+		}
+	}
 	if len(res.Violations) > 0 {
-		return 1
+		return exitViolations
+	}
+	if res.Partial {
+		return exitPartial
 	}
 	fmt.Fprintln(stdout, "no robustness violations found")
-	return 0
+	return exitRobust
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -80,6 +81,58 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if code, _, _ := cli(t, "-mode", "bogus", "../../testdata/figure2.pm"); code != 2 {
 		t.Fatal("bad mode must exit 2")
+	}
+}
+
+func TestCLIDeadlinePartial(t *testing.T) {
+	// A 1ns deadline is observed before any execution is claimed, so the
+	// run is deterministically empty and partial: exit 3.
+	code, out, _ := cli(t, "-mode", "mc", "-deadline", "1ns", "../../testdata/figure2.pm")
+	if code != exitPartial {
+		t.Fatalf("exit = %d, want %d (partial)\n%s", code, exitPartial, out)
+	}
+	for _, want := range []string{"PARTIAL: deadline", "partial coverage"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLICheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	code, out, errOut := cli(t, "-mode", "random", "-execs", "200", "-seed", "5",
+		"-deadline", "1ns", "-checkpoint", ckpt, "../../testdata/figure7.pm")
+	if code != exitPartial {
+		t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, exitPartial, out, errOut)
+	}
+	if !strings.Contains(out, "checkpoint written") {
+		t.Fatalf("checkpoint not written:\n%s\n%s", out, errOut)
+	}
+	// Resuming with no deadline completes the campaign and finds the
+	// figure7 bug (same outcome as TestCLIRandomMode's full run).
+	code, out, errOut = cli(t, "-mode", "random", "-execs", "200", "-seed", "5",
+		"-resume", ckpt, "../../testdata/figure7.pm")
+	if code != exitViolations {
+		t.Fatalf("resumed exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, exitViolations, out, errOut)
+	}
+	if !strings.Contains(out, "x = 1") {
+		t.Fatalf("resumed run did not localize the figure7 bug:\n%s", out)
+	}
+	// A checkpoint for the wrong program is rejected before exploring.
+	code, _, errOut = cli(t, "-mode", "random", "-execs", "200", "-seed", "5",
+		"-resume", ckpt, "../../testdata/figure2.pm")
+	if code != exitInternal || !strings.Contains(errOut, "-resume") {
+		t.Fatalf("mismatched resume must exit %d: %d %q", exitInternal, code, errOut)
+	}
+}
+
+func TestCLIMaxExecsAlias(t *testing.T) {
+	code, out, _ := cli(t, "-mode", "random", "-max-execs", "300", "-seed", "5", "../../testdata/figure7.pm")
+	if code != exitViolations {
+		t.Fatalf("exit = %d, want %d\n%s", code, exitViolations, out)
+	}
+	if !strings.Contains(out, "300 executions") {
+		t.Fatalf("-max-execs did not bound the run:\n%s", out)
 	}
 }
 

@@ -7,9 +7,12 @@ package repro
 // the model-check state cache must never change verdicts.
 
 import (
+	"context"
 	"os"
 	"reflect"
+	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/benchmarks"
 	"repro/internal/benchmarks/bench"
@@ -81,6 +84,130 @@ func TestParallelDeterminismModelCheck(t *testing.T) {
 			if serial.Executions == 0 {
 				t.Fatal("no executions ran")
 			}
+		})
+	}
+}
+
+// mergeKeys folds a result's violation keys into a set.
+func mergeKeys(into map[string]bool, res *explore.Result) {
+	for _, k := range res.ViolationKeys() {
+		into[k] = true
+	}
+}
+
+func sortedKeys(set map[string]bool) []string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestCancelResumeDeterminismRandom: for every benchmark, cancel a
+// random campaign mid-run via its context, resume from the checkpoint,
+// and check the merged outcome is byte-identical to the uninterrupted
+// run — same violation key set, same cumulative execution and abort
+// counts.
+func TestCancelResumeDeterminismRandom(t *testing.T) {
+	execs := scaled(200)
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			opt := explore.Options{Mode: explore.Random, Executions: execs, Seed: 11, Workers: 4}
+			full := explore.Run(b.Build(bench.Buggy), opt)
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			popt := opt
+			popt.Context = ctx
+			// Cancel early enough that the in-flight window (Workers ×
+			// collector slack) cannot carry the run to completion.
+			cancelAt := execs / 8
+			if cancelAt < 1 {
+				cancelAt = 1
+			}
+			popt.Progress = func(exec int) {
+				if exec == cancelAt {
+					cancel()
+				}
+			}
+			partial := explore.Run(b.Build(bench.Buggy), popt)
+			if !partial.Partial {
+				// The run won the race against the cancellation; it must
+				// then simply equal the uninterrupted run.
+				assertSameOutcome(t, b.Name+" (cancel raced)", full, partial)
+				return
+			}
+			if partial.Checkpoint == nil {
+				t.Fatalf("partial run carries no checkpoint: %s", partial)
+			}
+			if err := partial.Checkpoint.Validate(full.Program, opt); err != nil {
+				t.Fatalf("checkpoint rejected: %v", err)
+			}
+			ropt := opt
+			ropt.Resume = partial.Checkpoint
+			resumed := explore.Run(b.Build(bench.Buggy), ropt)
+			if resumed.Partial {
+				t.Fatalf("resumed run did not complete: %s", resumed)
+			}
+			if resumed.Executions != full.Executions || resumed.Aborted != full.Aborted {
+				t.Fatalf("cumulative counts diverge: %s vs %s", resumed, full)
+			}
+			merged := make(map[string]bool)
+			mergeKeys(merged, partial)
+			mergeKeys(merged, resumed)
+			if !reflect.DeepEqual(sortedKeys(merged), full.ViolationKeys()) {
+				t.Fatalf("merged violations differ\n  merged: %v\n  full:   %v",
+					sortedKeys(merged), full.ViolationKeys())
+			}
+		})
+	}
+}
+
+// TestCancelResumeDeterminismModelCheck: for every benchmark, interrupt
+// the frontier-split DFS under escalating deadlines and chain resumes
+// until the campaign ends; the merged outcome must match the
+// uninterrupted run. A leg that ends on the execution budget (no
+// checkpoint) is terminal by construction — the uninterrupted run ends
+// the same way at the same canonical prefix.
+func TestCancelResumeDeterminismModelCheck(t *testing.T) {
+	execs := scaled(400)
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			opt := explore.Options{Mode: explore.ModelCheck, Executions: execs, Workers: 4}
+			full := explore.Run(b.Build(bench.Buggy), opt)
+
+			merged := make(map[string]bool)
+			copt := opt
+			copt.Deadline = 200 * time.Microsecond
+			legs := 0
+			var last *explore.Result
+			for leg := 0; ; leg++ {
+				if leg > 60 {
+					t.Fatal("resume chain did not converge in 60 legs")
+				}
+				legs = leg + 1
+				last = explore.Run(b.Build(bench.Buggy), copt)
+				mergeKeys(merged, last)
+				if !last.Partial || last.Checkpoint == nil {
+					break
+				}
+				if err := last.Checkpoint.Validate(full.Program, opt); err != nil {
+					t.Fatalf("leg %d checkpoint rejected: %v", leg, err)
+				}
+				copt.Resume = last.Checkpoint
+				copt.Deadline *= 2
+			}
+			if last.Executions != full.Executions || last.Aborted != full.Aborted {
+				t.Fatalf("cumulative counts diverge: %s vs %s", last, full)
+			}
+			if !reflect.DeepEqual(sortedKeys(merged), full.ViolationKeys()) {
+				t.Fatalf("merged violations differ\n  merged: %v\n  full:   %v",
+					sortedKeys(merged), full.ViolationKeys())
+			}
+			t.Logf("%s: converged in %d leg(s)", b.Name, legs)
 		})
 	}
 }

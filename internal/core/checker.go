@@ -28,6 +28,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/intervals"
@@ -184,6 +185,20 @@ func (v *Violation) Key() string {
 		v.key = fmt.Sprintf("%s|%s|%s", v.Kind, mf, p)
 	}
 	return v.key
+}
+
+// KeySet returns the sorted Key()s of vs — the canonical identity of a
+// violation set. Exploration results, checkpoints, and the determinism
+// tests all compare and persist violation sets through this one form,
+// so a set survives serialization (checkpoint/resume) byte-identically
+// even though the frozen StoreRefs behind it do not.
+func KeySet(vs []*Violation) []string {
+	keys := make([]string, 0, len(vs))
+	for _, v := range vs {
+		keys = append(keys, v.Key())
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // String renders a full report in the style of the paper's examples.

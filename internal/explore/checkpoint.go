@@ -1,0 +1,158 @@
+// Checkpoint/resume for interrupted campaigns.
+//
+// A partial run (deadline, context cancellation, SIGINT) returns a
+// Checkpoint describing exactly where the canonical execution stream
+// was cut, and a later run started with Options.Resume continues from
+// that cut. Determinism is inherited from the engines: random mode's
+// seed depends only on the execution index, so the cursor is just the
+// number of executions collected; model-check mode's cut is the first
+// unfinished subtree in canonical (subtree-ordinal) order, resumed from
+// its sub-DFS decision trail with the state cache re-primed so the
+// hit/miss pattern — and therefore the execution stream — is identical
+// to an uninterrupted run's. The union of the partial run's and the
+// resumed run's violation key sets equals the uninterrupted run's set.
+//
+// The checkpoint does not persist full Violation records (they freeze
+// trace state that is meaningless across processes); it persists their
+// canonical keys, which is what cross-execution deduplication and the
+// convergence guarantee are defined over. A resumed Result therefore
+// reports only violations first found after the cut; merge its key set
+// with the partial run's to recover the campaign total.
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// checkpointVersion guards the serialized format.
+const checkpointVersion = 1
+
+// Checkpoint is the resume state of a partial exploration run.
+type Checkpoint struct {
+	Version int    `json:"version"`
+	Program string `json:"program"`
+	Mode    string `json:"mode"`
+	Seed    int64  `json:"seed"`
+	// Collected is the canonical execution cursor: how many executions
+	// of the uninterrupted stream were collected before the cut. Random
+	// mode resumes at exactly this index.
+	Collected   int      `json:"collected"`
+	Aborted     int      `json:"aborted"`
+	Quarantined int      `json:"quarantined"`
+	// ViolationKeys are the canonical keys (core.Violation.Key) of every
+	// violation found before the cut, priming the resumed run's
+	// cross-execution dedup.
+	ViolationKeys []string      `json:"violationKeys,omitempty"`
+	MC            *MCCheckpoint `json:"mc,omitempty"`
+}
+
+// MCCheckpoint is the model-check-specific resume state: the cut
+// subtree and everything needed to replay the engine's determinism.
+type MCCheckpoint struct {
+	// Subtree is the ordinal (phase-0 crash target) of the first
+	// unfinished subtree — the cut point of the canonical stream.
+	Subtree int `json:"subtree"`
+	// Started reports whether the cut subtree ran any executions; if so,
+	// Trail is its sub-DFS decision trail, positioned at the next
+	// unexplored execution.
+	Started bool         `json:"started"`
+	Trail   []TrailEntry `json:"trail,omitempty"`
+	// SpawnNext records whether the cut subtree's first execution fired
+	// its phase-0 crash injection — i.e. whether subtree Subtree+1
+	// exists and must be explored after the cut subtree.
+	SpawnNext bool `json:"spawnNext"`
+	// CacheKeys are the state-cache registrations made by subtrees up to
+	// and including the cut subtree, in registration order; priming them
+	// reproduces the uninterrupted run's prune pattern for the subtrees
+	// explored after resume.
+	CacheKeys []CacheEntry `json:"cacheKeys,omitempty"`
+	// CacheHits and CacheMisses seed the resumed run's counters so its
+	// final stats are cumulative.
+	CacheHits   int `json:"cacheHits"`
+	CacheMisses int `json:"cacheMisses"`
+}
+
+// TrailEntry is one serialized DFS decision.
+type TrailEntry struct {
+	Val    int `json:"v"`
+	Domain int `json:"d"`
+}
+
+// CacheEntry is one serialized state-cache key.
+type CacheEntry struct {
+	Image uint64 `json:"image"`
+	Heap  int    `json:"heap"`
+}
+
+// Save writes the checkpoint to path as JSON, atomically (write to a
+// temp file in the same directory, then rename).
+func (c *Checkpoint) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by Save.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if c.Version != checkpointVersion {
+		return nil, fmt.Errorf("checkpoint %s: version %d, want %d", path, c.Version, checkpointVersion)
+	}
+	return &c, nil
+}
+
+// Validate checks that the checkpoint belongs to the same campaign the
+// options describe; resuming a mismatched checkpoint would silently
+// explore garbage.
+func (c *Checkpoint) Validate(program string, opt Options) error {
+	if c.Program != program {
+		return fmt.Errorf("checkpoint is for program %q, not %q", c.Program, program)
+	}
+	if c.Mode != opt.Mode.String() {
+		return fmt.Errorf("checkpoint is for mode %s, not %s", c.Mode, opt.Mode)
+	}
+	if opt.Mode == Random && c.Seed != opt.Seed {
+		return fmt.Errorf("checkpoint is for seed %d, not %d", c.Seed, opt.Seed)
+	}
+	if c.Mode == ModelCheck.String() && c.MC == nil {
+		return fmt.Errorf("checkpoint has no model-check resume state")
+	}
+	return nil
+}
+
+// trailFromCheckpoint rebuilds a controller trail.
+func trailFromCheckpoint(es []TrailEntry) []decision {
+	trail := make([]decision, len(es))
+	for i, e := range es {
+		trail[i] = decision{val: e.Val, domain: e.Domain}
+	}
+	return trail
+}
+
+// trailToCheckpoint serializes a controller trail.
+func trailToCheckpoint(trail []decision) []TrailEntry {
+	es := make([]TrailEntry, len(trail))
+	for i, d := range trail {
+		es[i] = TrailEntry{Val: d.val, Domain: d.domain}
+	}
+	return es
+}

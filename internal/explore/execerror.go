@@ -1,0 +1,108 @@
+// Panic isolation for the exploration engines.
+//
+// A PSan campaign re-executes the program under test tens of thousands
+// of times; one schedule that trips an engine invariant (px86's
+// crash-image resolution, an interpreter hole, an index bug in a
+// benchmark port) must not kill the whole run and discard every result
+// collected so far. The engines therefore recover any panic that
+// escapes an execution, convert it into a structured ExecError carrying
+// enough of the schedule to reproduce it (the derived seed in random
+// mode, the decision-trail prefix in model-check mode) plus a stack
+// snapshot, quarantine that schedule, and keep exploring. Crash and
+// abort signals (pmem.CrashSignal, pmem.AbortSignal) are the engine's
+// normal control flow and are never converted.
+//
+// Quarantine semantics: the execution contributes no violations (its
+// world is in an undefined state and is discarded, never reused), its
+// index still counts toward Result.Executions, and in model-check mode
+// the unexplored decisions below the panic point are skipped — they
+// would deterministically re-panic, so the whole sub-schedule is
+// quarantined, exactly like larger crash targets beyond an abort.
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
+	"repro/internal/px86"
+)
+
+// execErrorCap bounds how many full ExecError records a Result retains;
+// Result.Quarantined keeps the true count when the cap is exceeded.
+const execErrorCap = 64
+
+// ExecError is one contained engine panic: a quarantined schedule.
+type ExecError struct {
+	// Program and Mode identify the run.
+	Program string
+	Mode    Mode
+	// Exec is the 0-based canonical execution index (-1 before the
+	// collector assigns it).
+	Exec int
+	// Seed is the execution's derived seed (random mode; 0 in mc mode):
+	// rerunning the program with this seed reproduces the panic.
+	Seed int64
+	// Prefix is the decision trail at the panic (model-check mode): the
+	// crash targets followed by the read-choice ordinals replayed up to
+	// the panic point.
+	Prefix []int
+	// Kind classifies the panic value: "px86-invariant",
+	// "interp-internal", "injected-fault", "runtime", or "panic".
+	Kind string
+	// Value is the rendered panic value.
+	Value string
+	// Stack is the goroutine stack at recovery time.
+	Stack string
+}
+
+// Error implements error with a one-line summary (no stack).
+func (e *ExecError) Error() string {
+	where := fmt.Sprintf("execution %d", e.Exec)
+	if e.Mode == ModelCheck {
+		where = fmt.Sprintf("execution %d (prefix %v)", e.Exec, e.Prefix)
+	} else if e.Seed != 0 {
+		where = fmt.Sprintf("execution %d (seed %d)", e.Exec, e.Seed)
+	}
+	return fmt.Sprintf("[%s] quarantined %s: %s", e.Kind, where, e.Value)
+}
+
+// injectedFault is the panic value the chaos harness (Options.InjectFault)
+// raises inside the engine, distinguishable from real invariant panics.
+type injectedFault struct {
+	exec, op int
+}
+
+func (f injectedFault) Error() string {
+	return fmt.Sprintf("injected fault at op %d of execution ordinal %d", f.op, f.exec)
+}
+
+// classifyPanic maps a recovered panic value to an ExecError kind. The
+// interpreter's InternalError is matched through its marker method
+// rather than its type: explore cannot import interp (interp's tests
+// run programs through explore).
+func classifyPanic(r any) string {
+	switch r.(type) {
+	case px86.InvariantError:
+		return "px86-invariant"
+	case interface{ InterpInternal() }:
+		return "interp-internal"
+	case injectedFault:
+		return "injected-fault"
+	case runtime.Error:
+		return "runtime"
+	default:
+		return "panic"
+	}
+}
+
+// captureExecError freezes a recovered panic into an ExecError. The
+// caller fills in the schedule fields (Exec, Seed, Prefix) it knows.
+func captureExecError(r any) *ExecError {
+	return &ExecError{
+		Exec:  -1,
+		Kind:  classifyPanic(r),
+		Value: fmt.Sprintf("%v", r),
+		Stack: string(debug.Stack()),
+	}
+}

@@ -18,6 +18,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -153,6 +154,57 @@ type Options struct {
 	// (Workers is ignored and the state cache is off), since the
 	// parallel engine does not retain worlds.
 	AfterExecution func(*pmem.World)
+
+	// --- failure containment ---
+
+	// Context, when non-nil, cancels the run early: once it is done, no
+	// new executions start, in-flight workers drain, and Run returns a
+	// partial Result (Partial, StopReason, Checkpoint). Executions
+	// already running are never interrupted mid-flight — the collected
+	// stream stays a prefix of the uninterrupted run's.
+	Context context.Context
+	// Deadline bounds the run's wall-clock time (0: none) with the same
+	// graceful-degradation semantics as Context cancellation.
+	Deadline time.Duration
+	// StepTimeout bounds one execution's wall-clock time (0: none). An
+	// execution that exceeds it is aborted via the world's per-operation
+	// watchdog and counted in Result.Aborted, exactly like an op-budget
+	// abort. It keeps a single stuck schedule (a spin loop whose lock
+	// holder crashed, a pathological interleaving) from starving the
+	// campaign; because it is timing-dependent, a tripped timeout can
+	// make results differ from an untimed run — leave it 0 when
+	// bit-reproducibility matters more than liveness.
+	StepTimeout time.Duration
+	// InjectFault is the chaos-testing hook: when non-nil it is asked,
+	// per execution, for a fault plan the engine then deliberately
+	// triggers from inside the execution (panics through the pmem/px86
+	// stack, slow steps). The argument is a deterministic schedule
+	// ordinal — the execution index in Random mode, the subtree-local
+	// execution ordinal in ModelCheck mode — so injection is independent
+	// of worker count. Production runs leave it nil.
+	InjectFault func(ordinal int) Fault
+	// Resume continues a previously checkpointed partial run: the
+	// engines skip (without re-executing) everything the checkpoint
+	// already collected and continue the canonical stream from the cut.
+	// Callers should Validate the checkpoint first. The resumed Result's
+	// counts (Executions, Aborted, Quarantined, cache stats) are
+	// cumulative; its Violations contain only bugs first found after the
+	// cut — merge key sets with the partial run's for the campaign total.
+	Resume *Checkpoint
+}
+
+// Fault is one execution's chaos-injection plan (Options.InjectFault).
+// The zero Fault injects nothing.
+type Fault struct {
+	// PanicAtOp, when positive, panics (with an internal injectedFault
+	// value, classified as "injected-fault") when the execution reaches
+	// that operation count — exercising the panic-isolation path from
+	// inside the engine.
+	PanicAtOp int
+	// DelayAtOp, when positive, sleeps Delay once when the execution
+	// reaches that operation count — exercising StepTimeout.
+	DelayAtOp int
+	Delay     time.Duration
 }
 
 // Result summarizes an exploration run.
@@ -181,6 +233,31 @@ type Result struct {
 	// Violations are deduplicated across executions by bug identity
 	// (store-site pair + diagnosis kind), in first-found order.
 	Violations []*core.Violation
+
+	// Partial marks a run that stopped before exhausting its work: a
+	// deadline or cancellation tripped, or (ModelCheck mode) the
+	// Executions budget bound before the frontier was exhausted. A
+	// partial result is still sound — every reported violation is real —
+	// it just proves nothing about the unexplored remainder.
+	Partial bool
+	// StopReason says why a partial run stopped: "deadline", "canceled",
+	// or "exec-budget".
+	StopReason string
+	// FrontierRemaining counts known-unexplored work at the stop:
+	// executions not run in Random mode, spawned-but-unfinished DFS
+	// subtrees in ModelCheck mode.
+	FrontierRemaining int
+	// Quarantined counts executions whose engine panic was contained
+	// (see ExecErrors); they contribute no violations.
+	Quarantined int
+	// ExecErrors are the structured records of contained panics, in
+	// collection order, capped at execErrorCap entries (Quarantined
+	// keeps the true count).
+	ExecErrors []*ExecError
+	// Checkpoint carries the resume state of a partial run stopped by a
+	// deadline or cancellation; nil for complete runs and for budget
+	// truncation (re-run with a larger budget instead).
+	Checkpoint *Checkpoint
 }
 
 // PerExecution returns the mean wall-clock time per execution, measured
@@ -197,19 +274,65 @@ func (r *Result) PerExecution() time.Duration {
 
 // ViolationKeys returns the sorted bug identities, for stable assertions.
 func (r *Result) ViolationKeys() []string {
-	keys := make([]string, 0, len(r.Violations))
-	for _, v := range r.Violations {
-		keys = append(keys, v.Key())
-	}
-	sort.Strings(keys)
-	return keys
+	return core.KeySet(r.Violations)
 }
 
 // String renders a short human-readable summary.
 func (r *Result) String() string {
-	return fmt.Sprintf("%s [%s]: %d executions (%d aborted), %d violations, %s total",
+	s := fmt.Sprintf("%s [%s]: %d executions (%d aborted), %d violations, %s total",
 		r.Program, r.Mode, r.Executions, r.Aborted, len(r.Violations), r.Elapsed)
+	if r.Quarantined > 0 {
+		s += fmt.Sprintf(", %d quarantined", r.Quarantined)
+	}
+	if r.Partial {
+		s += fmt.Sprintf(" [PARTIAL: %s]", r.StopReason)
+	}
+	return s
 }
+
+// stopper is the run-wide graceful-degradation switch. It has no
+// goroutines: stopped() consults the context and the deadline directly,
+// so a stop is observed deterministically at every check site (workers
+// check between executions, sub-DFS loops between iterations).
+type stopper struct {
+	ctx      context.Context
+	deadline time.Time // zero: none
+}
+
+func newStopper(opt *Options) *stopper {
+	s := &stopper{ctx: opt.Context}
+	if s.ctx == nil {
+		s.ctx = context.Background()
+	}
+	if opt.Deadline > 0 {
+		s.deadline = time.Now().Add(opt.Deadline)
+	}
+	return s
+}
+
+// stopped reports whether the run should stop claiming new work.
+func (s *stopper) stopped() bool {
+	if s.ctx.Err() != nil {
+		return true
+	}
+	return !s.deadline.IsZero() && !time.Now().Before(s.deadline)
+}
+
+// why names the stop reason for Result.StopReason.
+func (s *stopper) why() string {
+	if err := s.ctx.Err(); err != nil {
+		if err == context.DeadlineExceeded {
+			return "deadline"
+		}
+		return "canceled"
+	}
+	return "deadline"
+}
+
+// done is a channel view of the context for blocked workers; the
+// wall-clock deadline is only checked at the polling sites, which every
+// worker reaches between executions.
+func (s *stopper) done() <-chan struct{} { return s.ctx.Done() }
 
 // Run explores the program under the given options.
 func Run(p Program, opt Options) *Result {
@@ -219,11 +342,23 @@ func Run(p Program, opt Options) *Result {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.NumCPU()
 	}
+	st := newStopper(&opt)
 	switch opt.Mode {
 	case ModelCheck:
-		return runModelCheck(p, opt)
+		return runModelCheck(p, opt, st)
 	default:
-		return runRandom(p, opt)
+		return runRandom(p, opt, st)
+	}
+}
+
+// primeFromCheckpoint folds a resumed checkpoint's already-collected
+// totals into the result and seeds the cross-execution dedup set.
+func primeFromCheckpoint(res *Result, seen map[string]bool, ck *Checkpoint) {
+	res.Executions = ck.Collected
+	res.Aborted = ck.Aborted
+	res.Quarantined = ck.Quarantined
+	for _, k := range ck.ViolationKeys {
+		seen[k] = true
 	}
 }
 
@@ -250,7 +385,12 @@ func (r *Result) mergeViolations(seen map[string]bool, vs []*core.Violation, exe
 // injection fired; returning false abandons the remaining phases — the
 // state cache uses this to prune continuations it has already explored.
 // pruned reports whether that happened.
-func runPhases(p Program, w *pmem.World, crashTargets []int, onCrash func(phase int, fired bool) bool) (aborted bool, injected []bool, pruned bool) {
+//
+// Any panic other than pmem.AbortSignal is contained: runPhases returns
+// it as a structured execErr instead of unwinding the worker, leaving w
+// in an undefined state — the caller must discard the world and
+// quarantine the schedule (see execerror.go).
+func runPhases(p Program, w *pmem.World, crashTargets []int, onCrash func(phase int, fired bool) bool) (aborted bool, injected []bool, pruned bool, execErr *ExecError) {
 	injected = make([]bool, len(crashTargets))
 	defer func() {
 		if r := recover(); r != nil {
@@ -258,7 +398,7 @@ func runPhases(p Program, w *pmem.World, crashTargets []int, onCrash func(phase 
 				aborted = true
 				return
 			}
-			panic(r)
+			execErr = captureExecError(r)
 		}
 	}()
 	phases := p.Phases()
@@ -274,11 +414,41 @@ func runPhases(p Program, w *pmem.World, crashTargets []int, onCrash func(phase 
 			injected[i] = crashed
 			w.Crash()
 			if onCrash != nil && !onCrash(i, crashed) {
-				return false, injected, true
+				return false, injected, true, nil
 			}
 		}
 	}
-	return false, injected, false
+	return false, injected, false, nil
+}
+
+// installProbe arms w's per-operation watchdog for one execution: the
+// chaos fault plan (if any) and the step timeout. When neither applies
+// the probe stays nil and the hot path pays nothing.
+func installProbe(w *pmem.World, opt *Options, ordinal int) {
+	var fault Fault
+	if opt.InjectFault != nil {
+		fault = opt.InjectFault(ordinal)
+	}
+	if fault == (Fault{}) && opt.StepTimeout <= 0 {
+		return
+	}
+	var start time.Time
+	if opt.StepTimeout > 0 {
+		start = time.Now()
+	}
+	delayed := false
+	w.SetProbe(func(ops int) {
+		if fault.PanicAtOp > 0 && ops >= fault.PanicAtOp {
+			panic(injectedFault{exec: ordinal, op: ops})
+		}
+		if fault.DelayAtOp > 0 && !delayed && ops >= fault.DelayAtOp {
+			delayed = true
+			time.Sleep(fault.Delay)
+		}
+		if opt.StepTimeout > 0 && time.Since(start) > opt.StepTimeout {
+			panic(pmem.AbortSignal{})
+		}
+	})
 }
 
 // execOutcome is one execution's contribution to the result, produced
@@ -290,6 +460,9 @@ type execOutcome struct {
 	// world is retained only when AfterExecution needs it.
 	world   *pmem.World
 	elapsed time.Duration
+	// execErr marks a quarantined execution (contained panic): no
+	// violations, no world.
+	execErr *ExecError
 }
 
 // collect folds one execution's outcome into the result. Callers must
@@ -298,6 +471,12 @@ type execOutcome struct {
 func (r *Result) collect(o execOutcome, seen map[string]bool, opt *Options) {
 	if o.aborted {
 		r.Aborted++
+	}
+	if o.execErr != nil {
+		r.Quarantined++
+		if len(r.ExecErrors) < execErrorCap {
+			r.ExecErrors = append(r.ExecErrors, o.execErr)
+		}
 	}
 	r.mergeViolations(seen, o.violations, o.index+1)
 	r.Executions++
@@ -389,19 +568,31 @@ func randomExecution(p Program, opt *Options, plan *randomPlan, ws *workerState,
 	if opt.DisableChecker {
 		w.Checker.SetEnabled(false)
 	}
+	installProbe(w, opt, exec)
 	targets := ws.targetBuf(len(plan.pilotCounts))
 	for i := range targets {
 		// Uniform over [0, count]: before each fence-like op, or
 		// past the end (crash after the last operation).
 		targets[i] = w.Rand().Intn(plan.pilotCounts[i] + 1)
 	}
-	aborted, _, _ := runPhases(p, w, targets, nil)
+	aborted, _, _, execErr := runPhases(p, w, targets, nil)
 	o := execOutcome{
-		index:      exec,
-		aborted:    aborted,
-		violations: w.Checker.Violations(),
-		elapsed:    time.Since(start),
+		index:   exec,
+		aborted: aborted,
+		elapsed: time.Since(start),
+		execErr: execErr,
 	}
+	if execErr != nil {
+		// The panic left the world in an undefined state: discard it
+		// (never reuse, never expose) and drop its violations.
+		ws.w = nil
+		execErr.Exec = exec
+		execErr.Seed = seed
+		execErr.Program = p.Name()
+		execErr.Mode = Random
+		return o
+	}
+	o.violations = w.Checker.Violations()
 	if plan.keepWorld {
 		o.world = w
 	} else if !plan.fresh {
@@ -410,19 +601,54 @@ func randomExecution(p Program, opt *Options, plan *randomPlan, ws *workerState,
 	return o
 }
 
+// keysOf returns the sorted contents of a dedup set — the cumulative
+// violation keys a checkpoint must carry.
+func keysOf(seen map[string]bool) []string {
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // runRandom implements random search mode: serial below two workers,
-// fan-out through the ordered collector otherwise (pool.go).
-func runRandom(p Program, opt Options) *Result {
+// fan-out through the ordered collector otherwise (pool.go). cursor is
+// the canonical stream position: every execution below it has been
+// collected (in this run or, via Resume, a previous one).
+func runRandom(p Program, opt Options, st *stopper) *Result {
 	res := &Result{Program: p.Name(), Mode: Random, Workers: opt.Workers}
 	seen := make(map[string]bool)
 	start := time.Now()
+	startExec := 0
+	if ck := opt.Resume; ck != nil {
+		primeFromCheckpoint(res, seen, ck)
+		startExec = ck.Collected
+	}
 	plan := planRandom(p, &opt)
+	cursor := startExec
 	if opt.Workers > 1 {
-		runRandomParallel(p, &opt, plan, res, seen)
+		cursor = runRandomParallel(p, &opt, plan, res, seen, st, startExec)
 	} else {
 		ws := &workerState{}
-		for exec := 0; exec < opt.Executions; exec++ {
-			res.collect(randomExecution(p, &opt, plan, ws, exec), seen, &opt)
+		for cursor < opt.Executions && !st.stopped() {
+			res.collect(randomExecution(p, &opt, plan, ws, cursor), seen, &opt)
+			cursor++
+		}
+	}
+	if cursor < opt.Executions {
+		res.Partial = true
+		res.StopReason = st.why()
+		res.FrontierRemaining = opt.Executions - cursor
+		res.Checkpoint = &Checkpoint{
+			Version:       checkpointVersion,
+			Program:       res.Program,
+			Mode:          Random.String(),
+			Seed:          opt.Seed,
+			Collected:     cursor,
+			Aborted:       res.Aborted,
+			Quarantined:   res.Quarantined,
+			ViolationKeys: keysOf(seen),
 		}
 	}
 	res.Elapsed = time.Since(start)
@@ -519,21 +745,34 @@ func mcWorld(opt *Options, ctl *controller) *pmem.World {
 	return w
 }
 
+// trailValues flattens a decision trail into the chosen values — the
+// reproduction prefix an ExecError records.
+func trailValues(trail []decision) []int {
+	vals := make([]int, len(trail))
+	for i, d := range trail {
+		vals[i] = d.val
+	}
+	return vals
+}
+
 // runModelCheck implements the exhaustive mode. The work is split over
 // Options.Workers sub-DFS workers, one per crash-target subtree
 // (pool.go); an AfterExecution callback forces the serial engine, which
 // retains and hands over each world.
-func runModelCheck(p Program, opt Options) *Result {
+func runModelCheck(p Program, opt Options, st *stopper) *Result {
 	if opt.AfterExecution != nil {
-		return runModelCheckSerial(p, opt)
+		return runModelCheckSerial(p, opt, st)
 	}
-	return newMCEngine(p, &opt).run()
+	return newMCEngine(p, &opt, st).run()
 }
 
 // runModelCheckSerial is the single-goroutine DFS: one controller walks
 // the whole decision tree, worlds are handed to AfterExecution as they
 // complete, and the state cache is off (every execution is observable).
-func runModelCheckSerial(p Program, opt Options) *Result {
+// A stop yields a Partial result without a checkpoint (this engine has
+// no canonical subtree cut; use the parallel engine for resumable
+// campaigns). Chaos ordinals here are global execution indices.
+func runModelCheckSerial(p Program, opt Options, st *stopper) *Result {
 	res := &Result{Program: p.Name(), Mode: ModelCheck, Workers: 1}
 	seen := make(map[string]bool)
 	start := time.Now()
@@ -541,9 +780,15 @@ func runModelCheckSerial(p Program, opt Options) *Result {
 	numPre := len(p.Phases()) - 1
 
 	for {
+		if st.stopped() {
+			res.Partial = true
+			res.StopReason = st.why()
+			break
+		}
 		ctl.pos = 0
 		execStart := time.Now()
 		w := mcWorld(&opt, ctl)
+		installProbe(w, &opt, res.Executions)
 		// Crash-target decisions come first in the trail, one per
 		// non-final phase, so their indices are stable.
 		targets := make([]int, numPre)
@@ -552,26 +797,40 @@ func runModelCheckSerial(p Program, opt Options) *Result {
 			decIdx[i] = ctl.pos
 			targets[i] = ctl.next(-1)
 		}
-		aborted, injected, _ := runPhases(p, w, targets, nil)
+		aborted, injected, _, execErr := runPhases(p, w, targets, nil)
 		// Close any crash-target decision whose injection did not fire:
 		// the phase ran to completion, so larger targets are equivalent
-		// to this one ("crash after the last operation", §6.1).
+		// to this one ("crash after the last operation", §6.1). On a
+		// contained panic the unreached phases report fired=false, so
+		// their sibling schedules — which would deterministically panic
+		// the same way before crashing — are quarantined with this one.
 		for i, fired := range injected {
 			if !fired && ctl.trail[decIdx[i]].domain < 0 {
 				ctl.closeCurrent(decIdx[i], targets[i]+1)
 			}
 		}
-		res.collect(execOutcome{
-			index:      res.Executions,
-			aborted:    aborted,
-			violations: w.Checker.Violations(),
-			world:      w,
-			elapsed:    time.Since(execStart),
-		}, seen, &opt)
-		if res.Executions >= opt.Executions {
+		o := execOutcome{
+			index:   res.Executions,
+			aborted: aborted,
+			elapsed: time.Since(execStart),
+			execErr: execErr,
+		}
+		if execErr != nil {
+			execErr.Exec = res.Executions
+			execErr.Program = res.Program
+			execErr.Mode = ModelCheck
+			execErr.Prefix = trailValues(ctl.trail)
+		} else {
+			o.violations = w.Checker.Violations()
+			o.world = w
+		}
+		res.collect(o, seen, &opt)
+		if !ctl.backtrack() {
 			break
 		}
-		if !ctl.backtrack() {
+		if res.Executions >= opt.Executions {
+			res.Partial = true
+			res.StopReason = "exec-budget"
 			break
 		}
 	}

@@ -11,6 +11,13 @@
 // one worker, and assembles the per-subtree execution lists in subtree
 // order, truncated at the Executions cap, which is byte-for-byte the
 // order the serial DFS visits. See DESIGN.md, "Parallel exploration".
+//
+// Graceful degradation preserves both properties: workers consult the
+// run's stopper only *between* executions (an execution, once claimed,
+// always runs to completion and is collected), so a stopped run's
+// collected stream is always a contiguous prefix of the uninterrupted
+// run's canonical stream — which is what makes the checkpoint cut
+// well-defined and resume deterministic.
 package explore
 
 import (
@@ -30,16 +37,31 @@ const collectorSlack = 4
 // runRandomParallel fans random-mode executions over opt.Workers
 // goroutines and folds outcomes through the ordered collector. Results
 // are bit-identical to the serial loop: seeds depend only on indices,
-// and collect runs in index order on the calling goroutine.
-func runRandomParallel(p Program, opt *Options, plan *randomPlan, res *Result, seen map[string]bool) {
+// and collect runs in index order on the calling goroutine. The stop
+// check sits before the index claim, so every claimed index is executed
+// and sent — the collected stream has no gaps and the returned cursor
+// is the exact resume point. Returns the canonical stream position:
+// every execution below it (from startExec) was collected.
+func runRandomParallel(p Program, opt *Options, plan *randomPlan, res *Result, seen map[string]bool, st *stopper, startExec int) int {
 	tokens := make(chan struct{}, opt.Workers*collectorSlack)
 	outc := make(chan execOutcome, opt.Workers*collectorSlack)
-	var next int64 = -1
+	next := int64(startExec) - 1
+	var wg sync.WaitGroup
 	for i := 0; i < opt.Workers; i++ {
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
 			ws := &workerState{} // worker-lifetime reusable world + scratch
 			for {
-				tokens <- struct{}{} // wait for the collector to keep up
+				select {
+				case tokens <- struct{}{}: // wait for the collector to keep up
+				case <-st.done():
+					return
+				}
+				if st.stopped() {
+					<-tokens
+					return
+				}
 				exec := int(atomic.AddInt64(&next, 1))
 				if exec >= opt.Executions {
 					<-tokens
@@ -49,13 +71,19 @@ func runRandomParallel(p Program, opt *Options, plan *randomPlan, res *Result, s
 			}
 		}()
 	}
+	go func() {
+		wg.Wait()
+		close(outc)
+	}()
 	// Ordered collector: buffer out-of-order outcomes, emit in index
 	// order, releasing one token per emitted execution. Any pending
 	// index is held by a worker that owns a token, so the collector can
-	// never wait on a worker that is blocked acquiring one.
+	// never wait on a worker that is blocked acquiring one; and since
+	// claimed indices are contiguous and always delivered, draining outc
+	// to close leaves no gap below the final cursor.
 	pending := make(map[int]execOutcome)
-	for nextIdx := 0; nextIdx < opt.Executions; {
-		o := <-outc
+	nextIdx := startExec
+	for o := range outc {
 		pending[o.index] = o
 		for {
 			q, ok := pending[nextIdx]
@@ -68,6 +96,7 @@ func runRandomParallel(p Program, opt *Options, plan *randomPlan, res *Result, s
 			<-tokens
 		}
 	}
+	return nextIdx
 }
 
 // --- model checking: frontier-split DFS ---
@@ -76,6 +105,9 @@ func runRandomParallel(p Program, opt *Options, plan *randomPlan, res *Result, s
 type mcExec struct {
 	aborted    bool
 	violations []*core.Violation
+	// execErr marks a quarantined execution; its canonical index is
+	// assigned at assembly time.
+	execErr *ExecError
 }
 
 // mcSubtree is the record of one crash-target subtree: every execution
@@ -88,12 +120,32 @@ type mcSubtree struct {
 	// work is the wall-clock time this subtree's worker spent,
 	// including a pruned first execution's pre-crash phase.
 	work time.Duration
+	// done: the sub-DFS ran to exhaustion (or was pruned); false on a
+	// subtree cut short by a stop or the execution budget.
+	done bool
+	// stoppedAt/trailSnap: the sub-DFS observed a stop at its loop top
+	// and snapshotted its decision trail — the checkpoint resume point.
+	stoppedAt bool
+	trailSnap []decision
+	// keyed/key: the first execution registered this state-cache key
+	// (a miss); replayed into checkpoints.
+	keyed bool
+	key   cacheKey
+	// injectionFired: the first execution's phase-0 crash injection
+	// fired, i.e. subtree ordinal+1 exists and was spawned. Restored
+	// from the checkpoint on resume so a re-checkpoint still spawns it.
+	injectionFired bool
+	// started: execution 0 ran (classifying the subtree), in this run
+	// or — restored on resume — before the cut. A started subtree's
+	// checkpoint must carry its trail; an unstarted one restarts fresh.
+	started bool
 }
 
 // mcEngine coordinates the parallel model-checking run.
 type mcEngine struct {
 	p      Program
 	opt    *Options
+	st     *stopper
 	numPre int
 
 	// sem bounds worker concurrency; each subtree goroutine holds one
@@ -104,17 +156,46 @@ type mcEngine struct {
 	mu    sync.Mutex
 	subs  []*mcSubtree // indexed by subtree ordinal (= phase-0 target)
 	cache *stateCache  // nil when disabled
+
+	// --- resume state (from Options.Resume) ---
+	haveResume      bool
+	baseExecs       int // canonical executions collected before the cut
+	startSubtree    int // the cut subtree's ordinal
+	resumeStarted   bool
+	resumeTrail     []decision
+	resumeSpawnNext bool
+	// primedKeys / baseHits / baseMisses replay the pre-cut cache so
+	// re-checkpointing a resumed run stays cumulative.
+	primedKeys           []CacheEntry
+	baseHits, baseMisses int
 }
 
-func newMCEngine(p Program, opt *Options) *mcEngine {
+func newMCEngine(p Program, opt *Options, st *stopper) *mcEngine {
 	e := &mcEngine{
 		p:      p,
 		opt:    opt,
+		st:     st,
 		numPre: len(p.Phases()) - 1,
 		sem:    make(chan struct{}, opt.Workers),
 	}
 	if !opt.NoStateCache && e.numPre > 0 {
 		e.cache = newStateCache()
+	}
+	if ck := opt.Resume; ck != nil && ck.MC != nil {
+		e.haveResume = true
+		e.baseExecs = ck.Collected
+		e.startSubtree = ck.MC.Subtree
+		e.resumeStarted = ck.MC.Started
+		e.resumeTrail = trailFromCheckpoint(ck.MC.Trail)
+		e.resumeSpawnNext = ck.MC.SpawnNext
+		e.primedKeys = ck.MC.CacheKeys
+		e.baseHits, e.baseMisses = ck.MC.CacheHits, ck.MC.CacheMisses
+		if e.cache != nil {
+			for _, ce := range ck.MC.CacheKeys {
+				e.cache.prime(cacheKey{image: ce.Image, heap: ce.Heap})
+			}
+			e.cache.seed(ck.MC.CacheHits, ck.MC.CacheMisses)
+		}
 	}
 	return e
 }
@@ -131,14 +212,15 @@ func (e *mcEngine) subtree(v int) *mcSubtree {
 
 // allowance reports whether subtree v, having run mine executions, may
 // run another under the global cap. It compares against the cap minus
-// the executions recorded by all earlier subtrees: since their counts
-// only grow toward their final values, the bound is conservative — a
-// subtree can overshoot (trimmed at assembly) but never stops before
-// producing every execution the canonical first-cap prefix needs.
+// the executions recorded by all earlier subtrees (plus, on resume, the
+// checkpoint's already-collected count): since their counts only grow
+// toward their final values, the bound is conservative — a subtree can
+// overshoot (trimmed at assembly) but never stops before producing
+// every execution the canonical first-cap prefix needs.
 func (e *mcEngine) allowance(v, mine int) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	sum := 0
+	sum := e.baseExecs
 	for i := 0; i < v && i < len(e.subs); i++ {
 		sum += len(e.subs[i].execs)
 	}
@@ -146,9 +228,10 @@ func (e *mcEngine) allowance(v, mine int) bool {
 }
 
 // spawn starts subtree v's sub-DFS once a worker slot frees up. It is
-// called either for the root (v=0) or from subtree v-1 after its first
-// execution registered its crash-0 image, which makes the state-cache
-// registration order — and so the hit/miss pattern — deterministic.
+// called either for the start subtree or from subtree v-1 after its
+// first execution registered its crash-0 image, which makes the
+// state-cache registration order — and so the hit/miss pattern —
+// deterministic.
 func (e *mcEngine) spawn(v int) {
 	e.subtree(v) // allocate the record before the goroutine races to it
 	e.wg.Add(1)
@@ -177,12 +260,36 @@ func (e *mcEngine) runSubtree(v int) {
 		ctl.trail = []decision{{val: v, domain: v + 1}}
 	}
 	first := true
+	if e.haveResume && v == e.startSubtree && e.resumeStarted {
+		// Resume the cut subtree mid-DFS: restore its snapshotted trail
+		// and skip the first-execution classification — its cache
+		// registration happened before the cut (replayed from the
+		// checkpoint) and its successor, if any, is spawned here. The
+		// classification outcome itself (started, injectionFired) is
+		// restored too, so a second cut re-checkpoints it faithfully.
+		ctl.trail = append([]decision(nil), e.resumeTrail...)
+		first = false
+		sub.started = true
+		sub.injectionFired = e.resumeSpawnNext
+		if e.resumeSpawnNext {
+			e.spawn(v + 1)
+		}
+	}
 	// One world serves the whole sub-DFS (its chooser closes over this
 	// subtree's controller); it is reset between executions.
 	var w *pmem.World
 	targets := make([]int, e.numPre)
 	decIdx := make([]int, e.numPre)
 	for {
+		if e.st.stopped() {
+			// Snapshot the resume point: the trail sits at the next
+			// unexplored execution (backtrack already advanced it).
+			e.mu.Lock()
+			sub.stoppedAt = true
+			sub.trailSnap = append([]decision(nil), ctl.trail...)
+			e.mu.Unlock()
+			return
+		}
 		if !e.allowance(v, len(sub.execs)) {
 			return
 		}
@@ -195,6 +302,7 @@ func (e *mcEngine) runSubtree(v int) {
 				w.Checker.SetEnabled(false)
 			}
 		}
+		installProbe(w, e.opt, len(sub.execs))
 		for i := range targets {
 			decIdx[i] = ctl.pos
 			targets[i] = ctl.next(-1)
@@ -212,67 +320,185 @@ func (e *mcEngine) runSubtree(v int) {
 				}
 				keep := true
 				if e.cache != nil {
-					if hit := e.cache.lookupOrRegister(stateKey(w)); hit {
+					k := stateKey(w)
+					if hit := e.cache.lookupOrRegister(k); hit {
 						sub.pruned = true
 						keep = false
+					} else {
+						sub.keyed = true
+						sub.key = k
 					}
 				}
 				if fired && e.numPre > 0 {
+					sub.injectionFired = true
 					e.spawn(v + 1)
 				}
 				return keep
 			}
 		}
-		aborted, injected, pruned := runPhases(e.p, w, targets, onCrash)
+		aborted, injected, pruned, execErr := runPhases(e.p, w, targets, onCrash)
+		if first {
+			sub.started = true
+		}
 		first = false
 		if pruned {
 			// The whole subtree is a duplicate of one already explored;
 			// it contributes no executions.
+			e.markDone(sub)
 			return
 		}
 		// Close crash-target decisions whose injection did not fire
 		// (phase ran to completion; larger targets are equivalent). The
-		// primed phase-0 decision is born closed and skipped here.
+		// primed phase-0 decision is born closed and skipped here. A
+		// contained panic reports fired=false for unreached phases, so
+		// sibling schedules — which would deterministically re-panic
+		// before crashing — are quarantined with this one.
 		for i, fired := range injected {
 			if !fired && ctl.trail[decIdx[i]].domain < 0 {
 				ctl.closeCurrent(decIdx[i], targets[i]+1)
 			}
 		}
+		ex := mcExec{aborted: aborted, execErr: execErr}
+		if execErr != nil {
+			// The panic left the world in an undefined state: discard
+			// it (next iteration builds fresh) and drop its violations.
+			execErr.Program = e.p.Name()
+			execErr.Mode = ModelCheck
+			execErr.Prefix = trailValues(ctl.trail)
+			w = nil
+		} else {
+			ex.violations = w.Checker.Violations()
+		}
 		e.mu.Lock()
-		sub.execs = append(sub.execs, mcExec{aborted: aborted, violations: w.Checker.Violations()})
+		sub.execs = append(sub.execs, ex)
 		e.mu.Unlock()
 		if !ctl.backtrack() {
+			e.markDone(sub)
 			return
 		}
 	}
+}
+
+func (e *mcEngine) markDone(sub *mcSubtree) {
+	e.mu.Lock()
+	sub.done = true
+	e.mu.Unlock()
 }
 
 // run executes the engine and assembles the canonical result.
 func (e *mcEngine) run() *Result {
 	res := &Result{Program: e.p.Name(), Mode: ModelCheck, Workers: e.opt.Workers}
 	start := time.Now()
-	e.spawn(0)
+	seen := make(map[string]bool)
+	if e.haveResume {
+		primeFromCheckpoint(res, seen, e.opt.Resume)
+	}
+	e.spawn(e.startSubtree)
 	e.wg.Wait()
 
 	// Assembly: concatenate subtree execution lists in subtree order —
 	// exactly the serial DFS visit order — and truncate at the cap.
 	// Collector callbacks (Progress) therefore see strictly increasing
-	// indices no matter how the subtrees were scheduled.
-	seen := make(map[string]bool)
-	idx := 0
-	for _, sub := range e.subs {
-		res.WorkerTime += sub.work
+	// indices no matter how the subtrees were scheduled. The collected
+	// stream stops at the first subtree with uncollected work (cut):
+	// its own executions are a canonical prefix and are collected, but
+	// nothing after it can be, so later subtrees' results are dropped —
+	// a resume re-derives them.
+	idx := e.baseExecs
+	cut := -1 // ordinal of the first subtree with uncollected work
+	var cutSub *mcSubtree
+	frontier := 0
+	truncated := false
+	for si := e.startSubtree; si < len(e.subs); si++ {
+		sub := e.subs[si]
+		if cut >= 0 {
+			if !sub.done {
+				frontier++
+			}
+			continue
+		}
+		full := true
 		for _, ex := range sub.execs {
 			if idx >= e.opt.Executions {
+				full = false
+				truncated = true
 				break
 			}
-			res.collect(execOutcome{index: idx, aborted: ex.aborted, violations: ex.violations}, seen, e.opt)
+			if ex.execErr != nil && ex.execErr.Exec < 0 {
+				ex.execErr.Exec = idx
+			}
+			res.collect(execOutcome{index: idx, aborted: ex.aborted, violations: ex.violations, execErr: ex.execErr}, seen, e.opt)
 			idx++
 		}
+		if full && sub.done {
+			continue
+		}
+		cut = si
+		cutSub = sub
+		frontier++
+	}
+	for _, sub := range e.subs {
+		res.WorkerTime += sub.work
 	}
 	if e.cache != nil {
 		res.CacheHits, res.CacheMisses = e.cache.stats()
 	}
+	if cut >= 0 {
+		res.Partial = true
+		if e.st.stopped() {
+			res.StopReason = e.st.why()
+		} else {
+			res.StopReason = "exec-budget"
+		}
+		res.FrontierRemaining = frontier
+		// A checkpoint needs the cut subtree's collected executions to
+		// line up with its trail snapshot: only a stop observed at the
+		// sub-DFS loop top guarantees that. Budget truncation (or a
+		// subtree that bowed out on its allowance) yields no checkpoint
+		// — re-run with a larger budget instead.
+		if e.st.stopped() && !truncated && (cutSub.stoppedAt || !cutSub.started) {
+			res.Checkpoint = e.checkpoint(res, seen, cut, cutSub, idx)
+		}
+	}
 	res.Elapsed = time.Since(start)
 	return res
+}
+
+// checkpoint builds the resume state for a stop cut at subtree `cut`.
+func (e *mcEngine) checkpoint(res *Result, seen map[string]bool, cut int, cutSub *mcSubtree, collected int) *Checkpoint {
+	mc := &MCCheckpoint{
+		Subtree:   cut,
+		Started:   cutSub.started,
+		SpawnNext: cutSub.injectionFired,
+	}
+	if mc.Started {
+		mc.Trail = trailToCheckpoint(cutSub.trailSnap)
+	}
+	// Cache registrations of subtrees up to the cut, in registration
+	// (spawn-chain = ordinal) order: the pre-cut primed keys first, then
+	// this run's. Hit/miss counters likewise cover only subtrees up to
+	// the cut — later subtrees' lookups are re-derived on resume.
+	mc.CacheKeys = append(mc.CacheKeys, e.primedKeys...)
+	mc.CacheHits, mc.CacheMisses = e.baseHits, e.baseMisses
+	for si := e.startSubtree; si <= cut && si < len(e.subs); si++ {
+		sub := e.subs[si]
+		if sub.keyed {
+			mc.CacheKeys = append(mc.CacheKeys, CacheEntry{Image: sub.key.image, Heap: sub.key.heap})
+			mc.CacheMisses++
+		}
+		if sub.pruned {
+			mc.CacheHits++
+		}
+	}
+	return &Checkpoint{
+		Version:       checkpointVersion,
+		Program:       res.Program,
+		Mode:          ModelCheck.String(),
+		Seed:          e.opt.Seed,
+		Collected:     collected,
+		Aborted:       res.Aborted,
+		Quarantined:   res.Quarantined,
+		ViolationKeys: keysOf(seen),
+		MC:            mc,
+	}
 }

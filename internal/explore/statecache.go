@@ -88,3 +88,21 @@ func (c *stateCache) stats() (hits, misses int) {
 	defer c.mu.Unlock()
 	return c.hits, c.misses
 }
+
+// prime registers a key without touching the counters: checkpoint
+// resume replays the pre-cut registrations so post-cut lookups see
+// exactly the cache an uninterrupted run would have had.
+func (c *stateCache) prime(k cacheKey) {
+	c.mu.Lock()
+	c.seen[k] = struct{}{}
+	c.mu.Unlock()
+}
+
+// seed adds a resumed checkpoint's counters so final stats are
+// cumulative across the interrupted and resumed runs.
+func (c *stateCache) seed(hits, misses int) {
+	c.mu.Lock()
+	c.hits += hits
+	c.misses += misses
+	c.mu.Unlock()
+}

@@ -16,6 +16,19 @@ import (
 	"repro/internal/pmem"
 )
 
+// InternalError is the panic value raised when the interpreter meets an
+// AST shape it has no case for — an interpreter bug (the parser and
+// checker only produce known shapes). Typed so the exploration layer's
+// panic isolation classifies the quarantined record instead of dying.
+type InternalError struct{ Detail string }
+
+// Error implements error.
+func (e InternalError) Error() string { return "interp: " + e.Detail }
+
+// InterpInternal marks the type for the explorer's panic classifier,
+// which cannot import this package (our tests run through explore).
+func (e InternalError) InterpInternal() {}
+
 // Program is a compiled Figure 9 program ready for exploration.
 type Program struct {
 	name   string
@@ -227,7 +240,7 @@ func (ex *threadExec) stmt(s lang.Stmt) {
 	case *lang.ExprStmt:
 		ex.eval(x.Expr)
 	default:
-		panic(fmt.Sprintf("interp: unknown statement %T", s))
+		panic(InternalError{Detail: fmt.Sprintf("unknown statement %T", s)})
 	}
 }
 
@@ -300,10 +313,10 @@ func (ex *threadExec) eval(e lang.Expr) memmodel.Value {
 		case ">=":
 			return boolVal(l >= r)
 		}
-		panic(fmt.Sprintf("interp: unknown operator %q", x.Op))
+		panic(InternalError{Detail: fmt.Sprintf("unknown operator %q", x.Op)})
 	case *lang.NotExpr:
 		return boolVal(ex.eval(x.E) == 0)
 	default:
-		panic(fmt.Sprintf("interp: unknown expression %T", e))
+		panic(InternalError{Detail: fmt.Sprintf("unknown expression %T", e)})
 	}
 }

@@ -1,0 +1,57 @@
+package lang
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse asserts the parser's contract under arbitrary input:
+// malformed programs must return an error, never panic — the psan CLI
+// feeds user files straight into Parse, and a parser panic would be
+// classified as an internal error (exit 2) instead of a parse
+// diagnostic. Accepted programs must additionally survive a
+// format/re-parse round trip, which shakes out formatter/parser
+// disagreements on accepted-but-odd shapes.
+func FuzzParse(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.pm"))
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("seed corpus missing: %v (%d files)", err, len(paths))
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	for _, s := range []string{
+		"",
+		"program",
+		"program p { thread t0 {",
+		"x = ;",
+		"store x 1; flush x; sfence;",
+		"while (x {",
+		"// comment only\n",
+		"program p { phase { store x = 1; } phase { r1 = load x; } }",
+		"\x00\xff\xfe",
+		"program \xf0\x28\x8c\x28 {}", // invalid UTF-8 identifier
+		"program p { phase { assert(1 == } }",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejected cleanly — that is the contract
+		}
+		formatted := Format(prog)
+		reparsed, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("accepted program failed to re-parse after Format: %v\nformatted:\n%s", err, formatted)
+		}
+		if again := Format(reparsed); again != formatted {
+			t.Fatalf("Format is not a fixed point:\nfirst:\n%s\nsecond:\n%s", formatted, again)
+		}
+	})
+}

@@ -131,6 +131,12 @@ type World struct {
 	// subset, reused across loads.
 	steer []px86.Candidate
 
+	// probe, when non-nil, runs before every operation with the world's
+	// running operation count. The exploration layer installs probes for
+	// per-execution watchdogs (step timeouts raise AbortSignal) and chaos
+	// fault injection (deliberate panics); nil costs one branch per op.
+	probe func(ops int)
+
 	// assertFailures records failed program assertions ("assert(e)" in
 	// the Figure 9 language, or Assert calls from benchmark ports). The
 	// Jaaru-style baseline detects bugs only through these.
@@ -187,7 +193,13 @@ func (w *World) Reset(seed int64) {
 	w.threadIDs = w.threadIDs[:0]
 	w.spawned = nil
 	w.assertFailures = nil
+	w.probe = nil
 }
+
+// SetProbe installs (or, with nil, removes) the per-operation probe for
+// the next execution. Reset clears it: harnesses that want one must
+// re-install it each execution.
+func (w *World) SetProbe(p func(ops int)) { w.probe = p }
 
 // Rand returns the world's random source (shared by schedulers and
 // random read policies so one seed reproduces the whole execution).
@@ -252,6 +264,9 @@ func (w *World) step(kind memmodel.OpKind) {
 	w.ops++
 	if w.ops > w.opLimit {
 		panic(AbortSignal{Reason: fmt.Sprintf("operation budget %d exceeded", w.opLimit)})
+	}
+	if w.probe != nil {
+		w.probe(w.ops)
 	}
 	if w.drainPct > 0 && len(w.threadIDs) > 0 && w.rng.Intn(100) < w.drainPct {
 		w.M.DrainOne(w.threadIDs[w.rng.Intn(len(w.threadIDs))])

@@ -1,0 +1,52 @@
+package px86
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInvariantErrorPanicValue corrupts a resolved candidate's prefix
+// range and checks the machine panics with the typed InvariantError —
+// carrying the check name, address, and interned source location — so
+// the explorer can classify and quarantine the schedule instead of
+// dying on an anonymous string panic.
+func TestInvariantErrorPanicValue(t *testing.T) {
+	m := New(Config{})
+	m.Store(0, addrX, 1, m.Intern("x=1"))
+	m.Flush(0, addrX, m.Intern("flush x"))
+	m.Crash()
+	cands := m.LoadCandidates(0, addrX)
+	var bad Candidate
+	for _, c := range cands {
+		if c.resolve && c.epochIdx >= 0 {
+			bad = c
+		}
+	}
+	if !bad.resolve {
+		t.Fatal("no resolving sealed-epoch candidate to corrupt")
+	}
+	bad.loNew, bad.hiNew = 2, 1 // inverted range: internal inconsistency
+	defer func() {
+		r := recover()
+		ie, ok := r.(InvariantError)
+		if !ok {
+			t.Fatalf("panic value %T (%v), want InvariantError", r, r)
+		}
+		if ie.Check != "prefix range" {
+			t.Fatalf("Check = %q, want \"prefix range\"", ie.Check)
+		}
+		if ie.Addr != addrX.Word() {
+			t.Fatalf("Addr = %v, want %v", ie.Addr, addrX.Word())
+		}
+		if !strings.Contains(ie.Loc, "r=x") {
+			t.Fatalf("Loc = %q, want the access location", ie.Loc)
+		}
+		for _, want := range []string{"px86", "prefix range", "invariant"} {
+			if !strings.Contains(ie.Error(), want) {
+				t.Fatalf("Error() = %q missing %q", ie.Error(), want)
+			}
+		}
+	}()
+	m.resolveChoice(addrX.Word(), bad, m.Intern("r=x"))
+	t.Fatal("corrupted candidate did not trip the invariant")
+}

@@ -27,6 +27,34 @@ import (
 	"repro/internal/trace"
 )
 
+// InvariantError is the panic value raised when the machine detects an
+// internal inconsistency — a crash-image prefix range that became empty
+// or contradictory. These are engine bugs, never program-under-test
+// bugs, and the value is typed so the exploration layer's panic
+// isolation can classify the record it quarantines (explore.ExecError)
+// instead of losing the whole campaign to one broken schedule.
+type InvariantError struct {
+	// Check names the violated invariant ("crash-image resolution",
+	// "prefix range").
+	Check string
+	// Addr is the word whose line state exposed the inconsistency.
+	Addr memmodel.Addr
+	// Loc is the materialized (interned) source location of the access
+	// being resolved when the invariant tripped; empty when unknown.
+	Loc string
+}
+
+// Error implements error, so the panic value reads well in logs.
+func (e InvariantError) Error() string {
+	if e.Loc == "" {
+		return fmt.Sprintf("px86: %s invariant violated for %s", e.Check, e.Addr)
+	}
+	return fmt.Sprintf("px86: %s invariant violated for %s at %s", e.Check, e.Addr, e.Loc)
+}
+
+// String mirrors Error for %v rendering of the bare panic value.
+func (e InvariantError) String() string { return e.Error() }
+
 // Config controls simulation behavior.
 type Config struct {
 	// DelayedCommit keeps stores in per-thread store buffers until a
@@ -380,8 +408,10 @@ func (m *Machine) LoadCandidates(t memmodel.ThreadID, a memmodel.Addr) []Candida
 }
 
 // resolveChoice narrows epoch ranges so that future reads agree with the
-// chosen candidate.
-func (m *Machine) resolveChoice(a memmodel.Addr, c Candidate) {
+// chosen candidate. loc is the access's interned location, carried into
+// the InvariantError panic raised when narrowing exposes an internal
+// inconsistency.
+func (m *Machine) resolveChoice(a memmodel.Addr, c Candidate, loc trace.LocID) {
 	if !c.resolve {
 		return // volatile read: nothing to narrow
 	}
@@ -398,7 +428,7 @@ func (m *Machine) resolveChoice(a memmodel.Addr, c Candidate) {
 		if first := ep.indexOfFirst(a); first >= 0 && ep.hi > first {
 			ep.hi = first
 			if ep.lo > ep.hi {
-				panic(fmt.Sprintf("px86: inconsistent crash-image resolution for %s", a))
+				panic(InvariantError{Check: "crash-image resolution", Addr: a, Loc: m.tr.LocString(loc)})
 			}
 		}
 	}
@@ -406,7 +436,7 @@ func (m *Machine) resolveChoice(a memmodel.Addr, c Candidate) {
 		ep := ls.sealed[c.epochIdx]
 		ep.lo, ep.hi = c.loNew, c.hiNew
 		if ep.lo > ep.hi {
-			panic(fmt.Sprintf("px86: empty prefix range for %s", a))
+			panic(InvariantError{Check: "prefix range", Addr: a, Loc: m.tr.LocString(loc)})
 		}
 	}
 }
@@ -416,7 +446,7 @@ func (m *Machine) resolveChoice(a memmodel.Addr, c Candidate) {
 // It returns the loaded value.
 func (m *Machine) Load(t memmodel.ThreadID, a memmodel.Addr, c Candidate, loc trace.LocID) memmodel.Value {
 	a = a.Word()
-	m.resolveChoice(a, c)
+	m.resolveChoice(a, c, loc)
 	m.tr.Load(t, a, c.Store, memmodel.OpLoad, loc)
 	return c.Store.Value
 }
@@ -445,7 +475,7 @@ func (m *Machine) rmwBegin(t memmodel.ThreadID) {
 func (m *Machine) CAS(t memmodel.ThreadID, a memmodel.Addr, c Candidate, expected, newV memmodel.Value, loc trace.LocID) (memmodel.Value, bool) {
 	a = a.Word()
 	m.rmwBegin(t)
-	m.resolveChoice(a, c)
+	m.resolveChoice(a, c, loc)
 	m.tr.Load(t, a, c.Store, memmodel.OpCAS, loc)
 	old := c.Store.Value
 	if old != expected {
@@ -461,7 +491,7 @@ func (m *Machine) CAS(t memmodel.ThreadID, a memmodel.Addr, c Candidate, expecte
 func (m *Machine) FAA(t memmodel.ThreadID, a memmodel.Addr, c Candidate, delta memmodel.Value, loc trace.LocID) memmodel.Value {
 	a = a.Word()
 	m.rmwBegin(t)
-	m.resolveChoice(a, c)
+	m.resolveChoice(a, c, loc)
 	m.tr.Load(t, a, c.Store, memmodel.OpFAA, loc)
 	old := c.Store.Value
 	st := m.tr.StoreIssue(t, a, old+delta, memmodel.OpFAA, loc)

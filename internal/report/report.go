@@ -65,6 +65,10 @@ type Options struct {
 	// Workers is the parallel exploration worker count (0: all CPUs,
 	// 1: serial). Table results are identical for any count.
 	Workers int
+	// Deadline bounds each benchmark run's wall-clock time (0: none);
+	// runs that trip it report partial coverage instead of hanging a
+	// table build.
+	Deadline time.Duration
 }
 
 // --- Table 1 ---
@@ -199,7 +203,7 @@ func Table2(opt Options) *Table2Result {
 			execs = opt.Executions
 		}
 		buggy := explore.Run(b.Build(bench.Buggy), explore.Options{
-			Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1, Workers: opt.Workers,
+			Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1, Workers: opt.Workers, Deadline: opt.Deadline,
 		})
 		covered, missed := bench.MatchExpected(b.Expected, buggy.Violations)
 		for _, c := range covered {
@@ -227,7 +231,7 @@ func Table2(opt Options) *Table2Result {
 			})
 		}
 		fixed := explore.Run(b.Build(bench.Fixed), explore.Options{
-			Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1, Workers: opt.Workers,
+			Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1, Workers: opt.Workers, Deadline: opt.Deadline,
 		})
 		res.FixedClean[b.Name] = len(fixed.Violations) == 0
 	}
@@ -301,18 +305,18 @@ func Table3(opt Options) []Table3Row {
 		// the paper's PSan-vs-Jaaru methodology.
 		jaaru := explore.Run(b.Build(bench.Buggy), explore.Options{
 			Mode: explore.Random, Executions: timingExecs, Seed: opt.Seed + 2,
-			Workers: opt.Workers, DisableChecker: true, NoSteering: true,
+			Workers: opt.Workers, Deadline: opt.Deadline, DisableChecker: true, NoSteering: true,
 		})
 		psan := explore.Run(b.Build(bench.Buggy), explore.Options{
 			Mode: explore.Random, Executions: timingExecs, Seed: opt.Seed + 2,
-			Workers: opt.Workers, NoSteering: true,
+			Workers: opt.Workers, Deadline: opt.Deadline, NoSteering: true,
 		})
 		execs := b.Executions
 		if opt.Executions > 0 {
 			execs = opt.Executions
 		}
 		discovery := explore.Run(b.Build(bench.Buggy), explore.Options{
-			Mode: explore.Random, Executions: execs, Seed: opt.Seed + 2, Workers: opt.Workers,
+			Mode: explore.Random, Executions: execs, Seed: opt.Seed + 2, Workers: opt.Workers, Deadline: opt.Deadline,
 		})
 		rows = append(rows, Table3Row{
 			Benchmark:  b.Name,

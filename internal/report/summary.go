@@ -1,0 +1,36 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/explore"
+)
+
+// RunSummary renders one exploration result for the CLI: the one-line
+// outcome, coverage when the run degraded (partial stop or quarantined
+// schedules), and the contained-panic records a bug report needs.
+func RunSummary(res *explore.Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, res)
+	if res.Partial {
+		fmt.Fprintf(&b, "partial coverage: stopped on %s with %d executions run", res.StopReason, res.Executions)
+		if res.FrontierRemaining > 0 {
+			fmt.Fprintf(&b, ", frontier of %d remaining", res.FrontierRemaining)
+		}
+		b.WriteByte('\n')
+		if res.Checkpoint != nil {
+			fmt.Fprintln(&b, "resume state available (use -checkpoint to save it)")
+		}
+	}
+	if res.Quarantined > 0 {
+		fmt.Fprintf(&b, "%d schedule(s) quarantined after contained panics:\n", res.Quarantined)
+		for _, ee := range res.ExecErrors {
+			fmt.Fprintf(&b, "  %s\n", ee.Error())
+		}
+		if res.Quarantined > len(res.ExecErrors) {
+			fmt.Fprintf(&b, "  … and %d more (record cap reached)\n", res.Quarantined-len(res.ExecErrors))
+		}
+	}
+	return b.String()
+}
