@@ -5,8 +5,10 @@
 //	psan-bench -table 2          # robustness violations per benchmark
 //	psan-bench -table 3          # PSan vs Jaaru overhead + discovery
 //	psan-bench -table compare    # §6.4 comparison vs baselines
+//	psan-bench -table diff       # cross-model differential checks
 //	psan-bench -table all        # everything
 //	psan-bench -violations CCEH  # detailed report with fixes
+//	psan-bench -model ptsosyn -table 2   # tables under another backend
 package main
 
 import (
@@ -16,7 +18,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
+	"repro/internal/persist"
 	"repro/internal/report"
 )
 
@@ -28,7 +32,8 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("psan-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	table := fs.String("table", "all", "which table to regenerate: 1, 2, 3, compare, or all")
+	table := fs.String("table", "all", "which table to regenerate: 1, 2, 3, compare, diff, or all")
+	model := fs.String("model", "", "persistency-model backend for tables 2/3/compare/violations: "+strings.Join(persist.Names(), ", "))
 	execs := fs.Int("execs", 0, "override executions per benchmark (0: per-port default)")
 	seed := fs.Int64("seed", 1, "exploration seed")
 	workers := fs.Int("workers", 0, "parallel exploration workers (0: all CPUs, 1: serial); results are identical for any count")
@@ -68,7 +73,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	opt := report.Options{Executions: *execs, Seed: *seed, Workers: *workers, Deadline: *deadline}
+	if _, err := persist.New(persist.Config{Name: *model}); err != nil {
+		fmt.Fprintf(stderr, "psan-bench: %v\n", err)
+		return 2
+	}
+	opt := report.Options{Executions: *execs, Seed: *seed, Workers: *workers, Deadline: *deadline, Model: *model}
 	if *violations != "" {
 		out, err := report.Violations(*violations, opt)
 		if err != nil {
@@ -88,12 +97,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, report.RenderTable3(report.Table3(opt)))
 	case "compare":
 		fmt.Fprintln(stdout, report.RenderComparison(report.Comparison(opt)))
+	case "diff":
+		fmt.Fprintln(stdout, report.RenderDifferential(report.Differential(opt)))
 	case "all":
 		_, text := report.Table1()
 		fmt.Fprintln(stdout, text)
 		fmt.Fprintln(stdout, report.Table2(opt).Render())
 		fmt.Fprintln(stdout, report.RenderTable3(report.Table3(opt)))
 		fmt.Fprintln(stdout, report.RenderComparison(report.Comparison(opt)))
+		fmt.Fprintln(stdout, report.RenderDifferential(report.Differential(opt)))
 	default:
 		fmt.Fprintf(stderr, "psan-bench: unknown table %q\n", *table)
 		return 2

@@ -37,3 +37,32 @@ func TestBadArgsCLI(t *testing.T) {
 		t.Fatalf("exit = %d, want 2", code)
 	}
 }
+
+func TestModelFlagCLI(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-violations", "P-CLHT", "-execs", "150", "-model", "ptsosyn"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "clht_t::table") {
+		t.Fatalf("ptsosyn violations report missing row #31:\n%s", out.String())
+	}
+	var out2, errOut2 bytes.Buffer
+	if code := run([]string{"-model", "bogus", "-table", "2"}, &out2, &errOut2); code != 2 {
+		t.Fatalf("unknown model must exit 2")
+	}
+	if !strings.Contains(errOut2.String(), "px86") {
+		t.Fatalf("error does not list backends:\n%s", errOut2.String())
+	}
+}
+
+func TestDiffTableCLI(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-table", "diff", "-execs", "120"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d\n%s", code, errOut.String())
+	}
+	for _, want := range []string{"px86 vs ptsosyn", "strict verdict", "all models agree"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("diff table missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -37,3 +37,30 @@ func TestUnknownScenario(t *testing.T) {
 		t.Fatalf("stderr missing scenario list:\n%s", errOut.String())
 	}
 }
+
+func TestModelFlag(t *testing.T) {
+	// strict: every scenario becomes robust; the run must still exit 0
+	// because the expected verdict adapts with the model.
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-model", "strict"}, &out, &errOut); code != 0 {
+		t.Fatalf("strict exit = %d\n%s", code, out.String())
+	}
+	if strings.Contains(out.String(), "NOT robust") {
+		t.Fatalf("strict run reported a violation:\n%s", out.String())
+	}
+	// ptsosyn: identical expectations to the default px86 run.
+	var out2, errOut2 bytes.Buffer
+	if code := run([]string{"-model", "ptsosyn"}, &out2, &errOut2); code != 0 {
+		t.Fatalf("ptsosyn exit = %d\n%s", code, out2.String())
+	}
+	if !strings.Contains(out2.String(), "NOT robust") {
+		t.Fatalf("ptsosyn run found no violations:\n%s", out2.String())
+	}
+	var out3, errOut3 bytes.Buffer
+	if code := run([]string{"-model", "nope"}, &out3, &errOut3); code != 2 {
+		t.Fatalf("unknown model must exit 2")
+	}
+	if !strings.Contains(errOut3.String(), "px86") {
+		t.Fatalf("error does not list backends:\n%s", errOut3.String())
+	}
+}

@@ -3,7 +3,7 @@
 // violations, exploring crash points and post-crash reads either
 // randomly or exhaustively:
 //
-//	psan [-mode random|mc] [-execs N] [-seed S] [-workers W] [-dump] program.pm
+//	psan [-mode random|mc] [-execs N] [-seed S] [-workers W] [-model M] [-dump] program.pm
 //	psan -deadline 30s -checkpoint run.ckpt program.pm   # bounded campaign
 //	psan -resume run.ckpt program.pm                     # continue it
 //	psan -fix program.pm       # apply the suggested fixes, print the
@@ -34,10 +34,12 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/explore"
 	"repro/internal/interp"
 	"repro/internal/lang"
+	"repro/internal/persist"
 	"repro/internal/pmem"
 	"repro/internal/repair"
 	"repro/internal/report"
@@ -80,6 +82,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	dump := fs.Bool("dump", false, "print the parsed program structure")
 	fix := fs.Bool("fix", false, "apply PSan's suggested fixes until the program is clean and print it")
 	dumpTrace := fs.Bool("trace", false, "dump one crash-free execution's event trace and exit")
+	model := fs.String("model", "", "persistency-model backend: "+strings.Join(persist.Names(), ", "))
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: psan [flags] program.pm\n")
@@ -120,6 +123,11 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, prog)
 	}
 	compiled := interp.New(fs.Arg(0), prog)
+	modelCfg := persist.Config{Name: *model}
+	if _, err := persist.New(modelCfg); err != nil {
+		fmt.Fprintf(stderr, "psan: %v\n", err)
+		return exitInternal
+	}
 	opts := explore.Options{
 		Executions:  execs,
 		Seed:        *seed,
@@ -127,6 +135,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Context:     ctx,
 		Deadline:    *deadline,
 		StepTimeout: *stepTimeout,
+		Model:       modelCfg,
 	}
 	switch *mode {
 	case "mc":
@@ -150,7 +159,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		opts.Resume = ck
 	}
 	if *dumpTrace {
-		w := pmem.NewWorld(pmem.Config{CrashTarget: -1, Seed: *seed})
+		w := pmem.NewWorld(pmem.Config{CrashTarget: -1, Seed: *seed, Model: modelCfg})
 		for i, phase := range compiled.Phases() {
 			w.SetCrashTarget(-1)
 			w.RunPhase(phase)

@@ -145,3 +145,45 @@ func TestCLIDump(t *testing.T) {
 		t.Fatalf("dump missing structure:\n%s", out)
 	}
 }
+
+func TestCLIModelFlag(t *testing.T) {
+	// Under strict persistency no stale post-crash read is reachable, so
+	// even the buggy figure2 program is robust.
+	code, out, _ := cli(t, "-mode", "mc", "-model", "strict", "../../testdata/figure2.pm")
+	if code != 0 {
+		t.Fatalf("strict exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "no robustness violations found") {
+		t.Fatalf("strict output:\n%s", out)
+	}
+	// ptsosyn is observationally equivalent to px86: same verdict.
+	code, out, _ = cli(t, "-mode", "mc", "-model", "ptsosyn", "../../testdata/figure2.pm")
+	if code != 1 {
+		t.Fatalf("ptsosyn exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "robustness violation") {
+		t.Fatalf("ptsosyn output:\n%s", out)
+	}
+	// An unknown backend is rejected up front, naming the registered ones.
+	code, _, errOut := cli(t, "-model", "epoch-nvm", "../../testdata/figure2.pm")
+	if code != 2 || !strings.Contains(errOut, "px86") {
+		t.Fatalf("unknown model: exit %d, stderr %q", code, errOut)
+	}
+}
+
+func TestCLICheckpointModelMismatch(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	code, out, errOut := cli(t, "-mode", "random", "-execs", "200", "-seed", "5",
+		"-deadline", "1ns", "-checkpoint", ckpt, "../../testdata/figure7.pm")
+	if code != exitPartial {
+		t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, exitPartial, out, errOut)
+	}
+	// Verdicts are model-relative: a checkpoint taken under px86 must be
+	// rejected when resumed under another backend.
+	code, _, errOut = cli(t, "-mode", "random", "-execs", "200", "-seed", "5",
+		"-resume", ckpt, "-model", "strict", "../../testdata/figure7.pm")
+	if code != exitInternal || !strings.Contains(errOut, "model") {
+		t.Fatalf("mismatched model resume must exit %d naming the model: %d %q",
+			exitInternal, code, errOut)
+	}
+}

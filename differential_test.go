@@ -1,0 +1,118 @@
+package repro
+
+// Cross-model differential checks over the registered benchmarks: the
+// two weak backends must agree on every verdict, and strict persistency
+// must act as a clean oracle. These are the repo-level acceptance tests
+// for the pluggable persistency-model layer.
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/interp"
+	"repro/internal/persist"
+)
+
+// TestDifferentialPx86PTSOsyn: px86 and ptsosyn surface identical
+// violation key sets and execution counts on every registered
+// benchmark, in both exploration modes. The two formulations are
+// observationally equivalent; any divergence is a backend bug.
+func TestDifferentialPx86PTSOsyn(t *testing.T) {
+	for _, mode := range []explore.Mode{explore.Random, explore.ModelCheck} {
+		mode := mode
+		for _, b := range benchmarks.All() {
+			b := b
+			t.Run(mode.String()+"/"+b.Name, func(t *testing.T) {
+				execs := scaled(b.Executions)
+				if mode == explore.ModelCheck {
+					execs = scaled(400)
+				}
+				d := explore.DiffModels(b.Build(bench.Buggy), explore.Options{
+					Mode: mode, Executions: execs, Seed: 11,
+				}, persist.Config{Name: "px86"}, persist.Config{Name: "ptsosyn"})
+				if d.Divergent() {
+					t.Fatalf("models diverge: %s", d)
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialTestdataPrograms extends the weak-model agreement to
+// the shipped .pm programs, exercising the interpreter front end too.
+func TestDifferentialTestdataPrograms(t *testing.T) {
+	for _, tc := range testdataPrograms {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			prog := loadProgram(t, tc.file)
+			d := explore.DiffModels(interp.New(tc.file, prog), explore.Options{
+				Mode: tc.mode, Executions: scaled(tc.executions), Seed: 1,
+			}, persist.Config{Name: "px86"}, persist.Config{Name: "ptsosyn"})
+			if d.Divergent() {
+				t.Fatalf("models diverge: %s", d)
+			}
+		})
+	}
+}
+
+// TestStrictOracleNoViolations: the strict backend persists every store
+// at commit, so no stale post-crash read is reachable and PSan must
+// report zero violations on any program — even the buggy variants.
+func TestStrictOracleNoViolations(t *testing.T) {
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			for _, variant := range []bench.Variant{bench.Buggy, bench.Fixed} {
+				res := explore.Run(b.Build(variant), explore.Options{
+					Mode: b.PreferredMode, Executions: scaled(b.Executions), Seed: 11,
+					Model: persist.Config{Name: "strict"},
+				})
+				if len(res.Violations) != 0 {
+					t.Fatalf("strict backend reported violations on %v variant: %v",
+						variant, res.ViolationKeys())
+				}
+				if res.Executions == 0 {
+					t.Fatal("no executions ran")
+				}
+			}
+		})
+	}
+}
+
+// TestStrictOracleHeapAgreement: a robust (Fixed) program computes the
+// same final heap whether every store persists instantly (strict) or
+// under px86 with newest-candidate reads — the defining property of
+// robustness. The buggy variants are exactly the programs where this
+// can fail, so only Fixed is asserted.
+func TestStrictOracleHeapAgreement(t *testing.T) {
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			diffs := explore.DiffFinalHeaps(b.Build(bench.Fixed), 12,
+				persist.Config{Name: "strict"}, persist.Config{Name: "px86"})
+			if len(diffs) != 0 {
+				t.Fatalf("robust program's final heap differs from strict oracle: %v", diffs)
+			}
+		})
+	}
+}
+
+// TestDifferentialDetectsDisagreement sanity-checks the harness itself:
+// strict vs px86 on a buggy benchmark must be reported as divergent
+// (px86 finds violations, strict cannot). A differential runner that
+// never fires is worse than none.
+func TestDifferentialDetectsDisagreement(t *testing.T) {
+	b := benchmarks.All()[0]
+	d := explore.DiffModels(b.Build(bench.Buggy), explore.Options{
+		Mode: b.PreferredMode, Executions: scaled(b.Executions), Seed: 11,
+	}, persist.Config{Name: "px86"}, persist.Config{Name: "strict"})
+	if len(d.A.Violations) == 0 {
+		t.Skipf("%s found no violations under this budget; cannot probe divergence", b.Name)
+	}
+	if !d.Divergent() {
+		t.Fatalf("px86 found %d violation(s) but strict comparison reports agreement",
+			len(d.A.Violations))
+	}
+}

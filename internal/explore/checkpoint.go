@@ -24,7 +24,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"repro/internal/persist"
 )
+
+// resolveModel maps the empty model name to the default backend.
+func resolveModel(name string) string {
+	if name == "" {
+		return persist.DefaultModel
+	}
+	return name
+}
 
 // checkpointVersion guards the serialized format.
 const checkpointVersion = 1
@@ -35,12 +45,17 @@ type Checkpoint struct {
 	Program string `json:"program"`
 	Mode    string `json:"mode"`
 	Seed    int64  `json:"seed"`
+	// Model is the persistency-model backend the campaign ran under
+	// (empty in pre-model checkpoints, meaning the default backend).
+	// Verdicts and decision trees are model-relative, so resuming under
+	// a different backend would merge incomparable results.
+	Model string `json:"model,omitempty"`
 	// Collected is the canonical execution cursor: how many executions
 	// of the uninterrupted stream were collected before the cut. Random
 	// mode resumes at exactly this index.
-	Collected   int      `json:"collected"`
-	Aborted     int      `json:"aborted"`
-	Quarantined int      `json:"quarantined"`
+	Collected   int `json:"collected"`
+	Aborted     int `json:"aborted"`
+	Quarantined int `json:"quarantined"`
 	// ViolationKeys are the canonical keys (core.Violation.Key) of every
 	// violation found before the cut, priming the resumed run's
 	// cross-execution dedup.
@@ -132,6 +147,10 @@ func (c *Checkpoint) Validate(program string, opt Options) error {
 	}
 	if opt.Mode == Random && c.Seed != opt.Seed {
 		return fmt.Errorf("checkpoint is for seed %d, not %d", c.Seed, opt.Seed)
+	}
+	if resolveModel(c.Model) != resolveModel(opt.Model.Name) {
+		return fmt.Errorf("checkpoint is for model %s, not %s",
+			resolveModel(c.Model), resolveModel(opt.Model.Name))
 	}
 	if c.Mode == ModelCheck.String() && c.MC == nil {
 		return fmt.Errorf("checkpoint has no model-check resume state")

@@ -1,7 +1,7 @@
 // Panic isolation for the exploration engines.
 //
 // A PSan campaign re-executes the program under test tens of thousands
-// of times; one schedule that trips an engine invariant (px86's
+// of times; one schedule that trips an engine invariant (a backend's
 // crash-image resolution, an interpreter hole, an index bug in a
 // benchmark port) must not kill the whole run and discard every result
 // collected so far. The engines therefore recover any panic that
@@ -25,7 +25,7 @@ import (
 	"runtime"
 	"runtime/debug"
 
-	"repro/internal/px86"
+	"repro/internal/persist"
 )
 
 // execErrorCap bounds how many full ExecError records a Result retains;
@@ -47,8 +47,9 @@ type ExecError struct {
 	// crash targets followed by the read-choice ordinals replayed up to
 	// the panic point.
 	Prefix []int
-	// Kind classifies the panic value: "px86-invariant",
-	// "interp-internal", "injected-fault", "runtime", or "panic".
+	// Kind classifies the panic value: "<model>-invariant" (e.g.
+	// "px86-invariant"), "interp-internal", "injected-fault",
+	// "runtime", or "panic".
 	Kind string
 	// Value is the rendered panic value.
 	Value string
@@ -82,9 +83,9 @@ func (f injectedFault) Error() string {
 // rather than its type: explore cannot import interp (interp's tests
 // run programs through explore).
 func classifyPanic(r any) string {
-	switch r.(type) {
-	case px86.InvariantError:
-		return "px86-invariant"
+	switch v := r.(type) {
+	case persist.InvariantError:
+		return v.Model + "-invariant"
 	case interface{ InterpInternal() }:
 		return "interp-internal"
 	case injectedFault:

@@ -26,8 +26,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/memmodel"
+	"repro/internal/persist"
 	"repro/internal/pmem"
-	"repro/internal/px86"
 	"repro/internal/trace"
 )
 
@@ -117,8 +117,11 @@ type Options struct {
 	// identical read candidates to every post-crash load. See
 	// statecache.go for the key definition and the soundness argument.
 	NoStateCache bool
-	// Px86 configures the simulated machine.
-	Px86 px86.Config
+	// Model selects and configures the persistency-model backend
+	// (persist.Config zero value: px86, immediate commit). It is the
+	// single model-config path — pmem.Config receives exactly this
+	// value, so the two layers cannot disagree.
+	Model persist.Config
 	// OpLimit bounds operations per execution (0: pmem default).
 	OpLimit int
 	// DisableChecker turns PSan off, leaving only the simulator — the
@@ -495,7 +498,7 @@ func (r *Result) collect(o execOutcome, seen map[string]bool, opt *Options) {
 type randomPlan struct {
 	pilotCounts []int
 	chooser     pmem.ReadChooser
-	px          px86.Config
+	model       persist.Config
 	drainPct    int
 	keepWorld   bool
 	fresh       bool
@@ -506,7 +509,7 @@ func planRandom(p Program, opt *Options) *randomPlan {
 	numPre := len(p.Phases()) - 1
 	// Pilot execution: run crash-free to size the crash-point ranges.
 	pilotCounts := make([]int, numPre)
-	pilot := pmem.NewWorld(pmem.Config{Px86: opt.Px86, Seed: opt.Seed, OpLimit: opt.OpLimit})
+	pilot := pmem.NewWorld(pmem.Config{Model: opt.Model, Seed: opt.Seed, OpLimit: opt.OpLimit})
 	pilot.Checker.SetEnabled(false)
 	countingPilot(p, pilot, pilotCounts)
 
@@ -514,16 +517,16 @@ func planRandom(p Program, opt *Options) *randomPlan {
 	if opt.NoSteering {
 		chooser = pmem.ChooseRandom
 	}
-	px := opt.Px86
+	model := opt.Model
 	drainPct := 0
 	if opt.StoreBuffers {
-		px.DelayedCommit = true
+		model.DelayedCommit = true
 		drainPct = 25
 	}
 	return &randomPlan{
 		pilotCounts: pilotCounts,
 		chooser:     chooser,
-		px:          px,
+		model:       model,
 		drainPct:    drainPct,
 		keepWorld:   opt.AfterExecution != nil,
 		// A world handed to AfterExecution escapes the worker, so it
@@ -558,7 +561,7 @@ func randomExecution(p Program, opt *Options, plan *randomPlan, ws *workerState,
 		w.Reset(seed)
 	} else {
 		w = pmem.NewWorld(pmem.Config{
-			Px86:               plan.px,
+			Model:              plan.model,
 			Seed:               seed,
 			OpLimit:            opt.OpLimit,
 			Chooser:            plan.chooser,
@@ -645,6 +648,7 @@ func runRandom(p Program, opt Options, st *stopper) *Result {
 			Program:       res.Program,
 			Mode:          Random.String(),
 			Seed:          opt.Seed,
+			Model:         resolveModel(opt.Model.Name),
 			Collected:     cursor,
 			Aborted:       res.Aborted,
 			Quarantined:   res.Quarantined,
@@ -732,10 +736,10 @@ func (c *controller) backtrack() bool {
 // and extend the controller's decision trail.
 func mcWorld(opt *Options, ctl *controller) *pmem.World {
 	w := pmem.NewWorld(pmem.Config{
-		Px86:    opt.Px86,
+		Model:   opt.Model,
 		Seed:    0,
 		OpLimit: opt.OpLimit,
-		Chooser: func(_ *pmem.World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ trace.LocID) px86.Candidate {
+		Chooser: func(_ *pmem.World, _ memmodel.ThreadID, _ memmodel.Addr, cands []persist.Candidate, _ trace.LocID) persist.Candidate {
 			return cands[ctl.next(len(cands))]
 		},
 	})

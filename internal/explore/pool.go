@@ -495,6 +495,7 @@ func (e *mcEngine) checkpoint(res *Result, seen map[string]bool, cut int, cutSub
 		Program:       res.Program,
 		Mode:          ModelCheck.String(),
 		Seed:          e.opt.Seed,
+		Model:         resolveModel(e.opt.Model.Name),
 		Collected:     collected,
 		Aborted:       res.Aborted,
 		Quarantined:   res.Quarantined,

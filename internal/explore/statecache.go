@@ -14,11 +14,17 @@
 //
 // The key is (persistent-image hash, allocator mark):
 //
-//   - the image hash covers, per cache line in address order, every
-//     sealed epoch's store history (store IDs and values) and its
-//     persisted-prefix bounds [lo, hi]. Model-checking runs a fixed
-//     seed, so the pre-crash prefix is the same instruction stream in
-//     every execution and store IDs name identical stores;
+//   - the image hash is the backend's PersistFingerprint. Every
+//     built-in backend derives it from the shared persist.Image: per
+//     cache line in address order, every sealed epoch's store history
+//     (store IDs and values) and its persisted-prefix bounds [lo, hi].
+//     Model-checking runs a fixed seed, so the pre-crash prefix is the
+//     same instruction stream in every execution and store IDs name
+//     identical stores. A future backend with extra post-crash-visible
+//     state (anything that changes a later LoadCandidates result) must
+//     fold that state into its fingerprint, or equal keys would merge
+//     genuinely different continuations — see DESIGN.md,
+//     "Persistency-model backends";
 //   - the allocator mark (heap bytes used) distinguishes crash points
 //     that differ only in volatile allocations, which post-crash phases
 //     would re-allocate at different addresses.
@@ -46,7 +52,7 @@ import (
 
 // cacheKey identifies a surviving persistent image.
 type cacheKey struct {
-	image uint64 // px86.Machine.PersistFingerprint
+	image uint64 // persist.Model.PersistFingerprint
 	heap  int    // pmem.Heap.Used
 }
 

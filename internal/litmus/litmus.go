@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/memmodel"
+	"repro/internal/persist"
 	"repro/internal/pmem"
 )
 
@@ -23,25 +24,50 @@ type Scenario struct {
 	Name string
 	// Title summarizes what the figure demonstrates.
 	Title string
-	// Run executes the scenario, narrating to w, and returns the
-	// violations found.
-	Run func(w io.Writer) []*core.Violation
-	// WantViolation is the expected verdict.
+	// WantViolation is the expected verdict under a weak persistency
+	// model (the paper's). Use Expect for the verdict under an
+	// arbitrary backend.
 	WantViolation bool
+
+	run func(w io.Writer, model persist.Config) []*core.Violation
+}
+
+// Run executes the scenario under the default (px86) backend,
+// narrating to w, and returns the violations found.
+func (s Scenario) Run(w io.Writer) []*core.Violation {
+	return s.run(w, persist.Config{})
+}
+
+// RunModel executes the scenario under the given backend. Scripted
+// stale reads that the model makes unreachable (strict persistency has
+// exactly one candidate per word) fall back to the newest candidate,
+// with the substitution narrated.
+func (s Scenario) RunModel(w io.Writer, model persist.Config) []*core.Violation {
+	return s.run(w, model)
+}
+
+// Expect is the expected verdict under the given backend: the paper's
+// verdict on weak models, and "robust" everywhere under non-weak ones —
+// strict persistency is the robustness reference, so no litmus test
+// can violate against it.
+func (s Scenario) Expect(model persist.Config) bool {
+	return s.WantViolation && persist.IsWeak(model.Name)
 }
 
 // driver wires a world to a narration writer.
 type driver struct {
-	w   *pmem.World
-	out io.Writer
+	w     *pmem.World
+	out   io.Writer
+	model persist.Config
 	// named addresses for narration.
 	names map[memmodel.Addr]string
 }
 
-func newDriver(out io.Writer) *driver {
+func newDriver(out io.Writer, model persist.Config) *driver {
 	return &driver{
-		w:     pmem.NewWorld(pmem.Config{CrashTarget: -1}),
+		w:     pmem.NewWorld(pmem.Config{CrashTarget: -1, Model: model}),
 		out:   out,
+		model: model,
 		names: map[memmodel.Addr]string{},
 	}
 }
@@ -73,6 +99,22 @@ func (d *driver) read(t memmodel.ThreadID, a memmodel.Addr, v memmodel.Value, in
 			}
 			return vs
 		}
+	}
+	if !persist.IsWeak(d.model.Name) {
+		// The scripted stale image does not exist under this model
+		// (strict persistency: one candidate per word). Read what is
+		// there and narrate the substitution — the scenario's point is
+		// then exactly that the weak behavior is gone.
+		cands := d.w.M.LoadCandidates(t, a)
+		c := cands[0]
+		d.w.M.Load(t, a, c, lid)
+		vs := d.w.Checker.ObserveRead(t, a, c.Store, lid)
+		d.printf("  %s reads %v (scripted stale image unreachable under %q)\n", loc, c.Store, d.w.M.Name())
+		d.narrateIntervals()
+		for _, viol := range vs {
+			d.printf("  !! %s", indent(viol.String(), "  "))
+		}
+		return vs
 	}
 	panic(fmt.Sprintf("litmus: no candidate %d (initial=%v) at %s", v, initial, a))
 }
@@ -111,19 +153,19 @@ func indent(s, pad string) string {
 // Scenarios returns every figure scenario in paper order.
 func Scenarios() []Scenario {
 	return []Scenario{
-		{Name: "fig1", Title: "Figure 1: flushed commit-store pattern is robust", WantViolation: false, Run: fig1},
-		{Name: "fig1-broken", Title: "Figure 1 without the data flush: not robust", WantViolation: true, Run: fig1Broken},
-		{Name: "fig2", Title: "Figure 2: r1=1, r2=2 has no strict equivalent", WantViolation: true, Run: fig2},
-		{Name: "fig4", Title: "Figures 4/5: interval [2,4) meets [5,inf)", WantViolation: true, Run: fig4},
-		{Name: "fig6", Title: "Figure 6: per-thread intervals make r1=0, r2=1 robust", WantViolation: false, Run: fig6},
-		{Name: "fig7", Title: "Figure 7: happens-before closure; fix goes in thread 2", WantViolation: true, Run: fig7},
-		{Name: "fig8", Title: "Figure 8: multiple crash events, C(e1) unsatisfiable", WantViolation: true, Run: fig8},
-		{Name: "fig11", Title: "Figure 11: reading from a store that is too old", WantViolation: true, Run: fig11},
-		{Name: "fig12", Title: "Figure 12: reading from a store that is too new", WantViolation: true, Run: fig12},
-		{Name: "flushopt-no-drain", Title: "clflushopt without a drain is not complete at the crash", WantViolation: true, Run: flushoptNoDrain},
-		{Name: "flushopt-sfence", Title: "clflushopt + sfence completes: robust", WantViolation: false, Run: flushoptSFence},
-		{Name: "rmw-drain", Title: "§1.1(5): an existing RMW serves as the needed drain", WantViolation: false, Run: rmwDrain},
-		{Name: "temporary", Title: "§1.1(4): unflushed temporaries never read post-crash are fine", WantViolation: false, Run: temporary},
+		{Name: "fig1", Title: "Figure 1: flushed commit-store pattern is robust", WantViolation: false, run: fig1},
+		{Name: "fig1-broken", Title: "Figure 1 without the data flush: not robust", WantViolation: true, run: fig1Broken},
+		{Name: "fig2", Title: "Figure 2: r1=1, r2=2 has no strict equivalent", WantViolation: true, run: fig2},
+		{Name: "fig4", Title: "Figures 4/5: interval [2,4) meets [5,inf)", WantViolation: true, run: fig4},
+		{Name: "fig6", Title: "Figure 6: per-thread intervals make r1=0, r2=1 robust", WantViolation: false, run: fig6},
+		{Name: "fig7", Title: "Figure 7: happens-before closure; fix goes in thread 2", WantViolation: true, run: fig7},
+		{Name: "fig8", Title: "Figure 8: multiple crash events, C(e1) unsatisfiable", WantViolation: true, run: fig8},
+		{Name: "fig11", Title: "Figure 11: reading from a store that is too old", WantViolation: true, run: fig11},
+		{Name: "fig12", Title: "Figure 12: reading from a store that is too new", WantViolation: true, run: fig12},
+		{Name: "flushopt-no-drain", Title: "clflushopt without a drain is not complete at the crash", WantViolation: true, run: flushoptNoDrain},
+		{Name: "flushopt-sfence", Title: "clflushopt + sfence completes: robust", WantViolation: false, run: flushoptSFence},
+		{Name: "rmw-drain", Title: "§1.1(5): an existing RMW serves as the needed drain", WantViolation: false, run: rmwDrain},
+		{Name: "temporary", Title: "§1.1(4): unflushed temporaries never read post-crash are fine", WantViolation: false, run: temporary},
 	}
 }
 
@@ -138,8 +180,8 @@ func ByName(name string) *Scenario {
 	return nil
 }
 
-func fig1(out io.Writer) []*core.Violation {
-	d := newDriver(out)
+func fig1(out io.Writer, model persist.Config) []*core.Violation {
+	d := newDriver(out, model)
 	data, child := d.loc("tmp->data", 0), d.loc("ptr->child", 1)
 	th := d.w.Thread(0)
 	th.Store(data, 42, "tmp->data = data")
@@ -153,8 +195,8 @@ func fig1(out io.Writer) []*core.Violation {
 	return vs
 }
 
-func fig1Broken(out io.Writer) []*core.Violation {
-	d := newDriver(out)
+func fig1Broken(out io.Writer, model persist.Config) []*core.Violation {
+	d := newDriver(out, model)
 	data, child := d.loc("tmp->data", 0), d.loc("ptr->child", 1)
 	th := d.w.Thread(0)
 	th.Store(data, 42, "tmp->data = data")
@@ -169,8 +211,8 @@ func fig1Broken(out io.Writer) []*core.Violation {
 	return vs
 }
 
-func fig2(out io.Writer) []*core.Violation {
-	d := newDriver(out)
+func fig2(out io.Writer, model persist.Config) []*core.Violation {
+	d := newDriver(out, model)
 	x, y := d.loc("x", 0), d.loc("y", 1)
 	th := d.w.Thread(0)
 	th.Store(x, 1, "x = 1")
@@ -185,8 +227,8 @@ func fig2(out io.Writer) []*core.Violation {
 	return vs
 }
 
-func fig4(out io.Writer) []*core.Violation {
-	d := newDriver(out)
+func fig4(out io.Writer, model persist.Config) []*core.Violation {
+	d := newDriver(out, model)
 	x, y := d.loc("x", 0), d.loc("y", 1)
 	th := d.w.Thread(0)
 	th.Store(x, 1, "x = 1")
@@ -202,8 +244,8 @@ func fig4(out io.Writer) []*core.Violation {
 	return vs
 }
 
-func fig6(out io.Writer) []*core.Violation {
-	d := newDriver(out)
+func fig6(out io.Writer, model persist.Config) []*core.Violation {
+	d := newDriver(out, model)
 	x, y := d.loc("x", 0), d.loc("y", 1)
 	t0, t1 := d.w.Thread(0), d.w.Thread(1)
 	t0.Store(x, 1, "t1: x = 1")
@@ -218,8 +260,8 @@ func fig6(out io.Writer) []*core.Violation {
 	return vs
 }
 
-func fig7(out io.Writer) []*core.Violation {
-	d := newDriver(out)
+func fig7(out io.Writer, model persist.Config) []*core.Violation {
+	d := newDriver(out, model)
 	x, y := d.loc("x", 0), d.loc("y", 1)
 	t0, t1 := d.w.Thread(0), d.w.Thread(1)
 	t0.Store(x, 1, "t1: x = 1")
@@ -234,8 +276,8 @@ func fig7(out io.Writer) []*core.Violation {
 	return vs
 }
 
-func fig8(out io.Writer) []*core.Violation {
-	d := newDriver(out)
+func fig8(out io.Writer, model persist.Config) []*core.Violation {
+	d := newDriver(out, model)
 	x, y := d.loc("x", 0), d.loc("y", 1)
 	th := d.w.Thread(0)
 	th.Store(x, 1, "e1: x = 1")
@@ -251,8 +293,8 @@ func fig8(out io.Writer) []*core.Violation {
 	return vs
 }
 
-func flushoptNoDrain(out io.Writer) []*core.Violation {
-	d := newDriver(out)
+func flushoptNoDrain(out io.Writer, model persist.Config) []*core.Violation {
+	d := newDriver(out, model)
 	x, y := d.loc("x", 0), d.loc("y", 1)
 	th := d.w.Thread(0)
 	th.Store(x, 1, "x = 1")
@@ -267,8 +309,8 @@ func flushoptNoDrain(out io.Writer) []*core.Violation {
 	return vs
 }
 
-func flushoptSFence(out io.Writer) []*core.Violation {
-	d := newDriver(out)
+func flushoptSFence(out io.Writer, model persist.Config) []*core.Violation {
+	d := newDriver(out, model)
 	x, y := d.loc("x", 0), d.loc("y", 1)
 	th := d.w.Thread(0)
 	th.Store(x, 1, "x = 1")
@@ -285,8 +327,8 @@ func flushoptSFence(out io.Writer) []*core.Violation {
 	return vs
 }
 
-func rmwDrain(out io.Writer) []*core.Violation {
-	d := newDriver(out)
+func rmwDrain(out io.Writer, model persist.Config) []*core.Violation {
+	d := newDriver(out, model)
 	x, y, z := d.loc("x", 0), d.loc("y", 1), d.loc("z", 2)
 	th := d.w.Thread(0)
 	th.Store(x, 1, "x = 1")
@@ -302,8 +344,8 @@ func rmwDrain(out io.Writer) []*core.Violation {
 	return vs
 }
 
-func temporary(out io.Writer) []*core.Violation {
-	d := newDriver(out)
+func temporary(out io.Writer, model persist.Config) []*core.Violation {
+	d := newDriver(out, model)
 	tmp, commit := d.loc("scratch", 0), d.loc("commit", 1)
 	th := d.w.Thread(0)
 	th.Store(tmp, 99, "scratch = 99 (never flushed, never read post-crash)")
@@ -316,8 +358,8 @@ func temporary(out io.Writer) []*core.Violation {
 	return d.read(0, commit, 1, false, "r = commit")
 }
 
-func fig11(out io.Writer) []*core.Violation {
-	d := newDriver(out)
+func fig11(out io.Writer, model persist.Config) []*core.Violation {
+	d := newDriver(out, model)
 	x, y := d.loc("x", 0), d.loc("y", 1)
 	th := d.w.Thread(0)
 	th.Store(y, 1, "st1<y>")
@@ -334,8 +376,8 @@ func fig11(out io.Writer) []*core.Violation {
 	return vs
 }
 
-func fig12(out io.Writer) []*core.Violation {
-	d := newDriver(out)
+func fig12(out io.Writer, model persist.Config) []*core.Violation {
+	d := newDriver(out, model)
 	y, z := d.loc("y", 0), d.loc("z", 1)
 	th := d.w.Thread(0)
 	th.Store(y, 1, "st1<y>")

@@ -1,0 +1,11 @@
+// Package backends links every built-in persistency-model backend into
+// the persist registry. Blank-import it from any package that
+// constructs models by name (pmem does, so every binary and test built
+// on the world has all built-ins available).
+package backends
+
+import (
+	_ "repro/internal/persist/ptsosyn"
+	_ "repro/internal/persist/strict"
+	_ "repro/internal/px86"
+)

@@ -1,0 +1,20 @@
+package persist
+
+import "math/rand"
+
+// Steering helpers over candidate sets. LoadCandidates orders
+// candidates newest-possible first, so these are positional; they live
+// here so read-steering policies need no backend import.
+
+// Newest returns the newest-possible candidate — the behavior of an
+// execution where everything persisted.
+func Newest(cands []Candidate) Candidate { return cands[0] }
+
+// Oldest returns the oldest legal candidate (typically the initial
+// value), maximizing observable staleness.
+func Oldest(cands []Candidate) Candidate { return cands[len(cands)-1] }
+
+// Random returns a uniformly random candidate drawn from rng.
+func Random(rng *rand.Rand, cands []Candidate) Candidate {
+	return cands[rng.Intn(len(cands))]
+}

@@ -1,0 +1,295 @@
+package persist
+
+import (
+	"sort"
+
+	"repro/internal/memmodel"
+	"repro/internal/trace"
+)
+
+// epoch is the committed store history of one cache line within one
+// crash-delimited sub-execution, together with the unresolved range of
+// prefixes that may have persisted. A prefix length p with lo ≤ p ≤ hi
+// means the first p stores of the epoch reached persistent memory.
+type epoch struct {
+	stores []*trace.Store
+	lo, hi int
+}
+
+// indexOfFirst returns the index of the first store to word w, or -1.
+func (ep *epoch) indexOfFirst(w memmodel.Addr) int {
+	for i, s := range ep.stores {
+		if s.Addr == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// lineState is the full persistence state of one cache line: sealed
+// epochs from previous sub-executions (oldest first) plus the live epoch
+// of the current sub-execution. For the live epoch, lo is the number of
+// stores guaranteed persistent by completed flushes; hi is unused until
+// the epoch is sealed by a crash.
+type lineState struct {
+	sealed []*epoch
+	live   *epoch
+}
+
+// Image is the persistent-memory state shared by every backend: the
+// per-cache-line committed store histories, their persisted-prefix
+// ranges, and the lazy crash-image resolution that narrows them read by
+// read. Backends differ in *when* stores commit and *when* persistence
+// is guaranteed (buffers, flush/drain rules); they agree on what a
+// sealed crash image is and how candidate sets are derived from it.
+// Keeping that logic here keeps candidate ordering and fingerprints
+// byte-identical across backends that produce the same commit and
+// guarantee sequences.
+//
+// An Image is not safe for concurrent use, matching the Model contract.
+type Image struct {
+	name  string // owning backend, for InvariantError attribution
+	lines map[memmodel.Addr]*lineState
+
+	// epochFree recycles sealed epochs across Reset; Seal draws from it
+	// before allocating.
+	epochFree []*epoch
+	// candIdxs is AppendSealedCandidates' per-epoch store-index scratch.
+	candIdxs []int
+}
+
+// NewImage returns an empty image owned by the named backend.
+func NewImage(name string) *Image {
+	im := &Image{}
+	im.Init(name)
+	return im
+}
+
+// Init readies an empty image in place, so backends can embed an Image
+// by value and avoid a separate allocation per machine.
+func (im *Image) Init(name string) {
+	im.name = name
+	im.lines = make(map[memmodel.Addr]*lineState)
+}
+
+// Reset rewinds the image to empty, recycling cache-line records and
+// sealed epochs.
+func (im *Image) Reset() {
+	for _, ls := range im.lines {
+		im.epochFree = append(im.epochFree, ls.sealed...)
+		ls.sealed = ls.sealed[:0]
+		if ls.live != nil {
+			im.epochFree = append(im.epochFree, ls.live)
+		}
+		ls.live = im.newEpoch()
+	}
+}
+
+// newEpoch returns a zeroed epoch, recycled when possible.
+func (im *Image) newEpoch() *epoch {
+	if n := len(im.epochFree); n > 0 {
+		ep := im.epochFree[n-1]
+		im.epochFree = im.epochFree[:n-1]
+		ep.stores = ep.stores[:0]
+		ep.lo, ep.hi = 0, 0
+		return ep
+	}
+	return &epoch{}
+}
+
+// line returns (creating on demand) the state of the line containing a.
+func (im *Image) line(a memmodel.Addr) *lineState {
+	l := a.Line()
+	ls, ok := im.lines[l]
+	if !ok {
+		ls = &lineState{live: &epoch{}}
+		im.lines[l] = ls
+	}
+	return ls
+}
+
+// Commit appends a committed store to its cache line's live history.
+func (im *Image) Commit(st *trace.Store) {
+	ls := im.line(st.Addr)
+	ls.live.stores = append(ls.live.stores, st)
+}
+
+// LiveLen returns the committed-history length of the line containing a
+// in the current sub-execution — the coverage an asynchronous flush
+// records at issue/buffer-exit time.
+func (im *Image) LiveLen(a memmodel.Addr) int {
+	return len(im.line(a).live.stores)
+}
+
+// Guarantee marks every store committed so far to the line containing a
+// as guaranteed persistent — the effect of a synchronous flush.
+func (im *Image) Guarantee(a memmodel.Addr) {
+	ls := im.line(a)
+	if n := len(ls.live.stores); n > ls.live.lo {
+		ls.live.lo = n
+	}
+}
+
+// GuaranteeUpTo raises the guaranteed-persistent prefix of the line
+// containing a to at least n — the effect of a drain completing an
+// asynchronous flush whose coverage was n.
+func (im *Image) GuaranteeUpTo(a memmodel.Addr, n int) {
+	ls := im.line(a)
+	if n > ls.live.lo {
+		ls.live.lo = n
+	}
+}
+
+// GuaranteedCount returns how many committed stores to the line
+// containing a are guaranteed persistent in the current sub-execution.
+func (im *Image) GuaranteedCount(a memmodel.Addr) int {
+	if ls := im.lines[a.Line()]; ls != nil {
+		return ls.live.lo
+	}
+	return 0
+}
+
+// Seal is the image half of a crash: each cache line's committed
+// history is sealed into an epoch whose persisted prefix is any length
+// from the flush-guaranteed lower bound up to the full history, and a
+// fresh live epoch begins.
+func (im *Image) Seal() {
+	for _, ls := range im.lines {
+		if len(ls.live.stores) > 0 || ls.live.lo > 0 {
+			ls.live.hi = len(ls.live.stores)
+			ls.sealed = append(ls.sealed, ls.live)
+			ls.live = im.newEpoch()
+		} else {
+			// Nothing to seal: keep the (empty) live epoch.
+			ls.live.lo, ls.live.hi = 0, 0
+		}
+	}
+}
+
+// AppendSealedCandidates appends to cands the stores of word a that may
+// have survived past crashes, walking sealed epochs newest-first, and
+// reports whether some epoch blocks visibility of anything older (its
+// guaranteed prefix includes a store to a). When it does not, the caller
+// appends the initial-value candidate.
+func (im *Image) AppendSealedCandidates(cands []Candidate, a memmodel.Addr) ([]Candidate, bool) {
+	ls := im.lines[a.Line()]
+	var sealed []*epoch
+	if ls != nil {
+		sealed = ls.sealed
+	}
+	blocked := false
+	for j := len(sealed) - 1; j >= 0 && !blocked; j-- {
+		ep := sealed[j]
+		// Indices of stores to a within this epoch.
+		idxs := im.candIdxs[:0]
+		for i, s := range ep.stores {
+			if s.Addr == a {
+				idxs = append(idxs, i)
+			}
+		}
+		im.candIdxs = idxs
+		for k, i := range idxs {
+			// Store at index i is visible for prefix lengths in
+			// [i+1, next], where next is the index of the next store to
+			// a (exclusive upper bound on prefixes that still show i).
+			next := len(ep.stores)
+			if k+1 < len(idxs) {
+				next = idxs[k+1]
+			}
+			lo := max(ep.lo, i+1)
+			hi := min(ep.hi, next)
+			if lo <= hi {
+				cands = append(cands, Candidate{Store: ep.stores[i], Resolve: true, Epoch: j, LoNew: lo, HiNew: hi})
+			}
+		}
+		if len(idxs) > 0 {
+			// Older epochs are visible only if this epoch's prefix can
+			// exclude all stores to a.
+			if ep.lo > idxs[0] {
+				blocked = true
+			}
+		}
+	}
+	return cands, blocked
+}
+
+// Resolve narrows epoch ranges so that future reads agree with the
+// chosen candidate. tr and loc identify the access's source location,
+// carried into the InvariantError panic raised when narrowing exposes
+// an internal inconsistency.
+func (im *Image) Resolve(a memmodel.Addr, c Candidate, tr *trace.Trace, loc trace.LocID) {
+	if !c.Resolve {
+		return // volatile read: nothing to narrow
+	}
+	ls := im.lines[a.Line()]
+	if ls == nil {
+		return
+	}
+	// All epochs newer than the chosen one must exclude their stores
+	// to a; for the initial value (Epoch -1 via sealed path) every
+	// epoch must.
+	from := len(ls.sealed) - 1
+	for j := from; j > c.Epoch; j-- {
+		ep := ls.sealed[j]
+		if first := ep.indexOfFirst(a); first >= 0 && ep.hi > first {
+			ep.hi = first
+			if ep.lo > ep.hi {
+				panic(InvariantError{Model: im.name, Check: "crash-image resolution", Addr: a, Loc: tr.LocString(loc)})
+			}
+		}
+	}
+	if c.Epoch >= 0 {
+		ep := ls.sealed[c.Epoch]
+		ep.lo, ep.hi = c.LoNew, c.HiNew
+		if ep.lo > ep.hi {
+			panic(InvariantError{Model: im.name, Check: "prefix range", Addr: a, Loc: tr.LocString(loc)})
+		}
+	}
+}
+
+// Fingerprint hashes the image's persistent state: every cache line's
+// sealed store history (IDs and values) together with its
+// persisted-prefix bounds. Call it immediately after Seal, when the
+// live epochs are empty — two images with equal fingerprints then
+// present identical candidate sets to every future post-crash load.
+// Store IDs are deterministic per instruction-stream prefix, so across
+// executions of one deterministically replayed program, equal
+// fingerprints mean the surviving images are the same image, not merely
+// similar ones.
+func (im *Image) Fingerprint() uint64 {
+	lines := make([]memmodel.Addr, 0, len(im.lines))
+	for l, ls := range im.lines {
+		if len(ls.sealed) > 0 {
+			lines = append(lines, l)
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		// FNV-1a over the value's bytes, low to high.
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, l := range lines {
+		ls := im.lines[l]
+		mix(uint64(l))
+		mix(uint64(len(ls.sealed)))
+		for _, ep := range ls.sealed {
+			mix(uint64(ep.lo))
+			mix(uint64(ep.hi))
+			mix(uint64(len(ep.stores)))
+			for _, s := range ep.stores {
+				mix(uint64(s.ID))
+				mix(uint64(s.Value))
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,329 @@
+// Package ptsosyn implements the PTSOsyn persistency semantics of
+// Khyzha & Lahav ("Taming x86-TSO Persistency", POPL 2021): a
+// synchronous reformulation of Px86 in which each cache line has its
+// own persistence buffer and asynchronous flushes become in-buffer
+// markers. On the op vocabulary of this simulator PTSOsyn is
+// observationally equivalent to Px86sim — same committed histories,
+// same guaranteed-prefix evolution, same post-crash candidate sets —
+// while being operationally simpler to state:
+//
+//   - stores commit from TSO store buffers into their line's
+//     persistence buffer (the live epoch history);
+//   - clflush empties the line's persistence buffer synchronously at
+//     store-buffer exit: everything committed so far is persistent;
+//   - clflushopt deposits a marker in the line's persistence buffer at
+//     the current depth; a later drain (sfence/mfence/RMW) by the same
+//     thread guarantees persistence up to that thread's markers;
+//   - a crash discards store buffers and unfulfilled markers and seals
+//     each line's history with the persisted-prefix range [guaranteed,
+//     committed].
+//
+// The equivalence with px86 (which tracks exited clflushopt coverage
+// per thread instead of per line) is exercised by the cross-model
+// property tests in internal/persist and the differential runner in
+// internal/explore: identical traces, candidate orders, fingerprints,
+// and violation sets on every benchmark.
+package ptsosyn
+
+import (
+	"repro/internal/memmodel"
+	"repro/internal/persist"
+	"repro/internal/trace"
+)
+
+func init() {
+	persist.Register(persist.Info{
+		Name:        "ptsosyn",
+		Description: "PTSOsyn (Khyzha-Lahav): per-line persistence buffers with flush markers; equivalent to px86",
+		Weak:        true,
+	}, func(cfg persist.Config) persist.Model {
+		return New(Config{DelayedCommit: cfg.DelayedCommit})
+	})
+}
+
+// Config controls simulation behavior; DelayedCommit is as in px86.
+type Config struct {
+	DelayedCommit bool
+}
+
+// bufEntry is one TSO store-buffer slot: a pending store or a pending
+// flush instruction awaiting buffer exit.
+type bufEntry struct {
+	kind  memmodel.OpKind
+	store *trace.Store  // for OpStore/OpCAS/OpFAA
+	line  memmodel.Addr // for OpFlush/OpFlushOpt
+	loc   trace.LocID
+}
+
+// marker is an unfulfilled clflushopt sitting in a line's persistence
+// buffer: thread t asked the line to persist up to depth pos; a drain
+// by t makes that guarantee real.
+type marker struct {
+	t   memmodel.ThreadID
+	pos int
+}
+
+// Machine simulates a PTSOsyn multiprocessor with persistent memory.
+// Not safe for concurrent use; drive one Machine per goroutine.
+type Machine struct {
+	cfg     Config
+	tr      *trace.Trace
+	mem     map[memmodel.Addr]*trace.Store // volatile cache: last committed store per word, this sub-execution
+	buffers map[memmodel.ThreadID][]bufEntry
+	// markers holds each line's unfulfilled flush markers, oldest first
+	// — the per-location persistence-buffer content beyond the committed
+	// stores themselves (which live in img).
+	markers map[memmodel.Addr][]marker
+	img     persist.Image
+
+	cands []persist.Candidate // LoadCandidates scratch
+}
+
+// New returns a machine with all of persistent memory zero-initialized.
+func New(cfg Config) *Machine {
+	m := &Machine{
+		cfg:     cfg,
+		tr:      trace.New(),
+		mem:     make(map[memmodel.Addr]*trace.Store),
+		buffers: make(map[memmodel.ThreadID][]bufEntry),
+		markers: make(map[memmodel.Addr][]marker),
+	}
+	m.img.Init("ptsosyn")
+	return m
+}
+
+// Name implements persist.Model.
+func (m *Machine) Name() string { return "ptsosyn" }
+
+// Trace returns the execution trace recorded so far.
+func (m *Machine) Trace() *trace.Trace { return m.tr }
+
+// Intern maps a source label to the trace's dense LocID.
+func (m *Machine) Intern(loc string) trace.LocID { return m.tr.Intern(loc) }
+
+// Reset rewinds the machine and its trace to the freshly-constructed
+// state; see the Model contract.
+func (m *Machine) Reset() {
+	clear(m.mem)
+	clear(m.buffers)
+	clear(m.markers)
+	m.img.Reset()
+	m.tr.Reset()
+}
+
+// exitEntry applies the oldest store-buffer entry of thread t, per the
+// PTSOsyn buffer-exit transitions.
+func (m *Machine) exitEntry(t memmodel.ThreadID, e bufEntry) {
+	switch e.kind {
+	case memmodel.OpFlush:
+		// clflush synchronously empties the line's persistence buffer:
+		// the whole committed history persists, and every pending marker
+		// is trivially fulfilled.
+		m.img.Guarantee(e.line)
+		if mk := m.markers[e.line]; len(mk) > 0 {
+			m.markers[e.line] = mk[:0]
+		}
+	case memmodel.OpFlushOpt:
+		// clflushopt enters the line's persistence buffer as a marker at
+		// the current depth.
+		m.markers[e.line] = append(m.markers[e.line], marker{t: t, pos: m.img.LiveLen(e.line)})
+	default:
+		m.commit(e.store)
+	}
+}
+
+// commit makes a store globally visible and appends it to its line's
+// persistence buffer (the live history).
+func (m *Machine) commit(st *trace.Store) {
+	m.tr.StoreCommit(st)
+	m.mem[st.Addr] = st
+	m.img.Commit(st)
+}
+
+// DrainAll commits every pending entry of thread t's store buffer, in
+// FIFO order.
+func (m *Machine) DrainAll(t memmodel.ThreadID) {
+	for _, e := range m.buffers[t] {
+		m.exitEntry(t, e)
+	}
+	m.buffers[t] = nil
+}
+
+// DrainOne commits the oldest pending entry of thread t's store buffer,
+// reporting whether there was one.
+func (m *Machine) DrainOne(t memmodel.ThreadID) bool {
+	buf := m.buffers[t]
+	if len(buf) == 0 {
+		return false
+	}
+	m.exitEntry(t, buf[0])
+	m.buffers[t] = buf[1:]
+	return true
+}
+
+// BufferLen returns the number of pending entries in t's store buffer.
+func (m *Machine) BufferLen(t memmodel.ThreadID) int { return len(m.buffers[t]) }
+
+// drainCompletes fulfils thread t's markers in every line's persistence
+// buffer: the line is guaranteed persistent at least up to each marker's
+// depth. The guarantee is a running maximum, so the map iteration order
+// is immaterial.
+func (m *Machine) drainCompletes(t memmodel.ThreadID) {
+	for line, mks := range m.markers {
+		kept := mks[:0]
+		for _, mk := range mks {
+			if mk.t == t {
+				m.img.GuaranteeUpTo(line, mk.pos)
+			} else {
+				kept = append(kept, mk)
+			}
+		}
+		m.markers[line] = kept
+	}
+}
+
+// Store issues a store of v to word a by thread t; in delayed-commit
+// mode it waits in t's TSO buffer.
+func (m *Machine) Store(t memmodel.ThreadID, a memmodel.Addr, v memmodel.Value, loc trace.LocID) *trace.Store {
+	st := m.tr.StoreIssue(t, a, v, memmodel.OpStore, loc)
+	if m.cfg.DelayedCommit {
+		m.buffers[t] = append(m.buffers[t], bufEntry{kind: memmodel.OpStore, store: st, loc: loc})
+	} else {
+		m.commit(st)
+	}
+	return st
+}
+
+// Flush issues a clflush of the line containing a; it is ordered
+// through the store buffer like a store.
+func (m *Machine) Flush(t memmodel.ThreadID, a memmodel.Addr, loc trace.LocID) {
+	m.tr.Fence(t, memmodel.OpFlush, a.Line(), loc)
+	e := bufEntry{kind: memmodel.OpFlush, line: a.Line(), loc: loc}
+	if m.cfg.DelayedCommit {
+		m.buffers[t] = append(m.buffers[t], e)
+	} else {
+		m.exitEntry(t, e)
+	}
+}
+
+// FlushOpt issues a clflushopt/clwb of the line containing a.
+func (m *Machine) FlushOpt(t memmodel.ThreadID, a memmodel.Addr, loc trace.LocID) {
+	m.tr.Fence(t, memmodel.OpFlushOpt, a.Line(), loc)
+	e := bufEntry{kind: memmodel.OpFlushOpt, line: a.Line(), loc: loc}
+	if m.cfg.DelayedCommit {
+		m.buffers[t] = append(m.buffers[t], e)
+	} else {
+		m.exitEntry(t, e)
+	}
+}
+
+// SFence drains t's store buffer and fulfils t's flush markers.
+func (m *Machine) SFence(t memmodel.ThreadID, loc trace.LocID) {
+	m.tr.Fence(t, memmodel.OpSFence, 0, loc)
+	m.DrainAll(t)
+	m.drainCompletes(t)
+}
+
+// MFence behaves like SFence for persistency purposes.
+func (m *Machine) MFence(t memmodel.ThreadID, loc trace.LocID) {
+	m.tr.Fence(t, memmodel.OpMFence, 0, loc)
+	m.DrainAll(t)
+	m.drainCompletes(t)
+}
+
+// LoadCandidates returns the stores a load of word a by thread t may
+// read, newest-possible first; same contract and ordering as px86.
+// The returned slice is machine-owned scratch, valid until the next
+// call.
+func (m *Machine) LoadCandidates(t memmodel.ThreadID, a memmodel.Addr) []persist.Candidate {
+	a = a.Word()
+	cands := m.cands[:0]
+	// TSO store-buffer forwarding: newest buffered store to a by t.
+	buf := m.buffers[t]
+	for i := len(buf) - 1; i >= 0; i-- {
+		if e := buf[i]; e.store != nil && e.store.Addr == a {
+			m.cands = append(cands, persist.Candidate{Store: e.store, Epoch: -1})
+			return m.cands
+		}
+	}
+	// Committed this sub-execution: the cache holds a definite value.
+	if st, ok := m.mem[a]; ok {
+		m.cands = append(cands, persist.Candidate{Store: st, Epoch: -1})
+		return m.cands
+	}
+	// Unresolved: walk sealed epochs newest-first.
+	cands, blocked := m.img.AppendSealedCandidates(cands, a)
+	if !blocked {
+		cands = append(cands, persist.Candidate{Store: m.tr.Initial(a), Resolve: true, Epoch: -1})
+	}
+	m.cands = cands
+	return cands
+}
+
+// Load performs a load of word a reading from the chosen candidate.
+func (m *Machine) Load(t memmodel.ThreadID, a memmodel.Addr, c persist.Candidate, loc trace.LocID) memmodel.Value {
+	a = a.Word()
+	m.img.Resolve(a, c, m.tr, loc)
+	m.tr.Load(t, a, c.Store, memmodel.OpLoad, loc)
+	return c.Store.Value
+}
+
+// LoadDefault performs a load reading the newest legal store.
+func (m *Machine) LoadDefault(t memmodel.ThreadID, a memmodel.Addr, loc trace.LocID) memmodel.Value {
+	cands := m.LoadCandidates(t, a)
+	return m.Load(t, a, cands[0], loc)
+}
+
+// rmwBegin: locked RMW operations are drain operations.
+func (m *Machine) rmwBegin(t memmodel.ThreadID) {
+	m.DrainAll(t)
+	m.drainCompletes(t)
+}
+
+// CAS performs an atomic compare-and-swap on word a; it acts as a drain
+// either way.
+func (m *Machine) CAS(t memmodel.ThreadID, a memmodel.Addr, c persist.Candidate, expected, newV memmodel.Value, loc trace.LocID) (memmodel.Value, bool) {
+	a = a.Word()
+	m.rmwBegin(t)
+	m.img.Resolve(a, c, m.tr, loc)
+	m.tr.Load(t, a, c.Store, memmodel.OpCAS, loc)
+	old := c.Store.Value
+	if old != expected {
+		return old, false
+	}
+	st := m.tr.StoreIssue(t, a, newV, memmodel.OpCAS, loc)
+	m.commit(st)
+	return old, true
+}
+
+// FAA performs an atomic fetch-and-add on word a; like CAS it drains.
+func (m *Machine) FAA(t memmodel.ThreadID, a memmodel.Addr, c persist.Candidate, delta memmodel.Value, loc trace.LocID) memmodel.Value {
+	a = a.Word()
+	m.rmwBegin(t)
+	m.img.Resolve(a, c, m.tr, loc)
+	m.tr.Load(t, a, c.Store, memmodel.OpFAA, loc)
+	old := c.Store.Value
+	st := m.tr.StoreIssue(t, a, old+delta, memmodel.OpFAA, loc)
+	m.commit(st)
+	return old
+}
+
+// Crash simulates a power failure: store buffers and unfulfilled flush
+// markers are lost, the volatile cache vanishes, and each line's
+// history is sealed with its persisted-prefix range.
+func (m *Machine) Crash() {
+	clear(m.buffers)
+	clear(m.markers)
+	clear(m.mem)
+	m.img.Seal()
+	m.tr.Crash()
+}
+
+// PersistFingerprint hashes the persistent state; see the Model
+// contract.
+func (m *Machine) PersistFingerprint() uint64 { return m.img.Fingerprint() }
+
+// GuaranteedPersistCount mirrors the px86 diagnostic.
+func (m *Machine) GuaranteedPersistCount(a memmodel.Addr) int {
+	return m.img.GuaranteedCount(a)
+}

@@ -1,0 +1,127 @@
+package persist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultModel is the backend selected by a zero Config: the paper's
+// Px86sim semantics.
+const DefaultModel = "px86"
+
+// Info describes a registered backend for discovery and reporting.
+type Info struct {
+	// Name is the registry key, as accepted by Config.Name and the
+	// CLIs' -model flag.
+	Name string
+	// Description is a one-line summary for -model usage text.
+	Description string
+	// Weak reports whether the model admits weak persistency behaviors
+	// (post-crash states beyond the strict in-order one). Litmus
+	// expectations and differential oracles key off it: under a
+	// non-weak model every robustness litmus test is expected clean.
+	Weak bool
+}
+
+// Factory constructs a fresh machine for one backend.
+type Factory func(cfg Config) Model
+
+type registration struct {
+	info    Info
+	factory Factory
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]registration{}
+)
+
+// Register adds a backend to the registry; it is called from backend
+// init functions. Registering a duplicate or empty name panics — both
+// are programmer errors caught at link time by any test.
+func Register(info Info, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if info.Name == "" {
+		panic("persist: Register with empty model name")
+	}
+	if _, dup := registry[info.Name]; dup {
+		panic("persist: duplicate model registration: " + info.Name)
+	}
+	registry[info.Name] = registration{info: info, factory: f}
+}
+
+// New constructs a machine for the backend named by cfg ("" selects
+// DefaultModel). Unknown names report the registered alternatives —
+// the error surfaced by the CLIs' -model flag.
+func New(cfg Config) (Model, error) {
+	name := cfg.Name
+	if name == "" {
+		name = DefaultModel
+	}
+	registryMu.RLock()
+	reg, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("persist: unknown model %q (registered: %v)", name, Names())
+	}
+	return reg.factory(cfg), nil
+}
+
+// MustNew is New for callers that have already validated cfg.Name
+// (or use a built-in name); it panics on unknown models.
+func MustNew(cfg Config) Model {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Lookup returns the Info for a backend name ("" selects DefaultModel)
+// and whether it is registered.
+func Lookup(name string) (Info, bool) {
+	if name == "" {
+		name = DefaultModel
+	}
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	reg, ok := registry[name]
+	return reg.info, ok
+}
+
+// IsWeak reports whether the named backend admits weak persistency
+// behaviors; unknown names default to true (the conservative answer
+// for expectation checks).
+func IsWeak(name string) bool {
+	info, ok := Lookup(name)
+	if !ok {
+		return true
+	}
+	return info.Weak
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Infos returns the registered backends' Info records, sorted by name.
+func Infos() []Info {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	infos := make([]Info, 0, len(registry))
+	for _, reg := range registry {
+		infos = append(infos, reg.info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}

@@ -2,7 +2,8 @@
 // interface that benchmark ports and example programs are written
 // against. It plays the role of Jaaru's LLVM instrumentation in the
 // original system: every load, store, flush, and fence is routed through
-// the Px86 simulator and observed by the PSan checker.
+// the configured persistency-model backend (px86 by default; see
+// internal/persist) and observed by the PSan checker.
 //
 // A World couples one simulated machine with one checker and a read
 // policy. Simulated threads are either inline (the test driver scripts
@@ -22,7 +23,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/memmodel"
-	"repro/internal/px86"
+	"repro/internal/persist"
+	_ "repro/internal/persist/backends" // link all built-in models
 	"repro/internal/trace"
 )
 
@@ -38,25 +40,27 @@ type AbortSignal struct{ Reason string }
 // ReadChooser selects which store a load reads from when the crash image
 // leaves more than one possibility. It is the hook where exploration
 // strategies (random, model checking, violation avoidance) plug in.
-type ReadChooser func(w *World, t memmodel.ThreadID, addr memmodel.Addr, cands []px86.Candidate, loc trace.LocID) px86.Candidate
+// Candidates are model-neutral (persist.Candidate), so choosers work
+// unchanged against every backend.
+type ReadChooser func(w *World, t memmodel.ThreadID, addr memmodel.Addr, cands []persist.Candidate, loc trace.LocID) persist.Candidate
 
 // ChooseNewest picks the newest legal store — the behavior of an
 // execution in which everything persisted.
-func ChooseNewest(_ *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ trace.LocID) px86.Candidate {
-	return cands[0]
+func ChooseNewest(_ *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []persist.Candidate, _ trace.LocID) persist.Candidate {
+	return persist.Newest(cands)
 }
 
 // ChooseOldest picks the oldest legal store — the behavior of an
 // execution in which as little as possible persisted. Useful in tests
 // that want the worst surviving image.
-func ChooseOldest(_ *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ trace.LocID) px86.Candidate {
-	return cands[len(cands)-1]
+func ChooseOldest(_ *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []persist.Candidate, _ trace.LocID) persist.Candidate {
+	return persist.Oldest(cands)
 }
 
 // ChooseRandom picks uniformly among the legal stores using the world's
 // random source.
-func ChooseRandom(w *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.Candidate, _ trace.LocID) px86.Candidate {
-	return cands[w.rng.Intn(len(cands))]
+func ChooseRandom(w *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []persist.Candidate, _ trace.LocID) persist.Candidate {
+	return persist.Random(w.rng, cands)
 }
 
 // ChooseAvoidingViolations wraps another chooser with PSan's multi-bug
@@ -66,7 +70,7 @@ func ChooseRandom(w *World, _ memmodel.ThreadID, _ memmodel.Addr, cands []px86.C
 // candidate violates, the inner chooser picks among all of them and the
 // violation is reported.
 func ChooseAvoidingViolations(inner ReadChooser) ReadChooser {
-	return func(w *World, t memmodel.ThreadID, addr memmodel.Addr, cands []px86.Candidate, loc trace.LocID) px86.Candidate {
+	return func(w *World, t memmodel.ThreadID, addr memmodel.Addr, cands []persist.Candidate, loc trace.LocID) persist.Candidate {
 		clean := w.steer[:0]
 		for _, c := range cands {
 			if len(w.Checker.CheckRead(t, addr, c.Store, loc)) == 0 {
@@ -87,8 +91,9 @@ func ChooseAvoidingViolations(inner ReadChooser) ReadChooser {
 
 // Config parameterizes a World.
 type Config struct {
-	// Px86 configures the underlying machine.
-	Px86 px86.Config
+	// Model selects and configures the persistency-model backend; the
+	// zero value selects px86 with immediate commit.
+	Model persist.Config
 	// Seed seeds the world's random source (scheduling and ChooseRandom).
 	Seed int64
 	// Chooser is the read policy; nil means ChooseNewest.
@@ -111,7 +116,7 @@ type Config struct {
 // share mutable state; within one World, operations must stay on a
 // single goroutine.
 type World struct {
-	M       *px86.Machine
+	M       persist.Model
 	Checker *core.Checker
 	Heap    *Heap
 
@@ -129,7 +134,7 @@ type World struct {
 
 	// steer is ChooseAvoidingViolations' scratch for the clean-candidate
 	// subset, reused across loads.
-	steer []px86.Candidate
+	steer []persist.Candidate
 
 	// probe, when non-nil, runs before every operation with the world's
 	// running operation count. The exploration layer installs probes for
@@ -154,7 +159,7 @@ func (w *World) AssertFailures() []string { return w.assertFailures }
 // NewWorld builds a fresh world: zeroed persistent memory, an empty
 // trace, and an unconstrained checker.
 func NewWorld(cfg Config) *World {
-	m := px86.New(cfg.Px86)
+	m := persist.MustNew(cfg.Model)
 	chooser := cfg.Chooser
 	if chooser == nil {
 		chooser = ChooseNewest
@@ -221,7 +226,7 @@ func (w *World) Crashed() bool { return w.crashed }
 
 // RunPhase executes one phase function, converting an injected crash
 // into a normal return. It returns true if the phase crashed. The
-// machine-level crash itself (px86.Machine.Crash) is the caller's
+// machine-level crash itself (persist.Model.Crash) is the caller's
 // responsibility, so a harness can decide to crash even after a phase
 // that ran to completion.
 func (w *World) RunPhase(phase func(*World)) (crashed bool) {

@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/memmodel"
-	"repro/internal/px86"
+	"repro/internal/persist"
 )
 
 // The store-buffering (SB) litmus test: under TSO with store buffers,
@@ -14,7 +14,7 @@ import (
 func runSB(seed int64, delayed bool) (r1, r2 memmodel.Value) {
 	cfg := Config{CrashTarget: -1, Seed: seed}
 	if delayed {
-		cfg.Px86 = px86.Config{DelayedCommit: true}
+		cfg.Model = persist.Config{DelayedCommit: true}
 		cfg.RandomDrainPercent = 20
 	}
 	w := NewWorld(cfg)
@@ -59,7 +59,7 @@ func TestStoreBufferSelfVisibility(t *testing.T) {
 	for seed := int64(0); seed < 100; seed++ {
 		w := NewWorld(Config{
 			CrashTarget: -1, Seed: seed,
-			Px86:               px86.Config{DelayedCommit: true},
+			Model:              persist.Config{DelayedCommit: true},
 			RandomDrainPercent: 30,
 		})
 		th := w.Thread(0)
@@ -73,7 +73,7 @@ func TestStoreBufferSelfVisibility(t *testing.T) {
 // A fence makes buffered stores globally visible: after thread 0's
 // sfence, thread 1 must read the new value.
 func TestFencePublishesBufferedStores(t *testing.T) {
-	w := NewWorld(Config{CrashTarget: -1, Px86: px86.Config{DelayedCommit: true}})
+	w := NewWorld(Config{CrashTarget: -1, Model: persist.Config{DelayedCommit: true}})
 	t0, t1 := w.Thread(0), w.Thread(1)
 	t0.Store(0x2000, 5, "x=5")
 	t0.SFence("sfence")

@@ -18,14 +18,14 @@ func TestInvariantErrorPanicValue(t *testing.T) {
 	cands := m.LoadCandidates(0, addrX)
 	var bad Candidate
 	for _, c := range cands {
-		if c.resolve && c.epochIdx >= 0 {
+		if c.Resolve && c.Epoch >= 0 {
 			bad = c
 		}
 	}
-	if !bad.resolve {
+	if !bad.Resolve {
 		t.Fatal("no resolving sealed-epoch candidate to corrupt")
 	}
-	bad.loNew, bad.hiNew = 2, 1 // inverted range: internal inconsistency
+	bad.LoNew, bad.HiNew = 2, 1 // inverted range: internal inconsistency
 	defer func() {
 		r := recover()
 		ie, ok := r.(InvariantError)

@@ -1,6 +1,7 @@
 // Package px86 simulates the Intel-x86 persistency model following the
 // Px86sim semantics of Raad et al. (POPL 2020), which the paper builds on
-// (§2). The simulated machine provides:
+// (§2). It is the default persistency-model backend behind the
+// persist.Model interface. The simulated machine provides:
 //
 //   - TSO volatile semantics with per-thread store buffers;
 //   - cache-line granular persistence: clflush persists its line
@@ -16,44 +17,24 @@
 // an exploration policy picks one, and the machine narrows the remaining
 // nondeterminism so later reads stay consistent with the choice. This is
 // the same read-centric exploration style as the Jaaru model checker the
-// paper builds PSan upon.
+// paper builds PSan upon. The sealed-epoch bookkeeping itself lives in
+// persist.Image, shared with the other backends.
 package px86
 
 import (
-	"fmt"
-	"sort"
-
 	"repro/internal/memmodel"
+	"repro/internal/persist"
 	"repro/internal/trace"
 )
 
-// InvariantError is the panic value raised when the machine detects an
-// internal inconsistency — a crash-image prefix range that became empty
-// or contradictory. These are engine bugs, never program-under-test
-// bugs, and the value is typed so the exploration layer's panic
-// isolation can classify the record it quarantines (explore.ExecError)
-// instead of losing the whole campaign to one broken schedule.
-type InvariantError struct {
-	// Check names the violated invariant ("crash-image resolution",
-	// "prefix range").
-	Check string
-	// Addr is the word whose line state exposed the inconsistency.
-	Addr memmodel.Addr
-	// Loc is the materialized (interned) source location of the access
-	// being resolved when the invariant tripped; empty when unknown.
-	Loc string
-}
+// InvariantError is the typed panic raised on crash-image inconsistency;
+// it now lives in persist so every backend shares the explorer's panic
+// classification. Kept as an alias for existing call sites.
+type InvariantError = persist.InvariantError
 
-// Error implements error, so the panic value reads well in logs.
-func (e InvariantError) Error() string {
-	if e.Loc == "" {
-		return fmt.Sprintf("px86: %s invariant violated for %s", e.Check, e.Addr)
-	}
-	return fmt.Sprintf("px86: %s invariant violated for %s at %s", e.Check, e.Addr, e.Loc)
-}
-
-// String mirrors Error for %v rendering of the bare panic value.
-func (e InvariantError) String() string { return e.Error() }
+// Candidate is the model-neutral post-crash read candidate; kept as an
+// alias for existing call sites.
+type Candidate = persist.Candidate
 
 // Config controls simulation behavior.
 type Config struct {
@@ -63,6 +44,16 @@ type Config struct {
 	// the cache immediately after issue, which is a legal TSO behavior
 	// and keeps model-checking tractable.
 	DelayedCommit bool
+}
+
+func init() {
+	persist.Register(persist.Info{
+		Name:        "px86",
+		Description: "Px86sim (Raad et al.): TSO buffers, async clflushopt completed by drains",
+		Weak:        true,
+	}, func(cfg persist.Config) persist.Model {
+		return New(Config{DelayedCommit: cfg.DelayedCommit})
+	})
 }
 
 // bufEntry is one store-buffer slot: a pending store or a pending flush.
@@ -80,35 +71,6 @@ type pendingFlush struct {
 	coverage int // line-history length at buffer exit
 }
 
-// epoch is the committed store history of one cache line within one
-// crash-delimited sub-execution, together with the unresolved range of
-// prefixes that may have persisted. A prefix length p with lo ≤ p ≤ hi
-// means the first p stores of the epoch reached persistent memory.
-type epoch struct {
-	stores []*trace.Store
-	lo, hi int
-}
-
-// indexOfFirst returns the index of the first store to word w, or -1.
-func (ep *epoch) indexOfFirst(w memmodel.Addr) int {
-	for i, s := range ep.stores {
-		if s.Addr == w {
-			return i
-		}
-	}
-	return -1
-}
-
-// lineState is the full persistence state of one cache line: sealed
-// epochs from previous sub-executions (oldest first) plus the live epoch
-// of the current sub-execution. For the live epoch, lo is the number of
-// stores guaranteed persistent by completed flushes; hi is unused until
-// the epoch is sealed by a crash.
-type lineState struct {
-	sealed []*epoch
-	live   *epoch
-}
-
 // Machine is a simulated Px86 multiprocessor with persistent memory.
 // It is not safe for concurrent use: simulated threads are interleaved
 // by the caller (the exploration harness), not by goroutines. A Machine
@@ -121,29 +83,28 @@ type Machine struct {
 	mem     map[memmodel.Addr]*trace.Store // volatile cache: last committed store per word, this sub-execution
 	buffers map[memmodel.ThreadID][]bufEntry
 	pending map[memmodel.ThreadID][]pendingFlush
-	lines   map[memmodel.Addr]*lineState
+	img     persist.Image
 
-	// epochFree recycles sealed epochs across Reset; Crash draws from it
-	// before allocating.
-	epochFree []*epoch
 	// cands is the scratch buffer LoadCandidates returns; see its
 	// contract.
 	cands []Candidate
-	// candIdxs is LoadCandidates' per-epoch store-index scratch.
-	candIdxs []int
 }
 
 // New returns a machine with all of persistent memory zero-initialized.
 func New(cfg Config) *Machine {
-	return &Machine{
+	m := &Machine{
 		cfg:     cfg,
 		tr:      trace.New(),
 		mem:     make(map[memmodel.Addr]*trace.Store),
 		buffers: make(map[memmodel.ThreadID][]bufEntry),
 		pending: make(map[memmodel.ThreadID][]pendingFlush),
-		lines:   make(map[memmodel.Addr]*lineState),
 	}
+	m.img.Init("px86")
+	return m
 }
+
+// Name implements persist.Model.
+func (m *Machine) Name() string { return "px86" }
 
 // Trace returns the execution trace recorded so far.
 func (m *Machine) Trace() *trace.Trace { return m.tr }
@@ -160,37 +121,8 @@ func (m *Machine) Reset() {
 	clear(m.mem)
 	clear(m.buffers)
 	clear(m.pending)
-	for _, ls := range m.lines {
-		m.epochFree = append(m.epochFree, ls.sealed...)
-		ls.sealed = ls.sealed[:0]
-		if ls.live != nil {
-			m.epochFree = append(m.epochFree, ls.live)
-		}
-		ls.live = m.newEpoch()
-	}
+	m.img.Reset()
 	m.tr.Reset()
-}
-
-// newEpoch returns a zeroed epoch, recycled when possible.
-func (m *Machine) newEpoch() *epoch {
-	if n := len(m.epochFree); n > 0 {
-		ep := m.epochFree[n-1]
-		m.epochFree = m.epochFree[:n-1]
-		ep.stores = ep.stores[:0]
-		ep.lo, ep.hi = 0, 0
-		return ep
-	}
-	return &epoch{}
-}
-
-func (m *Machine) line(a memmodel.Addr) *lineState {
-	l := a.Line()
-	ls, ok := m.lines[l]
-	if !ok {
-		ls = &lineState{live: &epoch{}}
-		m.lines[l] = ls
-	}
-	return ls
 }
 
 // --- store buffer mechanics ---
@@ -200,18 +132,14 @@ func (m *Machine) line(a memmodel.Addr) *lineState {
 func (m *Machine) exitEntry(t memmodel.ThreadID, e bufEntry) {
 	switch e.kind {
 	case memmodel.OpFlush:
-		ls := m.line(e.line)
 		// clflush persists the line synchronously at buffer exit: every
 		// store committed to the line so far is guaranteed persistent.
-		if n := len(ls.live.stores); n > ls.live.lo {
-			ls.live.lo = n
-		}
+		m.img.Guarantee(e.line)
 	case memmodel.OpFlushOpt:
-		ls := m.line(e.line)
 		// clflushopt writes the line back asynchronously; completion is
 		// guaranteed only by a later drain of the same thread. Record
 		// the coverage (stores committed at buffer exit).
-		m.pending[t] = append(m.pending[t], pendingFlush{line: e.line, coverage: len(ls.live.stores)})
+		m.pending[t] = append(m.pending[t], pendingFlush{line: e.line, coverage: m.img.LiveLen(e.line)})
 	default:
 		m.commit(e.store)
 	}
@@ -222,8 +150,7 @@ func (m *Machine) exitEntry(t memmodel.ThreadID, e bufEntry) {
 func (m *Machine) commit(st *trace.Store) {
 	m.tr.StoreCommit(st)
 	m.mem[st.Addr] = st
-	ls := m.line(st.Addr)
-	ls.live.stores = append(ls.live.stores, st)
+	m.img.Commit(st)
 }
 
 // DrainAll commits every pending entry of thread t's store buffer, in
@@ -255,10 +182,7 @@ func (m *Machine) BufferLen(t memmodel.ThreadID) int { return len(m.buffers[t]) 
 // guaranteed persistent (a drain instruction committed).
 func (m *Machine) drainCompletes(t memmodel.ThreadID) {
 	for _, pf := range m.pending[t] {
-		ls := m.line(pf.line)
-		if pf.coverage > ls.live.lo {
-			ls.live.lo = pf.coverage
-		}
+		m.img.GuaranteeUpTo(pf.line, pf.coverage)
 	}
 	m.pending[t] = nil
 }
@@ -319,23 +243,6 @@ func (m *Machine) MFence(t memmodel.ThreadID, loc trace.LocID) {
 
 // --- loads and crash-image resolution ---
 
-// Candidate describes one store a post-crash load may read, along with
-// the epoch bookkeeping needed to commit the choice.
-type Candidate struct {
-	Store *trace.Store
-	// resolve marks candidates that narrow crash-image nondeterminism
-	// when chosen: stores surviving from sealed epochs and the initial
-	// value. Volatile reads (store-buffer forwarding and words written
-	// in the current sub-execution) are uniquely determined and resolve
-	// nothing.
-	resolve bool
-	// epochIdx is the index into lineState.sealed, or -1 for the
-	// initial value.
-	epochIdx int
-	// loNew/hiNew are the narrowed prefix range for that epoch.
-	loNew, hiNew int
-}
-
 // LoadCandidates returns the stores a load of word a by thread t may
 // read, newest-possible first. Volatile reads (own store buffer, or a
 // word written in the current sub-execution) have exactly one candidate.
@@ -352,56 +259,19 @@ func (m *Machine) LoadCandidates(t memmodel.ThreadID, a memmodel.Addr) []Candida
 	buf := m.buffers[t]
 	for i := len(buf) - 1; i >= 0; i-- {
 		if e := buf[i]; e.store != nil && e.store.Addr == a {
-			m.cands = append(cands, Candidate{Store: e.store, epochIdx: -1})
+			m.cands = append(cands, Candidate{Store: e.store, Epoch: -1})
 			return m.cands
 		}
 	}
 	// Committed this sub-execution: the cache holds a definite value.
 	if st, ok := m.mem[a]; ok {
-		m.cands = append(cands, Candidate{Store: st, epochIdx: -1})
+		m.cands = append(cands, Candidate{Store: st, Epoch: -1})
 		return m.cands
 	}
 	// Unresolved: walk sealed epochs newest-first.
-	ls := m.lines[a.Line()]
-	var sealed []*epoch
-	if ls != nil {
-		sealed = ls.sealed
-	}
-	blocked := false
-	for j := len(sealed) - 1; j >= 0 && !blocked; j-- {
-		ep := sealed[j]
-		// Indices of stores to a within this epoch.
-		idxs := m.candIdxs[:0]
-		for i, s := range ep.stores {
-			if s.Addr == a {
-				idxs = append(idxs, i)
-			}
-		}
-		m.candIdxs = idxs
-		for k, i := range idxs {
-			// Store at index i is visible for prefix lengths in
-			// [i+1, next], where next is the index of the next store to
-			// a (exclusive upper bound on prefixes that still show i).
-			next := len(ep.stores)
-			if k+1 < len(idxs) {
-				next = idxs[k+1]
-			}
-			lo := max(ep.lo, i+1)
-			hi := min(ep.hi, next)
-			if lo <= hi {
-				cands = append(cands, Candidate{Store: ep.stores[i], resolve: true, epochIdx: j, loNew: lo, hiNew: hi})
-			}
-		}
-		if len(idxs) > 0 {
-			// Older epochs are visible only if this epoch's prefix can
-			// exclude all stores to a.
-			if ep.lo > idxs[0] {
-				blocked = true
-			}
-		}
-	}
+	cands, blocked := m.img.AppendSealedCandidates(cands, a)
 	if !blocked {
-		cands = append(cands, Candidate{Store: m.tr.Initial(a), resolve: true, epochIdx: -1})
+		cands = append(cands, Candidate{Store: m.tr.Initial(a), Resolve: true, Epoch: -1})
 	}
 	m.cands = cands
 	return cands
@@ -412,33 +282,7 @@ func (m *Machine) LoadCandidates(t memmodel.ThreadID, a memmodel.Addr) []Candida
 // the InvariantError panic raised when narrowing exposes an internal
 // inconsistency.
 func (m *Machine) resolveChoice(a memmodel.Addr, c Candidate, loc trace.LocID) {
-	if !c.resolve {
-		return // volatile read: nothing to narrow
-	}
-	ls := m.lines[a.Line()]
-	if ls == nil {
-		return
-	}
-	// All epochs newer than the chosen one must exclude their stores
-	// to a; for the initial value (epochIdx -1 via sealed path) every
-	// epoch must.
-	from := len(ls.sealed) - 1
-	for j := from; j > c.epochIdx; j-- {
-		ep := ls.sealed[j]
-		if first := ep.indexOfFirst(a); first >= 0 && ep.hi > first {
-			ep.hi = first
-			if ep.lo > ep.hi {
-				panic(InvariantError{Check: "crash-image resolution", Addr: a, Loc: m.tr.LocString(loc)})
-			}
-		}
-	}
-	if c.epochIdx >= 0 {
-		ep := ls.sealed[c.epochIdx]
-		ep.lo, ep.hi = c.loNew, c.hiNew
-		if ep.lo > ep.hi {
-			panic(InvariantError{Check: "prefix range", Addr: a, Loc: m.tr.LocString(loc)})
-		}
-	}
+	m.img.Resolve(a, c, m.tr, loc)
 }
 
 // Load performs a load of word a by thread t reading from the chosen
@@ -508,16 +352,7 @@ func (m *Machine) Crash() {
 	clear(m.buffers)
 	clear(m.pending)
 	clear(m.mem)
-	for _, ls := range m.lines {
-		if len(ls.live.stores) > 0 || ls.live.lo > 0 {
-			ls.live.hi = len(ls.live.stores)
-			ls.sealed = append(ls.sealed, ls.live)
-			ls.live = m.newEpoch()
-		} else {
-			// Nothing to seal: keep the (empty) live epoch.
-			ls.live.lo, ls.live.hi = 0, 0
-		}
-	}
+	m.img.Seal()
 	m.tr.Crash()
 }
 
@@ -530,50 +365,11 @@ func (m *Machine) Crash() {
 // executions of one deterministically replayed program, equal
 // fingerprints mean the surviving images are the same image, not merely
 // similar ones.
-func (m *Machine) PersistFingerprint() uint64 {
-	lines := make([]memmodel.Addr, 0, len(m.lines))
-	for l, ls := range m.lines {
-		if len(ls.sealed) > 0 {
-			lines = append(lines, l)
-		}
-	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(v uint64) {
-		// FNV-1a over the value's bytes, low to high.
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime64
-			v >>= 8
-		}
-	}
-	for _, l := range lines {
-		ls := m.lines[l]
-		mix(uint64(l))
-		mix(uint64(len(ls.sealed)))
-		for _, ep := range ls.sealed {
-			mix(uint64(ep.lo))
-			mix(uint64(ep.hi))
-			mix(uint64(len(ep.stores)))
-			for _, s := range ep.stores {
-				mix(uint64(s.ID))
-				mix(uint64(s.Value))
-			}
-		}
-	}
-	return h
-}
+func (m *Machine) PersistFingerprint() uint64 { return m.img.Fingerprint() }
 
 // GuaranteedPersistCount returns how many committed stores to the line
 // containing a are guaranteed persistent in the current sub-execution.
 // It exists for tests and diagnostics.
 func (m *Machine) GuaranteedPersistCount(a memmodel.Addr) int {
-	if ls := m.lines[a.Line()]; ls != nil {
-		return ls.live.lo
-	}
-	return 0
+	return m.img.GuaranteedCount(a)
 }

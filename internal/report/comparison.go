@@ -50,6 +50,7 @@ func Comparison(opt Options) []ComparisonRow {
 			Executions: execs,
 			Seed:       opt.Seed + 1,
 			Workers:    opt.Workers,
+			Model:      opt.modelConfig(),
 			AfterExecution: func(w *pmem.World) {
 				for _, f := range baseline.Witcher(w.M.Trace()) {
 					witcherKeys[f.Key()] = true

@@ -1,0 +1,109 @@
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/benchmarks"
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/persist"
+)
+
+// DifferentialRow is one benchmark's cross-model agreement summary:
+// the px86-vs-ptsosyn violation-set comparison in the benchmark's
+// preferred exploration mode, plus the strict-oracle checks (a robust
+// program's final heap matches strict; strict itself reports nothing).
+type DifferentialRow struct {
+	Benchmark string
+	Mode      explore.Mode
+	// Violations is the (shared) weak-model violation count.
+	Violations int
+	// Agree reports px86 and ptsosyn produced identical violation key
+	// sets and execution counts.
+	Agree bool
+	// Detail lists the divergence when Agree is false.
+	Detail string
+	// StrictClean reports the strict backend found no violations in the
+	// buggy variant (it never can: strict is the robustness reference).
+	StrictClean bool
+	// OracleHeapDiffs counts final-heap words where the Fixed (robust)
+	// variant differs between strict and px86; 0 for a truly robust fix.
+	OracleHeapDiffs int
+}
+
+// Differential runs the cross-model checks over every registered
+// benchmark.
+func Differential(opt Options) []DifferentialRow {
+	var rows []DifferentialRow
+	for _, b := range benchmarks.All() {
+		execs := b.Executions
+		if opt.Executions > 0 {
+			execs = opt.Executions
+		}
+		d := explore.DiffModels(b.Build(bench.Buggy), explore.Options{
+			Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1,
+			Workers: opt.Workers, Deadline: opt.Deadline,
+		}, persist.Config{Name: "px86"}, persist.Config{Name: "ptsosyn"})
+		strictRes := explore.Run(b.Build(bench.Buggy), explore.Options{
+			Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1,
+			Workers: opt.Workers, Deadline: opt.Deadline,
+			Model: persist.Config{Name: "strict"},
+		})
+		heapDiffs := explore.DiffFinalHeaps(b.Build(bench.Fixed), opt.Seed+1,
+			persist.Config{Name: "strict"}, persist.Config{Name: "px86"})
+		row := DifferentialRow{
+			Benchmark:       b.Name,
+			Mode:            b.PreferredMode,
+			Violations:      len(d.A.Violations),
+			Agree:           !d.Divergent(),
+			StrictClean:     len(strictRes.Violations) == 0,
+			OracleHeapDiffs: len(heapDiffs),
+		}
+		if d.Divergent() {
+			row.Detail = d.String()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderDifferential lays the cross-model table out.
+func RenderDifferential(rows []DifferentialRow) string {
+	table := make([][]string, 0, len(rows))
+	allAgree := true
+	for _, r := range rows {
+		agree := "agree"
+		if !r.Agree {
+			agree = "DIVERGE"
+			allAgree = false
+		}
+		clean := "clean"
+		if !r.StrictClean {
+			clean = "VIOLATIONS"
+			allAgree = false
+		}
+		oracle := "match"
+		if r.OracleHeapDiffs > 0 {
+			oracle = fmt.Sprintf("%d words differ", r.OracleHeapDiffs)
+			allAgree = false
+		}
+		table = append(table, []string{
+			r.Benchmark, r.Mode.String(), fmt.Sprintf("%d", r.Violations), agree, clean, oracle,
+		})
+	}
+	out := RenderTable(
+		"Differential cross-model checks (px86 vs ptsosyn; strict oracle)",
+		[]string{"Benchmark", "mode", "violations", "px86 vs ptsosyn", "strict verdict", "fixed-heap vs strict"},
+		table)
+	if allAgree {
+		out += "\nall models agree\n"
+	} else {
+		out += "\nDIVERGENCE DETECTED — see rows above\n"
+		for _, r := range rows {
+			if r.Detail != "" {
+				out += r.Detail + "\n"
+			}
+		}
+	}
+	return out
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/benchmarks/bench"
 	"repro/internal/explore"
 	"repro/internal/memmodel"
+	"repro/internal/persist"
 	"repro/internal/pmem"
 )
 
@@ -69,7 +70,14 @@ type Options struct {
 	// runs that trip it report partial coverage instead of hanging a
 	// table build.
 	Deadline time.Duration
+	// Model names the persistency-model backend the benchmarks run
+	// against ("" means the default, px86). Table 1's litmus demo always
+	// uses the paper's model.
+	Model string
 }
+
+// modelConfig is the explore/pmem model configuration the options select.
+func (o Options) modelConfig() persist.Config { return persist.Config{Name: o.Model} }
 
 // --- Table 1 ---
 
@@ -204,6 +212,7 @@ func Table2(opt Options) *Table2Result {
 		}
 		buggy := explore.Run(b.Build(bench.Buggy), explore.Options{
 			Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1, Workers: opt.Workers, Deadline: opt.Deadline,
+			Model: opt.modelConfig(),
 		})
 		covered, missed := bench.MatchExpected(b.Expected, buggy.Violations)
 		for _, c := range covered {
@@ -232,6 +241,7 @@ func Table2(opt Options) *Table2Result {
 		}
 		fixed := explore.Run(b.Build(bench.Fixed), explore.Options{
 			Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1, Workers: opt.Workers, Deadline: opt.Deadline,
+			Model: opt.modelConfig(),
 		})
 		res.FixedClean[b.Name] = len(fixed.Violations) == 0
 	}
@@ -306,10 +316,12 @@ func Table3(opt Options) []Table3Row {
 		jaaru := explore.Run(b.Build(bench.Buggy), explore.Options{
 			Mode: explore.Random, Executions: timingExecs, Seed: opt.Seed + 2,
 			Workers: opt.Workers, Deadline: opt.Deadline, DisableChecker: true, NoSteering: true,
+			Model: opt.modelConfig(),
 		})
 		psan := explore.Run(b.Build(bench.Buggy), explore.Options{
 			Mode: explore.Random, Executions: timingExecs, Seed: opt.Seed + 2,
 			Workers: opt.Workers, Deadline: opt.Deadline, NoSteering: true,
+			Model: opt.modelConfig(),
 		})
 		execs := b.Executions
 		if opt.Executions > 0 {
@@ -317,6 +329,7 @@ func Table3(opt Options) []Table3Row {
 		}
 		discovery := explore.Run(b.Build(bench.Buggy), explore.Options{
 			Mode: explore.Random, Executions: execs, Seed: opt.Seed + 2, Workers: opt.Workers, Deadline: opt.Deadline,
+			Model: opt.modelConfig(),
 		})
 		rows = append(rows, Table3Row{
 			Benchmark:  b.Name,
@@ -359,6 +372,7 @@ func Violations(name string, opt Options) (string, error) {
 	}
 	res := explore.Run(b.Build(bench.Buggy), explore.Options{
 		Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1, Workers: opt.Workers,
+		Model: opt.modelConfig(),
 	})
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s\n\n", res)

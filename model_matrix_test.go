@@ -1,0 +1,105 @@
+package repro
+
+// Model-matrix tier: CI runs the quick test suite once per registered
+// backend with PSAN_TEST_MODEL naming the model under test. Locally the
+// matrix defaults to the px86 backend, so `go test` always covers the
+// default path; set PSAN_TEST_MODEL=strict or =ptsosyn to re-run the
+// tier under another backend.
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/interp"
+	"repro/internal/persist"
+)
+
+// modelUnderTest resolves the PSAN_TEST_MODEL environment variable to a
+// backend config, defaulting to the registry default.
+func modelUnderTest(t *testing.T) persist.Config {
+	t.Helper()
+	cfg := persist.Config{Name: os.Getenv("PSAN_TEST_MODEL")}
+	if _, err := persist.New(cfg); err != nil {
+		t.Fatalf("PSAN_TEST_MODEL: %v", err)
+	}
+	return cfg
+}
+
+// TestModelMatrixBenchmarks runs every benchmark's buggy and fixed
+// variants under the selected backend. Weak models must keep the fixed
+// variants clean; the strict model must keep everything clean.
+func TestModelMatrixBenchmarks(t *testing.T) {
+	cfg := modelUnderTest(t)
+	weak := persist.IsWeak(cfg.Name)
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			buggy := explore.Run(b.Build(bench.Buggy), explore.Options{
+				Mode: b.PreferredMode, Executions: scaled(b.Executions), Seed: 11,
+				Model: cfg,
+			})
+			if buggy.Executions == 0 {
+				t.Fatal("no executions ran")
+			}
+			if !weak && len(buggy.Violations) != 0 {
+				t.Fatalf("non-weak model %q reported violations: %v",
+					cfg.Name, buggy.ViolationKeys())
+			}
+			fixed := explore.Run(b.Build(bench.Fixed), explore.Options{
+				Mode: b.PreferredMode, Executions: scaled(b.Executions), Seed: 11,
+				Model: cfg,
+			})
+			if len(fixed.Violations) != 0 {
+				t.Fatalf("fixed variant not clean under %q: %v",
+					cfg.Name, fixed.ViolationKeys())
+			}
+		})
+	}
+}
+
+// TestModelMatrixParallelDeterminism: the parallel-equals-serial
+// guarantee is model-independent — an 8-worker run reproduces the
+// serial run under every backend, not just the default.
+func TestModelMatrixParallelDeterminism(t *testing.T) {
+	cfg := modelUnderTest(t)
+	execs := scaled(200)
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			opt := explore.Options{
+				Mode: explore.Random, Executions: execs, Seed: 11, Model: cfg,
+			}
+			opt.Workers = 1
+			serial := explore.Run(b.Build(bench.Buggy), opt)
+			opt.Workers = 8
+			parallel := explore.Run(b.Build(bench.Buggy), opt)
+			assertSameOutcome(t, b.Name, serial, parallel)
+		})
+	}
+}
+
+// TestModelMatrixTestdata runs the .pm verdict manifest under the
+// selected backend. Under a weak model the manifest's verdicts hold
+// as written; under strict everything is robust.
+func TestModelMatrixTestdata(t *testing.T) {
+	cfg := modelUnderTest(t)
+	weak := persist.IsWeak(cfg.Name)
+	for _, tc := range testdataPrograms {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			prog := loadProgram(t, tc.file)
+			res := explore.Run(interp.New(tc.file, prog), explore.Options{
+				Mode: tc.mode, Executions: scaled(tc.executions), Seed: 1,
+				Model: cfg,
+			})
+			want := tc.robust || !weak
+			if got := len(res.Violations) == 0; got != want {
+				t.Fatalf("%s under %q: robust=%v, want %v\nviolations: %v",
+					tc.file, cfg.Name, got, want, res.ViolationKeys())
+			}
+		})
+	}
+}
