@@ -17,6 +17,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/litmus"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/px86"
 	"repro/internal/repair"
@@ -167,6 +168,52 @@ func BenchmarkExploreModelCheckSerial(b *testing.B) {
 				})
 				if res.Executions == 0 {
 					b.Fatal("no executions ran")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExploreObservability measures the telemetry tax on the
+// serial random campaign of BenchmarkExploreRandomSerial (FAST_FAIR):
+// `off` (nil observer) and `empty-observer` (non-nil observer, nil
+// sinks — the flags-parsed-but-unused shape) must be allocation-
+// identical (TestObservabilityDisabledAllocIdentity asserts it), while
+// the enabled rows price the metrics registry alone and the full stack
+// (registry + span tracer + provenance capture) separately.
+func BenchmarkExploreObservability(b *testing.B) {
+	bm := benchmarks.ByName("FAST_FAIR")
+	if bm == nil {
+		b.Fatal("FAST_FAIR not registered")
+	}
+	for _, cfg := range []struct {
+		name     string
+		observer func() *obs.Observer
+		prov     bool
+	}{
+		{"off", func() *obs.Observer { return nil }, false},
+		{"empty-observer", func() *obs.Observer { return &obs.Observer{} }, false},
+		{"metrics", func() *obs.Observer {
+			return &obs.Observer{Metrics: obs.NewRegistry()}
+		}, false},
+		{"metrics+trace+provenance", func() *obs.Observer {
+			return &obs.Observer{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer()}
+		}, true},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := explore.Run(bm.Build(bench.Buggy), explore.Options{
+					Mode:       explore.Random,
+					Executions: 50,
+					Seed:       7,
+					Workers:    1,
+					Obs:        cfg.observer(),
+					Provenance: cfg.prov,
+				})
+				if res.Executions != 50 {
+					b.Fatalf("ran %d executions, want 50", res.Executions)
 				}
 			}
 		})

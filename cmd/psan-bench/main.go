@@ -9,27 +9,94 @@
 //	psan-bench -table all        # everything
 //	psan-bench -violations CCEH  # detailed report with fixes
 //	psan-bench -model ptsosyn -table 2   # tables under another backend
+//
+// An interrupt (^C) or an expired -deadline degrades gracefully: the
+// in-flight exploration drains, partial tables are rendered, and the
+// -cpuprofile/-memprofile files are flushed through the same exit path
+// a completed run takes — a profile of an aborted campaign is still a
+// valid profile.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/report"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	code := runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }
 
 // run is the testable entry point.
 func run(args []string, stdout, stderr io.Writer) int {
+	return runCtx(context.Background(), args, stdout, stderr)
+}
+
+// profiler owns the -cpuprofile/-memprofile lifecycle. Every return
+// path out of runCtx flushes through its single deferred stop() — an
+// early deadline abort or interrupt produces the same complete profile
+// files a full run does.
+type profiler struct {
+	cpuFile *os.File
+	memPath string
+	stderr  io.Writer
+}
+
+func (p *profiler) start(cpuPath, memPath string) error {
+	p.memPath = memPath
+	if cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// stop flushes both profiles; it is the one exit path for profile data.
+func (p *profiler) stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			fmt.Fprintf(p.stderr, "psan-bench: %v\n", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			fmt.Fprintf(p.stderr, "psan-bench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // surface only live allocations
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(p.stderr, "psan-bench: %v\n", err)
+		}
+	}
+}
+
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("psan-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	table := fs.String("table", "all", "which table to regenerate: 1, 2, 3, compare, diff, or all")
@@ -39,45 +106,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "parallel exploration workers (0: all CPUs, 1: serial); results are identical for any count")
 	violations := fs.String("violations", "", "print the detailed violation report for one benchmark")
 	deadline := fs.Duration("deadline", 0, "wall-clock budget per benchmark run (0: none); expired runs report partial coverage")
-	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file; flushed even when a deadline or ^C aborts the run")
+	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit; flushed even when a deadline or ^C aborts the run")
+	metricsAddr := fs.String("metrics-addr", "", "serve campaign metrics over HTTP on this address (/debug/vars expvar, /metrics JSON snapshot)")
+	progress := fs.Duration("progress", 0, "print live campaign progress to stderr at this interval (0: off)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(stderr, "psan-bench: %v\n", err)
-			return 2
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(stderr, "psan-bench: %v\n", err)
-			return 2
-		}
-		defer pprof.StopCPUProfile()
+	prof := &profiler{stderr: stderr}
+	if err := prof.start(*cpuprofile, *memprofile); err != nil {
+		fmt.Fprintf(stderr, "psan-bench: %v\n", err)
+		return 2
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(stderr, "psan-bench: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // surface only live allocations
-			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintf(stderr, "psan-bench: %v\n", err)
-			}
-		}()
-	}
+	defer prof.stop()
 
 	if _, err := persist.New(persist.Config{Name: *model}); err != nil {
 		fmt.Fprintf(stderr, "psan-bench: %v\n", err)
 		return 2
 	}
-	opt := report.Options{Executions: *execs, Seed: *seed, Workers: *workers, Deadline: *deadline, Model: *model}
+	var observer *obs.Observer
+	if *metricsAddr != "" || *progress > 0 {
+		observer = &obs.Observer{Metrics: obs.NewRegistry()}
+	}
+	if *metricsAddr != "" {
+		srv, err := obs.ServeMetrics(*metricsAddr, observer.Metrics)
+		if err != nil {
+			fmt.Fprintf(stderr, "psan-bench: -metrics-addr: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "psan-bench: metrics at http://%s/debug/vars and /metrics\n", srv.Addr)
+	}
+	if *progress > 0 {
+		stopProgress := obs.StartProgress(obs.ProgressConfig{
+			Out: stderr, Registry: observer.Metrics, Interval: *progress,
+		})
+		defer stopProgress()
+	}
+	opt := report.Options{
+		Executions: *execs, Seed: *seed, Workers: *workers, Deadline: *deadline, Model: *model,
+		Obs: observer, Context: ctx,
+	}
 	if *violations != "" {
 		out, err := report.Violations(*violations, opt)
 		if err != nil {
@@ -109,6 +179,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "psan-bench: unknown table %q\n", *table)
 		return 2
+	}
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintln(stderr, "psan-bench: interrupted; tables above reflect partial coverage")
+		return 3
 	}
 	return 0
 }

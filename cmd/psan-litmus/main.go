@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/litmus"
+	"repro/internal/obs"
 	"repro/internal/persist"
 )
 
@@ -31,6 +32,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("psan-litmus", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	model := fs.String("model", "", "persistency-model backend: "+strings.Join(persist.Names(), ", "))
+	metricsOut := fs.String("metrics-out", "", "write a JSON snapshot of the backend op counters to this file")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: psan-litmus [-model name] [figure]\n")
 		fs.PrintDefaults()
@@ -42,6 +44,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if _, err := persist.New(cfg); err != nil {
 		fmt.Fprintf(stderr, "psan-litmus: %v\n", err)
 		return 2
+	}
+	if *metricsOut != "" {
+		// The scenarios build worlds from cfg, so the backend's per-model
+		// counters land in this registry.
+		cfg.Obs = &obs.Observer{Metrics: obs.NewRegistry()}
 	}
 	scenarios := litmus.Scenarios()
 	if fs.NArg() > 0 {
@@ -67,6 +74,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "verdict: %s (expected: violation=%v)\n\n", verdict, want)
 		if (len(vs) > 0) != want {
 			bad = true
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "psan-litmus: %v\n", err)
+			return 2
+		}
+		err = cfg.Obs.Metrics.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "psan-litmus: -metrics-out: %v\n", err)
+			return 2
 		}
 	}
 	if bad {

@@ -39,6 +39,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/interp"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/pmem"
 	"repro/internal/repair"
@@ -84,6 +85,9 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	dumpTrace := fs.Bool("trace", false, "dump one crash-free execution's event trace and exit")
 	model := fs.String("model", "", "persistency-model backend: "+strings.Join(persist.Names(), ", "))
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	metricsAddr := fs.String("metrics-addr", "", "serve campaign metrics over HTTP on this address (/debug/vars expvar, /metrics JSON snapshot)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace_event timeline to this file (plus <file>.jsonl) on exit")
+	progress := fs.Duration("progress", 0, "print live campaign progress to stderr at this interval (0: off)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: psan [flags] program.pm\n")
 		fs.PrintDefaults()
@@ -128,6 +132,33 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "psan: %v\n", err)
 		return exitInternal
 	}
+	// Observability sinks: a metrics registry when anything will read it
+	// (-metrics-addr, -progress), a tracer for -trace-out. With none of
+	// the flags the observer stays nil and the exploration hot path runs
+	// instrumentation-free.
+	var observer *obs.Observer
+	var tracer *obs.Tracer
+	needMetrics := *metricsAddr != "" || *progress > 0
+	if needMetrics || *traceOut != "" {
+		observer = &obs.Observer{}
+		if needMetrics {
+			observer.Metrics = obs.NewRegistry()
+		}
+		if *traceOut != "" {
+			tracer = obs.NewTracer()
+			tracer.NameThread(0, "campaign")
+			observer.Tracer = tracer
+		}
+	}
+	if *metricsAddr != "" {
+		srv, err := obs.ServeMetrics(*metricsAddr, observer.Metrics)
+		if err != nil {
+			fmt.Fprintf(stderr, "psan: -metrics-addr: %v\n", err)
+			return exitInternal
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "psan: metrics at http://%s/debug/vars and /metrics\n", srv.Addr)
+	}
 	opts := explore.Options{
 		Executions:  execs,
 		Seed:        *seed,
@@ -136,6 +167,8 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Deadline:    *deadline,
 		StepTimeout: *stepTimeout,
 		Model:       modelCfg,
+		Obs:         observer,
+		Provenance:  true,
 	}
 	switch *mode {
 	case "mc":
@@ -187,19 +220,45 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	var stopProgress func()
+	if *progress > 0 {
+		total := int64(0)
+		if opts.Mode == explore.Random {
+			total = int64(execs)
+		}
+		stopProgress = obs.StartProgress(obs.ProgressConfig{
+			Out: stderr, Registry: observer.Metrics, Interval: *progress, Total: total,
+		})
+	}
+	campStart := tracer.Now()
 	res := explore.Run(compiled, opts)
+	tracer.CompleteSince(0, "campaign", "campaign", campStart, -1)
+	if stopProgress != nil {
+		stopProgress()
+	}
 	fmt.Fprint(stdout, report.RunSummary(res))
 	for i, v := range res.Violations {
-		fmt.Fprintf(stdout, "\n[%d] %s", i+1, v)
+		fmt.Fprintf(stdout, "\n[%d] %s\n", i+1, v)
+		fmt.Fprint(stdout, v.Prov.Narrative())
 	}
 	if res.Partial && *checkpointPath != "" {
 		if res.Checkpoint == nil {
 			fmt.Fprintln(stderr, "psan: no resumable checkpoint for this stop (re-run with a larger budget)")
-		} else if err := res.Checkpoint.Save(*checkpointPath); err != nil {
-			fmt.Fprintf(stderr, "psan: %v\n", err)
-			return exitInternal
 		} else {
+			cs := tracer.Now()
+			err := res.Checkpoint.Save(*checkpointPath)
+			tracer.CompleteSince(0, "campaign", "checkpoint-write", cs, -1)
+			if err != nil {
+				fmt.Fprintf(stderr, "psan: %v\n", err)
+				return exitInternal
+			}
 			fmt.Fprintf(stdout, "checkpoint written to %s\n", *checkpointPath)
+		}
+	}
+	if *traceOut != "" {
+		if err := tracer.WriteFiles(*traceOut); err != nil {
+			fmt.Fprintf(stderr, "psan: -trace-out: %v\n", err)
+			return exitInternal
 		}
 	}
 	if len(res.Violations) > 0 {

@@ -1,0 +1,81 @@
+package main
+
+// End-to-end tests for the observability flags: -trace-out must emit
+// trace files the validator accepts, -metrics-addr must bring up the
+// endpoint, -progress must tick, and every reported violation must
+// carry its provenance narrative.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/validate"
+)
+
+func TestCLITraceOutWritesValidTraces(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	code, out, errOut := cli(t, "-mode", "mc", "-trace-out", tracePath, "../../testdata/figure2.pm")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	chrome, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chrome.Close()
+	cs, err := validate.Chrome(chrome)
+	if err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	if cs.Spans == 0 || cs.Timeline < 2 {
+		t.Fatalf("trace too thin: %+v (want spans on the campaign and worker timelines)", cs)
+	}
+	jsonl, err := os.Open(tracePath + ".jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jsonl.Close()
+	js, err := validate.JSONL(jsonl)
+	if err != nil {
+		t.Fatalf("jsonl trace invalid: %v", err)
+	}
+	if js.Spans != cs.Spans {
+		t.Fatalf("span count diverges: chrome %d, jsonl %d", cs.Spans, js.Spans)
+	}
+}
+
+func TestCLIViolationProvenance(t *testing.T) {
+	code, out, _ := cli(t, "-mode", "mc", "../../testdata/figure2.pm")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	violations := strings.Count(out, "\n[")
+	narratives := strings.Count(out, "provenance (")
+	if violations == 0 || narratives != violations {
+		t.Fatalf("%d violations but %d provenance narratives:\n%s", violations, narratives, out)
+	}
+	for _, want := range []string{"the racing store", "power failure ends sub-execution"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("narrative missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIMetricsAddrAndProgress(t *testing.T) {
+	code, _, errOut := cli(t,
+		"-mode", "random", "-execs", "50", "-workers", "2",
+		"-metrics-addr", "127.0.0.1:0", "-progress", "1ns",
+		"../../testdata/figure2.pm")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "metrics at http://127.0.0.1:") {
+		t.Fatalf("metrics endpoint notice missing:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "progress:") {
+		t.Fatalf("no progress tick on stderr:\n%s", errOut)
+	}
+}

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/intervals"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 )
@@ -165,6 +166,10 @@ type Violation struct {
 	Interval intervals.Interval
 	// Fixes are the suggested repairs, primary first.
 	Fixes []Fix
+	// Prov is the minimal event sub-trace explaining the violation,
+	// captured at flag time when provenance is enabled (SetProvenance);
+	// nil otherwise. Like the StoreRefs it is fully frozen.
+	Prov *obs.Provenance
 
 	// key caches Key; vkey is the intra-world dedup identity.
 	key  string
@@ -271,6 +276,7 @@ type Checker struct {
 	tr       *trace.Trace
 	opt      Options
 	disabled bool
+	prov     bool
 	cons     map[consKey]intervals.Interval
 	// violations accumulates committed violations in detection order.
 	violations []*Violation
@@ -363,6 +369,13 @@ func (c *Checker) Violations() []*Violation { return c.violations }
 // nothing and reports nothing; the harness uses it to measure the
 // simulator's baseline cost (the Jaaru column of Table 3).
 func (c *Checker) SetEnabled(on bool) { c.disabled = !on }
+
+// SetProvenance turns violation-provenance capture on or off. Like fix
+// synthesis it walks the event log only when a bug is first recorded, so
+// the per-load checking cost is unchanged; violation-free executions pay
+// nothing either way. Off by default, and like the enabled state and
+// options it survives Reset.
+func (c *Checker) SetProvenance(on bool) { c.prov = on }
 
 // Interval returns the current crash interval for a (sub-execution,
 // thread) pair, mainly for tests and the litmus printer.
@@ -507,6 +520,9 @@ func (c *Checker) applyUpdates(t memmodel.ThreadID, addr memmodel.Addr, rf *trac
 				// when a bug is first recorded, keeping the per-load
 				// checking cost flat (Table 3's minimal-overhead claim).
 				v.Fixes = c.computeFixes(v)
+				if c.prov {
+					v.Prov = c.computeProvenance(v)
+				}
 				c.violations = append(c.violations, v)
 			}
 		}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// computeProvenance captures the minimal event sub-trace that explains a
+// diagnosed violation: the racing store (the one missing its flush), the
+// flush/fence context around it in the crashed sub-execution, the crash
+// point, the store observed persisted, and the post-crash read that made
+// the constraints unsatisfiable.
+//
+// Like computeFixes it runs at record time — once per distinct violation,
+// while the detecting execution's trace is still intact — and everything
+// it emits is a materialized copy (strings and ints), so the record
+// outlives trace recycling.
+func (c *Checker) computeProvenance(v *Violation) *obs.Provenance {
+	p := &obs.Provenance{Kind: v.Kind.String()}
+	mf, per := v.MissingFlush, v.Persisted
+
+	if mf != nil {
+		note := "the racing store: nothing guaranteed it persisted before the crash"
+		if mf.Initial {
+			note = "the initial (never-written) contents survived in its place"
+		}
+		p.Events = append(p.Events, provStoreEvent("racing-store", mf, note))
+		if !mf.Initial {
+			c.appendFlushContext(p, mf)
+		}
+	}
+
+	crashSub := v.SubExec
+	if mf != nil {
+		crashSub = mf.SubExec
+	}
+	if crashSub < c.tr.NumCrashes() {
+		p.Events = append(p.Events, obs.ProvEvent{
+			Role: "crash", Op: "crash", Thread: int(v.Thread), SubExec: crashSub,
+			Note: fmt.Sprintf("power failure ends sub-execution %d; thread %d's potential-crash interval becomes empty", crashSub, int(v.Thread)),
+		})
+	}
+
+	if per != nil {
+		p.Events = append(p.Events, provStoreEvent("persisted-store", per,
+			"made persistent and observed after the crash, pinning the crash point after it"))
+	}
+
+	read := obs.ProvEvent{
+		Role: "post-crash-read", Op: "load",
+		Loc:     v.LoadLoc,
+		Thread:  int(v.LoadThread),
+		SubExec: c.tr.Current().Index,
+		Note:    "this read is inconsistent with every strictly-persistent execution",
+	}
+	if v.ReadFrom != nil {
+		read.Addr = v.ReadFrom.Addr.String()
+		read.Value = uint64(v.ReadFrom.Value)
+		if v.Kind == ReadTooOld {
+			read.Note = fmt.Sprintf("read the stale value %d: inconsistent with every strictly-persistent execution", uint64(v.ReadFrom.Value))
+		} else {
+			read.Note = fmt.Sprintf("read the too-new value %d: inconsistent with every strictly-persistent execution", uint64(v.ReadFrom.Value))
+		}
+	}
+	p.Events = append(p.Events, read)
+	return p
+}
+
+// provStoreEvent freezes a StoreRef into a provenance step.
+func provStoreEvent(role string, s *StoreRef, note string) obs.ProvEvent {
+	ev := obs.ProvEvent{
+		Role:    role,
+		Op:      s.Kind.String(),
+		Loc:     s.Loc,
+		Thread:  int(s.Thread),
+		SubExec: s.SubExec,
+		Addr:    s.Addr.String(),
+		Value:   uint64(s.Value),
+		Note:    note,
+	}
+	if s.Initial {
+		ev.Op = "init"
+		ev.Loc = ""
+	}
+	return ev
+}
+
+// appendFlushContext walks the crashed sub-execution's events after the
+// racing store, reporting the first flush of its cache line (if any) and
+// the first drain by its thread — the context that shows why the store's
+// persistence was not guaranteed.
+func (c *Checker) appendFlushContext(p *obs.Provenance, mf *StoreRef) {
+	evs := c.tr.SubEvents(mf.SubExec)
+	start := 0
+	for i, ev := range evs {
+		if ev.Store != nil && ev.Store.ID == mf.ID {
+			start = i + 1
+			break
+		}
+	}
+	line := mf.Addr.Line()
+	var flushEv, fenceEv *trace.Event
+	for _, ev := range evs[start:] {
+		switch ev.Kind {
+		case memmodel.OpFlush, memmodel.OpFlushOpt:
+			if ev.Addr == line && flushEv == nil {
+				flushEv = ev
+			}
+		case memmodel.OpSFence, memmodel.OpMFence:
+			if ev.Thread == mf.Thread && fenceEv == nil {
+				fenceEv = ev
+			}
+		}
+	}
+	if flushEv != nil {
+		p.Events = append(p.Events, obs.ProvEvent{
+			Role: "flush-context", Op: flushEv.Kind.String(),
+			Loc:     c.tr.LocString(flushEv.Loc),
+			Thread:  int(flushEv.Thread),
+			SubExec: mf.SubExec,
+			Addr:    flushEv.Addr.String(),
+			Note:    "flushes the store's cache line, but its completion was not guaranteed before the crash",
+		})
+	} else {
+		p.Events = append(p.Events, obs.ProvEvent{
+			Role:    "flush-context",
+			Thread:  int(mf.Thread),
+			SubExec: mf.SubExec,
+			Addr:    line.String(),
+			Note:    "no later flush of this cache line appears in the crashed sub-execution",
+		})
+	}
+	if fenceEv != nil {
+		p.Events = append(p.Events, obs.ProvEvent{
+			Role: "fence-context", Op: fenceEv.Kind.String(),
+			Loc:     c.tr.LocString(fenceEv.Loc),
+			Thread:  int(fenceEv.Thread),
+			SubExec: mf.SubExec,
+			Note:    "the storing thread's first drain after the store — too late or draining the wrong flush",
+		})
+	}
+}

@@ -22,10 +22,12 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/pmem"
 	"repro/internal/trace"
@@ -186,6 +188,27 @@ type Options struct {
 	// execution ordinal in ModelCheck mode — so injection is independent
 	// of worker count. Production runs leave it nil.
 	InjectFault func(ordinal int) Fault
+	// --- observability ---
+
+	// Obs carries the campaign's observability sinks (metrics registry
+	// and span tracer, internal/obs). nil — or an Observer whose sinks
+	// are nil — disables all instrumentation: every instrument resolves
+	// to a nil-receiver no-op and the hot path is allocation-identical
+	// to a run without observability. Run propagates the observer to the
+	// persistency backend via Model.Obs unless the caller set one.
+	Obs *obs.Observer
+	// Provenance makes the checker capture a structured obs.Provenance
+	// sub-trace for every distinct violation (the racing store, its
+	// flush/fence context, the crash point, the post-crash read). It
+	// costs a few allocations per distinct violation and nothing on the
+	// per-operation path; leave it off for benchmarks.
+	Provenance bool
+
+	// em and tr are the instrument bundle and tracer resolved once in
+	// Run from Obs; all-nil (no-op) when observability is off.
+	em obs.ExploreMetrics
+	tr *obs.Tracer
+
 	// Resume continues a previously checkpointed partial run: the
 	// engines skip (without re-executing) everything the checkpoint
 	// already collected and continue the canonical stream from the cut.
@@ -243,8 +266,11 @@ type Result struct {
 	// partial result is still sound — every reported violation is real —
 	// it just proves nothing about the unexplored remainder.
 	Partial bool
-	// StopReason says why a partial run stopped: "deadline", "canceled",
-	// or "exec-budget".
+	// StopReason says why a stop tripped: "deadline", "canceled", or
+	// "exec-budget". It is recorded first-writer-wins (noteStop) and can
+	// be set on a *complete* run too: when a cancellation lands in the
+	// same tick the frontier drains, Partial stays false but the reason
+	// is still reported, so a SIGINT is never silently swallowed.
 	StopReason string
 	// FrontierRemaining counts known-unexplored work at the stop:
 	// executions not run in Random mode, spawned-but-unfinished DFS
@@ -297,13 +323,29 @@ func (r *Result) String() string {
 // goroutines: stopped() consults the context and the deadline directly,
 // so a stop is observed deterministically at every check site (workers
 // check between executions, sub-DFS loops between iterations).
+//
+// The first observed cause is latched (atomically — workers race to
+// observe it), so why() reports the reason that actually stopped the
+// run even if a second cause arrives later: a campaign whose wall-clock
+// deadline trips and is then SIGINT-ed while draining reports
+// "deadline", not "canceled", and vice versa.
 type stopper struct {
 	ctx      context.Context
 	deadline time.Time // zero: none
+	// reason is the latched stop cause: stopNone until the first
+	// stopped() call that observes one.
+	reason atomic.Int32
+	em     obs.ExploreMetrics
 }
 
+const (
+	stopNone int32 = iota
+	stopDeadline
+	stopCanceled
+)
+
 func newStopper(opt *Options) *stopper {
-	s := &stopper{ctx: opt.Context}
+	s := &stopper{ctx: opt.Context, em: opt.em}
 	if s.ctx == nil {
 		s.ctx = context.Background()
 	}
@@ -313,20 +355,48 @@ func newStopper(opt *Options) *stopper {
 	return s
 }
 
-// stopped reports whether the run should stop claiming new work.
+// stopped reports whether the run should stop claiming new work,
+// latching the cause on the first trip.
 func (s *stopper) stopped() bool {
-	if s.ctx.Err() != nil {
+	if s.reason.Load() != stopNone {
 		return true
 	}
-	return !s.deadline.IsZero() && !time.Now().Before(s.deadline)
-}
-
-// why names the stop reason for Result.StopReason.
-func (s *stopper) why() string {
 	if err := s.ctx.Err(); err != nil {
 		if err == context.DeadlineExceeded {
-			return "deadline"
+			s.latch(stopDeadline)
+		} else {
+			s.latch(stopCanceled)
 		}
+		return true
+	}
+	if !s.deadline.IsZero() && !time.Now().Before(s.deadline) {
+		s.latch(stopDeadline)
+		return true
+	}
+	return false
+}
+
+// latch records the first observed stop cause; losers of the CAS keep
+// the winner's reason. The stop counter increments exactly once.
+func (s *stopper) latch(code int32) {
+	if s.reason.CompareAndSwap(stopNone, code) {
+		switch code {
+		case stopDeadline:
+			s.em.StopDeadline.Inc()
+		case stopCanceled:
+			s.em.StopCanceled.Inc()
+		}
+	}
+}
+
+// why names the latched stop reason for Result.StopReason. A stop can
+// be observed without a stopped() call — workers select on done() and
+// bail — so an unlatched reason is resolved from the live sources here.
+func (s *stopper) why() string {
+	if s.reason.Load() == stopNone {
+		s.stopped()
+	}
+	if s.reason.Load() == stopCanceled {
 		return "canceled"
 	}
 	return "deadline"
@@ -345,6 +415,14 @@ func Run(p Program, opt Options) *Result {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.NumCPU()
 	}
+	// Resolve the instrument bundle and tracer once; with observability
+	// off both are no-op zeros. The observer rides into the backend via
+	// the model config so persist counters share the campaign registry.
+	opt.em = obs.ExploreInstruments(opt.Obs.Reg())
+	opt.tr = opt.Obs.Trace()
+	if opt.Model.Obs == nil {
+		opt.Model.Obs = opt.Obs
+	}
 	st := newStopper(&opt)
 	switch opt.Mode {
 	case ModelCheck:
@@ -362,6 +440,16 @@ func primeFromCheckpoint(res *Result, seen map[string]bool, ck *Checkpoint) {
 	res.Quarantined = ck.Quarantined
 	for _, k := range ck.ViolationKeys {
 		seen[k] = true
+	}
+}
+
+// noteStop records a stop reason first-writer-wins: the cause that
+// actually stopped the run is never overwritten by a later, different
+// one, and a reason observed at the moment the frontier drained is kept
+// even though the run counts as complete.
+func (r *Result) noteStop(reason string) {
+	if r.StopReason == "" {
+		r.StopReason = reason
 	}
 }
 
@@ -393,7 +481,11 @@ func (r *Result) mergeViolations(seen map[string]bool, vs []*core.Violation, exe
 // it as a structured execErr instead of unwinding the worker, leaving w
 // in an undefined state — the caller must discard the world and
 // quarantine the schedule (see execerror.go).
-func runPhases(p Program, w *pmem.World, crashTargets []int, onCrash func(phase int, fired bool) bool) (aborted bool, injected []bool, pruned bool, execErr *ExecError) {
+//
+// tr/tid attach a crash-resolution span per injected crash to the
+// worker's trace timeline; a nil tracer costs two nil checks and reads
+// no clock.
+func runPhases(p Program, w *pmem.World, crashTargets []int, onCrash func(phase int, fired bool) bool, tr *obs.Tracer, tid int) (aborted bool, injected []bool, pruned bool, execErr *ExecError) {
 	injected = make([]bool, len(crashTargets))
 	defer func() {
 		if r := recover(); r != nil {
@@ -415,7 +507,9 @@ func runPhases(p Program, w *pmem.World, crashTargets []int, onCrash func(phase 
 		crashed := w.RunPhase(phase)
 		if !last {
 			injected[i] = crashed
+			cs := tr.Now()
 			w.Crash()
+			tr.CompleteSince(tid, "explore", "crash-resolution", cs, -1)
 			if onCrash != nil && !onCrash(i, crashed) {
 				return false, injected, true, nil
 			}
@@ -468,9 +562,34 @@ type execOutcome struct {
 	execErr *ExecError
 }
 
+// count classifies the outcome into exactly one of the completion
+// counters (quarantined > aborted > completed) and observes the
+// execution-duration histogram. It runs at the execution site — every
+// execution that ran is counted, even one the ModelCheck assembly later
+// truncates at the budget — keeping the invariant
+// started == completed + aborted + quarantined (+ pruned, mc mode).
+func (o *execOutcome) count(em *obs.ExploreMetrics) {
+	switch {
+	case o.execErr != nil:
+		em.Quarantined.Inc()
+	case o.aborted:
+		em.Aborted.Inc()
+	default:
+		em.Completed.Inc()
+	}
+	em.ExecNanos.Observe(int64(o.elapsed))
+}
+
 // collect folds one execution's outcome into the result. Callers must
 // invoke it in strictly increasing index order (the collector contract
 // behind Progress and AfterExecution).
+//
+// Metric counters (started/completed/aborted/quarantined) are emitted
+// at the execution sites, not here: the ModelCheck engine collects at
+// assembly time, possibly truncating at the budget, and the counters
+// must cover every execution that actually ran. Only the random-mode
+// frontier gauge lives here, because "remaining executions" is a
+// collector-order notion.
 func (r *Result) collect(o execOutcome, seen map[string]bool, opt *Options) {
 	if o.aborted {
 		r.Aborted++
@@ -484,6 +603,9 @@ func (r *Result) collect(o execOutcome, seen map[string]bool, opt *Options) {
 	r.mergeViolations(seen, o.violations, o.index+1)
 	r.Executions++
 	r.WorkerTime += o.elapsed
+	if opt.Mode == Random {
+		opt.em.FrontierDepth.Set(int64(opt.Executions - r.Executions))
+	}
 	if opt.AfterExecution != nil && o.world != nil {
 		opt.AfterExecution(o.world)
 	}
@@ -536,11 +658,15 @@ func planRandom(p Program, opt *Options) *randomPlan {
 }
 
 // workerState is one worker's reusable per-execution scratch: the world
-// (machine, trace, checker, heap, RNG — reset between executions) and
-// the crash-target buffer.
+// (machine, trace, checker, heap, RNG — reset between executions), the
+// crash-target buffer, and the worker's observability identity (trace
+// timeline tid and per-worker instrument bundle; zero when off).
 type workerState struct {
 	w       *pmem.World
 	targets []int
+	tid     int // 1-based trace timeline id
+	tr      *obs.Tracer
+	wm      obs.WorkerMetrics
 }
 
 func (ws *workerState) targetBuf(n int) []int {
@@ -555,6 +681,7 @@ func (ws *workerState) targetBuf(n int) []int {
 // of which worker runs it and of every other execution.
 func randomExecution(p Program, opt *Options, plan *randomPlan, ws *workerState, exec int) execOutcome {
 	start := time.Now()
+	opt.em.Started.Inc()
 	seed := opt.Seed + int64(exec)*2654435761
 	w := ws.w
 	if w != nil && !plan.fresh {
@@ -566,6 +693,7 @@ func randomExecution(p Program, opt *Options, plan *randomPlan, ws *workerState,
 			OpLimit:            opt.OpLimit,
 			Chooser:            plan.chooser,
 			RandomDrainPercent: plan.drainPct,
+			Provenance:         opt.Provenance,
 		})
 	}
 	if opt.DisableChecker {
@@ -578,13 +706,15 @@ func randomExecution(p Program, opt *Options, plan *randomPlan, ws *workerState,
 		// past the end (crash after the last operation).
 		targets[i] = w.Rand().Intn(plan.pilotCounts[i] + 1)
 	}
-	aborted, _, _, execErr := runPhases(p, w, targets, nil)
+	aborted, _, _, execErr := runPhases(p, w, targets, nil, ws.tr, ws.tid)
 	o := execOutcome{
 		index:   exec,
 		aborted: aborted,
 		elapsed: time.Since(start),
 		execErr: execErr,
 	}
+	o.count(&opt.em)
+	ws.tr.Complete(ws.tid, "explore", "execution", start, o.elapsed, int64(exec))
 	if execErr != nil {
 		// The panic left the world in an undefined state: discard it
 		// (never reuse, never expose) and drop its violations.
@@ -633,15 +763,19 @@ func runRandom(p Program, opt Options, st *stopper) *Result {
 	if opt.Workers > 1 {
 		cursor = runRandomParallel(p, &opt, plan, res, seen, st, startExec)
 	} else {
-		ws := &workerState{}
+		ws := &workerState{tid: 1, tr: opt.tr, wm: obs.WorkerInstruments(opt.Obs.Reg(), 1)}
+		ws.tr.NameThread(ws.tid, "worker-1")
 		for cursor < opt.Executions && !st.stopped() {
-			res.collect(randomExecution(p, &opt, plan, ws, cursor), seen, &opt)
+			o := randomExecution(p, &opt, plan, ws, cursor)
+			ws.wm.BusyNanos.Add(int64(o.elapsed))
+			ws.wm.Dispatches.Inc()
+			res.collect(o, seen, &opt)
 			cursor++
 		}
 	}
 	if cursor < opt.Executions {
 		res.Partial = true
-		res.StopReason = st.why()
+		res.noteStop(st.why())
 		res.FrontierRemaining = opt.Executions - cursor
 		res.Checkpoint = &Checkpoint{
 			Version:       checkpointVersion,
@@ -654,6 +788,11 @@ func runRandom(p Program, opt Options, st *stopper) *Result {
 			Quarantined:   res.Quarantined,
 			ViolationKeys: keysOf(seen),
 		}
+	} else if st.stopped() {
+		// The stop landed in the same tick the frontier drained (a SIGINT
+		// racing the last execution): the run is complete, but the reason
+		// is still recorded so the report never swallows it.
+		res.noteStop(st.why())
 	}
 	res.Elapsed = time.Since(start)
 	return res
@@ -736,9 +875,10 @@ func (c *controller) backtrack() bool {
 // and extend the controller's decision trail.
 func mcWorld(opt *Options, ctl *controller) *pmem.World {
 	w := pmem.NewWorld(pmem.Config{
-		Model:   opt.Model,
-		Seed:    0,
-		OpLimit: opt.OpLimit,
+		Model:      opt.Model,
+		Seed:       0,
+		OpLimit:    opt.OpLimit,
+		Provenance: opt.Provenance,
 		Chooser: func(_ *pmem.World, _ memmodel.ThreadID, _ memmodel.Addr, cands []persist.Candidate, _ trace.LocID) persist.Candidate {
 			return cands[ctl.next(len(cands))]
 		},
@@ -786,11 +926,12 @@ func runModelCheckSerial(p Program, opt Options, st *stopper) *Result {
 	for {
 		if st.stopped() {
 			res.Partial = true
-			res.StopReason = st.why()
+			res.noteStop(st.why())
 			break
 		}
 		ctl.pos = 0
 		execStart := time.Now()
+		opt.em.Started.Inc()
 		w := mcWorld(&opt, ctl)
 		installProbe(w, &opt, res.Executions)
 		// Crash-target decisions come first in the trail, one per
@@ -801,7 +942,7 @@ func runModelCheckSerial(p Program, opt Options, st *stopper) *Result {
 			decIdx[i] = ctl.pos
 			targets[i] = ctl.next(-1)
 		}
-		aborted, injected, _, execErr := runPhases(p, w, targets, nil)
+		aborted, injected, _, execErr := runPhases(p, w, targets, nil, opt.tr, 0)
 		// Close any crash-target decision whose injection did not fire:
 		// the phase ran to completion, so larger targets are equivalent
 		// to this one ("crash after the last operation", §6.1). On a
@@ -819,6 +960,8 @@ func runModelCheckSerial(p Program, opt Options, st *stopper) *Result {
 			elapsed: time.Since(execStart),
 			execErr: execErr,
 		}
+		o.count(&opt.em)
+		opt.tr.Complete(0, "explore", "execution", execStart, o.elapsed, int64(res.Executions))
 		if execErr != nil {
 			execErr.Exec = res.Executions
 			execErr.Program = res.Program
@@ -830,11 +973,14 @@ func runModelCheckSerial(p Program, opt Options, st *stopper) *Result {
 		}
 		res.collect(o, seen, &opt)
 		if !ctl.backtrack() {
+			if st.stopped() {
+				res.noteStop(st.why())
+			}
 			break
 		}
 		if res.Executions >= opt.Executions {
 			res.Partial = true
-			res.StopReason = "exec-budget"
+			res.noteStop("exec-budget")
 			break
 		}
 	}

@@ -21,11 +21,13 @@
 package explore
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 )
 
@@ -49,14 +51,25 @@ func runRandomParallel(p Program, opt *Options, plan *randomPlan, res *Result, s
 	var wg sync.WaitGroup
 	for i := 0; i < opt.Workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
-			ws := &workerState{} // worker-lifetime reusable world + scratch
+			// worker-lifetime reusable world + scratch; tid id+1 is the
+			// worker's trace timeline (tid 0 is the campaign thread).
+			ws := &workerState{tid: id + 1, tr: opt.tr, wm: obs.WorkerInstruments(opt.Obs.Reg(), id+1)}
+			ws.tr.NameThread(ws.tid, "worker-"+strconv.Itoa(ws.tid))
+			metered := ws.wm.IdleNanos != nil
 			for {
+				var idleStart time.Time
+				if metered {
+					idleStart = time.Now()
+				}
 				select {
 				case tokens <- struct{}{}: // wait for the collector to keep up
 				case <-st.done():
 					return
+				}
+				if metered {
+					ws.wm.IdleNanos.Add(int64(time.Since(idleStart)))
 				}
 				if st.stopped() {
 					<-tokens
@@ -67,9 +80,12 @@ func runRandomParallel(p Program, opt *Options, plan *randomPlan, res *Result, s
 					<-tokens
 					return
 				}
-				outc <- randomExecution(p, opt, plan, ws, exec)
+				ws.wm.Dispatches.Inc()
+				o := randomExecution(p, opt, plan, ws, exec)
+				ws.wm.BusyNanos.Add(int64(o.elapsed))
+				outc <- o
 			}
-		}()
+		}(i)
 	}
 	go func() {
 		wg.Wait()
@@ -148,10 +164,16 @@ type mcEngine struct {
 	st     *stopper
 	numPre int
 
-	// sem bounds worker concurrency; each subtree goroutine holds one
-	// slot for its whole sub-DFS.
-	sem chan struct{}
-	wg  sync.WaitGroup
+	// slots bounds worker concurrency; each subtree goroutine holds one
+	// slot for its whole sub-DFS. Slots carry stable worker ids (0-based)
+	// so a subtree's spans land on the timeline of the worker that
+	// actually ran it and per-worker busy/idle counters attribute time to
+	// real workers, not to subtrees.
+	slots chan int
+	wg    sync.WaitGroup
+	// reg is the campaign metrics registry (nil when observability is
+	// off); it gates the engine's optional timestamps.
+	reg *obs.Registry
 
 	mu    sync.Mutex
 	subs  []*mcSubtree // indexed by subtree ordinal (= phase-0 target)
@@ -176,10 +198,14 @@ func newMCEngine(p Program, opt *Options, st *stopper) *mcEngine {
 		opt:    opt,
 		st:     st,
 		numPre: len(p.Phases()) - 1,
-		sem:    make(chan struct{}, opt.Workers),
+		slots:  make(chan int, opt.Workers),
+		reg:    opt.Obs.Reg(),
+	}
+	for i := 0; i < opt.Workers; i++ {
+		e.slots <- i
 	}
 	if !opt.NoStateCache && e.numPre > 0 {
-		e.cache = newStateCache()
+		e.cache = newStateCache(obs.CacheInstruments(e.reg))
 	}
 	if ck := opt.Resume; ck != nil && ck.MC != nil {
 		e.haveResume = true
@@ -234,6 +260,7 @@ func (e *mcEngine) allowance(v, mine int) bool {
 // deterministic.
 func (e *mcEngine) spawn(v int) {
 	e.subtree(v) // allocate the record before the goroutine races to it
+	e.opt.em.FrontierDepth.Add(1)
 	e.wg.Add(1)
 	go e.runSubtree(v)
 }
@@ -244,14 +271,28 @@ func (e *mcEngine) spawn(v int) {
 // {val: v, domain: v+1}, so backtracking exhausts the subtree and stops.
 func (e *mcEngine) runSubtree(v int) {
 	defer e.wg.Done()
-	e.sem <- struct{}{}
-	defer func() { <-e.sem }()
+	defer e.opt.em.FrontierDepth.Add(-1)
+	var idleStart time.Time
+	if e.reg != nil {
+		idleStart = time.Now()
+	}
+	slot := <-e.slots
+	defer func() { e.slots <- slot }()
+	tid := slot + 1 // 1-based worker timeline, matching random mode
+	wm := obs.WorkerInstruments(e.reg, tid)
+	if e.reg != nil {
+		wm.IdleNanos.Add(int64(time.Since(idleStart)))
+	}
+	wm.Dispatches.Inc()
+	e.opt.tr.NameThread(tid, "worker-"+strconv.Itoa(tid))
 
 	sub := e.subtree(v)
 	start := time.Now()
 	defer func() {
+		d := time.Since(start)
+		wm.BusyNanos.Add(int64(d))
 		e.mu.Lock()
-		sub.work += time.Since(start)
+		sub.work += d
 		e.mu.Unlock()
 	}()
 
@@ -294,6 +335,11 @@ func (e *mcEngine) runSubtree(v int) {
 			return
 		}
 		ctl.pos = 0
+		e.opt.em.Started.Inc()
+		var execStart time.Time
+		if e.reg != nil || e.opt.tr != nil {
+			execStart = time.Now()
+		}
 		if w == nil || e.opt.FreshWorlds {
 			w = mcWorld(e.opt, ctl)
 		} else {
@@ -320,8 +366,11 @@ func (e *mcEngine) runSubtree(v int) {
 				}
 				keep := true
 				if e.cache != nil {
+					ps := e.opt.tr.Now()
 					k := stateKey(w)
-					if hit := e.cache.lookupOrRegister(k); hit {
+					hit := e.cache.lookupOrRegister(k)
+					e.opt.tr.CompleteSince(tid, "statecache", "cache-probe", ps, -1)
+					if hit {
 						sub.pruned = true
 						keep = false
 					} else {
@@ -336,7 +385,22 @@ func (e *mcEngine) runSubtree(v int) {
 				return keep
 			}
 		}
-		aborted, injected, pruned, execErr := runPhases(e.p, w, targets, onCrash)
+		aborted, injected, pruned, execErr := runPhases(e.p, w, targets, onCrash, e.opt.tr, tid)
+		switch {
+		case pruned:
+			e.opt.em.Pruned.Inc()
+		case execErr != nil:
+			e.opt.em.Quarantined.Inc()
+		case aborted:
+			e.opt.em.Aborted.Inc()
+		default:
+			e.opt.em.Completed.Inc()
+		}
+		if !execStart.IsZero() {
+			d := time.Since(execStart)
+			e.opt.em.ExecNanos.Observe(int64(d))
+			e.opt.tr.Complete(tid, "explore", "execution", execStart, d, -1)
+		}
 		if first {
 			sub.started = true
 		}
@@ -446,9 +510,9 @@ func (e *mcEngine) run() *Result {
 	if cut >= 0 {
 		res.Partial = true
 		if e.st.stopped() {
-			res.StopReason = e.st.why()
+			res.noteStop(e.st.why())
 		} else {
-			res.StopReason = "exec-budget"
+			res.noteStop("exec-budget")
 		}
 		res.FrontierRemaining = frontier
 		// A checkpoint needs the cut subtree's collected executions to
@@ -459,6 +523,10 @@ func (e *mcEngine) run() *Result {
 		if e.st.stopped() && !truncated && (cutSub.stoppedAt || !cutSub.started) {
 			res.Checkpoint = e.checkpoint(res, seen, cut, cutSub, idx)
 		}
+	} else if e.st.stopped() {
+		// Stop observed in the same tick the last subtree finished: the
+		// run is complete but the reason is still reported (noteStop).
+		res.noteStop(e.st.why())
 	}
 	res.Elapsed = time.Since(start)
 	return res

@@ -47,6 +47,7 @@ package explore
 import (
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/pmem"
 )
 
@@ -68,10 +69,20 @@ type stateCache struct {
 	mu           sync.Mutex
 	seen         map[cacheKey]struct{}
 	hits, misses int
+	met          obs.CacheMetrics
+	// images tracks distinct persistence fingerprints to split misses by
+	// class (new image vs. seen image with a new heap mark). It is only
+	// allocated when metrics are live, so the disabled path stays
+	// byte-identical to a build without observability.
+	images map[uint64]struct{}
 }
 
-func newStateCache() *stateCache {
-	return &stateCache{seen: make(map[cacheKey]struct{})}
+func newStateCache(met obs.CacheMetrics) *stateCache {
+	c := &stateCache{seen: make(map[cacheKey]struct{}), met: met}
+	if met.Probes != nil {
+		c.images = make(map[uint64]struct{})
+	}
+	return c
 }
 
 // lookupOrRegister reports whether the key was already explored,
@@ -79,12 +90,24 @@ func newStateCache() *stateCache {
 func (c *stateCache) lookupOrRegister(k cacheKey) (hit bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.met.Probes.Inc()
 	if _, ok := c.seen[k]; ok {
 		c.hits++
+		c.met.Hits.Inc()
 		return true
 	}
 	c.seen[k] = struct{}{}
 	c.misses++
+	c.met.Misses.Inc()
+	if c.images != nil {
+		if _, ok := c.images[k.image]; ok {
+			c.met.MissNewHeap.Inc()
+		} else {
+			c.images[k.image] = struct{}{}
+			c.met.MissNewImage.Inc()
+		}
+	}
+	c.met.Entries.Set(int64(len(c.seen)))
 	return false
 }
 
@@ -101,6 +124,12 @@ func (c *stateCache) stats() (hits, misses int) {
 func (c *stateCache) prime(k cacheKey) {
 	c.mu.Lock()
 	c.seen[k] = struct{}{}
+	if c.images != nil {
+		// Replay the fingerprint too, so post-resume misses classify
+		// against the same image set an uninterrupted run would have.
+		c.images[k.image] = struct{}{}
+	}
+	c.met.Entries.Set(int64(len(c.seen)))
 	c.mu.Unlock()
 }
 

@@ -194,6 +194,7 @@ func (ex *threadExec) stmts(ss []lang.Stmt) {
 }
 
 func (ex *threadExec) stmt(s lang.Stmt) {
+	ex.th.World().CountInterpStep()
 	switch x := s.(type) {
 	case *lang.LetStmt:
 		ex.regs[x.Reg] = ex.eval(x.Expr)

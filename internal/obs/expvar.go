@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// expvar publication: the "psan" var reads whichever registry was published
+// most recently. Publish panics on duplicate names, so registration happens
+// once per process and the registry pointer is swapped atomically.
+var (
+	publishOnce sync.Once
+	published   atomic.Pointer[Registry]
+)
+
+// PublishExpvar exposes r's snapshot as the expvar variable "psan"
+// (visible at /debug/vars on any expvar-serving mux). Subsequent calls
+// replace the registry being read. No-op for a nil registry.
+func PublishExpvar(r *Registry) {
+	if r == nil {
+		return
+	}
+	published.Store(r)
+	publishOnce.Do(func() {
+		expvar.Publish("psan", expvar.Func(func() any {
+			return published.Load().Snapshot()
+		}))
+	})
+}
+
+// MetricsServer is a minimal HTTP server exposing metric snapshots.
+type MetricsServer struct {
+	// Addr is the bound address (useful with ":0" listeners).
+	Addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// ServeMetrics publishes r via expvar and serves it over HTTP at addr:
+//
+//	/debug/vars  — the standard expvar page (includes the "psan" var)
+//	/metrics     — an indented JSON snapshot of r alone
+//
+// A dedicated mux keeps this off http.DefaultServeMux. The server runs until
+// Close. Returns an error if the listener cannot bind.
+func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
+	PublishExpvar(r)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ms := &MetricsServer{Addr: ln.Addr().String(), ln: ln, srv: srv}
+	go srv.Serve(ln)
+	return ms, nil
+}
+
+// Close shuts the server down.
+func (m *MetricsServer) Close() error {
+	if m == nil {
+		return nil
+	}
+	return m.srv.Close()
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProgressConfig configures the live progress ticker.
+type ProgressConfig struct {
+	Out      io.Writer     // destination (typically stderr)
+	Registry *Registry     // snapshot source
+	Interval time.Duration // tick period; <= 0 defaults to 2s
+	Total    int64         // execution budget for ETA; 0 = unknown (mc mode)
+}
+
+// StartProgress launches a goroutine that prints a progress line every
+// Interval built from registry snapshots: execution rate, ETA (from the
+// remaining budget, falling back to the frontier-depth gauge), cache hit
+// ratio, and per-model persist counters. The returned stop function halts the
+// ticker, prints one final line, and waits for the goroutine to exit; it is
+// idempotent. Returns a no-op stop when Out or Registry is nil.
+func StartProgress(cfg ProgressConfig) (stop func()) {
+	if cfg.Out == nil || cfg.Registry == nil {
+		return func() {}
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(cfg.Interval)
+		defer tick.Stop()
+		var lastDone int64
+		lastAt := start
+		for {
+			select {
+			case <-quit:
+				printProgress(cfg, start, &lastDone, &lastAt, true)
+				return
+			case <-tick.C:
+				printProgress(cfg, start, &lastDone, &lastAt, false)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(quit)
+			<-done
+		})
+	}
+}
+
+func printProgress(cfg ProgressConfig, start time.Time, lastDone *int64, lastAt *time.Time, final bool) {
+	snap := cfg.Registry.Snapshot()
+	now := time.Now()
+	done := snap.Counters["explore.executions_completed"] +
+		snap.Counters["explore.executions_aborted"] +
+		snap.Counters["explore.executions_quarantined"] +
+		snap.Counters["explore.executions_pruned"]
+
+	// Instantaneous rate over the last tick, falling back to the campaign
+	// average on the first line.
+	interval := now.Sub(*lastAt).Seconds()
+	rate := 0.0
+	if interval > 0 {
+		rate = float64(done-*lastDone) / interval
+	}
+	if *lastDone == 0 && done > 0 {
+		if el := now.Sub(start).Seconds(); el > 0 {
+			rate = float64(done) / el
+		}
+	}
+	*lastDone, *lastAt = done, now
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "progress: %d execs", done)
+	if rate > 0 {
+		fmt.Fprintf(&b, " (%.0f/s)", rate)
+	}
+	remaining := int64(-1)
+	if cfg.Total > 0 {
+		remaining = cfg.Total - done
+	} else if fd, ok := snap.Gauges["explore.frontier_depth"]; ok {
+		remaining = fd
+	}
+	if remaining >= 0 && !final {
+		if rate > 0 {
+			eta := time.Duration(float64(remaining)/rate*float64(time.Second)).Round(time.Second)
+			fmt.Fprintf(&b, ", frontier %d, eta %s", remaining, eta)
+		} else {
+			fmt.Fprintf(&b, ", frontier %d", remaining)
+		}
+	}
+	if probes := snap.Counters["statecache.probes"]; probes > 0 {
+		fmt.Fprintf(&b, ", cache %.0f%%", 100*float64(snap.Counters["statecache.hits"])/float64(probes))
+	}
+	for _, m := range persistModels(snap) {
+		fmt.Fprintf(&b, ", %s[st=%d fl=%d fe=%d]",
+			m,
+			snap.Counters["persist."+m+".stores"],
+			snap.Counters["persist."+m+".flushes"],
+			snap.Counters["persist."+m+".fences"])
+	}
+	if final {
+		fmt.Fprintf(&b, " — done in %s", now.Sub(start).Round(time.Millisecond))
+	}
+	fmt.Fprintln(cfg.Out, b.String())
+}
+
+// persistModels extracts the sorted model names present in a snapshot's
+// persist.* counters.
+func persistModels(s Snapshot) []string {
+	set := map[string]bool{}
+	for name := range s.Counters {
+		rest, ok := strings.CutPrefix(name, "persist.")
+		if !ok {
+			continue
+		}
+		if model, _, ok := strings.Cut(rest, "."); ok {
+			set[model] = true
+		}
+	}
+	models := make([]string, 0, len(set))
+	for m := range set {
+		models = append(models, m)
+	}
+	sort.Strings(models)
+	return models
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Provenance is the minimal event sub-trace explaining one robustness
+// violation: the racing store, its flush/fence context, the crash point, and
+// the post-crash read that observed the inconsistency. It is captured by the
+// checker at flag time (the trace is recycled afterwards, so every field is a
+// frozen copy) and rendered by report as an annotated narrative.
+type Provenance struct {
+	Kind   string      `json:"kind"`
+	Events []ProvEvent `json:"events"`
+}
+
+// ProvEvent is one step of the violation's story.
+type ProvEvent struct {
+	// Role classifies the step: racing-store, flush-context, fence-context,
+	// persisted-store, crash, post-crash-read.
+	Role string `json:"role"`
+	// Op is the instruction kind (store, clflush, clflushopt, sfence, ...).
+	Op string `json:"op,omitempty"`
+	// Loc is the source location ("file:line" or statement text).
+	Loc string `json:"loc,omitempty"`
+	// Thread and SubExec place the step on the execution timeline.
+	Thread  int `json:"thread"`
+	SubExec int `json:"sub_exec"`
+	// Addr/Value identify the cell involved, when meaningful.
+	Addr  string `json:"addr,omitempty"`
+	Value uint64 `json:"value,omitempty"`
+	// Note is the human-readable annotation for the narrative.
+	Note string `json:"note"`
+}
+
+// Empty reports whether the record carries no events.
+func (p *Provenance) Empty() bool {
+	return p == nil || len(p.Events) == 0
+}
+
+// Narrative renders the record as an indented, numbered story suitable for
+// appending under a violation report line.
+func (p *Provenance) Narrative() string {
+	if p.Empty() {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "    provenance (%s):\n", p.Kind)
+	for i, ev := range p.Events {
+		fmt.Fprintf(&b, "      %d. [sub-exec %d, thread %d]", i+1, ev.SubExec, ev.Thread)
+		if ev.Op != "" {
+			fmt.Fprintf(&b, " %s", ev.Op)
+		}
+		if ev.Addr != "" {
+			fmt.Fprintf(&b, " %s", ev.Addr)
+		}
+		if ev.Loc != "" {
+			fmt.Fprintf(&b, " at %q", ev.Loc)
+		}
+		if ev.Note != "" {
+			fmt.Fprintf(&b, " — %s", ev.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records campaign spans and renders them as JSONL (one event per
+// line) or Chrome trace_event JSON loadable in chrome://tracing / Perfetto.
+//
+// Timelines are keyed by tid: tid 0 is the campaign/collector thread, worker
+// tids are 1-based. Timestamps are microseconds since the tracer was created,
+// as the trace_event format expects. A nil *Tracer is a no-op; recording
+// takes one mutex acquisition and one slice append per span, which is
+// acceptable because tracing is opt-in (-trace-out).
+type Tracer struct {
+	start time.Time
+
+	mu     sync.Mutex
+	events []SpanEvent
+	names  map[int]string // tid -> timeline name
+}
+
+// SpanEvent is one Chrome trace_event record. Ph "X" is a complete span with
+// a duration; "i" is an instant; "M" is metadata (thread names).
+type SpanEvent struct {
+	Name string    `json:"name"`
+	Cat  string    `json:"cat,omitempty"`
+	Ph   string    `json:"ph"`
+	Pid  int       `json:"pid"`
+	Tid  int       `json:"tid"`
+	Ts   int64     `json:"ts"`            // µs since tracer start
+	Dur  int64     `json:"dur,omitempty"` // µs, "X" events only
+	Args *SpanArgs `json:"args,omitempty"`
+}
+
+// SpanArgs carries the span's structured payload.
+type SpanArgs struct {
+	Exec int64  `json:"exec,omitempty"`
+	Name string `json:"name,omitempty"`
+	Note string `json:"note,omitempty"`
+}
+
+// NewTracer returns a tracer whose clock starts now.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now(), names: make(map[int]string)}
+}
+
+// Now returns the tracer's current timestamp origin for starting a span.
+// Returns the zero time on a nil tracer so disabled spans cost a nil check.
+func (t *Tracer) Now() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (t *Tracer) ts(at time.Time) int64 {
+	d := at.Sub(t.start)
+	if d < 0 {
+		d = 0
+	}
+	return d.Microseconds()
+}
+
+// Complete records a finished span on timeline tid. exec < 0 omits the exec
+// arg. No-op on a nil tracer.
+func (t *Tracer) Complete(tid int, cat, name string, start time.Time, dur time.Duration, exec int64) {
+	if t == nil {
+		return
+	}
+	ev := SpanEvent{
+		Name: name, Cat: cat, Ph: "X",
+		Tid: tid, Ts: t.ts(start), Dur: dur.Microseconds(),
+	}
+	if exec >= 0 {
+		ev.Args = &SpanArgs{Exec: exec}
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// CompleteSince records a finished span whose start came from Now(),
+// measuring the duration itself. On a nil tracer it is a no-op, and the
+// paired Now() returned the zero time — the disabled path reads no clock.
+func (t *Tracer) CompleteSince(tid int, cat, name string, start time.Time, exec int64) {
+	if t == nil {
+		return
+	}
+	t.Complete(tid, cat, name, start, time.Since(start), exec)
+}
+
+// Instant records a point event on timeline tid. No-op on a nil tracer.
+func (t *Tracer) Instant(tid int, cat, name, note string) {
+	if t == nil {
+		return
+	}
+	ev := SpanEvent{Name: name, Cat: cat, Ph: "i", Tid: tid, Ts: t.ts(time.Now())}
+	if note != "" {
+		ev.Args = &SpanArgs{Note: note}
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// NameThread labels timeline tid (e.g. "worker-3", "campaign"). No-op on a
+// nil tracer.
+func (t *Tracer) NameThread(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.names[tid] = name
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded spans in recording order.
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// all returns spans plus synthesized thread_name metadata events.
+func (t *Tracer) all() []SpanEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanEvent, 0, len(t.events)+len(t.names))
+	tids := make([]int, 0, len(t.names))
+	for tid := range t.names {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		out = append(out, SpanEvent{
+			Name: "thread_name", Ph: "M", Tid: tid,
+			Args: &SpanArgs{Name: t.names[tid]},
+		})
+	}
+	out = append(out, t.events...)
+	return out
+}
+
+// WriteJSONL writes one JSON event per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.all() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteChrome writes the Chrome trace_event envelope:
+// {"traceEvents":[...], "displayTimeUnit":"ms"}.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	env := struct {
+		TraceEvents     []SpanEvent `json:"traceEvents"`
+		DisplayTimeUnit string      `json:"displayTimeUnit"`
+	}{t.all(), "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(env)
+}
+
+// WriteFiles writes the Chrome trace to path and the JSONL form to
+// path+".jsonl".
+func (t *Tracer) WriteFiles(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write chrome trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	jf, err := os.Create(path + ".jsonl")
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSONL(jf); err != nil {
+		jf.Close()
+		return fmt.Errorf("write jsonl trace: %w", err)
+	}
+	return jf.Close()
+}

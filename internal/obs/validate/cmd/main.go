@@ -1,0 +1,50 @@
+// Command validate-trace checks traces written by -trace-out: the Chrome
+// trace_event JSON and (optionally) the JSONL span log.
+//
+//	go run ./internal/obs/validate/cmd trace.json [trace.json.jsonl]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs/validate"
+)
+
+func main() {
+	if len(os.Args) < 2 || len(os.Args) > 3 {
+		fmt.Fprintln(os.Stderr, "usage: validate-trace <chrome-trace.json> [spans.jsonl]")
+		os.Exit(2)
+	}
+	fail := func(what string, err error) {
+		fmt.Fprintf(os.Stderr, "validate-trace: %s: %v\n", what, err)
+		os.Exit(1)
+	}
+
+	cf, err := os.Open(os.Args[1])
+	if err != nil {
+		fail("open", err)
+	}
+	cs, err := validate.Chrome(cf)
+	cf.Close()
+	if err != nil {
+		fail(os.Args[1], err)
+	}
+	fmt.Printf("chrome trace ok: %d events, %d spans, %d timelines\n", cs.Events, cs.Spans, cs.Timeline)
+
+	if len(os.Args) == 3 {
+		jf, err := os.Open(os.Args[2])
+		if err != nil {
+			fail("open", err)
+		}
+		js, err := validate.JSONL(jf)
+		jf.Close()
+		if err != nil {
+			fail(os.Args[2], err)
+		}
+		if js.Spans != cs.Spans {
+			fail(os.Args[2], fmt.Errorf("span count %d does not match chrome trace %d", js.Spans, cs.Spans))
+		}
+		fmt.Printf("jsonl trace ok: %d events, %d spans, %d timelines\n", js.Events, js.Spans, js.Timeline)
+	}
+}

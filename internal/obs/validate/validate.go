@@ -1,0 +1,117 @@
+// Package validate checks traces emitted by internal/obs: the Chrome
+// trace_event JSON written for chrome://tracing and the JSONL span log. It is
+// used by the obs-smoke CI job and by tests to catch malformed output before
+// a human ever loads it in a trace viewer.
+package validate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// event mirrors the subset of trace_event fields we validate.
+type event struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Pid  *int            `json:"pid"`
+	Tid  *int            `json:"tid"`
+	Ts   *int64          `json:"ts"`
+	Dur  int64           `json:"dur"`
+	Args json.RawMessage `json:"args"`
+}
+
+// Stats summarizes a validated trace.
+type Stats struct {
+	Events   int // total events, metadata included
+	Spans    int // ph "X" complete spans
+	Timeline int // distinct tids carrying spans
+}
+
+func checkEvent(i int, ev event) error {
+	if ev.Name == "" {
+		return fmt.Errorf("event %d: missing name", i)
+	}
+	switch ev.Ph {
+	case "X", "i", "I", "M", "B", "E":
+	default:
+		return fmt.Errorf("event %d (%s): unsupported ph %q", i, ev.Name, ev.Ph)
+	}
+	if ev.Ph == "M" {
+		return nil // metadata events carry no timestamp requirements
+	}
+	if ev.Pid == nil || ev.Tid == nil || ev.Ts == nil {
+		return fmt.Errorf("event %d (%s): missing pid/tid/ts", i, ev.Name)
+	}
+	if *ev.Ts < 0 {
+		return fmt.Errorf("event %d (%s): negative ts %d", i, ev.Name, *ev.Ts)
+	}
+	if *ev.Tid < 0 {
+		return fmt.Errorf("event %d (%s): negative tid %d", i, ev.Name, *ev.Tid)
+	}
+	if ev.Ph == "X" && ev.Dur < 0 {
+		return fmt.Errorf("event %d (%s): negative dur %d", i, ev.Name, ev.Dur)
+	}
+	return nil
+}
+
+func tally(events []event) (Stats, error) {
+	s := Stats{Events: len(events)}
+	tids := map[int]bool{}
+	for i, ev := range events {
+		if err := checkEvent(i, ev); err != nil {
+			return s, err
+		}
+		if ev.Ph == "X" {
+			s.Spans++
+			tids[*ev.Tid] = true
+		}
+	}
+	s.Timeline = len(tids)
+	if s.Spans == 0 {
+		return s, fmt.Errorf("trace has no complete (ph=X) spans")
+	}
+	return s, nil
+}
+
+// Chrome validates a Chrome trace_event JSON document: a top-level object
+// with a traceEvents array, every event well-formed, and at least one
+// complete span.
+func Chrome(r io.Reader) (Stats, error) {
+	var env struct {
+		TraceEvents *[]event `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&env); err != nil {
+		return Stats{}, fmt.Errorf("parse chrome trace: %w", err)
+	}
+	if env.TraceEvents == nil {
+		return Stats{}, fmt.Errorf("chrome trace: missing traceEvents array")
+	}
+	return tally(*env.TraceEvents)
+}
+
+// JSONL validates a JSONL span log: every line a well-formed event, at least
+// one complete span.
+func JSONL(r io.Reader) (Stats, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var events []event
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return Stats{}, fmt.Errorf("jsonl line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return Stats{}, err
+	}
+	return tally(events)
+}

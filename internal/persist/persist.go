@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -142,6 +143,14 @@ type Config struct {
 	// issue, which is a legal TSO behavior and keeps model checking
 	// tractable. Bufferless models (strict) ignore it.
 	DelayedCommit bool
+	// Obs, when it carries a metrics registry, makes backends built from
+	// this config emit per-model instruction counters
+	// (persist.<model>.stores, .flushes, .fences, ...). Nil disables
+	// instrumentation; every counter call is then a nil-check no-op, so
+	// the hot path is unchanged. Obs is campaign-scoped plumbing, not
+	// model semantics: it never affects execution and is ignored by
+	// checkpoint validation.
+	Obs *obs.Observer
 }
 
 // InvariantError is the panic value raised when a model detects an

@@ -27,6 +27,7 @@ package ptsosyn
 
 import (
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/trace"
 )
@@ -37,13 +38,19 @@ func init() {
 		Description: "PTSOsyn (Khyzha-Lahav): per-line persistence buffers with flush markers; equivalent to px86",
 		Weak:        true,
 	}, func(cfg persist.Config) persist.Model {
-		return New(Config{DelayedCommit: cfg.DelayedCommit})
+		return New(Config{
+			DelayedCommit: cfg.DelayedCommit,
+			Metrics:       obs.PersistInstruments(cfg.Obs.Reg(), "ptsosyn"),
+		})
 	})
 }
 
 // Config controls simulation behavior; DelayedCommit is as in px86.
 type Config struct {
 	DelayedCommit bool
+	// Metrics receives per-instruction counters; the zero value disables
+	// counting.
+	Metrics obs.PersistMetrics
 }
 
 // bufEntry is one TSO store-buffer slot: a pending store or a pending
@@ -156,6 +163,7 @@ func (m *Machine) DrainOne(t memmodel.ThreadID) bool {
 	if len(buf) == 0 {
 		return false
 	}
+	m.cfg.Metrics.Drains.Inc()
 	m.exitEntry(t, buf[0])
 	m.buffers[t] = buf[1:]
 	return true
@@ -185,6 +193,7 @@ func (m *Machine) drainCompletes(t memmodel.ThreadID) {
 // Store issues a store of v to word a by thread t; in delayed-commit
 // mode it waits in t's TSO buffer.
 func (m *Machine) Store(t memmodel.ThreadID, a memmodel.Addr, v memmodel.Value, loc trace.LocID) *trace.Store {
+	m.cfg.Metrics.Stores.Inc()
 	st := m.tr.StoreIssue(t, a, v, memmodel.OpStore, loc)
 	if m.cfg.DelayedCommit {
 		m.buffers[t] = append(m.buffers[t], bufEntry{kind: memmodel.OpStore, store: st, loc: loc})
@@ -197,6 +206,7 @@ func (m *Machine) Store(t memmodel.ThreadID, a memmodel.Addr, v memmodel.Value, 
 // Flush issues a clflush of the line containing a; it is ordered
 // through the store buffer like a store.
 func (m *Machine) Flush(t memmodel.ThreadID, a memmodel.Addr, loc trace.LocID) {
+	m.cfg.Metrics.Flushes.Inc()
 	m.tr.Fence(t, memmodel.OpFlush, a.Line(), loc)
 	e := bufEntry{kind: memmodel.OpFlush, line: a.Line(), loc: loc}
 	if m.cfg.DelayedCommit {
@@ -208,6 +218,7 @@ func (m *Machine) Flush(t memmodel.ThreadID, a memmodel.Addr, loc trace.LocID) {
 
 // FlushOpt issues a clflushopt/clwb of the line containing a.
 func (m *Machine) FlushOpt(t memmodel.ThreadID, a memmodel.Addr, loc trace.LocID) {
+	m.cfg.Metrics.FlushOpts.Inc()
 	m.tr.Fence(t, memmodel.OpFlushOpt, a.Line(), loc)
 	e := bufEntry{kind: memmodel.OpFlushOpt, line: a.Line(), loc: loc}
 	if m.cfg.DelayedCommit {
@@ -219,6 +230,7 @@ func (m *Machine) FlushOpt(t memmodel.ThreadID, a memmodel.Addr, loc trace.LocID
 
 // SFence drains t's store buffer and fulfils t's flush markers.
 func (m *Machine) SFence(t memmodel.ThreadID, loc trace.LocID) {
+	m.cfg.Metrics.Fences.Inc()
 	m.tr.Fence(t, memmodel.OpSFence, 0, loc)
 	m.DrainAll(t)
 	m.drainCompletes(t)
@@ -226,6 +238,7 @@ func (m *Machine) SFence(t memmodel.ThreadID, loc trace.LocID) {
 
 // MFence behaves like SFence for persistency purposes.
 func (m *Machine) MFence(t memmodel.ThreadID, loc trace.LocID) {
+	m.cfg.Metrics.Fences.Inc()
 	m.tr.Fence(t, memmodel.OpMFence, 0, loc)
 	m.DrainAll(t)
 	m.drainCompletes(t)
@@ -260,10 +273,19 @@ func (m *Machine) LoadCandidates(t memmodel.ThreadID, a memmodel.Addr) []persist
 	return cands
 }
 
+// resolve narrows the crash image to the chosen candidate, counting
+// resolutions that actually consumed nondeterminism.
+func (m *Machine) resolve(a memmodel.Addr, c persist.Candidate, loc trace.LocID) {
+	if c.Resolve {
+		m.cfg.Metrics.Resolved.Inc()
+	}
+	m.img.Resolve(a, c, m.tr, loc)
+}
+
 // Load performs a load of word a reading from the chosen candidate.
 func (m *Machine) Load(t memmodel.ThreadID, a memmodel.Addr, c persist.Candidate, loc trace.LocID) memmodel.Value {
 	a = a.Word()
-	m.img.Resolve(a, c, m.tr, loc)
+	m.resolve(a, c, loc)
 	m.tr.Load(t, a, c.Store, memmodel.OpLoad, loc)
 	return c.Store.Value
 }
@@ -285,7 +307,7 @@ func (m *Machine) rmwBegin(t memmodel.ThreadID) {
 func (m *Machine) CAS(t memmodel.ThreadID, a memmodel.Addr, c persist.Candidate, expected, newV memmodel.Value, loc trace.LocID) (memmodel.Value, bool) {
 	a = a.Word()
 	m.rmwBegin(t)
-	m.img.Resolve(a, c, m.tr, loc)
+	m.resolve(a, c, loc)
 	m.tr.Load(t, a, c.Store, memmodel.OpCAS, loc)
 	old := c.Store.Value
 	if old != expected {
@@ -300,7 +322,7 @@ func (m *Machine) CAS(t memmodel.ThreadID, a memmodel.Addr, c persist.Candidate,
 func (m *Machine) FAA(t memmodel.ThreadID, a memmodel.Addr, c persist.Candidate, delta memmodel.Value, loc trace.LocID) memmodel.Value {
 	a = a.Word()
 	m.rmwBegin(t)
-	m.img.Resolve(a, c, m.tr, loc)
+	m.resolve(a, c, loc)
 	m.tr.Load(t, a, c.Store, memmodel.OpFAA, loc)
 	old := c.Store.Value
 	st := m.tr.StoreIssue(t, a, old+delta, memmodel.OpFAA, loc)
@@ -312,6 +334,7 @@ func (m *Machine) FAA(t memmodel.ThreadID, a memmodel.Addr, c persist.Candidate,
 // markers are lost, the volatile cache vanishes, and each line's
 // history is sealed with its persisted-prefix range.
 func (m *Machine) Crash() {
+	m.cfg.Metrics.Crashes.Inc()
 	clear(m.buffers)
 	clear(m.markers)
 	clear(m.mem)

@@ -17,6 +17,7 @@ package strict
 
 import (
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/trace"
 )
@@ -26,7 +27,11 @@ func init() {
 		Name:        "strict",
 		Description: "strict persistency: stores persist immediately, in order (differential oracle)",
 		Weak:        false,
-	}, func(cfg persist.Config) persist.Model { return New() })
+	}, func(cfg persist.Config) persist.Model {
+		m := New()
+		m.met = obs.PersistInstruments(cfg.Obs.Reg(), "strict")
+		return m
+	})
 }
 
 // Machine simulates a machine with strict persistency. Like the other
@@ -36,6 +41,7 @@ type Machine struct {
 	tr  *trace.Trace
 	mem map[memmodel.Addr]*trace.Store // last committed store per word, this sub-execution
 	img persist.Image
+	met obs.PersistMetrics // zero value (all nil) = counting disabled
 
 	cands []persist.Candidate // LoadCandidates scratch
 }
@@ -79,6 +85,7 @@ func (m *Machine) commit(st *trace.Store) {
 
 // Store issues and immediately commits a store of v to word a.
 func (m *Machine) Store(t memmodel.ThreadID, a memmodel.Addr, v memmodel.Value, loc trace.LocID) *trace.Store {
+	m.met.Stores.Inc()
 	st := m.tr.StoreIssue(t, a, v, memmodel.OpStore, loc)
 	m.commit(st)
 	return st
@@ -86,21 +93,25 @@ func (m *Machine) Store(t memmodel.ThreadID, a memmodel.Addr, v memmodel.Value, 
 
 // Flush records a clflush in the trace; persistence-wise a no-op.
 func (m *Machine) Flush(t memmodel.ThreadID, a memmodel.Addr, loc trace.LocID) {
+	m.met.Flushes.Inc()
 	m.tr.Fence(t, memmodel.OpFlush, a.Line(), loc)
 }
 
 // FlushOpt records a clflushopt in the trace; persistence-wise a no-op.
 func (m *Machine) FlushOpt(t memmodel.ThreadID, a memmodel.Addr, loc trace.LocID) {
+	m.met.FlushOpts.Inc()
 	m.tr.Fence(t, memmodel.OpFlushOpt, a.Line(), loc)
 }
 
 // SFence records a store fence; nothing is buffered, so nothing drains.
 func (m *Machine) SFence(t memmodel.ThreadID, loc trace.LocID) {
+	m.met.Fences.Inc()
 	m.tr.Fence(t, memmodel.OpSFence, 0, loc)
 }
 
 // MFence records a full fence; nothing is buffered, so nothing drains.
 func (m *Machine) MFence(t memmodel.ThreadID, loc trace.LocID) {
+	m.met.Fences.Inc()
 	m.tr.Fence(t, memmodel.OpMFence, 0, loc)
 }
 
@@ -139,7 +150,7 @@ func (m *Machine) LoadCandidates(t memmodel.ThreadID, a memmodel.Addr) []persist
 // Load performs a load of word a reading from the chosen candidate.
 func (m *Machine) Load(t memmodel.ThreadID, a memmodel.Addr, c persist.Candidate, loc trace.LocID) memmodel.Value {
 	a = a.Word()
-	m.img.Resolve(a, c, m.tr, loc)
+	m.resolve(a, c, loc)
 	m.tr.Load(t, a, c.Store, memmodel.OpLoad, loc)
 	return c.Store.Value
 }
@@ -153,7 +164,7 @@ func (m *Machine) LoadDefault(t memmodel.ThreadID, a memmodel.Addr, loc trace.Lo
 // CAS performs an atomic compare-and-swap on word a.
 func (m *Machine) CAS(t memmodel.ThreadID, a memmodel.Addr, c persist.Candidate, expected, newV memmodel.Value, loc trace.LocID) (memmodel.Value, bool) {
 	a = a.Word()
-	m.img.Resolve(a, c, m.tr, loc)
+	m.resolve(a, c, loc)
 	m.tr.Load(t, a, c.Store, memmodel.OpCAS, loc)
 	old := c.Store.Value
 	if old != expected {
@@ -167,7 +178,7 @@ func (m *Machine) CAS(t memmodel.ThreadID, a memmodel.Addr, c persist.Candidate,
 // FAA performs an atomic fetch-and-add on word a.
 func (m *Machine) FAA(t memmodel.ThreadID, a memmodel.Addr, c persist.Candidate, delta memmodel.Value, loc trace.LocID) memmodel.Value {
 	a = a.Word()
-	m.img.Resolve(a, c, m.tr, loc)
+	m.resolve(a, c, loc)
 	m.tr.Load(t, a, c.Store, memmodel.OpFAA, loc)
 	old := c.Store.Value
 	st := m.tr.StoreIssue(t, a, old+delta, memmodel.OpFAA, loc)
@@ -175,10 +186,20 @@ func (m *Machine) FAA(t memmodel.ThreadID, a memmodel.Addr, c persist.Candidate,
 	return old
 }
 
+// resolve narrows the crash image to the chosen candidate, counting
+// resolutions that actually consumed nondeterminism.
+func (m *Machine) resolve(a memmodel.Addr, c persist.Candidate, loc trace.LocID) {
+	if c.Resolve {
+		m.met.Resolved.Inc()
+	}
+	m.img.Resolve(a, c, m.tr, loc)
+}
+
 // Crash simulates a power failure. Under strict persistency nothing is
 // lost: every line's full history is sealed with lo = hi = len, so the
 // post-crash state is uniquely the newest committed values.
 func (m *Machine) Crash() {
+	m.met.Crashes.Inc()
 	clear(m.mem)
 	m.img.Seal()
 	m.tr.Crash()

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	_ "repro/internal/persist/backends" // link all built-in models
 	"repro/internal/trace"
@@ -108,6 +109,11 @@ type Config struct {
 	// given percent probability (0–100), exposing TSO store-buffer
 	// interleavings to exploration.
 	RandomDrainPercent int
+	// Provenance makes the checker capture a structured obs.Provenance
+	// record (the racing store, its flush/fence context, the crash, the
+	// post-crash read) for every violation it flags. Costs a few
+	// allocations per distinct violation; leave off for benchmarks.
+	Provenance bool
 }
 
 // World is one simulated persistent-memory system under test. A World
@@ -146,6 +152,12 @@ type World struct {
 	// the Figure 9 language, or Assert calls from benchmark ports). The
 	// Jaaru-style baseline detects bugs only through these.
 	assertFailures []string
+
+	// wobs holds the world-level observability counters (schedule steps,
+	// interpreter steps). The zero value (all-nil instruments) makes every
+	// increment a nil-check no-op; it survives Reset like the rest of the
+	// configuration.
+	wobs obs.WorldMetrics
 }
 
 // RecordAssertFailure notes a failed program assertion.
@@ -168,7 +180,7 @@ func NewWorld(cfg Config) *World {
 	if limit == 0 {
 		limit = 1 << 20
 	}
-	return &World{
+	w := &World{
 		M:           m,
 		Checker:     core.New(m.Trace()),
 		Heap:        NewHeap(),
@@ -177,7 +189,10 @@ func NewWorld(cfg Config) *World {
 		crashTarget: cfg.CrashTarget,
 		opLimit:     limit,
 		drainPct:    cfg.RandomDrainPercent,
+		wobs:        obs.WorldInstruments(cfg.Model.Obs.Reg()),
 	}
+	w.Checker.SetProvenance(cfg.Provenance)
+	return w
 }
 
 // Reset returns the world to its initial state — zeroed memory, empty
@@ -266,6 +281,7 @@ func (w *World) step(kind memmodel.OpKind) {
 	if w.crashed {
 		panic(CrashSignal{})
 	}
+	w.wobs.ScheduleSteps.Inc()
 	w.ops++
 	if w.ops > w.opLimit {
 		panic(AbortSignal{Reason: fmt.Sprintf("operation budget %d exceeded", w.opLimit)})
@@ -284,6 +300,10 @@ func (w *World) step(kind memmodel.OpKind) {
 		w.fenceOps++
 	}
 }
+
+// CountInterpStep counts one interpreted statement toward the interp
+// instrument; the interpreter calls it once per statement executed.
+func (w *World) CountInterpStep() { w.wobs.InterpSteps.Inc() }
 
 // registerThread tracks thread IDs for the random drain scheduler.
 func (w *World) registerThread(id memmodel.ThreadID) {

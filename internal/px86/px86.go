@@ -23,6 +23,7 @@ package px86
 
 import (
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/trace"
 )
@@ -44,6 +45,10 @@ type Config struct {
 	// the cache immediately after issue, which is a legal TSO behavior
 	// and keeps model-checking tractable.
 	DelayedCommit bool
+	// Metrics receives per-instruction counters. The zero value (all-nil
+	// instruments) disables counting; every increment is then a nil-check
+	// no-op.
+	Metrics obs.PersistMetrics
 }
 
 func init() {
@@ -52,7 +57,10 @@ func init() {
 		Description: "Px86sim (Raad et al.): TSO buffers, async clflushopt completed by drains",
 		Weak:        true,
 	}, func(cfg persist.Config) persist.Model {
-		return New(Config{DelayedCommit: cfg.DelayedCommit})
+		return New(Config{
+			DelayedCommit: cfg.DelayedCommit,
+			Metrics:       obs.PersistInstruments(cfg.Obs.Reg(), "px86"),
+		})
 	})
 }
 
@@ -170,6 +178,7 @@ func (m *Machine) DrainOne(t memmodel.ThreadID) bool {
 	if len(buf) == 0 {
 		return false
 	}
+	m.cfg.Metrics.Drains.Inc()
 	m.exitEntry(t, buf[0])
 	m.buffers[t] = buf[1:]
 	return true
@@ -192,6 +201,7 @@ func (m *Machine) drainCompletes(t memmodel.ThreadID) {
 // Store issues a store of v to word a by thread t. In delayed-commit
 // mode the store waits in t's buffer; otherwise it commits immediately.
 func (m *Machine) Store(t memmodel.ThreadID, a memmodel.Addr, v memmodel.Value, loc trace.LocID) *trace.Store {
+	m.cfg.Metrics.Stores.Inc()
 	st := m.tr.StoreIssue(t, a, v, memmodel.OpStore, loc)
 	if m.cfg.DelayedCommit {
 		m.buffers[t] = append(m.buffers[t], bufEntry{kind: memmodel.OpStore, store: st, loc: loc})
@@ -204,6 +214,7 @@ func (m *Machine) Store(t memmodel.ThreadID, a memmodel.Addr, v memmodel.Value, 
 // Flush issues a clflush of the line containing a. It enters the store
 // buffer like a store (clflush is ordered like a store, §2).
 func (m *Machine) Flush(t memmodel.ThreadID, a memmodel.Addr, loc trace.LocID) {
+	m.cfg.Metrics.Flushes.Inc()
 	m.tr.Fence(t, memmodel.OpFlush, a.Line(), loc)
 	e := bufEntry{kind: memmodel.OpFlush, line: a.Line(), loc: loc}
 	if m.cfg.DelayedCommit {
@@ -216,6 +227,7 @@ func (m *Machine) Flush(t memmodel.ThreadID, a memmodel.Addr, loc trace.LocID) {
 // FlushOpt issues a clflushopt/clwb of the line containing a. Its
 // persistence is guaranteed only after a subsequent drain by t.
 func (m *Machine) FlushOpt(t memmodel.ThreadID, a memmodel.Addr, loc trace.LocID) {
+	m.cfg.Metrics.FlushOpts.Inc()
 	m.tr.Fence(t, memmodel.OpFlushOpt, a.Line(), loc)
 	e := bufEntry{kind: memmodel.OpFlushOpt, line: a.Line(), loc: loc}
 	if m.cfg.DelayedCommit {
@@ -228,6 +240,7 @@ func (m *Machine) FlushOpt(t memmodel.ThreadID, a memmodel.Addr, loc trace.LocID
 // SFence issues a store fence: it drains t's store buffer and completes
 // t's outstanding clflushopt operations.
 func (m *Machine) SFence(t memmodel.ThreadID, loc trace.LocID) {
+	m.cfg.Metrics.Fences.Inc()
 	m.tr.Fence(t, memmodel.OpSFence, 0, loc)
 	m.DrainAll(t)
 	m.drainCompletes(t)
@@ -236,6 +249,7 @@ func (m *Machine) SFence(t memmodel.ThreadID, loc trace.LocID) {
 // MFence issues a full fence; for persistency purposes it behaves like
 // SFence (both are drain operations).
 func (m *Machine) MFence(t memmodel.ThreadID, loc trace.LocID) {
+	m.cfg.Metrics.Fences.Inc()
 	m.tr.Fence(t, memmodel.OpMFence, 0, loc)
 	m.DrainAll(t)
 	m.drainCompletes(t)
@@ -282,6 +296,9 @@ func (m *Machine) LoadCandidates(t memmodel.ThreadID, a memmodel.Addr) []Candida
 // the InvariantError panic raised when narrowing exposes an internal
 // inconsistency.
 func (m *Machine) resolveChoice(a memmodel.Addr, c Candidate, loc trace.LocID) {
+	if c.Resolve {
+		m.cfg.Metrics.Resolved.Inc()
+	}
 	m.img.Resolve(a, c, m.tr, loc)
 }
 
@@ -349,6 +366,7 @@ func (m *Machine) FAA(t memmodel.ThreadID, a memmodel.Addr, c Candidate, delta m
 // prefix is any length from the flush-guaranteed lower bound up to the
 // full history. A new sub-execution begins.
 func (m *Machine) Crash() {
+	m.cfg.Metrics.Crashes.Inc()
 	clear(m.buffers)
 	clear(m.pending)
 	clear(m.mem)

@@ -51,6 +51,8 @@ func Comparison(opt Options) []ComparisonRow {
 			Seed:       opt.Seed + 1,
 			Workers:    opt.Workers,
 			Model:      opt.modelConfig(),
+			Obs:        opt.Obs,
+			Context:    opt.Context,
 			AfterExecution: func(w *pmem.World) {
 				for _, f := range baseline.Witcher(w.M.Trace()) {
 					witcherKeys[f.Key()] = true

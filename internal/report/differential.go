@@ -43,11 +43,13 @@ func Differential(opt Options) []DifferentialRow {
 		d := explore.DiffModels(b.Build(bench.Buggy), explore.Options{
 			Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1,
 			Workers: opt.Workers, Deadline: opt.Deadline,
+			Obs: opt.Obs, Context: opt.Context,
 		}, persist.Config{Name: "px86"}, persist.Config{Name: "ptsosyn"})
 		strictRes := explore.Run(b.Build(bench.Buggy), explore.Options{
 			Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1,
 			Workers: opt.Workers, Deadline: opt.Deadline,
 			Model: persist.Config{Name: "strict"},
+			Obs:   opt.Obs, Context: opt.Context,
 		})
 		heapDiffs := explore.DiffFinalHeaps(b.Build(bench.Fixed), opt.Seed+1,
 			persist.Config{Name: "strict"}, persist.Config{Name: "px86"})

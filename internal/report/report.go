@@ -6,6 +6,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/benchmarks/bench"
 	"repro/internal/explore"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/pmem"
 )
@@ -74,6 +76,13 @@ type Options struct {
 	// against ("" means the default, px86). Table 1's litmus demo always
 	// uses the paper's model.
 	Model string
+	// Obs carries the campaign's observability sinks (metrics registry
+	// and tracer) into every exploration the tables run; nil disables
+	// instrumentation.
+	Obs *obs.Observer
+	// Context cancels table builds early with partial coverage, same
+	// semantics as explore.Options.Context.
+	Context context.Context
 }
 
 // modelConfig is the explore/pmem model configuration the options select.
@@ -212,7 +221,7 @@ func Table2(opt Options) *Table2Result {
 		}
 		buggy := explore.Run(b.Build(bench.Buggy), explore.Options{
 			Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1, Workers: opt.Workers, Deadline: opt.Deadline,
-			Model: opt.modelConfig(),
+			Model: opt.modelConfig(), Obs: opt.Obs, Context: opt.Context,
 		})
 		covered, missed := bench.MatchExpected(b.Expected, buggy.Violations)
 		for _, c := range covered {
@@ -241,7 +250,7 @@ func Table2(opt Options) *Table2Result {
 		}
 		fixed := explore.Run(b.Build(bench.Fixed), explore.Options{
 			Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1, Workers: opt.Workers, Deadline: opt.Deadline,
-			Model: opt.modelConfig(),
+			Model: opt.modelConfig(), Obs: opt.Obs, Context: opt.Context,
 		})
 		res.FixedClean[b.Name] = len(fixed.Violations) == 0
 	}
@@ -316,12 +325,12 @@ func Table3(opt Options) []Table3Row {
 		jaaru := explore.Run(b.Build(bench.Buggy), explore.Options{
 			Mode: explore.Random, Executions: timingExecs, Seed: opt.Seed + 2,
 			Workers: opt.Workers, Deadline: opt.Deadline, DisableChecker: true, NoSteering: true,
-			Model: opt.modelConfig(),
+			Model: opt.modelConfig(), Obs: opt.Obs, Context: opt.Context,
 		})
 		psan := explore.Run(b.Build(bench.Buggy), explore.Options{
 			Mode: explore.Random, Executions: timingExecs, Seed: opt.Seed + 2,
 			Workers: opt.Workers, Deadline: opt.Deadline, NoSteering: true,
-			Model: opt.modelConfig(),
+			Model: opt.modelConfig(), Obs: opt.Obs, Context: opt.Context,
 		})
 		execs := b.Executions
 		if opt.Executions > 0 {
@@ -329,7 +338,7 @@ func Table3(opt Options) []Table3Row {
 		}
 		discovery := explore.Run(b.Build(bench.Buggy), explore.Options{
 			Mode: explore.Random, Executions: execs, Seed: opt.Seed + 2, Workers: opt.Workers, Deadline: opt.Deadline,
-			Model: opt.modelConfig(),
+			Model: opt.modelConfig(), Obs: opt.Obs, Context: opt.Context,
 		})
 		rows = append(rows, Table3Row{
 			Benchmark:  b.Name,
@@ -360,7 +369,9 @@ func RenderTable3(rows []Table3Row) string {
 }
 
 // Violations returns a rendered list of every distinct violation a
-// benchmark reports, with fixes — the detailed report behind Table 2.
+// benchmark reports, with fixes and the provenance narrative (the
+// minimal event sub-trace that explains each diagnosis) — the detailed
+// report behind Table 2.
 func Violations(name string, opt Options) (string, error) {
 	b := benchmarks.ByName(name)
 	if b == nil {
@@ -372,12 +383,16 @@ func Violations(name string, opt Options) (string, error) {
 	}
 	res := explore.Run(b.Build(bench.Buggy), explore.Options{
 		Mode: b.PreferredMode, Executions: execs, Seed: opt.Seed + 1, Workers: opt.Workers,
-		Model: opt.modelConfig(),
+		Model: opt.modelConfig(), Obs: opt.Obs, Context: opt.Context,
+		Provenance: true,
 	})
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s\n\n", res)
 	for i, v := range res.Violations {
 		fmt.Fprintf(&sb, "[%d] %s\n", i+1, v)
+		if v.Prov != nil && !v.Prov.Empty() {
+			sb.WriteString(v.Prov.Narrative())
+		}
 	}
 	return sb.String(), nil
 }

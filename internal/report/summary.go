@@ -10,6 +10,11 @@ import (
 // RunSummary renders one exploration result for the CLI: the one-line
 // outcome, coverage when the run degraded (partial stop or quarantined
 // schedules), and the contained-panic records a bug report needs.
+//
+// A stop reason is reported whenever one was recorded, not only on
+// partial runs: a SIGINT that lands in the same tick the frontier
+// drains leaves a complete result with a StopReason, and silently
+// dropping it would make the interrupt look ignored.
 func RunSummary(res *explore.Result) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, res)
@@ -22,6 +27,8 @@ func RunSummary(res *explore.Result) string {
 		if res.Checkpoint != nil {
 			fmt.Fprintln(&b, "resume state available (use -checkpoint to save it)")
 		}
+	} else if res.StopReason != "" {
+		fmt.Fprintf(&b, "stop (%s) observed as the frontier drained; coverage is complete\n", res.StopReason)
 	}
 	if res.Quarantined > 0 {
 		fmt.Fprintf(&b, "%d schedule(s) quarantined after contained panics:\n", res.Quarantined)

@@ -1,0 +1,56 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/explore"
+)
+
+// TestRunSummaryPartialStop pins the degraded-run rendering: the stop
+// reason, the coverage counts, and the resume hint.
+func TestRunSummaryPartialStop(t *testing.T) {
+	res := &explore.Result{
+		Program: "p", Mode: explore.ModelCheck, Executions: 7,
+		Partial: true, StopReason: "deadline", FrontierRemaining: 3,
+		Checkpoint: &explore.Checkpoint{},
+	}
+	out := RunSummary(res)
+	for _, want := range []string{
+		"partial coverage: stopped on deadline with 7 executions run",
+		"frontier of 3 remaining",
+		"resume state available",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunSummaryStopOnCompleteRun is the regression for the swallowed
+// SIGINT: a cancellation that lands in the same tick the frontier
+// drains leaves a complete result whose StopReason must still be
+// rendered — before the fix this summary said nothing about the stop.
+func TestRunSummaryStopOnCompleteRun(t *testing.T) {
+	res := &explore.Result{
+		Program: "p", Mode: explore.Random, Executions: 12,
+		Partial: false, StopReason: "canceled",
+	}
+	out := RunSummary(res)
+	if !strings.Contains(out, "stop (canceled) observed as the frontier drained; coverage is complete") {
+		t.Fatalf("complete-run stop reason swallowed:\n%s", out)
+	}
+	if strings.Contains(out, "partial coverage") {
+		t.Fatalf("complete run rendered as partial:\n%s", out)
+	}
+}
+
+// TestRunSummaryCleanRun asserts a plain complete run stays one line
+// plus the verdict — no stop chatter when nothing stopped.
+func TestRunSummaryCleanRun(t *testing.T) {
+	res := &explore.Result{Program: "p", Mode: explore.Random, Executions: 5}
+	out := RunSummary(res)
+	if strings.Contains(out, "stop") || strings.Contains(out, "partial") {
+		t.Fatalf("clean run mentions a stop:\n%s", out)
+	}
+}

@@ -1,0 +1,78 @@
+package repro
+
+// Regression tests for the observability subsystem's disabled-mode
+// contract (internal/obs): a campaign run without sinks — whether the
+// observer is nil or merely empty — must be allocation-identical to
+// one that predates the subsystem, so the PR 2 allocation-free hot
+// path cannot silently regress behind a nil check.
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/obs"
+)
+
+// TestObservabilityDisabledAllocIdentity measures allocs/op of the
+// same serial random campaign with Obs nil and with an empty Observer
+// (the shape the CLIs pass when no telemetry flag is set): the counts
+// must be byte-identical, proving every instrument resolved from the
+// empty observer is a true no-op on the hot path.
+func TestObservabilityDisabledAllocIdentity(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race instrumentation perturbs allocation counts; the identity is asserted in the uninstrumented tiers")
+	}
+	bm := benchmarks.ByName("CCEH")
+	if bm == nil {
+		t.Fatal("CCEH not registered")
+	}
+	empty := &obs.Observer{} // hoisted: the observer itself is campaign setup, not hot path
+	measure := func(o *obs.Observer) int64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := explore.Run(bm.Build(bench.Buggy), explore.Options{
+					Mode:       explore.Random,
+					Executions: 20,
+					Seed:       7,
+					Workers:    1,
+					Obs:        o,
+				})
+				if res.Executions != 20 {
+					b.Fatalf("ran %d executions, want 20", res.Executions)
+				}
+			}
+		})
+		return r.AllocsPerOp()
+	}
+	off := measure(nil)
+	disabled := measure(empty)
+	if off != disabled {
+		t.Fatalf("empty observer changes the hot path: %d allocs/op with Obs=nil, %d with empty observer",
+			off, disabled)
+	}
+}
+
+// TestObservabilityEnabledOutcomeIdentity asserts full instrumentation
+// (registry + tracer + provenance) changes no campaign outcome: same
+// executions, aborts, and violation keys as the uninstrumented run, in
+// both modes. Telemetry observes; it must never steer.
+func TestObservabilityEnabledOutcomeIdentity(t *testing.T) {
+	execs := scaled(100)
+	for _, mode := range []explore.Mode{explore.Random, explore.ModelCheck} {
+		mode := mode
+		for _, b := range benchmarks.All() {
+			b := b
+			t.Run(mode.String()+"/"+b.Name, func(t *testing.T) {
+				opt := explore.Options{Mode: mode, Executions: execs, Seed: 11, Workers: 4}
+				plain := explore.Run(b.Build(bench.Buggy), opt)
+				opt.Obs = &obs.Observer{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer()}
+				opt.Provenance = true
+				instr := explore.Run(b.Build(bench.Buggy), opt)
+				assertSameOutcome(t, b.Name, plain, instr)
+			})
+		}
+	}
+}

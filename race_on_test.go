@@ -1,0 +1,7 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether the race detector instruments this build;
+// exact-allocation assertions are skipped when it does.
+const raceEnabled = true
