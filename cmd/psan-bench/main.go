@@ -19,6 +19,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,7 +28,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"testing"
 
+	"repro/internal/benchmarks"
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
 	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/report"
@@ -110,7 +115,16 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit; flushed even when a deadline or ^C aborts the run")
 	metricsAddr := fs.String("metrics-addr", "", "serve campaign metrics over HTTP on this address (/debug/vars expvar, /metrics JSON snapshot)")
 	progress := fs.Duration("progress", 0, "print live campaign progress to stderr at this interval (0: off)")
+	reduction := fs.String("reduction", "all", "model-check reductions: all, snapshots, dpor, or none (A/B timing; tables are identical either way)")
+	jsonOut := fs.String("json", "", "run the serial model-check benchmark suite instead of tables and write min-of-N results to this file (BENCH_*.json format)")
+	benchCount := fs.Int("bench-count", 3, "repetitions per benchmark for -json; the minimum is reported")
+	benchDesc := fs.String("bench-desc", "", "description string embedded in the -json output")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	disableSnaps, disableDPOR, err := explore.ParseReduction(*reduction)
+	if err != nil {
+		fmt.Fprintf(stderr, "psan-bench: -reduction: %v\n", err)
 		return 2
 	}
 
@@ -144,9 +158,17 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		})
 		defer stopProgress()
 	}
+	if *jsonOut != "" {
+		if err := runBenchJSON(*jsonOut, *benchDesc, *reduction, *benchCount, disableSnaps, disableDPOR, stdout); err != nil {
+			fmt.Fprintf(stderr, "psan-bench: -json: %v\n", err)
+			return 2
+		}
+		return 0
+	}
 	opt := report.Options{
 		Executions: *execs, Seed: *seed, Workers: *workers, Deadline: *deadline, Model: *model,
 		Obs: observer, Context: ctx,
+		DisableSnapshots: disableSnaps, DisableDPOR: disableDPOR,
 	}
 	if *violations != "" {
 		out, err := report.Violations(*violations, opt)
@@ -185,4 +207,81 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 3
 	}
 	return 0
+}
+
+// benchRow is one entry of the emitted BENCH_*.json file.
+type benchRow struct {
+	Name     string `json:"name"`
+	NsOp     int64  `json:"ns_op"`
+	BOp      int64  `json:"B_op"`
+	AllocsOp int64  `json:"allocs_op"`
+}
+
+// benchFile matches the BENCH_pr*.json layout the repo tracks.
+type benchFile struct {
+	Description string     `json:"description"`
+	Benchmarks  []benchRow `json:"benchmarks"`
+}
+
+// runBenchJSON reruns the workload of BenchmarkExploreModelCheckSerial
+// (capped serial DFS on the CCEH and FAST_FAIR ports) count times per
+// benchmark through testing.Benchmark and writes the per-benchmark
+// minimum to path, so the tracked BENCH_*.json files are generated by
+// the harness instead of transcribed by hand. The -reduction flag
+// applies, giving a one-command snapshot/DPOR A/B.
+func runBenchJSON(path, desc, reduction string, count int, disableSnaps, disableDPOR bool, stdout io.Writer) error {
+	if count < 1 {
+		count = 1
+	}
+	out := benchFile{Description: desc}
+	if out.Description == "" {
+		out.Description = fmt.Sprintf(
+			"psan-bench -json: serial model-check exploration (Executions:200, Workers:1) on the CCEH and FAST_FAIR ports, reduction=%s, min of %d; generated on %s/%s",
+			reduction, count, runtime.GOOS, runtime.GOARCH)
+	}
+	for _, name := range []string{"CCEH", "FAST_FAIR"} {
+		bm := benchmarks.ByName(name)
+		if bm == nil {
+			return fmt.Errorf("benchmark %q not registered", name)
+		}
+		var best benchRow
+		for rep := 0; rep < count; rep++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := explore.Run(bm.Build(bench.Buggy), explore.Options{
+						Mode:             explore.ModelCheck,
+						Executions:       200,
+						Workers:          1,
+						DisableSnapshots: disableSnaps,
+						DisableDPOR:      disableDPOR,
+					})
+					if res.Executions == 0 {
+						b.Fatal("no executions ran")
+					}
+				}
+			})
+			row := benchRow{
+				Name:     "BenchmarkExploreModelCheckSerial/" + name,
+				NsOp:     r.NsPerOp(),
+				BOp:      r.AllocedBytesPerOp(),
+				AllocsOp: r.AllocsPerOp(),
+			}
+			if rep == 0 || row.NsOp < best.NsOp {
+				best = row
+			}
+			fmt.Fprintf(stdout, "%s rep %d/%d: %d ns/op  %d B/op  %d allocs/op\n",
+				row.Name, rep+1, count, row.NsOp, row.BOp, row.AllocsOp)
+		}
+		out.Benchmarks = append(out.Benchmarks, best)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return nil
 }

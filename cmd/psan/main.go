@@ -84,6 +84,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fix := fs.Bool("fix", false, "apply PSan's suggested fixes until the program is clean and print it")
 	dumpTrace := fs.Bool("trace", false, "dump one crash-free execution's event trace and exit")
 	model := fs.String("model", "", "persistency-model backend: "+strings.Join(persist.Names(), ", "))
+	reduction := fs.String("reduction", "all", "model-check reductions: all, snapshots, dpor, or none (A/B timing and debugging; results carry the same violations either way)")
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	metricsAddr := fs.String("metrics-addr", "", "serve campaign metrics over HTTP on this address (/debug/vars expvar, /metrics JSON snapshot)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event timeline to this file (plus <file>.jsonl) on exit")
@@ -159,16 +160,23 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		defer srv.Close()
 		fmt.Fprintf(stderr, "psan: metrics at http://%s/debug/vars and /metrics\n", srv.Addr)
 	}
+	disableSnaps, disableDPOR, err := explore.ParseReduction(*reduction)
+	if err != nil {
+		fmt.Fprintf(stderr, "psan: -reduction: %v\n", err)
+		return exitInternal
+	}
 	opts := explore.Options{
-		Executions:  execs,
-		Seed:        *seed,
-		Workers:     *workers,
-		Context:     ctx,
-		Deadline:    *deadline,
-		StepTimeout: *stepTimeout,
-		Model:       modelCfg,
-		Obs:         observer,
-		Provenance:  true,
+		Executions:       execs,
+		Seed:             *seed,
+		Workers:          *workers,
+		Context:          ctx,
+		Deadline:         *deadline,
+		StepTimeout:      *stepTimeout,
+		Model:            modelCfg,
+		Obs:              observer,
+		Provenance:       true,
+		DisableSnapshots: disableSnaps,
+		DisableDPOR:      disableDPOR,
 	}
 	switch *mode {
 	case "mc":

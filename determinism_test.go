@@ -67,22 +67,41 @@ func TestParallelDeterminismRandom(t *testing.T) {
 	}
 }
 
+// reductionVariants names the two reduction settings the model-check
+// determinism tests must hold under: the default (snapshots + DPOR on)
+// and the -reduction none escape hatch.
+var reductionVariants = []struct {
+	name    string
+	disable bool
+}{
+	{"reduced", false},
+	{"unreduced", true},
+}
+
 // TestParallelDeterminismModelCheck: the frontier-split DFS with 8
 // workers reproduces the serial sub-DFS exactly, including where the
-// Executions cap truncates the search.
+// Executions cap truncates the search — with the reductions on and off.
 func TestParallelDeterminismModelCheck(t *testing.T) {
 	execs := scaled(400)
-	for _, b := range benchmarks.All() {
-		b := b
-		t.Run(b.Name, func(t *testing.T) {
-			opt := explore.Options{Mode: explore.ModelCheck, Executions: execs}
-			opt.Workers = 1
-			serial := explore.Run(b.Build(bench.Buggy), opt)
-			opt.Workers = 8
-			parallel := explore.Run(b.Build(bench.Buggy), opt)
-			assertSameOutcome(t, b.Name, serial, parallel)
-			if serial.Executions == 0 {
-				t.Fatal("no executions ran")
+	for _, v := range reductionVariants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			for _, b := range benchmarks.All() {
+				b := b
+				t.Run(b.Name, func(t *testing.T) {
+					opt := explore.Options{
+						Mode: explore.ModelCheck, Executions: execs,
+						DisableSnapshots: v.disable, DisableDPOR: v.disable,
+					}
+					opt.Workers = 1
+					serial := explore.Run(b.Build(bench.Buggy), opt)
+					opt.Workers = 8
+					parallel := explore.Run(b.Build(bench.Buggy), opt)
+					assertSameOutcome(t, b.Name, serial, parallel)
+					if serial.Executions == 0 {
+						t.Fatal("no executions ran")
+					}
+				})
 			}
 		})
 	}
@@ -168,46 +187,54 @@ func TestCancelResumeDeterminismRandom(t *testing.T) {
 // TestCancelResumeDeterminismModelCheck: for every benchmark, interrupt
 // the frontier-split DFS under escalating deadlines and chain resumes
 // until the campaign ends; the merged outcome must match the
-// uninterrupted run. A leg that ends on the execution budget (no
-// checkpoint) is terminal by construction — the uninterrupted run ends
-// the same way at the same canonical prefix.
+// uninterrupted run — with the reductions on and off. A leg that ends
+// on the execution budget (no checkpoint) is terminal by construction —
+// the uninterrupted run ends the same way at the same canonical prefix.
 func TestCancelResumeDeterminismModelCheck(t *testing.T) {
 	execs := scaled(400)
-	for _, b := range benchmarks.All() {
-		b := b
-		t.Run(b.Name, func(t *testing.T) {
-			opt := explore.Options{Mode: explore.ModelCheck, Executions: execs, Workers: 4}
-			full := explore.Run(b.Build(bench.Buggy), opt)
+	for _, v := range reductionVariants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			for _, b := range benchmarks.All() {
+				b := b
+				t.Run(b.Name, func(t *testing.T) {
+					opt := explore.Options{
+						Mode: explore.ModelCheck, Executions: execs, Workers: 4,
+						DisableSnapshots: v.disable, DisableDPOR: v.disable,
+					}
+					full := explore.Run(b.Build(bench.Buggy), opt)
 
-			merged := make(map[string]bool)
-			copt := opt
-			copt.Deadline = 200 * time.Microsecond
-			legs := 0
-			var last *explore.Result
-			for leg := 0; ; leg++ {
-				if leg > 60 {
-					t.Fatal("resume chain did not converge in 60 legs")
-				}
-				legs = leg + 1
-				last = explore.Run(b.Build(bench.Buggy), copt)
-				mergeKeys(merged, last)
-				if !last.Partial || last.Checkpoint == nil {
-					break
-				}
-				if err := last.Checkpoint.Validate(full.Program, opt); err != nil {
-					t.Fatalf("leg %d checkpoint rejected: %v", leg, err)
-				}
-				copt.Resume = last.Checkpoint
-				copt.Deadline *= 2
+					merged := make(map[string]bool)
+					copt := opt
+					copt.Deadline = 200 * time.Microsecond
+					legs := 0
+					var last *explore.Result
+					for leg := 0; ; leg++ {
+						if leg > 60 {
+							t.Fatal("resume chain did not converge in 60 legs")
+						}
+						legs = leg + 1
+						last = explore.Run(b.Build(bench.Buggy), copt)
+						mergeKeys(merged, last)
+						if !last.Partial || last.Checkpoint == nil {
+							break
+						}
+						if err := last.Checkpoint.Validate(full.Program, opt); err != nil {
+							t.Fatalf("leg %d checkpoint rejected: %v", leg, err)
+						}
+						copt.Resume = last.Checkpoint
+						copt.Deadline *= 2
+					}
+					if last.Executions != full.Executions || last.Aborted != full.Aborted {
+						t.Fatalf("cumulative counts diverge: %s vs %s", last, full)
+					}
+					if !reflect.DeepEqual(sortedKeys(merged), full.ViolationKeys()) {
+						t.Fatalf("merged violations differ\n  merged: %v\n  full:   %v",
+							sortedKeys(merged), full.ViolationKeys())
+					}
+					t.Logf("%s: converged in %d leg(s)", b.Name, legs)
+				})
 			}
-			if last.Executions != full.Executions || last.Aborted != full.Aborted {
-				t.Fatalf("cumulative counts diverge: %s vs %s", last, full)
-			}
-			if !reflect.DeepEqual(sortedKeys(merged), full.ViolationKeys()) {
-				t.Fatalf("merged violations differ\n  merged: %v\n  full:   %v",
-					sortedKeys(merged), full.ViolationKeys())
-			}
-			t.Logf("%s: converged in %d leg(s)", b.Name, legs)
 		})
 	}
 }

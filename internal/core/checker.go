@@ -481,21 +481,31 @@ const (
 // empty an interval is reported but not recorded, so the checker can
 // keep scanning the rest of the execution for further independent bugs
 // (§5.2 Implementation).
+//
+// In modeObserve and modeFlag an emptying update whose violation
+// identity is already in the seen set is skipped before any report is
+// materialized: the diagnosis was recorded (with fixes) the first time,
+// and a re-run of diagnose would freeze three StoreRefs only for the
+// post-loop dedup to throw the copy away. Workloads that keep re-reading
+// a bugged location spend most of their checking time there. Callers
+// therefore see each distinct violation in a return value exactly once
+// per execution; the committed Violations() list is unchanged.
 func (c *Checker) applyUpdates(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.Store, loc trace.LocID, ups []update, mode applyMode) []*Violation {
+	if len(ups) == 0 {
+		// Same-sub-execution reads constrain nothing; skip the scratch
+		// clear — most loads in store-heavy phases take this path.
+		return nil
+	}
 	var found []*Violation
 	scratch := c.apply
 	clear(scratch)
-	get := func(k consKey) intervals.Interval {
-		if iv, ok := scratch[k]; ok {
-			return iv
-		}
-		if iv, ok := c.cons[k]; ok {
-			return iv
-		}
-		return intervals.New()
-	}
 	for _, u := range ups {
-		iv := get(u.key)
+		iv, ok := scratch[u.key]
+		if !ok {
+			if iv, ok = c.cons[u.key]; !ok {
+				iv = intervals.New()
+			}
+		}
 		var next intervals.Interval
 		if u.lo {
 			next, _ = iv.ConstrainLo(u.clock, u.store)
@@ -503,6 +513,9 @@ func (c *Checker) applyUpdates(t memmodel.ThreadID, addr memmodel.Addr, rf *trac
 			next, _ = iv.ConstrainHi(u.clock, u.store)
 		}
 		if next.Empty() {
+			if mode != modeCheck && c.seen[violationKeyFor(rf, u, iv)] {
+				continue // already recorded; skip re-materializing
+			}
 			v := c.diagnose(t, addr, rf, loc, u, iv, next)
 			found = append(found, v)
 			continue // do not record the emptying constraint
@@ -536,6 +549,22 @@ func locOf(s *trace.Store) trace.LocID {
 		return trace.NoLoc
 	}
 	return s.Loc
+}
+
+// violationKeyFor derives the dedup identity of the violation an
+// emptying update would diagnose, without materializing the report. It
+// mirrors diagnose's case split: a lower-bound update that passed the
+// recorded upper bound is a read-too-new whose missing flush is the
+// store that set that upper bound; an upper-bound update that passed the
+// recorded lower bound is a read-too-old whose missing flush is the
+// update's own store.
+func violationKeyFor(rf *trace.Store, u update, before intervals.Interval) violationKey {
+	if u.lo {
+		mf, _ := before.Hi.Store.(*trace.Store)
+		return violationKey{kind: ReadTooNew, mfLoc: locOf(mf), perLoc: locOf(rf)}
+	}
+	per, _ := before.Lo.Store.(*trace.Store)
+	return violationKey{kind: ReadTooOld, mfLoc: locOf(u.store), perLoc: locOf(per)}
 }
 
 // diagnose builds the violation report for an update that emptied an
@@ -572,8 +601,45 @@ func (c *Checker) diagnose(t memmodel.ThreadID, addr memmodel.Addr, rf *trace.St
 	}
 	v.MissingFlush = c.freeze(mf)
 	v.Persisted = c.freeze(per)
-	v.vkey = violationKey{kind: v.Kind, mfLoc: locOf(mf), perLoc: locOf(per)}
+	v.vkey = violationKeyFor(rf, u, before)
 	return v
+}
+
+// WouldViolate reports whether a load by thread t reading rf would cause
+// at least one robustness violation. It is the allocation-free form of
+// CheckRead for the read-steering hot path, which needs only the
+// boolean: no constraint is committed and no report is materialized.
+// Inside a checksum region the read would be deferred, so it cannot
+// violate yet.
+func (c *Checker) WouldViolate(t memmodel.ThreadID, rf *trace.Store) bool {
+	if _, in := c.deferred[t]; in {
+		return false
+	}
+	ups := c.updatesFor(rf)
+	if len(ups) == 0 {
+		return false
+	}
+	scratch := c.apply
+	clear(scratch)
+	for _, u := range ups {
+		iv, ok := scratch[u.key]
+		if !ok {
+			if iv, ok = c.cons[u.key]; !ok {
+				iv = intervals.New()
+			}
+		}
+		var next intervals.Interval
+		if u.lo {
+			next, _ = iv.ConstrainLo(u.clock, u.store)
+		} else {
+			next, _ = iv.ConstrainHi(u.clock, u.store)
+		}
+		if next.Empty() {
+			return true
+		}
+		scratch[u.key] = next
+	}
+	return false
 }
 
 // CheckRead reports the violations that a load by thread t of addr would

@@ -120,6 +120,88 @@ func TestObsCountersUnderContainmentModelCheck(t *testing.T) {
 	}
 }
 
+// TestObsCountersReductionsUnderContainment runs the model-check chaos
+// harness with the reductions active (the default) and pins the counter
+// invariants that the prefix-snapshot and DPOR machinery must preserve
+// under fault injection:
+//
+//   - the classification identity still balances — snapshot-resumed
+//     executions are started/completed like any other, and DPOR prunes
+//     are a subset of the pruned class;
+//   - the reduction counters agree exactly with the assembled Result;
+//   - state-cache registrations made inside a pruned-and-restored
+//     subtree must not leak into sibling subtrees: probes still balance
+//     against hits + misses and match the Result's cumulative stats
+//     (the regression this pins surfaced as a probe/hit imbalance after
+//     a snapshot restore);
+//   - and the violation key set is exactly the unreduced search's.
+//
+// Runs under -race via the chaos CI job.
+func TestObsCountersReductionsUnderContainment(t *testing.T) {
+	reg := obs.NewRegistry()
+	res := Run(figure2(), Options{
+		Mode: ModelCheck, Executions: 10000, Workers: 8,
+		InjectFault: injectEvery(4, 2, 3),
+		Obs:         &obs.Observer{Metrics: reg},
+	})
+	if res.Partial {
+		t.Fatalf("containment must not stop the run: %s", res)
+	}
+	c := counters(t, reg)
+	started := c["explore.executions_started"]
+	pruned := c["explore.executions_pruned"]
+	classified := c["explore.executions_completed"] + c["explore.executions_aborted"] +
+		c["explore.executions_quarantined"] + pruned
+	if started == 0 || started != classified {
+		t.Fatalf("classification leak: started %d != classified %d (%v)", started, classified, c)
+	}
+	// One snapshot can be restored many times (each backtrack that keeps
+	// it resumes from it again), so the counters are independently
+	// nonzero rather than ordered.
+	if taken, restored := c["explore.snapshots_taken"], c["explore.snapshots_restored"]; taken == 0 || restored == 0 {
+		t.Fatalf("reduction machinery never engaged: taken %d, restored %d", taken, restored)
+	}
+	if got := c["explore.snapshots_restored"]; got != int64(res.SnapshotRestores) {
+		t.Fatalf("snapshots_restored counter %d != Result.SnapshotRestores %d", got, res.SnapshotRestores)
+	}
+	if got := c["explore.dpor_pruned"]; got != int64(res.DPORPruned) {
+		t.Fatalf("dpor_pruned counter %d != Result.DPORPruned %d", got, res.DPORPruned)
+	}
+	if got := c["explore.dpor_pruned"]; got > pruned {
+		t.Fatalf("dpor_pruned %d exceeds executions_pruned %d", got, pruned)
+	}
+	probes, hits, misses := c["statecache.probes"], c["statecache.hits"], c["statecache.misses"]
+	if probes == 0 || probes != hits+misses {
+		t.Fatalf("cache imbalance after restores: probes %d != hits %d + misses %d", probes, hits, misses)
+	}
+	if hits != int64(res.CacheHits) || misses != int64(res.CacheMisses) {
+		t.Fatalf("cache counters (%d/%d) != Result stats (%d/%d)",
+			hits, misses, res.CacheHits, res.CacheMisses)
+	}
+	// The reductions change how executions are produced, never which
+	// violations the campaign reports.
+	off := Run(figure2(), Options{
+		Mode: ModelCheck, Executions: 10000, Workers: 8,
+		InjectFault:      injectEvery(4, 2, 3),
+		DisableSnapshots: true, DisableDPOR: true,
+	})
+	if got, want := res.ViolationKeys(), off.ViolationKeys(); !equalKeys(got, want) {
+		t.Fatalf("reductions changed the violation set\n  on:  %v\n  off: %v", got, want)
+	}
+}
+
+func equalKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // TestObsWorkerInvarianceUnderContainment asserts that turning the
 // registry on does not perturb the deterministic outcome, at any
 // worker count.

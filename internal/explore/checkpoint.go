@@ -36,8 +36,12 @@ func resolveModel(name string) string {
 	return name
 }
 
-// checkpointVersion guards the serialized format.
-const checkpointVersion = 1
+// checkpointVersion guards the serialized format. Version 2 switched
+// the model-check trail to lazy crash-target consumption (decision
+// order = use order) and added the cut subtree's partial-order-
+// reduction registrations; version-1 trails describe a different
+// decision ordering and cannot be resumed.
+const checkpointVersion = 2
 
 // Checkpoint is the resume state of a partial exploration run.
 type Checkpoint struct {
@@ -50,6 +54,11 @@ type Checkpoint struct {
 	// Verdicts and decision trees are model-relative, so resuming under
 	// a different backend would merge incomparable results.
 	Model string `json:"model,omitempty"`
+	// DPOR records whether the campaign ran with partial-order
+	// reduction. The reduction changes which executions the canonical
+	// stream contains, so a resume must run the same way; snapshots, by
+	// contrast, never change the stream and need no validation.
+	DPOR bool `json:"dpor,omitempty"`
 	// Collected is the canonical execution cursor: how many executions
 	// of the uninterrupted stream were collected before the cut. Random
 	// mode resumes at exactly this index.
@@ -87,6 +96,24 @@ type MCCheckpoint struct {
 	// final stats are cumulative.
 	CacheHits   int `json:"cacheHits"`
 	CacheMisses int `json:"cacheMisses"`
+	// DPORKeys are the cut subtree's partial-order-reduction
+	// registrations (the set is subtree-local; completed subtrees need
+	// none and unexplored ones rebuild theirs). Priming them reproduces
+	// the uninterrupted run's deeper-crash prune pattern after resume.
+	// Every component is path-deterministic (store IDs, label strings —
+	// never interner IDs), so the keys compare across processes.
+	DPORKeys []DPORKey `json:"dporKeys,omitempty"`
+}
+
+// DPORKey is one serialized partial-order-reduction registration: a
+// fully identified deeper crash state (see pool.go's dporKey).
+type DPORKey struct {
+	Phase   int    `json:"phase"`
+	Image   uint64 `json:"image"`
+	Heap    int    `json:"heap"`
+	Ops     int    `json:"ops"`
+	Checker uint64 `json:"checker"`
+	Trace   uint64 `json:"trace"`
 }
 
 // TrailEntry is one serialized DFS decision.
@@ -155,7 +182,18 @@ func (c *Checkpoint) Validate(program string, opt Options) error {
 	if c.Mode == ModelCheck.String() && c.MC == nil {
 		return fmt.Errorf("checkpoint has no model-check resume state")
 	}
+	if c.Mode == ModelCheck.String() && c.DPOR == opt.DisableDPOR {
+		return fmt.Errorf("checkpoint ran with DPOR %s, resume options have it %s",
+			onOff(c.DPOR), onOff(!opt.DisableDPOR))
+	}
 	return nil
+}
+
+func onOff(v bool) string {
+	if v {
+		return "on"
+	}
+	return "off"
 }
 
 // trailFromCheckpoint rebuilds a controller trail.

@@ -78,6 +78,37 @@ func (p *InstancedProgram) Name() string { return p.ProgName }
 // Phases implements Program.
 func (p *InstancedProgram) Phases() []func(*pmem.World) { return p.New() }
 
+// ReentrantPhases is an optional Program capability: a program reports
+// true when its phase functions derive all cross-phase state from the
+// World — no mutable receiver or captured state carried from one phase
+// into the next — so the explorer may re-enter a later phase on a
+// restored world snapshot without re-running the earlier ones.
+//
+// FuncProgram qualifies by construction: the parallel engine already
+// calls the same closures concurrently from many workers, so they
+// cannot carry mutable shared state. InstancedProgram exists precisely
+// for ports that mutate per-execution receiver state (pointer mirrors
+// filled in pre-crash) and reports false. Programs that do not
+// implement the interface are conservatively treated as non-reentrant.
+type ReentrantPhases interface {
+	PhasesReentrant() bool
+}
+
+// PhasesReentrant implements ReentrantPhases: plain phase functions are
+// shared across concurrent workers and so must already be world-pure.
+func (p *FuncProgram) PhasesReentrant() bool { return true }
+
+// PhasesReentrant implements ReentrantPhases: instanced ports mutate
+// per-execution receiver state, so a later phase cannot be re-entered
+// without re-running the phases that populated it.
+func (p *InstancedProgram) PhasesReentrant() bool { return false }
+
+// phasesReentrant resolves the capability with the conservative default.
+func phasesReentrant(p Program) bool {
+	r, ok := p.(ReentrantPhases)
+	return ok && r.PhasesReentrant()
+}
+
 // Mode selects the exploration strategy.
 type Mode int
 
@@ -119,6 +150,25 @@ type Options struct {
 	// identical read candidates to every post-crash load. See
 	// statecache.go for the key definition and the soundness argument.
 	NoStateCache bool
+	// DisableSnapshots makes the model-check engine replay every
+	// execution from the program start instead of restoring a world
+	// snapshot taken at its deepest still-valid crash boundary.
+	// Results are bit-identical either way (the snapshot property test
+	// asserts it); the option exists for A/B timing and for debugging
+	// suspected restore bugs. Snapshots only apply to programs whose
+	// phases are reentrant (see ReentrantPhases) and never to
+	// FreshWorlds runs.
+	DisableSnapshots bool
+	// DisableDPOR turns off crash-state partial-order reduction
+	// (ModelCheck mode): a deeper crash (phase >= 1) whose complete
+	// post-crash state — persistent image, allocator mark, op count,
+	// checker constraint state, committed trace — matches one already
+	// explored within the same subtree is normally pruned, because its
+	// continuation tree is identical to the one already enumerated.
+	// Unlike DisableSnapshots this changes Result.Executions (fewer
+	// executions run); the violation key set is unaffected. See
+	// DESIGN.md, "Prefix snapshots and partial-order reduction".
+	DisableDPOR bool
 	// Model selects and configures the persistency-model backend
 	// (persist.Config zero value: px86, immediate commit). It is the
 	// single model-config path — pmem.Config receives exactly this
@@ -219,6 +269,28 @@ type Options struct {
 	Resume *Checkpoint
 }
 
+// ParseReduction maps a -reduction flag value onto the two disable
+// options, the one vocabulary both CLIs share:
+//
+//	all        snapshots and DPOR on (the default)
+//	snapshots  snapshots only (DPOR off)
+//	dpor       DPOR only (snapshots off)
+//	none       both off — the pre-reduction engine, for A/B timing
+func ParseReduction(name string) (disableSnapshots, disableDPOR bool, err error) {
+	switch name {
+	case "", "all":
+		return false, false, nil
+	case "snapshots":
+		return false, true, nil
+	case "dpor":
+		return true, false, nil
+	case "none":
+		return true, true, nil
+	default:
+		return false, false, fmt.Errorf("unknown reduction %q (want all, snapshots, dpor, or none)", name)
+	}
+}
+
 // Fault is one execution's chaos-injection plan (Options.InjectFault).
 // The zero Fault injects nothing.
 type Fault struct {
@@ -256,6 +328,18 @@ type Result struct {
 	// persistent image was already explored, pruning its entire
 	// post-crash enumeration.
 	CacheHits, CacheMisses int
+	// SnapshotRestores counts executions the ModelCheck engine resumed
+	// from a crash-boundary world snapshot instead of replaying from the
+	// program start. It is a throughput diagnostic: results are
+	// bit-identical with snapshots disabled.
+	SnapshotRestores int
+	// DPORPruned counts deeper (phase >= 1) crash states the ModelCheck
+	// engine pruned by partial-order reduction: their complete post-crash
+	// state matched one already enumerated in the same subtree. Unlike
+	// SnapshotRestores this reduces Executions; the violation key set is
+	// unaffected. Both are 0 in Random mode and in the serial
+	// (AfterExecution) engine.
+	DPORPruned int
 	// Violations are deduplicated across executions by bug identity
 	// (store-site pair + diagnosis kind), in first-found order.
 	Violations []*core.Violation
@@ -516,6 +600,70 @@ func runPhases(p Program, w *pmem.World, crashTargets []int, onCrash func(phase 
 		}
 	}
 	return false, injected, false, nil
+}
+
+// runPhasesMC is the model-check-mode phase driver: it executes
+// phases[startPhase:] in w, consuming each non-final phase's crash-
+// target decision from ctl immediately before that phase runs. Lazy
+// consumption keeps the decision trail in decision-*use* order — a
+// decision at trail index i influences the execution only from the
+// point it is consumed — which is the invariant snapshot validity is
+// defined over (pool.go) and means phases never reached leave no trail
+// entries at all.
+//
+// Domain discovery is inlined: a target decision whose injection did
+// not fire is closed at target+1 as soon as its phase completes
+// ("crash after the last operation", §6.1). On an op-budget abort or a
+// contained panic the in-flight phase's open target decision is closed
+// the same way, so sibling targets — which would deterministically
+// replay the same abort or panic before crashing — are never
+// enumerated separately (the pruning the upfront-consumption driver
+// achieved by closing all unreached domains).
+//
+// onCrash matches runPhases: invoked after each crash with the sealed
+// image in place; returning false abandons the remaining phases
+// (pruned). Panics other than pmem.AbortSignal are contained into
+// execErr; the caller must discard the world.
+func runPhasesMC(phases []func(*pmem.World), w *pmem.World, ctl *controller, startPhase int, onCrash func(phase int, fired bool) bool, tr *obs.Tracer, tid int) (aborted bool, pruned bool, execErr *ExecError) {
+	curDec, curTarget := -1, 0
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(pmem.AbortSignal); ok {
+				aborted = true
+			} else {
+				execErr = captureExecError(r)
+			}
+			if curDec >= 0 && ctl.trail[curDec].domain < 0 {
+				ctl.closeCurrent(curDec, curTarget+1)
+			}
+		}
+	}()
+	for i := startPhase; i < len(phases); i++ {
+		last := i == len(phases)-1
+		if last {
+			curDec = -1
+			w.SetCrashTarget(-1)
+		} else {
+			curDec = ctl.pos
+			curTarget = ctl.next(-1)
+			w.SetCrashTarget(curTarget)
+		}
+		crashed := w.RunPhase(phases[i])
+		if last {
+			break
+		}
+		if !crashed && ctl.trail[curDec].domain < 0 {
+			ctl.closeCurrent(curDec, curTarget+1)
+		}
+		curDec = -1
+		cs := tr.Now()
+		w.Crash()
+		tr.CompleteSince(tid, "explore", "crash-resolution", cs, -1)
+		if onCrash != nil && !onCrash(i, crashed) {
+			return false, true, nil
+		}
+	}
+	return false, false, nil
 }
 
 // installProbe arms w's per-operation watchdog for one execution: the
@@ -913,15 +1061,19 @@ func runModelCheck(p Program, opt Options, st *stopper) *Result {
 // runModelCheckSerial is the single-goroutine DFS: one controller walks
 // the whole decision tree, worlds are handed to AfterExecution as they
 // complete, and the state cache is off (every execution is observable).
-// A stop yields a Partial result without a checkpoint (this engine has
-// no canonical subtree cut; use the parallel engine for resumable
-// campaigns). Chaos ordinals here are global execution indices.
+// Snapshots and DPOR are off too — every world escapes to the callback,
+// so none can be reused, and a reduction that skips executions would
+// hide them from the post-hoc analysis. The decision order (lazy
+// crash-target consumption, runPhasesMC) matches the parallel engine,
+// so both enumerate the same canonical stream. A stop yields a Partial
+// result without a checkpoint (this engine has no canonical subtree
+// cut; use the parallel engine for resumable campaigns). Chaos ordinals
+// here are global execution indices.
 func runModelCheckSerial(p Program, opt Options, st *stopper) *Result {
 	res := &Result{Program: p.Name(), Mode: ModelCheck, Workers: 1}
 	seen := make(map[string]bool)
 	start := time.Now()
 	ctl := &controller{}
-	numPre := len(p.Phases()) - 1
 
 	for {
 		if st.stopped() {
@@ -934,26 +1086,7 @@ func runModelCheckSerial(p Program, opt Options, st *stopper) *Result {
 		opt.em.Started.Inc()
 		w := mcWorld(&opt, ctl)
 		installProbe(w, &opt, res.Executions)
-		// Crash-target decisions come first in the trail, one per
-		// non-final phase, so their indices are stable.
-		targets := make([]int, numPre)
-		decIdx := make([]int, numPre)
-		for i := range targets {
-			decIdx[i] = ctl.pos
-			targets[i] = ctl.next(-1)
-		}
-		aborted, injected, _, execErr := runPhases(p, w, targets, nil, opt.tr, 0)
-		// Close any crash-target decision whose injection did not fire:
-		// the phase ran to completion, so larger targets are equivalent
-		// to this one ("crash after the last operation", §6.1). On a
-		// contained panic the unreached phases report fired=false, so
-		// their sibling schedules — which would deterministically panic
-		// the same way before crashing — are quarantined with this one.
-		for i, fired := range injected {
-			if !fired && ctl.trail[decIdx[i]].domain < 0 {
-				ctl.closeCurrent(decIdx[i], targets[i]+1)
-			}
-		}
+		aborted, _, execErr := runPhasesMC(p.Phases(), w, ctl, 0, nil, opt.tr, 0)
 		o := execOutcome{
 			index:   res.Executions,
 			aborted: aborted,

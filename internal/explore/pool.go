@@ -21,6 +21,7 @@
 package explore
 
 import (
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -117,6 +118,96 @@ func runRandomParallel(p Program, opt *Options, plan *randomPlan, res *Result, s
 
 // --- model checking: frontier-split DFS ---
 
+// phaseSnap is one crash-boundary world snapshot on a subtree's current
+// DFS path. It is taken immediately after the crash at `phase`, with
+// `pos` controller decisions consumed; restoring it and rerunning
+// phases phase+1.. replays the execution's suffix without re-executing
+// the prefix. A snapshot stays valid for as long as decisions [0, pos)
+// are unchanged — i.e. while every backtrack changes a decision at
+// index >= pos (lazy consumption in runPhasesMC makes trail order equal
+// decision-use order, which is what makes this check sufficient).
+type phaseSnap struct {
+	ws    *pmem.WorldSnapshot
+	phase int
+	pos   int
+}
+
+// pruneSnaps pops snapshots invalidated by a backtrack that changed the
+// decision at index `changed` (and truncated everything after it).
+func pruneSnaps(snaps []phaseSnap, changed int) []phaseSnap {
+	for len(snaps) > 0 && snaps[len(snaps)-1].pos > changed {
+		snaps[len(snaps)-1] = phaseSnap{} // release the snapshot
+		snaps = snaps[:len(snaps)-1]
+	}
+	return snaps
+}
+
+// dporKey identifies a deeper (phase >= 1) crash state completely: the
+// surviving persistent image, the allocator mark, the op-budget
+// position, the checker's constraint state, and the committed trace.
+// Two executions of one subtree that reach equal keys along different
+// decision prefixes have identical continuation trees — every future
+// load sees the same candidates, the checker commits the same future
+// constraints, and the op budget trips at the same point — so the
+// second continuation is pruned (dynamic partial-order reduction).
+// Every component is derived from path-deterministic identities (store
+// IDs, label strings), never raw interner IDs, so keys computed in
+// different worlds — or different processes, via checkpoints — compare
+// correctly. See DESIGN.md, "Prefix snapshots and partial-order
+// reduction", for why read-choice decisions need no such check.
+type dporKey struct {
+	phase   int
+	image   uint64
+	heap    int
+	ops     int
+	checker uint64
+	trace   uint64
+}
+
+// dporKeyOf computes the key of a just-crashed world.
+func dporKeyOf(phase int, w *pmem.World) dporKey {
+	return dporKey{
+		phase:   phase,
+		image:   w.M.PersistFingerprint(),
+		heap:    w.Heap.Used(),
+		ops:     w.Ops(),
+		checker: w.Checker.StateFingerprint(),
+		trace:   w.M.Trace().CommittedFingerprint(),
+	}
+}
+
+// dporKeysOf serializes a registration set in a stable order for
+// checkpoints.
+func dporKeysOf(seen map[dporKey]struct{}) []DPORKey {
+	if len(seen) == 0 {
+		return nil
+	}
+	ks := make([]DPORKey, 0, len(seen))
+	for k := range seen {
+		ks = append(ks, DPORKey{Phase: k.phase, Image: k.image, Heap: k.heap, Ops: k.ops, Checker: k.checker, Trace: k.trace})
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		a, b := ks[i], ks[j]
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
+		}
+		if a.Image != b.Image {
+			return a.Image < b.Image
+		}
+		if a.Heap != b.Heap {
+			return a.Heap < b.Heap
+		}
+		if a.Ops != b.Ops {
+			return a.Ops < b.Ops
+		}
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		return a.Trace < b.Trace
+	})
+	return ks
+}
+
 // mcExec is one completed execution inside a subtree, in sub-DFS order.
 type mcExec struct {
 	aborted    bool
@@ -143,6 +234,14 @@ type mcSubtree struct {
 	// and snapshotted its decision trail — the checkpoint resume point.
 	stoppedAt bool
 	trailSnap []decision
+	// dporSnap: the sub-DFS's partial-order-reduction registrations,
+	// snapshotted alongside the trail (the set is subtree-local, so the
+	// checkpoint carries only the cut subtree's).
+	dporSnap []DPORKey
+	// snapRestores/dporPruned: reduction diagnostics, summed into
+	// Result.SnapshotRestores / Result.DPORPruned at assembly.
+	snapRestores int
+	dporPruned   int
 	// keyed/key: the first execution registered this state-cache key
 	// (a miss); replayed into checkpoints.
 	keyed bool
@@ -186,6 +285,7 @@ type mcEngine struct {
 	resumeStarted   bool
 	resumeTrail     []decision
 	resumeSpawnNext bool
+	resumeDPOR      []DPORKey
 	// primedKeys / baseHits / baseMisses replay the pre-cut cache so
 	// re-checkpointing a resumed run stays cumulative.
 	primedKeys           []CacheEntry
@@ -214,6 +314,7 @@ func newMCEngine(p Program, opt *Options, st *stopper) *mcEngine {
 		e.resumeStarted = ck.MC.Started
 		e.resumeTrail = trailFromCheckpoint(ck.MC.Trail)
 		e.resumeSpawnNext = ck.MC.SpawnNext
+		e.resumeDPOR = ck.MC.DPORKeys
 		e.primedKeys = ck.MC.CacheKeys
 		e.baseHits, e.baseMisses = ck.MC.CacheHits, ck.MC.CacheMisses
 		if e.cache != nil {
@@ -269,6 +370,26 @@ func (e *mcEngine) spawn(v int) {
 // phase-0 crash target is v, enumerated exactly as the serial DFS
 // would. The controller trail is primed with the closed decision
 // {val: v, domain: v+1}, so backtracking exhausts the subtree and stops.
+//
+// Two reductions ride on the sub-DFS, both subtree-local so any worker
+// count — and any checkpoint cut — produces the same canonical stream:
+//
+//   - Prefix snapshots (useSnaps): after every crash the world is
+//     snapshotted; after a backtrack the deepest snapshot whose decision
+//     prefix is still unchanged is restored and only the suffix phases
+//     re-run. Bit-identical results, integer-factor fewer phase
+//     executions.
+//   - DPOR (dporSeen != nil): a deeper crash state equal to one already
+//     enumerated in this subtree is pruned — counted like a state-cache
+//     prune, contributing no execution. The check is skipped while the
+//     trail is still replaying the previous execution's prefix
+//     (ctl.pos <= pChanged): an unchanged prefix trivially reproduces
+//     its own registered states and must not prune its own siblings.
+//
+// Both require reentrant phases (ReentrantPhases): a snapshot resume
+// re-enters a later phase without re-running earlier ones, and DPOR's
+// equal-state-equal-continuation argument needs all cross-phase state
+// inside the World.
 func (e *mcEngine) runSubtree(v int) {
 	defer e.wg.Done()
 	defer e.opt.em.FrontierDepth.Add(-1)
@@ -287,12 +408,15 @@ func (e *mcEngine) runSubtree(v int) {
 	e.opt.tr.NameThread(tid, "worker-"+strconv.Itoa(tid))
 
 	sub := e.subtree(v)
+	snapRestores, dporPruned := 0, 0
 	start := time.Now()
 	defer func() {
 		d := time.Since(start)
 		wm.BusyNanos.Add(int64(d))
 		e.mu.Lock()
 		sub.work += d
+		sub.snapRestores += snapRestores
+		sub.dporPruned += dporPruned
 		e.mu.Unlock()
 	}()
 
@@ -301,6 +425,17 @@ func (e *mcEngine) runSubtree(v int) {
 		ctl.trail = []decision{{val: v, domain: v + 1}}
 	}
 	first := true
+	// pChanged is the trail index of the decision the last backtrack
+	// changed: decisions at indices <= pChanged replay the previous
+	// execution's prefix unchanged. -1 before the first execution
+	// (everything is new).
+	pChanged := -1
+	reentrant := phasesReentrant(e.p)
+	useSnaps := reentrant && !e.opt.DisableSnapshots && !e.opt.FreshWorlds
+	var dporSeen map[dporKey]struct{}
+	if reentrant && !e.opt.DisableDPOR && e.numPre > 1 {
+		dporSeen = make(map[dporKey]struct{})
+	}
 	if e.haveResume && v == e.startSubtree && e.resumeStarted {
 		// Resume the cut subtree mid-DFS: restore its snapshotted trail
 		// and skip the first-execution classification — its cache
@@ -308,19 +443,82 @@ func (e *mcEngine) runSubtree(v int) {
 		// checkpoint) and its successor, if any, is spawned here. The
 		// classification outcome itself (started, injectionFired) is
 		// restored too, so a second cut re-checkpoints it faithfully.
+		// The DPOR registrations are replayed the same way (keys are
+		// path-deterministic, so they compare across processes), and
+		// pChanged starts at the trail's last index — a snapshotted
+		// trail always sits just after a backtrack.
 		ctl.trail = append([]decision(nil), e.resumeTrail...)
 		first = false
+		pChanged = len(ctl.trail) - 1
 		sub.started = true
 		sub.injectionFired = e.resumeSpawnNext
+		if dporSeen != nil {
+			for _, k := range e.resumeDPOR {
+				dporSeen[dporKey{phase: k.Phase, image: k.Image, heap: k.Heap, ops: k.Ops, checker: k.Checker, trace: k.Trace}] = struct{}{}
+			}
+		}
 		if e.resumeSpawnNext {
 			e.spawn(v + 1)
 		}
 	}
 	// One world serves the whole sub-DFS (its chooser closes over this
-	// subtree's controller); it is reset between executions.
+	// subtree's controller); between executions it is either rewound to
+	// a crash snapshot or fully reset.
 	var w *pmem.World
-	targets := make([]int, e.numPre)
-	decIdx := make([]int, e.numPre)
+	var snaps []phaseSnap
+	var phases []func(*pmem.World)
+	if reentrant {
+		// Reentrant phase slices are world-pure; resolve once. The
+		// non-reentrant (InstancedProgram) contract is one Phases call
+		// per execution, done in the loop.
+		phases = e.p.Phases()
+	}
+	dporHit := false
+	// onCrash runs after every crash of every execution: first-execution
+	// subtree classification, then the DPOR probe, then the snapshot.
+	onCrash := func(phase int, fired bool) bool {
+		if first && phase == 0 {
+			// The subtree's first execution classifies the subtree at
+			// its first crash: record whether the injection fired (so
+			// the next subtree exists), then consult the state cache —
+			// every execution of the subtree shares the same phase-0
+			// prefix and so the same crash-0 image.
+			keep := true
+			if e.cache != nil {
+				ps := e.opt.tr.Now()
+				k := stateKey(w)
+				hit := e.cache.lookupOrRegister(k)
+				e.opt.tr.CompleteSince(tid, "statecache", "cache-probe", ps, -1)
+				if hit {
+					sub.pruned = true
+					keep = false
+				} else {
+					sub.keyed = true
+					sub.key = k
+				}
+			}
+			if fired && e.numPre > 0 {
+				sub.injectionFired = true
+				e.spawn(v + 1)
+			}
+			if !keep {
+				return false
+			}
+		}
+		if dporSeen != nil && phase >= 1 && ctl.pos > pChanged {
+			k := dporKeyOf(phase, w)
+			if _, ok := dporSeen[k]; ok {
+				dporHit = true
+				return false
+			}
+			dporSeen[k] = struct{}{}
+		}
+		if useSnaps {
+			snaps = append(snaps, phaseSnap{ws: w.Snapshot(), phase: phase, pos: ctl.pos})
+			e.opt.em.SnapshotsTaken.Inc()
+		}
+		return true
+	}
 	for {
 		if e.st.stopped() {
 			// Snapshot the resume point: the trail sits at the next
@@ -328,64 +526,52 @@ func (e *mcEngine) runSubtree(v int) {
 			e.mu.Lock()
 			sub.stoppedAt = true
 			sub.trailSnap = append([]decision(nil), ctl.trail...)
+			sub.dporSnap = dporKeysOf(dporSeen)
 			e.mu.Unlock()
 			return
 		}
 		if !e.allowance(v, len(sub.execs)) {
 			return
 		}
-		ctl.pos = 0
 		e.opt.em.Started.Inc()
 		var execStart time.Time
 		if e.reg != nil || e.opt.tr != nil {
 			execStart = time.Now()
 		}
-		if w == nil || e.opt.FreshWorlds {
+		startPhase := 0
+		switch {
+		case w == nil || e.opt.FreshWorlds:
 			w = mcWorld(e.opt, ctl)
-		} else {
+			snaps = pruneSnaps(snaps, -1)
+			ctl.pos = 0
+		case len(snaps) > 0:
+			// Resume from the deepest crash snapshot that survived the
+			// last backtrack: the world state after phase `top.phase`'s
+			// crash, with `top.pos` decisions consumed, is identical to
+			// what a full replay would recompute.
+			top := snaps[len(snaps)-1]
+			w.Restore(top.ws)
+			ctl.pos = top.pos
+			startPhase = top.phase + 1
+			snapRestores++
+			e.opt.em.SnapshotsRestored.Inc()
+		default:
 			w.Reset(0)
 			if e.opt.DisableChecker {
 				w.Checker.SetEnabled(false)
 			}
+			ctl.pos = 0
 		}
 		installProbe(w, e.opt, len(sub.execs))
-		for i := range targets {
-			decIdx[i] = ctl.pos
-			targets[i] = ctl.next(-1)
+		ph := phases
+		if ph == nil {
+			ph = e.p.Phases()
 		}
-		var onCrash func(phase int, fired bool) bool
-		if first {
-			// The subtree's first execution classifies the subtree at
-			// its first crash: record whether the injection fired (so
-			// the next subtree exists), then consult the state cache —
-			// every execution of the subtree shares the same phase-0
-			// prefix and so the same crash-0 image.
-			onCrash = func(phase int, fired bool) bool {
-				if phase != 0 {
-					return true
-				}
-				keep := true
-				if e.cache != nil {
-					ps := e.opt.tr.Now()
-					k := stateKey(w)
-					hit := e.cache.lookupOrRegister(k)
-					e.opt.tr.CompleteSince(tid, "statecache", "cache-probe", ps, -1)
-					if hit {
-						sub.pruned = true
-						keep = false
-					} else {
-						sub.keyed = true
-						sub.key = k
-					}
-				}
-				if fired && e.numPre > 0 {
-					sub.injectionFired = true
-					e.spawn(v + 1)
-				}
-				return keep
-			}
+		oc := onCrash
+		if !first && dporSeen == nil && !useSnaps {
+			oc = nil // no per-crash work left; keep the hot path bare
 		}
-		aborted, injected, pruned, execErr := runPhases(e.p, w, targets, onCrash, e.opt.tr, tid)
+		aborted, pruned, execErr := runPhasesMC(ph, w, ctl, startPhase, oc, e.opt.tr, tid)
 		switch {
 		case pruned:
 			e.opt.em.Pruned.Inc()
@@ -405,31 +591,39 @@ func (e *mcEngine) runSubtree(v int) {
 			sub.started = true
 		}
 		first = false
-		if pruned {
+		if pruned && !dporHit {
 			// The whole subtree is a duplicate of one already explored;
 			// it contributes no executions.
 			e.markDone(sub)
 			return
 		}
-		// Close crash-target decisions whose injection did not fire
-		// (phase ran to completion; larger targets are equivalent). The
-		// primed phase-0 decision is born closed and skipped here. A
-		// contained panic reports fired=false for unreached phases, so
-		// sibling schedules — which would deterministically re-panic
-		// before crashing — are quarantined with this one.
-		for i, fired := range injected {
-			if !fired && ctl.trail[decIdx[i]].domain < 0 {
-				ctl.closeCurrent(decIdx[i], targets[i]+1)
+		if dporHit {
+			// A deeper crash state already enumerated in this subtree:
+			// the continuation is skipped (counted in Pruned, no
+			// execution recorded), the sub-DFS walks on.
+			dporHit = false
+			dporPruned++
+			e.opt.em.DPORPruned.Inc()
+			if !ctl.backtrack() {
+				e.markDone(sub)
+				return
 			}
+			pChanged = len(ctl.trail) - 1
+			snaps = pruneSnaps(snaps, pChanged)
+			continue
 		}
 		ex := mcExec{aborted: aborted, execErr: execErr}
 		if execErr != nil {
 			// The panic left the world in an undefined state: discard
-			// it (next iteration builds fresh) and drop its violations.
+			// it (next iteration builds fresh) and drop its violations,
+			// along with every snapshot taken in it. DPOR registrations
+			// survive — the keys are path-deterministic, not
+			// world-relative.
 			execErr.Program = e.p.Name()
 			execErr.Mode = ModelCheck
 			execErr.Prefix = trailValues(ctl.trail)
 			w = nil
+			snaps = pruneSnaps(snaps, -1)
 		} else {
 			ex.violations = w.Checker.Violations()
 		}
@@ -440,6 +634,8 @@ func (e *mcEngine) runSubtree(v int) {
 			e.markDone(sub)
 			return
 		}
+		pChanged = len(ctl.trail) - 1
+		snaps = pruneSnaps(snaps, pChanged)
 	}
 }
 
@@ -503,6 +699,8 @@ func (e *mcEngine) run() *Result {
 	}
 	for _, sub := range e.subs {
 		res.WorkerTime += sub.work
+		res.SnapshotRestores += sub.snapRestores
+		res.DPORPruned += sub.dporPruned
 	}
 	if e.cache != nil {
 		res.CacheHits, res.CacheMisses = e.cache.stats()
@@ -541,6 +739,7 @@ func (e *mcEngine) checkpoint(res *Result, seen map[string]bool, cut int, cutSub
 	}
 	if mc.Started {
 		mc.Trail = trailToCheckpoint(cutSub.trailSnap)
+		mc.DPORKeys = cutSub.dporSnap
 	}
 	// Cache registrations of subtrees up to the cut, in registration
 	// (spawn-chain = ordinal) order: the pre-cut primed keys first, then
@@ -564,6 +763,7 @@ func (e *mcEngine) checkpoint(res *Result, seen map[string]bool, cut int, cutSub
 		Mode:          ModelCheck.String(),
 		Seed:          e.opt.Seed,
 		Model:         resolveModel(e.opt.Model.Name),
+		DPOR:          !e.opt.DisableDPOR,
 		Collected:     collected,
 		Aborted:       res.Aborted,
 		Quarantined:   res.Quarantined,

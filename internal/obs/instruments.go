@@ -13,7 +13,11 @@ type ExploreMetrics struct {
 	Completed   *Counter // explore.executions_completed
 	Aborted     *Counter // explore.executions_aborted (deadline/cancel/op-budget)
 	Quarantined *Counter // explore.executions_quarantined (panic containment)
-	Pruned      *Counter // explore.executions_pruned (state-cache subtree prune, mc mode)
+	Pruned      *Counter // explore.executions_pruned (state-cache or DPOR prune, mc mode)
+
+	SnapshotsTaken    *Counter // explore.snapshots_taken (crash-boundary world snapshots)
+	SnapshotsRestored *Counter // explore.snapshots_restored (executions resumed from one)
+	DPORPruned        *Counter // explore.dpor_pruned (deeper-crash prunes; subset of Pruned)
 
 	StopDeadline *Counter // explore.stops_deadline
 	StopCanceled *Counter // explore.stops_canceled
@@ -28,15 +32,18 @@ func ExploreInstruments(r *Registry) ExploreMetrics {
 		return ExploreMetrics{}
 	}
 	return ExploreMetrics{
-		Started:       r.Counter("explore.executions_started"),
-		Completed:     r.Counter("explore.executions_completed"),
-		Aborted:       r.Counter("explore.executions_aborted"),
-		Quarantined:   r.Counter("explore.executions_quarantined"),
-		Pruned:        r.Counter("explore.executions_pruned"),
-		StopDeadline:  r.Counter("explore.stops_deadline"),
-		StopCanceled:  r.Counter("explore.stops_canceled"),
-		FrontierDepth: r.Gauge("explore.frontier_depth"),
-		ExecNanos:     r.Histogram("explore.execution_ns", DurationBuckets),
+		Started:           r.Counter("explore.executions_started"),
+		Completed:         r.Counter("explore.executions_completed"),
+		Aborted:           r.Counter("explore.executions_aborted"),
+		Quarantined:       r.Counter("explore.executions_quarantined"),
+		Pruned:            r.Counter("explore.executions_pruned"),
+		SnapshotsTaken:    r.Counter("explore.snapshots_taken"),
+		SnapshotsRestored: r.Counter("explore.snapshots_restored"),
+		DPORPruned:        r.Counter("explore.dpor_pruned"),
+		StopDeadline:      r.Counter("explore.stops_deadline"),
+		StopCanceled:      r.Counter("explore.stops_canceled"),
+		FrontierDepth:     r.Gauge("explore.frontier_depth"),
+		ExecNanos:         r.Histogram("explore.execution_ns", DurationBuckets),
 	}
 }
 

@@ -93,7 +93,7 @@ func printProgress(cfg ProgressConfig, start time.Time, lastDone *int64, lastAt 
 	}
 	if remaining >= 0 && !final {
 		if rate > 0 {
-			eta := time.Duration(float64(remaining)/rate*float64(time.Second)).Round(time.Second)
+			eta := time.Duration(float64(remaining) / rate * float64(time.Second)).Round(time.Second)
 			fmt.Fprintf(&b, ", frontier %d, eta %s", remaining, eta)
 		} else {
 			fmt.Fprintf(&b, ", frontier %d", remaining)

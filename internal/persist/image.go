@@ -247,6 +247,59 @@ func (im *Image) Resolve(a memmodel.Addr, c Candidate, tr *trace.Trace, loc trac
 	}
 }
 
+// epochBounds is the restorable state of one sealed epoch: its
+// persisted-prefix range. The store history itself is immutable after
+// Seal, so bounds are all a snapshot needs per epoch.
+type epochBounds struct {
+	lo, hi int
+}
+
+// ImageSnapshot captures the restorable state of an Image at a crash
+// boundary. Take it immediately after Seal, when every live epoch is
+// empty: the snapshot then consists solely of per-line sealed-epoch
+// counts and prefix bounds, so its cost is O(sealed epochs), not
+// O(stores).
+type ImageSnapshot struct {
+	bounds map[memmodel.Addr][]epochBounds
+}
+
+// Snapshot captures the image's state for a later Restore. The caller
+// must be at a crash boundary (immediately after Seal).
+func (im *Image) Snapshot() *ImageSnapshot {
+	snap := &ImageSnapshot{bounds: make(map[memmodel.Addr][]epochBounds)}
+	for l, ls := range im.lines {
+		if len(ls.sealed) == 0 {
+			continue
+		}
+		bs := make([]epochBounds, len(ls.sealed))
+		for i, ep := range ls.sealed {
+			bs[i] = epochBounds{lo: ep.lo, hi: ep.hi}
+		}
+		snap.bounds[l] = bs
+	}
+	return snap
+}
+
+// Restore rewinds the image to a previously captured snapshot: epochs
+// sealed since the snapshot are recycled, prefix bounds narrowed by
+// post-snapshot reads are widened back, and live epochs restart empty
+// (they were empty when the snapshot was taken). Lines first touched
+// after the snapshot revert to an inert empty state.
+func (im *Image) Restore(snap *ImageSnapshot) {
+	for l, ls := range im.lines {
+		bs := snap.bounds[l]
+		if len(ls.sealed) > len(bs) {
+			im.epochFree = append(im.epochFree, ls.sealed[len(bs):]...)
+			ls.sealed = ls.sealed[:len(bs)]
+		}
+		for i, ep := range ls.sealed {
+			ep.lo, ep.hi = bs[i].lo, bs[i].hi
+		}
+		ls.live.stores = ls.live.stores[:0]
+		ls.live.lo, ls.live.hi = 0, 0
+	}
+}
+
 // Fingerprint hashes the image's persistent state: every cache line's
 // sealed store history (IDs and values) together with its
 // persisted-prefix bounds. Call it immediately after Seal, when the

@@ -130,6 +130,19 @@ type Model interface {
 	// future post-crash load — the contract the exploration state cache
 	// depends on (see DESIGN.md, "Persistency-model backends").
 	PersistFingerprint() uint64
+
+	// Snapshot captures the machine's persistent state for a later
+	// Restore. Call it only immediately after Crash, when volatile
+	// machine state (store buffers, pending flushes, the DRAM cache) is
+	// empty: the snapshot then reduces to the crash image's sealed-epoch
+	// bounds, making it O(sealed epochs) rather than O(machine).
+	Snapshot() *ImageSnapshot
+	// Restore rewinds the machine to a previously captured Snapshot,
+	// discarding everything executed since: volatile state is cleared
+	// and the crash image's epochs and prefix bounds are rewound. The
+	// caller is responsible for rewinding the shared trace to the
+	// matching mark.
+	Restore(*ImageSnapshot)
 }
 
 // Config selects and configures a persistency-model backend. It is the

@@ -346,6 +346,19 @@ func (m *Machine) Crash() {
 // contract.
 func (m *Machine) PersistFingerprint() uint64 { return m.img.Fingerprint() }
 
+// Snapshot captures the machine's persistent state for a later Restore;
+// call only immediately after Crash (see the Model contract).
+func (m *Machine) Snapshot() *persist.ImageSnapshot { return m.img.Snapshot() }
+
+// Restore rewinds the machine to a previously captured Snapshot; the
+// shared trace is rewound by the caller.
+func (m *Machine) Restore(snap *persist.ImageSnapshot) {
+	clear(m.buffers)
+	clear(m.markers)
+	clear(m.mem)
+	m.img.Restore(snap)
+}
+
 // GuaranteedPersistCount mirrors the px86 diagnostic.
 func (m *Machine) GuaranteedPersistCount(a memmodel.Addr) int {
 	return m.img.GuaranteedCount(a)

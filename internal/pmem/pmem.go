@@ -74,7 +74,7 @@ func ChooseAvoidingViolations(inner ReadChooser) ReadChooser {
 	return func(w *World, t memmodel.ThreadID, addr memmodel.Addr, cands []persist.Candidate, loc trace.LocID) persist.Candidate {
 		clean := w.steer[:0]
 		for _, c := range cands {
-			if len(w.Checker.CheckRead(t, addr, c.Store, loc)) == 0 {
+			if !w.Checker.WouldViolate(t, c.Store) {
 				clean = append(clean, c)
 			} else {
 				// Record the diagnosis even though the execution will
@@ -229,6 +229,12 @@ func (w *World) Rand() *rand.Rand { return w.rng }
 // current phase; the harness uses a pilot run to size the crash-point
 // range (§6.1 model checking mode).
 func (w *World) FenceOps() int { return w.fenceOps }
+
+// Ops returns the number of operations the current execution has
+// performed so far — the op-budget position. The explorer folds it into
+// its partial-order-reduction key so two crash states are only merged
+// when their continuations also abort at the same point.
+func (w *World) Ops() int { return w.ops }
 
 // SetCrashTarget re-arms crash injection for the next phase.
 func (w *World) SetCrashTarget(k int) {

@@ -385,6 +385,23 @@ func (m *Machine) Crash() {
 // similar ones.
 func (m *Machine) PersistFingerprint() uint64 { return m.img.Fingerprint() }
 
+// Snapshot captures the machine's persistent state for a later Restore.
+// Call it only immediately after Crash: store buffers, pending flushes,
+// and the volatile cache are then empty, so the crash image's sealed
+// bounds are the whole machine state.
+func (m *Machine) Snapshot() *persist.ImageSnapshot { return m.img.Snapshot() }
+
+// Restore rewinds the machine to a previously captured Snapshot. The
+// volatile state rebuilt since the snapshot is dropped (it was empty at
+// the snapshot point) and the crash image is rewound. The shared trace
+// is rewound by the caller.
+func (m *Machine) Restore(snap *persist.ImageSnapshot) {
+	clear(m.buffers)
+	clear(m.pending)
+	clear(m.mem)
+	m.img.Restore(snap)
+}
+
 // GuaranteedPersistCount returns how many committed stores to the line
 // containing a are guaranteed persistent in the current sub-execution.
 // It exists for tests and diagnostics.

@@ -29,6 +29,37 @@ func (a *arena[T]) alloc() *T {
 	return p
 }
 
+// arenaMark is a position in an arena captured by mark and restored by
+// rewind.
+type arenaMark struct {
+	ci, n int
+}
+
+// mark captures the arena's current allocation cursor.
+func (a *arena[T]) mark() arenaMark { return arenaMark{ci: a.ci, n: a.n} }
+
+// rewind returns the arena to a previously captured mark, zeroing every
+// record allocated since the mark. Zeroing is required: alloc hands out
+// records without clearing them, relying on the invariant that
+// everything beyond the cursor is zero.
+func (a *arena[T]) rewind(m arenaMark) {
+	var zero T
+	for ci := m.ci; ci <= a.ci && ci < len(a.chunks); ci++ {
+		c := a.chunks[ci]
+		lo, hi := 0, len(c)
+		if ci == m.ci {
+			lo = m.n
+		}
+		if ci == a.ci {
+			hi = a.n
+		}
+		for j := lo; j < hi; j++ {
+			c[j] = zero
+		}
+	}
+	a.ci, a.n = m.ci, m.n
+}
+
 // reset zeroes the used prefix (so recycled records start out as if
 // freshly allocated) and rewinds the arena.
 func (a *arena[T]) reset() {

@@ -382,6 +382,93 @@ func (tr *Trace) Crash() {
 	tr.pushSubExec()
 }
 
+// TraceMark is a resumable position in a trace, captured by Mark and
+// restored by Rewind. A mark is only meaningful at a crash boundary:
+// immediately after Crash the current sub-execution is empty, so the
+// mark cleanly separates a committed prefix from the suffix a later
+// Rewind discards.
+type TraceMark struct {
+	subs        int
+	events      int
+	initials    int
+	nextStoreID int64
+	stores      arenaMark
+	evs         arenaMark
+}
+
+// Mark captures the trace's position for a later Rewind. Call it only
+// immediately after Crash (see TraceMark).
+func (tr *Trace) Mark() TraceMark {
+	return TraceMark{
+		subs:        len(tr.subs),
+		events:      len(tr.events),
+		initials:    len(tr.initials),
+		nextStoreID: tr.nextStoreID,
+		stores:      tr.stores.mark(),
+		evs:         tr.evs.mark(),
+	}
+}
+
+// Rewind returns the trace to a previously captured mark, recycling
+// every Store, Event, and SubExec recorded since. Pointers handed out
+// after the mark was taken become invalid; pointers from before it stay
+// valid (the prefix is untouched). The intern table is kept, as with
+// Reset.
+func (tr *Trace) Rewind(m TraceMark) {
+	for i := m.subs; i < len(tr.subs); i++ {
+		tr.subs[i].reset(i)
+	}
+	tr.subs = tr.subPool[:m.subs]
+	// The current-at-mark sub-execution was empty when the mark was
+	// taken (marks sit at crash boundaries); anything it accumulated
+	// since belongs to the discarded suffix.
+	tr.subs[m.subs-1].reset(m.subs - 1)
+	tr.events = tr.events[:m.events]
+	for a, s := range tr.initials {
+		// Initial stores are numbered -1, -2, ... in creation order, so
+		// the ones created after the mark are exactly those below
+		// -m.initials.
+		if s.ID < -int64(m.initials) {
+			delete(tr.initials, a)
+		}
+	}
+	tr.nextStoreID = m.nextStoreID
+	tr.stores.rewind(m.stores)
+	tr.evs.rewind(m.evs)
+}
+
+// CommittedFingerprint hashes everything about the trace's committed
+// stores that downstream consumers (Next, StoreByClock, the checker's
+// LOAD-PREV scan) can observe: per sub-execution, the committed stores
+// in TSO order with their identity, location, value, issuing thread,
+// clock, and sequence number. Two traces with equal fingerprints drive
+// those consumers identically. The explorer uses this as one component
+// of its partial-order-reduction key.
+func (tr *Trace) CommittedFingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	mix(uint64(len(tr.subs)))
+	for _, sub := range tr.subs {
+		mix(uint64(len(sub.Stores)))
+		for _, s := range sub.Stores {
+			mix(uint64(s.ID))
+			mix(uint64(s.Addr))
+			mix(uint64(s.Value))
+			mix(uint64(int64(s.Thread)))
+			mix(uint64(s.Clock))
+			mix(uint64(s.Seq))
+		}
+	}
+	return h
+}
+
 // GetExec returns the sub-execution containing the store (getexec in the
 // paper's Figure 10).
 func (tr *Trace) GetExec(st *Store) *SubExec { return tr.subs[st.SubExec] }

@@ -1,0 +1,212 @@
+package repro
+
+// Equivalence tests for the model-check reductions (prefix snapshots
+// and crash-state DPOR):
+//
+//   - snapshots on vs off must be bit-identical — same violation keys,
+//     same execution/abort/quarantine counts, and the same observable
+//     heap in every execution (pinned by digesting every recovery-phase
+//     read) — on every persistency-model backend;
+//   - DPOR on vs off must report exactly the same violation key set on
+//     every shipped litmus program, with DPOR never running more
+//     executions than the unreduced search.
+//
+// Together with determinism_test.go (which now exercises both settings)
+// these are the safety net that lets the reductions default to on.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/memmodel"
+	"repro/internal/persist"
+	"repro/internal/pmem"
+)
+
+// assertSameReducedOutcome compares everything a reduction is not
+// allowed to change.
+func assertSameReducedOutcome(t *testing.T, label string, on, off *explore.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(on.ViolationKeys(), off.ViolationKeys()) {
+		t.Fatalf("%s: ViolationKeys differ\n  on:  %v\n  off: %v", label, on.ViolationKeys(), off.ViolationKeys())
+	}
+	if on.Executions != off.Executions {
+		t.Fatalf("%s: Executions %d vs %d", label, on.Executions, off.Executions)
+	}
+	if on.ExecutionsToAllBugs != off.ExecutionsToAllBugs {
+		t.Fatalf("%s: ExecutionsToAllBugs %d vs %d", label, on.ExecutionsToAllBugs, off.ExecutionsToAllBugs)
+	}
+	if on.Aborted != off.Aborted || on.Quarantined != off.Quarantined {
+		t.Fatalf("%s: Aborted/Quarantined (%d/%d) vs (%d/%d)",
+			label, on.Aborted, on.Quarantined, off.Aborted, off.Quarantined)
+	}
+}
+
+// digestProgram is a two-phase program whose recovery phase digests
+// every value it reads into the collector, so two runs can compare the
+// exact heap state each execution observed. The phases touch several
+// cache lines with deliberately missing flushes, giving the search real
+// branching on every backend.
+func digestProgram(digests *[]uint64, mu *sync.Mutex) explore.Program {
+	words := []memmodel.Addr{0x2000, 0x2008, 0x2040, 0x3000, 0x3040}
+	return &explore.FuncProgram{
+		ProgName: "digest",
+		PhaseFns: []func(*pmem.World){
+			func(w *pmem.World) {
+				th := w.Thread(0)
+				th.Store(words[0], 1, "x=1")
+				th.Store(words[1], 2, "y=2") // same line as x, no flush
+				th.Flush(words[0], "flush x")
+				th.SFence("fence")
+				th.Store(words[2], 3, "z=3") // own line, no flush
+				th.Store(words[3], 4, "c=4")
+				th.Flush(words[3], "flush c")
+				th.Store(words[4], 5, "d=5")
+			},
+			func(w *pmem.World) {
+				th := w.Thread(0)
+				var h uint64 = 14695981039346656037
+				for _, a := range words {
+					v := th.Load(a, "recovery read")
+					h = (h ^ uint64(v)) * 1099511628211
+				}
+				mu.Lock()
+				*digests = append(*digests, h)
+				mu.Unlock()
+			},
+		},
+	}
+}
+
+// TestSnapshotEquivalenceAcrossModels: DisableSnapshots must not change
+// any observable part of a model-check campaign on any backend — and in
+// particular every execution must read the same heap whether it was
+// replayed from the program start or resumed from a restored crash
+// snapshot.
+func TestSnapshotEquivalenceAcrossModels(t *testing.T) {
+	for _, model := range persist.Names() {
+		model := model
+		t.Run(model, func(t *testing.T) {
+			run := func(disable bool) (*explore.Result, []uint64) {
+				var digests []uint64
+				var mu sync.Mutex
+				res := explore.Run(digestProgram(&digests, &mu), explore.Options{
+					Mode: explore.ModelCheck, Executions: 5000, Workers: 1,
+					Model:            persist.Config{Name: model},
+					DisableSnapshots: disable,
+				})
+				return res, digests
+			}
+			on, onDigests := run(false)
+			off, offDigests := run(true)
+			assertSameReducedOutcome(t, model, on, off)
+			// Workers:1 collects executions in canonical order, so the
+			// digest streams must match element for element.
+			if !reflect.DeepEqual(onDigests, offDigests) {
+				t.Fatalf("%s: heap digests diverge (%d vs %d executions)\n  on:  %v\n  off: %v",
+					model, len(onDigests), len(offDigests), onDigests, offDigests)
+			}
+			if off.SnapshotRestores != 0 {
+				t.Fatalf("%s: disabled run reports %d snapshot restores", model, off.SnapshotRestores)
+			}
+		})
+	}
+}
+
+// TestSnapshotEquivalenceOnBenchmarks runs the same A/B on the real
+// benchmark ports at both worker counts the determinism suite pins.
+func TestSnapshotEquivalenceOnBenchmarks(t *testing.T) {
+	execs := scaled(400)
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			for _, workers := range []int{1, 8} {
+				opt := explore.Options{Mode: explore.ModelCheck, Executions: execs, Workers: workers}
+				on := explore.Run(b.Build(bench.Buggy), opt)
+				opt.DisableSnapshots = true
+				off := explore.Run(b.Build(bench.Buggy), opt)
+				assertSameReducedOutcome(t, b.Name, on, off)
+			}
+		})
+	}
+}
+
+// TestDPORSoundOnLitmusPrograms: on every shipped .pm litmus program,
+// the DPOR-reduced search must report exactly the violation key set the
+// unreduced search reports, while never running more executions.
+func TestDPORSoundOnLitmusPrograms(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".pm") {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := lang.Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := explore.Options{Mode: explore.ModelCheck, Executions: 20000}
+			on := explore.Run(interp.New(name, prog), opt)
+			opt.DisableDPOR = true
+			off := explore.Run(interp.New(name, prog), opt)
+			if !reflect.DeepEqual(on.ViolationKeys(), off.ViolationKeys()) {
+				t.Fatalf("DPOR changed the violation set\n  on:  %v\n  off: %v",
+					on.ViolationKeys(), off.ViolationKeys())
+			}
+			if on.Executions > off.Executions {
+				t.Fatalf("DPOR ran more executions than the unreduced search: %d > %d",
+					on.Executions, off.Executions)
+			}
+			if off.DPORPruned != 0 {
+				t.Fatalf("disabled run reports %d DPOR prunes", off.DPORPruned)
+			}
+		})
+	}
+}
+
+// TestDPORSoundOnBenchmarks: same exact-set property on the benchmark
+// ports, where the searches are budget-capped. Under a binding cap the
+// reduced search advances further through the decision tree, so — like
+// the state-cache soundness test — the invariant is one-sided: nothing
+// the unreduced run found may be lost.
+func TestDPORSoundOnBenchmarks(t *testing.T) {
+	execs := scaled(400)
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			on := explore.Run(b.Build(bench.Buggy), explore.Options{
+				Mode: explore.ModelCheck, Executions: execs, Workers: 1,
+			})
+			off := explore.Run(b.Build(bench.Buggy), explore.Options{
+				Mode: explore.ModelCheck, Executions: execs, Workers: 1, DisableDPOR: true,
+			})
+			have := make(map[string]bool)
+			for _, k := range on.ViolationKeys() {
+				have[k] = true
+			}
+			for _, k := range off.ViolationKeys() {
+				if !have[k] {
+					t.Fatalf("DPOR lost violation %s\n  on:  %v\n  off: %v",
+						k, on.ViolationKeys(), off.ViolationKeys())
+				}
+			}
+		})
+	}
+}
