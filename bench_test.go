@@ -122,6 +122,52 @@ func BenchmarkExploreParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreModelCheckParallel measures model-check throughput
+// of the work-stealing scheduler on the CCEH and FAST_FAIR ports at
+// 1/2/4/8 workers. Every width assembles the identical canonical
+// stream (see TestStealDeterminismModelCheck); only wall-clock
+// changes, and only on multi-core hardware — on one core the wider
+// rows price the scheduler's overhead instead. The steal=off rows are
+// the -steal=false A/B: one pinned unit per crash-target subtree.
+func BenchmarkExploreModelCheckParallel(b *testing.B) {
+	for _, name := range []string{"CCEH", "FAST_FAIR"} {
+		bm := benchmarks.ByName(name)
+		if bm == nil {
+			b.Fatalf("%s not registered", name)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := explore.Run(bm.Build(bench.Buggy), explore.Options{
+						Mode:       explore.ModelCheck,
+						Executions: 200,
+						Workers:    workers,
+					})
+					if res.Executions == 0 {
+						b.Fatal("no executions ran")
+					}
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("%s/workers=8/steal=off", name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := explore.Run(bm.Build(bench.Buggy), explore.Options{
+					Mode:            explore.ModelCheck,
+					Executions:      200,
+					Workers:         8,
+					DisableStealing: true,
+				})
+				if res.Executions == 0 {
+					b.Fatal("no executions ran")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkExploreRandomSerial measures one serial (Workers=1)
 // random-mode campaign per iteration on a few registered benchmarks.
 // Run with -benchmem: allocs/op is the hot-path health metric the

@@ -27,6 +27,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -108,7 +109,8 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	model := fs.String("model", "", "persistency-model backend for tables 2/3/compare/violations: "+strings.Join(persist.Names(), ", "))
 	execs := fs.Int("execs", 0, "override executions per benchmark (0: per-port default)")
 	seed := fs.Int64("seed", 1, "exploration seed")
-	workers := fs.Int("workers", 0, "parallel exploration workers (0: all CPUs, 1: serial); results are identical for any count")
+	workers := fs.String("workers", "0", "parallel exploration workers (0: all CPUs, 1: serial); results are identical for any count. A comma-separated list (e.g. 1,2,4,8) makes -json sweep the parallel benchmark over each count; tables use the first entry")
+	steal := fs.Bool("steal", true, "work stealing between mc-mode workers (timing A/B; results are identical either way)")
 	violations := fs.String("violations", "", "print the detailed violation report for one benchmark")
 	deadline := fs.Duration("deadline", 0, "wall-clock budget per benchmark run (0: none); expired runs report partial coverage")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file; flushed even when a deadline or ^C aborts the run")
@@ -125,6 +127,11 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	disableSnaps, disableDPOR, err := explore.ParseReduction(*reduction)
 	if err != nil {
 		fmt.Fprintf(stderr, "psan-bench: -reduction: %v\n", err)
+		return 2
+	}
+	workerList, err := parseWorkerList(*workers)
+	if err != nil {
+		fmt.Fprintf(stderr, "psan-bench: -workers: %v\n", err)
 		return 2
 	}
 
@@ -159,16 +166,17 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		defer stopProgress()
 	}
 	if *jsonOut != "" {
-		if err := runBenchJSON(*jsonOut, *benchDesc, *reduction, *benchCount, disableSnaps, disableDPOR, stdout); err != nil {
+		if err := runBenchJSON(*jsonOut, *benchDesc, *reduction, *benchCount, workerList, disableSnaps, disableDPOR, !*steal, stdout); err != nil {
 			fmt.Fprintf(stderr, "psan-bench: -json: %v\n", err)
 			return 2
 		}
 		return 0
 	}
 	opt := report.Options{
-		Executions: *execs, Seed: *seed, Workers: *workers, Deadline: *deadline, Model: *model,
+		Executions: *execs, Seed: *seed, Workers: workerList[0], Deadline: *deadline, Model: *model,
 		Obs: observer, Context: ctx,
 		DisableSnapshots: disableSnaps, DisableDPOR: disableDPOR,
+		DisableStealing: !*steal,
 	}
 	if *violations != "" {
 		out, err := report.Violations(*violations, opt)
@@ -223,27 +231,48 @@ type benchFile struct {
 	Benchmarks  []benchRow `json:"benchmarks"`
 }
 
-// runBenchJSON reruns the workload of BenchmarkExploreModelCheckSerial
-// (capped serial DFS on the CCEH and FAST_FAIR ports) count times per
-// benchmark through testing.Benchmark and writes the per-benchmark
-// minimum to path, so the tracked BENCH_*.json files are generated by
-// the harness instead of transcribed by hand. The -reduction flag
-// applies, giving a one-command snapshot/DPOR A/B.
-func runBenchJSON(path, desc, reduction string, count int, disableSnaps, disableDPOR bool, stdout io.Writer) error {
+// parseWorkerList parses the -workers flag: a single count or a
+// comma-separated sweep list. Every entry must be >= 0 (0 meaning all
+// CPUs, as in explore.Options.Workers).
+func parseWorkerList(s string) ([]int, error) {
+	if s == "" {
+		return []int{0}, nil
+	}
+	parts := strings.Split(s, ",")
+	list := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad worker count %q", p)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("worker count %d is negative", n)
+		}
+		list = append(list, n)
+	}
+	return list, nil
+}
+
+// runBenchJSON reruns the workloads of BenchmarkExploreModelCheckSerial
+// and BenchmarkExploreModelCheckParallel (capped model-check DFS on the
+// CCEH and FAST_FAIR ports) count times per configuration through
+// testing.Benchmark and writes the per-configuration minimum to path,
+// so the tracked BENCH_*.json files are generated by the harness
+// instead of transcribed by hand. The -reduction and -steal flags
+// apply, and the parallel rows sweep every -workers entry — the
+// one-command scaling A/B behind EXPERIMENTS.md.
+func runBenchJSON(path, desc, reduction string, count int, workerList []int, disableSnaps, disableDPOR, disableSteal bool, stdout io.Writer) error {
 	if count < 1 {
 		count = 1
 	}
 	out := benchFile{Description: desc}
 	if out.Description == "" {
 		out.Description = fmt.Sprintf(
-			"psan-bench -json: serial model-check exploration (Executions:200, Workers:1) on the CCEH and FAST_FAIR ports, reduction=%s, min of %d; generated on %s/%s",
-			reduction, count, runtime.GOOS, runtime.GOARCH)
+			"psan-bench -json: model-check exploration (Executions:200) on the CCEH and FAST_FAIR ports, reduction=%s, steal=%v, workers=%v, min of %d; generated on %s/%s (GOMAXPROCS=%d)",
+			reduction, !disableSteal, workerList, count, runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0))
 	}
-	for _, name := range []string{"CCEH", "FAST_FAIR"} {
+	measure := func(name string, workers int) benchRow {
 		bm := benchmarks.ByName(name)
-		if bm == nil {
-			return fmt.Errorf("benchmark %q not registered", name)
-		}
 		var best benchRow
 		for rep := 0; rep < count; rep++ {
 			r := testing.Benchmark(func(b *testing.B) {
@@ -252,9 +281,10 @@ func runBenchJSON(path, desc, reduction string, count int, disableSnaps, disable
 					res := explore.Run(bm.Build(bench.Buggy), explore.Options{
 						Mode:             explore.ModelCheck,
 						Executions:       200,
-						Workers:          1,
+						Workers:          workers,
 						DisableSnapshots: disableSnaps,
 						DisableDPOR:      disableDPOR,
+						DisableStealing:  disableSteal,
 					})
 					if res.Executions == 0 {
 						b.Fatal("no executions ran")
@@ -267,13 +297,35 @@ func runBenchJSON(path, desc, reduction string, count int, disableSnaps, disable
 				BOp:      r.AllocedBytesPerOp(),
 				AllocsOp: r.AllocsPerOp(),
 			}
+			if workers != 1 {
+				shown := workers
+				if shown == 0 {
+					shown = runtime.NumCPU()
+				}
+				row.Name = fmt.Sprintf("BenchmarkExploreModelCheckParallel/%s/workers=%d", name, shown)
+			}
 			if rep == 0 || row.NsOp < best.NsOp {
 				best = row
 			}
 			fmt.Fprintf(stdout, "%s rep %d/%d: %d ns/op  %d B/op  %d allocs/op\n",
 				row.Name, rep+1, count, row.NsOp, row.BOp, row.AllocsOp)
 		}
-		out.Benchmarks = append(out.Benchmarks, best)
+		return best
+	}
+	for _, name := range []string{"CCEH", "FAST_FAIR"} {
+		if benchmarks.ByName(name) == nil {
+			return fmt.Errorf("benchmark %q not registered", name)
+		}
+		// The serial row keeps its historical name so BENCH_*.json files
+		// stay comparable across PRs; the sweep adds one parallel row per
+		// requested worker count.
+		out.Benchmarks = append(out.Benchmarks, measure(name, 1))
+		for _, w := range workerList {
+			if w == 1 {
+				continue // already measured as the serial row
+			}
+			out.Benchmarks = append(out.Benchmarks, measure(name, w))
+		}
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -239,6 +239,45 @@ func TestCancelResumeDeterminismModelCheck(t *testing.T) {
 	}
 }
 
+// TestStealDeterminismModelCheck: steal-heavy schedules must assemble
+// the same canonical stream as the never-stealing engine. ForceSteals
+// makes the scheduler donate a work unit at every sub-DFS loop top with
+// a donatable trail cut — the densest unit tree the work-stealing
+// machinery can produce, reproducibly at any worker count — and the
+// result must match a DisableStealing serial run bit for bit, at 1, 4,
+// and 16 workers, with the reductions on and off, including where the
+// Executions cap truncates the search.
+func TestStealDeterminismModelCheck(t *testing.T) {
+	execs := scaled(400)
+	for _, v := range reductionVariants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			for _, b := range benchmarks.All() {
+				b := b
+				t.Run(b.Name, func(t *testing.T) {
+					opt := explore.Options{
+						Mode: explore.ModelCheck, Executions: execs,
+						DisableSnapshots: v.disable, DisableDPOR: v.disable,
+					}
+					opt.Workers = 1
+					opt.DisableStealing = true
+					baseline := explore.Run(b.Build(bench.Buggy), opt)
+					opt.DisableStealing = false
+					opt.ForceSteals = true
+					for _, workers := range []int{1, 4, 16} {
+						opt.Workers = workers
+						stolen := explore.Run(b.Build(bench.Buggy), opt)
+						assertSameOutcome(t, b.Name, baseline, stolen)
+					}
+					if baseline.Executions == 0 {
+						t.Fatal("no executions ran")
+					}
+				})
+			}
+		})
+	}
+}
+
 // TestStateCacheSoundOnBenchmarks: pruning crash points with identical
 // surviving images must never lose a bug. Under a binding Executions
 // cap the cached run advances further through the decision tree and may

@@ -202,6 +202,89 @@ func equalKeys(a, b []string) bool {
 	return true
 }
 
+// TestObsCountersUnderStealContainment runs the model-check chaos
+// harness over a steal-heavy schedule (ForceSteals + fault injection)
+// and pins the scheduler's own instruments: the steals counter agrees
+// with Result.Steals, the shard-striped cache still balances exactly
+// (every probe is one shard-lock acquisition when nothing is resumed),
+// the classification identity holds with quarantines landing inside
+// stolen units, and the frontier gauge drains back to zero once every
+// donated unit has been collected.
+func TestObsCountersUnderStealContainment(t *testing.T) {
+	reg := obs.NewRegistry()
+	res := Run(figure2(), Options{
+		Mode: ModelCheck, Executions: 10000, Workers: 8,
+		ForceSteals: true,
+		InjectFault: injectEvery(4, 2, 3),
+		Obs:         &obs.Observer{Metrics: reg},
+	})
+	if res.Partial {
+		t.Fatalf("containment must not stop the run: %s", res)
+	}
+	c := counters(t, reg)
+	if steals := c["explore.steals"]; steals == 0 || steals != int64(res.Steals) {
+		t.Fatalf("steals counter %d vs Result.Steals %d, want equal and nonzero", steals, res.Steals)
+	}
+	started := c["explore.executions_started"]
+	classified := c["explore.executions_completed"] + c["explore.executions_aborted"] +
+		c["explore.executions_quarantined"] + c["explore.executions_pruned"]
+	if started == 0 || started != classified {
+		t.Fatalf("classification leak under steals: started %d != classified %d (%v)", started, classified, c)
+	}
+	if q := c["explore.executions_quarantined"]; q != int64(res.Quarantined) {
+		t.Fatalf("quarantined counter %d != Result.Quarantined %d", q, res.Quarantined)
+	}
+	probes, shard := c["statecache.probes"], c["statecache.shard_probes"]
+	if probes == 0 || probes != shard {
+		t.Fatalf("shard probes %d != probes %d (no resume ran, every probe is one lock trip)", shard, probes)
+	}
+	if hits, misses := c["statecache.hits"], c["statecache.misses"]; probes != hits+misses {
+		t.Fatalf("cache imbalance under steals: probes %d != hits %d + misses %d", probes, hits, misses)
+	}
+	if d := reg.Snapshot().Gauges["explore.frontier_depth"]; d != 0 {
+		t.Fatalf("frontier gauge %d after a complete steal-heavy run, want 0", d)
+	}
+}
+
+// TestObsFrontierRemainingMidStealStop extends the PR 5 stop-reason
+// latch coverage across a donation: a deadline stop landing while
+// donated units are still parked must latch exactly one deadline stop,
+// report the parked units in FrontierRemaining, and still drain the
+// frontier gauge to zero on the way out (parked units are counted out
+// of the gauge even when they never run).
+func TestObsFrontierRemainingMidStealStop(t *testing.T) {
+	for attempt := 0; attempt < 50; attempt++ {
+		reg := obs.NewRegistry()
+		res := Run(figure7(), Options{
+			Mode: ModelCheck, Executions: 10000, Workers: 4,
+			ForceSteals: true,
+			Deadline:    100 * time.Microsecond,
+			Obs:         &obs.Observer{Metrics: reg},
+		})
+		snap := reg.Snapshot()
+		if d := snap.Gauges["explore.frontier_depth"]; d != 0 {
+			t.Fatalf("frontier gauge %d after the run wound down, want 0", d)
+		}
+		if !res.Partial {
+			continue // deadline never tripped; retry with a smaller window
+		}
+		if got := snap.Counters["explore.stops_deadline"]; got != 1 {
+			t.Fatalf("stops_deadline %d, want exactly 1 (latch leaked)", got)
+		}
+		if got := snap.Counters["explore.stops_canceled"]; got != 0 {
+			t.Fatalf("stops_canceled %d on a deadline stop, want 0", got)
+		}
+		if res.StopReason != "deadline" {
+			t.Fatalf("StopReason %q, want deadline", res.StopReason)
+		}
+		if res.FrontierRemaining == 0 {
+			t.Fatalf("partial steal-heavy run reports a drained frontier: %s", res)
+		}
+		return
+	}
+	t.Skip("deadline never interrupted the run; nothing to pin")
+}
+
 // TestObsWorkerInvarianceUnderContainment asserts that turning the
 // registry on does not perturb the deterministic outcome, at any
 // worker count.

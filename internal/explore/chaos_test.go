@@ -118,6 +118,53 @@ func TestPanicContainmentModelCheck(t *testing.T) {
 	}
 }
 
+// TestPanicContainmentStealModelCheck runs the containment harness over
+// a steal-heavy schedule. Fault injection normally suppresses demand
+// donations (a hungry peer would make the unit tree timing-dependent),
+// but ForceSteals donates deterministically by trail shape alone, so
+// quarantines inside stolen units must classify identically at any
+// worker count. Injection ordinals are unit-local, so the stolen
+// schedule is compared against itself across worker counts, not
+// against the never-stealing one.
+func TestPanicContainmentStealModelCheck(t *testing.T) {
+	run := func(workers int) *Result {
+		return Run(figure2(), Options{
+			Mode: ModelCheck, Executions: 10000, Workers: workers,
+			ForceSteals: true,
+			InjectFault: injectEvery(4, 2, 3),
+		})
+	}
+	a := run(1)
+	if a.Partial {
+		t.Fatalf("containment must not stop the run: %s", a)
+	}
+	if a.Quarantined == 0 {
+		t.Fatalf("expected quarantined executions: %s", a)
+	}
+	if a.Steals == 0 {
+		t.Fatalf("forced donations never fired under injection: %s", a)
+	}
+	for _, ee := range a.ExecErrors {
+		if ee.Kind != "injected-fault" {
+			t.Fatalf("kind %q, want injected-fault: %v", ee.Kind, ee)
+		}
+		if len(ee.Prefix) == 0 {
+			t.Fatalf("model-check ExecError should carry its decision prefix: %+v", ee)
+		}
+	}
+	for _, workers := range []int{4, 16} {
+		b := run(workers)
+		if a.Quarantined != b.Quarantined || a.Executions != b.Executions ||
+			a.Aborted != b.Aborted || a.Steals != b.Steals {
+			t.Fatalf("workers=%d diverges: %s vs %s", workers, b, a)
+		}
+		if !reflect.DeepEqual(a.ViolationKeys(), b.ViolationKeys()) {
+			t.Fatalf("workers=%d violation keys diverge: %v vs %v",
+				workers, b.ViolationKeys(), a.ViolationKeys())
+		}
+	}
+}
+
 // TestPanicContainmentSerialModelCheck covers the serial engine (forced
 // by AfterExecution): quarantined executions hand over no world.
 func TestPanicContainmentSerialModelCheck(t *testing.T) {

@@ -169,6 +169,23 @@ type Options struct {
 	// executions run); the violation key set is unaffected. See
 	// DESIGN.md, "Prefix snapshots and partial-order reduction".
 	DisableDPOR bool
+	// DisableStealing turns off work stealing in the parallel model-check
+	// engine: when a worker's queue drains it normally carves the
+	// shallowest unexplored decision-trail cut off the busiest peer and
+	// runs it as an independent work unit. Results are bit-identical
+	// either way (the assembly walk reorders unit streams into canonical
+	// DFS order); the escape hatch exists for A/B timing and for
+	// debugging suspected scheduler bugs. See DESIGN.md, "Work-stealing
+	// scheduler".
+	DisableStealing bool
+	// ForceSteals is a test hook: the model-check engine donates a work
+	// unit at every sub-DFS loop top where the trail has a donatable cut,
+	// whether or not any worker is hungry. Donation decisions then depend
+	// only on the decision trail — never on scheduler timing — so the
+	// resulting work-unit tree is identical at any worker count, which is
+	// what lets the determinism and chaos suites drive steal-heavy
+	// schedules reproducibly. Production runs leave it false.
+	ForceSteals bool
 	// Model selects and configures the persistency-model backend
 	// (persist.Config zero value: px86, immediate commit). It is the
 	// single model-config path — pmem.Config receives exactly this
@@ -234,9 +251,13 @@ type Options struct {
 	// per execution, for a fault plan the engine then deliberately
 	// triggers from inside the execution (panics through the pmem/px86
 	// stack, slow steps). The argument is a deterministic schedule
-	// ordinal — the execution index in Random mode, the subtree-local
+	// ordinal — the execution index in Random mode, the work-unit-local
 	// execution ordinal in ModelCheck mode — so injection is independent
-	// of worker count. Production runs leave it nil.
+	// of worker count. Arming it disables demand-driven work stealing
+	// (donations would make unit-local ordinals depend on scheduler
+	// timing); combine it with ForceSteals to chaos-test steal-heavy
+	// schedules, whose trail-driven unit tree keeps ordinals
+	// deterministic. Production runs leave it nil.
 	InjectFault func(ordinal int) Fault
 	// --- observability ---
 
@@ -333,6 +354,12 @@ type Result struct {
 	// program start. It is a throughput diagnostic: results are
 	// bit-identical with snapshots disabled.
 	SnapshotRestores int
+	// Steals counts work units the ModelCheck engine's work-stealing
+	// scheduler carved off busy workers' decision trails and handed to
+	// idle ones. Like SnapshotRestores it is a scheduling diagnostic —
+	// the assembled stream is bit-identical at any steal count — and is
+	// excluded from the determinism contract.
+	Steals int
 	// DPORPruned counts deeper (phase >= 1) crash states the ModelCheck
 	// engine pruned by partial-order reduction: their complete post-crash
 	// state matched one already enumerated in the same subtree. Unlike
@@ -357,8 +384,11 @@ type Result struct {
 	// is still reported, so a SIGINT is never silently swallowed.
 	StopReason string
 	// FrontierRemaining counts known-unexplored work at the stop:
-	// executions not run in Random mode, spawned-but-unfinished DFS
-	// subtrees in ModelCheck mode.
+	// executions not run in Random mode; in ModelCheck mode, DFS work
+	// units with uncollected work — in-flight units the stop interrupted,
+	// stolen units still parked in the scheduler queue, and units whose
+	// finished work fell canonically after the cut (a resume re-derives
+	// it). It is exact even when a stop lands mid-steal.
 	FrontierRemaining int
 	// Quarantined counts executions whose engine panic was contained
 	// (see ExecErrors); they contribute no violations.
@@ -1047,9 +1077,11 @@ func trailValues(trail []decision) []int {
 	return vals
 }
 
-// runModelCheck implements the exhaustive mode. The work is split over
-// Options.Workers sub-DFS workers, one per crash-target subtree
-// (pool.go); an AfterExecution callback forces the serial engine, which
+// runModelCheck implements the exhaustive mode. The work runs on
+// Options.Workers scheduler workers draining a queue of DFS work units
+// — one root unit per crash-target subtree, plus any units busy
+// workers carve off their trails for idle peers (work stealing,
+// pool.go); an AfterExecution callback forces the serial engine, which
 // retains and hands over each world.
 func runModelCheck(p Program, opt Options, st *stopper) *Result {
 	if opt.AfterExecution != nil {

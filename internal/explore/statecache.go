@@ -37,6 +37,13 @@
 // cached: their keys would also need the checker's constraint state and
 // the pending crash-target choices of unreached phases.
 //
+// The cache is sharded: keys are striped over cacheShards independently
+// locked segments by the low bits of the image hash, so concurrent
+// workers probing different images never serialize on one mutex. The
+// hit/miss verdict for a given key is decided entirely inside its
+// shard, so sharding cannot change any verdict — only which lock a
+// probe takes. Per-shard hit/miss tallies are summed by stats().
+//
 // Known approximation: the op-budget counter is not part of the key, so
 // a continuation that aborts on its budget could be deduplicated
 // against one that would abort slightly later. Budgets are a safety
@@ -46,10 +53,16 @@ package explore
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/pmem"
 )
+
+// cacheShards is the stripe count. Shard selection uses the low bits of
+// the image hash (PersistFingerprint output is well-mixed), so the
+// count must stay a power of two.
+const cacheShards = 16
 
 // cacheKey identifies a surviving persistent image.
 type cacheKey struct {
@@ -57,87 +70,123 @@ type cacheKey struct {
 	heap  int    // pmem.Heap.Used
 }
 
+// shard returns the stripe index the key lives in.
+func (k cacheKey) shard() int {
+	return int(k.image & (cacheShards - 1))
+}
+
 // stateKey computes the cache key of a just-crashed world.
 func stateKey(w *pmem.World) cacheKey {
 	return cacheKey{image: w.M.PersistFingerprint(), heap: w.Heap.Used()}
 }
 
-// stateCache records explored crash images. The spawn chain already
-// serializes lookups, but the mutex keeps the structure safe under any
-// call pattern.
-type stateCache struct {
+// cacheShard is one independently locked stripe of the cache.
+type cacheShard struct {
 	mu           sync.Mutex
 	seen         map[cacheKey]struct{}
 	hits, misses int
-	met          obs.CacheMetrics
 	// images tracks distinct persistence fingerprints to split misses by
 	// class (new image vs. seen image with a new heap mark). It is only
 	// allocated when metrics are live, so the disabled path stays
-	// byte-identical to a build without observability.
+	// byte-identical to a build with observability off.
 	images map[uint64]struct{}
 }
 
+// stateCache records explored crash images, striped over cacheShards
+// segments keyed by image fingerprint. The spawn chain already
+// serializes classification lookups, but the per-shard mutexes keep the
+// structure safe — and uncontended — under any call pattern.
+type stateCache struct {
+	shards  [cacheShards]cacheShard
+	entries atomic.Int64 // total keys across shards (Entries gauge)
+	met     obs.CacheMetrics
+}
+
 func newStateCache(met obs.CacheMetrics) *stateCache {
-	c := &stateCache{seen: make(map[cacheKey]struct{}), met: met}
-	if met.Probes != nil {
-		c.images = make(map[uint64]struct{})
-	}
+	c := &stateCache{met: met}
+	// Shard maps are allocated lazily on first touch, so a run that only
+	// probes a few images pays for the shards it uses.
 	return c
 }
 
 // lookupOrRegister reports whether the key was already explored,
-// registering it if not.
+// registering it if not. The verdict is decided entirely inside the
+// key's shard.
 func (c *stateCache) lookupOrRegister(k cacheKey) (hit bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := &c.shards[k.shard()]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.met.ShardProbes.Inc()
 	c.met.Probes.Inc()
-	if _, ok := c.seen[k]; ok {
-		c.hits++
+	if s.seen == nil {
+		s.seen = make(map[cacheKey]struct{})
+	}
+	if _, ok := s.seen[k]; ok {
+		s.hits++
 		c.met.Hits.Inc()
 		return true
 	}
-	c.seen[k] = struct{}{}
-	c.misses++
+	s.seen[k] = struct{}{}
+	s.misses++
 	c.met.Misses.Inc()
-	if c.images != nil {
-		if _, ok := c.images[k.image]; ok {
+	if c.met.Probes != nil {
+		if s.images == nil {
+			s.images = make(map[uint64]struct{})
+		}
+		if _, ok := s.images[k.image]; ok {
 			c.met.MissNewHeap.Inc()
 		} else {
-			c.images[k.image] = struct{}{}
+			s.images[k.image] = struct{}{}
 			c.met.MissNewImage.Inc()
 		}
 	}
-	c.met.Entries.Set(int64(len(c.seen)))
+	c.met.Entries.Set(c.entries.Add(1))
 	return false
 }
 
-// stats returns the hit/miss counters.
+// stats returns the hit/miss counters summed across shards.
 func (c *stateCache) stats() (hits, misses int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
 }
 
 // prime registers a key without touching the counters: checkpoint
 // resume replays the pre-cut registrations so post-cut lookups see
 // exactly the cache an uninterrupted run would have had.
 func (c *stateCache) prime(k cacheKey) {
-	c.mu.Lock()
-	c.seen[k] = struct{}{}
-	if c.images != nil {
+	s := &c.shards[k.shard()]
+	s.mu.Lock()
+	c.met.ShardProbes.Inc()
+	if s.seen == nil {
+		s.seen = make(map[cacheKey]struct{})
+	}
+	if _, ok := s.seen[k]; !ok {
+		s.seen[k] = struct{}{}
+		c.met.Entries.Set(c.entries.Add(1))
+	}
+	if c.met.Probes != nil {
+		if s.images == nil {
+			s.images = make(map[uint64]struct{})
+		}
 		// Replay the fingerprint too, so post-resume misses classify
 		// against the same image set an uninterrupted run would have.
-		c.images[k.image] = struct{}{}
+		s.images[k.image] = struct{}{}
 	}
-	c.met.Entries.Set(int64(len(c.seen)))
-	c.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // seed adds a resumed checkpoint's counters so final stats are
 // cumulative across the interrupted and resumed runs.
 func (c *stateCache) seed(hits, misses int) {
-	c.mu.Lock()
-	c.hits += hits
-	c.misses += misses
-	c.mu.Unlock()
+	s := &c.shards[0]
+	s.mu.Lock()
+	s.hits += hits
+	s.misses += misses
+	s.mu.Unlock()
 }

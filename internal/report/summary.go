@@ -30,6 +30,9 @@ func RunSummary(res *explore.Result) string {
 	} else if res.StopReason != "" {
 		fmt.Fprintf(&b, "stop (%s) observed as the frontier drained; coverage is complete\n", res.StopReason)
 	}
+	if res.Steals > 0 {
+		fmt.Fprintf(&b, "work stealing: %d unit(s) donated to idle workers\n", res.Steals)
+	}
 	if res.Quarantined > 0 {
 		fmt.Fprintf(&b, "%d schedule(s) quarantined after contained panics:\n", res.Quarantined)
 		for _, ee := range res.ExecErrors {
