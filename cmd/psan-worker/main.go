@@ -1,0 +1,41 @@
+// psan-worker is the isolated execution half of psan's -isolate mode:
+// the dispatch supervisor spawns one psan-worker process per worker
+// slot and feeds it work units (model-check subtrees, random-mode index
+// ranges) over stdin, reading heartbeats, classifications, and unit
+// results back over stdout. It takes no flags — everything it needs
+// arrives in the hello message — and it holds no campaign state: losing
+// a psan-worker to a SIGKILL, an OOM kill, or a panic loses exactly the
+// one unit it was running.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/dispatch"
+	"repro/internal/explore"
+	"repro/internal/interp"
+	"repro/internal/lang"
+)
+
+func main() {
+	os.Exit(dispatch.WorkerMain(os.Stdin, os.Stdout, os.Stderr, compile))
+}
+
+// compile loads the program the supervisor named: the source file at
+// path, compiled exactly as cmd/psan compiles it, so both sides agree
+// on the program name the unit cut validates.
+func compile(name, path string) (explore.Program, error) {
+	if path == "" {
+		return nil, fmt.Errorf("no program path for %q", name)
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return interp.New(path, prog), nil
+}

@@ -6,6 +6,9 @@
 //	psan [-mode random|mc] [-execs N] [-seed S] [-workers W] [-model M] [-dump] program.pm
 //	psan -deadline 30s -checkpoint run.ckpt program.pm   # bounded campaign
 //	psan -resume run.ckpt program.pm                     # continue it
+//	psan -isolate -workers 4 program.pm                  # fault-tolerant
+//	                           # campaign in worker OS processes (see
+//	                           # -lease, -retries; needs psan-worker)
 //	psan -fix program.pm       # apply the suggested fixes, print the
 //	                           # repaired program
 //	psan -trace program.pm     # dump one execution's event trace
@@ -23,6 +26,11 @@
 //	3  partial run: a deadline, budget, or interrupt stopped
 //	   exploration before the frontier was exhausted, and no
 //	   violations were found in the explored prefix
+//	4  isolation trouble (-isolate only): work units were quarantined
+//	   as poison after exhausting their retry budget, or the campaign
+//	   degraded to in-process execution because worker processes could
+//	   not be spawned — no violations found, but the run's coverage or
+//	   isolation guarantee was compromised (violations still exit 1)
 package main
 
 import (
@@ -35,7 +43,9 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
+	"repro/internal/dispatch"
 	"repro/internal/explore"
 	"repro/internal/interp"
 	"repro/internal/lang"
@@ -52,6 +62,7 @@ const (
 	exitViolations = 1
 	exitInternal   = 2
 	exitPartial    = 3
+	exitDegraded   = 4
 )
 
 func main() {
@@ -90,6 +101,9 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	metricsAddr := fs.String("metrics-addr", "", "serve campaign metrics over HTTP on this address (/debug/vars expvar, /metrics JSON snapshot)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event timeline to this file (plus <file>.jsonl) on exit")
 	progress := fs.Duration("progress", 0, "print live campaign progress to stderr at this interval (0: off)")
+	isolate := fs.Bool("isolate", false, "run work units in isolated psan-worker OS processes: a worker crash, hang, or kill loses one unit, not the campaign (results identical to in-process runs)")
+	lease := fs.Duration("lease", 10*time.Second, "with -isolate: heartbeat deadline per delivered unit; a silent worker is killed and its unit redelivered")
+	retries := fs.Int("retries", 3, "with -isolate: redeliveries per failed unit before it is quarantined as poison (0: none)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: psan [flags] program.pm\n")
 		fs.PrintDefaults()
@@ -241,7 +255,22 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		})
 	}
 	campStart := tracer.Now()
-	res := explore.Run(compiled, opts)
+	var res *explore.Result
+	if *isolate {
+		retry := dispatch.RetryPolicy{Retries: *retries, Seed: *seed}
+		if *retries <= 0 {
+			retry.Retries = -1 // flag 0 means "no redeliveries", not the policy default
+		}
+		res = dispatch.Run(dispatch.Options{
+			Explore:     opts,
+			Program:     compiled,
+			ProgramPath: fs.Arg(0),
+			Lease:       *lease,
+			Retry:       retry,
+		})
+	} else {
+		res = explore.Run(compiled, opts)
+	}
 	tracer.CompleteSince(0, "campaign", "campaign", campStart, -1)
 	if stopProgress != nil {
 		stopProgress()
@@ -274,9 +303,14 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if len(res.Violations) > 0 {
 		return exitViolations
 	}
+	if !res.Partial {
+		fmt.Fprintln(stdout, "no robustness violations found")
+	}
+	if len(res.PoisonUnits) > 0 || res.Degraded {
+		return exitDegraded
+	}
 	if res.Partial {
 		return exitPartial
 	}
-	fmt.Fprintln(stdout, "no robustness violations found")
 	return exitRobust
 }

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -185,5 +187,67 @@ func TestCLICheckpointModelMismatch(t *testing.T) {
 	if code != exitInternal || !strings.Contains(errOut, "model") {
 		t.Fatalf("mismatched model resume must exit %d naming the model: %d %q",
 			exitInternal, code, errOut)
+	}
+}
+
+// buildWorker compiles psan-worker for the -isolate tests.
+func buildWorker(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "psan-worker")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/psan-worker")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Skipf("cannot build psan-worker: %v\n%s", err, out)
+	}
+	return bin
+}
+
+var elapsedRe = regexp.MustCompile(`, [^,]* total`)
+
+// normalize strips the nondeterministic parts of a run summary: elapsed
+// time and the scheduling-diagnostic lines (work stealing, redelivery
+// tallies) that the determinism contract explicitly excludes.
+func normalize(s string) string {
+	var keep []string
+	for _, line := range strings.Split(elapsedRe.ReplaceAllString(s, ""), "\n") {
+		if strings.HasPrefix(line, "work stealing:") || strings.HasPrefix(line, "process isolation:") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestCLIIsolate runs a campaign in worker processes and asserts the
+// report is byte-identical (modulo timing) to the in-process run's.
+func TestCLIIsolate(t *testing.T) {
+	t.Setenv("PSAN_WORKER_BIN", buildWorker(t))
+	codeIso, outIso, errIso := cli(t, "-isolate", "-mode", "mc", "-workers", "4", "../../testdata/figure2.pm")
+	if codeIso != exitViolations {
+		t.Fatalf("isolated exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", codeIso, exitViolations, outIso, errIso)
+	}
+	code, out, _ := cli(t, "-mode", "mc", "-workers", "1", "../../testdata/figure2.pm")
+	if code != exitViolations {
+		t.Fatalf("in-process exit = %d, want %d", code, exitViolations)
+	}
+	if got, want := normalize(outIso), normalize(out); got != want {
+		t.Errorf("isolated output differs from in-process:\n--- isolated ---\n%s\n--- in-process ---\n%s", got, want)
+	}
+}
+
+// TestCLIIsolateDegraded: an unspawnable worker binary degrades the
+// campaign to in-process execution — flagged in the report and in the
+// exit code — instead of failing it.
+func TestCLIIsolateDegraded(t *testing.T) {
+	t.Setenv("PSAN_WORKER_BIN", "/nonexistent/psan-worker")
+	code, out, _ := cli(t, "-isolate", "-mode", "mc", "../../testdata/figure2_fixed.pm")
+	if code != exitDegraded {
+		t.Fatalf("exit = %d, want %d\n%s", code, exitDegraded, out)
+	}
+	if !strings.Contains(out, "DEGRADED") {
+		t.Fatalf("degraded run not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "no robustness violations found") {
+		t.Fatalf("verdict missing:\n%s", out)
 	}
 }

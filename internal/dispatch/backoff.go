@@ -1,0 +1,109 @@
+// Package dispatch is the fault-tolerant campaign supervisor: it
+// executes exploration work units (model-check subtrees, random-mode
+// index ranges — internal/explore's RunUnit) in isolated worker OS
+// processes, so a worker that panics uncontained, exhausts memory,
+// hangs, or is SIGKILLed loses only the one unit it held.
+//
+// Each delivered unit carries a lease with a heartbeat deadline; a unit
+// whose worker dies or goes silent is redelivered after an exponential
+// backoff with deterministic jitter, up to a per-unit retry budget,
+// after which it is quarantined as poison with full provenance (trail
+// prefix, worker exit status, stderr tail). Because the supervisor's
+// merge is internal/explore's ordered assembly — a pure function of the
+// per-unit streams, each deterministic in its spec — the assembled
+// Result is bit-identical to an in-process run's at any worker count,
+// under any kill schedule, and across supervisor restarts.
+package dispatch
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+)
+
+// RetryPolicy is the redelivery schedule for failed or expired units.
+// The delay computation is pure — no clock, no global RNG — so the
+// redelivery sequence of a unit is a deterministic function of the
+// policy, the unit key, and the attempt number.
+type RetryPolicy struct {
+	// Base is the delay before the first redelivery; each further
+	// redelivery doubles it. Default 100ms.
+	Base time.Duration
+	// Cap bounds the exponential growth. Default 5s.
+	Cap time.Duration
+	// Retries is how many redeliveries a unit gets after its first
+	// delivery fails before it is quarantined as poison (a unit is
+	// attempted at most Retries+1 times). 0 means the default of 3;
+	// negative means no redeliveries at all.
+	Retries int
+	// Seed derives the per-(unit, attempt) jitter.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 5 * time.Second
+	}
+	if p.Retries == 0 {
+		p.Retries = 3
+	}
+	return p
+}
+
+// Delay returns the backoff before redelivery attempt `attempt` of the
+// unit identified by key (attempt 1 is the first redelivery). The delay
+// is Base·2^(attempt-1) capped at Cap, plus a deterministic jitter in
+// (-Base/2, +Base/2] derived from (Seed, key, attempt) so simultaneous
+// failures don't redeliver in lockstep.
+func (p RetryPolicy) Delay(key string, attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.Cap
+	// Guard the shift: past 30 doublings any sane Base exceeds any sane
+	// Cap anyway.
+	if attempt-1 < 30 {
+		if e := p.Base << uint(attempt-1); e < p.Cap {
+			d = e
+		}
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(p.Seed))
+	h.Write(b[:])
+	h.Write([]byte(key))
+	binary.LittleEndian.PutUint64(b[:], uint64(attempt))
+	h.Write(b[:])
+	span := int64(p.Base)
+	jitter := time.Duration(int64(h.Sum64()%uint64(span)) - span/2)
+	d += jitter
+	if d < 0 {
+		d = 0
+	}
+	if d > p.Cap {
+		d = p.Cap
+	}
+	return d
+}
+
+// Next decides the fate of a unit whose delivery just failed: given the
+// unit key, the number of delivery attempts made so far, and the
+// current time, it returns when the unit may be redelivered — or
+// poison=true when the retry budget is exhausted. The clock enters only
+// the returned timestamp (now + Delay); the decision itself is pure, so
+// tests drive Next with a fake clock and assert the exact schedule.
+func (p RetryPolicy) Next(key string, attempts int, now time.Time) (redeliverAt time.Time, poison bool) {
+	p = p.withDefaults()
+	budget := p.Retries
+	if budget < 0 {
+		budget = 0
+	}
+	if attempts > budget {
+		return time.Time{}, true
+	}
+	return now.Add(p.Delay(key, attempts)), false
+}

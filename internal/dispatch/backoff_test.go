@@ -1,0 +1,100 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministic: the redelivery schedule is a pure function
+// of (policy, unit key, attempt) — no wall clock, no global RNG — so
+// two computations of the same schedule are identical.
+func TestBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{Base: 100 * time.Millisecond, Cap: 5 * time.Second, Retries: 3, Seed: 7}
+	for attempt := 1; attempt <= 6; attempt++ {
+		a := p.Delay("mc:3", attempt)
+		b := p.Delay("mc:3", attempt)
+		if a != b {
+			t.Fatalf("Delay(mc:3, %d) unstable: %v vs %v", attempt, a, b)
+		}
+	}
+}
+
+// TestBackoffExponentialEnvelope: each delay sits inside the
+// exponential envelope Base·2^(attempt-1) ± Base/2, clamped to
+// [0, Cap].
+func TestBackoffExponentialEnvelope(t *testing.T) {
+	p := RetryPolicy{Base: 100 * time.Millisecond, Cap: 5 * time.Second, Retries: 3, Seed: 7}
+	for attempt := 1; attempt <= 10; attempt++ {
+		d := p.Delay("random:0-25", attempt)
+		if d < 0 || d > p.Cap {
+			t.Fatalf("Delay(attempt %d) = %v outside [0, %v]", attempt, d, p.Cap)
+		}
+		exp := p.Base << uint(attempt-1)
+		if exp > p.Cap {
+			exp = p.Cap
+		}
+		lo, hi := exp-p.Base/2, exp+p.Base/2
+		if hi > p.Cap {
+			hi = p.Cap
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if d < lo || d > hi {
+			t.Errorf("Delay(attempt %d) = %v outside envelope [%v, %v]", attempt, d, lo, hi)
+		}
+	}
+}
+
+// TestBackoffJitterVariesByKey: simultaneous failures of different
+// units don't redeliver in lockstep. (FNV jitter is deterministic, so
+// this locks in the actual spread for the seed used by the test.)
+func TestBackoffJitterVariesByKey(t *testing.T) {
+	p := RetryPolicy{Base: 100 * time.Millisecond, Cap: 5 * time.Second, Retries: 3, Seed: 7}
+	seen := map[time.Duration]bool{}
+	for _, key := range []string{"random:0-25", "random:25-50", "random:50-75", "mc:0", "mc:1"} {
+		seen[p.Delay(key, 1)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("all keys share one first-redelivery delay %v — jitter is not keyed", seen)
+	}
+}
+
+// TestBackoffNextSchedule drives Next with a fake clock and asserts the
+// exact schedule: redeliver-at = now + Delay for every attempt within
+// the budget, poison exactly when the budget is exhausted.
+func TestBackoffNextSchedule(t *testing.T) {
+	p := RetryPolicy{Base: 10 * time.Millisecond, Cap: 100 * time.Millisecond, Retries: 3, Seed: 99}
+	clock := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	key := "mc:5"
+	for attempts := 1; attempts <= 3; attempts++ {
+		at, poison := p.Next(key, attempts, clock)
+		if poison {
+			t.Fatalf("Next(attempts=%d) poisoned inside the budget of 3", attempts)
+		}
+		if want := clock.Add(p.Delay(key, attempts)); !at.Equal(want) {
+			t.Errorf("Next(attempts=%d) = %v, want now+Delay = %v", attempts, at, want)
+		}
+		clock = clock.Add(time.Second) // the clock only offsets, never decides
+	}
+	if _, poison := p.Next(key, 4, clock); !poison {
+		t.Error("Next(attempts=4) did not poison after a budget of 3 retries")
+	}
+}
+
+// TestBackoffRetriesSemantics: 0 means the default budget, negative
+// means no redeliveries at all.
+func TestBackoffRetriesSemantics(t *testing.T) {
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	def := RetryPolicy{}
+	if _, poison := def.Next("u", 3, now); poison {
+		t.Error("default policy poisoned within its 3-retry budget")
+	}
+	if _, poison := def.Next("u", 4, now); !poison {
+		t.Error("default policy did not poison past 3 retries")
+	}
+	none := RetryPolicy{Retries: -1}
+	if _, poison := none.Next("u", 1, now); !poison {
+		t.Error("Retries<0 should poison on the first failure")
+	}
+}

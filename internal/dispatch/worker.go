@@ -1,0 +1,156 @@
+// Worker-process main loop (the body of cmd/psan-worker, and of the
+// test binary's re-exec mode): speak the unit protocol on
+// stdin/stdout, run each unit in-process via explore.RunUnit, report
+// heartbeats, classifications, and results.
+package dispatch
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/explore"
+)
+
+// ChaosEnv, when set in a worker process's environment, makes the
+// worker sabotage itself for the kill-chaos tests and CI job:
+//
+//	kill-after=N   SIGKILL self after N executions of a unit, first
+//	               delivery attempts only (every unit dies once, every
+//	               redelivery completes)
+//	hang=ID        on unit ID's first attempt, stop heartbeating and
+//	               block forever (exercises lease expiry; the
+//	               supervisor must SIGKILL this worker)
+//	poison=ID      SIGKILL self at the start of every attempt of unit
+//	               ID (exercises retry exhaustion and quarantine)
+const ChaosEnv = "PSAN_DISPATCH_CHAOS"
+
+// chaosPlan is the parsed ChaosEnv sabotage.
+type chaosPlan struct {
+	killAfter int // >0: self-kill after this many execs (attempt 0)
+	hangUnit  int // >=0: block forever in unit (attempt 0)
+	poison    int // >=0: self-kill on every attempt of this unit
+}
+
+func parseChaos(s string) chaosPlan {
+	p := chaosPlan{killAfter: 0, hangUnit: -1, poison: -1}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			continue
+		}
+		switch k {
+		case "kill-after":
+			p.killAfter = n
+		case "hang":
+			p.hangUnit = n
+		case "poison":
+			p.poison = n
+		}
+	}
+	return p
+}
+
+// selfKill is the chaos kill: SIGKILL, exactly what an OOM kill or an
+// operator kill -9 delivers — no deferred functions, no result flush.
+func selfKill() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {} // unreachable; SIGKILL cannot be handled
+}
+
+// ProgramResolver maps the hello message's program reference to a
+// runnable program. cmd/psan-worker compiles the source file at path;
+// the test harness resolves registered in-process programs by name.
+type ProgramResolver func(name, path string) (explore.Program, error)
+
+// WorkerMain runs the worker protocol until stdin closes (supervisor
+// shutdown) and returns the process exit code. It is transport-pure —
+// no flag parsing, no os.Exit — so tests run it over in-memory pipes
+// and cmd/psan-worker stays a three-line wrapper.
+func WorkerMain(stdin io.Reader, stdout, stderr io.Writer, resolve ProgramResolver) int {
+	chaos := parseChaos(os.Getenv(ChaosEnv))
+	dec := json.NewDecoder(bufio.NewReader(stdin))
+	enc := json.NewEncoder(stdout)
+
+	var hello helloMsg
+	if err := dec.Decode(&hello); err != nil {
+		fmt.Fprintf(stderr, "psan-worker: reading hello: %v\n", err)
+		return 1
+	}
+	prog, err := resolve(hello.ProgramName, hello.ProgramPath)
+	if err != nil {
+		enc.Encode(workerMsg{Type: "fatal", Error: "resolving program: " + err.Error(), Permanent: true})
+		return 1
+	}
+	opt := optionsFromWire(hello.Opts)
+	if err := enc.Encode(workerMsg{Type: "ready"}); err != nil {
+		return 1
+	}
+
+	for {
+		var um unitMsg
+		if err := dec.Decode(&um); err != nil {
+			if err == io.EOF {
+				return 0 // supervisor closed the channel: clean shutdown
+			}
+			fmt.Fprintf(stderr, "psan-worker: reading unit: %v\n", err)
+			return 1
+		}
+		// The cut is checkpoint-shaped on purpose: Validate catches a
+		// supervisor/worker skew (program, mode, seed, model, reduction)
+		// before any divergent exploration happens.
+		if err := um.Cut.Validate(prog.Name(), opt); err != nil {
+			enc.Encode(workerMsg{Type: "fatal", ID: um.ID, Error: err.Error(), Permanent: true})
+			continue
+		}
+		if chaos.poison == um.ID {
+			fmt.Fprintf(stderr, "psan-worker: chaos: poisoning unit %d\n", um.ID)
+			selfKill()
+		}
+		// Heartbeats ride the per-execution hook, rate-limited to a
+		// quarter lease so chatty units don't flood the pipe. A hung
+		// execution stops calling the hook, the heartbeats stop, and the
+		// supervisor's lease expires: hangs need no extra detection.
+		hbEvery := time.Duration(um.LeaseMS) * time.Millisecond / 4
+		lastHB := time.Now()
+		hooks := explore.UnitHooks{
+			OnExec: func(n int) {
+				if um.Attempt == 0 && chaos.killAfter > 0 && n >= chaos.killAfter {
+					fmt.Fprintf(stderr, "psan-worker: chaos: self-kill in unit %d after %d execs\n", um.ID, n)
+					selfKill()
+				}
+				if um.Attempt == 0 && chaos.hangUnit == um.ID {
+					fmt.Fprintf(stderr, "psan-worker: chaos: hanging in unit %d\n", um.ID)
+					select {} // silent forever; the lease must reap us
+				}
+				if now := time.Now(); now.Sub(lastHB) >= hbEvery {
+					lastHB = now
+					enc.Encode(workerMsg{Type: "hb", ID: um.ID, Execs: n})
+				}
+			},
+			OnClassify: func(c explore.UnitClassification) {
+				cc := c
+				enc.Encode(workerMsg{Type: "classified", ID: um.ID, Class: &cc})
+			},
+		}
+		ur, err := explore.RunUnit(prog, opt, um.Spec, hooks)
+		if err != nil {
+			enc.Encode(workerMsg{Type: "fatal", ID: um.ID, Error: err.Error(), Permanent: true})
+			continue
+		}
+		if err := enc.Encode(workerMsg{Type: "result", ID: um.ID, Result: ur}); err != nil {
+			fmt.Fprintf(stderr, "psan-worker: writing result: %v\n", err)
+			return 1
+		}
+	}
+}

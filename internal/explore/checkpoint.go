@@ -40,8 +40,16 @@ func resolveModel(name string) string {
 // the model-check trail to lazy crash-target consumption (decision
 // order = use order) and added the cut subtree's partial-order-
 // reduction registrations; version-1 trails describe a different
-// decision ordering and cannot be resumed.
-const checkpointVersion = 2
+// decision ordering and cannot be resumed. Version 3 added the
+// process-isolation supervisor's campaign state (Dispatch) and made the
+// format double as the supervisor↔worker wire vocabulary — a work unit
+// is described to a worker as a checkpoint-shaped cut, which the worker
+// Validates before running.
+const checkpointVersion = 3
+
+// CheckpointVersion is the current format version, exported for the
+// dispatch supervisor, which shapes work units as checkpoints.
+const CheckpointVersion = checkpointVersion
 
 // Checkpoint is the resume state of a partial exploration run.
 type Checkpoint struct {
@@ -70,6 +78,32 @@ type Checkpoint struct {
 	// cross-execution dedup.
 	ViolationKeys []string      `json:"violationKeys,omitempty"`
 	MC            *MCCheckpoint `json:"mc,omitempty"`
+	// Dispatch carries the process-isolation supervisor's campaign state
+	// (internal/dispatch, version 3): cumulative redelivery and restart
+	// totals plus the poison quarantine, so a resumed -isolate campaign
+	// reports cumulatively and re-attempts quarantined units with a
+	// fresh retry budget. In-process resumes ignore it.
+	Dispatch *DispatchCheckpoint `json:"dispatch,omitempty"`
+}
+
+// DispatchCheckpoint is the supervisor-specific resume state.
+type DispatchCheckpoint struct {
+	Redeliveries   int            `json:"redeliveries"`
+	WorkerRestarts int            `json:"workerRestarts"`
+	Poison         []PoisonRecord `json:"poison,omitempty"`
+}
+
+// PoisonRecord is the serialized identity of a quarantined work unit.
+// The canonical cut always falls at or before the first poisoned unit,
+// so a resume re-attempts it; the record preserves the campaign's
+// failure history across that restart.
+type PoisonRecord struct {
+	Kind     string `json:"kind"` // "mc" or "random"
+	Subtree  int    `json:"subtree,omitempty"`
+	Lo       int    `json:"lo,omitempty"`
+	Hi       int    `json:"hi,omitempty"`
+	Attempts int    `json:"attempts"`
+	LastErr  string `json:"lastError,omitempty"`
 }
 
 // MCCheckpoint is the model-check-specific resume state: the cut
@@ -157,34 +191,54 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
 	}
 	if c.Version != checkpointVersion {
-		return nil, fmt.Errorf("checkpoint %s: version %d, want %d", path, c.Version, checkpointVersion)
+		return nil, fmt.Errorf("checkpoint %s: %w", path, &MismatchError{
+			Field: "version",
+			Have:  fmt.Sprintf("%d", c.Version),
+			Want:  fmt.Sprintf("%d", checkpointVersion),
+		})
 	}
 	return &c, nil
 }
 
+// MismatchError is a typed checkpoint-validation failure: the named
+// field disagrees between the checkpoint (Have) and the run trying to
+// resume it (Want). It names both sides because the error is no longer
+// just a CLI nit — the dispatch supervisor speaks the checkpoint format
+// to its worker processes, and a worker that rejects a unit spec must
+// say exactly which field disagreed for the supervisor's poison record
+// to be actionable.
+type MismatchError struct {
+	Field string // "version", "program", "mode", "seed", "model", "dpor", "mc-state"
+	Have  string // the checkpoint's side
+	Want  string // the resuming run's side
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("checkpoint %s mismatch: checkpoint has %s, run wants %s", e.Field, e.Have, e.Want)
+}
+
 // Validate checks that the checkpoint belongs to the same campaign the
 // options describe; resuming a mismatched checkpoint would silently
-// explore garbage.
+// explore garbage. Every failure is a *MismatchError naming the field
+// and both sides.
 func (c *Checkpoint) Validate(program string, opt Options) error {
 	if c.Program != program {
-		return fmt.Errorf("checkpoint is for program %q, not %q", c.Program, program)
+		return &MismatchError{Field: "program", Have: fmt.Sprintf("%q", c.Program), Want: fmt.Sprintf("%q", program)}
 	}
 	if c.Mode != opt.Mode.String() {
-		return fmt.Errorf("checkpoint is for mode %s, not %s", c.Mode, opt.Mode)
+		return &MismatchError{Field: "mode", Have: c.Mode, Want: opt.Mode.String()}
 	}
 	if opt.Mode == Random && c.Seed != opt.Seed {
-		return fmt.Errorf("checkpoint is for seed %d, not %d", c.Seed, opt.Seed)
+		return &MismatchError{Field: "seed", Have: fmt.Sprintf("%d", c.Seed), Want: fmt.Sprintf("%d", opt.Seed)}
 	}
 	if resolveModel(c.Model) != resolveModel(opt.Model.Name) {
-		return fmt.Errorf("checkpoint is for model %s, not %s",
-			resolveModel(c.Model), resolveModel(opt.Model.Name))
+		return &MismatchError{Field: "model", Have: resolveModel(c.Model), Want: resolveModel(opt.Model.Name)}
 	}
 	if c.Mode == ModelCheck.String() && c.MC == nil {
-		return fmt.Errorf("checkpoint has no model-check resume state")
+		return &MismatchError{Field: "mc-state", Have: "absent", Want: "present"}
 	}
 	if c.Mode == ModelCheck.String() && c.DPOR == opt.DisableDPOR {
-		return fmt.Errorf("checkpoint ran with DPOR %s, resume options have it %s",
-			onOff(c.DPOR), onOff(!opt.DisableDPOR))
+		return &MismatchError{Field: "dpor", Have: onOff(c.DPOR), Want: onOff(!opt.DisableDPOR)}
 	}
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"time"
 
 	"repro/internal/persist"
 )
@@ -48,8 +49,8 @@ type ExecError struct {
 	// the panic point.
 	Prefix []int
 	// Kind classifies the panic value: "<model>-invariant" (e.g.
-	// "px86-invariant"), "interp-internal", "injected-fault",
-	// "runtime", or "panic".
+	// "px86-invariant"), "interp-internal", "injected-fault", "stall"
+	// (hard-watchdog timeout), "runtime", or "panic".
 	Kind string
 	// Value is the rendered panic value.
 	Value string
@@ -78,6 +79,20 @@ func (f injectedFault) Error() string {
 	return fmt.Sprintf("injected fault at op %d of execution ordinal %d", f.op, f.exec)
 }
 
+// stallFault is the hard watchdog's panic value (installProbe): an
+// execution that kept running hardWatchdogFactor step-timeouts past its
+// soft abort. Unlike pmem.AbortSignal it is never swallowed by thread
+// unwinding — it propagates through the ExecError path and quarantines
+// the schedule, since a schedule whose abort doesn't terminate it would
+// deterministically hang again.
+type stallFault struct {
+	elapsed, limit time.Duration
+}
+
+func (f stallFault) Error() string {
+	return fmt.Sprintf("execution stalled: ran %v with step timeout %v and survived the soft abort", f.elapsed, f.limit)
+}
+
 // classifyPanic maps a recovered panic value to an ExecError kind. The
 // interpreter's InternalError is matched through its marker method
 // rather than its type: explore cannot import interp (interp's tests
@@ -90,6 +105,8 @@ func classifyPanic(r any) string {
 		return "interp-internal"
 	case injectedFault:
 		return "injected-fault"
+	case stallFault:
+		return "stall"
 	case runtime.Error:
 		return "runtime"
 	default:

@@ -401,6 +401,29 @@ type Result struct {
 	// deadline or cancellation; nil for complete runs and for budget
 	// truncation (re-run with a larger budget instead).
 	Checkpoint *Checkpoint
+
+	// --- process isolation (internal/dispatch) ---
+	// These fields are zero for in-process runs; the dispatch supervisor
+	// fills them when the campaign ran in worker processes.
+
+	// Isolated marks a Result assembled by the dispatch supervisor from
+	// worker-process unit results.
+	Isolated bool
+	// Redeliveries counts work units re-dispatched after a worker died
+	// or its lease expired; WorkerRestarts counts worker processes
+	// respawned after such a failure.
+	Redeliveries   int
+	WorkerRestarts int
+	// PoisonUnits are work units quarantined after exhausting their
+	// retry budget: the campaign's canonical stream is cut at the first
+	// of them (Partial, StopReason "poison") and the records carry the
+	// provenance a bug report needs — the same discipline as ExecErrors.
+	PoisonUnits []*PoisonUnit
+	// Degraded marks a supervised campaign that fell back to in-process
+	// execution after repeated supervisor-level trouble (fork/exec
+	// failing). Results are still bit-identical — the same unit code runs
+	// either way — but the isolation guarantee was lost.
+	Degraded bool
 }
 
 // PerExecution returns the mean wall-clock time per execution, measured
@@ -696,9 +719,25 @@ func runPhasesMC(phases []func(*pmem.World), w *pmem.World, ctl *controller, sta
 	return false, false, nil
 }
 
-// installProbe arms w's per-operation watchdog for one execution: the
-// chaos fault plan (if any) and the step timeout. When neither applies
-// the probe stays nil and the hot path pays nothing.
+// hardWatchdogFactor scales StepTimeout into the hard watchdog bound:
+// an execution still running this many timeouts past its soft abort is
+// stalled — the AbortSignal is evidently being swallowed (a spawned
+// thread's unwinder, a port's own recover) — and is quarantined through
+// the ExecError path instead of aborted.
+const hardWatchdogFactor = 4
+
+// installProbe arms w's watchdog for one execution: the chaos fault
+// plan (if any) and the step timeout. The probe runs before every
+// memory operation and, via pmem.CountInterpStep's throttle, every 1024
+// interpreted statements — so a loop that issues no operations still
+// trips the timeout. When neither watchdog applies the probe stays nil
+// and the hot path pays nothing.
+//
+// The timeout is two-tier: past StepTimeout the execution is aborted
+// (pmem.AbortSignal, counted in Result.Aborted); past
+// hardWatchdogFactor×StepTimeout — reachable only when the abort didn't
+// terminate it — a stallFault panic quarantines the schedule as an
+// ExecError of kind "stall".
 func installProbe(w *pmem.World, opt *Options, ordinal int) {
 	var fault Fault
 	if opt.InjectFault != nil {
@@ -712,6 +751,7 @@ func installProbe(w *pmem.World, opt *Options, ordinal int) {
 		start = time.Now()
 	}
 	delayed := false
+	softFired := false
 	w.SetProbe(func(ops int) {
 		if fault.PanicAtOp > 0 && ops >= fault.PanicAtOp {
 			panic(injectedFault{exec: ordinal, op: ops})
@@ -720,8 +760,20 @@ func installProbe(w *pmem.World, opt *Options, ordinal int) {
 			delayed = true
 			time.Sleep(fault.Delay)
 		}
-		if opt.StepTimeout > 0 && time.Since(start) > opt.StepTimeout {
-			panic(pmem.AbortSignal{})
+		if opt.StepTimeout > 0 {
+			since := time.Since(start)
+			// The hard tier arms only after the soft abort was raised: a
+			// probe that runs after softFired means something swallowed
+			// the AbortSignal and the execution is still going. A single
+			// long gap between probes (a slow op, a chaos delay) is not a
+			// stall — it aborts like any other timeout.
+			if softFired && since > hardWatchdogFactor*opt.StepTimeout {
+				panic(stallFault{elapsed: since, limit: opt.StepTimeout})
+			}
+			if since > opt.StepTimeout {
+				softFired = true
+				panic(pmem.AbortSignal{})
+			}
 		}
 	})
 }

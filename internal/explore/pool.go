@@ -426,6 +426,18 @@ type mcEngine struct {
 	// poll the donation trigger without taking the lock.
 	hungry atomic.Bool
 
+	// solo runs the engine as a single exported work unit (RunUnit,
+	// unit.go): exactly one subtree's root unit, no successor spawning
+	// (the dispatch supervisor spawns successors as their own units), and
+	// the budget bounds this unit's recorded executions directly instead
+	// of the cross-subtree allowance sum.
+	solo       bool
+	soloBudget int // 0: unbounded
+	// onExec and onClassify are the solo unit's progress hooks (worker
+	// heartbeats, early classification reporting). Nil in pool runs.
+	onExec     func(n int)
+	onClassify func(UnitClassification)
+
 	cache *stateCache // nil when disabled
 
 	// --- resume state (from Options.Resume) ---
@@ -546,6 +558,11 @@ func (e *mcEngine) enqueue(u *mcUnit) {
 // registered its crash-0 image, which keeps the state-cache
 // registration order — and so the hit/miss pattern — deterministic.
 func (e *mcEngine) spawnRoot(v int) {
+	if e.solo {
+		// The classification (sub.injectionFired) is still recorded; the
+		// dispatch supervisor — not this engine — owns the successor.
+		return
+	}
 	sub := e.subtree(v)
 	u := &mcUnit{sub: sub, subOrd: v, classify: true}
 	if e.numPre > 0 {
@@ -601,6 +618,13 @@ func (e *mcEngine) start() {
 // stops before producing every execution the canonical first-cap
 // prefix needs.
 func (e *mcEngine) allowance(u *mcUnit) bool {
+	if e.solo {
+		// Solo units get an explicit per-unit budget from the dispatch
+		// supervisor (a conservative overestimate of the canonical
+		// remainder; the supervisor truncates at assembly exactly like
+		// this engine's own walk).
+		return e.soloBudget <= 0 || len(u.execs) < e.soloBudget
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	sum := e.baseExecs
@@ -875,6 +899,14 @@ func (e *mcEngine) runUnit(u *mcUnit, ws *mcWorkerState, tid int) {
 				sub.injectionFired = true
 				e.spawnRoot(u.subOrd + 1)
 			}
+			if e.onClassify != nil {
+				e.onClassify(UnitClassification{
+					Pruned:         sub.pruned,
+					Keyed:          sub.keyed,
+					Key:            CacheEntry{Image: sub.key.image, Heap: sub.key.heap},
+					InjectionFired: sub.injectionFired,
+				})
+			}
 			if !keep {
 				return false
 			}
@@ -1013,6 +1045,9 @@ func (e *mcEngine) runUnit(u *mcUnit, ws *mcWorkerState, tid int) {
 		}
 		u.execs = append(u.execs, ex)
 		sub.nexecs.Add(1)
+		if e.onExec != nil {
+			e.onExec(len(u.execs))
+		}
 		if !ctl.backtrackFrom(u.root) {
 			u.markDone()
 			break

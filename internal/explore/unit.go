@@ -1,0 +1,256 @@
+// Work-unit export for the process-isolation supervisor
+// (internal/dispatch): one model-check subtree or one random-mode index
+// range, run to completion in this process and returned as a raw,
+// unassembled execution stream.
+//
+// A unit is described in the checkpoint vocabulary (UnitSpec embeds
+// MCCheckpoint for model-check units; a random unit is just an index
+// range), so the supervisor↔worker wire protocol and the on-disk resume
+// format are one format. Determinism is inherited wholesale: a
+// model-check unit is exactly the engine's own resume path restricted
+// to a single subtree (same trail replay, same primed state cache, same
+// DPOR registrations), and a random unit's executions depend only on
+// their indices. The supervisor's ordered merge of unit streams is
+// therefore bit-identical to the in-process engines' canonical
+// assembly, at any worker count and under any kill schedule.
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// UnitSpec describes one work unit. Exactly one of Random and MC is set.
+type UnitSpec struct {
+	// Random is a random-mode index range: executions [Lo, Hi) of the
+	// canonical stream.
+	Random *RandomRange `json:"random,omitempty"`
+	// MC is a model-check subtree in checkpoint vocabulary: the subtree
+	// ordinal, the state-cache keys registered by earlier subtrees (in
+	// registration order), and — when resuming a mid-subtree checkpoint
+	// cut — the started trail, spawn flag, and DPOR registrations.
+	MC *MCCheckpoint `json:"mc,omitempty"`
+	// Budget caps the executions a model-check unit records (0: none).
+	// It is a conservative overestimate of the canonical remainder; an
+	// overshoot is truncated at the supervisor's assembly, never here.
+	Budget int `json:"budget,omitempty"`
+}
+
+// RandomRange is a contiguous slice of random mode's canonical stream.
+type RandomRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Kind names the unit's mode for records and reports.
+func (s UnitSpec) Kind() string {
+	if s.Random != nil {
+		return "random"
+	}
+	return "mc"
+}
+
+// UnitClassification is the outcome of a model-check subtree's first
+// crash: whether the state cache pruned the whole subtree, the key it
+// registered on a miss, and whether the phase-0 injection fired (i.e.
+// the next subtree exists). The supervisor needs it before the unit
+// finishes — the next subtree's unit spec embeds this unit's cache
+// registration — so it is also delivered early via UnitHooks.OnClassify.
+type UnitClassification struct {
+	Pruned         bool       `json:"pruned,omitempty"`
+	Keyed          bool       `json:"keyed,omitempty"`
+	Key            CacheEntry `json:"key"`
+	InjectionFired bool       `json:"injectionFired,omitempty"`
+}
+
+// UnitExec is one execution of a unit, in canonical sub-DFS (or index)
+// order. Violations are deduplicated within the unit — each carries the
+// first execution that found it — which is exactly what the
+// supervisor's in-order cross-unit merge needs to reproduce the
+// in-process engines' first-found ordering and ExecutionsToAllBugs.
+type UnitExec struct {
+	Aborted    bool
+	Err        *ExecError
+	Violations []*core.Violation
+}
+
+// UnitResult is a completed (or stopped) unit's raw stream plus its
+// classification and diagnostics.
+type UnitResult struct {
+	// Classified reports that this run performed the subtree's first-
+	// crash classification (false for random units and for resumed
+	// mid-subtree trails, whose classification predates the cut).
+	Classified bool
+	Class      UnitClassification
+	Execs      []UnitExec
+	// Done reports the unit ran to exhaustion (model check) or completed
+	// its range (random); false after a stop or a budget bound.
+	Done bool
+	// SnapshotRestores/DPORPruned/WorkNanos feed the supervisor's
+	// Result diagnostics, exactly like per-unit sums in the pool.
+	SnapshotRestores int
+	DPORPruned       int
+	WorkNanos        int64
+}
+
+// UnitHooks are RunUnit's progress callbacks, all optional. They run on
+// the executing goroutine between executions — a worker process uses
+// OnExec to heartbeat its lease, so a hung execution goes silent and
+// the lease expires.
+type UnitHooks struct {
+	// OnExec runs after each recorded execution with the unit's count so
+	// far.
+	OnExec func(n int)
+	// OnClassify runs once, at a model-check unit's first crash, with
+	// the subtree classification.
+	OnClassify func(UnitClassification)
+}
+
+// PoisonUnit records one work unit the dispatch supervisor quarantined
+// after its retry budget was exhausted: every delivery attempt died
+// (worker crash, OOM kill, SIGKILL) or went silent past its lease. The
+// record carries the same reproduction provenance as an ExecError — the
+// failing unit's identity and trail prefix plus the last worker's exit
+// status and stderr tail.
+type PoisonUnit struct {
+	ID       int
+	Kind     string // "mc" or "random"
+	Subtree  int    // mc: subtree ordinal
+	Lo, Hi   int    // random: index range
+	Attempts int
+	// TrailPrefix is a mc unit's starting decision-trail values (the
+	// resume trail for mid-subtree cuts; empty for a fresh subtree).
+	TrailPrefix []int
+	LastError   string
+	ExitStatus  string
+	StderrTail  string
+}
+
+// String renders the one-line quarantine record for reports.
+func (p *PoisonUnit) String() string {
+	where := fmt.Sprintf("subtree %d", p.Subtree)
+	if p.Kind == "random" {
+		where = fmt.Sprintf("executions [%d,%d)", p.Lo, p.Hi)
+	}
+	s := fmt.Sprintf("[poison] %s unit %d (%s) after %d attempts: %s", p.Kind, p.ID, where, p.Attempts, p.LastError)
+	if p.ExitStatus != "" {
+		s += fmt.Sprintf(" (last worker: %s)", p.ExitStatus)
+	}
+	return s
+}
+
+// RunUnit executes one work unit in this process and returns its raw
+// stream. It is the single execution path behind both the psan-worker
+// process and the supervisor's degraded in-process fallback, which is
+// what makes the two modes bit-identical.
+//
+// Options are interpreted as in Run, except: Workers is forced to 1,
+// stealing is off (a unit never donates — the supervisor owns the unit
+// tree), and Executions is superseded by spec.Budget for model-check
+// units and by the range for random ones. A Context/Deadline stop
+// parks the unit with Done false.
+func RunUnit(p Program, opt Options, spec UnitSpec, hooks UnitHooks) (*UnitResult, error) {
+	if (spec.Random == nil) == (spec.MC == nil) {
+		return nil, fmt.Errorf("unit spec must set exactly one of random and mc")
+	}
+	opt.Workers = 1
+	opt.DisableStealing = true
+	opt.ForceSteals = false
+	opt.em = obs.ExploreInstruments(opt.Obs.Reg())
+	opt.tr = opt.Obs.Trace()
+	if opt.Model.Obs == nil {
+		opt.Model.Obs = opt.Obs
+	}
+	st := newStopper(&opt)
+	if spec.Random != nil {
+		return runRandomUnit(p, &opt, st, spec, hooks), nil
+	}
+	return runMCUnit(p, &opt, st, spec, hooks), nil
+}
+
+// runMCUnit runs one subtree through the pool engine in solo mode: the
+// engine's resume machinery primes the cache and restores the trail
+// exactly as an in-process resume would, spawnRoot is suppressed (the
+// supervisor owns successors), and the sub-DFS runs on the calling
+// goroutine.
+func runMCUnit(p Program, opt *Options, st *stopper, spec UnitSpec, hooks UnitHooks) *UnitResult {
+	// Synthesize the resume checkpoint the engine's constructor already
+	// knows how to consume. Collected stays 0: unit-local execution
+	// ordinals are the currency; the supervisor assigns global indices.
+	opt.Resume = &Checkpoint{
+		Version: checkpointVersion,
+		Mode:    ModelCheck.String(),
+		MC:      spec.MC,
+	}
+	e := newMCEngine(p, opt, st)
+	e.solo = true
+	e.soloBudget = spec.Budget
+	e.onExec = hooks.OnExec
+	e.onClassify = hooks.OnClassify
+	e.start()
+	e.wg.Add(1)
+	e.worker(0)
+
+	sub := e.subs[spec.MC.Subtree]
+	u := sub.rootUnit
+	ur := &UnitResult{
+		Done:             u.done,
+		SnapshotRestores: u.snapRestores,
+		DPORPruned:       u.dporPruned,
+		WorkNanos:        int64(u.work),
+	}
+	if !spec.MC.Started {
+		ur.Classified = true
+		ur.Class = UnitClassification{
+			Pruned:         sub.pruned,
+			Keyed:          sub.keyed,
+			Key:            CacheEntry{Image: sub.key.image, Heap: sub.key.heap},
+			InjectionFired: sub.injectionFired,
+		}
+	}
+	seen := make(map[string]bool)
+	for _, ex := range u.execs {
+		ur.Execs = append(ur.Execs, dedupExec(UnitExec{Aborted: ex.aborted, Err: ex.execErr}, ex.violations, seen))
+	}
+	return ur
+}
+
+// runRandomUnit runs executions [Lo, Hi) of the canonical random
+// stream: the same per-index seed derivation as the pool, on one
+// reused world.
+func runRandomUnit(p Program, opt *Options, st *stopper, spec UnitSpec, hooks UnitHooks) *UnitResult {
+	plan := planRandom(p, opt)
+	ws := &workerState{tid: 1, tr: opt.tr, wm: obs.WorkerInstruments(opt.Obs.Reg(), 1)}
+	ur := &UnitResult{}
+	seen := make(map[string]bool)
+	for exec := spec.Random.Lo; exec < spec.Random.Hi; exec++ {
+		if st.stopped() {
+			return ur
+		}
+		o := randomExecution(p, opt, plan, ws, exec)
+		ws.wm.BusyNanos.Add(int64(o.elapsed))
+		ws.wm.Dispatches.Inc()
+		ur.WorkNanos += int64(o.elapsed)
+		ur.Execs = append(ur.Execs, dedupExec(UnitExec{Aborted: o.aborted, Err: o.execErr}, o.violations, seen))
+		if hooks.OnExec != nil {
+			hooks.OnExec(len(ur.Execs))
+		}
+	}
+	ur.Done = true
+	return ur
+}
+
+// dedupExec keeps each violation's first in-unit occurrence, preserving
+// within-execution order — the form the supervisor's cross-unit merge
+// consumes.
+func dedupExec(ue UnitExec, vs []*core.Violation, seen map[string]bool) UnitExec {
+	for _, v := range vs {
+		if !seen[v.Key()] {
+			seen[v.Key()] = true
+			ue.Violations = append(ue.Violations, v)
+		}
+	}
+	return ue
+}

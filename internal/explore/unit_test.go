@@ -1,0 +1,167 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+)
+
+// driveMC is a minimal in-test supervisor: dispatch subtree units one
+// at a time in canonical order, feeding each classification into the
+// next unit's spec, and assemble the streams. budgeted mirrors the
+// dispatch supervisor's per-unit budgets (Executions minus collected).
+func driveMC(t *testing.T, p Program, opt Options, budgeted bool) *Result {
+	t.Helper()
+	asm := NewAssembler(p.Name(), opt)
+	var keys []CacheEntry
+	for v, more := 0, true; more; v++ {
+		spec := UnitSpec{MC: &MCCheckpoint{Subtree: v, CacheKeys: append([]CacheEntry(nil), keys...)}}
+		if budgeted {
+			rem := opt.Executions - asm.Collected()
+			if asm.Truncated() || rem <= 0 {
+				asm.AddLost(spec)
+				break
+			}
+			spec.Budget = rem
+		}
+		ur, err := RunUnit(p, opt, spec, UnitHooks{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ur.Classified {
+			t.Fatalf("fresh subtree %d did not classify", v)
+		}
+		if ur.Class.Keyed {
+			keys = append(keys, ur.Class.Key)
+		}
+		more = ur.Class.InjectionFired
+		asm.Add(spec, ur)
+	}
+	return asm.Finish("")
+}
+
+func driveRandom(t *testing.T, p Program, opt Options, chunk int) *Result {
+	t.Helper()
+	asm := NewAssembler(p.Name(), opt)
+	for lo := 0; lo < opt.Executions; lo += chunk {
+		hi := lo + chunk
+		if hi > opt.Executions {
+			hi = opt.Executions
+		}
+		spec := UnitSpec{Random: &RandomRange{Lo: lo, Hi: hi}}
+		ur, err := RunUnit(p, opt, spec, UnitHooks{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		asm.Add(spec, ur)
+	}
+	return asm.Finish("")
+}
+
+// sameResult asserts the fields the bit-identical-merge guarantee
+// covers.
+func sameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Executions != want.Executions || got.Aborted != want.Aborted ||
+		got.Quarantined != want.Quarantined || got.Partial != want.Partial ||
+		got.StopReason != want.StopReason {
+		t.Fatalf("%s: counters diverge:\n got %s\nwant %s", label, got, want)
+	}
+	if !reflect.DeepEqual(got.ViolationKeys(), want.ViolationKeys()) {
+		t.Fatalf("%s: violation keys diverge: %v vs %v", label, got.ViolationKeys(), want.ViolationKeys())
+	}
+	if got.ExecutionsToAllBugs != want.ExecutionsToAllBugs {
+		t.Fatalf("%s: ExecutionsToAllBugs %d, want %d", label, got.ExecutionsToAllBugs, want.ExecutionsToAllBugs)
+	}
+	if got.FrontierRemaining != want.FrontierRemaining {
+		t.Fatalf("%s: frontier %d, want %d", label, got.FrontierRemaining, want.FrontierRemaining)
+	}
+	if got.CacheHits != want.CacheHits || got.CacheMisses != want.CacheMisses {
+		t.Fatalf("%s: cache %d/%d, want %d/%d", label, got.CacheHits, got.CacheMisses, want.CacheHits, want.CacheMisses)
+	}
+}
+
+// TestUnitDriveMCEquivalence: unit-at-a-time execution through RunUnit
+// plus ordered assembly reproduces the in-process engine bit for bit.
+func TestUnitDriveMCEquivalence(t *testing.T) {
+	for _, p := range []Program{figure2(), figure2Fixed()} {
+		opt := Options{Mode: ModelCheck, Executions: 10000, Workers: 1}
+		want := Run(p, opt)
+		if want.Partial {
+			t.Fatalf("baseline should complete: %s", want)
+		}
+		got := driveMC(t, p, opt, false)
+		sameResult(t, p.Name(), got, want)
+		if got.SnapshotRestores != want.SnapshotRestores || got.DPORPruned != want.DPORPruned {
+			t.Fatalf("%s: reduction diagnostics diverge: snap %d/%d dpor %d/%d", p.Name(),
+				got.SnapshotRestores, want.SnapshotRestores, got.DPORPruned, want.DPORPruned)
+		}
+	}
+}
+
+// TestUnitDriveMCBudget: dispatch-style per-unit budgets truncate at
+// the cap exactly like the engine's allowance + assembly walk.
+func TestUnitDriveMCBudget(t *testing.T) {
+	full := Run(figure2(), Options{Mode: ModelCheck, Executions: 10000, Workers: 1})
+	cap := full.Executions / 2
+	opt := Options{Mode: ModelCheck, Executions: cap, Workers: 1}
+	want := Run(figure2(), opt)
+	if !want.Partial || want.StopReason != "exec-budget" {
+		t.Fatalf("baseline should truncate: %s", want)
+	}
+	got := driveMC(t, figure2(), opt, true)
+	sameResult(t, "budget", got, want)
+	if got.Checkpoint != nil {
+		t.Fatalf("budget truncation must not checkpoint (engine parity)")
+	}
+}
+
+// TestUnitDriveRandomEquivalence: range units at several chunk sizes
+// all reproduce the serial random engine.
+func TestUnitDriveRandomEquivalence(t *testing.T) {
+	opt := Options{Mode: Random, Executions: 60, Seed: 7, Workers: 1}
+	want := Run(figure2(), opt)
+	for _, chunk := range []int{1, 7, 60} {
+		got := driveRandom(t, figure2(), opt, chunk)
+		sameResult(t, "random", got, want)
+	}
+}
+
+// TestUnitHooks: OnClassify fires once before the unit returns;
+// OnExec counts monotonically.
+func TestUnitHooks(t *testing.T) {
+	classified := 0
+	var counts []int
+	spec := UnitSpec{MC: &MCCheckpoint{Subtree: 0}}
+	ur, err := RunUnit(figure2(), Options{Mode: ModelCheck, Executions: 10000}, spec, UnitHooks{
+		OnExec:     func(n int) { counts = append(counts, n) },
+		OnClassify: func(UnitClassification) { classified++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classified != 1 {
+		t.Fatalf("OnClassify fired %d times, want 1", classified)
+	}
+	if len(counts) != len(ur.Execs) {
+		t.Fatalf("OnExec fired %d times for %d execs", len(counts), len(ur.Execs))
+	}
+	for i, n := range counts {
+		if n != i+1 {
+			t.Fatalf("OnExec counts not monotone: %v", counts)
+		}
+	}
+	if !ur.Done {
+		t.Fatalf("unbudgeted unit should exhaust its subtree")
+	}
+}
+
+// TestUnitSpecValidation: a spec must pick exactly one mode.
+func TestUnitSpecValidation(t *testing.T) {
+	if _, err := RunUnit(figure2(), Options{}, UnitSpec{}, UnitHooks{}); err == nil {
+		t.Fatal("empty spec should be rejected")
+	}
+	both := UnitSpec{Random: &RandomRange{Hi: 1}, MC: &MCCheckpoint{}}
+	if _, err := RunUnit(figure2(), Options{}, both, UnitHooks{}); err == nil {
+		t.Fatal("double spec should be rejected")
+	}
+}

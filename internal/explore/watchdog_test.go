@@ -1,0 +1,109 @@
+package explore
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pmem"
+)
+
+// hangProgram's final phase spins forever issuing no memory operations —
+// the exact blind spot the interp-step probe covers: without
+// CountInterpStep the op-count watchdog would never run and the
+// execution would hang the engine.
+func hangProgram(loop func(*pmem.World)) Program {
+	return &FuncProgram{
+		ProgName: "hang",
+		PhaseFns: []func(*pmem.World){
+			func(w *pmem.World) {
+				th := w.Thread(0)
+				th.Store(addrX, 1, "x=1")
+				th.Flush(addrX, "flush x")
+				th.Store(addrY, 1, "y=1")
+			},
+			loop,
+		},
+	}
+}
+
+// TestWatchdogNoOpLoop: a loop that issues no pmem operations must
+// still trip the soft step timeout via the throttled interp-step probe.
+func TestWatchdogNoOpLoop(t *testing.T) {
+	res := Run(hangProgram(func(w *pmem.World) {
+		for {
+			w.CountInterpStep()
+		}
+	}), Options{
+		Mode: ModelCheck, Executions: 50, Workers: 1,
+		StepTimeout: 10 * time.Millisecond,
+	})
+	if res.Partial {
+		t.Fatalf("timeouts degrade executions, not the run: %s", res)
+	}
+	if res.Aborted != res.Executions || res.Executions == 0 {
+		t.Fatalf("every execution hangs, so every execution should abort: %s", res)
+	}
+	if res.Quarantined != 0 {
+		t.Fatalf("a clean abort is not a stall: %s", res)
+	}
+}
+
+// TestWatchdogStall: an execution that swallows the soft AbortSignal
+// (as a port's own recover or a spawned thread's unwinder can) and
+// keeps running must hit the hard tier and be quarantined as a "stall"
+// ExecError instead of wedging the engine.
+func TestWatchdogStall(t *testing.T) {
+	res := Run(hangProgram(func(w *pmem.World) {
+		for {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(pmem.AbortSignal); !ok {
+							panic(r)
+						}
+					}
+				}()
+				for {
+					w.CountInterpStep()
+				}
+			}()
+		}
+	}), Options{
+		Mode: ModelCheck, Executions: 50, Workers: 1,
+		StepTimeout: 10 * time.Millisecond,
+	})
+	if res.Partial {
+		t.Fatalf("a stall quarantines its schedule, not the run: %s", res)
+	}
+	if res.Quarantined == 0 {
+		t.Fatalf("abort-swallowing executions should be quarantined: %s", res)
+	}
+	for _, ee := range res.ExecErrors {
+		if ee.Kind != "stall" {
+			t.Fatalf("kind %q, want stall: %v", ee.Kind, ee)
+		}
+	}
+}
+
+// TestWatchdogSoftFirst: a single long gap between probes (a slow
+// operation) is an ordinary abort, never a stall — the hard tier arms
+// only after a soft abort was raised and survived.
+func TestWatchdogSoftFirst(t *testing.T) {
+	res := Run(figure2(), Options{
+		Mode: Random, Executions: 3, Seed: 1, Workers: 1,
+		StepTimeout: 5 * time.Millisecond,
+		InjectFault: func(ordinal int) Fault {
+			if ordinal == 0 {
+				// 10x the hard bound in one gap.
+				return Fault{DelayAtOp: 1, Delay: 200 * time.Millisecond}
+			}
+			return Fault{}
+		},
+	})
+	if res.Aborted < 1 {
+		t.Fatalf("the delayed execution should abort: %s", res)
+	}
+	if res.Quarantined != 0 {
+		t.Fatalf("one long gap is not a stall: %s", res)
+	}
+}

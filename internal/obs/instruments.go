@@ -134,6 +134,44 @@ func WorldInstruments(r *Registry) WorldMetrics {
 	}
 }
 
+// DispatchMetrics covers the process-isolation supervisor
+// (internal/dispatch). These are supervisor-side instruments only: the
+// per-execution explore.* counters live in the worker processes'
+// registries and are not aggregated across the process boundary.
+type DispatchMetrics struct {
+	UnitsDispatched *Counter   // dispatch.units_dispatched (unit deliveries, incl. redeliveries)
+	UnitsMerged     *Counter   // dispatch.units_merged (unit results assembled)
+	LeasesGranted   *Counter   // dispatch.leases_granted
+	LeasesExpired   *Counter   // dispatch.leases_expired (heartbeat deadline passed)
+	Redeliveries    *Counter   // dispatch.redeliveries (failed/expired units re-enqueued)
+	BackoffNanos    *Counter   // dispatch.backoff_ns (aggregate redelivery delay)
+	WorkerRestarts  *Counter   // dispatch.worker_restarts (replacement processes spawned)
+	PoisonUnits     *Counter   // dispatch.poison_units (units quarantined past the retry budget)
+	Degraded        *Counter   // dispatch.degraded (fallbacks to in-process execution)
+	WorkersLive     *Gauge     // dispatch.workers_live
+	UnitNanos       *Histogram // dispatch.unit_ns (delivery-to-merge latency)
+}
+
+// DispatchInstruments resolves the supervisor bundle from r.
+func DispatchInstruments(r *Registry) DispatchMetrics {
+	if r == nil {
+		return DispatchMetrics{}
+	}
+	return DispatchMetrics{
+		UnitsDispatched: r.Counter("dispatch.units_dispatched"),
+		UnitsMerged:     r.Counter("dispatch.units_merged"),
+		LeasesGranted:   r.Counter("dispatch.leases_granted"),
+		LeasesExpired:   r.Counter("dispatch.leases_expired"),
+		Redeliveries:    r.Counter("dispatch.redeliveries"),
+		BackoffNanos:    r.Counter("dispatch.backoff_ns"),
+		WorkerRestarts:  r.Counter("dispatch.worker_restarts"),
+		PoisonUnits:     r.Counter("dispatch.poison_units"),
+		Degraded:        r.Counter("dispatch.degraded"),
+		WorkersLive:     r.Gauge("dispatch.workers_live"),
+		UnitNanos:       r.Histogram("dispatch.unit_ns", DurationBuckets),
+	}
+}
+
 // WorkerMetrics covers one pool worker. Instruments are named
 // pool.worker<N>.<field>; N is the 1-based worker id that also serves as the
 // trace timeline tid.

@@ -58,6 +58,15 @@ func TestNilInstrumentsAreNoOps(t *testing.T) {
 	wm.ScheduleSteps.Inc()
 	km := WorkerInstruments(nil, 1)
 	km.BusyNanos.Add(7)
+	dm := DispatchInstruments(nil)
+	dm.LeasesGranted.Inc()
+	dm.LeasesExpired.Inc()
+	dm.Redeliveries.Inc()
+	dm.BackoffNanos.Add(1_000_000)
+	dm.WorkerRestarts.Inc()
+	dm.PoisonUnits.Inc()
+	dm.WorkersLive.Set(4)
+	dm.UnitNanos.Observe(99)
 }
 
 func TestEmptyObserverDisabled(t *testing.T) {

@@ -131,6 +131,7 @@ type World struct {
 	crashTarget int
 	fenceOps    int
 	ops         int
+	isteps      int
 	opLimit     int
 	drainPct    int
 	threadIDs   []memmodel.ThreadID
@@ -209,6 +210,7 @@ func (w *World) Reset(seed int64) {
 	w.crashTarget = -1
 	w.fenceOps = 0
 	w.ops = 0
+	w.isteps = 0
 	w.crashed = false
 	w.threadIDs = w.threadIDs[:0]
 	w.spawned = nil
@@ -307,9 +309,28 @@ func (w *World) step(kind memmodel.OpKind) {
 	}
 }
 
+// interpProbeMask throttles the interpreter-step watchdog probe: with a
+// probe installed it also runs once every 1024 interpreted statements,
+// so an execution hung in a loop that issues no memory operations (pure
+// register spinning in the interpreted program) still reaches the
+// exploration layer's per-execution watchdog. Without a probe the extra
+// cost is one nil check per statement.
+const interpProbeMask = 1<<10 - 1
+
 // CountInterpStep counts one interpreted statement toward the interp
 // instrument; the interpreter calls it once per statement executed.
-func (w *World) CountInterpStep() { w.wobs.InterpSteps.Inc() }
+// It doubles as a watchdog poll site (see interpProbeMask): the
+// per-operation probe alone has a blind spot for statement loops that
+// never issue an operation.
+func (w *World) CountInterpStep() {
+	w.wobs.InterpSteps.Inc()
+	if w.probe != nil {
+		w.isteps++
+		if w.isteps&interpProbeMask == 0 {
+			w.probe(w.ops)
+		}
+	}
+}
 
 // registerThread tracks thread IDs for the random drain scheduler.
 func (w *World) registerThread(id memmodel.ThreadID) {

@@ -33,6 +33,23 @@ func RunSummary(res *explore.Result) string {
 	if res.Steals > 0 {
 		fmt.Fprintf(&b, "work stealing: %d unit(s) donated to idle workers\n", res.Steals)
 	}
+	// Supervision record (dispatch-supervised campaigns only): how the
+	// isolation machinery behaved. Redeliveries and restarts are routine
+	// fault recovery; poison and degradation are coverage- or
+	// guarantee-affecting and always reported.
+	if res.Isolated && (res.Redeliveries > 0 || res.WorkerRestarts > 0) {
+		fmt.Fprintf(&b, "process isolation: %d unit redeliveries, %d worker restarts\n",
+			res.Redeliveries, res.WorkerRestarts)
+	}
+	if res.Degraded {
+		fmt.Fprintln(&b, "DEGRADED: worker processes could not be spawned; the campaign ran in-process (results identical, isolation guarantee lost)")
+	}
+	if len(res.PoisonUnits) > 0 {
+		fmt.Fprintf(&b, "%d work unit(s) quarantined as poison; the canonical stream is cut at the first:\n", len(res.PoisonUnits))
+		for _, p := range res.PoisonUnits {
+			fmt.Fprintf(&b, "  %s\n", p)
+		}
+	}
 	if res.Quarantined > 0 {
 		fmt.Fprintf(&b, "%d schedule(s) quarantined after contained panics:\n", res.Quarantined)
 		for _, ee := range res.ExecErrors {

@@ -54,3 +54,43 @@ func TestRunSummaryCleanRun(t *testing.T) {
 		t.Fatalf("clean run mentions a stop:\n%s", out)
 	}
 }
+
+// TestRunSummaryPoison pins the poison-run rendering: a supervised
+// campaign that quarantined a work unit must not read like plain
+// success — the stop reason is "poison", the quarantine records are
+// listed with their provenance, and the redelivery tally is shown.
+func TestRunSummaryPoison(t *testing.T) {
+	res := &explore.Result{
+		Program: "p", Mode: explore.Random, Executions: 20,
+		Partial: true, StopReason: "poison", FrontierRemaining: 40,
+		Isolated: true, Redeliveries: 3, WorkerRestarts: 2,
+		PoisonUnits: []*explore.PoisonUnit{{
+			ID: 1, Kind: "random", Lo: 20, Hi: 40, Attempts: 4,
+			LastError: "worker-exit: died mid-unit", ExitStatus: "signal: killed",
+		}},
+	}
+	out := RunSummary(res)
+	for _, want := range []string{
+		"partial coverage: stopped on poison",
+		"1 work unit(s) quarantined as poison",
+		"[poison] random unit 1",
+		"after 4 attempts",
+		"process isolation: 3 unit redeliveries, 2 worker restarts",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunSummaryDegraded: a campaign that fell back to in-process
+// execution says so loudly.
+func TestRunSummaryDegraded(t *testing.T) {
+	res := &explore.Result{
+		Program: "p", Mode: explore.Random, Executions: 20, Degraded: true,
+	}
+	out := RunSummary(res)
+	if !strings.Contains(out, "DEGRADED") {
+		t.Fatalf("degraded run not flagged:\n%s", out)
+	}
+}
