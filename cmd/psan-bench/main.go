@@ -9,6 +9,10 @@
 //	psan-bench -table all        # everything
 //	psan-bench -violations CCEH  # detailed report with fixes
 //	psan-bench -model ptsosyn -table 2   # tables under another backend
+//	psan-bench -workload redis -ops 200000 -window 64   # stream a
+//	                             # server-class workload through one
+//	                             # execution with a bounded trace window,
+//	                             # reporting throughput and peak heap
 //
 // An interrupt (^C) or an expired -deadline degrades gracefully: the
 // in-flight exploration drains, partial tables are rendered, and the
@@ -30,13 +34,17 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/benchmarks"
 	"repro/internal/benchmarks/bench"
+	"repro/internal/benchmarks/redislog"
+	"repro/internal/benchmarks/slabcache"
 	"repro/internal/explore"
 	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/report"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -118,7 +126,16 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	metricsAddr := fs.String("metrics-addr", "", "serve campaign metrics over HTTP on this address (/debug/vars expvar, /metrics JSON snapshot)")
 	progress := fs.Duration("progress", 0, "print live campaign progress to stderr at this interval (0: off)")
 	reduction := fs.String("reduction", "all", "model-check reductions: all, snapshots, dpor, or none (A/B timing; tables are identical either way)")
-	jsonOut := fs.String("json", "", "run the serial model-check benchmark suite instead of tables and write min-of-N results to this file (BENCH_*.json format)")
+	window := fs.Int("window", 0, "bounded trace window for -workload runs: retire trace history every N operations, keeping memory flat (0: unbounded; verdicts are identical either way)")
+	workloadName := fs.String("workload", "", "stream a server-class workload instead of tables: redis (append-log+dict) or slab (slab cache)")
+	wlVariant := fs.String("variant", "fixed", "workload variant: fixed or buggy")
+	wlOps := fs.Int("ops", 200_000, "workload requests per execution")
+	wlKeys := fs.Int("keys", 4096, "workload keyspace size")
+	wlZipf := fs.Float64("zipf", 1.2, "workload Zipfian key skew (<= 1: uniform keyspace)")
+	wlReadPct := fs.Int("read-pct", 50, "workload GET percentage, 0-100")
+	wlThreads := fs.Int("threads", 2, "workload client threads per wave")
+	wlChurn := fs.Int("churn", 0, "workload thread churn: retire each client thread after N requests and spawn a fresh wave (0: off)")
+	jsonOut := fs.String("json", "", "run the serial model-check benchmark suite instead of tables and write min-of-N results to this file (BENCH_*.json format); with -workload, write that run's row instead")
 	benchCount := fs.Int("bench-count", 3, "repetitions per benchmark for -json; the minimum is reported")
 	benchDesc := fs.String("bench-desc", "", "description string embedded in the -json output")
 	if err := fs.Parse(args); err != nil {
@@ -164,6 +181,20 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Out: stderr, Registry: observer.Metrics, Interval: *progress,
 		})
 		defer stopProgress()
+	}
+	if *workloadName != "" {
+		if *window < 0 {
+			fmt.Fprintf(stderr, "psan-bench: -window must be >= 0\n")
+			return 2
+		}
+		wcfg := workload.Config{
+			Seed: *seed, Ops: *wlOps, Keys: *wlKeys, ZipfS: *wlZipf,
+			ReadPct: *wlReadPct, Threads: *wlThreads, Churn: *wlChurn,
+		}
+		return runWorkloadCmd(ctx, *workloadName, *wlVariant, wcfg, workloadRunOpts{
+			model: *model, window: *window, execs: *execs, seed: *seed,
+			jsonPath: *jsonOut, desc: *benchDesc, obs: observer,
+		}, stdout, stderr)
 	}
 	if *jsonOut != "" {
 		if err := runBenchJSON(*jsonOut, *benchDesc, *reduction, *benchCount, workerList, disableSnaps, disableDPOR, !*steal, stdout); err != nil {
@@ -223,6 +254,154 @@ type benchRow struct {
 	NsOp     int64  `json:"ns_op"`
 	BOp      int64  `json:"B_op"`
 	AllocsOp int64  `json:"allocs_op"`
+	// PeakHeapBytes is the HeapInuse high-water mark sampled while the
+	// row's workload ran — the number the bounded-window pipeline exists
+	// to keep flat on long traces.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes,omitempty"`
+}
+
+// heapWatcher samples runtime.MemStats.HeapInuse on a short ticker and
+// keeps the high-water mark. One watcher brackets one measured run; the
+// 10ms cadence is coarse enough that ReadMemStats' stop-the-world cost
+// stays invisible next to the workloads it brackets.
+type heapWatcher struct {
+	quit chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func startHeapWatcher() *heapWatcher {
+	hw := &heapWatcher{quit: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(hw.done)
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapInuse > hw.peak {
+				hw.peak = ms.HeapInuse
+			}
+			select {
+			case <-hw.quit:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return hw
+}
+
+// stop halts the sampler and returns the high-water mark, folding in
+// one final sample so short runs are never measured as zero.
+func (hw *heapWatcher) stop() uint64 {
+	close(hw.quit)
+	<-hw.done
+	return hw.peak
+}
+
+// workloadRunOpts carries the non-workload knobs of a -workload run.
+type workloadRunOpts struct {
+	model    string
+	window   int
+	execs    int
+	seed     int64
+	jsonPath string
+	desc     string
+	obs      *obs.Observer
+}
+
+// runWorkloadCmd streams one server-class workload through the
+// exploration pipeline: a random-mode campaign (default one execution)
+// whose every execution issues wcfg.Ops requests, with the HeapInuse
+// high-water sampled across the run. The "peak heap:" line is the
+// machine-readable contract the CI long-trace job greps.
+func runWorkloadCmd(ctx context.Context, name, variant string, wcfg workload.Config, ro workloadRunOpts, stdout, stderr io.Writer) int {
+	v := bench.Fixed
+	switch variant {
+	case "fixed":
+	case "buggy":
+		v = bench.Buggy
+	default:
+		fmt.Fprintf(stderr, "psan-bench: unknown -variant %q (want fixed or buggy)\n", variant)
+		return 2
+	}
+	var prog explore.Program
+	switch name {
+	case "redis":
+		prog = redislog.BuildWorkload(v, wcfg)
+	case "slab":
+		prog = slabcache.BuildWorkload(v, wcfg)
+	default:
+		fmt.Fprintf(stderr, "psan-bench: unknown -workload %q (want redis or slab)\n", name)
+		return 2
+	}
+	execs := ro.execs
+	if execs <= 0 {
+		execs = 1
+	}
+	opts := explore.Options{
+		Mode:       explore.Random,
+		Executions: execs,
+		Seed:       ro.seed,
+		Context:    ctx,
+		Model:      persist.Config{Name: ro.model, Window: ro.window},
+		Obs:        ro.obs,
+		// Each request is a bounded burst of pmem operations (stores,
+		// per-line flushes, fences, the CAS publish); 64 per request
+		// overestimates the deepest slab class with headroom.
+		OpLimit: wcfg.Ops*64 + 4096,
+	}
+	hw := startHeapWatcher()
+	res := explore.Run(prog, opts)
+	peak := hw.stop()
+	fmt.Fprint(stdout, report.RunSummary(res))
+	fmt.Fprintf(stdout, "peak heap: %d bytes\n", peak)
+	if ro.jsonPath != "" {
+		out := benchFile{Description: ro.desc}
+		// Append to an existing harness-generated file, so one
+		// BENCH_*.json can carry the model-check suite rows plus several
+		// workload rows without hand-merging.
+		if data, err := os.ReadFile(ro.jsonPath); err == nil {
+			var prev benchFile
+			if json.Unmarshal(data, &prev) == nil {
+				out.Benchmarks = prev.Benchmarks
+				if out.Description == "" {
+					out.Description = prev.Description
+				}
+			}
+		}
+		if out.Description == "" {
+			out.Description = fmt.Sprintf(
+				"psan-bench -workload %s (%s): ops=%d keys=%d zipf=%g read-pct=%d threads=%d churn=%d window=%d execs=%d; generated on %s/%s (GOMAXPROCS=%d)",
+				name, variant, wcfg.Ops, wcfg.Keys, wcfg.ZipfS, wcfg.ReadPct, wcfg.Threads, wcfg.Churn, ro.window, execs,
+				runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0))
+		}
+		out.Benchmarks = append(out.Benchmarks, benchRow{
+			Name:          fmt.Sprintf("Workload/%s/ops=%d/window=%d", name, wcfg.Ops, ro.window),
+			NsOp:          res.Elapsed.Nanoseconds(),
+			PeakHeapBytes: peak,
+		})
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "psan-bench: -json: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(ro.jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "psan-bench: -json: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", ro.jsonPath)
+	}
+	if v == bench.Fixed && len(res.Violations) > 0 {
+		fmt.Fprintf(stderr, "psan-bench: fixed workload reported %d violation(s)\n", len(res.Violations))
+		return 1
+	}
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintln(stderr, "psan-bench: interrupted; results above reflect partial coverage")
+		return 3
+	}
+	return 0
 }
 
 // benchFile matches the BENCH_pr*.json layout the repo tracks.
@@ -275,6 +454,7 @@ func runBenchJSON(path, desc, reduction string, count int, workerList []int, dis
 		bm := benchmarks.ByName(name)
 		var best benchRow
 		for rep := 0; rep < count; rep++ {
+			hw := startHeapWatcher()
 			r := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -292,10 +472,11 @@ func runBenchJSON(path, desc, reduction string, count int, workerList []int, dis
 				}
 			})
 			row := benchRow{
-				Name:     "BenchmarkExploreModelCheckSerial/" + name,
-				NsOp:     r.NsPerOp(),
-				BOp:      r.AllocedBytesPerOp(),
-				AllocsOp: r.AllocsPerOp(),
+				Name:          "BenchmarkExploreModelCheckSerial/" + name,
+				NsOp:          r.NsPerOp(),
+				BOp:           r.AllocedBytesPerOp(),
+				AllocsOp:      r.AllocsPerOp(),
+				PeakHeapBytes: hw.stop(),
 			}
 			if workers != 1 {
 				shown := workers

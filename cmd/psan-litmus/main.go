@@ -32,6 +32,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("psan-litmus", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	model := fs.String("model", "", "persistency-model backend: "+strings.Join(persist.Names(), ", "))
+	window := fs.Int("window", 0, "bounded trace window: retire trace history every N operations (0: unbounded; verdicts are identical either way)")
 	metricsOut := fs.String("metrics-out", "", "write a JSON snapshot of the backend op counters to this file")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: psan-litmus [-model name] [figure]\n")
@@ -40,7 +41,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	cfg := persist.Config{Name: *model}
+	if *window < 0 {
+		fmt.Fprintf(stderr, "psan-litmus: -window must be >= 0\n")
+		return 2
+	}
+	cfg := persist.Config{Name: *model, Window: *window}
 	if _, err := persist.New(cfg); err != nil {
 		fmt.Fprintf(stderr, "psan-litmus: %v\n", err)
 		return 2

@@ -96,6 +96,8 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fix := fs.Bool("fix", false, "apply PSan's suggested fixes until the program is clean and print it")
 	dumpTrace := fs.Bool("trace", false, "dump one crash-free execution's event trace and exit")
 	model := fs.String("model", "", "persistency-model backend: "+strings.Join(persist.Names(), ", "))
+	window := fs.Int("window", 0, "bounded trace window: retire trace history every N operations, keeping memory flat on long executions (0: unbounded; forces -reduction none and -state-cache=false; verdicts are identical either way)")
+	stateCache := fs.Bool("state-cache", true, "post-crash state cache in mc mode; -state-cache=false re-explores cached subtrees (A/B timing and debugging)")
 	reduction := fs.String("reduction", "all", "model-check reductions: all, snapshots, dpor, or none (A/B timing and debugging; results carry the same violations either way)")
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	metricsAddr := fs.String("metrics-addr", "", "serve campaign metrics over HTTP on this address (/debug/vars expvar, /metrics JSON snapshot)")
@@ -143,7 +145,11 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, prog)
 	}
 	compiled := interp.New(fs.Arg(0), prog)
-	modelCfg := persist.Config{Name: *model}
+	if *window < 0 {
+		fmt.Fprintf(stderr, "psan: -window must be >= 0\n")
+		return exitInternal
+	}
+	modelCfg := persist.Config{Name: *model, Window: *window}
 	if _, err := persist.New(modelCfg); err != nil {
 		fmt.Fprintf(stderr, "psan: %v\n", err)
 		return exitInternal
@@ -192,6 +198,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Provenance:       true,
 		DisableSnapshots: disableSnaps,
 		DisableDPOR:      disableDPOR,
+		NoStateCache:     !*stateCache,
 		DisableStealing:  !*steal,
 	}
 	switch *mode {

@@ -1,0 +1,208 @@
+// Package redislog ports the persistence skeleton of a Redis-style
+// server whose state is an append-only log (the AOF) plus a dictionary
+// of newest-entry pointers, persisted through the low-level
+// (libpmem-style) direct API. Unlike the transactional Redis port in
+// internal/benchmarks/kvstore, this port is built to be *driven*: it
+// implements workload.Server, every SET persists as it goes (so the
+// retirement frontier advances continuously), and the dictionary is a
+// direct-indexed table, keeping every request O(1) so one execution can
+// stream millions of operations — the regime the bounded-window trace
+// pipeline exists for.
+//
+// The seeded bug is the classic AOF ordering violation: the buggy
+// variant publishes a log entry (the CAS on the log head) without
+// flushing the entry's payload first, so a crash can expose a reachable
+// entry with torn or missing value words.
+package redislog
+
+import (
+	"fmt"
+
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+	"repro/internal/workload"
+)
+
+// Server root line: log head pointer, entry seq counter, dict table
+// base, driver marker.
+const (
+	hdrHeadAddr   = pmem.RootAddr
+	hdrSeqAddr    = pmem.RootAddr + memmodel.WordSize
+	hdrTableAddr  = pmem.RootAddr + 2*memmodel.WordSize
+	hdrMarkerAddr = pmem.RootAddr + 3*memmodel.WordSize
+)
+
+// Log-entry layout: header words on the first line, value words packed
+// behind them (overflowing onto subsequent lines for large classes).
+const (
+	leKeyOff    = 0
+	leSeqOff    = 8
+	leNextOff   = 16
+	leNWordsOff = 24
+	leValOff    = 32
+)
+
+// entryLines returns the cache lines an entry with nwords value words
+// occupies: the header line holds the first headWords values.
+func entryLines(nwords int) int {
+	const headWords = (memmodel.CacheLineSize - leValOff) / memmodel.WordSize
+	if nwords <= headWords {
+		return 1
+	}
+	return 1 + (nwords-headWords+memmodel.WordsPerLine-1)/memmodel.WordsPerLine
+}
+
+// Redis is the append-log server instance.
+type Redis struct {
+	v bench.Variant
+}
+
+// New builds a server instance for a variant.
+func New(v bench.Variant) *Redis { return &Redis{v: v} }
+
+// Init creates the persistent root: the dictionary table for keys
+// 1..keys and the zeroed log header.
+func (r *Redis) Init(th *pmem.Thread, keys int) {
+	w := th.World()
+	table := w.Heap.AllocLines((keys*memmodel.WordSize + memmodel.CacheLineSize - 1) / memmodel.CacheLineSize)
+	th.Store(hdrTableAddr, memmodel.Value(table), "dict table base in server_init")
+	th.Persist(hdrHeadAddr, 4*memmodel.WordSize, "persist server root in server_init")
+}
+
+func (r *Redis) table(th *pmem.Thread) memmodel.Addr {
+	return memmodel.Addr(th.Load(hdrTableAddr, "read dict table base"))
+}
+
+func (r *Redis) slot(table memmodel.Addr, key memmodel.Value) memmodel.Addr {
+	return table + memmodel.Addr(key-1)*memmodel.WordSize
+}
+
+// Set appends a log entry carrying words value words and publishes it:
+// first on the log head (the durability point), then in the dictionary.
+// The buggy variant publishes without persisting the entry first.
+func (r *Redis) Set(th *pmem.Thread, key, val memmodel.Value, words int) {
+	if words <= 0 {
+		words = 1
+	}
+	w := th.World()
+	seq := th.FAA(hdrSeqAddr, 1, "aof seq counter in appendEntry") + 1
+	e := w.Heap.AllocLines(entryLines(words))
+	th.Store(e+leKeyOff, key, "aof entry key in appendEntry")
+	th.Store(e+leSeqOff, seq, "aof entry seq in appendEntry")
+	th.Store(e+leNWordsOff, memmodel.Value(words), "aof entry nwords in appendEntry")
+	for j := 0; j < words; j++ {
+		th.Store(e+leValOff+memmodel.Addr(j)*memmodel.WordSize, val+memmodel.Value(j), "aof entry value in appendEntry") // seeded bug (buggy: published unflushed)
+	}
+	for {
+		head := th.Load(hdrHeadAddr, "read log head in appendEntry")
+		th.Store(e+leNextOff, head, "aof entry next in appendEntry")
+		if r.v == bench.Fixed {
+			// Entry complete and durable before it becomes reachable.
+			th.Persist(e, entryLines(words)*memmodel.CacheLineSize, "persist aof entry before publish")
+		}
+		if _, ok := th.CAS(hdrHeadAddr, head, memmodel.Value(e), "log head publish in appendEntry"); ok {
+			break
+		}
+	}
+	th.Persist(hdrHeadAddr, memmodel.WordSize, "persist log head")
+	slot := r.slot(r.table(th), key)
+	th.Store(slot, memmodel.Value(e), "dict slot publish in appendEntry")
+	th.Persist(slot, memmodel.WordSize, "persist dict slot")
+}
+
+// Get reads the newest entry for key through the dictionary.
+func (r *Redis) Get(th *pmem.Thread, key memmodel.Value) (memmodel.Value, bool) {
+	e := memmodel.Addr(th.Load(r.slot(r.table(th), key), "read dict slot in get"))
+	if e == 0 {
+		return 0, false
+	}
+	if th.Load(e+leKeyOff, "read aof entry key in get") != key {
+		return 0, false
+	}
+	return th.Load(e+leValOff, "read aof entry value in get"), true
+}
+
+// Recover replays the log the way a Redis restart replays the AOF:
+// walk from the head, validating that every reachable entry is
+// complete. A reachable entry with a zero key or a torn value is
+// exactly what the seeded bug exposes after a crash.
+func (r *Redis) Recover(th *pmem.Thread) {
+	th.Load(hdrMarkerAddr, "read driver marker in Recover")
+	seen := 0
+	for e := memmodel.Addr(th.Load(hdrHeadAddr, "read log head in Recover")); e != 0; {
+		key := th.Load(e+leKeyOff, "read aof entry key in Recover")
+		seq := th.Load(e+leSeqOff, "read aof entry seq in Recover")
+		nwords := int(th.Load(e+leNWordsOff, "read aof entry nwords in Recover"))
+		if key == 0 || seq == 0 {
+			th.World().RecordAssertFailure(fmt.Sprintf("redislog: reachable entry %#x with empty header (key=%d seq=%d)", uint64(e), uint64(key), uint64(seq)))
+		}
+		for j := 0; j < nwords; j++ {
+			if th.Load(e+leValOff+memmodel.Addr(j)*memmodel.WordSize, "read aof entry value in Recover") == 0 {
+				th.World().RecordAssertFailure(fmt.Sprintf("redislog: torn value word %d in entry %#x", j, uint64(e)))
+				break
+			}
+		}
+		seen++
+		e = memmodel.Addr(th.Load(e+leNextOff, "read aof entry next in Recover"))
+	}
+	if table := r.table(th); table != 0 {
+		// Spot-check the dictionary agrees with the log for a few keys.
+		for k := memmodel.Value(1); k <= 4; k++ {
+			r.Get(th, k)
+		}
+	}
+	_ = seen
+}
+
+// BuildWorkload constructs the exploration program: initialize the
+// server, drive the configured request stream, crash, recover.
+func BuildWorkload(v bench.Variant, wcfg workload.Config) explore.Program {
+	r := New(v)
+	return &explore.FuncProgram{
+		ProgName: "RedisLog-" + v.String(),
+		PhaseFns: []func(*pmem.World){
+			func(w *pmem.World) {
+				cfg := wcfg
+				if cfg.Keys <= 0 {
+					cfg.Keys = 64
+				}
+				r.Init(w.Thread(0), cfg.Keys)
+				workload.Drive(w, cfg, r)
+				th := w.Thread(0)
+				th.Store(hdrMarkerAddr, 1, "driver marker")
+				th.Persist(hdrMarkerAddr, memmodel.WordSize, "persist driver marker")
+			},
+			func(w *pmem.World) {
+				r.Recover(w.Thread(0))
+			},
+		},
+	}
+}
+
+// DefaultConfig is the small registry-sized workload; psan-bench
+// overrides it for the long-trace runs.
+func DefaultConfig() workload.Config {
+	return workload.Config{
+		Ops:     64,
+		Keys:    16,
+		ZipfS:   1.2,
+		ReadPct: 30,
+		Threads: 2,
+		Classes: []workload.SizeClass{{Words: 1, Weight: 3}, {Words: 8, Weight: 1}},
+	}
+}
+
+// Benchmark describes the port for the harness.
+func Benchmark() *bench.Benchmark {
+	return &bench.Benchmark{
+		Name: "RedisLog",
+		Expected: []bench.ExpectedBug{
+			{Field: "aof entry", Cause: "publishing a log entry on the AOF head without flushing its value first", LocSubstr: "aof entry value in appendEntry"},
+		},
+		Build:         func(v bench.Variant) explore.Program { return BuildWorkload(v, DefaultConfig()) },
+		PreferredMode: explore.Random,
+		Executions:    400,
+	}
+}

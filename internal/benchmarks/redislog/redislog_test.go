@@ -1,0 +1,81 @@
+package redislog
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+func TestSetGet(t *testing.T) {
+	r := New(bench.Fixed)
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	r.Init(th, 16)
+	for k := memmodel.Value(1); k <= 8; k++ {
+		r.Set(th, k, k*101, 3)
+	}
+	r.Set(th, 5, 999, 1) // overwrite
+	for k := memmodel.Value(1); k <= 8; k++ {
+		want := k * 101
+		if k == 5 {
+			want = 999
+		}
+		v, ok := r.Get(th, k)
+		if !ok || v != want {
+			t.Fatalf("get(%d) = (%d, %v), want %d", k, v, ok, want)
+		}
+	}
+	if _, ok := r.Get(th, 12); ok {
+		t.Fatal("get(12) should miss")
+	}
+}
+
+func TestBuggyReportsAOFBug(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Buggy), explore.Options{
+		Mode: explore.Random, Executions: b.Executions, Seed: 41,
+	})
+	_, missed := bench.MatchExpected(b.Expected, res.Violations)
+	if len(missed) != 0 {
+		t.Fatalf("missed: %+v\nfound: %v", missed, res.ViolationKeys())
+	}
+}
+
+func TestFixedIsClean(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Fixed), explore.Options{
+		Mode: explore.Random, Executions: b.Executions, Seed: 41,
+	})
+	if len(res.Violations) != 0 {
+		t.Fatalf("fixed variant reports: %v", res.ViolationKeys())
+	}
+	if res.Aborted != 0 {
+		t.Fatalf("%d aborted executions", res.Aborted)
+	}
+}
+
+// TestWindowedRunMatches: the same workload explored with a bounded
+// window reports the same violations as the unbounded run.
+func TestWindowedRunMatches(t *testing.T) {
+	b := Benchmark()
+	base := explore.Options{Mode: explore.Random, Executions: 50, Seed: 42}
+	unb := explore.Run(b.Build(bench.Buggy), base)
+	win := base
+	win.Model.Window = 64
+	bounded := explore.Run(b.Build(bench.Buggy), win)
+	got, want := bounded.ViolationKeys(), unb.ViolationKeys()
+	if len(got) != len(want) {
+		t.Fatalf("windowed keys %v != unbounded %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("windowed keys %v != unbounded %v", got, want)
+		}
+	}
+	if bounded.Retirements == 0 {
+		t.Fatal("bounded run never retired")
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"repro/internal/benchmarks/pclht"
 	"repro/internal/benchmarks/pmasstree"
 	"repro/internal/benchmarks/pmdk"
+	"repro/internal/benchmarks/redislog"
+	"repro/internal/benchmarks/slabcache"
 )
 
 // All returns every benchmark port in the paper's Table 2 order,
@@ -45,9 +47,29 @@ func Indexes() []*bench.Benchmark {
 	}
 }
 
-// ByName finds a benchmark by its table name, or nil.
+// Servers returns the workload-driven server ports (the Redis-style
+// append log and the memcached-style slab cache). They are registered
+// separately from All: their default configurations are registry-sized,
+// but their reason to exist is the long-trace regime — psan-bench
+// rebuilds them around a workload.Config streaming millions of
+// operations through one execution, which the Table 2 harness should
+// not iterate by accident.
+func Servers() []*bench.Benchmark {
+	return []*bench.Benchmark{
+		redislog.Benchmark(),
+		slabcache.Benchmark(),
+	}
+}
+
+// ByName finds a benchmark by its table name, or nil. The workload
+// servers are addressable by name even though All omits them.
 func ByName(name string) *bench.Benchmark {
 	for _, b := range All() {
+		if b.Name == name {
+			return b
+		}
+	}
+	for _, b := range Servers() {
 		if b.Name == name {
 			return b
 		}

@@ -1,0 +1,70 @@
+package slabcache
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks/bench"
+	"repro/internal/explore"
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+func TestSetGetAndRecycle(t *testing.T) {
+	c := New(bench.Fixed)
+	w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+	th := w.Thread(0)
+	c.Init(th, 16)
+	for k := memmodel.Value(1); k <= 8; k++ {
+		c.Set(th, k, k*101, 3)
+	}
+	heapBefore := w.Heap.Used()
+	c.Set(th, 3, 777, 3) // displaces k=3's item to the freelist
+	c.Set(th, 3, 888, 3) // must reuse it
+	if w.Heap.Used() != heapBefore+classLines(classFor(3))*memmodel.CacheLineSize {
+		t.Fatalf("freelist not recycled: heap grew %d bytes over two overwrites", w.Heap.Used()-heapBefore)
+	}
+	for k := memmodel.Value(1); k <= 8; k++ {
+		want := k * 101
+		if k == 3 {
+			want = 888
+		}
+		v, ok := c.Get(th, k)
+		if !ok || v != want {
+			t.Fatalf("get(%d) = (%d, %v), want %d", k, v, ok, want)
+		}
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	for _, tc := range []struct{ words, lines int }{
+		{1, 1}, {5, 1}, {6, 2}, {13, 2}, {21, 3}, {24, 4},
+	} {
+		if got := classLines(classFor(tc.words)); got != tc.lines {
+			t.Fatalf("classFor(%d) occupies %d lines, want %d", tc.words, got, tc.lines)
+		}
+	}
+}
+
+func TestBuggyReportsItemLinkBug(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Buggy), explore.Options{
+		Mode: explore.Random, Executions: b.Executions, Seed: 51,
+	})
+	_, missed := bench.MatchExpected(b.Expected, res.Violations)
+	if len(missed) != 0 {
+		t.Fatalf("missed: %+v\nfound: %v", missed, res.ViolationKeys())
+	}
+}
+
+func TestFixedIsClean(t *testing.T) {
+	b := Benchmark()
+	res := explore.Run(b.Build(bench.Fixed), explore.Options{
+		Mode: explore.Random, Executions: b.Executions, Seed: 51,
+	})
+	if len(res.Violations) != 0 {
+		t.Fatalf("fixed variant reports: %v", res.ViolationKeys())
+	}
+	if res.Aborted != 0 {
+		t.Fatalf("%d aborted executions", res.Aborted)
+	}
+}

@@ -332,6 +332,22 @@ func (c *Checker) Reset() {
 // checker's read hooks take.
 func (c *Checker) Intern(loc string) trace.LocID { return c.tr.Intern(loc) }
 
+// MarkRetireRoots pins the stores the checker still needs during a
+// bounded-window retirement (the pmem world passes it to the model's
+// Retire as the extra-roots hook). The checker's constraint map keys
+// crash intervals by (sub-execution, thread) and its violations freeze
+// store sites into StoreRefs at flag time, so the only live store
+// pointers it owns are the read-from stores of loads deferred inside
+// open checksum regions: those replay through OnRead at region end and
+// must survive until then.
+func (c *Checker) MarkRetireRoots(mark func(*trace.Store)) {
+	for _, loads := range c.deferred {
+		for _, dl := range loads {
+			mark(dl.rf)
+		}
+	}
+}
+
 // freeze copies a trace store into a report-stable StoreRef,
 // materializing its source label.
 func (c *Checker) freeze(s *trace.Store) *StoreRef {

@@ -94,14 +94,32 @@ func provStoreEvent(role string, s *StoreRef, note string) obs.ProvEvent {
 // persistence was not guaranteed.
 func (c *Checker) appendFlushContext(p *obs.Provenance, mf *StoreRef) {
 	evs := c.tr.SubEvents(mf.SubExec)
-	start := 0
+	line := mf.Addr.Line()
+	start := -1
 	for i, ev := range evs {
 		if ev.Store != nil && ev.Store.ID == mf.ID {
 			start = i + 1
 			break
 		}
 	}
-	line := mf.Addr.Line()
+	if start < 0 {
+		// On a bounded-window trace the racing store's event — and with
+		// it the flush/fence context that followed — may already have
+		// been retired. Walking the retained suffix would report a
+		// *later* flush or fence as "first", which is worse than saying
+		// nothing; emit an honest placeholder instead.
+		if c.tr.WindowSize() > 0 {
+			p.Events = append(p.Events, obs.ProvEvent{
+				Role:    "flush-context",
+				Thread:  int(mf.Thread),
+				SubExec: mf.SubExec,
+				Addr:    line.String(),
+				Note:    "flush/fence context released by the bounded trace window before the violation was diagnosed",
+			})
+			return
+		}
+		start = 0
+	}
 	var flushEv, fenceEv *trace.Event
 	for _, ev := range evs[start:] {
 		switch ev.Kind {

@@ -44,11 +44,12 @@ type Assembler struct {
 // in Run; opt.Resume primes the cursor, counters, and dedup set exactly
 // like a resumed in-process run).
 func NewAssembler(program string, opt Options) *Assembler {
+	opt.applyWindowConstraints()
 	opt.em = obs.ExploreInstruments(opt.Obs.Reg())
 	opt.tr = opt.Obs.Trace()
 	a := &Assembler{
 		opt:   opt,
-		res:   &Result{Program: program, Mode: opt.Mode, Workers: opt.Workers},
+		res:   &Result{Program: program, Mode: opt.Mode, Workers: opt.Workers, Window: opt.Model.Window},
 		seen:  make(map[string]bool),
 		start: time.Now(),
 	}
@@ -110,7 +111,11 @@ func (a *Assembler) Add(spec UnitSpec, ur *UnitResult) {
 		if ex.Err != nil && ex.Err.Exec < 0 {
 			ex.Err.Exec = a.idx
 		}
-		a.res.collect(execOutcome{index: a.idx, aborted: ex.Aborted, violations: ex.Violations, execErr: ex.Err}, a.seen, &a.opt)
+		a.res.collect(execOutcome{
+			index: a.idx, aborted: ex.Aborted, violations: ex.Violations, execErr: ex.Err,
+			ops: ex.Ops, retirements: ex.Retirements,
+			retiredStores: ex.RetiredStores, retiredEvents: ex.RetiredEvents,
+		}, a.seen, &a.opt)
 		a.idx++
 	}
 	if !ur.Done {
@@ -175,6 +180,7 @@ func (a *Assembler) checkpoint() *Checkpoint {
 		Mode:          a.opt.Mode.String(),
 		Seed:          a.opt.Seed,
 		Model:         resolveModel(a.opt.Model.Name),
+		Window:        a.opt.Model.Window,
 		Collected:     a.idx,
 		Aborted:       a.res.Aborted,
 		Quarantined:   a.res.Quarantined,

@@ -62,6 +62,11 @@ type Checkpoint struct {
 	// Verdicts and decision trees are model-relative, so resuming under
 	// a different backend would merge incomparable results.
 	Model string `json:"model,omitempty"`
+	// Window records the retirement-window size the campaign ran under
+	// (0 = unbounded). A bounded window forces snapshots, DPOR, and the
+	// state cache off, which changes which executions the canonical
+	// stream contains, so a resume must use the same window.
+	Window int `json:"window,omitempty"`
 	// DPOR records whether the campaign ran with partial-order
 	// reduction. The reduction changes which executions the canonical
 	// stream contains, so a resume must run the same way; snapshots, by
@@ -208,7 +213,7 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 // say exactly which field disagreed for the supervisor's poison record
 // to be actionable.
 type MismatchError struct {
-	Field string // "version", "program", "mode", "seed", "model", "dpor", "mc-state"
+	Field string // "version", "program", "mode", "seed", "model", "window", "dpor", "mc-state"
 	Have  string // the checkpoint's side
 	Want  string // the resuming run's side
 }
@@ -233,6 +238,9 @@ func (c *Checkpoint) Validate(program string, opt Options) error {
 	}
 	if resolveModel(c.Model) != resolveModel(opt.Model.Name) {
 		return &MismatchError{Field: "model", Have: resolveModel(c.Model), Want: resolveModel(opt.Model.Name)}
+	}
+	if c.Window != opt.Model.Window {
+		return &MismatchError{Field: "window", Have: fmt.Sprintf("%d", c.Window), Want: fmt.Sprintf("%d", opt.Model.Window)}
 	}
 	if c.Mode == ModelCheck.String() && c.MC == nil {
 		return &MismatchError{Field: "mc-state", Have: "absent", Want: "present"}

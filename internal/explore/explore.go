@@ -290,6 +290,25 @@ type Options struct {
 	Resume *Checkpoint
 }
 
+// applyWindowConstraints forces off every feature a bounded window is
+// incompatible with. Bounded-window mode releases trace history behind
+// the retirement frontier, so every feature whose keys or replays reach
+// into retired state must go: crash-boundary snapshots (Trace.Mark is
+// unavailable once stores retire), DPOR and the post-crash state cache
+// (their keys hash committed history and persistent images whose
+// retired entries are gone). Verdicts are unaffected — the windowed-
+// equivalence suite proves the violation sets and final heaps
+// identical. Every engine entry point (Run, RunUnit, NewAssembler)
+// calls this, so window semantics are uniform across in-process,
+// worker, and supervisor paths.
+func (o *Options) applyWindowConstraints() {
+	if o.Model.Window > 0 {
+		o.DisableSnapshots = true
+		o.DisableDPOR = true
+		o.NoStateCache = true
+	}
+}
+
 // ParseReduction maps a -reduction flag value onto the two disable
 // options, the one vocabulary both CLIs share:
 //
@@ -367,6 +386,22 @@ type Result struct {
 	// unaffected. Both are 0 in Random mode and in the serial
 	// (AfterExecution) engine.
 	DPORPruned int
+	// Window is the bounded-window size the run used
+	// (persist.Config.Window); 0 = classic unbounded traces.
+	Window int
+	// Ops sums the scheduled memory operations across collected
+	// executions — the denominator long-workload throughput reporting
+	// wants (executions alone make a 1M-op run look like one unit of
+	// work).
+	Ops int64
+	// Retirements, RetiredStores, and RetiredEvents sum the
+	// bounded-window sweeps' work across collected executions; all zero
+	// when Window == 0. Like SnapshotRestores they are diagnostics,
+	// excluded from the determinism contract (violations, executions,
+	// and final heaps are identical at any window).
+	Retirements   int64
+	RetiredStores int64
+	RetiredEvents int64
 	// Violations are deduplicated across executions by bug identity
 	// (store-site pair + diagnosis kind), in first-found order.
 	Violations []*core.Violation
@@ -560,13 +595,17 @@ func Run(p Program, opt Options) *Result {
 	if opt.Model.Obs == nil {
 		opt.Model.Obs = opt.Obs
 	}
+	opt.applyWindowConstraints()
 	st := newStopper(&opt)
+	var res *Result
 	switch opt.Mode {
 	case ModelCheck:
-		return runModelCheck(p, opt, st)
+		res = runModelCheck(p, opt, st)
 	default:
-		return runRandom(p, opt, st)
+		res = runRandom(p, opt, st)
 	}
+	res.Window = opt.Model.Window
+	return res
 }
 
 // primeFromCheckpoint folds a resumed checkpoint's already-collected
@@ -790,6 +829,23 @@ type execOutcome struct {
 	// execErr marks a quarantined execution (contained panic): no
 	// violations, no world.
 	execErr *ExecError
+	// ops and the retirement counts carry the execution's world stats
+	// into the result sums (noteWorldStats); zero for quarantined
+	// executions, whose world is discarded unread.
+	ops           int64
+	retirements   int64
+	retiredStores int64
+	retiredEvents int64
+}
+
+// noteWorldStats records the execution's scheduled-operation count and
+// bounded-window retirement totals from the world that ran it.
+func (o *execOutcome) noteWorldStats(w *pmem.World) {
+	o.ops = int64(w.Ops())
+	rs := w.M.Trace().Retired()
+	o.retirements = int64(rs.Retirements)
+	o.retiredStores = int64(rs.RetiredStores)
+	o.retiredEvents = int64(rs.RetiredEvents)
 }
 
 // count classifies the outcome into exactly one of the completion
@@ -833,6 +889,10 @@ func (r *Result) collect(o execOutcome, seen map[string]bool, opt *Options) {
 	r.mergeViolations(seen, o.violations, o.index+1)
 	r.Executions++
 	r.WorkerTime += o.elapsed
+	r.Ops += o.ops
+	r.Retirements += o.retirements
+	r.RetiredStores += o.retiredStores
+	r.RetiredEvents += o.retiredEvents
 	if opt.Mode == Random {
 		opt.em.FrontierDepth.Set(int64(opt.Executions - r.Executions))
 	}
@@ -956,6 +1016,7 @@ func randomExecution(p Program, opt *Options, plan *randomPlan, ws *workerState,
 		return o
 	}
 	o.violations = w.Checker.Violations()
+	o.noteWorldStats(w)
 	if plan.keepWorld {
 		o.world = w
 	} else if !plan.fresh {
@@ -1013,6 +1074,7 @@ func runRandom(p Program, opt Options, st *stopper) *Result {
 			Mode:          Random.String(),
 			Seed:          opt.Seed,
 			Model:         resolveModel(opt.Model.Name),
+			Window:        opt.Model.Window,
 			Collected:     cursor,
 			Aborted:       res.Aborted,
 			Quarantined:   res.Quarantined,
@@ -1186,6 +1248,7 @@ func runModelCheckSerial(p Program, opt Options, st *stopper) *Result {
 			execErr.Prefix = trailValues(ctl.trail)
 		} else {
 			o.violations = w.Checker.Violations()
+			o.noteWorldStats(w)
 			o.world = w
 		}
 		res.collect(o, seen, &opt)

@@ -271,6 +271,13 @@ type mcExec struct {
 	// execErr marks a quarantined execution; its canonical index is
 	// assigned at assembly time.
 	execErr *ExecError
+	// ops and the retirement counts mirror execOutcome's world stats;
+	// they ride to the assembly walk (and, via UnitExec, across the
+	// process boundary) so Result sums match the serial engines'.
+	ops           int64
+	retirements   int64
+	retiredStores int64
+	retiredEvents int64
 }
 
 // capRec records a domain cap placed on a unit's live trail when a
@@ -1042,6 +1049,11 @@ func (e *mcEngine) runUnit(u *mcUnit, ws *mcWorkerState, tid int) {
 			snaps = pruneSnaps(snaps, -1)
 		} else {
 			ex.violations = ws.w.Checker.Violations()
+			ex.ops = int64(ws.w.Ops())
+			rs := ws.w.M.Trace().Retired()
+			ex.retirements = int64(rs.Retirements)
+			ex.retiredStores = int64(rs.RetiredStores)
+			ex.retiredEvents = int64(rs.RetiredEvents)
 		}
 		u.execs = append(u.execs, ex)
 		sub.nexecs.Add(1)
@@ -1127,7 +1139,11 @@ func (a *asm) walk(u *mcUnit) {
 		if ex.execErr != nil && ex.execErr.Exec < 0 {
 			ex.execErr.Exec = a.idx
 		}
-		a.res.collect(execOutcome{index: a.idx, aborted: ex.aborted, violations: ex.violations, execErr: ex.execErr}, a.seen, a.e.opt)
+		a.res.collect(execOutcome{
+			index: a.idx, aborted: ex.aborted, violations: ex.violations, execErr: ex.execErr,
+			ops: ex.ops, retirements: ex.retirements,
+			retiredStores: ex.retiredStores, retiredEvents: ex.retiredEvents,
+		}, a.seen, a.e.opt)
 		a.idx++
 	}
 	if !u.done && a.cut == nil {
@@ -1258,6 +1274,7 @@ func (e *mcEngine) checkpoint(res *Result, seen map[string]bool, cutU *mcUnit, c
 		Mode:          ModelCheck.String(),
 		Seed:          e.opt.Seed,
 		Model:         resolveModel(e.opt.Model.Name),
+		Window:        e.opt.Model.Window,
 		DPOR:          !e.opt.DisableDPOR,
 		Collected:     collected,
 		Aborted:       res.Aborted,

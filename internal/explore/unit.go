@@ -74,6 +74,14 @@ type UnitExec struct {
 	Aborted    bool
 	Err        *ExecError
 	Violations []*core.Violation
+	// Ops and the retirement counts carry the execution's world stats
+	// across the process boundary so supervised Result sums match the
+	// in-process engines' (all zero for quarantined executions and, for
+	// the retirement trio, whenever the window is 0).
+	Ops           int64 `json:",omitempty"`
+	Retirements   int64 `json:",omitempty"`
+	RetiredStores int64 `json:",omitempty"`
+	RetiredEvents int64 `json:",omitempty"`
 }
 
 // UnitResult is a completed (or stopped) unit's raw stream plus its
@@ -158,6 +166,7 @@ func RunUnit(p Program, opt Options, spec UnitSpec, hooks UnitHooks) (*UnitResul
 	opt.Workers = 1
 	opt.DisableStealing = true
 	opt.ForceSteals = false
+	opt.applyWindowConstraints()
 	opt.em = obs.ExploreInstruments(opt.Obs.Reg())
 	opt.tr = opt.Obs.Trace()
 	if opt.Model.Obs == nil {
@@ -212,7 +221,11 @@ func runMCUnit(p Program, opt *Options, st *stopper, spec UnitSpec, hooks UnitHo
 	}
 	seen := make(map[string]bool)
 	for _, ex := range u.execs {
-		ur.Execs = append(ur.Execs, dedupExec(UnitExec{Aborted: ex.aborted, Err: ex.execErr}, ex.violations, seen))
+		ur.Execs = append(ur.Execs, dedupExec(UnitExec{
+			Aborted: ex.aborted, Err: ex.execErr,
+			Ops: ex.ops, Retirements: ex.retirements,
+			RetiredStores: ex.retiredStores, RetiredEvents: ex.retiredEvents,
+		}, ex.violations, seen))
 	}
 	return ur
 }
@@ -233,7 +246,11 @@ func runRandomUnit(p Program, opt *Options, st *stopper, spec UnitSpec, hooks Un
 		ws.wm.BusyNanos.Add(int64(o.elapsed))
 		ws.wm.Dispatches.Inc()
 		ur.WorkNanos += int64(o.elapsed)
-		ur.Execs = append(ur.Execs, dedupExec(UnitExec{Aborted: o.aborted, Err: o.execErr}, o.violations, seen))
+		ur.Execs = append(ur.Execs, dedupExec(UnitExec{
+			Aborted: o.aborted, Err: o.execErr,
+			Ops: o.ops, Retirements: o.retirements,
+			RetiredStores: o.retiredStores, RetiredEvents: o.retiredEvents,
+		}, o.violations, seen))
 		if hooks.OnExec != nil {
 			hooks.OnExec(len(ur.Execs))
 		}

@@ -118,9 +118,16 @@ func PersistInstruments(r *Registry, model string) PersistMetrics {
 }
 
 // WorldMetrics covers the simulated machine shared by interp and pmem.
+// The retirement instruments move only under bounded-window mode
+// (persist.Config.Window > 0); they stay zero on unbounded campaigns.
 type WorldMetrics struct {
 	ScheduleSteps *Counter // pmem.schedule_steps (one per scheduled memory op)
 	InterpSteps   *Counter // interp.steps (one per interpreted statement)
+
+	Retirements    *Counter // pmem.retirements (completed window sweeps)
+	RetiredStores  *Counter // pmem.retired_stores (store records released)
+	RetiredEvents  *Counter // pmem.retired_events (event records released)
+	WindowRetained *Gauge   // pmem.window_retained (event-log occupancy after the last sweep)
 }
 
 // WorldInstruments resolves the world bundle from r.
@@ -129,8 +136,12 @@ func WorldInstruments(r *Registry) WorldMetrics {
 		return WorldMetrics{}
 	}
 	return WorldMetrics{
-		ScheduleSteps: r.Counter("pmem.schedule_steps"),
-		InterpSteps:   r.Counter("interp.steps"),
+		ScheduleSteps:  r.Counter("pmem.schedule_steps"),
+		InterpSteps:    r.Counter("interp.steps"),
+		Retirements:    r.Counter("pmem.retirements"),
+		RetiredStores:  r.Counter("pmem.retired_stores"),
+		RetiredEvents:  r.Counter("pmem.retired_events"),
+		WindowRetained: r.Gauge("pmem.window_retained"),
 	}
 }
 

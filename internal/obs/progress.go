@@ -37,15 +37,14 @@ func StartProgress(cfg ProgressConfig) (stop func()) {
 		defer close(done)
 		tick := time.NewTicker(cfg.Interval)
 		defer tick.Stop()
-		var lastDone int64
-		lastAt := start
+		st := &progressState{lastAt: start}
 		for {
 			select {
 			case <-quit:
-				printProgress(cfg, start, &lastDone, &lastAt, true)
+				printProgress(cfg, start, st, true)
 				return
 			case <-tick.C:
-				printProgress(cfg, start, &lastDone, &lastAt, false)
+				printProgress(cfg, start, st, false)
 			}
 		}
 	}()
@@ -58,32 +57,57 @@ func StartProgress(cfg ProgressConfig) (stop func()) {
 	}
 }
 
-func printProgress(cfg ProgressConfig, start time.Time, lastDone *int64, lastAt *time.Time, final bool) {
+// progressState carries the between-tick deltas the rate estimates
+// need: executions and scheduled memory operations at the last tick.
+type progressState struct {
+	lastDone int64
+	lastOps  int64
+	lastAt   time.Time
+}
+
+func printProgress(cfg ProgressConfig, start time.Time, st *progressState, final bool) {
 	snap := cfg.Registry.Snapshot()
 	now := time.Now()
 	done := snap.Counters["explore.executions_completed"] +
 		snap.Counters["explore.executions_aborted"] +
 		snap.Counters["explore.executions_quarantined"] +
 		snap.Counters["explore.executions_pruned"]
+	ops := snap.Counters["pmem.schedule_steps"]
 
-	// Instantaneous rate over the last tick, falling back to the campaign
-	// average on the first line.
-	interval := now.Sub(*lastAt).Seconds()
-	rate := 0.0
+	// Instantaneous rates over the last tick, falling back to the
+	// campaign average on the first line. The ops/s rate is what keeps a
+	// long single-execution workload (window mode driving millions of
+	// operations in one execution) from looking stalled: executions/s is
+	// zero for minutes while ops/s is not.
+	interval := now.Sub(st.lastAt).Seconds()
+	rate, opsRate := 0.0, 0.0
 	if interval > 0 {
-		rate = float64(done-*lastDone) / interval
+		rate = float64(done-st.lastDone) / interval
+		opsRate = float64(ops-st.lastOps) / interval
 	}
-	if *lastDone == 0 && done > 0 {
+	if st.lastDone == 0 && done > 0 {
 		if el := now.Sub(start).Seconds(); el > 0 {
 			rate = float64(done) / el
 		}
 	}
-	*lastDone, *lastAt = done, now
+	if st.lastOps == 0 && ops > 0 {
+		if el := now.Sub(start).Seconds(); el > 0 && opsRate == 0 {
+			opsRate = float64(ops) / el
+		}
+	}
+	st.lastDone, st.lastOps, st.lastAt = done, ops, now
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "progress: %d execs", done)
 	if rate > 0 {
 		fmt.Fprintf(&b, " (%.0f/s)", rate)
+	}
+	if opsRate > 0 {
+		fmt.Fprintf(&b, ", %s ops/s", humanCount(int64(opsRate)))
+	}
+	if ret := snap.Counters["pmem.retirements"]; ret > 0 {
+		fmt.Fprintf(&b, ", window %d live (%d retirements)",
+			snap.Gauges["pmem.window_retained"], ret)
 	}
 	remaining := int64(-1)
 	if cfg.Total > 0 {
@@ -113,6 +137,22 @@ func printProgress(cfg ProgressConfig, start time.Time, lastDone *int64, lastAt 
 		fmt.Fprintf(&b, " — done in %s", now.Sub(start).Round(time.Millisecond))
 	}
 	fmt.Fprintln(cfg.Out, b.String())
+}
+
+// humanCount renders a count with a k/M suffix for progress lines.
+func humanCount(n int64) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%dM", n/1_000_000)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1_000_000)
+	case n >= 10_000:
+		return fmt.Sprintf("%dk", n/1_000)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1_000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
 }
 
 // persistModels extracts the sorted model names present in a snapshot's

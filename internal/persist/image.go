@@ -17,9 +17,13 @@ type epoch struct {
 }
 
 // indexOfFirst returns the index of the first store to word w, or -1.
+// Retired entries are nil holes (see Retire) and never match: a retired
+// first-store-to-w implies the epoch's guaranteed prefix already covers
+// a newer store to w, so the narrowing that would have used it can no
+// longer be asked for.
 func (ep *epoch) indexOfFirst(w memmodel.Addr) int {
 	for i, s := range ep.stores {
-		if s.Addr == w {
+		if s != nil && s.Addr == w {
 			return i
 		}
 	}
@@ -56,6 +60,9 @@ type Image struct {
 	epochFree []*epoch
 	// candIdxs is AppendSealedCandidates' per-epoch store-index scratch.
 	candIdxs []int
+	// retireLast is Retire's per-epoch nearest-following-index scratch,
+	// allocated on first retirement so unbounded machines never pay it.
+	retireLast map[memmodel.Addr]int
 }
 
 // NewImage returns an empty image owned by the named backend.
@@ -180,10 +187,14 @@ func (im *Image) AppendSealedCandidates(cands []Candidate, a memmodel.Addr) ([]C
 	blocked := false
 	for j := len(sealed) - 1; j >= 0 && !blocked; j-- {
 		ep := sealed[j]
-		// Indices of stores to a within this epoch.
+		// Indices of stores to a within this epoch. Retired entries are
+		// nil holes; skipping them is exact because retirement only
+		// removes stores whose visibility window is already empty (see
+		// Retire), and positions — which the prefix arithmetic below
+		// depends on — are preserved.
 		idxs := im.candIdxs[:0]
 		for i, s := range ep.stores {
-			if s.Addr == a {
+			if s != nil && s.Addr == a {
 				idxs = append(idxs, i)
 			}
 		}
@@ -244,6 +255,62 @@ func (im *Image) Resolve(a memmodel.Addr, c Candidate, tr *trace.Trace, loc trac
 		if ep.lo > ep.hi {
 			panic(InvariantError{Model: im.name, Check: "prefix range", Addr: a, Loc: tr.LocString(loc)})
 		}
+	}
+}
+
+// Retire is the image half of a bounded-window retirement: it pins (via
+// mark) every store some future load could still read through the crash
+// image, and unlinks the entries that provably cannot be candidates
+// ever again so the trace sweep may release them.
+//
+// A store at epoch index i is visible exactly for persisted-prefix
+// lengths in [i+1, next], where next is the position of the next store
+// to the same word (or the epoch length). The guaranteed lower bound
+// ep.lo only ever rises — flushes raise it live, Resolve narrows it
+// upward when a read commits to a newer survivor — so once next < ep.lo
+// the window [max(lo,i+1), min(hi,next)] is empty forever: the entry is
+// dead and becomes a nil hole (positions carry the prefix arithmetic,
+// so the slot must stay). Everything else is marked. The newest entry
+// per word has no follower and always survives, which is what keeps
+// final-heap reconstruction's address set intact. Killed entries form a
+// per-word prefix of the word's index list, so the candidate walk in
+// AppendSealedCandidates sees the same (lo, hi) windows and the same
+// blocked verdict it would have computed on the full history.
+func (im *Image) Retire(mark func(*trace.Store)) {
+	if im.retireLast == nil {
+		im.retireLast = make(map[memmodel.Addr]int)
+	}
+	for _, ls := range im.lines {
+		for _, ep := range ls.sealed {
+			im.retireEpoch(ep, mark)
+		}
+		im.retireEpoch(ls.live, mark)
+	}
+}
+
+// retireEpoch applies the per-epoch kill rule; see Retire.
+func (im *Image) retireEpoch(ep *epoch, mark func(*trace.Store)) {
+	if ep == nil || len(ep.stores) == 0 {
+		return
+	}
+	last := im.retireLast
+	for k := range last {
+		delete(last, k)
+	}
+	for i := len(ep.stores) - 1; i >= 0; i-- {
+		s := ep.stores[i]
+		if s == nil {
+			continue
+		}
+		// last holds the nearest following non-hole index per word. A
+		// previously killed follower is fine to stand in for a live one:
+		// kills only happen below ep.lo, so the comparison agrees.
+		if j, ok := last[s.Addr]; ok && j < ep.lo {
+			ep.stores[i] = nil
+		} else {
+			mark(s)
+		}
+		last[s.Addr] = i
 	}
 }
 
@@ -339,6 +406,13 @@ func (im *Image) Fingerprint() uint64 {
 			mix(uint64(ep.hi))
 			mix(uint64(len(ep.stores)))
 			for _, s := range ep.stores {
+				if s == nil {
+					// Retired entry: fingerprints are only consumed by the
+					// state cache / DPOR, which bounded-window mode forces
+					// off, but stay well-defined regardless.
+					mix(0)
+					continue
+				}
 				mix(uint64(s.ID))
 				mix(uint64(s.Value))
 			}

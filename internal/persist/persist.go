@@ -156,6 +156,17 @@ type Config struct {
 	// issue, which is a legal TSO behavior and keeps model checking
 	// tractable. Bufferless models (strict) ignore it.
 	DelayedCommit bool
+	// Window, when positive, puts the machine's trace in bounded-window
+	// (streaming) mode: every Window operations the pmem world asks the
+	// model to retire history behind the frontier — stores that can no
+	// longer be read by any future load (not a crash-image candidate,
+	// not volatile state, not pinned by the checker or by clock-vector
+	// resolution) are unlinked and released to the GC. 0 (the default)
+	// keeps the classic record-everything arena pipeline, byte-identical
+	// to previous releases. Window changes which exploration features
+	// are available (snapshots, DPOR, and the post-crash state cache are
+	// forced off) and is validated by checkpoints.
+	Window int
 	// Obs, when it carries a metrics registry, makes backends built from
 	// this config emit per-model instruction counters
 	// (persist.<model>.stores, .flushes, .fences, ...). Nil disables
@@ -164,6 +175,19 @@ type Config struct {
 	// model semantics: it never affects execution and is ignored by
 	// checkpoint validation.
 	Obs *obs.Observer
+}
+
+// Retirable is implemented by models that support bounded-window
+// retirement. Retire runs one retirement on the machine's trace: it
+// opens a mark generation, pins every store the machine itself can
+// still surface (volatile memory, store buffers, crash-image epochs
+// that can still produce candidates), lets extraRoots pin stores owned
+// by upper layers (the checker's deferred reads), and sweeps the rest.
+// extraRoots may be nil. The pmem world invokes it every Window
+// operations when Config.Window > 0; models reached through a zero
+// Window never see a Retire call.
+type Retirable interface {
+	Retire(extraRoots func(mark func(*trace.Store)))
 }
 
 // InvariantError is the panic value raised when a model detects an

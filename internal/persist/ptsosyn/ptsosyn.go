@@ -40,6 +40,7 @@ func init() {
 	}, func(cfg persist.Config) persist.Model {
 		return New(Config{
 			DelayedCommit: cfg.DelayedCommit,
+			Window:        cfg.Window,
 			Metrics:       obs.PersistInstruments(cfg.Obs.Reg(), "ptsosyn"),
 		})
 	})
@@ -48,6 +49,9 @@ func init() {
 // Config controls simulation behavior; DelayedCommit is as in px86.
 type Config struct {
 	DelayedCommit bool
+	// Window, when positive, puts the machine's trace in bounded-window
+	// (streaming) mode; see persist.Config.Window.
+	Window int
 	// Metrics receives per-instruction counters; the zero value disables
 	// counting.
 	Metrics obs.PersistMetrics
@@ -96,6 +100,7 @@ func New(cfg Config) *Machine {
 		markers: make(map[memmodel.Addr][]marker),
 	}
 	m.img.Init("ptsosyn")
+	m.tr.SetWindow(cfg.Window)
 	return m
 }
 
@@ -357,6 +362,30 @@ func (m *Machine) Restore(snap *persist.ImageSnapshot) {
 	clear(m.markers)
 	clear(m.mem)
 	m.img.Restore(snap)
+}
+
+// Retire implements persist.Retirable: one bounded-window retirement.
+// The machine's roots are the volatile cache, TSO-buffered stores, and
+// the crash image's still-readable entries; flush markers record
+// (thread, depth) pairs and hold no store pointers.
+func (m *Machine) Retire(extraRoots func(mark func(*trace.Store))) {
+	m.tr.BeginRetire()
+	mark := m.tr.MarkRetireRoot
+	for _, st := range m.mem {
+		mark(st)
+	}
+	for _, buf := range m.buffers {
+		for _, e := range buf {
+			if e.store != nil {
+				mark(e.store)
+			}
+		}
+	}
+	m.img.Retire(mark)
+	if extraRoots != nil {
+		extraRoots(mark)
+	}
+	m.tr.FinishRetire()
 }
 
 // GuaranteedPersistCount mirrors the px86 diagnostic.

@@ -30,6 +30,7 @@ func init() {
 	}, func(cfg persist.Config) persist.Model {
 		m := New()
 		m.met = obs.PersistInstruments(cfg.Obs.Reg(), "strict")
+		m.tr.SetWindow(cfg.Window)
 		return m
 	})
 }
@@ -218,6 +219,24 @@ func (m *Machine) Snapshot() *persist.ImageSnapshot { return m.img.Snapshot() }
 func (m *Machine) Restore(snap *persist.ImageSnapshot) {
 	clear(m.mem)
 	m.img.Restore(snap)
+}
+
+// Retire implements persist.Retirable: one bounded-window retirement.
+// Strict machines have no buffers; the roots are the volatile cache and
+// the crash image's still-readable entries (under strict every sealed
+// epoch has lo = hi = len, so the image retains exactly the newest
+// surviving store per word and kills everything older).
+func (m *Machine) Retire(extraRoots func(mark func(*trace.Store))) {
+	m.tr.BeginRetire()
+	mark := m.tr.MarkRetireRoot
+	for _, st := range m.mem {
+		mark(st)
+	}
+	m.img.Retire(mark)
+	if extraRoots != nil {
+		extraRoots(mark)
+	}
+	m.tr.FinishRetire()
 }
 
 // GuaranteedPersistCount mirrors the px86 diagnostic: under strict it

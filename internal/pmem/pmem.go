@@ -137,6 +137,24 @@ type World struct {
 	threadIDs   []memmodel.ThreadID
 	crashed     bool
 
+	// Bounded-window retirement (persist.Config.Window > 0): every
+	// retireEvery scheduled operations the world asks the model to
+	// retire trace history behind the frontier. retire is the model's
+	// Retirable face and retireExtra the checker's root hook, both
+	// resolved once at construction so the trigger path allocates
+	// nothing. retireEvery starts at the window and stretches with the
+	// live set (a quarter of the last sweep's walked entries) so a
+	// workload whose persistent footprint grows — every pinned store is
+	// re-walked each sweep — pays amortized O(1) retirement work per
+	// operation instead of a quadratic rescan. Both the operation count
+	// and the sweep-work measure are deterministic, so retirement
+	// happens at identical trace points across replays of one schedule.
+	window      int
+	retireEvery int
+	sinceRetire int
+	retire      persist.Retirable
+	retireExtra func(mark func(*trace.Store))
+
 	spawned []*simThread
 
 	// steer is ChooseAvoidingViolations' scratch for the clean-candidate
@@ -193,6 +211,14 @@ func NewWorld(cfg Config) *World {
 		wobs:        obs.WorldInstruments(cfg.Model.Obs.Reg()),
 	}
 	w.Checker.SetProvenance(cfg.Provenance)
+	if cfg.Model.Window > 0 {
+		if r, ok := m.(persist.Retirable); ok {
+			w.window = cfg.Model.Window
+			w.retireEvery = w.window
+			w.retire = r
+			w.retireExtra = w.Checker.MarkRetireRoots
+		}
+	}
 	return w
 }
 
@@ -212,6 +238,8 @@ func (w *World) Reset(seed int64) {
 	w.ops = 0
 	w.isteps = 0
 	w.crashed = false
+	w.sinceRetire = 0
+	w.retireEvery = w.window
 	w.threadIDs = w.threadIDs[:0]
 	w.spawned = nil
 	w.assertFailures = nil
@@ -307,7 +335,37 @@ func (w *World) step(kind memmodel.OpKind) {
 		}
 		w.fenceOps++
 	}
+	if w.window > 0 {
+		if w.sinceRetire++; w.sinceRetire >= w.retireEvery {
+			w.sinceRetire = 0
+			w.retireNow()
+		}
+	}
 }
+
+// retireNow runs one bounded-window retirement and folds the sweep's
+// deltas into the world's instruments.
+func (w *World) retireNow() {
+	tr := w.M.Trace()
+	before := tr.Retired()
+	w.retire.Retire(w.retireExtra)
+	after := tr.Retired()
+	w.wobs.Retirements.Inc()
+	w.wobs.RetiredStores.Add(int64(after.RetiredStores - before.RetiredStores))
+	w.wobs.RetiredEvents.Add(int64(after.RetiredEvents - before.RetiredEvents))
+	w.wobs.WindowRetained.Set(int64(after.RetainedEvents))
+	// Amortize: each sweep walks the whole live set, so the next sweep
+	// is deferred until the work it would redo has been "paid for" by
+	// fresh operations. LastSweepWork is deterministic, so the stretched
+	// cadence replays identically.
+	w.retireEvery = w.window
+	if q := tr.LastSweepWork() / 4; q > w.retireEvery {
+		w.retireEvery = q
+	}
+}
+
+// Window returns the configured retirement window (0: unbounded).
+func (w *World) Window() int { return w.window }
 
 // interpProbeMask throttles the interpreter-step watchdog probe: with a
 // probe installed it also runs once every 1024 interpreted statements,

@@ -45,6 +45,9 @@ type Config struct {
 	// the cache immediately after issue, which is a legal TSO behavior
 	// and keeps model-checking tractable.
 	DelayedCommit bool
+	// Window, when positive, puts the machine's trace in bounded-window
+	// (streaming) mode; see persist.Config.Window.
+	Window int
 	// Metrics receives per-instruction counters. The zero value (all-nil
 	// instruments) disables counting; every increment is then a nil-check
 	// no-op.
@@ -59,6 +62,7 @@ func init() {
 	}, func(cfg persist.Config) persist.Model {
 		return New(Config{
 			DelayedCommit: cfg.DelayedCommit,
+			Window:        cfg.Window,
 			Metrics:       obs.PersistInstruments(cfg.Obs.Reg(), "px86"),
 		})
 	})
@@ -108,6 +112,7 @@ func New(cfg Config) *Machine {
 		pending: make(map[memmodel.ThreadID][]pendingFlush),
 	}
 	m.img.Init("px86")
+	m.tr.SetWindow(cfg.Window)
 	return m
 }
 
@@ -400,6 +405,33 @@ func (m *Machine) Restore(snap *persist.ImageSnapshot) {
 	clear(m.pending)
 	clear(m.mem)
 	m.img.Restore(snap)
+}
+
+// Retire implements persist.Retirable: one bounded-window retirement of
+// the machine's trace. The machine's own roots are the volatile cache
+// (newest committed store per word), buffered stores still waiting to
+// commit, and every crash-image entry that can still become a read
+// candidate (the image kills the provably dead ones as it marks);
+// pending clflushopt records hold line coverage counts, not stores.
+// extraRoots lets the caller pin checker-owned stores before the sweep.
+func (m *Machine) Retire(extraRoots func(mark func(*trace.Store))) {
+	m.tr.BeginRetire()
+	mark := m.tr.MarkRetireRoot
+	for _, st := range m.mem {
+		mark(st)
+	}
+	for _, buf := range m.buffers {
+		for _, e := range buf {
+			if e.store != nil {
+				mark(e.store)
+			}
+		}
+	}
+	m.img.Retire(mark)
+	if extraRoots != nil {
+		extraRoots(mark)
+	}
+	m.tr.FinishRetire()
 }
 
 // GuaranteedPersistCount returns how many committed stores to the line

@@ -33,6 +33,17 @@ func RunSummary(res *explore.Result) string {
 	if res.Steals > 0 {
 		fmt.Fprintf(&b, "work stealing: %d unit(s) donated to idle workers\n", res.Steals)
 	}
+	// Streaming-window record (bounded-window runs only, keeping the
+	// -window 0 output byte-identical to pre-window builds): throughput
+	// and how much trace history the retirement frontier released.
+	if res.Window > 0 {
+		fmt.Fprintf(&b, "window %d: %d ops", res.Window, res.Ops)
+		if secs := res.Elapsed.Seconds(); secs > 0 && res.Ops > 0 {
+			fmt.Fprintf(&b, " (%.0f ops/s)", float64(res.Ops)/secs)
+		}
+		fmt.Fprintf(&b, ", %d retirements released %d stores and %d events\n",
+			res.Retirements, res.RetiredStores, res.RetiredEvents)
+	}
 	// Supervision record (dispatch-supervised campaigns only): how the
 	// isolation machinery behaved. Redeliveries and restarts are routine
 	// fault recovery; poison and degradation are coverage- or

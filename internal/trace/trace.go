@@ -55,6 +55,14 @@ type Store struct {
 	Loc LocID
 	// Initial marks the synthetic pre-execution store.
 	Initial bool
+
+	// mark is the retirement mark generation: the store is pinned by the
+	// current retirement exactly when mark equals the trace's markGen.
+	// Comparing a field beats any side table — the retirement sweep
+	// touches every index-structure entry once, so the per-entry test
+	// must be a load and a compare. Zero (never marked) sorts with "not
+	// pinned", which is correct: generation numbers start at 1.
+	mark uint64
 }
 
 // String renders a short identification of the store for diagnostics.
@@ -188,6 +196,35 @@ type Trace struct {
 	// nextOut/nextSeen are the scratch buffers of Next; see its contract.
 	nextOut  []*Store
 	nextSeen []memmodel.ThreadID
+
+	// --- bounded-window (streaming) state; see window.go ---
+
+	// window is the retirement window in operations; 0 (the default)
+	// keeps the classic unbounded arena pipeline, byte-identical to a
+	// trace without windowing. When positive, Store and Event records
+	// are allocated from the GC heap instead of the arenas so the
+	// retirement sweep can actually release them.
+	window int
+	// markGen is the current retirement mark generation (see Store.mark).
+	markGen uint64
+	// eventFloor is the lowest possibly-live logical index in events:
+	// everything below it has been retired by a previous sweep.
+	eventFloor int
+	// eventBase is the logical index of events[0]: sweeps physically
+	// drop the retired prefix, so physical index = logical - eventBase.
+	// Always 0 in unbounded mode.
+	eventBase int
+	// lastSweepWork is the index-entry count the most recent sweep
+	// walked; the machine stretches its retirement cadence with it.
+	lastSweepWork int
+	// retired accumulates the per-kind counts of retired events;
+	// retiredStores and retirements feed Stats and the explorer's window
+	// diagnostics.
+	retired       Stats
+	retiredStores int
+	retirements   int
+	// markScratch is FinishRetire's reusable first-per-thread scratch.
+	markScratch []memmodel.ThreadID
 }
 
 // New returns an empty trace with one (initial) sub-execution.
@@ -215,6 +252,12 @@ func (tr *Trace) Reset() {
 	tr.nextStoreID = 0
 	tr.stores.reset()
 	tr.evs.reset()
+	tr.eventFloor = 0
+	tr.eventBase = 0
+	tr.lastSweepWork = 0
+	tr.retired = Stats{}
+	tr.retiredStores = 0
+	tr.retirements = 0
 	tr.pushSubExec()
 }
 
@@ -267,7 +310,7 @@ func (tr *Trace) Initial(addr memmodel.Addr) *Store {
 	if s, ok := tr.initials[addr]; ok {
 		return s
 	}
-	s := tr.stores.alloc()
+	s := tr.newStore()
 	s.ID = -int64(len(tr.initials)) - 1
 	s.Addr = addr
 	s.Thread = memmodel.NoThread
@@ -278,7 +321,7 @@ func (tr *Trace) Initial(addr memmodel.Addr) *Store {
 }
 
 func (tr *Trace) appendEvent(ev *Event) *Event {
-	ev.Index = len(tr.events)
+	ev.Index = tr.eventBase + len(tr.events)
 	ev.SubExec = tr.Current().Index
 	tr.events = append(tr.events, ev)
 	cur := tr.Current()
@@ -294,7 +337,7 @@ func (tr *Trace) StoreIssue(t memmodel.ThreadID, addr memmodel.Addr, v memmodel.
 	cv := cur.threadCV[t].Inc(t)
 	cur.threadCV[t] = cv
 	tr.nextStoreID++
-	st := tr.stores.alloc()
+	st := tr.newStore()
 	st.ID = tr.nextStoreID
 	st.Addr = addr.Word()
 	st.Value = v
@@ -305,7 +348,7 @@ func (tr *Trace) StoreIssue(t memmodel.ThreadID, addr memmodel.Addr, v memmodel.
 	st.Kind = kind
 	st.Loc = loc
 	cur.byThread[t] = append(cur.byThread[t], st)
-	ev := tr.evs.alloc()
+	ev := tr.newEvent()
 	ev.Kind = kind
 	ev.Thread = t
 	ev.Addr = st.Addr
@@ -350,7 +393,7 @@ func (tr *Trace) Load(t memmodel.ThreadID, addr memmodel.Addr, rf *Store, kind m
 	if rf != nil {
 		v = rf.Value
 	}
-	ev := tr.evs.alloc()
+	ev := tr.newEvent()
 	ev.Kind = kind
 	ev.Thread = t
 	ev.Addr = addr.Word()
@@ -363,7 +406,7 @@ func (tr *Trace) Load(t memmodel.ThreadID, addr memmodel.Addr, rf *Store, kind m
 
 // Fence logs a fence, flush, or flush-opt event.
 func (tr *Trace) Fence(t memmodel.ThreadID, kind memmodel.OpKind, addr memmodel.Addr, loc LocID) *Event {
-	ev := tr.evs.alloc()
+	ev := tr.newEvent()
 	ev.Kind = kind
 	ev.Thread = t
 	ev.Addr = addr
@@ -375,7 +418,7 @@ func (tr *Trace) Fence(t memmodel.ThreadID, kind memmodel.OpKind, addr memmodel.
 // Crash applies the [CRASH] rule: it logs the crash event and begins a
 // new sub-execution with a fresh CV map and sequence counter.
 func (tr *Trace) Crash() {
-	ev := tr.evs.alloc()
+	ev := tr.newEvent()
 	ev.Kind = memmodel.OpCrash
 	ev.Thread = memmodel.NoThread
 	tr.appendEvent(ev)
@@ -397,8 +440,15 @@ type TraceMark struct {
 }
 
 // Mark captures the trace's position for a later Rewind. Call it only
-// immediately after Crash (see TraceMark).
+// immediately after Crash (see TraceMark). Marks are an arena-position
+// mechanism and are incompatible with bounded-window mode, whose
+// retirement sweep invalidates positions behind the frontier; the
+// explorer forces snapshots off under a window, so reaching this panic
+// indicates a harness bug, not a user error.
 func (tr *Trace) Mark() TraceMark {
+	if tr.window > 0 {
+		panic("trace: Mark is unavailable in bounded-window mode")
+	}
 	return TraceMark{
 		subs:        len(tr.subs),
 		events:      len(tr.events),
@@ -415,6 +465,9 @@ func (tr *Trace) Mark() TraceMark {
 // valid (the prefix is untouched). The intern table is kept, as with
 // Reset.
 func (tr *Trace) Rewind(m TraceMark) {
+	if tr.window > 0 {
+		panic("trace: Rewind is unavailable in bounded-window mode")
+	}
 	for i := m.subs; i < len(tr.subs); i++ {
 		tr.subs[i].reset(i)
 	}
@@ -527,7 +580,7 @@ func (tr *Trace) firstPerThread(stores []*Store, after vclock.Seq) {
 func (tr *Trace) SubEvents(e int) []*Event {
 	out := make([]*Event, 0, len(tr.subs[e].events))
 	for _, idx := range tr.subs[e].events {
-		out = append(out, tr.events[idx])
+		out = append(out, tr.events[idx-tr.eventBase])
 	}
 	return out
 }
@@ -537,7 +590,7 @@ func (tr *Trace) SubEvents(e int) []*Event {
 func (tr *Trace) EventsOf(e int, t memmodel.ThreadID) []*Event {
 	var out []*Event
 	for _, idx := range tr.subs[e].events {
-		ev := tr.events[idx]
+		ev := tr.events[idx-tr.eventBase]
 		if ev.Thread == t {
 			out = append(out, ev)
 		}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+// retire runs one full retirement cycle marking the newest committed
+// store per word as a root — the minimal machine contract (the real
+// backends additionally pin store buffers and live crash-image epochs).
+func retire(tr *Trace) {
+	tr.BeginRetire()
+	newest := map[memmodel.Addr]*Store{}
+	for _, sub := range tr.SubExecs() {
+		for _, s := range sub.Stores {
+			newest[s.Addr] = s
+		}
+	}
+	for _, s := range newest {
+		tr.MarkRetireRoot(s)
+	}
+	tr.FinishRetire()
+}
+
+// TestWindowRetirementCompactsEventLog: after a sweep, the physical
+// event log holds only the window tail, logical indices keep counting
+// from the execution start, and SubEvents/EventsOf resolve retained
+// events through the compacted log.
+func TestWindowRetirementCompactsEventLog(t *testing.T) {
+	tr := New()
+	tr.SetWindow(4)
+	const n = 32
+	var last *Store
+	for i := 0; i < n; i++ {
+		last = issueCommit(tr, 0, memmodel.Addr(0x1000+8*(i%3)), memmodel.Value(i), "s")
+	}
+	retire(tr)
+
+	if got := len(tr.Events()); got != 4 {
+		t.Fatalf("physical event log holds %d entries, want window 4", got)
+	}
+	rs := tr.Retired()
+	if rs.Retirements != 1 || rs.RetainedEvents != 4 || rs.RetiredEvents != n-4 {
+		t.Fatalf("Retired() = %+v", rs)
+	}
+	if tr.LastSweepWork() == 0 {
+		t.Fatal("LastSweepWork() = 0 after a sweep that dropped events")
+	}
+
+	// Logical indices survive compaction: the last event keeps index n-1
+	// and is still reachable through the per-sub index lists.
+	evs := tr.SubEvents(0)
+	if len(evs) == 0 || evs[len(evs)-1].Index != n-1 {
+		t.Fatalf("SubEvents tail index = %v, want %d", evs[len(evs)-1].Index, n-1)
+	}
+	byThread := tr.EventsOf(0, 0)
+	if len(byThread) != 4 {
+		t.Fatalf("EventsOf returned %d retained events, want 4", len(byThread))
+	}
+
+	// New events appended after the sweep continue the logical numbering.
+	tr.Load(0, last.Addr, last, memmodel.OpLoad, tr.Intern("r"))
+	evs = tr.SubEvents(0)
+	if evs[len(evs)-1].Index != n {
+		t.Fatalf("post-sweep event index = %d, want %d", evs[len(evs)-1].Index, n)
+	}
+}
+
+// TestWindowStatsCountWholeExecution: Stats on a windowed trace must
+// report totals over the whole execution (retired events folded in)
+// while splitting retained vs retired.
+func TestWindowStatsCountWholeExecution(t *testing.T) {
+	tr := New()
+	tr.SetWindow(4)
+	const n = 20
+	for i := 0; i < n; i++ {
+		issueCommit(tr, 0, 0x1000, memmodel.Value(i), "s")
+	}
+	retire(tr)
+	s := tr.Stats()
+	if s.Events != n || s.Stores != n {
+		t.Fatalf("whole-execution counts: %d events / %d stores, want %d/%d", s.Events, s.Stores, n, n)
+	}
+	if s.RetainedEvents != 4 || s.RetiredEvents != n-4 {
+		t.Fatalf("retained/retired split = %d/%d, want 4/%d", s.RetainedEvents, s.RetiredEvents, n-4)
+	}
+	if !strings.Contains(s.String(), "retired") {
+		t.Fatalf("String() lacks the retirement suffix: %q", s.String())
+	}
+}
+
+// TestWindowDumpSkipsRetiredPrefix: Dump announces the retired prefix
+// and lists only the retained tail, with original logical indices.
+func TestWindowDumpSkipsRetiredPrefix(t *testing.T) {
+	tr := New()
+	tr.SetWindow(4)
+	for i := 0; i < 12; i++ {
+		issueCommit(tr, 0, 0x1000, memmodel.Value(i), "s")
+	}
+	retire(tr)
+	var b strings.Builder
+	tr.Dump(&b)
+	out := b.String()
+	if !strings.Contains(out, "8 events retired (window 4)") {
+		t.Fatalf("dump lacks retirement banner:\n%s", out)
+	}
+	if !strings.Contains(out, "   11  t0") || strings.Contains(out, "    0  t0") {
+		t.Fatalf("dump should list only the tail with logical indices:\n%s", out)
+	}
+}
+
+// TestWindowPinsCVClosure: a pinned store keeps its clock-vector
+// closure resolvable — StoreByClock on the components of a retained
+// store's CV must never return an unlinked entry.
+func TestWindowPinsCVClosure(t *testing.T) {
+	tr := New()
+	tr.SetWindow(2)
+	a := issueCommit(tr, 0, 0x1000, 1, "a")
+	// Thread 1 reads a, so its next store's CV includes thread 0's clock.
+	tr.Load(1, 0x1000, a, memmodel.OpLoad, tr.Intern("r=a"))
+	b := issueCommit(tr, 1, 0x2000, 2, "b")
+	for i := 0; i < 16; i++ {
+		issueCommit(tr, 0, 0x3000, memmodel.Value(i), "pad")
+	}
+	tr.BeginRetire()
+	tr.MarkRetireRoot(b) // pins a transitively through b's CV
+	tr.FinishRetire()
+
+	sub := tr.Current()
+	var missing bool
+	// Resolve b's CV components the way the checker's LOAD-PREV bounds
+	// do; each must still be present.
+	if got := sub.StoreByClock(0, a.Clock); got != a {
+		missing = true
+	}
+	if got := sub.StoreByClock(1, b.Clock); got != b {
+		missing = true
+	}
+	if missing {
+		t.Fatal("CV closure of a pinned store was swept")
+	}
+}
+
+// TestUnboundedTraceNeverRetires: with window 0 the retirement API is
+// inert and Stats/Dump render exactly as the classic pipeline.
+func TestUnboundedTraceNeverRetires(t *testing.T) {
+	tr := New()
+	for i := 0; i < 8; i++ {
+		issueCommit(tr, 0, 0x1000, memmodel.Value(i), "s")
+	}
+	if tr.WindowSize() != 0 {
+		t.Fatal("default trace has a window")
+	}
+	if rs := tr.Retired(); rs != (RetireStats{}) {
+		t.Fatalf("unbounded Retired() = %+v", rs)
+	}
+	if s := tr.Stats(); s.Retirements != 0 || strings.Contains(s.String(), "retired") {
+		t.Fatalf("unbounded Stats carries retirement suffix: %q", s.String())
+	}
+}

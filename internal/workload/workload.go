@@ -1,0 +1,204 @@
+// Package workload generates deterministic server-class request
+// streams for the Redis- and memcached-style benchmark ports: Zipfian
+// or uniform keyspaces, read/write mixes, value-size histograms, and
+// client-thread churn. A stream is a pure function of its Config — each
+// client thread draws from its own seeded source, so the per-thread
+// request sequence is identical under every scheduler interleaving —
+// which is what lets the windowed-equivalence suite compare bounded and
+// unbounded runs of the same workload execution by execution.
+//
+// The generator exists to drive *long* executions: where the litmus
+// corpus and the Table 2 ports run tens of operations per execution,
+// a workload run streams millions through one world, the regime the
+// bounded-window trace pipeline is built for.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+// SizeClass is one bar of the value-size histogram: values of Words
+// machine words drawn with relative weight Weight.
+type SizeClass struct {
+	Words  int
+	Weight int
+}
+
+// Config describes a request stream. The zero value of any field picks
+// the default documented on it.
+type Config struct {
+	// Seed seeds the per-thread request sources. The same Seed always
+	// yields the same per-thread streams.
+	Seed int64
+	// Ops is the total request count across all client threads
+	// (default 256).
+	Ops int
+	// Keys is the keyspace size; keys are 1..Keys (default 64).
+	Keys int
+	// ZipfS is the Zipfian skew exponent; values <= 1 select a uniform
+	// keyspace (rand.Zipf requires s > 1).
+	ZipfS float64
+	// ReadPct is the percentage of requests that are GETs, 0–100
+	// (default 50).
+	ReadPct int
+	// Threads is the number of concurrent client threads per wave
+	// (default 2).
+	Threads int
+	// Churn, when positive, retires each client thread after Churn
+	// requests and spawns a replacement wave until Ops is exhausted —
+	// the connection-churn pattern of a real server. 0 runs one wave to
+	// completion.
+	Churn int
+	// Classes is the value-size histogram (default: one 1-word class).
+	Classes []SizeClass
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ops <= 0 {
+		c.Ops = 256
+	}
+	if c.Keys <= 0 {
+		c.Keys = 64
+	}
+	if c.ReadPct < 0 {
+		c.ReadPct = 0
+	}
+	if c.ReadPct == 0 {
+		c.ReadPct = 50
+	}
+	if c.ReadPct > 100 {
+		c.ReadPct = 100
+	}
+	if c.Threads <= 0 {
+		c.Threads = 2
+	}
+	if len(c.Classes) == 0 {
+		c.Classes = []SizeClass{{Words: 1, Weight: 1}}
+	}
+	return c
+}
+
+// Op is one generated request.
+type Op struct {
+	// Read selects GET; otherwise SET.
+	Read bool
+	// Key is in 1..Keys.
+	Key memmodel.Value
+	// Class indexes Config.Classes for a SET's value size.
+	Class int
+	// Val is the (nonzero) value a SET writes.
+	Val memmodel.Value
+}
+
+// Generator draws one thread's request stream.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	weights []int
+	total   int
+	seq     memmodel.Value
+}
+
+// NewGenerator builds the stream for one client thread. Distinct
+// (seed, thread) pairs draw independent streams; the same pair always
+// draws the same stream.
+func NewGenerator(cfg Config, thread int) *Generator {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(thread+1)*0x5851F42D4C957F2D))
+	g := &Generator{cfg: cfg, rng: rng}
+	if cfg.ZipfS > 1 {
+		g.zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+	}
+	for _, sc := range cfg.Classes {
+		w := sc.Weight
+		if w <= 0 {
+			w = 1
+		}
+		g.weights = append(g.weights, w)
+		g.total += w
+	}
+	return g
+}
+
+// Next draws the thread's next request.
+func (g *Generator) Next() Op {
+	var key uint64
+	if g.zipf != nil {
+		key = g.zipf.Uint64()
+	} else {
+		key = uint64(g.rng.Intn(g.cfg.Keys))
+	}
+	op := Op{Key: memmodel.Value(key + 1)}
+	if g.rng.Intn(100) < g.cfg.ReadPct {
+		op.Read = true
+		return op
+	}
+	pick := g.rng.Intn(g.total)
+	for i, w := range g.weights {
+		if pick < w {
+			op.Class = i
+			break
+		}
+		pick -= w
+	}
+	g.seq++
+	op.Val = op.Key*1_000_003 + g.seq
+	return op
+}
+
+// Server is the request interface the drivers speak: the two ports
+// (internal/benchmarks/redislog, internal/benchmarks/slabcache)
+// implement it over their persistence skeletons.
+type Server interface {
+	// Set stores val (whose size class indexes Config.Classes) under key.
+	Set(th *pmem.Thread, key, val memmodel.Value, words int)
+	// Get looks key up.
+	Get(th *pmem.Thread, key memmodel.Value) (memmodel.Value, bool)
+}
+
+// Drive runs the configured request stream against srv on w's
+// cooperative scheduler: Threads client threads per wave, each serving
+// its own generated stream, waves repeating under Churn until Ops
+// requests have been issued. A crash injection unwinds through the
+// scheduler exactly as in the Table 2 ports.
+func Drive(w *pmem.World, cfg Config, srv Server) {
+	cfg = cfg.withDefaults()
+	perWave := cfg.Ops
+	if cfg.Churn > 0 && cfg.Threads*cfg.Churn < perWave {
+		perWave = cfg.Threads * cfg.Churn
+	}
+	issued, wave := 0, 0
+	for issued < cfg.Ops {
+		n := cfg.Ops - issued
+		if n > perWave {
+			n = perWave
+		}
+		for t := 0; t < cfg.Threads; t++ {
+			quota := n / cfg.Threads
+			if t < n%cfg.Threads {
+				quota++
+			}
+			if quota == 0 {
+				continue
+			}
+			g := NewGenerator(cfg, wave*cfg.Threads+t)
+			w.Spawn(memmodel.ThreadID(t), func(th *pmem.Thread) {
+				for i := 0; i < quota; i++ {
+					op := g.Next()
+					if op.Read {
+						srv.Get(th, op.Key)
+					} else {
+						srv.Set(th, op.Key, op.Val, cfg.Classes[op.Class].Words)
+					}
+				}
+			})
+		}
+		w.RunThreads()
+		issued += n
+		wave++
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/pmem"
+)
+
+// TestGeneratorDeterministic: the same (seed, thread) pair always draws
+// the same stream, and distinct threads draw distinct streams.
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Ops: 1000, Keys: 32, ZipfS: 1.2, ReadPct: 40}
+	a, b := NewGenerator(cfg, 3), NewGenerator(cfg, 3)
+	other := NewGenerator(cfg, 4)
+	diverged := false
+	for i := 0; i < 200; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("op %d: %+v != %+v", i, x, y)
+		}
+		if x != other.Next() {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("threads 3 and 4 drew identical streams")
+	}
+}
+
+// TestGeneratorShape checks the mix and ranges: keys in 1..Keys, reads
+// near ReadPct, SET values nonzero, classes within the histogram.
+func TestGeneratorShape(t *testing.T) {
+	cfg := Config{Seed: 1, Keys: 16, ReadPct: 30,
+		Classes: []SizeClass{{Words: 1, Weight: 3}, {Words: 8, Weight: 1}}}
+	g := NewGenerator(cfg, 0)
+	reads, classCount := 0, make([]int, 2)
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		if op.Key < 1 || op.Key > 16 {
+			t.Fatalf("key %d out of range", op.Key)
+		}
+		if op.Read {
+			reads++
+			continue
+		}
+		if op.Val == 0 {
+			t.Fatal("SET with zero value")
+		}
+		classCount[op.Class]++
+	}
+	if reads < 2500 || reads > 3500 {
+		t.Fatalf("read mix %d/10000, want ~3000", reads)
+	}
+	if classCount[0] < 2*classCount[1] {
+		t.Fatalf("class weights not respected: %v", classCount)
+	}
+}
+
+// TestZipfSkew: a Zipfian keyspace concentrates mass on low keys.
+func TestZipfSkew(t *testing.T) {
+	g := NewGenerator(Config{Seed: 2, Keys: 1000, ZipfS: 1.5, ReadPct: 1}, 0)
+	low := 0
+	for i := 0; i < 5000; i++ {
+		if g.Next().Key <= 10 {
+			low++
+		}
+	}
+	if low < 2500 {
+		t.Fatalf("only %d/5000 requests hit the 10 hottest of 1000 keys", low)
+	}
+}
+
+// countingServer records the requests Drive delivers.
+type countingServer struct {
+	sets, gets int
+}
+
+func (s *countingServer) Set(th *pmem.Thread, key, val memmodel.Value, words int) {
+	s.sets++
+	th.Store(pmem.RootAddr, val, "set")
+	th.Persist(pmem.RootAddr, memmodel.WordSize, "persist set")
+}
+
+func (s *countingServer) Get(th *pmem.Thread, key memmodel.Value) (memmodel.Value, bool) {
+	s.gets++
+	return th.Load(pmem.RootAddr, "get"), true
+}
+
+// TestDriveDeliversOps: Drive issues exactly cfg.Ops requests, across
+// waves when churn retires threads.
+func TestDriveDeliversOps(t *testing.T) {
+	for _, churn := range []int{0, 10} {
+		srv := &countingServer{}
+		w := pmem.NewWorld(pmem.Config{CrashTarget: -1})
+		Drive(w, Config{Seed: 3, Ops: 100, Threads: 3, Churn: churn}, srv)
+		if srv.sets+srv.gets != 100 {
+			t.Fatalf("churn %d: delivered %d requests, want 100", churn, srv.sets+srv.gets)
+		}
+	}
+}
