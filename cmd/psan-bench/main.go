@@ -123,8 +123,9 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	deadline := fs.Duration("deadline", 0, "wall-clock budget per benchmark run (0: none); expired runs report partial coverage")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file; flushed even when a deadline or ^C aborts the run")
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit; flushed even when a deadline or ^C aborts the run")
-	metricsAddr := fs.String("metrics-addr", "", "serve campaign metrics over HTTP on this address (/debug/vars expvar, /metrics JSON snapshot)")
+	metricsAddr := fs.String("metrics-addr", "", "serve campaign metrics over HTTP on this address (/metrics OpenMetrics text, /metrics.json JSON snapshot, /debug/vars expvar)")
 	progress := fs.Duration("progress", 0, "print live campaign progress to stderr at this interval (0: off)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace_event timeline to this file (plus <file>.jsonl) on exit")
 	reduction := fs.String("reduction", "all", "model-check reductions: all, snapshots, dpor, or none (A/B timing; tables are identical either way)")
 	window := fs.Int("window", 0, "bounded trace window for -workload runs: retire trace history every N operations, keeping memory flat (0: unbounded; verdicts are identical either way)")
 	workloadName := fs.String("workload", "", "stream a server-class workload instead of tables: redis (append-log+dict) or slab (slab cache)")
@@ -164,8 +165,22 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	var observer *obs.Observer
-	if *metricsAddr != "" || *progress > 0 {
-		observer = &obs.Observer{Metrics: obs.NewRegistry()}
+	var tracer *obs.Tracer
+	if *metricsAddr != "" || *progress > 0 || *traceOut != "" {
+		observer = &obs.Observer{}
+		if *metricsAddr != "" || *progress > 0 {
+			observer.Metrics = obs.NewRegistry()
+		}
+		if *traceOut != "" {
+			tracer = obs.NewTracer()
+			tracer.NameThread(0, "bench")
+			observer.Tracer = tracer
+			defer func() {
+				if err := tracer.WriteFiles(*traceOut); err != nil {
+					fmt.Fprintf(stderr, "psan-bench: -trace-out: %v\n", err)
+				}
+			}()
+		}
 	}
 	if *metricsAddr != "" {
 		srv, err := obs.ServeMetrics(*metricsAddr, observer.Metrics)
@@ -174,7 +189,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		defer srv.Close()
-		fmt.Fprintf(stderr, "psan-bench: metrics at http://%s/debug/vars and /metrics\n", srv.Addr)
+		fmt.Fprintf(stderr, "psan-bench: metrics at http://%s/metrics (also /metrics.json, /debug/vars)\n", srv.Addr)
 	}
 	if *progress > 0 {
 		stopProgress := obs.StartProgress(obs.ProgressConfig{

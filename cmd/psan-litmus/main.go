@@ -34,6 +34,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	model := fs.String("model", "", "persistency-model backend: "+strings.Join(persist.Names(), ", "))
 	window := fs.Int("window", 0, "bounded trace window: retire trace history every N operations (0: unbounded; verdicts are identical either way)")
 	metricsOut := fs.String("metrics-out", "", "write a JSON snapshot of the backend op counters to this file")
+	metricsAddr := fs.String("metrics-addr", "", "serve the backend op counters over HTTP on this address (/metrics OpenMetrics text, /metrics.json JSON snapshot, /debug/vars expvar)")
+	progress := fs.Duration("progress", 0, "print live progress to stderr at this interval (0: off)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: psan-litmus [-model name] [figure]\n")
 		fs.PrintDefaults()
@@ -50,10 +52,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "psan-litmus: %v\n", err)
 		return 2
 	}
-	if *metricsOut != "" {
+	if *metricsOut != "" || *metricsAddr != "" || *progress > 0 {
 		// The scenarios build worlds from cfg, so the backend's per-model
 		// counters land in this registry.
 		cfg.Obs = &obs.Observer{Metrics: obs.NewRegistry()}
+	}
+	if *metricsAddr != "" {
+		srv, err := obs.ServeMetrics(*metricsAddr, cfg.Obs.Metrics)
+		if err != nil {
+			fmt.Fprintf(stderr, "psan-litmus: -metrics-addr: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "psan-litmus: metrics at http://%s/metrics (also /metrics.json, /debug/vars)\n", srv.Addr)
+	}
+	if *progress > 0 {
+		stopProgress := obs.StartProgress(obs.ProgressConfig{
+			Out: stderr, Registry: cfg.Obs.Metrics, Interval: *progress,
+		})
+		defer stopProgress()
 	}
 	scenarios := litmus.Scenarios()
 	if fs.NArg() > 0 {

@@ -43,6 +43,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/dispatch"
@@ -100,8 +101,9 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	stateCache := fs.Bool("state-cache", true, "post-crash state cache in mc mode; -state-cache=false re-explores cached subtrees (A/B timing and debugging)")
 	reduction := fs.String("reduction", "all", "model-check reductions: all, snapshots, dpor, or none (A/B timing and debugging; results carry the same violations either way)")
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
-	metricsAddr := fs.String("metrics-addr", "", "serve campaign metrics over HTTP on this address (/debug/vars expvar, /metrics JSON snapshot)")
-	traceOut := fs.String("trace-out", "", "write a Chrome trace_event timeline to this file (plus <file>.jsonl) on exit")
+	metricsAddr := fs.String("metrics-addr", "", "serve campaign metrics over HTTP on this address (/metrics OpenMetrics text, /metrics.json JSON snapshot, /debug/vars expvar)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace_event timeline to this file (plus <file>.jsonl) on exit; with -isolate the timeline merges every worker process's spans")
+	flightOut := fs.String("flight-out", "", "write the campaign flight record (JSONL ring of steals, redeliveries, quarantines, stop transitions) to this file on exit; recording is always on under -isolate and the ring is dumped to stderr on poison, quarantined executions, or SIGQUIT")
 	progress := fs.Duration("progress", 0, "print live campaign progress to stderr at this interval (0: off)")
 	isolate := fs.Bool("isolate", false, "run work units in isolated psan-worker OS processes: a worker crash, hang, or kill loses one unit, not the campaign (results identical to in-process runs)")
 	lease := fs.Duration("lease", 10*time.Second, "with -isolate: heartbeat deadline per delivered unit; a silent worker is killed and its unit redelivered")
@@ -155,13 +157,17 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return exitInternal
 	}
 	// Observability sinks: a metrics registry when anything will read it
-	// (-metrics-addr, -progress), a tracer for -trace-out. With none of
-	// the flags the observer stays nil and the exploration hot path runs
-	// instrumentation-free.
+	// (-metrics-addr, -progress), a tracer for -trace-out, a flight
+	// recorder for -flight-out and for every -isolate campaign (its
+	// ring is the post-mortem for redeliveries and quarantines). With
+	// none of these the observer stays nil and the exploration hot path
+	// runs instrumentation-free.
 	var observer *obs.Observer
 	var tracer *obs.Tracer
+	var flight *obs.FlightRecorder
 	needMetrics := *metricsAddr != "" || *progress > 0
-	if needMetrics || *traceOut != "" {
+	needFlight := *flightOut != "" || *isolate
+	if needMetrics || *traceOut != "" || needFlight {
 		observer = &obs.Observer{}
 		if needMetrics {
 			observer.Metrics = obs.NewRegistry()
@@ -171,6 +177,11 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			tracer.NameThread(0, "campaign")
 			observer.Tracer = tracer
 		}
+		if needFlight {
+			flight = obs.NewFlightRecorder(0)
+			flight.SetPid(os.Getpid())
+			observer.Flight = flight
+		}
 	}
 	if *metricsAddr != "" {
 		srv, err := obs.ServeMetrics(*metricsAddr, observer.Metrics)
@@ -179,7 +190,20 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return exitInternal
 		}
 		defer srv.Close()
-		fmt.Fprintf(stderr, "psan: metrics at http://%s/debug/vars and /metrics\n", srv.Addr)
+		fmt.Fprintf(stderr, "psan: metrics at http://%s/metrics (also /metrics.json, /debug/vars)\n", srv.Addr)
+	}
+	if flight != nil {
+		// SIGQUIT dumps the flight ring to stderr and keeps running, the
+		// post-mortem a wedged campaign wants (^\ at the terminal).
+		sigq := make(chan os.Signal, 1)
+		signal.Notify(sigq, syscall.SIGQUIT)
+		defer signal.Stop(sigq)
+		go func() {
+			for range sigq {
+				fmt.Fprintf(stderr, "psan: flight record (%d events):\n", flight.Total())
+				flight.WriteJSONL(stderr)
+			}
+		}()
 	}
 	disableSnaps, disableDPOR, err := explore.ParseReduction(*reduction)
 	if err != nil {
@@ -305,6 +329,20 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if err := tracer.WriteFiles(*traceOut); err != nil {
 			fmt.Fprintf(stderr, "psan: -trace-out: %v\n", err)
 			return exitInternal
+		}
+	}
+	if flight != nil {
+		if *flightOut != "" {
+			if err := flight.DumpFile(*flightOut); err != nil {
+				fmt.Fprintf(stderr, "psan: -flight-out: %v\n", err)
+				return exitInternal
+			}
+			fmt.Fprintf(stderr, "psan: flight record written to %s\n", *flightOut)
+		} else if len(res.PoisonUnits) > 0 || len(res.ExecErrors) > 0 {
+			// Something went wrong and nobody asked for a file: dump the
+			// ring to stderr so the post-mortem is in the logs.
+			fmt.Fprintf(stderr, "psan: flight record (%d events):\n", flight.Total())
+			flight.WriteJSONL(stderr)
 		}
 	}
 	if len(res.Violations) > 0 {

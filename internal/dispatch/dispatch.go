@@ -24,8 +24,13 @@ type Options struct {
 	// Workers is the worker-process count, Executions/Seed/Model/
 	// reductions define the canonical stream, Resume continues a v3
 	// checkpoint, Deadline/Context stop the campaign. Obs instruments
-	// the supervisor (dispatch.* bundle); per-execution explore.*
-	// metrics live in the worker processes and are not aggregated.
+	// the supervisor (dispatch.* bundle) and receives the fleet
+	// telemetry: worker processes run matching sinks and ship metric
+	// deltas, span tails, and flight events back on heartbeats and
+	// results. Deltas are committed per successful delivery attempt and
+	// rolled back on failure, so on a campaign with no poisoned units
+	// the merged explore.*/pmem.*/persist.* counters equal a clean
+	// in-process run's to the bit (gauges are high-water advisory).
 	Explore explore.Options
 	// Program is the compiled program. It always runs in-process for
 	// degraded mode; worker processes reload it from ProgramPath (or,
@@ -112,6 +117,13 @@ type supervisor struct {
 	bin   string // "" => degraded from the start
 	dm    obs.DispatchMetrics
 
+	// Fleet-telemetry sinks (all nil-safe): the supervisor's own
+	// registry/tracer/flight recorder, which worker shipments merge
+	// into.
+	reg *obs.Registry
+	tr  *obs.Tracer
+	fr  *obs.FlightRecorder
+
 	mu   sync.Mutex
 	cond *sync.Cond
 
@@ -156,6 +168,9 @@ func newSupervisor(opt Options) *supervisor {
 	s := &supervisor{
 		opt: opt,
 		dm:  obs.DispatchInstruments(opt.Explore.Obs.Reg()),
+		reg: opt.Explore.Obs.Reg(),
+		tr:  opt.Explore.Obs.Trace(),
+		fr:  opt.Explore.Obs.Recorder(),
 		hello: helloMsg{
 			Type:        "hello",
 			ProgramName: opt.Program.Name(),
@@ -163,6 +178,11 @@ func newSupervisor(opt Options) *supervisor {
 			Opts:        optionsToWire(opt.Explore),
 		},
 		procs: make(map[int]*proc),
+	}
+	s.hello.Telemetry = telemetrySpec{
+		Metrics: s.reg != nil,
+		Trace:   s.tr != nil,
+		Flight:  s.fr != nil,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.start = time.Now()
@@ -172,6 +192,9 @@ func newSupervisor(opt Options) *supervisor {
 	if s.bin == "" {
 		s.degraded = true
 		s.dm.Degraded.Inc()
+		if !opt.InProcess {
+			s.fr.Record("dispatch", "degraded", -1, "no worker binary found")
+		}
 	}
 	s.seedUnits()
 	return s
@@ -391,6 +414,7 @@ func (s *supervisor) stop(reason string) {
 	s.mu.Lock()
 	if s.stopReason == "" {
 		s.stopReason = reason
+		s.fr.Record("dispatch", "stop", -1, reason)
 	}
 	s.drainLocked()
 	procs := make([]*proc, 0, len(s.procs))
@@ -470,6 +494,7 @@ func (s *supervisor) fail(u *unit, pe *procError) {
 	u.stderrTail = pe.stderrTail
 	if pe.reason == "lease-expired" {
 		s.dm.LeasesExpired.Inc()
+		s.fr.Record("dispatch", "lease-expired", u.id, pe.detail)
 	}
 	if s.draining {
 		// Killed by the stop path: back to pending so the merge cuts
@@ -482,6 +507,8 @@ func (s *supervisor) fail(u *unit, pe *procError) {
 		u.state = unitPoisoned
 		s.poisoned = append(s.poisoned, u)
 		s.dm.PoisonUnits.Inc()
+		s.fr.Record("dispatch", "poison", u.id,
+			fmt.Sprintf("after %d attempts: %s", u.attempts, pe.Error()))
 		// Coverage is lost at this unit: everything canonically after it
 		// can never be collected, so stop dispatching and drain.
 		s.drainLocked()
@@ -492,6 +519,8 @@ func (s *supervisor) fail(u *unit, pe *procError) {
 	s.redeliveries++
 	s.dm.Redeliveries.Inc()
 	s.dm.BackoffNanos.Add(int64(time.Until(at)))
+	s.fr.Record("dispatch", "redeliver", u.id,
+		fmt.Sprintf("attempt %d failed: %s", u.attempts, pe.Error()))
 	s.cond.Broadcast()
 }
 
@@ -549,6 +578,8 @@ func (s *supervisor) slot(i int, wg *sync.WaitGroup) {
 				if spawnFails >= s.opt.spawnFailLimit {
 					s.degraded = true
 					s.dm.Degraded.Inc()
+					s.fr.Record("dispatch", "degraded", -1,
+						fmt.Sprintf("slot %d: %d consecutive spawn failures", i, spawnFails))
 				}
 				s.cond.Broadcast()
 				s.mu.Unlock()
@@ -560,11 +591,19 @@ func (s *supervisor) slot(i int, wg *sync.WaitGroup) {
 			if everSpawned {
 				s.restarts++
 				s.dm.WorkerRestarts.Inc()
+				s.fr.Record("dispatch", "worker-restart", -1,
+					fmt.Sprintf("slot %d respawned as pid %d", i, p.pid))
+			} else {
+				s.fr.Record("dispatch", "spawn", -1,
+					fmt.Sprintf("slot %d spawned pid %d", i, p.pid))
 			}
 			s.procs[i] = pr
 			s.dm.WorkersLive.Add(1)
 			s.mu.Unlock()
 			everSpawned = true
+			s.tr.NameProcess(p.pid, fmt.Sprintf("psan-worker %d (slot %d)", p.pid, i))
+			s.tr.NameThreadFor(p.pid, 1, "exec")
+			s.tr.NameThread(i+1, fmt.Sprintf("slot-%d", i))
 		}
 		um := unitMsg{
 			Type:    "unit",
@@ -574,10 +613,34 @@ func (s *supervisor) slot(i int, wg *sync.WaitGroup) {
 			Spec:    u.spec,
 			Cut:     s.cutFor(u),
 		}
+		// Telemetry shipped during this delivery attempt is applied to
+		// the supervisor sinks as it arrives and accumulated; a failed
+		// attempt rolls its metric deltas back, so the registry only ever
+		// retains exactly one successful run per merged unit. Spans and
+		// flight events are timeline records of work that really executed
+		// — they stay.
+		var acc obs.Snapshot
+		applied := false
+		onTel := func(m workerMsg) {
+			if m.Metrics != nil {
+				s.reg.ApplyDelta(*m.Metrics, 1)
+				acc.Accumulate(*m.Metrics)
+				applied = true
+			}
+			if len(m.Spans) > 0 {
+				s.tr.Ingest(m.Spans, pr.traceStart)
+			}
+			s.fr.Ingest(m.Flight)
+		}
 		start := time.Now()
-		ur, err := pr.deliver(um, s.opt.Lease, func(c explore.UnitClassification) { s.classify(u, c) })
+		ur, err := pr.deliver(um, s.opt.Lease, func(c explore.UnitClassification) { s.classify(u, c) }, onTel)
+		s.tr.Complete(i+1, "dispatch", fmt.Sprintf("unit %d attempt %d", u.id, um.Attempt),
+			start, time.Since(start), -1)
 		if err != nil {
 			// deliver killed the proc (or found it dead) on every error.
+			if applied {
+				s.reg.ApplyDelta(acc, -1)
+			}
 			s.mu.Lock()
 			delete(s.procs, i)
 			s.dm.WorkersLive.Add(-1)
@@ -599,6 +662,7 @@ func (s *supervisor) cutFor(u *unit) explore.Checkpoint {
 		Mode:    s.opt.Explore.Mode.String(),
 		Seed:    s.opt.Explore.Seed,
 		Model:   s.opt.Explore.Model.Name,
+		Window:  s.opt.Explore.Model.Window,
 		DPOR:    !s.opt.Explore.DisableDPOR,
 		MC:      u.spec.MC,
 	}

@@ -68,6 +68,11 @@ type proc struct {
 	events chan workerMsg
 	stderr *tailBuffer
 
+	// From the ready handshake: the worker's OS pid and its tracer's
+	// clock origin (Unix ns), for span ingestion and rebasing.
+	pid        int
+	traceStart int64
+
 	waitOnce sync.Once
 	waitErr  error
 }
@@ -124,6 +129,8 @@ func spawn(bin string, args, env []string, hello helloMsg, lease time.Duration) 
 			p.kill()
 			return nil, fmt.Errorf("handshake: got %q (%s)", m.Type, m.Error)
 		}
+		p.pid = m.Pid
+		p.traceStart = m.TraceStartUnixNs
 	case <-time.After(lease):
 		p.kill()
 		return nil, errors.New("handshake: timed out")
@@ -160,10 +167,13 @@ func (p *proc) exitStatus() string {
 
 // deliver sends one unit and runs its lease: every worker message
 // (heartbeat, classification, result) renews the deadline; silence past
-// the lease kills the worker. onClassify fires from this goroutine. A
-// non-nil error is always a *procError, and after an error the proc is
-// dead (deliver killed it or found it dead) — the caller discards it.
-func (p *proc) deliver(um unitMsg, lease time.Duration, onClassify func(explore.UnitClassification)) (*explore.UnitResult, error) {
+// the lease kills the worker. onClassify fires from this goroutine, and
+// onTelemetry (also optional) fires for every heartbeat or result
+// message carrying a telemetry payload, before the result is returned.
+// A non-nil error is always a *procError, and after an error the proc
+// is dead (deliver killed it or found it dead) — the caller discards
+// it.
+func (p *proc) deliver(um unitMsg, lease time.Duration, onClassify func(explore.UnitClassification), onTelemetry func(workerMsg)) (*explore.UnitResult, error) {
 	if err := p.enc.Encode(um); err != nil {
 		pe := &procError{reason: "worker-exit", detail: "sending unit: " + err.Error(),
 			exitStatus: p.exitStatus(), stderrTail: p.stderr.Tail()}
@@ -189,7 +199,10 @@ func (p *proc) deliver(um unitMsg, lease time.Duration, onClassify func(explore.
 			timer.Reset(lease)
 			switch m.Type {
 			case "hb":
-				// Renewal only.
+				// Renewal, plus any piggybacked telemetry.
+				if onTelemetry != nil {
+					onTelemetry(m)
+				}
 			case "classified":
 				if m.ID == um.ID && m.Class != nil && onClassify != nil {
 					onClassify(*m.Class)
@@ -199,6 +212,9 @@ func (p *proc) deliver(um unitMsg, lease time.Duration, onClassify func(explore.
 					p.kill()
 					return nil, &procError{reason: "protocol",
 						detail: fmt.Sprintf("result for unit %d (want %d, payload %v)", m.ID, um.ID, m.Result != nil)}
+				}
+				if onTelemetry != nil {
+					onTelemetry(m)
 				}
 				return m.Result, nil
 			case "fatal":

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/explore"
+	"repro/internal/obs"
 	"repro/internal/persist"
 )
 
@@ -20,10 +21,22 @@ import (
 // the program to load and the campaign options. The worker answers with
 // a ready ack (or a permanent fatal if it cannot load the program).
 type helloMsg struct {
-	Type        string      `json:"type"` // "hello"
-	ProgramName string      `json:"programName"`
-	ProgramPath string      `json:"programPath,omitempty"`
-	Opts        wireOptions `json:"opts"`
+	Type        string        `json:"type"` // "hello"
+	ProgramName string        `json:"programName"`
+	ProgramPath string        `json:"programPath,omitempty"`
+	Opts        wireOptions   `json:"opts"`
+	Telemetry   telemetrySpec `json:"telemetry"`
+}
+
+// telemetrySpec mirrors the supervisor's attached obs sinks: the worker
+// builds a matching local bundle and ships its contents back — metric
+// deltas and span tails on heartbeats, a final top-up plus flight
+// events on the result. A field being false means the supervisor has no
+// such sink, so recording (and shipping) would be wasted work.
+type telemetrySpec struct {
+	Metrics bool `json:"metrics,omitempty"`
+	Trace   bool `json:"trace,omitempty"`
+	Flight  bool `json:"flight,omitempty"`
 }
 
 // wireOptions is the subset of explore.Options that defines the
@@ -34,6 +47,7 @@ type wireOptions struct {
 	Executions       int    `json:"executions"`
 	Seed             int64  `json:"seed"`
 	Model            string `json:"model,omitempty"`
+	Window           int    `json:"window,omitempty"`
 	StoreBuffers     bool   `json:"storeBuffers,omitempty"`
 	NoSteering       bool   `json:"noSteering,omitempty"`
 	FreshWorlds      bool   `json:"freshWorlds,omitempty"`
@@ -53,6 +67,7 @@ func optionsToWire(opt explore.Options) wireOptions {
 		Executions:       opt.Executions,
 		Seed:             opt.Seed,
 		Model:            opt.Model.Name,
+		Window:           opt.Model.Window,
 		StoreBuffers:     opt.StoreBuffers,
 		NoSteering:       opt.NoSteering,
 		FreshWorlds:      opt.FreshWorlds,
@@ -71,7 +86,7 @@ func optionsFromWire(w wireOptions) explore.Options {
 	opt := explore.Options{
 		Executions:       w.Executions,
 		Seed:             w.Seed,
-		Model:            persist.Config{Name: w.Model},
+		Model:            persist.Config{Name: w.Model, Window: w.Window},
 		StoreBuffers:     w.StoreBuffers,
 		NoSteering:       w.NoSteering,
 		FreshWorlds:      w.FreshWorlds,
@@ -106,11 +121,15 @@ type unitMsg struct {
 
 // workerMsg is every worker→supervisor message.
 //
-//	ready       worker loaded the program and accepts units
-//	hb          lease heartbeat (Execs = executions so far in the unit)
+//	ready       worker loaded the program and accepts units; carries the
+//	            worker's pid and tracer clock origin for span rebasing
+//	hb          lease heartbeat (Execs = executions so far in the unit);
+//	            piggybacks the metric delta and span tail since the last
+//	            ship
 //	classified  early subtree classification (mc units; lets the
 //	            supervisor dispatch the successor before this unit ends)
-//	result      the unit's completed stream
+//	result      the unit's completed stream, plus the final telemetry
+//	            top-up (delta, spans, flight events)
 //	fatal       the unit (or the worker) failed; Permanent means
 //	            redelivery cannot help (validation mismatch, unloadable
 //	            program) and the unit should be quarantined directly
@@ -122,4 +141,11 @@ type workerMsg struct {
 	Result    *explore.UnitResult         `json:"result,omitempty"`
 	Error     string                      `json:"error,omitempty"`
 	Permanent bool                        `json:"permanent,omitempty"`
+
+	// Telemetry payloads (ready/hb/result; see the type comment).
+	Pid              int               `json:"pid,omitempty"`
+	TraceStartUnixNs int64             `json:"traceStartUnixNs,omitempty"`
+	Metrics          *obs.Snapshot     `json:"metrics,omitempty"`
+	Spans            []obs.SpanEvent   `json:"spans,omitempty"`
+	Flight           []obs.FlightEvent `json:"flight,omitempty"`
 }

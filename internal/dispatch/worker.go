@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/explore"
+	"repro/internal/obs"
 )
 
 // ChaosEnv, when set in a worker process's environment, makes the
@@ -93,7 +94,83 @@ func WorkerMain(stdin io.Reader, stdout, stderr io.Writer, resolve ProgramResolv
 		return 1
 	}
 	opt := optionsFromWire(hello.Opts)
-	if err := enc.Encode(workerMsg{Type: "ready"}); err != nil {
+
+	// The supervisor's attached sinks define the worker's: a matching
+	// local bundle whose contents ship back as per-unit metric deltas,
+	// span tails, and flight events. No sinks means a nil Observer and
+	// the allocation-identical disabled path, exactly as in-process.
+	var (
+		reg    *obs.Registry
+		tracer *obs.Tracer
+		flight *obs.FlightRecorder
+	)
+	if hello.Telemetry.Metrics {
+		reg = obs.NewRegistry()
+	}
+	if hello.Telemetry.Trace {
+		tracer = obs.NewTracer()
+		tracer.SetPid(os.Getpid())
+	}
+	if hello.Telemetry.Flight {
+		flight = obs.NewFlightRecorder(0)
+		flight.SetPid(os.Getpid())
+	}
+	if reg != nil || tracer != nil || flight != nil {
+		opt.Obs = &obs.Observer{Metrics: reg, Tracer: tracer, Flight: flight}
+	}
+
+	// Shipping cursors: the registry snapshot as of the last shipped
+	// delta, the span index past the last shipped tail, and the highest
+	// shipped flight sequence number. Each ship sends only what is new
+	// since the previous one, so the supervisor's accumulate-and-commit
+	// per delivery attempt reconstructs exact totals.
+	var shipped obs.Snapshot
+	spanCursor := 0
+	var flightSeq uint64
+	attach := func(m *workerMsg, unitID int) {
+		if reg != nil {
+			cur := reg.Snapshot()
+			if d := cur.Diff(shipped); !d.Empty() {
+				m.Metrics = &d
+			}
+			shipped = cur
+		}
+		if tracer != nil {
+			if tail := tracer.EventsSince(spanCursor); len(tail) > 0 {
+				spanCursor += len(tail)
+				for i := range tail {
+					// Tag each span with its unit (offset by one so unit
+					// 0 survives omitempty), cloning Args — the slice
+					// headers are copies but Args pointers are shared
+					// with the tracer's retained events.
+					a := obs.SpanArgs{}
+					if tail[i].Args != nil {
+						a = *tail[i].Args
+					}
+					a.Unit = unitID + 1
+					tail[i].Args = &a
+				}
+				m.Spans = tail
+			}
+		}
+		if flight != nil {
+			var tail []obs.FlightEvent
+			for _, ev := range flight.Events() {
+				if ev.Seq > flightSeq {
+					tail = append(tail, ev)
+				}
+			}
+			if len(tail) > 0 {
+				flightSeq = tail[len(tail)-1].Seq
+				m.Flight = tail
+			}
+		}
+	}
+
+	if err := enc.Encode(workerMsg{
+		Type: "ready", Pid: os.Getpid(),
+		TraceStartUnixNs: tracer.StartUnixNano(),
+	}); err != nil {
 		return 1
 	}
 
@@ -135,7 +212,9 @@ func WorkerMain(stdin io.Reader, stdout, stderr io.Writer, resolve ProgramResolv
 				}
 				if now := time.Now(); now.Sub(lastHB) >= hbEvery {
 					lastHB = now
-					enc.Encode(workerMsg{Type: "hb", ID: um.ID, Execs: n})
+					m := workerMsg{Type: "hb", ID: um.ID, Execs: n}
+					attach(&m, um.ID)
+					enc.Encode(m)
 				}
 			},
 			OnClassify: func(c explore.UnitClassification) {
@@ -148,7 +227,9 @@ func WorkerMain(stdin io.Reader, stdout, stderr io.Writer, resolve ProgramResolv
 			enc.Encode(workerMsg{Type: "fatal", ID: um.ID, Error: err.Error(), Permanent: true})
 			continue
 		}
-		if err := enc.Encode(workerMsg{Type: "result", ID: um.ID, Result: ur}); err != nil {
+		m := workerMsg{Type: "result", ID: um.ID, Result: ur}
+		attach(&m, um.ID)
+		if err := enc.Encode(m); err != nil {
 			fmt.Fprintf(stderr, "psan-worker: writing result: %v\n", err)
 			return 1
 		}

@@ -115,6 +115,7 @@ func (a *Assembler) Add(spec UnitSpec, ur *UnitResult) {
 			index: a.idx, aborted: ex.Aborted, violations: ex.Violations, execErr: ex.Err,
 			ops: ex.Ops, retirements: ex.Retirements,
 			retiredStores: ex.RetiredStores, retiredEvents: ex.RetiredEvents,
+			pinnedRoots: ex.PinnedRoots, sweepNanos: ex.SweepNanos,
 		}, a.seen, &a.opt)
 		a.idx++
 	}

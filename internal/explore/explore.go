@@ -275,10 +275,12 @@ type Options struct {
 	// per-operation path; leave it off for benchmarks.
 	Provenance bool
 
-	// em and tr are the instrument bundle and tracer resolved once in
-	// Run from Obs; all-nil (no-op) when observability is off.
+	// em, tr, and fr are the instrument bundle, tracer, and flight
+	// recorder resolved once in Run from Obs; all-nil (no-op) when
+	// observability is off.
 	em obs.ExploreMetrics
 	tr *obs.Tracer
+	fr *obs.FlightRecorder
 
 	// Resume continues a previously checkpointed partial run: the
 	// engines skip (without re-executing) everything the checkpoint
@@ -402,6 +404,13 @@ type Result struct {
 	Retirements   int64
 	RetiredStores int64
 	RetiredEvents int64
+	// PinnedRootsMax is the largest pin closure (stores kept live) any
+	// collected execution's retirement sweep marked — deterministic,
+	// since the closure depends only on the execution's trace.
+	// SweepNanos sums the sweeps' wall time across collected executions
+	// and is a timing diagnostic. Both zero when Window == 0.
+	PinnedRootsMax int64
+	SweepNanos     int64
 	// Violations are deduplicated across executions by bug identity
 	// (store-site pair + diagnosis kind), in first-found order.
 	Violations []*core.Violation
@@ -508,6 +517,7 @@ type stopper struct {
 	// stopped() call that observes one.
 	reason atomic.Int32
 	em     obs.ExploreMetrics
+	fr     *obs.FlightRecorder
 }
 
 const (
@@ -517,7 +527,7 @@ const (
 )
 
 func newStopper(opt *Options) *stopper {
-	s := &stopper{ctx: opt.Context, em: opt.em}
+	s := &stopper{ctx: opt.Context, em: opt.em, fr: opt.fr}
 	if s.ctx == nil {
 		s.ctx = context.Background()
 	}
@@ -555,8 +565,10 @@ func (s *stopper) latch(code int32) {
 		switch code {
 		case stopDeadline:
 			s.em.StopDeadline.Inc()
+			s.fr.Record("explore", "stop", -1, "deadline")
 		case stopCanceled:
 			s.em.StopCanceled.Inc()
+			s.fr.Record("explore", "stop", -1, "canceled")
 		}
 	}
 }
@@ -592,6 +604,7 @@ func Run(p Program, opt Options) *Result {
 	// the model config so persist counters share the campaign registry.
 	opt.em = obs.ExploreInstruments(opt.Obs.Reg())
 	opt.tr = opt.Obs.Trace()
+	opt.fr = opt.Obs.Recorder()
 	if opt.Model.Obs == nil {
 		opt.Model.Obs = opt.Obs
 	}
@@ -836,6 +849,8 @@ type execOutcome struct {
 	retirements   int64
 	retiredStores int64
 	retiredEvents int64
+	pinnedRoots   int64
+	sweepNanos    int64
 }
 
 // noteWorldStats records the execution's scheduled-operation count and
@@ -846,6 +861,8 @@ func (o *execOutcome) noteWorldStats(w *pmem.World) {
 	o.retirements = int64(rs.Retirements)
 	o.retiredStores = int64(rs.RetiredStores)
 	o.retiredEvents = int64(rs.RetiredEvents)
+	o.pinnedRoots = int64(rs.MaxPinnedRoots)
+	o.sweepNanos = w.SweepNanos()
 }
 
 // count classifies the outcome into exactly one of the completion
@@ -854,10 +871,11 @@ func (o *execOutcome) noteWorldStats(w *pmem.World) {
 // execution that ran is counted, even one the ModelCheck assembly later
 // truncates at the budget — keeping the invariant
 // started == completed + aborted + quarantined (+ pruned, mc mode).
-func (o *execOutcome) count(em *obs.ExploreMetrics) {
+func (o *execOutcome) count(em *obs.ExploreMetrics, fr *obs.FlightRecorder) {
 	switch {
 	case o.execErr != nil:
 		em.Quarantined.Inc()
+		fr.Record("explore", "quarantine", -1, o.execErr.Kind)
 	case o.aborted:
 		em.Aborted.Inc()
 	default:
@@ -893,6 +911,10 @@ func (r *Result) collect(o execOutcome, seen map[string]bool, opt *Options) {
 	r.Retirements += o.retirements
 	r.RetiredStores += o.retiredStores
 	r.RetiredEvents += o.retiredEvents
+	if o.pinnedRoots > r.PinnedRootsMax {
+		r.PinnedRootsMax = o.pinnedRoots
+	}
+	r.SweepNanos += o.sweepNanos
 	if opt.Mode == Random {
 		opt.em.FrontierDepth.Set(int64(opt.Executions - r.Executions))
 	}
@@ -921,7 +943,13 @@ func planRandom(p Program, opt *Options) *randomPlan {
 	numPre := len(p.Phases()) - 1
 	// Pilot execution: run crash-free to size the crash-point ranges.
 	pilotCounts := make([]int, numPre)
-	pilot := pmem.NewWorld(pmem.Config{Model: opt.Model, Seed: opt.Seed, OpLimit: opt.OpLimit})
+	// The pilot is sizing scaffolding, not exploration: strip the
+	// observer so its ops never land in the campaign's counters. (A
+	// supervised campaign runs one pilot per unit; fleet-aggregated
+	// counters must still equal the in-process run's, which pilots once.)
+	pilotModel := opt.Model
+	pilotModel.Obs = nil
+	pilot := pmem.NewWorld(pmem.Config{Model: pilotModel, Seed: opt.Seed, OpLimit: opt.OpLimit})
 	pilot.Checker.SetEnabled(false)
 	countingPilot(p, pilot, pilotCounts)
 
@@ -1003,7 +1031,7 @@ func randomExecution(p Program, opt *Options, plan *randomPlan, ws *workerState,
 		elapsed: time.Since(start),
 		execErr: execErr,
 	}
-	o.count(&opt.em)
+	o.count(&opt.em, opt.fr)
 	ws.tr.Complete(ws.tid, "explore", "execution", start, o.elapsed, int64(exec))
 	if execErr != nil {
 		// The panic left the world in an undefined state: discard it
@@ -1239,7 +1267,7 @@ func runModelCheckSerial(p Program, opt Options, st *stopper) *Result {
 			elapsed: time.Since(execStart),
 			execErr: execErr,
 		}
-		o.count(&opt.em)
+		o.count(&opt.em, opt.fr)
 		opt.tr.Complete(0, "explore", "execution", execStart, o.elapsed, int64(res.Executions))
 		if execErr != nil {
 			execErr.Exec = res.Executions

@@ -26,6 +26,7 @@
 package explore
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 	"sync"
@@ -278,6 +279,8 @@ type mcExec struct {
 	retirements   int64
 	retiredStores int64
 	retiredEvents int64
+	pinnedRoots   int64
+	sweepNanos    int64
 }
 
 // capRec records a domain cap placed on a unit's live trail when a
@@ -679,6 +682,8 @@ func (e *mcEngine) donate(u *mcUnit, ctl *controller) {
 			ctl.trail[i].domain = d.val + 1
 			u.children = append(u.children, &mcChild{unit: child, cut: i, splitAt: -1})
 			e.opt.em.Steals.Inc()
+			e.opt.fr.Record("explore", "steal", -1,
+				fmt.Sprintf("subtree %d carved at trail %d", u.subOrd, i))
 			e.enqueue(child)
 			return
 		}
@@ -998,6 +1003,7 @@ func (e *mcEngine) runUnit(u *mcUnit, ws *mcWorkerState, tid int) {
 			e.opt.em.Pruned.Inc()
 		case execErr != nil:
 			e.opt.em.Quarantined.Inc()
+			e.opt.fr.Record("explore", "quarantine", -1, execErr.Kind)
 		case aborted:
 			e.opt.em.Aborted.Inc()
 		default:
@@ -1054,6 +1060,8 @@ func (e *mcEngine) runUnit(u *mcUnit, ws *mcWorkerState, tid int) {
 			ex.retirements = int64(rs.Retirements)
 			ex.retiredStores = int64(rs.RetiredStores)
 			ex.retiredEvents = int64(rs.RetiredEvents)
+			ex.pinnedRoots = int64(rs.MaxPinnedRoots)
+			ex.sweepNanos = ws.w.SweepNanos()
 		}
 		u.execs = append(u.execs, ex)
 		sub.nexecs.Add(1)
@@ -1143,6 +1151,7 @@ func (a *asm) walk(u *mcUnit) {
 			index: a.idx, aborted: ex.aborted, violations: ex.violations, execErr: ex.execErr,
 			ops: ex.ops, retirements: ex.retirements,
 			retiredStores: ex.retiredStores, retiredEvents: ex.retiredEvents,
+			pinnedRoots: ex.pinnedRoots, sweepNanos: ex.sweepNanos,
 		}, a.seen, a.e.opt)
 		a.idx++
 	}

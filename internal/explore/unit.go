@@ -82,6 +82,11 @@ type UnitExec struct {
 	Retirements   int64 `json:",omitempty"`
 	RetiredStores int64 `json:",omitempty"`
 	RetiredEvents int64 `json:",omitempty"`
+	// PinnedRoots is the execution's largest retirement pin-closure
+	// (deterministic, max-merged); SweepNanos is its total sweep time
+	// (timing, summed, never part of the determinism contract).
+	PinnedRoots int64 `json:",omitempty"`
+	SweepNanos  int64 `json:",omitempty"`
 }
 
 // UnitResult is a completed (or stopped) unit's raw stream plus its
@@ -169,6 +174,7 @@ func RunUnit(p Program, opt Options, spec UnitSpec, hooks UnitHooks) (*UnitResul
 	opt.applyWindowConstraints()
 	opt.em = obs.ExploreInstruments(opt.Obs.Reg())
 	opt.tr = opt.Obs.Trace()
+	opt.fr = opt.Obs.Recorder()
 	if opt.Model.Obs == nil {
 		opt.Model.Obs = opt.Obs
 	}
@@ -225,6 +231,7 @@ func runMCUnit(p Program, opt *Options, st *stopper, spec UnitSpec, hooks UnitHo
 			Aborted: ex.aborted, Err: ex.execErr,
 			Ops: ex.ops, Retirements: ex.retirements,
 			RetiredStores: ex.retiredStores, RetiredEvents: ex.retiredEvents,
+			PinnedRoots: ex.pinnedRoots, SweepNanos: ex.sweepNanos,
 		}, ex.violations, seen))
 	}
 	return ur
@@ -250,6 +257,7 @@ func runRandomUnit(p Program, opt *Options, st *stopper, spec UnitSpec, hooks Un
 			Aborted: o.aborted, Err: o.execErr,
 			Ops: o.ops, Retirements: o.retirements,
 			RetiredStores: o.retiredStores, RetiredEvents: o.retiredEvents,
+			PinnedRoots: o.pinnedRoots, SweepNanos: o.sweepNanos,
 		}, o.violations, seen))
 		if hooks.OnExec != nil {
 			hooks.OnExec(len(ur.Execs))

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// fullyInstrumentedRegistry resolves every instrument bundle the
+// codebase uses into one registry, so tests can walk the complete
+// exported-name surface.
+func fullyInstrumentedRegistry() *Registry {
+	r := NewRegistry()
+	ExploreInstruments(r)
+	CacheInstruments(r)
+	PersistInstruments(r, "epoch")
+	PersistInstruments(r, "strict")
+	WorldInstruments(r)
+	DispatchInstruments(r)
+	WorkerInstruments(r, 1)
+	WorkerInstruments(r, 12)
+	return r
+}
+
+// TestCatalogCoversInstruments: every instrument any bundle registers
+// resolves to a cataloged family of the right kind — no metric can
+// reach /metrics without HELP/TYPE metadata and a README row.
+func TestCatalogCoversInstruments(t *testing.T) {
+	r := fullyInstrumentedRegistry()
+	snap := r.Snapshot()
+	check := func(name, kind string) {
+		t.Helper()
+		family, _ := ResolveName(name)
+		def, ok := catalogHelp(family)
+		if !ok {
+			t.Errorf("instrument %s resolves to family %s, which is not cataloged", name, family)
+			return
+		}
+		if def.Type != kind {
+			t.Errorf("instrument %s: catalog says %s, registry says %s", name, def.Type, kind)
+		}
+		if def.Help == "" {
+			t.Errorf("family %s has no HELP text", family)
+		}
+	}
+	for name := range snap.Counters {
+		check(name, "counter")
+	}
+	for name := range snap.Gauges {
+		check(name, "gauge")
+	}
+	for name := range snap.Histograms {
+		check(name, "histogram")
+	}
+}
+
+// TestCatalogFamiliesReachable: the inverse direction — every cataloged
+// family is actually produced by some instrument bundle, so the catalog
+// (and the README table generated from it) carries no dead rows.
+func TestCatalogFamiliesReachable(t *testing.T) {
+	snap := fullyInstrumentedRegistry().Snapshot()
+	reachable := map[string]bool{}
+	for _, names := range []map[string]bool{
+		keysOf(snap.Counters), gaugeKeys(snap.Gauges), histKeys(snap.Histograms),
+	} {
+		for name := range names {
+			family, _ := ResolveName(name)
+			reachable[family] = true
+		}
+	}
+	for _, def := range Catalog() {
+		if !reachable[def.Family] {
+			t.Errorf("cataloged family %s is not produced by any instrument bundle", def.Family)
+		}
+	}
+}
+
+func keysOf(m map[string]int64) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func gaugeKeys(m map[string]int64) map[string]bool { return keysOf(m) }
+
+func histKeys(m map[string]HistogramSnapshot) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// TestResolveNameMapping pins the documented mapping rules: per-model
+// persist ops and per-worker pool counters become labeled families;
+// everything else is psan_ + dots-to-underscores. The mapping must be
+// deterministic (same input, byte-identical output).
+func TestResolveNameMapping(t *testing.T) {
+	cases := []struct {
+		in, family string
+		labels     []Label
+	}{
+		{"explore.executions_started", "psan_explore_executions_started", nil},
+		{"persist.epoch.stores", "psan_persist_stores", []Label{{"model", "epoch"}}},
+		{"persist.strict.candidates_resolved", "psan_persist_candidates_resolved", []Label{{"model", "strict"}}},
+		{"pool.worker7.busy_ns", "psan_pool_worker_busy_ns", []Label{{"worker", "7"}}},
+		{"pool.worker12.dispatches", "psan_pool_worker_dispatches", []Label{{"worker", "12"}}},
+		{"dispatch.unit_ns", "psan_dispatch_unit_ns", nil},
+		{"weird-name.with.dashes", "psan_weird_name_with_dashes", nil},
+	}
+	for _, tc := range cases {
+		family, labels := ResolveName(tc.in)
+		if family != tc.family {
+			t.Errorf("ResolveName(%q) family = %q, want %q", tc.in, family, tc.family)
+		}
+		if len(labels) != len(tc.labels) {
+			t.Errorf("ResolveName(%q) labels = %v, want %v", tc.in, labels, tc.labels)
+			continue
+		}
+		for i := range labels {
+			if labels[i] != tc.labels[i] {
+				t.Errorf("ResolveName(%q) label %d = %v, want %v", tc.in, i, labels[i], tc.labels[i])
+			}
+		}
+		again, _ := ResolveName(tc.in)
+		if again != family {
+			t.Errorf("ResolveName(%q) not deterministic: %q then %q", tc.in, family, again)
+		}
+	}
+	for _, tc := range cases {
+		if !strings.HasPrefix(tc.family, "psan_") {
+			t.Errorf("family %q lacks the psan_ namespace prefix", tc.family)
+		}
+	}
+}

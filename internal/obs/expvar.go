@@ -41,10 +41,15 @@ type MetricsServer struct {
 	srv  *http.Server
 }
 
+// OpenMetricsContentType is the Content-Type of the /metrics endpoint.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // ServeMetrics publishes r via expvar and serves it over HTTP at addr:
 //
-//	/debug/vars  — the standard expvar page (includes the "psan" var)
-//	/metrics     — an indented JSON snapshot of r alone
+//	/debug/vars    — the standard expvar page (includes the "psan" var)
+//	/metrics       — the OpenMetrics text exposition of r (HELP/TYPE
+//	                 metadata, deterministic name mapping; see catalog.go)
+//	/metrics.json  — an indented JSON snapshot of r alone
 //
 // A dedicated mux keeps this off http.DefaultServeMux. The server runs until
 // Close. Returns an error if the listener cannot bind.
@@ -57,6 +62,10 @@ func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", OpenMetricsContentType)
+		WriteOpenMetrics(w, r.Snapshot())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestFlightRingWraps: the ring retains exactly the last capacity
+// events in recording order, Total keeps counting past the wrap, and
+// the sequence numbers of the retained tail are contiguous.
+func TestFlightRingWraps(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Record("dispatch", "redeliver", i, fmt.Sprintf("ev%d", i))
+	}
+	if f.Total() != 10 {
+		t.Errorf("Total = %d, want 10", f.Total())
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(7 + i) // events 7..10 survive
+		if ev.Seq != wantSeq {
+			t.Errorf("event %d: Seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if ev.Unit != int(wantSeq)-1 {
+			t.Errorf("event %d: Unit = %d, want %d", i, ev.Unit, wantSeq-1)
+		}
+	}
+}
+
+// TestFlightUnitSentinel: unit 0 is a real dispatch unit id and must
+// survive JSON round-trips; "no unit" is the explicit -1 sentinel, and
+// negative inputs clamp to it.
+func TestFlightUnitSentinel(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record("dispatch", "redeliver", 0, "unit zero")
+	f.Record("dispatch", "stop", -7, "no unit")
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], `"unit":0`) {
+		t.Errorf("unit 0 not serialized explicitly: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"unit":-1`) {
+		t.Errorf("no-unit sentinel not -1: %s", lines[1])
+	}
+}
+
+// TestFlightIngest: events shipped from a worker keep their origin pid
+// and payload but are resequenced into the local stream, interleaving
+// with locally recorded events.
+func TestFlightIngest(t *testing.T) {
+	worker := NewFlightRecorder(8)
+	worker.SetPid(4242)
+	worker.Record("explore", "quarantine", 3, "contained panic")
+	worker.Record("pmem", "retire", -1, "sweep")
+
+	sup := NewFlightRecorder(8)
+	sup.SetPid(1)
+	sup.Record("dispatch", "spawn", -1, "slot 0")
+	sup.Ingest(worker.Events())
+	sup.Record("dispatch", "stop", -1, "complete")
+
+	evs := sup.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d: Seq = %d, want %d (resequenced locally)", i, ev.Seq, i+1)
+		}
+	}
+	if evs[1].Pid != 4242 || evs[2].Pid != 4242 {
+		t.Errorf("ingested events lost origin pid: %d, %d", evs[1].Pid, evs[2].Pid)
+	}
+	if evs[1].Cat != "explore" || evs[1].Name != "quarantine" || evs[1].Unit != 3 {
+		t.Errorf("ingested payload mangled: %+v", evs[1])
+	}
+	if sup.Total() != 4 {
+		t.Errorf("Total = %d, want 4", sup.Total())
+	}
+}
+
+// TestFlightNilSafe: every method is a no-op on a nil recorder, so
+// instrumented code never branches on enablement.
+func TestFlightNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.SetPid(1)
+	f.Record("x", "y", 0, "z")
+	f.Ingest([]FlightEvent{{Name: "n"}})
+	if f.Events() != nil || f.Total() != 0 {
+		t.Error("nil recorder retained events")
+	}
+}
+
+// TestFlightJSONLWellFormed: every dumped line is a standalone JSON
+// object carrying the required fields.
+func TestFlightJSONLWellFormed(t *testing.T) {
+	f := NewFlightRecorder(16)
+	f.SetPid(99)
+	for i := 0; i < 5; i++ {
+		f.Record("dispatch", "lease-expired", i, "")
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var ev FlightEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", n+1, err)
+		}
+		if ev.Seq == 0 || ev.TS == 0 || ev.Cat == "" || ev.Name == "" || ev.Pid != 99 {
+			t.Errorf("line %d missing required fields: %+v", n+1, ev)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("dumped %d lines, want 5", n)
+	}
+}

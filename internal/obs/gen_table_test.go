@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"os"
+	"testing"
+)
+
+// TestWriteCatalogTable is a generator escape hatch, not a check: run
+// with PSAN_WRITE_METRICS_TABLE=<path> to dump the README table after
+// editing the catalog. Skips otherwise.
+func TestWriteCatalogTable(t *testing.T) {
+	path := os.Getenv("PSAN_WRITE_METRICS_TABLE")
+	if path == "" {
+		t.Skip("set PSAN_WRITE_METRICS_TABLE to regenerate the README table")
+	}
+	if err := os.WriteFile(path, []byte(CatalogMarkdown()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -124,10 +124,12 @@ type WorldMetrics struct {
 	ScheduleSteps *Counter // pmem.schedule_steps (one per scheduled memory op)
 	InterpSteps   *Counter // interp.steps (one per interpreted statement)
 
-	Retirements    *Counter // pmem.retirements (completed window sweeps)
-	RetiredStores  *Counter // pmem.retired_stores (store records released)
-	RetiredEvents  *Counter // pmem.retired_events (event records released)
-	WindowRetained *Gauge   // pmem.window_retained (event-log occupancy after the last sweep)
+	Retirements    *Counter   // pmem.retirements (completed window sweeps)
+	RetiredStores  *Counter   // pmem.retired_stores (store records released)
+	RetiredEvents  *Counter   // pmem.retired_events (event records released)
+	WindowRetained *Gauge     // pmem.window_retained (event-log occupancy after the last sweep)
+	PinnedRoots    *Gauge     // pmem.pinned_roots (pin-closure size of the last sweep)
+	SweepNanos     *Histogram // pmem.retire_sweep_ns (per-sweep wall time)
 }
 
 // WorldInstruments resolves the world bundle from r.
@@ -142,13 +144,17 @@ func WorldInstruments(r *Registry) WorldMetrics {
 		RetiredStores:  r.Counter("pmem.retired_stores"),
 		RetiredEvents:  r.Counter("pmem.retired_events"),
 		WindowRetained: r.Gauge("pmem.window_retained"),
+		PinnedRoots:    r.Gauge("pmem.pinned_roots"),
+		SweepNanos:     r.Histogram("pmem.retire_sweep_ns", DurationBuckets),
 	}
 }
 
 // DispatchMetrics covers the process-isolation supervisor
-// (internal/dispatch). These are supervisor-side instruments only: the
-// per-execution explore.* counters live in the worker processes'
-// registries and are not aggregated across the process boundary.
+// (internal/dispatch). These are supervisor-side instruments; the
+// per-execution explore.*/pmem.*/persist.* counters accrue in the
+// worker processes' registries and are merged into the supervisor's
+// via snapshot deltas on the heartbeat/result wire messages, so the
+// supervisor registry carries the whole fleet's telemetry.
 type DispatchMetrics struct {
 	UnitsDispatched *Counter   // dispatch.units_dispatched (unit deliveries, incl. redeliveries)
 	UnitsMerged     *Counter   // dispatch.units_merged (unit results assembled)

@@ -1,0 +1,170 @@
+package obs
+
+// Cross-process snapshot merging: the fleet-telemetry machinery that
+// lets the dispatch supervisor fold worker-process registries into its
+// own. Workers ship *deltas* — the difference between two registry
+// snapshots bracketing a stretch of work — and the supervisor applies
+// them with a sign, so a killed delivery attempt's partial telemetry
+// can be rolled back exactly and the surviving totals equal one clean
+// run per merged unit (the fleet-exactness property the dispatch chaos
+// tests pin).
+//
+// Merge semantics per instrument kind:
+//
+//   - counters and histograms are additive: Diff subtracts, ApplyDelta
+//     adds sign*delta, and rollback (sign -1) cancels a prior apply to
+//     the bit.
+//   - gauges are last-value instruments with no additive meaning across
+//     processes; Diff carries the *current* value and ApplyDelta
+//     high-water-merges it (and ignores it on rollback). Fleet gauges
+//     are therefore advisory maxima, which is what a dashboard wants
+//     from e.g. pmem.window_retained, and they are excluded from the
+//     exactness contract.
+
+// Diff returns the instrument-wise difference s - base: the telemetry
+// produced between the two snapshots. Counters and histogram
+// counts/sums subtract; zero-delta instruments are omitted, so a diff
+// over an idle stretch is empty. Gauges carry s's current value
+// (omitted when zero and absent from base).
+func (s Snapshot) Diff(base Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for name, v := range s.Counters {
+		if dv := v - base.Counters[name]; dv != 0 {
+			d.Counters[name] = dv
+		}
+	}
+	for name, v := range s.Gauges {
+		if _, had := base.Gauges[name]; had || v != 0 {
+			d.Gauges[name] = v
+		}
+	}
+	for name, h := range s.Histograms {
+		bh, had := base.Histograms[name]
+		if !had {
+			if h.Count != 0 {
+				d.Histograms[name] = h
+			}
+			continue
+		}
+		if h.Count == bh.Count && h.Sum == bh.Sum {
+			continue
+		}
+		dh := HistogramSnapshot{
+			Bounds: h.Bounds,
+			Counts: make([]int64, len(h.Counts)),
+			Sum:    h.Sum - bh.Sum,
+			Count:  h.Count - bh.Count,
+		}
+		for i := range h.Counts {
+			dh.Counts[i] = h.Counts[i]
+			if i < len(bh.Counts) {
+				dh.Counts[i] -= bh.Counts[i]
+			}
+		}
+		d.Histograms[name] = dh
+	}
+	return d
+}
+
+// Empty reports whether the snapshot carries no instruments at all.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// Accumulate folds delta into s (both delta-shaped): counters and
+// histograms add, gauges high-water-merge. The dispatch supervisor
+// accumulates every delta applied for a delivery attempt so a failure
+// can roll the whole attempt back with one ApplyDelta(acc, -1).
+func (s *Snapshot) Accumulate(delta Snapshot) {
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]int64{}
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]HistogramSnapshot{}
+	}
+	for name, v := range delta.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range delta.Gauges {
+		if cur, ok := s.Gauges[name]; !ok || v > cur {
+			s.Gauges[name] = v
+		}
+	}
+	for name, h := range delta.Histograms {
+		cur, ok := s.Histograms[name]
+		if !ok {
+			cp := HistogramSnapshot{
+				Bounds: append([]int64(nil), h.Bounds...),
+				Counts: append([]int64(nil), h.Counts...),
+				Sum:    h.Sum, Count: h.Count,
+			}
+			s.Histograms[name] = cp
+			continue
+		}
+		cur.Sum += h.Sum
+		cur.Count += h.Count
+		for i := range cur.Counts {
+			if i < len(h.Counts) {
+				cur.Counts[i] += h.Counts[i]
+			}
+		}
+		s.Histograms[name] = cur
+	}
+}
+
+// ApplyDelta folds a delta snapshot into the registry with the given
+// sign (+1 apply, -1 rollback): counters and histograms add
+// sign*delta, gauges high-water-merge on apply and are left untouched
+// on rollback. Instruments absent from the registry are created, so a
+// supervisor registry accretes the worker-side catalog as deltas
+// arrive. No-op on a nil registry.
+func (r *Registry) ApplyDelta(d Snapshot, sign int64) {
+	if r == nil {
+		return
+	}
+	for name, v := range d.Counters {
+		r.Counter(name).Add(sign * v)
+	}
+	if sign > 0 {
+		for name, v := range d.Gauges {
+			g := r.Gauge(name)
+			if v > g.Value() {
+				g.Set(v)
+			}
+		}
+	}
+	for name, h := range d.Histograms {
+		r.Histogram(name, h.Bounds).applyDelta(h, sign)
+	}
+}
+
+// applyDelta folds a histogram delta in with the given sign. Bucket
+// layouts always agree in practice (both sides resolve the same
+// catalog); a skewed delta keeps Sum/Count exact and folds the
+// mismatched buckets into the overflow bucket rather than dropping
+// them.
+func (h *Histogram) applyDelta(d HistogramSnapshot, sign int64) {
+	if h == nil {
+		return
+	}
+	if len(d.Counts) == len(h.counts) {
+		for i, c := range d.Counts {
+			h.counts[i].Add(sign * c)
+		}
+	} else {
+		total := int64(0)
+		for _, c := range d.Counts {
+			total += c
+		}
+		h.counts[len(h.counts)-1].Add(sign * total)
+	}
+	h.sum.Add(sign * d.Sum)
+	h.n.Add(sign * d.Count)
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// workload drives a registry through a deterministic mix of counter,
+// gauge, and histogram traffic. reps lets tests produce the "same work
+// done twice" shape a worker redelivery creates.
+func workload(r *Registry, reps int) {
+	for i := 0; i < reps; i++ {
+		r.Counter("explore.executions_started").Add(7)
+		r.Counter("persist.epoch.stores").Add(31)
+		r.Gauge("pmem.window_retained").Set(int64(40 + i))
+		h := r.Histogram("explore.execution_ns", DurationBuckets)
+		h.Observe(1500)
+		h.Observe(2_000_000)
+	}
+}
+
+// TestDiffApplyRoundTrip: shipping a worker registry as a sequence of
+// snapshot diffs and applying them supervisor-side reproduces the
+// worker's totals exactly — the delta pipeline loses nothing across
+// ship boundaries.
+func TestDiffApplyRoundTrip(t *testing.T) {
+	worker := NewRegistry()
+	sup := NewRegistry()
+	var shipped Snapshot
+	for i := 0; i < 3; i++ {
+		workload(worker, 1)
+		cur := worker.Snapshot()
+		sup.ApplyDelta(cur.Diff(shipped), 1)
+		shipped = cur
+	}
+	want, got := worker.Snapshot(), sup.Snapshot()
+	if !reflect.DeepEqual(want.Counters, got.Counters) {
+		t.Errorf("counters: worker %v, supervisor %v", want.Counters, got.Counters)
+	}
+	if !reflect.DeepEqual(want.Histograms, got.Histograms) {
+		t.Errorf("histograms: worker %v, supervisor %v", want.Histograms, got.Histograms)
+	}
+	// Gauges high-water-merge; with a monotonically rising gauge the
+	// high water is the final value.
+	if want.Gauges["pmem.window_retained"] != got.Gauges["pmem.window_retained"] {
+		t.Errorf("gauges: worker %v, supervisor %v", want.Gauges, got.Gauges)
+	}
+}
+
+// TestRollbackCancelsExactly: accumulating every delta from a delivery
+// attempt and applying the accumulation with sign -1 restores the
+// supervisor registry to its pre-attempt state — counters and
+// histograms to the bit. This is the redelivery path: the killed
+// attempt's partial telemetry vanishes.
+func TestRollbackCancelsExactly(t *testing.T) {
+	sup := NewRegistry()
+	workload(sup, 2) // pre-existing fleet state
+	before := sup.Snapshot()
+
+	worker := NewRegistry()
+	var shipped Snapshot
+	var acc Snapshot
+	for i := 0; i < 2; i++ { // two heartbeat ships mid-attempt
+		workload(worker, 1)
+		cur := worker.Snapshot()
+		d := cur.Diff(shipped)
+		sup.ApplyDelta(d, 1)
+		acc.Accumulate(d)
+		shipped = cur
+	}
+	sup.ApplyDelta(acc, -1) // attempt died: roll it back
+
+	after := sup.Snapshot()
+	if !reflect.DeepEqual(before.Counters, after.Counters) {
+		t.Errorf("counters not restored: before %v, after %v", before.Counters, after.Counters)
+	}
+	if !reflect.DeepEqual(before.Histograms, after.Histograms) {
+		t.Errorf("histograms not restored: before %v, after %v", before.Histograms, after.Histograms)
+	}
+}
+
+// TestDiffOmitsIdle: a diff across an idle stretch carries no counter
+// or histogram deltas — only the gauges' current values ride along
+// (they are last-value instruments, so "no change" still means "this
+// is the level").
+func TestDiffOmitsIdle(t *testing.T) {
+	r := NewRegistry()
+	workload(r, 1)
+	snap := r.Snapshot()
+	d := snap.Diff(snap)
+	if len(d.Counters) != 0 || len(d.Histograms) != 0 {
+		t.Errorf("self-diff has additive deltas: %+v", d)
+	}
+	if d.Gauges["pmem.window_retained"] != snap.Gauges["pmem.window_retained"] {
+		t.Errorf("self-diff gauge = %v, want current value %v", d.Gauges, snap.Gauges)
+	}
+	if d := snap.Diff(Snapshot{}); d.Empty() {
+		t.Error("diff against zero base is empty, want full snapshot")
+	}
+}
+
+// TestGaugeHighWater: ApplyDelta keeps the maximum gauge value across
+// processes and ignores gauges on rollback — fleet gauges are advisory
+// maxima, never part of the exactness contract.
+func TestGaugeHighWater(t *testing.T) {
+	sup := NewRegistry()
+	sup.Gauge("pmem.window_retained").Set(50)
+	low := Snapshot{Gauges: map[string]int64{"pmem.window_retained": 20}}
+	high := Snapshot{Gauges: map[string]int64{"pmem.window_retained": 90}}
+	sup.ApplyDelta(low, 1)
+	if v := sup.Gauge("pmem.window_retained").Value(); v != 50 {
+		t.Errorf("gauge after lower apply = %d, want 50", v)
+	}
+	sup.ApplyDelta(high, 1)
+	if v := sup.Gauge("pmem.window_retained").Value(); v != 90 {
+		t.Errorf("gauge after higher apply = %d, want 90", v)
+	}
+	sup.ApplyDelta(high, -1)
+	if v := sup.Gauge("pmem.window_retained").Value(); v != 90 {
+		t.Errorf("gauge after rollback = %d, want 90 (rollback must not touch gauges)", v)
+	}
+}
+
+// TestApplyDeltaNilSafe: the supervisor applies deltas through possibly
+// absent sinks; nil receivers and empty deltas must be no-ops.
+func TestApplyDeltaNilSafe(t *testing.T) {
+	var r *Registry
+	r.ApplyDelta(Snapshot{Counters: map[string]int64{"x": 1}}, 1) // must not panic
+	live := NewRegistry()
+	live.ApplyDelta(Snapshot{}, 1)
+	if got := live.Snapshot(); len(got.Counters) != 0 {
+		t.Errorf("empty delta created counters: %v", got.Counters)
+	}
+}
+
+// TestHistogramDeltaBucketMismatch: a delta whose bucket layout differs
+// from the live histogram's folds into the overflow bucket instead of
+// corrupting per-bucket counts; Count and Sum stay additive.
+func TestHistogramDeltaBucketMismatch(t *testing.T) {
+	sup := NewRegistry()
+	h := sup.Histogram("weird", []int64{10, 100})
+	h.Observe(5)
+	d := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"weird": {Bounds: []int64{1, 2, 3}, Counts: []int64{1, 1, 1, 1}, Sum: 42, Count: 4},
+	}}
+	sup.ApplyDelta(d, 1)
+	got := sup.Snapshot().Histograms["weird"]
+	if got.Count != 5 || got.Sum != 47 {
+		t.Errorf("count/sum = %d/%d, want 5/47", got.Count, got.Sum)
+	}
+	var total int64
+	for _, c := range got.Counts {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("bucket counts sum to %d, want 5", total)
+	}
+}

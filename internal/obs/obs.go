@@ -20,6 +20,8 @@ type Observer struct {
 	Metrics *Registry
 	// Tracer receives span events when non-nil.
 	Tracer *Tracer
+	// Flight receives flight-recorder events when non-nil.
+	Flight *FlightRecorder
 }
 
 // Reg returns the metrics registry, or nil. Safe on a nil receiver.
@@ -38,10 +40,18 @@ func (o *Observer) Trace() *Tracer {
 	return o.Tracer
 }
 
+// Recorder returns the flight recorder, or nil. Safe on a nil receiver.
+func (o *Observer) Recorder() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Flight
+}
+
 // Enabled reports whether any sink is attached. An Observer with no sinks
 // behaves identically to a nil Observer.
 func (o *Observer) Enabled() bool {
-	return o != nil && (o.Metrics != nil || o.Tracer != nil)
+	return o != nil && (o.Metrics != nil || o.Tracer != nil || o.Flight != nil)
 }
 
 // Counter is a monotonically increasing atomic counter. The zero value is

@@ -280,9 +280,16 @@ func TestServeMetrics(t *testing.T) {
 		t.Fatalf("expvar endpoint missing psan snapshot:\n%.400s", vars)
 	}
 	metrics := get("/metrics")
+	if !strings.Contains(metrics, "psan_explore_executions_started_total 9") {
+		t.Fatalf("/metrics missing OpenMetrics counter sample:\n%.400s", metrics)
+	}
+	if !strings.HasSuffix(metrics, "# EOF\n") {
+		t.Fatalf("/metrics exposition not terminated with # EOF:\n%.400s", metrics)
+	}
+	jsonMetrics := get("/metrics.json")
 	var snap Snapshot
-	if err := json.Unmarshal([]byte(metrics), &snap); err != nil {
-		t.Fatalf("/metrics is not a JSON snapshot: %v", err)
+	if err := json.Unmarshal([]byte(jsonMetrics), &snap); err != nil {
+		t.Fatalf("/metrics.json is not a JSON snapshot: %v", err)
 	}
 	if snap.Counters["explore.executions_started"] != 9 {
 		t.Fatalf("snapshot counter = %d, want 9", snap.Counters["explore.executions_started"])

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OpenMetrics text exposition for a registry snapshot: the /metrics
+// format Prometheus-compatible scrapers consume. The rendering is
+// deterministic — families sorted by name, samples sorted by label
+// value, integer-rendered values — so two scrapes of identical
+// registries are byte-identical, which is what the fleet-exactness
+// tests and CI diffs rely on.
+
+// omSample is one resolved sample: a dotted instrument mapped onto its
+// family with labels attached.
+type omSample struct {
+	labels []Label
+	value  int64
+	hist   *HistogramSnapshot // histogram families only
+}
+
+// omFamily groups a family's samples with its metadata.
+type omFamily struct {
+	def     MetricDef
+	samples []omSample
+}
+
+// WriteOpenMetrics renders the snapshot in OpenMetrics text format:
+// HELP/TYPE metadata per family, `_total`-suffixed counter samples,
+// histogram `_bucket`/`_sum`/`_count` series with cumulative `le`
+// buckets, and the terminating `# EOF` line.
+func WriteOpenMetrics(w io.Writer, s Snapshot) error {
+	fams := map[string]*omFamily{}
+	get := func(name, typ string) *omFamily {
+		family, _ := ResolveName(name)
+		f, ok := fams[family]
+		if !ok {
+			def, known := catalogHelp(family)
+			if !known {
+				def = MetricDef{Family: family, Type: typ, Help: "(uncataloged instrument " + name + ")"}
+			}
+			f = &omFamily{def: def}
+			fams[family] = f
+		}
+		return f
+	}
+	for name, v := range s.Counters {
+		_, labels := ResolveName(name)
+		f := get(name, "counter")
+		f.samples = append(f.samples, omSample{labels: labels, value: v})
+	}
+	for name, v := range s.Gauges {
+		_, labels := ResolveName(name)
+		f := get(name, "gauge")
+		f.samples = append(f.samples, omSample{labels: labels, value: v})
+	}
+	for name := range s.Histograms {
+		h := s.Histograms[name]
+		_, labels := ResolveName(name)
+		f := get(name, "histogram")
+		f.samples = append(f.samples, omSample{labels: labels, hist: &h})
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, fn := range names {
+		f := fams[fn]
+		sort.Slice(f.samples, func(i, j int) bool {
+			return labelString(f.samples[i].labels) < labelString(f.samples[j].labels)
+		})
+		fmt.Fprintf(bw, "# HELP %s %s\n", fn, f.def.Help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fn, f.def.Type)
+		for _, smp := range f.samples {
+			switch f.def.Type {
+			case "counter":
+				fmt.Fprintf(bw, "%s_total%s %d\n", fn, labelString(smp.labels), smp.value)
+			case "histogram":
+				writeHistogramSample(bw, fn, smp.labels, *smp.hist)
+			default:
+				fmt.Fprintf(bw, "%s%s %d\n", fn, labelString(smp.labels), smp.value)
+			}
+		}
+	}
+	fmt.Fprint(bw, "# EOF\n")
+	return bw.Flush()
+}
+
+// writeHistogramSample renders one histogram series: cumulative
+// `le`-labeled buckets (the final +Inf bucket equals _count), then the
+// _sum and _count samples.
+func writeHistogramSample(w io.Writer, family string, labels []Label, h HistogramSnapshot) {
+	cum := int64(0)
+	for i, bound := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		le := append(append([]Label(nil), labels...), Label{"le", strconv.FormatInt(bound, 10)})
+		fmt.Fprintf(w, "%s_bucket%s %d\n", family, labelString(le), cum)
+	}
+	le := append(append([]Label(nil), labels...), Label{"le", "+Inf"})
+	fmt.Fprintf(w, "%s_bucket%s %d\n", family, labelString(le), h.Count)
+	fmt.Fprintf(w, "%s_sum%s %d\n", family, labelString(labels), h.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", family, labelString(labels), h.Count)
+}
+
+// labelString renders a label set as {k="v",...}; empty set renders as
+// the empty string.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the exposition-format label escapes.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

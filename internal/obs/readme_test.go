@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestReadmeMetricsTable: the "Exported metrics" table in README.md is
+// generated from the catalog and must match it exactly. On drift,
+// regenerate with:
+//
+//	PSAN_WRITE_METRICS_TABLE=/tmp/table.md go test ./internal/obs -run TestWriteCatalogTable
+//
+// and splice /tmp/table.md between the metrics-table markers.
+func TestReadmeMetricsTable(t *testing.T) {
+	data, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	readme := string(data)
+	const start = "<!-- metrics-table-start -->\n"
+	const end = "<!-- metrics-table-end -->"
+	i := strings.Index(readme, start)
+	j := strings.Index(readme, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatal("README.md metrics-table markers missing or out of order")
+	}
+	got := readme[i+len(start) : j]
+	want := CatalogMarkdown()
+	if got != want {
+		t.Errorf("README metrics table is stale; regenerate from the catalog (see test comment)\n--- README ---\n%s--- catalog ---\n%s", got, want)
+	}
+}

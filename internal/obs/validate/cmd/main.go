@@ -1,10 +1,13 @@
-// Command validate-trace checks traces written by -trace-out: the Chrome
-// trace_event JSON and (optionally) the JSONL span log.
+// Command validate-trace checks observability artifacts: the Chrome
+// trace_event JSON and JSONL span log written by -trace-out, and (with
+// -metrics) an OpenMetrics text exposition scraped from /metrics.
 //
 //	go run ./internal/obs/validate/cmd trace.json [trace.json.jsonl]
+//	go run ./internal/obs/validate/cmd -metrics metrics.txt
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -12,39 +15,66 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 || len(os.Args) > 3 {
+	metrics := flag.Bool("metrics", false, "validate an OpenMetrics exposition instead of a trace")
+	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: validate-trace <chrome-trace.json> [spans.jsonl]")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "       validate-trace -metrics <exposition.txt>")
 	}
+	flag.Parse()
+	args := flag.Args()
 	fail := func(what string, err error) {
 		fmt.Fprintf(os.Stderr, "validate-trace: %s: %v\n", what, err)
 		os.Exit(1)
 	}
 
-	cf, err := os.Open(os.Args[1])
+	if *metrics {
+		if len(args) != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		mf, err := os.Open(args[0])
+		if err != nil {
+			fail("open", err)
+		}
+		ms, err := validate.Exposition(mf)
+		mf.Close()
+		if err != nil {
+			fail(args[0], err)
+		}
+		fmt.Printf("exposition ok: %d families, %d samples\n", ms.Families, ms.Samples)
+		return
+	}
+
+	if len(args) < 1 || len(args) > 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cf, err := os.Open(args[0])
 	if err != nil {
 		fail("open", err)
 	}
 	cs, err := validate.Chrome(cf)
 	cf.Close()
 	if err != nil {
-		fail(os.Args[1], err)
+		fail(args[0], err)
 	}
-	fmt.Printf("chrome trace ok: %d events, %d spans, %d timelines\n", cs.Events, cs.Spans, cs.Timeline)
+	fmt.Printf("chrome trace ok: %d events, %d spans, %d timelines, %d processes\n",
+		cs.Events, cs.Spans, cs.Timeline, cs.Procs)
 
-	if len(os.Args) == 3 {
-		jf, err := os.Open(os.Args[2])
+	if len(args) == 2 {
+		jf, err := os.Open(args[1])
 		if err != nil {
 			fail("open", err)
 		}
 		js, err := validate.JSONL(jf)
 		jf.Close()
 		if err != nil {
-			fail(os.Args[2], err)
+			fail(args[1], err)
 		}
 		if js.Spans != cs.Spans {
-			fail(os.Args[2], fmt.Errorf("span count %d does not match chrome trace %d", js.Spans, cs.Spans))
+			fail(args[1], fmt.Errorf("span count %d does not match chrome trace %d", js.Spans, cs.Spans))
 		}
-		fmt.Printf("jsonl trace ok: %d events, %d spans, %d timelines\n", js.Events, js.Spans, js.Timeline)
+		fmt.Printf("jsonl trace ok: %d events, %d spans, %d timelines, %d processes\n",
+			js.Events, js.Spans, js.Timeline, js.Procs)
 	}
 }

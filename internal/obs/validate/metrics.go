@@ -1,0 +1,281 @@
+// OpenMetrics exposition linting: a parser-level check of the /metrics
+// text format written by obs.WriteOpenMetrics, used by the obs-smoke CI
+// job so a malformed exposition fails the build before a scraper ever
+// sees it.
+package validate
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricStats summarizes a validated exposition.
+type MetricStats struct {
+	Families int // metric families (TYPE declarations)
+	Samples  int // sample lines
+}
+
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// histKey identifies one histogram series: family plus its labels with
+// the le label stripped.
+type histKey struct {
+	family string
+	labels string
+}
+
+// histSeries accumulates one histogram's bucket samples for the
+// cumulative/count cross-checks.
+type histSeries struct {
+	les    []float64
+	counts []float64
+	sum    *float64
+	count  *float64
+}
+
+// Exposition validates an OpenMetrics text exposition: every family
+// declares a TYPE before its samples, sample names match their family
+// and type (counters end in _total, histograms expose _bucket/_sum/
+// _count), histogram buckets are cumulative and end at +Inf with the
+// series count, no series repeats, and the document ends with # EOF.
+func Exposition(r io.Reader) (MetricStats, error) {
+	var s MetricStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+
+	types := map[string]string{} // family -> counter|gauge|histogram
+	seen := map[string]bool{}    // name{labels} -> dup check
+	hists := map[histKey]*histSeries{}
+	sawEOF := false
+	line := 0
+
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			return s, fmt.Errorf("line %d: blank line in exposition", line)
+		}
+		if sawEOF {
+			return s, fmt.Errorf("line %d: content after # EOF", line)
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			switch {
+			case text == "# EOF":
+				sawEOF = true
+			case len(fields) >= 3 && fields[1] == "TYPE":
+				family, typ := fields[2], ""
+				if len(fields) == 4 {
+					typ = fields[3]
+				}
+				if !metricNameRe.MatchString(family) {
+					return s, fmt.Errorf("line %d: bad family name %q", line, family)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram":
+				default:
+					return s, fmt.Errorf("line %d: family %s: unsupported type %q", line, family, typ)
+				}
+				if _, dup := types[family]; dup {
+					return s, fmt.Errorf("line %d: family %s declared twice", line, family)
+				}
+				types[family] = typ
+				s.Families++
+			case len(fields) >= 3 && fields[1] == "HELP":
+				if !metricNameRe.MatchString(fields[2]) {
+					return s, fmt.Errorf("line %d: bad HELP name %q", line, fields[2])
+				}
+			default:
+				return s, fmt.Errorf("line %d: unrecognized comment %q", line, text)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return s, fmt.Errorf("line %d: %w", line, err)
+		}
+		series := name + "{" + labels + "}"
+		if seen[series] {
+			return s, fmt.Errorf("line %d: duplicate series %s", line, series)
+		}
+		seen[series] = true
+		s.Samples++
+
+		family, suffix := familyOf(name, types)
+		if family == "" {
+			return s, fmt.Errorf("line %d: sample %s has no TYPE declaration", line, name)
+		}
+		typ := types[family]
+		switch typ {
+		case "counter":
+			if suffix != "_total" {
+				return s, fmt.Errorf("line %d: counter sample %s must end in _total", line, name)
+			}
+			if value < 0 {
+				return s, fmt.Errorf("line %d: counter %s is negative (%g)", line, name, value)
+			}
+		case "gauge":
+			if suffix != "" {
+				return s, fmt.Errorf("line %d: gauge sample %s has unexpected suffix %q", line, name, suffix)
+			}
+		case "histogram":
+			le, rest, err := splitLE(labels)
+			if err != nil {
+				return s, fmt.Errorf("line %d: %s: %w", line, name, err)
+			}
+			k := histKey{family, rest}
+			h := hists[k]
+			if h == nil {
+				h = &histSeries{}
+				hists[k] = h
+			}
+			switch suffix {
+			case "_bucket":
+				if math.IsNaN(le) {
+					return s, fmt.Errorf("line %d: %s: bucket without le label", line, name)
+				}
+				h.les = append(h.les, le)
+				h.counts = append(h.counts, value)
+			case "_sum":
+				v := value
+				h.sum = &v
+			case "_count":
+				v := value
+				h.count = &v
+			default:
+				return s, fmt.Errorf("line %d: histogram sample %s has unexpected suffix %q", line, name, suffix)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return s, err
+	}
+	if !sawEOF {
+		return s, fmt.Errorf("exposition does not end with # EOF")
+	}
+	for k, h := range hists {
+		if err := checkHistogram(k, h); err != nil {
+			return s, err
+		}
+	}
+	if s.Families == 0 {
+		return s, fmt.Errorf("exposition has no metric families")
+	}
+	return s, nil
+}
+
+// parseSample splits `name{labels} value` (labels optional).
+func parseSample(text string) (name, labels string, value float64, err error) {
+	rest := text
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unterminated label set in %q", text)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", text)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	if !metricNameRe.MatchString(name) {
+		return "", "", 0, fmt.Errorf("bad metric name %q", name)
+	}
+	value, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad sample value in %q: %v", text, err)
+	}
+	return name, labels, value, nil
+}
+
+// familyOf resolves a sample name to its declared family and the
+// leftover suffix ("", "_total", "_bucket", "_sum", "_count"). The
+// longest declared family wins, so psan_foo_total resolves against
+// family psan_foo even if psan is also declared.
+func familyOf(name string, types map[string]string) (family, suffix string) {
+	fams := make([]string, 0, len(types))
+	for f := range types {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return len(fams[i]) > len(fams[j]) })
+	for _, f := range fams {
+		if name == f {
+			return f, ""
+		}
+		if strings.HasPrefix(name, f+"_") {
+			return f, name[len(f):]
+		}
+	}
+	return "", ""
+}
+
+// splitLE extracts the le label value (NaN when absent) and returns the
+// remaining labels in their original order.
+func splitLE(labels string) (le float64, rest string, err error) {
+	le = math.NaN()
+	if labels == "" {
+		return le, "", nil
+	}
+	var kept []string
+	for _, part := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return le, "", fmt.Errorf("malformed label %q", part)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return le, "", fmt.Errorf("unquoted label value %q", part)
+		}
+		if k == "le" {
+			uv := v[1 : len(v)-1]
+			if uv == "+Inf" {
+				le = math.Inf(1)
+			} else if le, err = strconv.ParseFloat(uv, 64); err != nil {
+				return le, "", fmt.Errorf("bad le value %q", uv)
+			}
+			continue
+		}
+		kept = append(kept, part)
+	}
+	return le, strings.Join(kept, ","), nil
+}
+
+// checkHistogram verifies one histogram series: le values strictly
+// increasing and ending at +Inf, bucket counts cumulative, and the +Inf
+// bucket equal to the _count sample.
+func checkHistogram(k histKey, h *histSeries) error {
+	id := k.family
+	if k.labels != "" {
+		id += "{" + k.labels + "}"
+	}
+	if len(h.les) == 0 {
+		return fmt.Errorf("histogram %s has no buckets", id)
+	}
+	for i := 1; i < len(h.les); i++ {
+		if !(h.les[i] > h.les[i-1]) {
+			return fmt.Errorf("histogram %s: le values not increasing (%g after %g)", id, h.les[i], h.les[i-1])
+		}
+		if h.counts[i] < h.counts[i-1] {
+			return fmt.Errorf("histogram %s: bucket counts not cumulative (%g after %g)", id, h.counts[i], h.counts[i-1])
+		}
+	}
+	if !math.IsInf(h.les[len(h.les)-1], 1) {
+		return fmt.Errorf("histogram %s: last bucket le is %g, want +Inf", id, h.les[len(h.les)-1])
+	}
+	if h.sum == nil || h.count == nil {
+		return fmt.Errorf("histogram %s: missing _sum or _count", id)
+	}
+	if inf := h.counts[len(h.counts)-1]; inf != *h.count {
+		return fmt.Errorf("histogram %s: +Inf bucket %g != count %g", id, inf, *h.count)
+	}
+	return nil
+}

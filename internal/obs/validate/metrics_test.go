@@ -1,0 +1,123 @@
+package validate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestExpositionAcceptsRealOutput: whatever obs.WriteOpenMetrics emits
+// for a busy registry must pass the exposition linter — the same check
+// CI runs against a live /metrics scrape.
+func TestExpositionAcceptsRealOutput(t *testing.T) {
+	r := obs.NewRegistry()
+	em := obs.ExploreInstruments(r)
+	em.Started.Add(120)
+	em.Completed.Add(118)
+	em.FrontierDepth.Set(3)
+	em.ExecNanos.Observe(1800)
+	em.ExecNanos.Observe(2_500_000)
+	pm := obs.PersistInstruments(r, "epoch")
+	pm.Stores.Add(960)
+	pm.Fences.Add(240)
+	pm2 := obs.PersistInstruments(r, "strict")
+	pm2.Stores.Add(11)
+	wm := obs.WorkerInstruments(r, 4)
+	wm.Dispatches.Add(30)
+	dm := obs.DispatchInstruments(r)
+	dm.UnitNanos.Observe(5_000_000)
+
+	var buf bytes.Buffer
+	if err := obs.WriteOpenMetrics(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	stats, err := Exposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("linter rejected real output: %v\n%s", err, text)
+	}
+	if stats.Families < 5 {
+		t.Errorf("Families = %d, want >= 5", stats.Families)
+	}
+	if stats.Samples <= stats.Families {
+		t.Errorf("Samples = %d with %d families; histograms and labels should multiply samples",
+			stats.Samples, stats.Families)
+	}
+	// Spot-check the wire format the mapping promises.
+	for _, want := range []string{
+		"# TYPE psan_explore_executions_started counter",
+		"psan_explore_executions_started_total 120",
+		`psan_persist_stores_total{model="epoch"} 960`,
+		`psan_persist_stores_total{model="strict"} 11`,
+		`psan_pool_worker_dispatches_total{worker="4"} 30`,
+		`psan_explore_execution_ns_bucket{le="+Inf"}`,
+		"psan_explore_frontier_depth 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Error("exposition does not end with # EOF")
+	}
+}
+
+// TestExpositionDeterministic: two scrapes of identical registries are
+// byte-identical (sorted families, sorted label values).
+func TestExpositionDeterministic(t *testing.T) {
+	build := func() *obs.Registry {
+		r := obs.NewRegistry()
+		obs.ExploreInstruments(r).Started.Add(9)
+		obs.PersistInstruments(r, "epoch").Stores.Add(4)
+		obs.PersistInstruments(r, "strict").Stores.Add(2)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := obs.WriteOpenMetrics(&a, build().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteOpenMetrics(&b, build().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("two scrapes differ:\n--- a ---\n%s--- b ---\n%s", a.String(), b.String())
+	}
+}
+
+// TestExpositionRejectsMalformed: the linter catches the classic
+// exposition bugs a hand-rolled writer can introduce.
+func TestExpositionRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"missing EOF", "# TYPE x counter\nx_total 1\n"},
+		{"counter without _total", "# TYPE x counter\nx 1\n# EOF\n"},
+		{"negative counter", "# TYPE x counter\nx_total -4\n# EOF\n"},
+		{"duplicate series", "# TYPE x gauge\nx 1\nx 2\n# EOF\n"},
+		{"duplicate family", "# TYPE x gauge\n# TYPE x gauge\nx 1\n# EOF\n"},
+		{"content after EOF", "# TYPE x gauge\nx 1\n# EOF\nx 2\n"},
+		{"blank line", "# TYPE x gauge\n\nx 1\n# EOF\n"},
+		{"bad type", "# TYPE x sparkline\nx 1\n# EOF\n"},
+		{"unparseable sample", "# TYPE x gauge\nx one\n# EOF\n"},
+		{"histogram buckets not cumulative",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="1"} 5` + "\n" +
+				`h_bucket{le="+Inf"} 3` + "\n" +
+				"h_sum 9\nh_count 3\n# EOF\n"},
+		{"histogram Inf bucket disagrees with count",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="1"} 1` + "\n" +
+				`h_bucket{le="+Inf"} 3` + "\n" +
+				"h_sum 9\nh_count 4\n# EOF\n"},
+		{"empty exposition", "# EOF\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Exposition(strings.NewReader(tc.text)); err == nil {
+				t.Errorf("linter accepted malformed exposition:\n%s", tc.text)
+			}
+		})
+	}
+}

@@ -26,7 +26,8 @@ type event struct {
 type Stats struct {
 	Events   int // total events, metadata included
 	Spans    int // ph "X" complete spans
-	Timeline int // distinct tids carrying spans
+	Timeline int // distinct (pid, tid) timelines carrying spans
+	Procs    int // distinct pids carrying spans
 }
 
 func checkEvent(i int, ev event) error {
@@ -58,17 +59,24 @@ func checkEvent(i int, ev event) error {
 
 func tally(events []event) (Stats, error) {
 	s := Stats{Events: len(events)}
-	tids := map[int]bool{}
+	// Fleet-merged traces interleave several processes: timelines are
+	// (pid, tid) pairs, never bare tids — two workers both using tid 1
+	// are two timelines.
+	type timeline struct{ pid, tid int }
+	tids := map[timeline]bool{}
+	pids := map[int]bool{}
 	for i, ev := range events {
 		if err := checkEvent(i, ev); err != nil {
 			return s, err
 		}
 		if ev.Ph == "X" {
 			s.Spans++
-			tids[*ev.Tid] = true
+			tids[timeline{*ev.Pid, *ev.Tid}] = true
+			pids[*ev.Pid] = true
 		}
 	}
 	s.Timeline = len(tids)
+	s.Procs = len(pids)
 	if s.Spans == 0 {
 		return s, fmt.Errorf("trace has no complete (ph=X) spans")
 	}

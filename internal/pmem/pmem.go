@@ -20,6 +20,7 @@ package pmem
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/memmodel"
@@ -172,6 +173,11 @@ type World struct {
 	// Jaaru-style baseline detects bugs only through these.
 	assertFailures []string
 
+	// sweepNanos accumulates this execution's retirement-sweep wall
+	// time (bounded-window mode only); a timing diagnostic, never part
+	// of any determinism contract.
+	sweepNanos int64
+
 	// wobs holds the world-level observability counters (schedule steps,
 	// interpreter steps). The zero value (all-nil instruments) makes every
 	// increment a nil-check no-op; it survives Reset like the rest of the
@@ -240,6 +246,7 @@ func (w *World) Reset(seed int64) {
 	w.crashed = false
 	w.sinceRetire = 0
 	w.retireEvery = w.window
+	w.sweepNanos = 0
 	w.threadIDs = w.threadIDs[:0]
 	w.spawned = nil
 	w.assertFailures = nil
@@ -348,12 +355,20 @@ func (w *World) step(kind memmodel.OpKind) {
 func (w *World) retireNow() {
 	tr := w.M.Trace()
 	before := tr.Retired()
+	// Two clock reads per sweep are noise next to the O(live set) walk
+	// they bracket, so the sweep is timed unconditionally: the total
+	// rides into Result diagnostics even without an obs registry.
+	sweepStart := time.Now()
 	w.retire.Retire(w.retireExtra)
+	sweepNS := time.Since(sweepStart).Nanoseconds()
+	w.sweepNanos += sweepNS
+	w.wobs.SweepNanos.Observe(sweepNS)
 	after := tr.Retired()
 	w.wobs.Retirements.Inc()
 	w.wobs.RetiredStores.Add(int64(after.RetiredStores - before.RetiredStores))
 	w.wobs.RetiredEvents.Add(int64(after.RetiredEvents - before.RetiredEvents))
 	w.wobs.WindowRetained.Set(int64(after.RetainedEvents))
+	w.wobs.PinnedRoots.Set(int64(after.PinnedRoots))
 	// Amortize: each sweep walks the whole live set, so the next sweep
 	// is deferred until the work it would redo has been "paid for" by
 	// fresh operations. LastSweepWork is deterministic, so the stretched
@@ -366,6 +381,10 @@ func (w *World) retireNow() {
 
 // Window returns the configured retirement window (0: unbounded).
 func (w *World) Window() int { return w.window }
+
+// SweepNanos returns this execution's accumulated retirement-sweep
+// wall time (0 in unbounded mode).
+func (w *World) SweepNanos() int64 { return w.sweepNanos }
 
 // interpProbeMask throttles the interpreter-step watchdog probe: with a
 // probe installed it also runs once every 1024 interpreted statements,

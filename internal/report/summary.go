@@ -3,6 +3,7 @@ package report
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/explore"
 )
@@ -41,8 +42,17 @@ func RunSummary(res *explore.Result) string {
 		if secs := res.Elapsed.Seconds(); secs > 0 && res.Ops > 0 {
 			fmt.Fprintf(&b, " (%.0f ops/s)", float64(res.Ops)/secs)
 		}
-		fmt.Fprintf(&b, ", %d retirements released %d stores and %d events\n",
+		fmt.Fprintf(&b, ", %d retirements released %d stores and %d events",
 			res.Retirements, res.RetiredStores, res.RetiredEvents)
+		// Sweep diagnostics: the largest pin-closure any sweep kept live
+		// (deterministic) and the total wall time spent sweeping (timing).
+		if res.PinnedRootsMax > 0 {
+			fmt.Fprintf(&b, ", pinned <= %d roots", res.PinnedRootsMax)
+		}
+		if res.SweepNanos > 0 {
+			fmt.Fprintf(&b, ", %v sweeping", time.Duration(res.SweepNanos).Round(time.Microsecond))
+		}
+		fmt.Fprintln(&b)
 	}
 	// Supervision record (dispatch-supervised campaigns only): how the
 	// isolation machinery behaved. Redeliveries and restarts are routine

@@ -223,6 +223,10 @@ type Trace struct {
 	retired       Stats
 	retiredStores int
 	retirements   int
+	// lastPinned counts the stores the current (or most recent) sweep's
+	// mark closure pinned; maxPinned is the execution-wide maximum.
+	lastPinned int
+	maxPinned  int
 	// markScratch is FinishRetire's reusable first-per-thread scratch.
 	markScratch []memmodel.ThreadID
 }
@@ -258,6 +262,8 @@ func (tr *Trace) Reset() {
 	tr.retired = Stats{}
 	tr.retiredStores = 0
 	tr.retirements = 0
+	tr.lastPinned = 0
+	tr.maxPinned = 0
 	tr.pushSubExec()
 }
 

@@ -94,6 +94,7 @@ func (tr *Trace) newEvent() *Event {
 // (MarkRetireRoot), and FinishRetire sweeps.
 func (tr *Trace) BeginRetire() {
 	tr.markGen++
+	tr.lastPinned = 0
 }
 
 // MarkRetireRoot pins st and, transitively, every store its clock
@@ -108,6 +109,7 @@ func (tr *Trace) MarkRetireRoot(st *Store) {
 		return
 	}
 	st.mark = tr.markGen
+	tr.lastPinned++
 	if st.Initial || st.CV.IsBottom() {
 		return
 	}
@@ -243,6 +245,9 @@ func (tr *Trace) FinishRetire() {
 	}
 	tr.lastSweepWork = work
 	tr.retirements++
+	if tr.lastPinned > tr.maxPinned {
+		tr.maxPinned = tr.lastPinned
+	}
 }
 
 // LastSweepWork reports how many index entries the most recent sweep
@@ -262,6 +267,12 @@ type RetireStats struct {
 	// RetainedEvents counts the live (non-hole) entries of the event
 	// log — the window occupancy a progress display wants.
 	RetainedEvents int
+	// PinnedRoots is the pin-closure size of the most recent sweep (the
+	// stores marking kept live); MaxPinnedRoots is the largest closure
+	// any sweep of this execution pinned. Both are deterministic — the
+	// closure depends only on the execution's trace, never on timing.
+	PinnedRoots    int
+	MaxPinnedRoots int
 }
 
 // Retired reports the retirement totals of the current execution.
@@ -275,6 +286,8 @@ func (tr *Trace) Retired() RetireStats {
 		RetiredStores:  tr.retiredStores,
 		ReleasedBytes:  int64(tr.retired.Events)*eventBytes + int64(tr.retiredStores)*storeBytes,
 		RetainedEvents: tr.eventBase + len(tr.events) - tr.eventFloor,
+		PinnedRoots:    tr.lastPinned,
+		MaxPinnedRoots: tr.maxPinned,
 	}
 }
 
